@@ -1,0 +1,27 @@
+//! Synthetic-data substrate throughput: generation, windowing, batching.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use rckt_data::{make_batches, windows, SyntheticSpec};
+
+fn bench_datagen(c: &mut Criterion) {
+    let mut group = c.benchmark_group("datagen");
+    group.sample_size(10);
+    group.bench_function("generate_assist09_x0.25", |b| {
+        b.iter(|| black_box(SyntheticSpec::assist09().scaled(0.25).generate()))
+    });
+
+    let ds = SyntheticSpec::assist09().scaled(0.5).generate();
+    group.bench_function("window_50", |b| {
+        b.iter(|| black_box(windows(&ds, 50, 5)))
+    });
+
+    let ws = windows(&ds, 50, 5);
+    let idx: Vec<usize> = (0..ws.len()).collect();
+    group.bench_function("batch_16", |b| {
+        b.iter(|| black_box(make_batches(&ws, &idx, &ds.q_matrix, 16)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_datagen);
+criterion_main!(benches);

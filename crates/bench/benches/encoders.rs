@@ -1,0 +1,57 @@
+//! Forward-pass throughput of the three bidirectional encoders RCKT adapts
+//! (BiLSTM / bi-SAKT / bi-AKT) at paper batch shapes.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use rckt_models::{BiAttnEncoder, BiEncoder, BiLstmEncoder};
+use rckt_tensor::{Graph, ParamStore, Shape};
+
+const B: usize = 16;
+const T: usize = 50;
+const D: usize = 32;
+
+fn data(rng: &mut SmallRng) -> (Vec<f32>, Vec<f32>, Vec<bool>) {
+    let e: Vec<f32> = (0..B * T * D).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
+    let a: Vec<f32> = (0..B * T * D).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
+    let valid = vec![true; B * T];
+    (e, a, valid)
+}
+
+fn run_encoder<E: BiEncoder>(enc: &E, store: &ParamStore, e: &[f32], a: &[f32], valid: &[bool]) -> f32 {
+    let mut rng = SmallRng::seed_from_u64(0);
+    let mut g = Graph::new();
+    let et = g.input(e.to_vec(), Shape::matrix(B * T, D));
+    let at = g.input(a.to_vec(), Shape::matrix(B * T, D));
+    let h = enc.encode(&mut g, store, et, at, B, T, valid, false, &mut rng);
+    g.data(h)[0]
+}
+
+fn bench_encoders(c: &mut Criterion) {
+    let mut rng = SmallRng::seed_from_u64(7);
+    let (e, a, valid) = data(&mut rng);
+    let mut group = c.benchmark_group("bi_encoders_16x50x32");
+    group.sample_size(20);
+
+    let mut store = ParamStore::new();
+    let lstm = BiLstmEncoder::new(&mut store, "lstm", D, 1, 0.0, &mut rng);
+    group.bench_function("BiLSTM(DKT)", |b| {
+        b.iter(|| black_box(run_encoder(&lstm, &store, &e, &a, &valid)))
+    });
+
+    let mut store = ParamStore::new();
+    let sakt = BiAttnEncoder::new(&mut store, "sakt", D, 4, 1, false, 0.0, 200, &mut rng);
+    group.bench_function("BiAttn(SAKT)", |b| {
+        b.iter(|| black_box(run_encoder(&sakt, &store, &e, &a, &valid)))
+    });
+
+    let mut store = ParamStore::new();
+    let akt = BiAttnEncoder::new(&mut store, "akt", D, 4, 1, true, 0.0, 200, &mut rng);
+    group.bench_function("BiAttn(AKT,monotonic)", |b| {
+        b.iter(|| black_box(run_encoder(&akt, &store, &e, &a, &valid)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_encoders);
+criterion_main!(benches);

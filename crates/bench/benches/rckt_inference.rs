@@ -1,0 +1,40 @@
+//! Table VI as a microbenchmark: RCKT inference before (exact, t+2 passes)
+//! vs after (approximate, 4 passes) the response influence approximation.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use rckt::{Backbone, Rckt, RcktConfig};
+use rckt_data::{make_batches, windows, SyntheticSpec};
+
+fn bench_inference(c: &mut Criterion) {
+    let ds = SyntheticSpec::assist09().scaled(0.1).generate();
+    let ws = windows(&ds, 50, 5);
+    let idx: Vec<usize> = (0..ws.len().min(16)).collect();
+    let batches = make_batches(&ws, &idx, &ds.q_matrix, 16);
+    let batch = &batches[0];
+
+    for backbone in [Backbone::Dkt, Backbone::Akt] {
+        let model = Rckt::new(
+            backbone,
+            ds.num_questions(),
+            ds.num_concepts(),
+            RcktConfig { dim: 32, ..Default::default() },
+        );
+        let name = match backbone {
+            Backbone::Dkt => "DKT",
+            Backbone::Sakt => "SAKT",
+            Backbone::Akt => "AKT",
+        };
+        let mut group = c.benchmark_group(format!("rckt_{name}_inference_16seq"));
+        group.sample_size(10);
+        group.bench_function("approximate (after, 4 passes)", |b| {
+            b.iter(|| black_box(model.predict_last(batch)))
+        });
+        group.bench_function("exact (before, t+2 passes)", |b| {
+            b.iter(|| black_box(model.predict_exact_last(batch)))
+        });
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_inference);
+criterion_main!(benches);

@@ -1,0 +1,69 @@
+//! Microbenchmarks for the autograd substrate: the primitive kernels and a
+//! representative forward+backward composition.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use rckt_tensor::{Graph, Shape};
+
+fn rand_vec(rng: &mut SmallRng, n: usize) -> Vec<f32> {
+    (0..n).map(|_| rng.gen_range(-1.0f32..1.0)).collect()
+}
+
+fn bench_matmul(c: &mut Criterion) {
+    let mut group = c.benchmark_group("matmul");
+    for &n in &[32usize, 64, 128] {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let a = rand_vec(&mut rng, n * n);
+        let b = rand_vec(&mut rng, n * n);
+        group.bench_function(format!("{n}x{n}"), |bench| {
+            bench.iter(|| {
+                let mut g = Graph::new();
+                let at = g.input(a.clone(), Shape::matrix(n, n));
+                let bt = g.input(b.clone(), Shape::matrix(n, n));
+                black_box(g.matmul(at, bt))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_softmax(c: &mut Criterion) {
+    let mut rng = SmallRng::seed_from_u64(2);
+    let x = rand_vec(&mut rng, 16 * 50 * 50);
+    c.bench_function("softmax_16x50x50", |bench| {
+        bench.iter(|| {
+            let mut g = Graph::new();
+            let xt = g.input(x.clone(), Shape::cube(16, 50, 50));
+            black_box(g.softmax_last(xt))
+        })
+    });
+}
+
+fn bench_forward_backward(c: &mut Criterion) {
+    // A two-layer MLP forward+backward at knowledge-tracing batch shapes.
+    let (rows, din, dh) = (16 * 50, 64, 32);
+    let mut rng = SmallRng::seed_from_u64(3);
+    let x = rand_vec(&mut rng, rows * din);
+    let w1 = rand_vec(&mut rng, din * dh);
+    let w2 = rand_vec(&mut rng, dh);
+    c.bench_function("mlp_forward_backward_800x64", |bench| {
+        bench.iter(|| {
+            let mut g = Graph::new();
+            let xt = g.input(x.clone(), Shape::matrix(rows, din));
+            let w1t = g.leaf_grad(w1.clone(), Shape::matrix(din, dh));
+            let w2t = g.leaf_grad(w2.clone(), Shape::matrix(dh, 1));
+            let h = g.matmul(xt, w1t);
+            let h = g.relu(h);
+            let z = g.matmul(h, w2t);
+            let targets = vec![1.0; rows];
+            let weights = vec![1.0; rows];
+            let loss = g.bce_with_logits(z, &targets, &weights, rows as f32);
+            g.backward(loss);
+            black_box(g.value(loss))
+        })
+    });
+}
+
+criterion_group!(benches, bench_matmul, bench_softmax, bench_forward_backward);
+criterion_main!(benches);

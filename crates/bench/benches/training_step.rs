@@ -1,0 +1,58 @@
+//! One optimization step per model at paper batch shapes — where the wall
+//! clock of every table actually goes.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use rckt::{Backbone, Rckt, RcktConfig};
+use rckt_data::{make_batches, windows, SyntheticSpec};
+use rckt_models::attn_kt::{AttnKt, AttnKtConfig, AttnVariant};
+use rckt_models::dkt::{Dkt, DktConfig};
+use rckt_models::SgdModel;
+
+fn bench_training(c: &mut Criterion) {
+    let ds = SyntheticSpec::assist09().scaled(0.1).generate();
+    let ws = windows(&ds, 50, 5);
+    let idx: Vec<usize> = (0..ws.len().min(16)).collect();
+    let batches = make_batches(&ws, &idx, &ds.q_matrix, 16);
+    let batch = &batches[0];
+    let (nq, nk) = (ds.num_questions(), ds.num_concepts());
+
+    let mut group = c.benchmark_group("train_step_16x50_d32");
+    group.sample_size(10);
+
+    let mut dkt = Dkt::new(nq, nk, DktConfig { dim: 32, ..Default::default() });
+    let mut rng = SmallRng::seed_from_u64(1);
+    group.bench_function("DKT", |b| {
+        b.iter(|| black_box(dkt.train_batch(batch, 5.0, &mut rng)))
+    });
+
+    let mut sakt = AttnKt::new(AttnVariant::Sakt, nq, nk, AttnKtConfig { dim: 32, ..Default::default() });
+    let mut rng = SmallRng::seed_from_u64(1);
+    group.bench_function("SAKT", |b| {
+        b.iter(|| black_box(sakt.train_batch(batch, 5.0, &mut rng)))
+    });
+
+    let mut akt = AttnKt::new(AttnVariant::Akt, nq, nk, AttnKtConfig { dim: 32, ..Default::default() });
+    let mut rng = SmallRng::seed_from_u64(1);
+    group.bench_function("AKT", |b| {
+        b.iter(|| black_box(akt.train_batch(batch, 5.0, &mut rng)))
+    });
+
+    let mut rckt = Rckt::new(Backbone::Dkt, nq, nk, RcktConfig { dim: 32, ..Default::default() });
+    let mut rng = SmallRng::seed_from_u64(1);
+    group.bench_function("RCKT-DKT (7 passes)", |b| {
+        b.iter(|| black_box(rckt.train_batch(batch, 5.0, &mut rng)))
+    });
+
+    let mut rckt = Rckt::new(Backbone::Akt, nq, nk, RcktConfig { dim: 32, ..Default::default() });
+    let mut rng = SmallRng::seed_from_u64(1);
+    group.bench_function("RCKT-AKT (7 passes)", |b| {
+        b.iter(|| black_box(rckt.train_batch(batch, 5.0, &mut rng)))
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_training);
+criterion_main!(benches);

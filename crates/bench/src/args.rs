@@ -1,0 +1,119 @@
+//! Tiny flag parser shared by the experiment binaries (keeps the workspace
+//! off heavyweight CLI dependencies).
+
+/// Common experiment knobs. Every binary accepts:
+///
+/// ```text
+/// --scale <f64>    student-count multiplier on the dataset presets (default 0.5)
+/// --folds <n>      cross-validation folds to actually run (default 2, max 5)
+/// --epochs <n>     max training epochs (default 15)
+/// --patience <n>   early-stopping patience (default 6)
+/// --dim <n>        hidden dimension (default 32)
+/// --batch <n>      batch size (default 16)
+/// --seed <n>       global seed (default 42)
+/// --full           paper-faithful effort: scale 1.0, 5 folds, 40 epochs, patience 10
+/// --verbose        per-epoch logs to stderr
+/// ```
+#[derive(Clone, Debug)]
+pub struct ExpArgs {
+    pub scale: f64,
+    pub folds: usize,
+    pub epochs: usize,
+    pub patience: usize,
+    pub dim: usize,
+    pub batch: usize,
+    pub seed: u64,
+    pub verbose: bool,
+}
+
+impl Default for ExpArgs {
+    fn default() -> Self {
+        ExpArgs {
+            scale: 0.5,
+            folds: 2,
+            epochs: 15,
+            patience: 6,
+            dim: 32,
+            batch: 16,
+            seed: 42,
+            verbose: false,
+        }
+    }
+}
+
+impl ExpArgs {
+    /// Parse from `std::env::args`, exiting with usage on error.
+    pub fn parse() -> Self {
+        Self::parse_from(std::env::args().skip(1))
+    }
+
+    pub fn parse_from(args: impl IntoIterator<Item = String>) -> Self {
+        let mut out = ExpArgs::default();
+        let mut it = args.into_iter();
+        while let Some(flag) = it.next() {
+            let mut num = |name: &str| -> f64 {
+                it.next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| die(&format!("{name} needs a numeric value")))
+            };
+            match flag.as_str() {
+                "--scale" => out.scale = num("--scale"),
+                "--folds" => out.folds = num("--folds") as usize,
+                "--epochs" => out.epochs = num("--epochs") as usize,
+                "--patience" => out.patience = num("--patience") as usize,
+                "--dim" => out.dim = num("--dim") as usize,
+                "--batch" => out.batch = num("--batch") as usize,
+                "--seed" => out.seed = num("--seed") as u64,
+                "--full" => {
+                    out.scale = 1.0;
+                    out.folds = 5;
+                    out.epochs = 40;
+                    out.patience = 10;
+                }
+                "--verbose" => out.verbose = true,
+                "--help" | "-h" => die("see ExpArgs docs for flags"),
+                other => die(&format!("unknown flag {other}")),
+            }
+        }
+        if out.folds == 0 || out.folds > 5 {
+            die("--folds must be 1..=5");
+        }
+        out
+    }
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("usage error: {msg}");
+    eprintln!(
+        "flags: --scale f --folds n --epochs n --patience n --dim n --batch n --seed n --full --verbose"
+    );
+    std::process::exit(2)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(s: &str) -> ExpArgs {
+        ExpArgs::parse_from(s.split_whitespace().map(String::from))
+    }
+
+    #[test]
+    fn defaults_and_overrides() {
+        let a = parse("");
+        assert_eq!(a.folds, 2);
+        let a = parse("--scale 0.25 --folds 3 --dim 64 --verbose");
+        assert!((a.scale - 0.25).abs() < 1e-12);
+        assert_eq!(a.folds, 3);
+        assert_eq!(a.dim, 64);
+        assert!(a.verbose);
+    }
+
+    #[test]
+    fn full_preset() {
+        let a = parse("--full");
+        assert_eq!(a.folds, 5);
+        assert_eq!(a.epochs, 40);
+        assert!((a.scale - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,112 @@
+//! Diagnostic: decompose RCKT's evaluation gap.
+//!
+//! Scores the same trained RCKT three ways on strided targets —
+//! (a) the influence margin (the paper's Eq. 13 rule),
+//! (b) the generator's own factual-pass probability for the target,
+//! (c) the margin within each target-position bucket (per-t AUC) —
+//! against a DKT baseline, to separate generator quality from cross-length
+//! score calibration.
+
+use rckt::counterfactual::Cats;
+use rckt_bench::{build_model, BuiltModel, ExpArgs, ModelSpec};
+use rckt_data::preprocess::{windows, DEFAULT_MIN_LEN, DEFAULT_WINDOW_LEN};
+use rckt_data::{make_batches, Batch, KFold, SyntheticSpec};
+use rckt_metrics::auc;
+use rckt_models::model::TrainConfig;
+use rckt_models::ResponseCat;
+
+fn main() {
+    let args = ExpArgs::parse();
+    let ds = SyntheticSpec::assist09().scaled(args.scale).generate();
+    let ws = windows(&ds, DEFAULT_WINDOW_LEN, DEFAULT_MIN_LEN);
+    let folds = KFold::paper(args.seed).split(ws.len());
+    let fold = &folds[0];
+    let cfg = TrainConfig {
+        max_epochs: args.epochs,
+        patience: args.patience,
+        batch_size: args.batch,
+        verbose: args.verbose,
+        seed: args.seed,
+        ..Default::default()
+    };
+
+    let mut rckt = build_model(ModelSpec::RcktDkt, &ds, &args, None);
+    rckt.fit(&ws, fold, &ds, &cfg);
+    let BuiltModel::Rckt(rckt) = rckt else { unreachable!() };
+    let mut dkt = build_model(ModelSpec::Dkt, &ds, &args, None);
+    dkt.fit(&ws, fold, &ds, &cfg);
+
+    let test = make_batches(&ws, &fold.test, &ds.q_matrix, args.batch);
+    let stride = 8usize;
+
+    // (a) margin and (b) factual probability at the same strided targets
+    let mut margin_scores = Vec::new();
+    let mut factual_scores = Vec::new();
+    let mut labels = Vec::new();
+    let mut t_of = Vec::new();
+    for b in &test {
+        for t in 1..b.t_len {
+            let involved: Vec<usize> = (0..b.batch)
+                .filter(|&bb| {
+                    let len = b.seq_len(bb);
+                    t < len && (t % stride == stride - 1 || t == len - 1)
+                })
+                .collect();
+            if involved.is_empty() {
+                continue;
+            }
+            let targets: Vec<usize> =
+                (0..b.batch).map(|bb| if involved.contains(&bb) { t } else { 1 }).collect();
+            let preds = rckt.predict_targets(b, &targets);
+            let probs = factual_probs(&rckt, b, &targets);
+            for &bb in &involved {
+                margin_scores.push(preds[bb].prob);
+                factual_scores.push(probs[bb]);
+                labels.push(preds[bb].label);
+                t_of.push(t);
+            }
+        }
+    }
+
+    let dkt_preds = dkt.stride_preds(&test, stride);
+    let dkt_scores: Vec<f32> = dkt_preds.iter().map(|p| p.prob).collect();
+    let dkt_labels: Vec<bool> = dkt_preds.iter().map(|p| p.label).collect();
+
+    println!("n = {} strided targets", labels.len());
+    println!("(a) RCKT margin AUC:            {:.4}", auc(&margin_scores, &labels));
+    println!("(b) RCKT factual-pass AUC:      {:.4}", auc(&factual_scores, &labels));
+    println!("    DKT AUC:                    {:.4}", auc(&dkt_scores, &dkt_labels));
+
+    // (c) per-target-bucket AUCs (cross-length calibration check)
+    println!("(c) per-t AUC (margin | factual):");
+    let mut ts: Vec<usize> = t_of.clone();
+    ts.sort_unstable();
+    ts.dedup();
+    for &t in &ts {
+        let idx: Vec<usize> = (0..labels.len()).filter(|&i| t_of[i] == t).collect();
+        if idx.len() < 10 {
+            continue;
+        }
+        let m: Vec<f32> = idx.iter().map(|&i| margin_scores[i]).collect();
+        let f: Vec<f32> = idx.iter().map(|&i| factual_scores[i]).collect();
+        let l: Vec<bool> = idx.iter().map(|&i| labels[i]).collect();
+        println!("    t = {t:>2} (n = {:>3}): {:.4} | {:.4}", idx.len(), auc(&m, &l), auc(&f, &l));
+    }
+}
+
+/// Generator probability for each sequence's target under the factual
+/// context (target masked) — the "plain bidirectional KT" score.
+fn factual_probs(model: &rckt::Rckt, batch: &Batch, targets: &[usize]) -> Vec<f32> {
+    let t_len = batch.t_len;
+    let cats: Cats = (0..batch.batch * t_len)
+        .map(|i| {
+            let (b, t) = (i / t_len, i % t_len);
+            if batch.valid[i] && t != targets[b] {
+                ResponseCat::from_correct(batch.correct[i] >= 0.5)
+            } else {
+                ResponseCat::Masked
+            }
+        })
+        .collect();
+    model.factual_pass_probs(batch, &cats, targets)
+}

@@ -1,0 +1,45 @@
+//! Fig. 4: effect of the loss balancer λ on RCKT-DKT and RCKT-AKT over the
+//! two ASSIST datasets (λ ∈ {0, 0.01, 0.05, 0.1, 0.2, 0.3}).
+//!
+//! ```text
+//! cargo run --release -p rckt-bench --bin fig4_lambda [--scale f ...]
+//! ```
+
+use rckt::RcktConfig;
+use rckt_bench::{fit_and_eval, ExpArgs, ModelSpec};
+use rckt_data::preprocess::{windows, DEFAULT_MIN_LEN, DEFAULT_WINDOW_LEN};
+use rckt_data::{KFold, SyntheticSpec};
+
+const LAMBDAS: [f32; 6] = [0.0, 0.01, 0.05, 0.1, 0.2, 0.3];
+
+fn main() {
+    let args = ExpArgs::parse();
+    println!("Fig. 4 — AUC/ACC vs loss balancer λ (final-response prediction)\n");
+    for spec in [SyntheticSpec::assist09(), SyntheticSpec::assist12()] {
+        let ds = spec.scaled(args.scale).generate();
+        let ws = windows(&ds, DEFAULT_WINDOW_LEN, DEFAULT_MIN_LEN);
+        let folds = KFold::paper(args.seed).split(ws.len());
+        for enc in [ModelSpec::RcktDkt, ModelSpec::RcktAkt] {
+            println!("== {} / {} ==", ds.name, enc.name());
+            println!("{:>8}{:>10}{:>10}", "lambda", "AUC", "ACC");
+            let mut series = Vec::new();
+            for &lambda in &LAMBDAS {
+                let cfg = RcktConfig {
+                    dim: args.dim,
+                    lr: 2e-3,
+                    lambda,
+                    seed: args.seed,
+                    ..Default::default()
+                };
+                let r = fit_and_eval(enc, &ds, &ws, &folds, &args, Some(cfg));
+                println!("{lambda:>8}{:>10.4}{:>10.4}", r.auc_mean(), r.acc_mean());
+                series.push((lambda, r.auc_mean()));
+            }
+            let best = series
+                .iter()
+                .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
+                .unwrap();
+            println!("peak at lambda = {} (AUC {:.4})\n", best.0, best.1);
+        }
+    }
+}

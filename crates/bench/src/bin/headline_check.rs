@@ -1,0 +1,69 @@
+//! Focused headline check: the paper's central performance claim (RCKT vs
+//! the strongest baselines) in its own per-student setting — one prediction
+//! per test sequence at the final response, full record as context — with
+//! more folds and epochs than the broad Table IV sweep affords.
+//!
+//! ```text
+//! cargo run --release -p rckt-bench --bin headline_check [--scale f --folds n ...]
+//! ```
+
+use rckt_bench::{build_model, evaluate_last_any, ExpArgs, ModelSpec};
+use rckt_data::preprocess::{windows, DEFAULT_MIN_LEN, DEFAULT_WINDOW_LEN};
+use rckt_data::{make_batches, KFold, SyntheticSpec};
+use rckt_metrics::{welch_t_test, FoldSummary};
+use rckt_models::model::TrainConfig;
+
+fn main() {
+    let args = ExpArgs::parse();
+    let ds = SyntheticSpec::assist12().scaled(args.scale).generate();
+    let ws = windows(&ds, DEFAULT_WINDOW_LEN, DEFAULT_MIN_LEN);
+    let folds = KFold::paper(args.seed).split(ws.len());
+    let cfg = TrainConfig {
+        max_epochs: args.epochs,
+        patience: args.patience,
+        batch_size: args.batch,
+        verbose: args.verbose,
+        seed: args.seed,
+        ..Default::default()
+    };
+
+    let lineup = [ModelSpec::Dkt, ModelSpec::Dimkt, ModelSpec::Ikt, ModelSpec::RcktDkt];
+    println!(
+        "headline check — {} ({} windows), per-student final-response AUC over {} fold(s)\n",
+        ds.name,
+        ws.len(),
+        args.folds
+    );
+    let mut per_model: Vec<(String, Vec<f64>)> = Vec::new();
+    for spec in lineup {
+        let mut aucs = Vec::new();
+        for fold in folds.iter().take(args.folds) {
+            let mut model = build_model(spec, &ds, &args, None);
+            model.fit(&ws, fold, &ds, &cfg);
+            let test = make_batches(&ws, &fold.test, &ds.q_matrix, args.batch);
+            let (a, _) = evaluate_last_any(&model, &test);
+            aucs.push(a);
+        }
+        println!("{:<10} {}", spec.name(), FoldSummary::of(&aucs));
+        per_model.push((spec.name().to_string(), aucs));
+    }
+
+    let rckt = per_model.last().expect("lineup non-empty");
+    let best_base = per_model[..per_model.len() - 1]
+        .iter()
+        .max_by(|a, b| {
+            let ma = a.1.iter().sum::<f64>() / a.1.len() as f64;
+            let mb = b.1.iter().sum::<f64>() / b.1.len() as f64;
+            ma.partial_cmp(&mb).unwrap()
+        })
+        .unwrap();
+    let m_rckt = rckt.1.iter().sum::<f64>() / rckt.1.len() as f64;
+    let m_base = best_base.1.iter().sum::<f64>() / best_base.1.len() as f64;
+    let p = welch_t_test(&rckt.1, &best_base.1).map(|t| t.p_value);
+    println!(
+        "\nRCKT-DKT vs best baseline {}: {:+.2}% ({})",
+        best_base.0,
+        (m_rckt / m_base - 1.0) * 100.0,
+        p.map(|p| format!("Welch p = {p:.3}")).unwrap_or_else(|| "p n/a".into())
+    );
+}

@@ -1,0 +1,25 @@
+//! Table II: statistics of the four preprocessed datasets.
+//!
+//! ```text
+//! cargo run --release -p rckt-bench --bin table2_stats [--scale f]
+//! ```
+
+use rckt_bench::ExpArgs;
+use rckt_data::preprocess::{windows, DEFAULT_MIN_LEN, DEFAULT_WINDOW_LEN};
+use rckt_data::stats::{table2, DatasetStats};
+use rckt_data::SyntheticSpec;
+
+fn main() {
+    let args = ExpArgs::parse();
+    let stats: Vec<DatasetStats> = SyntheticSpec::paper_presets()
+        .into_iter()
+        .map(|spec| {
+            let ds = spec.scaled(args.scale).generate();
+            let ws = windows(&ds, DEFAULT_WINDOW_LEN, DEFAULT_MIN_LEN);
+            DatasetStats::compute(&ds, &ws)
+        })
+        .collect();
+    println!("Table II — statistics of the four preprocessed (synthetic) datasets");
+    println!("(presets mirror the paper's datasets at --scale {}; see DESIGN.md §1)\n", args.scale);
+    print!("{}", table2(&stats));
+}

@@ -1,0 +1,106 @@
+//! Table IV: overall performance of the RCKT variants against six baselines
+//! on the four datasets, with significance stars against the best baseline.
+//!
+//! ```text
+//! cargo run --release -p rckt-bench --bin table4_overall [--scale f --folds n ...]
+//! ```
+//!
+//! Quick defaults run in minutes on a laptop; `--full` is the
+//! paper-faithful 5-fold setting.
+
+use rckt::{Backbone, RcktConfig};
+use rckt_bench::{fit_and_eval, ExpArgs, ModelSpec, RunResult};
+use rckt_data::preprocess::{windows, DEFAULT_MIN_LEN, DEFAULT_WINDOW_LEN};
+use rckt_data::{KFold, SyntheticSpec};
+use rckt_metrics::welch_t_test;
+
+fn main() {
+    let args = ExpArgs::parse();
+    let lineup = ModelSpec::table4_lineup();
+    let mut all: Vec<Vec<RunResult>> = Vec::new();
+    let presets = SyntheticSpec::paper_presets();
+
+    for spec in &presets {
+        let ds = spec.clone().scaled(args.scale).generate();
+        let ws = windows(&ds, DEFAULT_WINDOW_LEN, DEFAULT_MIN_LEN);
+        let folds = KFold::paper(args.seed).split(ws.len());
+        eprintln!("== {} ({} windows) ==", ds.name, ws.len());
+        let mut per_model = Vec::new();
+        for &m in &lineup {
+            // RCKT variants: the paper's Table III hyper-parameters in the
+            // paper-faithful --full setting; CPU-scale tuned defaults
+            // otherwise (Table III's deeper/more-regularized settings
+            // underfit the small simulator datasets).
+            let rckt_cfg = match m {
+                ModelSpec::RcktDkt => Some(Backbone::Dkt),
+                ModelSpec::RcktSakt => Some(Backbone::Sakt),
+                ModelSpec::RcktAkt => Some(Backbone::Akt),
+                _ => None,
+            }
+            .map(|b| {
+                let base = if args.scale >= 1.0 {
+                    RcktConfig::paper_table3(&ds.name, b)
+                } else {
+                    RcktConfig::default()
+                };
+                RcktConfig { dim: args.dim, seed: args.seed, ..base }
+            });
+            let r = fit_and_eval(m, &ds, &ws, &folds, &args, rckt_cfg);
+            eprintln!(
+                "   {:<10} auc {:.4} acc {:.4} ({:.1}s)",
+                r.model,
+                r.auc_mean(),
+                r.acc_mean(),
+                r.seconds
+            );
+            per_model.push(r);
+        }
+        all.push(per_model);
+    }
+
+    println!("\nTable IV — overall performance (final-response prediction, mean over {} fold(s))", args.folds);
+    print!("{:<11}", "Model");
+    for spec in &presets {
+        print!("{:>11}{:>9}", format!("{}", spec.name), "");
+    }
+    println!();
+    print!("{:<11}", "");
+    for _ in &presets {
+        print!("{:>11}{:>9}", "AUC", "ACC");
+    }
+    println!();
+    for (mi, &m) in lineup.iter().enumerate() {
+        print!("{:<11}", m.name());
+        for per_model in &all {
+            let r = &per_model[mi];
+            print!("{:>11.4}{:>9.4}", r.auc_mean(), r.acc_mean());
+        }
+        println!();
+    }
+
+    // improvement + significance of the best RCKT variant vs best baseline
+    println!();
+    for (di, per_model) in all.iter().enumerate() {
+        let (baselines, rckts) = per_model.split_at(6);
+        let best_base = baselines
+            .iter()
+            .max_by(|a, b| a.auc_mean().partial_cmp(&b.auc_mean()).unwrap())
+            .unwrap();
+        let best_rckt = rckts
+            .iter()
+            .max_by(|a, b| a.auc_mean().partial_cmp(&b.auc_mean()).unwrap())
+            .unwrap();
+        let improv = (best_rckt.auc_mean() / best_base.auc_mean() - 1.0) * 100.0;
+        let sig = welch_t_test(&best_rckt.auc_folds, &best_base.auc_folds)
+            .map(|t| format!("p = {:.4}", t.p_value))
+            .unwrap_or_else(|| "p: n/a (need ≥2 folds)".into());
+        println!(
+            "{}: best RCKT {} ({:.4}) vs best baseline {} ({:.4}): improv {improv:+.2}% ({sig})",
+            presets[di].name,
+            best_rckt.model,
+            best_rckt.auc_mean(),
+            best_base.model,
+            best_base.auc_mean(),
+        );
+    }
+}

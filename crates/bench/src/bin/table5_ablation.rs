@@ -1,0 +1,48 @@
+//! Table V: ablation study — remove joint training (`-joint`), the
+//! monotonicity-based retention (`-mono`), and the positivity constraint
+//! (`-con`) from RCKT with the DKT and AKT encoders.
+//!
+//! ```text
+//! cargo run --release -p rckt-bench --bin table5_ablation [--scale f ...]
+//! ```
+
+use rckt::RcktConfig;
+use rckt_bench::{fit_and_eval, ExpArgs, ModelSpec};
+use rckt_data::preprocess::{windows, DEFAULT_MIN_LEN, DEFAULT_WINDOW_LEN};
+use rckt_data::{KFold, SyntheticSpec};
+
+fn main() {
+    let args = ExpArgs::parse();
+    let encoders = [ModelSpec::RcktDkt, ModelSpec::RcktAkt];
+    let base_cfg = |args: &ExpArgs| RcktConfig {
+        dim: args.dim,
+        lr: 2e-3,
+        seed: args.seed,
+        ..Default::default()
+    };
+    type CfgFn = Box<dyn Fn(&ExpArgs) -> RcktConfig>;
+    let variants: Vec<(&str, CfgFn)> = vec![
+        ("RCKT", Box::new(base_cfg)),
+        ("-joint", Box::new(move |a: &ExpArgs| base_cfg(a).without_joint())),
+        ("-mono", Box::new(move |a: &ExpArgs| base_cfg(a).without_mono())),
+        ("-con", Box::new(move |a: &ExpArgs| base_cfg(a).without_constraint())),
+    ];
+
+    println!("Table V — ablation study (final-response AUC/ACC, mean over {} fold(s))\n", args.folds);
+    for spec in SyntheticSpec::paper_presets() {
+        let ds = spec.scaled(args.scale).generate();
+        let ws = windows(&ds, DEFAULT_WINDOW_LEN, DEFAULT_MIN_LEN);
+        let folds = KFold::paper(args.seed).split(ws.len());
+        println!("== {} ==", ds.name);
+        println!("{:<8}{:>14}{:>9}{:>14}{:>9}", "", "DKT AUC", "ACC", "AKT AUC", "ACC");
+        for (vname, make_cfg) in &variants {
+            print!("{vname:<8}");
+            for &enc in &encoders {
+                let r = fit_and_eval(enc, &ds, &ws, &folds, &args, Some(make_cfg(&args)));
+                print!("{:>14.4}{:>9.4}", r.auc_mean(), r.acc_mean());
+            }
+            println!();
+        }
+        println!();
+    }
+}

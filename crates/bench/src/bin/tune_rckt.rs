@@ -1,0 +1,45 @@
+//! Hyper-parameter exploration helper: sweeps learning rate / λ / epochs
+//! for one RCKT encoder on one dataset and reports strided test AUC.
+//! Used to pick the CPU-scale defaults the experiment binaries ship with.
+//!
+//! ```text
+//! cargo run --release -p rckt-bench --bin tune_rckt [--scale f --epochs n]
+//! ```
+
+use rckt::{RcktConfig, Retention};
+use rckt_bench::{fit_and_eval, ExpArgs, ModelSpec};
+use rckt_data::preprocess::{windows, DEFAULT_MIN_LEN, DEFAULT_WINDOW_LEN};
+use rckt_data::{KFold, SyntheticSpec};
+
+fn main() {
+    let mut args = ExpArgs::parse();
+    args.folds = 1; // one fold: this is an exploration sweep
+    let ds = SyntheticSpec::assist09().scaled(args.scale).generate();
+    let ws = windows(&ds, DEFAULT_WINDOW_LEN, DEFAULT_MIN_LEN);
+    let folds = KFold::paper(args.seed).split(ws.len());
+
+    println!("tuning RCKT-DKT on {} ({} windows), {} epochs", ds.name, ws.len(), args.epochs);
+    println!("{:>8}{:>8}{:>8}{:>10}{:>10}{:>8}", "lr", "lambda", "layers", "AUC", "ACC", "sec");
+    for &lr in &[1e-3f32, 2e-3] {
+        for &lambda in &[0.05f32, 0.1, 0.3] {
+            for &layers in &[1usize, 2] {
+                let cfg = RcktConfig {
+                    dim: args.dim,
+                    lr,
+                    lambda,
+                    layers,
+                    retention: Retention::Monotonic,
+                    seed: args.seed,
+                    ..Default::default()
+                };
+                let r = fit_and_eval(ModelSpec::RcktDkt, &ds, &ws, &folds, &args, Some(cfg));
+                println!(
+                    "{lr:>8}{lambda:>8}{layers:>8}{:>10.4}{:>10.4}{:>8.1}",
+                    r.auc_mean(),
+                    r.acc_mean(),
+                    r.seconds
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,396 @@
+//! Model zoo + uniform fit/eval used by every experiment binary.
+//!
+//! All models — baselines and RCKT variants — are compared on the same
+//! prediction task: the final response of each test window given the rest
+//! of the window's history (the paper's per-student prediction setting,
+//! which RCKT's counterfactual inference targets natively).
+
+use crate::args::ExpArgs;
+use rckt::{Backbone, Rckt, RcktConfig};
+use rckt_data::{make_batches, Batch, Dataset, Fold, Window};
+use rckt_metrics::{accuracy, auc};
+use rckt_models::attn_kt::{AttnKt, AttnKtConfig, AttnVariant};
+use rckt_models::bkt::Bkt;
+use rckt_models::common::{eval_positions, Prediction};
+use rckt_models::dimkt::{Dimkt, DimktConfig};
+use rckt_models::dkt::{Dkt, DktConfig};
+use rckt_models::ikt::Ikt;
+use rckt_models::model::TrainConfig;
+use rckt_models::qikt::{Qikt, QiktConfig};
+use rckt_models::KtModel;
+
+/// Every model the experiments can run.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ModelSpec {
+    Bkt,
+    Pfa,
+    Ktm,
+    Dkvmn,
+    Saint,
+    Dkt,
+    Sakt,
+    SaktPlus,
+    Akt,
+    Dimkt,
+    Ikt,
+    Qikt,
+    RcktDkt,
+    RcktSakt,
+    RcktAkt,
+}
+
+impl ModelSpec {
+    pub fn name(self) -> &'static str {
+        match self {
+            ModelSpec::Bkt => "BKT",
+            ModelSpec::Pfa => "PFA",
+            ModelSpec::Ktm => "KTM",
+            ModelSpec::Dkvmn => "DKVMN",
+            ModelSpec::Saint => "SAINT",
+            ModelSpec::Dkt => "DKT",
+            ModelSpec::Sakt => "SAKT",
+            ModelSpec::SaktPlus => "SAKT+",
+            ModelSpec::Akt => "AKT",
+            ModelSpec::Dimkt => "DIMKT",
+            ModelSpec::Ikt => "IKT",
+            ModelSpec::Qikt => "QIKT",
+            ModelSpec::RcktDkt => "RCKT-DKT",
+            ModelSpec::RcktSakt => "RCKT-SAKT",
+            ModelSpec::RcktAkt => "RCKT-AKT",
+        }
+    }
+
+    /// The paper's Table IV line-up (six baselines + three RCKT variants).
+    pub fn table4_lineup() -> Vec<ModelSpec> {
+        vec![
+            ModelSpec::Dkt,
+            ModelSpec::Sakt,
+            ModelSpec::Akt,
+            ModelSpec::Dimkt,
+            ModelSpec::Ikt,
+            ModelSpec::Qikt,
+            ModelSpec::RcktDkt,
+            ModelSpec::RcktSakt,
+            ModelSpec::RcktAkt,
+        ]
+    }
+}
+
+/// A constructed model ready for fit/predict; RCKT keeps its concrete type
+/// so targeted (last-position) inference stays cheap.
+pub enum BuiltModel {
+    Base(Box<dyn KtModel>),
+    Rckt(Box<Rckt>),
+}
+
+/// Construct a model for a dataset. `rckt_cfg` customizes the RCKT variants
+/// (ablations, λ sweeps); `None` uses defaults at `args.dim`.
+pub fn build_model(
+    spec: ModelSpec,
+    ds: &Dataset,
+    args: &ExpArgs,
+    rckt_cfg: Option<RcktConfig>,
+) -> BuiltModel {
+    let (nq, nk) = (ds.num_questions(), ds.num_concepts());
+    let d = args.dim;
+    let seed = args.seed;
+    match spec {
+        ModelSpec::Bkt => BuiltModel::Base(Box::new(Bkt::new())),
+        ModelSpec::Pfa => BuiltModel::Base(Box::new(rckt_models::pfa::Pfa::new(Default::default()))),
+        ModelSpec::Ktm => BuiltModel::Base(Box::new(rckt_models::ktm::Ktm::new(Default::default()))),
+        ModelSpec::Ikt => BuiltModel::Base(Box::new(Ikt::new())),
+        ModelSpec::Dkvmn => BuiltModel::Base(Box::new(rckt_models::dkvmn::Dkvmn::new(
+            nq,
+            nk,
+            rckt_models::dkvmn::DkvmnConfig { dim: d, value_dim: d, seed, ..Default::default() },
+        ))),
+        ModelSpec::Saint => BuiltModel::Base(Box::new(rckt_models::saint::Saint::new(
+            nq,
+            nk,
+            rckt_models::saint::SaintConfig { dim: d, seed, ..Default::default() },
+        ))),
+        ModelSpec::Dkt => BuiltModel::Base(Box::new(Dkt::new(
+            nq,
+            nk,
+            DktConfig { dim: d, lr: 2e-3, seed, ..Default::default() },
+        ))),
+        ModelSpec::Sakt | ModelSpec::SaktPlus | ModelSpec::Akt => {
+            let variant = match spec {
+                ModelSpec::Sakt => AttnVariant::Sakt,
+                ModelSpec::SaktPlus => AttnVariant::SaktPlus,
+                _ => AttnVariant::Akt,
+            };
+            BuiltModel::Base(Box::new(AttnKt::new(
+                variant,
+                nq,
+                nk,
+                AttnKtConfig { dim: d, lr: 2e-3, seed, ..Default::default() },
+            )))
+        }
+        ModelSpec::Dimkt => BuiltModel::Base(Box::new(Dimkt::new(
+            nq,
+            nk,
+            DimktConfig { dim: d, lr: 2e-3, seed, ..Default::default() },
+        ))),
+        ModelSpec::Qikt => BuiltModel::Base(Box::new(Qikt::new(
+            nq,
+            nk,
+            QiktConfig { dim: d, lr: 2e-3, seed, ..Default::default() },
+        ))),
+        ModelSpec::RcktDkt | ModelSpec::RcktSakt | ModelSpec::RcktAkt => {
+            let backbone = match spec {
+                ModelSpec::RcktDkt => Backbone::Dkt,
+                ModelSpec::RcktSakt => Backbone::Sakt,
+                _ => Backbone::Akt,
+            };
+            let cfg = rckt_cfg
+                .unwrap_or_else(|| RcktConfig { dim: d, lr: 2e-3, seed, ..Default::default() });
+            BuiltModel::Rckt(Box::new(Rckt::new(backbone, nq, nk, cfg)))
+        }
+    }
+}
+
+impl BuiltModel {
+    pub fn name(&self) -> String {
+        match self {
+            BuiltModel::Base(m) => m.name(),
+            BuiltModel::Rckt(m) => m.name(),
+        }
+    }
+
+    pub fn fit(&mut self, ws: &[Window], fold: &Fold, ds: &Dataset, cfg: &TrainConfig) {
+        match self {
+            BuiltModel::Base(m) => {
+                m.fit(ws, &fold.train, &fold.val, &ds.q_matrix, cfg);
+            }
+            BuiltModel::Rckt(m) => {
+                m.fit(ws, &fold.train, &fold.val, &ds.q_matrix, cfg);
+            }
+        }
+    }
+
+    /// Final-response predictions over batches.
+    pub fn last_preds(&self, batches: &[Batch]) -> Vec<Prediction> {
+        match self {
+            BuiltModel::Rckt(m) => batches.iter().flat_map(|b| m.predict_last(b)).collect(),
+            BuiltModel::Base(m) => {
+                batches.iter().flat_map(|b| last_target_predictions(m.as_ref(), b)).collect()
+            }
+        }
+    }
+
+    /// Predictions at strided target positions (`t = stride−1, 2·stride−1,
+    /// …` plus each sequence's final response) — denser than final-response
+    /// only, still tractable for RCKT's per-target inference.
+    pub fn stride_preds(&self, batches: &[Batch], stride: usize) -> Vec<Prediction> {
+        self.stride_preds_from(batches, stride, 0)
+    }
+
+    /// [`BuiltModel::stride_preds`] restricted to targets with at least
+    /// `min_t` past responses (short windows keep their final response).
+    pub fn stride_preds_from(
+        &self,
+        batches: &[Batch],
+        stride: usize,
+        min_t: usize,
+    ) -> Vec<Prediction> {
+        let mut out = Vec::new();
+        for b in batches {
+            let wanted = stride_targets(b, stride, min_t);
+            match self {
+                BuiltModel::Base(m) => {
+                    let pos = eval_positions(b);
+                    for (p, i) in m.predict(b).into_iter().zip(pos) {
+                        if wanted.contains(&i) {
+                            out.push(p);
+                        }
+                    }
+                }
+                BuiltModel::Rckt(m) => out.extend(m.predict_stride_from(b, stride, min_t)),
+            }
+        }
+        out
+    }
+}
+
+/// Flat b-major indices of the strided evaluation targets of a batch.
+fn stride_targets(b: &Batch, stride: usize, min_t: usize) -> std::collections::BTreeSet<usize> {
+    let mut wanted = std::collections::BTreeSet::new();
+    for bb in 0..b.batch {
+        let len = b.seq_len(bb);
+        let mut t = stride.max(2) - 1;
+        while t < len {
+            if t >= min_t {
+                wanted.insert(bb * b.t_len + t);
+            }
+            t += stride.max(2);
+        }
+        if len >= 2 {
+            wanted.insert(bb * b.t_len + len - 1);
+        }
+    }
+    wanted
+}
+
+/// Filter a conventional model's all-position predictions down to each
+/// sequence's final response.
+pub fn last_target_predictions(model: &dyn KtModel, batch: &Batch) -> Vec<Prediction> {
+    let preds = model.predict(batch);
+    let pos = eval_positions(batch);
+    let lasts: Vec<usize> =
+        (0..batch.batch).map(|b| b * batch.t_len + batch.seq_len(b) - 1).collect();
+    preds
+        .into_iter()
+        .zip(pos)
+        .filter(|(_, i)| lasts.contains(i))
+        .map(|(p, _)| p)
+        .collect()
+}
+
+/// (AUC, ACC) of final-response predictions.
+pub fn evaluate_last_any(model: &BuiltModel, batches: &[Batch]) -> (f64, f64) {
+    let preds = model.last_preds(batches);
+    let scores: Vec<f32> = preds.iter().map(|p| p.prob).collect();
+    let labels: Vec<bool> = preds.iter().map(|p| p.label).collect();
+    (auc(&scores, &labels), accuracy(&scores, &labels, 0.5))
+}
+
+/// (AUC, ACC) at strided targets — the experiments' test metric. Targets
+/// keep at least half the window as history (plus each sequence's final
+/// response), matching the paper's full-record per-student setting.
+pub fn evaluate_stride_any(model: &BuiltModel, batches: &[Batch], stride: usize) -> (f64, f64) {
+    let min_t = batches.first().map(|b| b.t_len / 2).unwrap_or(0);
+    let preds = model.stride_preds_from(batches, stride, min_t);
+    let scores: Vec<f32> = preds.iter().map(|p| p.prob).collect();
+    let labels: Vec<bool> = preds.iter().map(|p| p.label).collect();
+    (auc(&scores, &labels), accuracy(&scores, &labels, 0.5))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rckt_data::preprocess::Window;
+    use rckt_data::QMatrix;
+
+    fn batch_with_lens(lens: &[usize], t_len: usize) -> Batch {
+        let qm = QMatrix::new(vec![vec![0]], 1);
+        let ws: Vec<Window> = lens
+            .iter()
+            .map(|&l| Window {
+                student: 0,
+                questions: vec![0; t_len],
+                correct: vec![1; t_len],
+                len: l,
+            })
+            .collect();
+        let refs: Vec<&Window> = ws.iter().collect();
+        Batch::from_windows(&refs, &qm)
+    }
+
+    #[test]
+    fn stride_targets_include_stride_points_and_final() {
+        let b = batch_with_lens(&[20], 20);
+        let w = stride_targets(&b, 8, 0);
+        // t = 7, 15 and the final response 19
+        assert_eq!(w.into_iter().collect::<Vec<_>>(), vec![7, 15, 19]);
+    }
+
+    #[test]
+    fn stride_targets_respect_min_t() {
+        let b = batch_with_lens(&[20], 20);
+        let w = stride_targets(&b, 8, 10);
+        assert_eq!(w.into_iter().collect::<Vec<_>>(), vec![15, 19]);
+    }
+
+    #[test]
+    fn short_windows_keep_their_final_response() {
+        let b = batch_with_lens(&[5], 20);
+        let w = stride_targets(&b, 8, 10);
+        // no stride point reaches min_t, but the final response survives
+        assert_eq!(w.into_iter().collect::<Vec<_>>(), vec![4]);
+    }
+
+    #[test]
+    fn multi_sequence_offsets_are_b_major() {
+        let b = batch_with_lens(&[10, 16], 16);
+        let w = stride_targets(&b, 8, 0);
+        assert!(w.contains(&7)); // seq 0, t=7
+        assert!(w.contains(&9)); // seq 0 final
+        assert!(w.contains(&(16 + 7))); // seq 1, t=7
+        assert!(w.contains(&(16 + 15))); // seq 1 final
+    }
+
+    #[test]
+    fn lineup_has_six_baselines_then_three_rckt() {
+        let lineup = ModelSpec::table4_lineup();
+        assert_eq!(lineup.len(), 9);
+        assert!(lineup[..6].iter().all(|m| !m.name().starts_with("RCKT")));
+        assert!(lineup[6..].iter().all(|m| m.name().starts_with("RCKT")));
+    }
+}
+
+/// Outcome of one model × dataset run across folds.
+#[derive(Clone, Debug)]
+pub struct RunResult {
+    pub model: String,
+    pub dataset: String,
+    pub auc_folds: Vec<f64>,
+    pub acc_folds: Vec<f64>,
+    pub seconds: f64,
+}
+
+impl RunResult {
+    pub fn auc_mean(&self) -> f64 {
+        mean(&self.auc_folds)
+    }
+
+    pub fn acc_mean(&self) -> f64 {
+        mean(&self.acc_folds)
+    }
+}
+
+fn mean(x: &[f64]) -> f64 {
+    if x.is_empty() {
+        return f64::NAN;
+    }
+    x.iter().sum::<f64>() / x.len() as f64
+}
+
+/// Run one model spec over the first `args.folds` folds of a dataset.
+pub fn fit_and_eval(
+    spec: ModelSpec,
+    ds: &Dataset,
+    ws: &[Window],
+    folds: &[Fold],
+    args: &ExpArgs,
+    rckt_cfg: Option<RcktConfig>,
+) -> RunResult {
+    let cfg = TrainConfig {
+        max_epochs: args.epochs,
+        patience: args.patience,
+        batch_size: args.batch,
+        clip_norm: 5.0,
+        verbose: args.verbose,
+        seed: args.seed,
+    };
+    let start = std::time::Instant::now();
+    let mut auc_folds = Vec::new();
+    let mut acc_folds = Vec::new();
+    for fold in folds.iter().take(args.folds) {
+        let mut model = build_model(spec, ds, args, rckt_cfg.clone());
+        model.fit(ws, fold, ds, &cfg);
+        let test = make_batches(ws, &fold.test, &ds.q_matrix, args.batch);
+        // every 8th position plus the final response: ~7 eval points per
+        // window, same task for every model
+        let (a, c) = evaluate_stride_any(&model, &test, 8);
+        auc_folds.push(a);
+        acc_folds.push(c);
+    }
+    RunResult {
+        model: spec.name().to_string(),
+        dataset: ds.name.clone(),
+        auc_folds,
+        acc_folds,
+        seconds: start.elapsed().as_secs_f64(),
+    }
+}

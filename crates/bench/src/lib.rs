@@ -1,0 +1,13 @@
+//! # rckt-bench
+//!
+//! Shared harness for the experiment binaries (one per paper table/figure,
+//! see `DESIGN.md` §3) and the Criterion benchmarks.
+
+pub mod args;
+pub mod harness;
+
+pub use args::ExpArgs;
+pub use harness::{
+    build_model, evaluate_last_any, evaluate_stride_any, fit_and_eval, last_target_predictions,
+    BuiltModel, ModelSpec, RunResult,
+};

@@ -1,0 +1,352 @@
+//! Subcommand parsing and execution for the `rckt` binary.
+
+use rckt::explain::{render_influence_table, ExplainContext};
+use rckt::{Backbone, Rckt, RcktConfig};
+use rckt_data::preprocess::{windows, DEFAULT_MIN_LEN, DEFAULT_WINDOW_LEN};
+use rckt_data::stats::DatasetStats;
+use rckt_data::{csv, make_batches, Dataset, KFold, SyntheticSpec};
+use rckt_models::model::TrainConfig;
+use rckt_models::KtModel;
+use std::collections::HashMap;
+use std::fmt;
+use std::path::Path;
+
+pub const USAGE: &str = "\
+usage: rckt <command> [flags]
+
+commands:
+  generate  --preset <assist09|assist12|slepemapy|eedi> [--scale f] --out <csv>
+  stats     --data <csv>
+  train     --data <csv> [--backbone dkt|sakt|akt] [--epochs n] [--dim n]
+            [--lr f] [--lambda f] [--seed n] --out <model.json>
+  evaluate  --data <csv> --model <model.json> [--stride n]
+  explain   --data <csv> --model <model.json> [--window n]
+  audit     --data <csv> --model <model.json> [--groups n]";
+
+#[derive(Debug)]
+pub struct CliError(pub String);
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for CliError {}
+
+fn err(msg: impl Into<String>) -> CliError {
+    CliError(msg.into())
+}
+
+/// Flag map: `--key value` pairs.
+pub fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, CliError> {
+    let mut flags = HashMap::new();
+    let mut it = args.iter();
+    while let Some(k) = it.next() {
+        let Some(name) = k.strip_prefix("--") else {
+            return Err(err(format!("expected a --flag, got {k:?}")));
+        };
+        let v = it.next().ok_or_else(|| err(format!("--{name} needs a value")))?;
+        flags.insert(name.to_string(), v.clone());
+    }
+    Ok(flags)
+}
+
+fn get<'a>(flags: &'a HashMap<String, String>, name: &str) -> Result<&'a str, CliError> {
+    flags.get(name).map(|s| s.as_str()).ok_or_else(|| err(format!("missing --{name}")))
+}
+
+fn get_num<T: std::str::FromStr>(
+    flags: &HashMap<String, String>,
+    name: &str,
+    default: T,
+) -> Result<T, CliError> {
+    match flags.get(name) {
+        None => Ok(default),
+        Some(v) => v.parse().map_err(|_| err(format!("--{name}: bad value {v:?}"))),
+    }
+}
+
+pub fn dispatch(args: &[String]) -> Result<(), CliError> {
+    let Some((cmd, rest)) = args.split_first() else {
+        return Err(err("no command"));
+    };
+    let flags = parse_flags(rest)?;
+    match cmd.as_str() {
+        "generate" => generate(&flags),
+        "stats" => stats(&flags),
+        "train" => train(&flags),
+        "evaluate" => evaluate(&flags),
+        "explain" => explain(&flags),
+        "audit" => audit(&flags),
+        other => Err(err(format!("unknown command {other:?}"))),
+    }
+}
+
+fn load_data(flags: &HashMap<String, String>) -> Result<Dataset, CliError> {
+    let path = get(flags, "data")?;
+    csv::load_csv(
+        Path::new(path).file_stem().and_then(|s| s.to_str()).unwrap_or("data"),
+        Path::new(path),
+    )
+    .map_err(|e| err(format!("loading {path}: {e}")))
+}
+
+/// Render a dataset back to the CSV format `rckt_data::csv` reads.
+pub fn dataset_to_csv(ds: &Dataset) -> String {
+    let mut out = String::from("student,question,concepts,correct,timestamp\n");
+    for seq in &ds.sequences {
+        for it in &seq.interactions {
+            let concepts: Vec<String> =
+                ds.q_matrix.concepts_of(it.question).iter().map(|k| k.to_string()).collect();
+            out.push_str(&format!(
+                "{},{},\"{}\",{},{}\n",
+                seq.student,
+                it.question,
+                concepts.join(";"),
+                it.correct as u8,
+                it.timestamp
+            ));
+        }
+    }
+    out
+}
+
+fn generate(flags: &HashMap<String, String>) -> Result<(), CliError> {
+    let preset = get(flags, "preset")?;
+    let spec = match preset {
+        "assist09" => SyntheticSpec::assist09(),
+        "assist12" => SyntheticSpec::assist12(),
+        "slepemapy" => SyntheticSpec::slepemapy(),
+        "eedi" => SyntheticSpec::eedi(),
+        other => return Err(err(format!("unknown preset {other:?}"))),
+    };
+    let scale: f64 = get_num(flags, "scale", 1.0)?;
+    let out = get(flags, "out")?;
+    let ds = spec.scaled(scale).generate();
+    std::fs::write(out, dataset_to_csv(&ds)).map_err(|e| err(format!("writing {out}: {e}")))?;
+    println!(
+        "wrote {} ({} students, {} responses, {:.0}% correct)",
+        out,
+        ds.sequences.len(),
+        ds.num_responses(),
+        ds.correct_rate() * 100.0
+    );
+    Ok(())
+}
+
+fn stats(flags: &HashMap<String, String>) -> Result<(), CliError> {
+    let ds = load_data(flags)?;
+    let ws = windows(&ds, DEFAULT_WINDOW_LEN, DEFAULT_MIN_LEN);
+    println!("{}", DatasetStats::compute(&ds, &ws));
+    Ok(())
+}
+
+fn train(flags: &HashMap<String, String>) -> Result<(), CliError> {
+    let ds = load_data(flags)?;
+    let out = get(flags, "out")?;
+    let backbone = match flags.get("backbone").map(|s| s.as_str()).unwrap_or("dkt") {
+        "dkt" => Backbone::Dkt,
+        "sakt" => Backbone::Sakt,
+        "akt" => Backbone::Akt,
+        other => return Err(err(format!("unknown backbone {other:?} (dkt|sakt|akt)"))),
+    };
+    let cfg = RcktConfig {
+        dim: get_num(flags, "dim", 32)?,
+        lr: get_num(flags, "lr", 2e-3)?,
+        lambda: get_num(flags, "lambda", 0.1)?,
+        seed: get_num(flags, "seed", 0u64)?,
+        ..Default::default()
+    };
+    let epochs: usize = get_num(flags, "epochs", 15)?;
+
+    let ws = windows(&ds, DEFAULT_WINDOW_LEN, DEFAULT_MIN_LEN);
+    if ws.len() < 10 {
+        return Err(err(format!("only {} usable windows — need at least 10", ws.len())));
+    }
+    let folds = KFold::paper(cfg.seed).split(ws.len());
+    let mut model = Rckt::new(backbone, ds.num_questions(), ds.num_concepts(), cfg);
+    eprintln!(
+        "training {} on {} windows ({} weights)",
+        model.name(),
+        ws.len(),
+        model.num_weights()
+    );
+    let tc = TrainConfig {
+        max_epochs: epochs,
+        patience: (epochs / 2).max(3),
+        batch_size: 16,
+        verbose: true,
+        ..Default::default()
+    };
+    let report = model.fit(&ws, &folds[0].train, &folds[0].val, &ds.q_matrix, &tc);
+    eprintln!("best validation AUC {:.4} (epoch {})", report.best_val_auc, report.best_epoch);
+    std::fs::write(out, model.export(ds.num_questions(), ds.num_concepts()))
+        .map_err(|e| err(format!("writing {out}: {e}")))?;
+    println!("saved model to {out}");
+    Ok(())
+}
+
+fn load_model(flags: &HashMap<String, String>) -> Result<Rckt, CliError> {
+    let path = get(flags, "model")?;
+    let json =
+        std::fs::read_to_string(path).map_err(|e| err(format!("reading {path}: {e}")))?;
+    Rckt::import(&json).map_err(|e| err(format!("loading {path}: {e}")))
+}
+
+fn evaluate(flags: &HashMap<String, String>) -> Result<(), CliError> {
+    let ds = load_data(flags)?;
+    let model = load_model(flags)?;
+    let stride: usize = get_num(flags, "stride", 8)?;
+    let ws = windows(&ds, DEFAULT_WINDOW_LEN, DEFAULT_MIN_LEN);
+    let idx: Vec<usize> = (0..ws.len()).collect();
+    let batches = make_batches(&ws, &idx, &ds.q_matrix, 16);
+    let (auc, acc) = model.evaluate_stride(&batches, stride);
+    println!("{} on {} windows: AUC {:.4}  ACC {:.4}", model.name(), ws.len(), auc, acc);
+    Ok(())
+}
+
+fn explain(flags: &HashMap<String, String>) -> Result<(), CliError> {
+    let ds = load_data(flags)?;
+    let model = load_model(flags)?;
+    let ws = windows(&ds, DEFAULT_WINDOW_LEN, DEFAULT_MIN_LEN);
+    let wi: usize = get_num(flags, "window", 0)?;
+    let w = ws.get(wi).ok_or_else(|| err(format!("--window {wi} out of {} windows", ws.len())))?;
+    let batch = rckt_data::Batch::from_windows(&[w], &ds.q_matrix);
+    let target = batch.seq_len(0) - 1;
+    let rec = &model.influences(&batch, &[target])[0];
+    let ctx = ExplainContext {
+        question_labels: (0..w.len).map(|t| format!("question {}", w.questions[t])).collect(),
+    };
+    println!(
+        "window {wi} (student {}, {} responses), explaining response {}:",
+        w.student,
+        w.len,
+        target + 1
+    );
+    print!("{}", render_influence_table(rec, &ctx));
+    Ok(())
+}
+
+fn audit(flags: &HashMap<String, String>) -> Result<(), CliError> {
+    let ds = load_data(flags)?;
+    let model = load_model(flags)?;
+    let groups: usize = get_num(flags, "groups", 4)?;
+    let ws = windows(&ds, DEFAULT_WINDOW_LEN, DEFAULT_MIN_LEN);
+    let idx: Vec<usize> = (0..ws.len()).collect();
+    let batches = make_batches(&ws, &idx, &ds.q_matrix, 8);
+    let mut per_student = Vec::new();
+    for b in &batches {
+        // one prediction set per sequence: its final response plus strided
+        // earlier targets
+        for bb in 0..b.batch {
+            let len = b.seq_len(bb);
+            let mut preds = Vec::new();
+            let mut t = 7;
+            while t < len {
+                let targets: Vec<usize> =
+                    (0..b.batch).map(|x| if x == bb { t } else { 1 }).collect();
+                preds.push(model.predict_targets(b, &targets)[bb]);
+                t += 8;
+            }
+            if len >= 2 {
+                let targets: Vec<usize> =
+                    (0..b.batch).map(|x| if x == bb { len - 1 } else { 1 }).collect();
+                preds.push(model.predict_targets(b, &targets)[bb]);
+            }
+            if !preds.is_empty() {
+                per_student.push(preds);
+            }
+        }
+    }
+    let reports = rckt::audit::audit_by_ability(&per_student, groups);
+    println!("{:>14}{:>6}{:>8}{:>8}{:>12}", "correct-rate", "n", "AUC", "ACC", "calib gap");
+    for r in &reports {
+        if r.n == 0 {
+            continue;
+        }
+        println!(
+            "{:>6.2}-{:<6.2}{:>6}{:>8.3}{:>8.3}{:>+12.3}",
+            r.rate_lo, r.rate_hi, r.n, r.auc, r.acc, r.calibration_gap
+        );
+    }
+    println!("AUC disparity: {:.3}", rckt::audit::auc_disparity(&reports));
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(s: &str) -> Vec<String> {
+        s.split_whitespace().map(String::from).collect()
+    }
+
+    #[test]
+    fn parse_flags_pairs() {
+        let f = parse_flags(&args("--a 1 --b two")).unwrap();
+        assert_eq!(f["a"], "1");
+        assert_eq!(f["b"], "two");
+        assert!(parse_flags(&args("--a")).is_err());
+        assert!(parse_flags(&args("nope 1")).is_err());
+    }
+
+    #[test]
+    fn unknown_command_is_error() {
+        assert!(dispatch(&args("frobnicate --x 1")).is_err());
+        assert!(dispatch(&[]).is_err());
+    }
+
+    #[test]
+    fn generate_requires_known_preset() {
+        let e = dispatch(&args("generate --preset mars --out /tmp/x.csv")).unwrap_err();
+        assert!(e.0.contains("unknown preset"));
+    }
+
+    #[test]
+    fn dataset_csv_roundtrip() {
+        let ds = SyntheticSpec::assist09().scaled(0.05).generate();
+        let csv_text = dataset_to_csv(&ds);
+        let back = csv::parse_csv("t", &csv_text).unwrap();
+        assert_eq!(back.num_responses(), ds.num_responses());
+        assert_eq!(back.sequences.len(), ds.sequences.len());
+    }
+
+    #[test]
+    fn generate_then_stats_and_train_pipeline() {
+        let dir = std::env::temp_dir().join("rckt_cli_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let data = dir.join("data.csv");
+        let model = dir.join("model.json");
+        dispatch(&args(&format!(
+            "generate --preset assist09 --scale 0.05 --out {}",
+            data.display()
+        )))
+        .unwrap();
+        dispatch(&args(&format!("stats --data {}", data.display()))).unwrap();
+        dispatch(&args(&format!(
+            "train --data {} --backbone dkt --epochs 2 --dim 8 --out {}",
+            data.display(),
+            model.display()
+        )))
+        .unwrap();
+        dispatch(&args(&format!(
+            "evaluate --data {} --model {}",
+            data.display(),
+            model.display()
+        )))
+        .unwrap();
+        dispatch(&args(&format!(
+            "explain --data {} --model {} --window 0",
+            data.display(),
+            model.display()
+        )))
+        .unwrap();
+        dispatch(&args(&format!(
+            "audit --data {} --model {} --groups 3",
+            data.display(),
+            model.display()
+        )))
+        .unwrap();
+    }
+}

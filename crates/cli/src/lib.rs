@@ -1,0 +1,4 @@
+//! Library backing the `rckt` CLI binary (kept as a lib so the command
+//! parsing and plumbing are unit-testable).
+
+pub mod commands;

@@ -1,0 +1,27 @@
+//! `rckt` — command-line interface for the RCKT knowledge-tracing stack.
+//!
+//! ```text
+//! rckt generate --preset assist09 --scale 0.5 --out data.csv
+//! rckt stats    --data data.csv
+//! rckt train    --data data.csv --backbone akt --epochs 15 --out model.json
+//! rckt evaluate --data data.csv --model model.json
+//! rckt explain  --data data.csv --model model.json --window 3
+//! ```
+//!
+//! The data format is the CSV documented in `rckt_data::csv`
+//! (`student,question,concepts,correct,timestamp`).
+
+use rckt_cli::commands;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match commands::dispatch(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!("{}", commands::USAGE);
+            ExitCode::from(2)
+        }
+    }
+}

@@ -1,0 +1,154 @@
+//! Aggregate influence analyses.
+//!
+//! The paper's introduction argues response influences "can unveil various
+//! underlying features, such as the forgetting curve and question value
+//! during student learning processes". This module implements those two
+//! aggregations over [`InfluenceRecord`]s:
+//!
+//! * [`forgetting_curve`] — mean influence magnitude as a function of how
+//!   long ago the response happened (lag from the target). A decaying curve
+//!   reproduces the forgetting behaviour the paper observes in Fig. 5
+//!   ("the more recent responses have larger influences").
+//! * [`question_value`] — mean influence contributed by each question,
+//!   usable for question recommendation and question-bank construction.
+
+use crate::model::InfluenceRecord;
+use rckt_data::Batch;
+use std::collections::HashMap;
+
+/// Mean |influence| per lag bucket: `(lag, mean, count)` sorted by lag,
+/// where `lag = target − position` (1 = the most recent response).
+pub fn forgetting_curve<'a>(
+    records: impl IntoIterator<Item = &'a InfluenceRecord>,
+) -> Vec<(usize, f64, usize)> {
+    let mut acc: HashMap<usize, (f64, usize)> = HashMap::new();
+    for rec in records {
+        for &(pos, _, delta) in &rec.influences {
+            let lag = rec.target - pos;
+            let e = acc.entry(lag).or_default();
+            e.0 += delta.abs() as f64;
+            e.1 += 1;
+        }
+    }
+    let mut out: Vec<(usize, f64, usize)> =
+        acc.into_iter().map(|(lag, (sum, n))| (lag, sum / n as f64, n)).collect();
+    out.sort_by_key(|&(lag, _, _)| lag);
+    out
+}
+
+/// Weighted linear-regression slope of mean influence vs lag — negative
+/// when recency dominates (forgetting).
+pub fn forgetting_slope(curve: &[(usize, f64, usize)]) -> f64 {
+    let w: f64 = curve.iter().map(|&(_, _, n)| n as f64).sum();
+    if w == 0.0 {
+        return 0.0;
+    }
+    let mx = curve.iter().map(|&(l, _, n)| l as f64 * n as f64).sum::<f64>() / w;
+    let my = curve.iter().map(|&(_, v, n)| v * n as f64).sum::<f64>() / w;
+    let cov: f64 =
+        curve.iter().map(|&(l, v, n)| n as f64 * (l as f64 - mx) * (v - my)).sum();
+    let var: f64 = curve.iter().map(|&(l, _, n)| n as f64 * (l as f64 - mx).powi(2)).sum();
+    if var == 0.0 {
+        0.0
+    } else {
+        cov / var
+    }
+}
+
+/// Mean influence contributed by each question across records:
+/// `question -> (mean |influence|, occurrences)`.
+///
+/// `records` must be the output of [`crate::Rckt::influences`] on `batch`
+/// (one record per sequence, in order).
+pub fn question_value(
+    records: &[InfluenceRecord],
+    batch: &Batch,
+) -> HashMap<usize, (f64, usize)> {
+    assert_eq!(records.len(), batch.batch);
+    let mut acc: HashMap<usize, (f64, usize)> = HashMap::new();
+    for (b, rec) in records.iter().enumerate() {
+        for &(pos, _, delta) in &rec.influences {
+            let q = batch.questions[b * batch.t_len + pos];
+            let e = acc.entry(q).or_default();
+            e.0 += delta.abs() as f64;
+            e.1 += 1;
+        }
+    }
+    acc.into_iter().map(|(q, (sum, n))| (q, (sum / n as f64, n))).collect()
+}
+
+/// The `k` highest-value questions (by mean |influence|), requiring at
+/// least `min_count` observations.
+pub fn top_value_questions(
+    values: &HashMap<usize, (f64, usize)>,
+    k: usize,
+    min_count: usize,
+) -> Vec<(usize, f64)> {
+    let mut v: Vec<(usize, f64)> = values
+        .iter()
+        .filter(|(_, &(_, n))| n >= min_count)
+        .map(|(&q, &(m, _))| (q, m))
+        .collect();
+    v.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite"));
+    v.truncate(k);
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(target: usize, influences: Vec<(usize, bool, f32)>) -> InfluenceRecord {
+        InfluenceRecord {
+            target,
+            influences,
+            total_correct: 0.0,
+            total_incorrect: 0.0,
+            score: 0.5,
+            label: true,
+        }
+    }
+
+    #[test]
+    fn forgetting_curve_buckets_by_lag() {
+        let r1 = rec(3, vec![(0, true, 0.1), (1, true, 0.2), (2, true, 0.4)]);
+        let r2 = rec(2, vec![(0, false, 0.2), (1, false, 0.6)]);
+        let curve = forgetting_curve([&r1, &r2]);
+        // lag 1: 0.4 and 0.6 -> mean 0.5; lag 2: 0.2, 0.2 -> 0.2; lag 3: 0.1
+        assert_eq!(curve.len(), 3);
+        assert_eq!(curve[0].0, 1);
+        assert!((curve[0].1 - 0.5).abs() < 1e-6);
+        assert_eq!(curve[0].2, 2);
+        assert!((curve[1].1 - 0.2).abs() < 1e-6);
+        assert!((curve[2].1 - 0.1).abs() < 1e-6);
+    }
+
+    #[test]
+    fn slope_negative_for_decaying_curve() {
+        let curve = vec![(1usize, 0.5f64, 10usize), (2, 0.3, 10), (3, 0.1, 10)];
+        assert!(forgetting_slope(&curve) < 0.0);
+        let flat = vec![(1usize, 0.3f64, 10usize), (2, 0.3, 10)];
+        assert!(forgetting_slope(&flat).abs() < 1e-12);
+    }
+
+    #[test]
+    fn question_value_aggregates_by_question() {
+        let batch = Batch {
+            batch: 1,
+            t_len: 4,
+            students: vec![0],
+            questions: vec![7, 9, 7, 1],
+            concept_flat: vec![0, 0, 0, 0],
+            concept_lens: vec![1, 1, 1, 1],
+            correct: vec![1.0, 0.0, 1.0, 1.0],
+            valid: vec![true; 4],
+        };
+        let r = rec(3, vec![(0, true, 0.2), (1, false, 0.3), (2, true, 0.4)]);
+        let v = question_value(&[r], &batch);
+        assert!((v[&7].0 - 0.3).abs() < 1e-6); // (0.2 + 0.4)/2
+        assert_eq!(v[&7].1, 2);
+        assert!((v[&9].0 - 0.3).abs() < 1e-6);
+        let top = top_value_questions(&v, 1, 2);
+        assert_eq!(top, vec![(7, v[&7].0)]);
+    }
+}

@@ -1,0 +1,140 @@
+//! Subgroup performance audits.
+//!
+//! The paper's related work (Sec. II-B) notes counterfactual reasoning is
+//! also used for model unbiasedness/fairness but leaves that out of scope.
+//! This module provides the audit half of that story: split students into
+//! observable subgroups (by their overall correct rate, a proxy for
+//! ability) and compare discrimination (AUC) and calibration per group —
+//! so a deployment can check whether predictions serve weaker students as
+//! well as stronger ones.
+
+use rckt_metrics::{accuracy, auc};
+use rckt_models::Prediction;
+
+/// One subgroup's audit row.
+#[derive(Clone, Debug)]
+pub struct GroupReport {
+    /// Inclusive lower bound of the group's correct-rate bucket.
+    pub rate_lo: f64,
+    /// Exclusive upper bound (1.0 inclusive for the last group).
+    pub rate_hi: f64,
+    pub n: usize,
+    pub auc: f64,
+    pub acc: f64,
+    /// Mean predicted probability minus observed correct rate — positive
+    /// means the model flatters the group, negative means it undersells.
+    pub calibration_gap: f64,
+}
+
+/// Audit predictions grouped by each *student's* overall correct rate.
+///
+/// `per_student` holds, per student, their predictions (any mix of target
+/// positions). Students are bucketed into `groups` equal-width correct-rate
+/// bands over `[0, 1]`.
+pub fn audit_by_ability(per_student: &[Vec<Prediction>], groups: usize) -> Vec<GroupReport> {
+    assert!(groups >= 1);
+    let mut buckets: Vec<Vec<&Prediction>> = vec![Vec::new(); groups];
+    for preds in per_student {
+        if preds.is_empty() {
+            continue;
+        }
+        let rate =
+            preds.iter().filter(|p| p.label).count() as f64 / preds.len() as f64;
+        let g = ((rate * groups as f64) as usize).min(groups - 1);
+        buckets[g].extend(preds.iter());
+    }
+    buckets
+        .into_iter()
+        .enumerate()
+        .map(|(g, preds)| {
+            let scores: Vec<f32> = preds.iter().map(|p| p.prob).collect();
+            let labels: Vec<bool> = preds.iter().map(|p| p.label).collect();
+            let mean_p = if scores.is_empty() {
+                0.0
+            } else {
+                scores.iter().map(|&s| s as f64).sum::<f64>() / scores.len() as f64
+            };
+            let rate = if labels.is_empty() {
+                0.0
+            } else {
+                labels.iter().filter(|&&l| l).count() as f64 / labels.len() as f64
+            };
+            GroupReport {
+                rate_lo: g as f64 / groups as f64,
+                rate_hi: (g + 1) as f64 / groups as f64,
+                n: scores.len(),
+                auc: auc(&scores, &labels),
+                acc: accuracy(&scores, &labels, 0.5),
+                calibration_gap: mean_p - rate,
+            }
+        })
+        .collect()
+}
+
+/// Largest pairwise AUC difference between non-empty groups — a single
+/// disparity number for dashboards (0 = perfectly even).
+pub fn auc_disparity(reports: &[GroupReport]) -> f64 {
+    let aucs: Vec<f64> =
+        reports.iter().filter(|r| r.n >= 10).map(|r| r.auc).collect();
+    match (aucs.iter().cloned().fold(f64::NAN, f64::min), aucs.iter().cloned().fold(f64::NAN, f64::max)) {
+        (lo, hi) if lo.is_finite() && hi.is_finite() => hi - lo,
+        _ => 0.0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn preds(pairs: &[(f32, bool)]) -> Vec<Prediction> {
+        pairs.iter().map(|&(prob, label)| Prediction { prob, label }).collect()
+    }
+
+    #[test]
+    fn groups_split_by_student_rate() {
+        let weak = preds(&[(0.3, false), (0.4, false), (0.6, true)]); // rate 1/3
+        let strong = preds(&[(0.8, true), (0.9, true), (0.2, false)]); // rate 2/3
+        let reports = audit_by_ability(&[weak, strong], 2);
+        assert_eq!(reports.len(), 2);
+        assert_eq!(reports[0].n, 3);
+        assert_eq!(reports[1].n, 3);
+        assert!(reports[0].rate_hi <= 0.5 + 1e-12);
+    }
+
+    #[test]
+    fn calibration_gap_signs() {
+        // model says 0.9 but the group answers correctly half the time →
+        // flattering, positive gap
+        let flattered = preds(&[(0.9, true), (0.9, false)]);
+        let reports = audit_by_ability(&[flattered], 1);
+        assert!(reports[0].calibration_gap > 0.3);
+    }
+
+    #[test]
+    fn disparity_zero_when_even_or_empty() {
+        assert_eq!(auc_disparity(&[]), 0.0);
+        let even = vec![
+            GroupReport { rate_lo: 0.0, rate_hi: 0.5, n: 20, auc: 0.7, acc: 0.6, calibration_gap: 0.0 },
+            GroupReport { rate_lo: 0.5, rate_hi: 1.0, n: 20, auc: 0.7, acc: 0.6, calibration_gap: 0.0 },
+        ];
+        assert!(auc_disparity(&even).abs() < 1e-12);
+        let uneven = vec![
+            GroupReport { rate_lo: 0.0, rate_hi: 0.5, n: 20, auc: 0.6, acc: 0.6, calibration_gap: 0.0 },
+            GroupReport { rate_lo: 0.5, rate_hi: 1.0, n: 20, auc: 0.75, acc: 0.6, calibration_gap: 0.0 },
+        ];
+        assert!((auc_disparity(&uneven) - 0.15).abs() < 1e-12);
+    }
+
+    #[test]
+    fn small_groups_excluded_from_disparity() {
+        let tiny = vec![GroupReport {
+            rate_lo: 0.0,
+            rate_hi: 1.0,
+            n: 3,
+            auc: 0.2,
+            acc: 0.5,
+            calibration_gap: 0.0,
+        }];
+        assert_eq!(auc_disparity(&tiny), 0.0);
+    }
+}

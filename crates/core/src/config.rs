@@ -1,0 +1,147 @@
+//! RCKT configuration: backbone choice, hyper-parameters, ablation toggles.
+
+use serde::{Deserialize, Serialize};
+
+pub use crate::counterfactual::Retention;
+
+/// Which DLKT sequence encoder the adaptive generator wraps (Sec. V-A4).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub enum Backbone {
+    /// BiLSTM (RCKT-DKT).
+    Dkt,
+    /// Bidirectional transformer (RCKT-SAKT).
+    Sakt,
+    /// Bidirectional monotonic-attention transformer (RCKT-AKT).
+    Akt,
+}
+
+/// Hyper-parameters and ablation switches for [`crate::Rckt`].
+///
+/// The paper's Table III tunes `{lr, λ, l2, dropout, layers}` per
+/// dataset/encoder; `α` is fixed at 1.0. The ablations of Table V map to:
+/// `-joint` → `lambda = 0`, `-mono` → `retention = FlipOnly`,
+/// `-con` → `alpha = 0`.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct RcktConfig {
+    pub dim: usize,
+    pub heads: usize,
+    pub layers: usize,
+    pub dropout: f32,
+    pub lr: f32,
+    pub l2: f32,
+    /// Loss balancer λ (Eq. 29).
+    pub lambda: f32,
+    /// Constraint intensity α (Eq. 16); the paper fixes 1.0.
+    pub alpha: f32,
+    /// Monotonicity-guided retention vs the `-mono` ablation.
+    pub retention: Retention,
+    /// Ablation: use a forward-only (uni-directional) encoder, violating
+    /// the approximation's bidirectionality requirement (Sec. IV-C4) —
+    /// exists to quantify that requirement. Only honored by the DKT
+    /// backbone.
+    pub unidirectional: bool,
+    /// Clamp per-response influences at zero during inference. The paper
+    /// *defines* influences as probability drops subject to Δ ≥ 0
+    /// (Eq. 10/11) and enforces the constraint softly during training
+    /// (Eq. 17); clamping at inference applies the same semantics to the
+    /// accumulation of Eq. 12.
+    pub clamp_inference: bool,
+    pub max_len: usize,
+    pub seed: u64,
+}
+
+impl Default for RcktConfig {
+    fn default() -> Self {
+        RcktConfig {
+            dim: 32,
+            heads: 4,
+            layers: 1,
+            dropout: 0.2,
+            lr: 1e-3,
+            l2: 1e-5,
+            lambda: 0.3,
+            alpha: 1.0,
+            retention: Retention::Monotonic,
+            unidirectional: false,
+            clamp_inference: true,
+            max_len: 200,
+            seed: 0,
+        }
+    }
+}
+
+impl RcktConfig {
+    /// The paper's tuned hyper-parameters (Table III) for a dataset/encoder
+    /// pair: `{learning rate, λ, l2, dropout, layers}`. Dataset names match
+    /// the [`rckt_data::SyntheticSpec`] presets; unknown names fall back to
+    /// defaults. Dimension stays at the caller's choice (the paper fixes
+    /// 128; CPU runs typically use 32).
+    pub fn paper_table3(dataset: &str, backbone: Backbone) -> Self {
+        // (lr, lambda, l2, dropout, layers)
+        let (lr, lambda, l2, dropout, layers) = match (dataset, backbone) {
+            ("assist09", Backbone::Dkt) => (1e-3, 0.1, 1e-5, 0.3, 2),
+            ("assist09", Backbone::Sakt) => (2e-3, 0.1, 2e-4, 0.2, 3),
+            ("assist09", Backbone::Akt) => (5e-4, 0.01, 5e-5, 0.0, 3),
+            ("assist12", Backbone::Dkt) => (2e-3, 0.01, 1e-5, 0.0, 3),
+            ("assist12", Backbone::Sakt) => (2e-3, 0.1, 5e-4, 0.2, 3),
+            ("assist12", Backbone::Akt) => (5e-4, 0.05, 1e-5, 0.0, 3),
+            ("slepemapy", Backbone::Dkt) => (1e-3, 0.1, 0.0, 0.0, 3),
+            ("slepemapy", Backbone::Sakt) => (5e-4, 0.4, 1e-5, 0.0, 3),
+            ("slepemapy", Backbone::Akt) => (5e-4, 0.01, 1e-5, 0.0, 2),
+            ("eedi", Backbone::Dkt) => (1e-3, 0.1, 0.0, 0.0, 3),
+            ("eedi", Backbone::Sakt) => (1e-3, 0.1, 1e-5, 0.0, 3),
+            ("eedi", Backbone::Akt) => (5e-4, 0.01, 1e-5, 0.0, 3),
+            _ => return RcktConfig::default(),
+        };
+        RcktConfig { lr, lambda, l2, dropout, layers, ..Default::default() }
+    }
+
+    /// The `-joint` ablation (no joint training of the probability
+    /// generator).
+    pub fn without_joint(mut self) -> Self {
+        self.lambda = 0.0;
+        self
+    }
+
+    /// The `-mono` ablation (no monotonicity-guided retention).
+    pub fn without_mono(mut self) -> Self {
+        self.retention = Retention::FlipOnly;
+        self
+    }
+
+    /// The `-con` ablation (no positivity constraint on influences).
+    pub fn without_constraint(mut self) -> Self {
+        self.alpha = 0.0;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table3_known_entries() {
+        let c = RcktConfig::paper_table3("assist09", Backbone::Dkt);
+        assert_eq!((c.lr, c.lambda, c.l2, c.dropout, c.layers), (1e-3, 0.1, 1e-5, 0.3, 2));
+        let c = RcktConfig::paper_table3("slepemapy", Backbone::Sakt);
+        assert_eq!((c.lr, c.lambda), (5e-4, 0.4));
+        // α fixed at 1.0 everywhere, as in the paper
+        assert_eq!(c.alpha, 1.0);
+    }
+
+    #[test]
+    fn table3_unknown_falls_back_to_default() {
+        let c = RcktConfig::paper_table3("junyi", Backbone::Akt);
+        let d = RcktConfig::default();
+        assert_eq!(c.lr, d.lr);
+        assert_eq!(c.layers, d.layers);
+    }
+
+    #[test]
+    fn ablation_builders() {
+        assert_eq!(RcktConfig::default().without_joint().lambda, 0.0);
+        assert_eq!(RcktConfig::default().without_constraint().alpha, 0.0);
+        assert_eq!(RcktConfig::default().without_mono().retention, Retention::FlipOnly);
+    }
+}

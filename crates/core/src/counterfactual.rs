@@ -1,0 +1,221 @@
+//! Counterfactual sequence construction (paper Sec. IV-B and IV-C4).
+//!
+//! An intervention flips the correctness of one response. Directly flipping
+//! would make the rest of the sequence unreliable, so the **monotonicity
+//! assumption** drives two repairs (Fig. 3):
+//!
+//! * **retain** responses whose correctness the proficiency shift cannot
+//!   overturn (flip correct→incorrect lowers proficiency, which can only
+//!   keep incorrect responses incorrect — retain those);
+//! * **mask** responses the shift could overturn (the correct ones, in the
+//!   same example) as unknown.
+//!
+//! Two construction modes exist:
+//!
+//! * **forward/exact** (Eq. 4–6): flip a *past* response `i`, predict the
+//!   target — needs `t` counterfactual sequences per target;
+//! * **backward/approximate** (Eq. 19): flip an *assumed* response to the
+//!   target itself and read the influence off each past response — needs
+//!   exactly two counterfactual sequences total.
+//!
+//! Everything here is pure index/category logic; tensors enter only in
+//! [`crate::model`].
+
+use rckt_models::ResponseCat;
+use serde::{Deserialize, Serialize};
+
+/// Sequence of response categories (one window), target position included.
+pub type Cats = Vec<ResponseCat>;
+
+/// The paper's ablation `-mono`: disable mask/retain (the counterfactual
+/// sequence differs from the factual one only at the intervened response).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub enum Retention {
+    /// Full monotonicity-guided mask/retain (the paper's method).
+    Monotonic,
+    /// `-mono` ablation: flip only, keep everything else factual.
+    FlipOnly,
+}
+
+/// Apply the monotonicity repair to all positions except `flip_at`:
+/// keep responses of `retain_cat`, mask responses of the opposite
+/// correctness; `Masked` inputs stay masked.
+fn repair(cats: &mut Cats, flip_at: usize, retain_cat: ResponseCat) {
+    for (i, c) in cats.iter_mut().enumerate() {
+        if i == flip_at {
+            continue;
+        }
+        if *c != retain_cat && *c != ResponseCat::Masked {
+            *c = ResponseCat::Masked;
+        }
+    }
+}
+
+/// Forward-mode factual/counterfactual pair for intervening on past
+/// response `i` (Eq. 4–6). `factual` is the unmodified category sequence.
+/// Returns `(factual_view, counterfactual)` where the counterfactual flips
+/// position `i` and repairs the rest according to `retention`.
+pub fn forward_intervention(factual: &Cats, i: usize, retention: Retention) -> (Cats, Cats) {
+    assert!(i < factual.len());
+    let original = factual[i];
+    assert_ne!(original, ResponseCat::Masked, "cannot intervene on a masked response");
+    let mut cf = factual.clone();
+    cf[i] = original.flipped();
+    if retention == Retention::Monotonic {
+        // Flipping correct→incorrect means proficiency decreased: incorrect
+        // responses stay reliable (retain), correct ones become unknown
+        // (mask) — and vice versa.
+        let retain = original.flipped();
+        repair(&mut cf, i, retain);
+    }
+    (factual.clone(), cf)
+}
+
+/// Backward/approximate-mode sequence quadruple for a target at `target`
+/// (Eq. 19 and Fig. 2). Positions after `target` must already be excluded
+/// via validity masks by the caller.
+///
+/// ```
+/// use rckt::counterfactual::{backward_quadruple, Retention};
+/// use rckt_models::ResponseCat::{Correct as C, Incorrect as I, Masked as M};
+///
+/// // the paper's Fig. 1 example: ✓ ✗ ✓ ✓ ✗ with target q6
+/// let cats = vec![C, I, C, C, I, M];
+/// let [f_pos, cf_neg, _, _] = backward_quadruple(&cats, 5, Retention::Monotonic);
+/// assert_eq!(f_pos,  vec![C, I, C, C, I, C]); // assume the target correct
+/// assert_eq!(cf_neg, vec![M, I, M, M, I, I]); // flip it: retain ✗, mask ✓
+/// ```
+///
+/// Returns `[F⁺, CF⁻, F⁻, CF⁺]`:
+/// * `F⁺`  — assume the target answered correctly, everything else factual;
+/// * `CF⁻` — intervene the target to incorrect; retain incorrect responses,
+///   mask correct ones;
+/// * `F⁻`  — assume the target answered incorrectly;
+/// * `CF⁺` — intervene the target to correct; retain correct, mask
+///   incorrect.
+pub fn backward_quadruple(factual: &Cats, target: usize, retention: Retention) -> [Cats; 4] {
+    assert!(target < factual.len());
+    let mut f_pos = factual.clone();
+    f_pos[target] = ResponseCat::Correct;
+    let mut cf_neg = factual.clone();
+    cf_neg[target] = ResponseCat::Incorrect;
+    let mut f_neg = factual.clone();
+    f_neg[target] = ResponseCat::Incorrect;
+    let mut cf_pos = factual.clone();
+    cf_pos[target] = ResponseCat::Correct;
+    if retention == Retention::Monotonic {
+        repair(&mut cf_neg, target, ResponseCat::Incorrect);
+        repair(&mut cf_pos, target, ResponseCat::Correct);
+    }
+    [f_pos, cf_neg, f_neg, cf_pos]
+}
+
+/// Joint-training augmentation contexts (Sec. IV-D2): the factual sequence,
+/// the sequence with **incorrect responses masked** (for `p^{M+}`), and the
+/// one with **correct responses masked** (for `p^{M−}`).
+pub fn joint_contexts(factual: &Cats) -> [Cats; 3] {
+    let mask_where = |keep: ResponseCat| -> Cats {
+        factual
+            .iter()
+            .map(|&c| if c == keep || c == ResponseCat::Masked { c } else { ResponseCat::Masked })
+            .collect()
+    };
+    [factual.clone(), mask_where(ResponseCat::Correct), mask_where(ResponseCat::Incorrect)]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ResponseCat::{Correct as C, Incorrect as I, Masked as M};
+
+    /// The paper's running example (Fig. 1/3): ✓ ✗ ✓ ✓ ✗ with target q6.
+    fn example() -> Cats {
+        vec![C, I, C, C, I, M]
+    }
+
+    #[test]
+    fn forward_flip_correct_masks_correct_retains_incorrect() {
+        // Fig. 3: flip q3 (index 2, correct) to incorrect → mask q1, q4
+        // (correct), retain q2, q5 (incorrect).
+        let f = vec![C, I, C, C, I];
+        let (fact, cf) = forward_intervention(&f, 2, Retention::Monotonic);
+        assert_eq!(fact, f);
+        assert_eq!(cf, vec![M, I, I, M, I]);
+    }
+
+    #[test]
+    fn forward_flip_incorrect_masks_incorrect_retains_correct() {
+        let f = vec![C, I, C, C, I];
+        let (_, cf) = forward_intervention(&f, 4, Retention::Monotonic);
+        assert_eq!(cf, vec![C, M, C, C, C]);
+    }
+
+    #[test]
+    fn forward_flip_only_ablation_keeps_context() {
+        let f = vec![C, I, C, C, I];
+        let (_, cf) = forward_intervention(&f, 2, Retention::FlipOnly);
+        assert_eq!(cf, vec![C, I, I, C, I]);
+    }
+
+    #[test]
+    #[should_panic(expected = "masked")]
+    fn forward_rejects_masked_position() {
+        forward_intervention(&example(), 5, Retention::Monotonic);
+    }
+
+    #[test]
+    fn backward_quadruple_matches_table_i() {
+        // Table I: assuming r6=1 then flipping to 0 retains the incorrect
+        // q2/q5 and masks the correct q1/q3/q4; vice versa for r6=0.
+        let [f_pos, cf_neg, f_neg, cf_pos] = backward_quadruple(&example(), 5, Retention::Monotonic);
+        assert_eq!(f_pos, vec![C, I, C, C, I, C]);
+        assert_eq!(cf_neg, vec![M, I, M, M, I, I]);
+        assert_eq!(f_neg, vec![C, I, C, C, I, I]);
+        assert_eq!(cf_pos, vec![C, M, C, C, M, C]);
+    }
+
+    #[test]
+    fn backward_counterfactuals_flip_exactly_the_target() {
+        let [f_pos, cf_neg, f_neg, cf_pos] = backward_quadruple(&example(), 5, Retention::Monotonic);
+        assert_eq!(f_pos[5], C);
+        assert_eq!(cf_neg[5], I);
+        assert_eq!(f_neg[5], I);
+        assert_eq!(cf_pos[5], C);
+    }
+
+    #[test]
+    fn backward_flip_only_ablation() {
+        let [f_pos, cf_neg, _, cf_pos] = backward_quadruple(&example(), 5, Retention::FlipOnly);
+        // context identical to factual, only the target differs
+        assert_eq!(&cf_neg[..5], &f_pos[..5]);
+        assert_eq!(&cf_pos[..5], &f_pos[..5]);
+    }
+
+    #[test]
+    fn mask_retain_partitions_the_context() {
+        // every non-target position is exactly retained or masked
+        let cats = example();
+        let [_, cf_neg, _, cf_pos] = backward_quadruple(&cats, 5, Retention::Monotonic);
+        for i in 0..5 {
+            match cats[i] {
+                I => {
+                    assert_eq!(cf_neg[i], I, "incorrect retained in CF-");
+                    assert_eq!(cf_pos[i], M, "incorrect masked in CF+");
+                }
+                C => {
+                    assert_eq!(cf_neg[i], M, "correct masked in CF-");
+                    assert_eq!(cf_pos[i], C, "correct retained in CF+");
+                }
+                M => unreachable!(),
+            }
+        }
+    }
+
+    #[test]
+    fn joint_contexts_mask_each_polarity() {
+        let [f, m_plus, m_minus] = joint_contexts(&example());
+        assert_eq!(f, example());
+        assert_eq!(m_plus, vec![C, M, C, C, M, M]); // incorrect masked
+        assert_eq!(m_minus, vec![M, I, M, M, I, M]); // correct masked
+    }
+}

@@ -1,0 +1,136 @@
+//! Human-readable rendering of influence attributions (the paper's Table I
+//! and Fig. 6 presentation).
+
+use crate::model::InfluenceRecord;
+use std::fmt::Write as _;
+
+/// Context used to label an influence table.
+#[derive(Clone, Debug, Default)]
+pub struct ExplainContext {
+    /// Optional question label per window position.
+    pub question_labels: Vec<String>,
+}
+
+/// Render an [`InfluenceRecord`] as a Table I style text table: one row per
+/// past response with its correctness and influence, then the accumulated
+/// totals and the verdict.
+pub fn render_influence_table(rec: &InfluenceRecord, ctx: &ExplainContext) -> String {
+    let mut s = String::new();
+    writeln!(s, "{:<6} {:<24} {:>3}  {:>10}", "pos", "question", "r", "influence").unwrap();
+    for &(pos, correct, delta) in &rec.influences {
+        let label = ctx
+            .question_labels
+            .get(pos)
+            .cloned()
+            .unwrap_or_else(|| format!("q{}", pos + 1));
+        writeln!(
+            s,
+            "{:<6} {:<24} {:>3}  {:>10.4}",
+            pos + 1,
+            truncate(&label, 24),
+            if correct { "✓" } else { "✗" },
+            delta
+        )
+        .unwrap();
+    }
+    writeln!(
+        s,
+        "Δ+ = {:.4}   Δ- = {:.4}   margin score = {:.4}",
+        rec.total_correct, rec.total_incorrect, rec.score
+    )
+    .unwrap();
+    writeln!(
+        s,
+        "prediction: {}   ground truth: {}",
+        if rec.predicted_correct() { "correct (✓)" } else { "incorrect (✗)" },
+        if rec.label { "correct (✓)" } else { "incorrect (✗)" }
+    )
+    .unwrap();
+    s
+}
+
+/// Machine-readable explanation payload for downstream UIs.
+#[derive(serde::Serialize)]
+pub struct InfluenceJson<'a> {
+    pub record: &'a InfluenceRecord,
+    /// Optional question label per window position (parallel to positions).
+    pub question_labels: &'a [String],
+    pub schema: &'static str,
+}
+
+/// Serialize an influence record (plus labels) to a stable JSON schema.
+pub fn to_json(rec: &InfluenceRecord, ctx: &ExplainContext) -> String {
+    serde_json::to_string(&InfluenceJson {
+        record: rec,
+        question_labels: &ctx.question_labels,
+        schema: "rckt.influence.v1",
+    })
+    .expect("influence serialization")
+}
+
+/// The most influential past responses, strongest first.
+pub fn top_influences(rec: &InfluenceRecord, k: usize) -> Vec<(usize, bool, f32)> {
+    let mut v = rec.influences.clone();
+    v.sort_by(|a, b| b.2.abs().partial_cmp(&a.2.abs()).expect("finite influence"));
+    v.truncate(k);
+    v
+}
+
+fn truncate(s: &str, n: usize) -> String {
+    if s.chars().count() <= n {
+        s.to_string()
+    } else {
+        let cut: String = s.chars().take(n.saturating_sub(1)).collect();
+        format!("{cut}…")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record() -> InfluenceRecord {
+        InfluenceRecord {
+            target: 5,
+            influences: vec![(0, true, 0.1), (1, false, 0.2), (2, true, 0.5), (3, true, 0.3), (4, false, 0.8)],
+            total_correct: 0.9,
+            total_incorrect: 1.0,
+            score: 0.49,
+            label: false,
+        }
+    }
+
+    #[test]
+    fn table_renders_all_rows_and_verdict() {
+        let t = render_influence_table(&record(), &ExplainContext::default());
+        assert_eq!(t.lines().count(), 1 + 5 + 2);
+        assert!(t.contains("Δ+ = 0.9000"));
+        assert!(t.contains("prediction: incorrect"));
+    }
+
+    #[test]
+    fn top_influences_sorted_by_magnitude() {
+        let top = top_influences(&record(), 2);
+        assert_eq!(top[0], (4, false, 0.8));
+        assert_eq!(top[1], (2, true, 0.5));
+    }
+
+    #[test]
+    fn json_export_contains_schema_and_values() {
+        let ctx = ExplainContext { question_labels: vec!["q one".into()] };
+        let j = to_json(&record(), &ctx);
+        assert!(j.contains("rckt.influence.v1"));
+        assert!(j.contains("\"total_correct\":0.9"));
+        let parsed: serde_json::Value = serde_json::from_str(&j).unwrap();
+        assert_eq!(parsed["record"]["influences"].as_array().unwrap().len(), 5);
+    }
+
+    #[test]
+    fn labels_are_truncated() {
+        let ctx = ExplainContext {
+            question_labels: vec!["a very very very long question label indeed".into(); 5],
+        };
+        let t = render_influence_table(&record(), &ctx);
+        assert!(t.contains('…'));
+    }
+}

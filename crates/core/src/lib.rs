@@ -1,0 +1,51 @@
+//! # rckt
+//!
+//! Rust reproduction of **RCKT — Response influence-based Counterfactual
+//! Knowledge Tracing** (Cui et al., ICDE 2024).
+//!
+//! RCKT answers *"what if the student had answered this question
+//! incorrectly instead?"* for every past response, measures the resulting
+//! change in the predicted outcome on a target question (the **response
+//! influence**), and predicts by comparing the accumulated correct- and
+//! incorrect-response influences. The prediction is therefore a transparent
+//! sum of per-response attributions — ante-hoc interpretable by
+//! construction.
+//!
+//! * [`counterfactual`] — sequence construction with monotonicity-guided
+//!   mask/retain (Sec. IV-B), both exact and approximate modes.
+//! * [`model`] — the adaptive bidirectional encoder-MLP generator, the
+//!   counterfactual training objective (Eq. 16–17) with joint training
+//!   (Eq. 27–29), approximate inference (Eq. 19–22) and exact inference.
+//! * [`proficiency`] — concept-proficiency tracing (Eq. 30) for the Fig. 5
+//!   style dashboards.
+//! * [`explain`] — influence reports rendered for humans (Table I style).
+//!
+//! ```no_run
+//! use rckt::{Backbone, Rckt, RcktConfig};
+//! use rckt_data::{make_batches, windows, SyntheticSpec, KFold};
+//! use rckt_models::KtModel;
+//! use rckt_models::model::TrainConfig;
+//!
+//! let ds = SyntheticSpec::assist09().generate();
+//! let ws = windows(&ds, 50, 5);
+//! let folds = KFold::paper(42).split(ws.len());
+//! let mut model = Rckt::new(Backbone::Dkt, ds.num_questions(), ds.num_concepts(),
+//!                           RcktConfig::default());
+//! model.fit(&ws, &folds[0].train, &folds[0].val, &ds.q_matrix, &TrainConfig::default());
+//! let test = make_batches(&ws, &folds[0].test, &ds.q_matrix, 16);
+//! let (auc, acc) = model.evaluate_last(&test);
+//! println!("AUC {auc:.4} ACC {acc:.4}");
+//! ```
+
+pub mod analysis;
+pub mod audit;
+pub mod config;
+pub mod counterfactual;
+pub mod explain;
+pub mod model;
+pub mod persist;
+pub mod proficiency;
+
+pub use config::{Backbone, RcktConfig, Retention};
+pub use model::{InfluenceRecord, Rckt};
+pub use persist::SavedModel;

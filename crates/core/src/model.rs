@@ -1,0 +1,984 @@
+//! The RCKT model: adaptive bidirectional encoder-MLP response probability
+//! generator + response influence-based counterfactual reasoning.
+//!
+//! Approximate (backward) inference — the paper's default — needs four
+//! encoder passes per target (`F⁺`, `CF⁻`, `F⁻`, `CF⁺`, Fig. 2); exact
+//! (forward) inference needs `t + 2` passes and exists for the Table VI
+//! comparison.
+
+use crate::config::{Backbone, RcktConfig};
+use crate::counterfactual::{backward_quadruple, forward_intervention, joint_contexts, Cats};
+use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use rckt_data::{make_batches, Batch, QMatrix, Window};
+use rckt_metrics::{accuracy, auc, EarlyStopping};
+use rckt_models::common::{factual_cats, ProbeSpec};
+use rckt_models::model::{FitReport, KtModel, TrainConfig};
+use rckt_models::{BiAttnEncoder, BiEncoder, BiLstmEncoder, KtEmbedding, Prediction, ResponseCat};
+use rckt_tensor::layers::PredictionMlp;
+use rckt_tensor::{Adam, Graph, ParamStore, Shape, Tx};
+
+enum Encoder {
+    Lstm(BiLstmEncoder),
+    Attn(BiAttnEncoder),
+}
+
+impl Encoder {
+    #[allow(clippy::too_many_arguments)]
+    fn encode(
+        &self,
+        g: &mut Graph,
+        store: &ParamStore,
+        e: Tx,
+        a: Tx,
+        batch: usize,
+        t_len: usize,
+        valid: &[bool],
+        train: bool,
+        rng: &mut SmallRng,
+    ) -> Tx {
+        match self {
+            Encoder::Lstm(enc) => enc.encode(g, store, e, a, batch, t_len, valid, train, rng),
+            Encoder::Attn(enc) => enc.encode(g, store, e, a, batch, t_len, valid, train, rng),
+        }
+    }
+}
+
+/// Per-sequence influence attribution produced by [`Rckt::influences`].
+#[derive(Clone, Debug, serde::Serialize, serde::Deserialize)]
+pub struct InfluenceRecord {
+    /// Target position within the window.
+    pub target: usize,
+    /// `(position, was_correct, influence Δ)` for each past response.
+    pub influences: Vec<(usize, bool, f32)>,
+    /// Accumulated correct-response influence Δ⁺ (Eq. 22).
+    pub total_correct: f32,
+    /// Accumulated incorrect-response influence Δ⁻.
+    pub total_incorrect: f32,
+    /// Normalized margin `(Δ⁺ − Δ⁻)/(2t) + ½ ∈ (0, 1)`; ≥ ½ predicts
+    /// correct (Eq. 13 with the threshold at 0).
+    pub score: f32,
+    /// Ground-truth correctness of the target.
+    pub label: bool,
+}
+
+impl InfluenceRecord {
+    pub fn predicted_correct(&self) -> bool {
+        self.score >= 0.5
+    }
+}
+
+/// RCKT (the paper's model). Construct with [`Rckt::new`], train with
+/// [`KtModel::fit`], explain with [`Rckt::influences`].
+pub struct Rckt {
+    pub cfg: RcktConfig,
+    pub backbone: Backbone,
+    emb: KtEmbedding,
+    encoder: Encoder,
+    head: PredictionMlp,
+    store: ParamStore,
+    adam: Adam,
+}
+
+impl Rckt {
+    pub fn new(backbone: Backbone, num_questions: usize, num_concepts: usize, cfg: RcktConfig) -> Self {
+        let mut rng = SmallRng::seed_from_u64(cfg.seed);
+        let mut store = ParamStore::new();
+        let d = cfg.dim;
+        let emb = KtEmbedding::new(&mut store, "emb", num_questions, num_concepts, d, &mut rng);
+        let encoder = match backbone {
+            Backbone::Dkt => {
+                let mut enc =
+                    BiLstmEncoder::new(&mut store, "enc", d, cfg.layers, cfg.dropout, &mut rng);
+                if cfg.unidirectional {
+                    enc = enc.forward_only();
+                }
+                Encoder::Lstm(enc)
+            }
+            Backbone::Sakt => Encoder::Attn(BiAttnEncoder::new(
+                &mut store, "enc", d, cfg.heads, cfg.layers, false, cfg.dropout, cfg.max_len, &mut rng,
+            )),
+            Backbone::Akt => Encoder::Attn(BiAttnEncoder::new(
+                &mut store, "enc", d, cfg.heads, cfg.layers, true, cfg.dropout, cfg.max_len, &mut rng,
+            )),
+        };
+        let head = PredictionMlp::new(&mut store, "head", 2 * d, d, cfg.dropout, &mut rng);
+        let adam = Adam::new(cfg.lr).with_l2(cfg.l2);
+        Rckt { cfg, backbone, emb, encoder, head, store, adam }
+    }
+
+    pub fn num_weights(&self) -> usize {
+        self.store.num_weights()
+    }
+
+    /// Serialize weights; restore with [`Rckt::load_weights`].
+    pub fn save_weights(&self) -> String {
+        self.store.save_json()
+    }
+
+    pub fn load_weights(&mut self, json: &str) -> Result<(), serde_json::Error> {
+        self.store = ParamStore::load_json(json)?;
+        Ok(())
+    }
+
+    /// One probability-generator pass (Eq. 25–26): logits `[B*T, 1]` for
+    /// every position, conditioned on the *other* positions' categories.
+    #[allow(clippy::too_many_arguments)]
+    fn logits_pass(
+        &self,
+        g: &mut Graph,
+        batch: &Batch,
+        cats: &[ResponseCat],
+        valid: &[bool],
+        probes: &[ProbeSpec],
+        train: bool,
+        rng: &mut SmallRng,
+    ) -> Tx {
+        let e = self.emb.questions_with_probes(g, &self.store, batch, probes);
+        let a = self.emb.interactions(g, &self.store, e, cats);
+        let h = self.encoder.encode(g, &self.store, e, a, batch.batch, batch.t_len, valid, train, rng);
+        let x = g.concat_cols(h, e);
+        self.head.forward(g, &self.store, x, train, rng)
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn probs_pass(
+        &self,
+        g: &mut Graph,
+        batch: &Batch,
+        cats: &[ResponseCat],
+        valid: &[bool],
+        probes: &[ProbeSpec],
+        train: bool,
+        rng: &mut SmallRng,
+    ) -> Tx {
+        let logits = self.logits_pass(g, batch, cats, valid, probes, train, rng);
+        g.sigmoid(logits)
+    }
+
+    /// Assemble the four flat category sequences of the backward
+    /// approximation for per-sequence targets.
+    fn quadruple_cats(&self, batch: &Batch, targets: &[usize]) -> [Vec<ResponseCat>; 4] {
+        assert_eq!(
+            targets.len(),
+            batch.batch,
+            "one target position per sequence in the batch"
+        );
+        let t_len = batch.t_len;
+        let mut out: [Vec<ResponseCat>; 4] = Default::default();
+        for o in &mut out {
+            o.reserve(batch.batch * t_len);
+        }
+        #[allow(clippy::needless_range_loop)]
+        for b in 0..batch.batch {
+            let factual: Cats = (0..t_len)
+                .map(|t| {
+                    let i = b * t_len + t;
+                    if batch.valid[i] {
+                        ResponseCat::from_correct(batch.correct[i] >= 0.5)
+                    } else {
+                        ResponseCat::Masked
+                    }
+                })
+                .collect();
+            let quad = backward_quadruple(&factual, targets[b], self.cfg.retention);
+            for (o, q) in out.iter_mut().zip(quad) {
+                o.extend(q);
+            }
+        }
+        out
+    }
+
+    /// Visibility for a target-conditioned pass: positions after the target
+    /// are hidden, everything else follows the batch's own validity.
+    fn visibility(&self, batch: &Batch, targets: &[usize]) -> Vec<bool> {
+        let t_len = batch.t_len;
+        (0..batch.batch * t_len)
+            .map(|i| batch.valid[i] && (i % t_len) <= targets[i / t_len])
+            .collect()
+    }
+
+    /// Influence masks: which positions count as past correct (mc) or past
+    /// incorrect (mi) responses for each sequence's target.
+    fn influence_masks(&self, batch: &Batch, targets: &[usize]) -> (Vec<f32>, Vec<f32>) {
+        let t_len = batch.t_len;
+        let n = batch.batch * t_len;
+        let mut mc = vec![0.0f32; n];
+        let mut mi = vec![0.0f32; n];
+        for i in 0..n {
+            let (b, t) = (i / t_len, i % t_len);
+            if batch.valid[i] && t < targets[b] {
+                if batch.correct[i] >= 0.5 {
+                    mc[i] = 1.0;
+                } else {
+                    mi[i] = 1.0;
+                }
+            }
+        }
+        (mc, mi)
+    }
+
+    /// Build the counterfactual-reasoning graph for the given targets.
+    /// Returns `(Δ⁺ [B,1], Δ⁻ [B,1], Δ⁺-map [B,T], Δ⁻-map [B,T])`.
+    #[allow(clippy::too_many_arguments)]
+    fn delta_graph(
+        &self,
+        g: &mut Graph,
+        batch: &Batch,
+        targets: &[usize],
+        probes: &[ProbeSpec],
+        train: bool,
+        rng: &mut SmallRng,
+    ) -> (Tx, Tx, Tx, Tx) {
+        let (bsz, t_len) = (batch.batch, batch.t_len);
+        let [f_pos, cf_neg, f_neg, cf_pos] = self.quadruple_cats(batch, targets);
+        let vis = self.visibility(batch, targets);
+        let p_fp = self.probs_pass(g, batch, &f_pos, &vis, probes, train, rng);
+        let p_cfn = self.probs_pass(g, batch, &cf_neg, &vis, probes, train, rng);
+        let p_fn = self.probs_pass(g, batch, &f_neg, &vis, probes, train, rng);
+        let p_cfp = self.probs_pass(g, batch, &cf_pos, &vis, probes, train, rng);
+
+        let (mc, mi) = self.influence_masks(batch, targets);
+        // Δ⁺ map: correct responses, Eq. 19; Δ⁻ map: incorrect, Eq. 20.
+        let mut d_pos = g.sub(p_fp, p_cfn);
+        d_pos = g.dropout_mask(d_pos, mc);
+        let mut d_neg = g.sub(p_cfp, p_fn);
+        d_neg = g.dropout_mask(d_neg, mi);
+        if !train && self.cfg.clamp_inference {
+            // Influences are probability drops, defined non-negative
+            // (Eq. 10/11); negative measurements are generator noise.
+            d_pos = g.relu(d_pos);
+            d_neg = g.relu(d_neg);
+        }
+        let d_pos_map = g.reshape(d_pos, Shape::matrix(bsz, t_len));
+        let d_neg_map = g.reshape(d_neg, Shape::matrix(bsz, t_len));
+        let delta_pos = g.sum_last(d_pos_map);
+        let delta_neg = g.sum_last(d_neg_map);
+        (delta_pos, delta_neg, d_pos_map, d_neg_map)
+    }
+
+    /// Last valid position per sequence (the training target).
+    fn last_targets(batch: &Batch) -> Vec<usize> {
+        (0..batch.batch).map(|b| batch.seq_len(b).saturating_sub(1)).collect()
+    }
+
+    /// One optimization step (Eq. 16–17 + Eq. 27–29). Returns the loss.
+    ///
+    /// Each sequence contributes one counterfactual training sample per
+    /// step, at a freshly sampled target position (so over epochs every
+    /// position serves as the target, matching the paper's
+    /// one-sequence-one-target sample definition without starving the
+    /// counterfactual loss of data).
+    pub fn train_batch(&mut self, batch: &Batch, clip_norm: f32, rng: &mut SmallRng) -> f32 {
+        use rand::Rng;
+        self.store.zero_grads();
+        let mut g = Graph::new();
+        let (bsz, _t_len) = (batch.batch, batch.t_len);
+        let targets: Vec<usize> = (0..bsz)
+            .map(|b| {
+                let len = batch.seq_len(b);
+                if len <= 2 {
+                    len.saturating_sub(1)
+                } else {
+                    rng.gen_range(1..len)
+                }
+            })
+            .collect();
+
+        let (delta_pos, delta_neg, d_pos_map, d_neg_map) =
+            self.delta_graph(&mut g, batch, &targets, &[], true, rng);
+
+        // L_CF = -log( (-1)^{r} (Δ⁻ − Δ⁺) / (2t) + ½ )
+        let mut sign = vec![0.0f32; bsz];
+        let mut inv2t = vec![0.0f32; bsz];
+        for b in 0..bsz {
+            let r = batch.correct[b * batch.t_len + targets[b]] >= 0.5;
+            sign[b] = if r { -1.0 } else { 1.0 };
+            inv2t[b] = 1.0 / (2.0 * targets[b].max(1) as f32);
+        }
+        let sign_t = g.input(sign, Shape::matrix(bsz, 1));
+        let inv2t_t = g.input(inv2t, Shape::matrix(bsz, 1));
+        let diff = g.sub(delta_neg, delta_pos);
+        let signed = g.mul(diff, sign_t);
+        let scaled = g.mul(signed, inv2t_t);
+        let arg = g.add_scalar(scaled, 0.5);
+        let logs = g.ln_clamped(arg, 1e-6);
+        let neg_logs = g.neg(logs);
+        let l_cf = g.mean_all(neg_logs);
+
+        // Constraint L*: Σ max(−Δ_i, 0) (Eq. 17), scaled by α.
+        let mut loss = l_cf;
+        if self.cfg.alpha > 0.0 {
+            let np = g.neg(d_pos_map);
+            let rp = g.relu(np);
+            let nn = g.neg(d_neg_map);
+            let rn = g.relu(nn);
+            let s = g.add(rp, rn);
+            let per_seq = g.sum_last(s);
+            let l_star = g.mean_all(per_seq);
+            let l_star = g.mul_scalar(l_star, self.cfg.alpha);
+            loss = g.add(loss, l_star);
+        }
+
+        // Joint training (Eq. 27–29): BCE on the factual and two masked
+        // contexts, over all valid positions (bidirectional encoders can
+        // predict position 0 from future context).
+        if self.cfg.lambda > 0.0 {
+            let factual: Vec<ResponseCat> = factual_cats(batch)
+                .into_iter()
+                .zip(&batch.valid)
+                .map(|(c, &v)| if v { c } else { ResponseCat::Masked })
+                .collect();
+            let contexts = joint_contexts(&factual);
+            let weights: Vec<f32> = batch.valid.iter().map(|&v| v as u8 as f32).collect();
+            let norm = batch.num_valid().max(1) as f32;
+            let mut joint = None;
+            for ctx in &contexts {
+                let logits = self.logits_pass(&mut g, batch, ctx, &batch.valid, &[], true, rng);
+                let l = g.bce_with_logits(logits, &batch.correct, &weights, norm);
+                joint = Some(match joint {
+                    None => l,
+                    Some(j) => g.add(j, l),
+                });
+            }
+            let j = g.mul_scalar(joint.expect("three contexts"), self.cfg.lambda);
+            loss = g.add(loss, j);
+        }
+
+        let val = g.value(loss);
+        g.backward(loss);
+        self.store.accumulate_grads(&g);
+        self.store.clip_grad_norm(clip_norm);
+        self.adam.step(&mut self.store);
+        val
+    }
+
+    /// Approximate-mode scores for explicit targets: `(score, label)` per
+    /// sequence, where score is the normalized margin in `(0, 1)`.
+    pub fn predict_targets(&self, batch: &Batch, targets: &[usize]) -> Vec<Prediction> {
+        self.predict_targets_probed(batch, targets, &[])
+    }
+
+    /// [`Rckt::predict_targets`] with Eq. 30 concept probes substituted at
+    /// chosen positions.
+    pub fn predict_targets_probed(
+        &self,
+        batch: &Batch,
+        targets: &[usize],
+        probes: &[ProbeSpec],
+    ) -> Vec<Prediction> {
+        let mut rng = SmallRng::seed_from_u64(0);
+        let mut g = Graph::new();
+        let (delta_pos, delta_neg, _, _) =
+            self.delta_graph(&mut g, batch, targets, probes, false, &mut rng);
+        let dp = g.data(delta_pos);
+        let dn = g.data(delta_neg);
+        (0..batch.batch)
+            .map(|b| {
+                let t = targets[b].max(1) as f32;
+                let score = ((dp[b] - dn[b]) / (2.0 * t) + 0.5).clamp(0.0, 1.0);
+                Prediction {
+                    prob: score,
+                    label: batch.correct[b * batch.t_len + targets[b]] >= 0.5,
+                }
+            })
+            .collect()
+    }
+
+    /// Scores for each sequence's final response (the paper's per-student
+    /// prediction setting).
+    pub fn predict_last(&self, batch: &Batch) -> Vec<Prediction> {
+        self.predict_targets(batch, &Self::last_targets(batch))
+    }
+
+    /// Full influence attribution for each sequence's target — the model's
+    /// explanation output (Fig. 2 right, Table I).
+    pub fn influences(&self, batch: &Batch, targets: &[usize]) -> Vec<InfluenceRecord> {
+        self.influences_probed(batch, targets, &[])
+    }
+
+    /// [`Rckt::influences`] with Eq. 30 concept probes.
+    pub fn influences_probed(
+        &self,
+        batch: &Batch,
+        targets: &[usize],
+        probes: &[ProbeSpec],
+    ) -> Vec<InfluenceRecord> {
+        let mut rng = SmallRng::seed_from_u64(0);
+        let mut g = Graph::new();
+        let (delta_pos, delta_neg, d_pos_map, d_neg_map) =
+            self.delta_graph(&mut g, batch, targets, probes, false, &mut rng);
+        let dp = g.data(delta_pos).to_vec();
+        let dn = g.data(delta_neg).to_vec();
+        let pm = g.data(d_pos_map).to_vec();
+        let nm = g.data(d_neg_map).to_vec();
+        (0..batch.batch)
+            .map(|b| {
+                let target = targets[b];
+                let mut influences = Vec::new();
+                for t in 0..target {
+                    let i = b * batch.t_len + t;
+                    if !batch.valid[i] {
+                        continue;
+                    }
+                    let correct = batch.correct[i] >= 0.5;
+                    let delta = if correct { pm[i] } else { nm[i] };
+                    influences.push((t, correct, delta));
+                }
+                let t = target.max(1) as f32;
+                InfluenceRecord {
+                    target,
+                    influences,
+                    total_correct: dp[b],
+                    total_incorrect: dn[b],
+                    score: ((dp[b] - dn[b]) / (2.0 * t) + 0.5).clamp(0.0, 1.0),
+                    label: batch.correct[b * batch.t_len + target] >= 0.5,
+                }
+            })
+            .collect()
+    }
+
+    /// Exact (forward/non-approximate) inference for each sequence's target:
+    /// one factual pass plus one counterfactual pass per past response
+    /// (Eq. 4–13). Exists to reproduce the Table VI before/after comparison.
+    pub fn predict_exact_targets(&self, batch: &Batch, targets: &[usize]) -> Vec<Prediction> {
+        self.influences_exact(batch, targets)
+            .into_iter()
+            .map(|r| Prediction { prob: r.score, label: r.label })
+            .collect()
+    }
+
+    /// Exact-mode per-response influence attribution (Eq. 9/11): the
+    /// non-approximate counterpart of [`Rckt::influences`], costing one
+    /// forward pass per past response.
+    pub fn influences_exact(&self, batch: &Batch, targets: &[usize]) -> Vec<InfluenceRecord> {
+        let mut rng = SmallRng::seed_from_u64(0);
+        let t_len = batch.t_len;
+        let vis = self.visibility(batch, targets);
+
+        // Factual categories with the target masked (its response is what
+        // we predict).
+        let factual_per_seq: Vec<Cats> = (0..batch.batch)
+            .map(|b| {
+                (0..t_len)
+                    .map(|t| {
+                        let i = b * t_len + t;
+                        if batch.valid[i] && t != targets[b] {
+                            ResponseCat::from_correct(batch.correct[i] >= 0.5)
+                        } else {
+                            ResponseCat::Masked
+                        }
+                    })
+                    .collect()
+            })
+            .collect();
+        let flat_factual: Vec<ResponseCat> = factual_per_seq.concat();
+
+        let p_target_factual: Vec<f32> = {
+            let mut g = Graph::new();
+            let p = self.probs_pass(&mut g, batch, &flat_factual, &vis, &[], false, &mut rng);
+            let d = g.data(p);
+            (0..batch.batch).map(|b| d[b * t_len + targets[b]]).collect()
+        };
+
+        let mut per_seq: Vec<Vec<(usize, bool, f32)>> = vec![Vec::new(); batch.batch];
+        let max_target = targets.iter().copied().max().unwrap_or(0);
+        for i in 0..max_target {
+            // intervene position i for every sequence where i is a valid
+            // past response
+            let mut cats = flat_factual.clone();
+            let mut involved = vec![false; batch.batch];
+            for b in 0..batch.batch {
+                if i < targets[b] && batch.valid[b * t_len + i] {
+                    let (_, cf) = forward_intervention(&factual_per_seq[b], i, self.cfg.retention);
+                    cats[b * t_len..(b + 1) * t_len].copy_from_slice(&cf);
+                    involved[b] = true;
+                }
+            }
+            if !involved.iter().any(|&x| x) {
+                continue;
+            }
+            let mut g = Graph::new();
+            let p = self.probs_pass(&mut g, batch, &cats, &vis, &[], false, &mut rng);
+            let d = g.data(p);
+            for b in 0..batch.batch {
+                if !involved[b] {
+                    continue;
+                }
+                let p_cf = d[b * t_len + targets[b]];
+                let correct = batch.correct[b * t_len + i] >= 0.5;
+                let mut delta = if correct {
+                    // Eq. 9: drop in p(correct) when a correct response flips
+                    p_target_factual[b] - p_cf
+                } else {
+                    // Eq. 11: drop in p(incorrect) when an incorrect flips
+                    p_cf - p_target_factual[b]
+                };
+                if self.cfg.clamp_inference {
+                    delta = delta.max(0.0);
+                }
+                per_seq[b].push((i, correct, delta));
+            }
+        }
+        per_seq
+            .into_iter()
+            .enumerate()
+            .map(|(b, influences)| {
+                let total_correct: f32 =
+                    influences.iter().filter(|(_, c, _)| *c).map(|(_, _, d)| d).sum();
+                let total_incorrect: f32 =
+                    influences.iter().filter(|(_, c, _)| !*c).map(|(_, _, d)| d).sum();
+                let t = targets[b].max(1) as f32;
+                InfluenceRecord {
+                    target: targets[b],
+                    influences,
+                    total_correct,
+                    total_incorrect,
+                    score: ((total_correct - total_incorrect) / (2.0 * t) + 0.5).clamp(0.0, 1.0),
+                    label: batch.correct[b * t_len + targets[b]] >= 0.5,
+                }
+            })
+            .collect()
+    }
+
+    /// Exact-mode prediction at each sequence's final response.
+    pub fn predict_exact_last(&self, batch: &Batch) -> Vec<Prediction> {
+        self.predict_exact_targets(batch, &Self::last_targets(batch))
+    }
+
+    /// Raw generator probability at each sequence's target for an explicit
+    /// category sequence (diagnostics; the influence machinery normally
+    /// drives the generator internally).
+    pub fn factual_pass_probs(
+        &self,
+        batch: &Batch,
+        cats: &[ResponseCat],
+        targets: &[usize],
+    ) -> Vec<f32> {
+        let mut rng = SmallRng::seed_from_u64(0);
+        let vis = self.visibility(batch, targets);
+        let mut g = Graph::new();
+        let p = self.probs_pass(&mut g, batch, cats, &vis, &[], false, &mut rng);
+        let d = g.data(p);
+        (0..batch.batch).map(|b| d[b * batch.t_len + targets[b]]).collect()
+    }
+
+    /// Predictions at strided positions (`t = stride−1, 2·stride−1, …` plus
+    /// each sequence's final response). One 4-pass round per distinct `t`.
+    pub fn predict_stride(&self, batch: &Batch, stride: usize) -> Vec<Prediction> {
+        self.predict_stride_from(batch, stride, 0)
+    }
+
+    /// [`Rckt::predict_stride`] restricted to targets with at least `min_t`
+    /// past responses. Influence aggregation is an ensemble over the past
+    /// (see the paper's per-student setting), so very short histories are
+    /// outside its intended regime.
+    pub fn predict_stride_from(
+        &self,
+        batch: &Batch,
+        stride: usize,
+        min_t: usize,
+    ) -> Vec<Prediction> {
+        let stride = stride.max(2);
+        let mut out = Vec::new();
+        let mut by_t: Vec<Vec<usize>> = vec![Vec::new(); batch.t_len];
+        for b in 0..batch.batch {
+            let len = batch.seq_len(b);
+            let mut t = stride - 1;
+            while t < len {
+                if t >= min_t {
+                    by_t[t].push(b);
+                }
+                t += stride;
+            }
+            if len >= 2 && ((len - 1) % stride != stride - 1 || len - 1 < min_t) {
+                by_t[len - 1].push(b);
+            }
+        }
+        for (t, seqs) in by_t.iter().enumerate() {
+            if seqs.is_empty() {
+                continue;
+            }
+            let targets: Vec<usize> =
+                (0..batch.batch).map(|b| if seqs.contains(&b) { t } else { 1 }).collect();
+            let preds = self.predict_targets(batch, &targets);
+            for &b in seqs {
+                out.push(preds[b]);
+            }
+        }
+        out
+    }
+
+    /// Evaluate strided-target scores over batches: (AUC, ACC).
+    pub fn evaluate_stride(&self, batches: &[Batch], stride: usize) -> (f64, f64) {
+        self.evaluate_stride_from(batches, stride, 0)
+    }
+
+    /// [`Rckt::evaluate_stride`] with a minimum history length per target.
+    pub fn evaluate_stride_from(
+        &self,
+        batches: &[Batch],
+        stride: usize,
+        min_t: usize,
+    ) -> (f64, f64) {
+        let mut scores = Vec::new();
+        let mut labels = Vec::new();
+        for b in batches {
+            for p in self.predict_stride_from(b, stride, min_t) {
+                scores.push(p.prob);
+                labels.push(p.label);
+            }
+        }
+        (auc(&scores, &labels), accuracy(&scores, &labels, 0.5))
+    }
+
+    /// Evaluate scores at last-position targets over batches: (AUC, ACC).
+    pub fn evaluate_last(&self, batches: &[Batch]) -> (f64, f64) {
+        let mut scores = Vec::new();
+        let mut labels = Vec::new();
+        for b in batches {
+            for p in self.predict_last(b) {
+                scores.push(p.prob);
+                labels.push(p.label);
+            }
+        }
+        (auc(&scores, &labels), accuracy(&scores, &labels, 0.5))
+    }
+}
+
+impl KtModel for Rckt {
+    fn name(&self) -> String {
+        format!("RCKT-{}", match self.backbone {
+            Backbone::Dkt => "DKT",
+            Backbone::Sakt => "SAKT",
+            Backbone::Akt => "AKT",
+        })
+    }
+
+    fn fit(
+        &mut self,
+        windows: &[Window],
+        train_idx: &[usize],
+        val_idx: &[usize],
+        qm: &QMatrix,
+        cfg: &TrainConfig,
+    ) -> FitReport {
+        let mut rng = SmallRng::seed_from_u64(cfg.seed);
+        let val_batches = make_batches(windows, val_idx, qm, cfg.batch_size);
+        let mut es = EarlyStopping::new(cfg.patience);
+        let mut best: Option<String> = None;
+        let mut train_losses = Vec::new();
+        let mut order = train_idx.to_vec();
+        let mut epochs_run = 0;
+        for epoch in 0..cfg.max_epochs {
+            epochs_run = epoch + 1;
+            order.shuffle(&mut rng);
+            let batches = make_batches(windows, &order, qm, cfg.batch_size);
+            let mut loss_sum = 0.0f64;
+            for b in &batches {
+                loss_sum += self.train_batch(b, cfg.clip_norm, &mut rng) as f64;
+            }
+            let mean_loss = (loss_sum / batches.len().max(1) as f64) as f32;
+            train_losses.push(mean_loss);
+            // Validation at strided targets with at least half-window
+            // history — the same regime the experiments test in.
+            let min_t = val_batches.first().map(|b| b.t_len / 2).unwrap_or(0);
+            let (val_auc, val_acc) = self.evaluate_stride_from(&val_batches, 10, min_t);
+            if cfg.verbose {
+                eprintln!(
+                    "[{}] epoch {epoch:>3} loss {mean_loss:.4} val auc {val_auc:.4} acc {val_acc:.4}",
+                    self.name()
+                );
+            }
+            if es.update(val_auc) {
+                best = Some(self.save_weights());
+            }
+            if es.should_stop() {
+                break;
+            }
+        }
+        if let Some(s) = best {
+            self.load_weights(&s).expect("snapshot restores");
+        }
+        FitReport { epochs_run, best_epoch: es.best_epoch(), best_val_auc: es.best(), train_losses }
+    }
+
+    /// All-position prediction (one 4-pass round per target index) — used
+    /// for apples-to-apples evaluation against conventional models; costly,
+    /// prefer [`Rckt::predict_last`] / [`Rckt::predict_targets`] in loops.
+    fn predict(&self, batch: &Batch) -> Vec<Prediction> {
+        let t_len = batch.t_len;
+        let mut by_pos: Vec<Option<Prediction>> = vec![None; batch.batch * t_len];
+        for t in 1..t_len {
+            // sequences for which position t is a real response
+            let involved: Vec<usize> =
+                (0..batch.batch).filter(|&b| batch.valid[b * t_len + t]).collect();
+            if involved.is_empty() {
+                continue;
+            }
+            let targets: Vec<usize> =
+                (0..batch.batch).map(|b| if batch.valid[b * t_len + t] { t } else { 1 }).collect();
+            let preds = self.predict_targets(batch, &targets);
+            for &b in &involved {
+                by_pos[b * t_len + t] = Some(preds[b]);
+            }
+        }
+        rckt_models::common::eval_positions(batch)
+            .into_iter()
+            .map(|i| by_pos[i].expect("prediction computed for every eval position"))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rckt_data::{windows, SyntheticSpec};
+
+    fn tiny(scale: f64, cap: usize) -> (rckt_data::Dataset, Vec<Window>, Vec<Batch>) {
+        let ds = SyntheticSpec::assist09().scaled(scale).generate();
+        let ws = windows(&ds, 20, 5);
+        let idx: Vec<usize> = (0..ws.len().min(cap)).collect();
+        let batches = make_batches(&ws, &idx, &ds.q_matrix, 8);
+        (ds, ws, batches)
+    }
+
+    fn small_model(ds: &rckt_data::Dataset, backbone: Backbone) -> Rckt {
+        Rckt::new(
+            backbone,
+            ds.num_questions(),
+            ds.num_concepts(),
+            RcktConfig { dim: 16, heads: 2, lr: 3e-3, ..Default::default() },
+        )
+    }
+
+    #[test]
+    fn rckt_dkt_loss_decreases() {
+        let (ds, _, batches) = tiny(0.03, 8);
+        let mut m = small_model(&ds, Backbone::Dkt);
+        let mut rng = SmallRng::seed_from_u64(1);
+        let first = m.train_batch(&batches[0], 5.0, &mut rng);
+        let mut last = first;
+        for _ in 0..15 {
+            last = m.train_batch(&batches[0], 5.0, &mut rng);
+        }
+        assert!(last < first, "{first} -> {last}");
+    }
+
+    #[test]
+    fn rckt_akt_loss_decreases() {
+        let (ds, _, batches) = tiny(0.03, 8);
+        let mut m = small_model(&ds, Backbone::Akt);
+        let mut rng = SmallRng::seed_from_u64(1);
+        let first = m.train_batch(&batches[0], 5.0, &mut rng);
+        let mut last = first;
+        for _ in 0..15 {
+            last = m.train_batch(&batches[0], 5.0, &mut rng);
+        }
+        assert!(last < first, "{first} -> {last}");
+    }
+
+    /// Every paper Table III configuration constructs and takes a training
+    /// step (multi-layer encoders, all dropout/l2 settings).
+    #[test]
+    fn paper_table3_configs_run() {
+        let (ds, _, batches) = tiny(0.02, 4);
+        let mut rng = SmallRng::seed_from_u64(1);
+        for dataset in ["assist09", "assist12", "slepemapy", "eedi"] {
+            for backbone in [Backbone::Dkt, Backbone::Sakt, Backbone::Akt] {
+                let cfg = RcktConfig {
+                    dim: 16,
+                    heads: 2,
+                    ..RcktConfig::paper_table3(dataset, backbone)
+                };
+                let mut m = Rckt::new(backbone, ds.num_questions(), ds.num_concepts(), cfg);
+                let loss = m.train_batch(&batches[0], 5.0, &mut rng);
+                assert!(loss.is_finite(), "{dataset}/{backbone:?} produced {loss}");
+            }
+        }
+    }
+
+    /// Every ablation configuration still trains (loss decreases): -joint
+    /// (λ=0), -con (α=0), -mono (flip-only retention).
+    #[test]
+    fn ablation_configs_train() {
+        let (ds, _, batches) = tiny(0.03, 8);
+        for cfg in [
+            RcktConfig { dim: 16, lr: 3e-3, ..Default::default() }.without_joint(),
+            RcktConfig { dim: 16, lr: 3e-3, ..Default::default() }.without_constraint(),
+            RcktConfig { dim: 16, lr: 3e-3, ..Default::default() }.without_mono(),
+        ] {
+            let mut m = Rckt::new(Backbone::Dkt, ds.num_questions(), ds.num_concepts(), cfg);
+            let mut rng = SmallRng::seed_from_u64(1);
+            let first = m.train_batch(&batches[0], 5.0, &mut rng);
+            let mut last = first;
+            for _ in 0..12 {
+                last = m.train_batch(&batches[0], 5.0, &mut rng);
+            }
+            assert!(last < first, "ablation failed to train: {first} -> {last}");
+        }
+    }
+
+    /// The reported margin must equal the sum-comparison rule of Eq. 13:
+    /// score ≥ ½ ⟺ Δ⁺ ≥ Δ⁻.
+    #[test]
+    fn prediction_consistent_with_influence_totals() {
+        let (ds, _, batches) = tiny(0.03, 4);
+        let m = small_model(&ds, Backbone::Dkt);
+        for batch in &batches {
+            let targets = Rckt::last_targets(batch);
+            let preds = m.predict_targets(batch, &targets);
+            let recs = m.influences(batch, &targets);
+            for (p, r) in preds.iter().zip(&recs) {
+                assert!((p.prob - r.score).abs() < 1e-6);
+                assert_eq!(p.prob >= 0.5, r.total_correct >= r.total_incorrect);
+                // totals match the per-response sums
+                let sum_pos: f32 =
+                    r.influences.iter().filter(|(_, c, _)| *c).map(|(_, _, d)| d).sum();
+                let sum_neg: f32 =
+                    r.influences.iter().filter(|(_, c, _)| !*c).map(|(_, _, d)| d).sum();
+                assert!((sum_pos - r.total_correct).abs() < 1e-4);
+                assert!((sum_neg - r.total_incorrect).abs() < 1e-4);
+            }
+        }
+    }
+
+    /// After training with the positivity constraint, influences should be
+    /// mostly non-negative.
+    #[test]
+    fn constraint_pushes_influences_positive() {
+        let (ds, _, batches) = tiny(0.05, 8);
+        // disable inference clamping so the raw trained influences are
+        // observable
+        let mut m = Rckt::new(
+            Backbone::Dkt,
+            ds.num_questions(),
+            ds.num_concepts(),
+            RcktConfig { dim: 16, lr: 3e-3, clamp_inference: false, ..Default::default() },
+        );
+        let mut rng = SmallRng::seed_from_u64(5);
+        for _ in 0..10 {
+            for b in &batches {
+                m.train_batch(b, 5.0, &mut rng);
+            }
+        }
+        let mut neg = 0usize;
+        let mut total = 0usize;
+        let mut neg_mass = 0.0f32;
+        let mut mass = 0.0f32;
+        for b in &batches {
+            let targets = Rckt::last_targets(b);
+            for r in m.influences(b, &targets) {
+                for (_, _, d) in r.influences {
+                    total += 1;
+                    mass += d.abs();
+                    if d < -1e-3 {
+                        neg += 1;
+                        neg_mass += -d;
+                    }
+                }
+            }
+        }
+        assert!(total > 0);
+        let frac = neg as f32 / total as f32;
+        let mass_frac = neg_mass / mass.max(1e-9);
+        assert!(
+            frac < 0.35 && mass_frac < 0.2,
+            "too many negative influences after training: {frac:.2} of count, {mass_frac:.2} of mass"
+        );
+    }
+
+    /// Exact-mode influence records are internally consistent: totals match
+    /// per-response sums and the score reproduces the margin rule.
+    #[test]
+    fn exact_influences_consistent() {
+        let (ds, _, batches) = tiny(0.03, 4);
+        let m = small_model(&ds, Backbone::Dkt);
+        for batch in &batches {
+            let targets = Rckt::last_targets(batch);
+            for r in m.influences_exact(batch, &targets) {
+                let sp: f32 = r.influences.iter().filter(|(_, c, _)| *c).map(|(_, _, d)| d).sum();
+                let sn: f32 =
+                    r.influences.iter().filter(|(_, c, _)| !*c).map(|(_, _, d)| d).sum();
+                assert!((sp - r.total_correct).abs() < 1e-5);
+                assert!((sn - r.total_incorrect).abs() < 1e-5);
+                let manual =
+                    ((sp - sn) / (2.0 * r.target.max(1) as f32) + 0.5).clamp(0.0, 1.0);
+                assert!((r.score - manual).abs() < 1e-5);
+                assert_eq!(r.influences.len(), r.target);
+            }
+        }
+    }
+
+    /// Exact (forward) and approximate (backward) inference should rank
+    /// students similarly (the Bayes-correlation argument of Sec. IV-C4).
+    #[test]
+    fn exact_and_approximate_scores_correlate() {
+        let (ds, _, batches) = tiny(0.05, 16);
+        let mut m = small_model(&ds, Backbone::Dkt);
+        let mut rng = SmallRng::seed_from_u64(5);
+        for _ in 0..8 {
+            for b in &batches {
+                m.train_batch(b, 5.0, &mut rng);
+            }
+        }
+        let mut approx = Vec::new();
+        let mut exact = Vec::new();
+        for b in &batches {
+            for p in m.predict_last(b) {
+                approx.push(p.prob as f64);
+            }
+            for p in m.predict_exact_last(b) {
+                exact.push(p.prob as f64);
+            }
+        }
+        let r = pearson(&approx, &exact);
+        assert!(r > 0.3, "exact/approx correlation too low: {r}");
+    }
+
+    fn pearson(a: &[f64], b: &[f64]) -> f64 {
+        let n = a.len() as f64;
+        let ma = a.iter().sum::<f64>() / n;
+        let mb = b.iter().sum::<f64>() / n;
+        let cov: f64 = a.iter().zip(b).map(|(x, y)| (x - ma) * (y - mb)).sum();
+        let va: f64 = a.iter().map(|x| (x - ma) * (x - ma)).sum();
+        let vb: f64 = b.iter().map(|y| (y - mb) * (y - mb)).sum();
+        cov / (va.sqrt() * vb.sqrt()).max(1e-12)
+    }
+
+    #[test]
+    fn weights_roundtrip_preserves_predictions() {
+        let (ds, _, batches) = tiny(0.03, 4);
+        let mut m = small_model(&ds, Backbone::Dkt);
+        let mut rng = SmallRng::seed_from_u64(2);
+        m.train_batch(&batches[0], 5.0, &mut rng);
+        let before = m.predict_last(&batches[0]);
+        let saved = m.save_weights();
+        let mut m2 = small_model(&ds, Backbone::Dkt);
+        m2.load_weights(&saved).unwrap();
+        let after = m2.predict_last(&batches[0]);
+        for (x, y) in before.iter().zip(&after) {
+            assert!((x.prob - y.prob).abs() < 1e-6);
+        }
+    }
+
+    /// `predict` (all positions) agrees with per-target predictions.
+    #[test]
+    fn full_predict_matches_targeted() {
+        let (ds, _, batches) = tiny(0.02, 2);
+        let m = small_model(&ds, Backbone::Dkt);
+        let b = &batches[0];
+        let all = m.predict(b);
+        let pos = rckt_models::common::eval_positions(b);
+        // check one position per sequence against predict_targets
+        for (p, &i) in all.iter().zip(&pos) {
+            let (seq, t) = (i / b.t_len, i % b.t_len);
+            let targets: Vec<usize> = (0..b.batch)
+                .map(|bb| if b.valid[bb * b.t_len + t] { t } else { 1 })
+                .collect();
+            let tp = m.predict_targets(b, &targets);
+            assert!((p.prob - tp[seq].prob).abs() < 1e-6, "mismatch at {i}");
+        }
+    }
+}

@@ -1,0 +1,121 @@
+//! Self-contained model files: backbone + config + dataset dimensions +
+//! weights, serialized to a single JSON document so a trained model can be
+//! shipped, reloaded and queried without the training pipeline.
+
+use crate::config::{Backbone, RcktConfig};
+use crate::model::Rckt;
+use serde::{Deserialize, Serialize};
+
+/// Format version, bumped on breaking layout changes.
+pub const MODEL_FILE_VERSION: u32 = 1;
+
+/// A serialized RCKT model.
+#[derive(Serialize, Deserialize)]
+pub struct SavedModel {
+    pub version: u32,
+    pub backbone: Backbone,
+    pub config: RcktConfig,
+    pub num_questions: usize,
+    pub num_concepts: usize,
+    /// Inner weight payload (the `ParamStore` JSON).
+    pub weights: String,
+}
+
+#[derive(Debug)]
+pub enum PersistError {
+    /// The file's format version is not supported.
+    Version(u32),
+    Json(serde_json::Error),
+}
+
+impl std::fmt::Display for PersistError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PersistError::Version(v) => {
+                write!(f, "unsupported model file version {v} (expected {MODEL_FILE_VERSION})")
+            }
+            PersistError::Json(e) => write!(f, "model file parse error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for PersistError {}
+
+impl From<serde_json::Error> for PersistError {
+    fn from(e: serde_json::Error) -> Self {
+        PersistError::Json(e)
+    }
+}
+
+impl Rckt {
+    /// Serialize the model (architecture + weights) into one JSON string.
+    pub fn export(&self, num_questions: usize, num_concepts: usize) -> String {
+        let saved = SavedModel {
+            version: MODEL_FILE_VERSION,
+            backbone: self.backbone,
+            config: self.cfg.clone(),
+            num_questions,
+            num_concepts,
+            weights: self.save_weights(),
+        };
+        serde_json::to_string(&saved).expect("model serialization")
+    }
+
+    /// Rebuild a model from [`Rckt::export`] output.
+    pub fn import(json: &str) -> Result<Rckt, PersistError> {
+        let saved: SavedModel = serde_json::from_str(json)?;
+        if saved.version != MODEL_FILE_VERSION {
+            return Err(PersistError::Version(saved.version));
+        }
+        let mut model =
+            Rckt::new(saved.backbone, saved.num_questions, saved.num_concepts, saved.config);
+        model.load_weights(&saved.weights)?;
+        Ok(model)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rckt_data::{make_batches, windows, SyntheticSpec};
+
+    #[test]
+    fn export_import_roundtrip_preserves_predictions() {
+        let ds = SyntheticSpec::assist09().scaled(0.05).generate();
+        let ws = windows(&ds, 20, 5);
+        let idx: Vec<usize> = (0..ws.len().min(4)).collect();
+        let batches = make_batches(&ws, &idx, &ds.q_matrix, 4);
+        let model = Rckt::new(
+            Backbone::Akt,
+            ds.num_questions(),
+            ds.num_concepts(),
+            RcktConfig { dim: 16, heads: 2, ..Default::default() },
+        );
+        let json = model.export(ds.num_questions(), ds.num_concepts());
+        let restored = Rckt::import(&json).unwrap();
+        let a = model.predict_last(&batches[0]);
+        let b = restored.predict_last(&batches[0]);
+        for (x, y) in a.iter().zip(&b) {
+            assert!((x.prob - y.prob).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn wrong_version_is_rejected() {
+        let ds = SyntheticSpec::assist09().scaled(0.05).generate();
+        let model = Rckt::new(
+            Backbone::Dkt,
+            ds.num_questions(),
+            ds.num_concepts(),
+            RcktConfig { dim: 8, ..Default::default() },
+        );
+        let json = model.export(ds.num_questions(), ds.num_concepts());
+        let tampered = json.replacen("\"version\":1", "\"version\":99", 1);
+        assert!(matches!(Rckt::import(&tampered), Err(PersistError::Version(99))));
+    }
+
+    #[test]
+    fn garbage_is_a_parse_error() {
+        assert!(matches!(Rckt::import("not json"), Err(PersistError::Json(_))));
+    }
+}

@@ -1,0 +1,200 @@
+//! Interpretable knowledge-proficiency tracing (paper Sec. V-E, Eq. 30).
+//!
+//! RCKT probes a concept `k` by building a *virtual target question* whose
+//! embedding is the mean ID embedding of every question tagged with `k`,
+//! plus `k`'s own embedding. The proficiency after the first `j` responses
+//! is the normalized influence margin for that virtual target appended
+//! after the length-`j` prefix — scaled into `(0, 1)` by construction.
+
+use crate::model::{InfluenceRecord, Rckt};
+use rckt_data::{Batch, QMatrix, Window};
+use rckt_models::common::ProbeSpec;
+
+/// Proficiency trajectory of one student on one concept.
+#[derive(Clone, Debug)]
+pub struct ProficiencyTrace {
+    pub concept: u16,
+    /// `after[j]` = proficiency after responses `0..=j` (length = window
+    /// len); values in `(0, 1)`.
+    pub after: Vec<f32>,
+}
+
+impl ProficiencyTrace {
+    /// Values min-max rescaled into `(0, 1)` for display, as the paper does
+    /// for its Fig. 5 squares ("whose values are scaled into (0,1)"). The
+    /// raw margin is diluted by the `1/(2t)` normalization, so rescaling
+    /// makes the trajectory's shape visible.
+    pub fn min_max_scaled(&self) -> Vec<f32> {
+        let lo = self.after.iter().copied().fold(f32::INFINITY, f32::min);
+        let hi = self.after.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        if !(hi - lo).is_normal() {
+            return vec![0.5; self.after.len()];
+        }
+        self.after.iter().map(|&v| 0.05 + 0.9 * (v - lo) / (hi - lo)).collect()
+    }
+}
+
+/// A window expanded into per-prefix probe rows: row `j` holds the first
+/// `j + 1` real responses followed by a probe slot.
+fn probe_batch(window: &Window, qm: &QMatrix) -> (Batch, Vec<usize>) {
+    let len = window.len;
+    assert!(len >= 1);
+    let t_len = len + 1;
+    let bsz = len;
+    let mut questions = Vec::with_capacity(bsz * t_len);
+    let mut concept_flat = Vec::new();
+    let mut concept_lens = Vec::with_capacity(bsz * t_len);
+    let mut correct = Vec::with_capacity(bsz * t_len);
+    let mut valid = Vec::with_capacity(bsz * t_len);
+    let mut targets = Vec::with_capacity(bsz);
+    for j in 0..len {
+        // row j: prefix = responses 0..=j, probe target at position j+1
+        for t in 0..t_len {
+            let q = if t < len { window.questions[t] as usize } else { 0 };
+            questions.push(q);
+            let ks = qm.concepts_of(q as u32);
+            concept_lens.push(ks.len());
+            concept_flat.extend(ks.iter().map(|&k| k as usize));
+            correct.push(if t < len { window.correct[t] as f32 } else { 0.0 });
+            valid.push(t <= j + 1);
+        }
+        targets.push(j + 1);
+    }
+    let students = vec![window.student; bsz];
+    (
+        Batch { batch: bsz, t_len, students, questions, concept_flat, concept_lens, correct, valid },
+        targets,
+    )
+}
+
+impl Rckt {
+    /// Trace proficiency on `concept` after every response of `window`.
+    pub fn trace_proficiency(&self, window: &Window, qm: &QMatrix, concept: u16) -> ProficiencyTrace {
+        let (batch, targets) = probe_batch(window, qm);
+        let questions: Vec<usize> =
+            qm.questions_of(concept).into_iter().map(|q| q as usize).collect();
+        assert!(!questions.is_empty(), "concept {concept} has no questions");
+        let probes: Vec<ProbeSpec> = (0..batch.batch)
+            .map(|b| ProbeSpec {
+                position: b * batch.t_len + targets[b],
+                questions: questions.clone(),
+                concept: concept as usize,
+            })
+            .collect();
+        let preds = self.predict_targets_probed(&batch, &targets, &probes);
+        ProficiencyTrace { concept, after: preds.into_iter().map(|p| p.prob).collect() }
+    }
+
+    /// Per-response influences on capturing `concept` after the whole
+    /// window (the octagon row at the bottom of the paper's Fig. 5).
+    pub fn concept_influences(
+        &self,
+        window: &Window,
+        qm: &QMatrix,
+        concept: u16,
+    ) -> InfluenceRecord {
+        let (batch, targets) = probe_batch(window, qm);
+        let questions: Vec<usize> =
+            qm.questions_of(concept).into_iter().map(|q| q as usize).collect();
+        assert!(!questions.is_empty(), "concept {concept} has no questions");
+        // only the final prefix row is needed
+        let last = batch.batch - 1;
+        let sub = sub_batch(&batch, last);
+        let probe = ProbeSpec { position: targets[last], questions, concept: concept as usize };
+        self.influences_probed(&sub, &[targets[last]], &[probe])
+            .into_iter()
+            .next()
+            .expect("one record")
+    }
+}
+
+/// Extract sequence `b` of a batch as a standalone single-row batch.
+fn sub_batch(batch: &Batch, b: usize) -> Batch {
+    let t_len = batch.t_len;
+    let range = b * t_len..(b + 1) * t_len;
+    let mut concept_flat = Vec::new();
+    let mut cursor = 0;
+    for (i, &len) in batch.concept_lens.iter().enumerate() {
+        if range.contains(&i) {
+            concept_flat.extend_from_slice(&batch.concept_flat[cursor..cursor + len]);
+        }
+        cursor += len;
+    }
+    Batch {
+        batch: 1,
+        t_len,
+        students: vec![batch.students[b]],
+        questions: batch.questions[range.clone()].to_vec(),
+        concept_flat,
+        concept_lens: batch.concept_lens[range.clone()].to_vec(),
+        correct: batch.correct[range.clone()].to_vec(),
+        valid: batch.valid[range].to_vec(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{Backbone, RcktConfig};
+    use rckt_data::SyntheticSpec;
+
+    fn toy_window() -> (rckt_data::Dataset, Window) {
+        let ds = SyntheticSpec::assist09().scaled(0.02).generate();
+        let seq = &ds.sequences[0];
+        let len = seq.len().min(8);
+        let mut questions = vec![0u32; len];
+        let mut correct = vec![0u8; len];
+        for t in 0..len {
+            questions[t] = seq.interactions[t].question;
+            correct[t] = seq.interactions[t].correct as u8;
+        }
+        (ds.clone(), Window { student: 0, questions, correct, len })
+    }
+
+    #[test]
+    fn probe_batch_shapes() {
+        let (ds, w) = toy_window();
+        let (batch, targets) = probe_batch(&w, &ds.q_matrix);
+        assert_eq!(batch.batch, w.len);
+        assert_eq!(batch.t_len, w.len + 1);
+        assert_eq!(targets, (1..=w.len).collect::<Vec<_>>());
+        for (j, &target) in targets.iter().enumerate() {
+            for t in 0..batch.t_len {
+                let v = batch.valid[j * batch.t_len + t];
+                assert_eq!(v, t <= target, "row {j} pos {t}");
+            }
+        }
+    }
+
+    #[test]
+    fn proficiency_values_are_scaled() {
+        let (ds, w) = toy_window();
+        let model = Rckt::new(
+            Backbone::Dkt,
+            ds.num_questions(),
+            ds.num_concepts(),
+            RcktConfig { dim: 16, ..Default::default() },
+        );
+        let concept = ds.q_matrix.concepts_of(w.questions[0])[0];
+        let trace = model.trace_proficiency(&w, &ds.q_matrix, concept);
+        assert_eq!(trace.after.len(), w.len);
+        for &p in &trace.after {
+            assert!((0.0..=1.0).contains(&p), "proficiency {p} out of range");
+        }
+    }
+
+    #[test]
+    fn concept_influences_cover_all_responses() {
+        let (ds, w) = toy_window();
+        let model = Rckt::new(
+            Backbone::Dkt,
+            ds.num_questions(),
+            ds.num_concepts(),
+            RcktConfig { dim: 16, ..Default::default() },
+        );
+        let concept = ds.q_matrix.concepts_of(w.questions[0])[0];
+        let rec = model.concept_influences(&w, &ds.q_matrix, concept);
+        assert_eq!(rec.influences.len(), w.len);
+        assert_eq!(rec.target, w.len);
+    }
+}

@@ -1,0 +1,186 @@
+//! Loader for real response-log CSVs (for users who have the original
+//! ASSISTments/Slepemapy/Eedi downloads).
+//!
+//! Expected header and row format (comma-separated):
+//!
+//! ```text
+//! student,question,concepts,correct,timestamp
+//! 17,403,"12;37",1,1284
+//! ```
+//!
+//! `concepts` is a `;`-separated list. Raw ids are arbitrary strings and are
+//! densified in first-seen order. Rows are grouped by student and sorted by
+//! timestamp.
+
+use crate::types::{ConceptId, Dataset, Interaction, QMatrix, ResponseSeq};
+use std::collections::HashMap;
+use std::fmt;
+
+#[derive(Debug)]
+pub enum CsvError {
+    /// Line number (1-based) and description.
+    Parse(usize, String),
+    Io(std::io::Error),
+}
+
+impl fmt::Display for CsvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CsvError::Parse(line, msg) => write!(f, "line {line}: {msg}"),
+            CsvError::Io(e) => write!(f, "io error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CsvError {}
+
+impl From<std::io::Error> for CsvError {
+    fn from(e: std::io::Error) -> Self {
+        CsvError::Io(e)
+    }
+}
+
+/// Parse CSV text into a [`Dataset`].
+pub fn parse_csv(name: &str, text: &str) -> Result<Dataset, CsvError> {
+    let mut students: HashMap<String, u32> = HashMap::new();
+    let mut questions: HashMap<String, u32> = HashMap::new();
+    let mut concepts: HashMap<String, ConceptId> = HashMap::new();
+    let mut q_concepts: Vec<Vec<ConceptId>> = Vec::new();
+    let mut rows: Vec<(u32, Interaction)> = Vec::new();
+
+    for (ln, line) in text.lines().enumerate() {
+        let lineno = ln + 1;
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        if ln == 0 && line.to_lowercase().starts_with("student") {
+            continue; // header
+        }
+        let fields = split_csv_line(line);
+        if fields.len() != 5 {
+            return Err(CsvError::Parse(lineno, format!("expected 5 fields, got {}", fields.len())));
+        }
+        let n_students = students.len() as u32;
+        let student = *students.entry(fields[0].clone()).or_insert(n_students);
+        let n_questions = questions.len() as u32;
+        let question = *questions.entry(fields[1].clone()).or_insert_with(|| {
+            q_concepts.push(Vec::new());
+            n_questions
+        });
+        let tags: Vec<ConceptId> = fields[2]
+            .split(';')
+            .filter(|s| !s.trim().is_empty())
+            .map(|raw| {
+                let n = concepts.len() as ConceptId;
+                *concepts.entry(raw.trim().to_string()).or_insert(n)
+            })
+            .collect();
+        if tags.is_empty() {
+            return Err(CsvError::Parse(lineno, "question has no concepts".into()));
+        }
+        let qc = &mut q_concepts[question as usize];
+        if qc.is_empty() {
+            *qc = tags;
+        }
+        let correct = match fields[3].trim() {
+            "0" => false,
+            "1" => true,
+            other => {
+                return Err(CsvError::Parse(lineno, format!("correct must be 0/1, got {other:?}")))
+            }
+        };
+        let timestamp: u64 = fields[4]
+            .trim()
+            .parse()
+            .map_err(|_| CsvError::Parse(lineno, format!("bad timestamp {:?}", fields[4])))?;
+        rows.push((student, Interaction { question, correct, timestamp }));
+    }
+
+    let mut by_student: HashMap<u32, Vec<Interaction>> = HashMap::new();
+    for (s, it) in rows {
+        by_student.entry(s).or_default().push(it);
+    }
+    let mut sequences: Vec<ResponseSeq> = by_student
+        .into_iter()
+        .map(|(student, mut interactions)| {
+            interactions.sort_by_key(|i| i.timestamp);
+            ResponseSeq { student, interactions }
+        })
+        .collect();
+    sequences.sort_by_key(|s| s.student);
+
+    Ok(Dataset {
+        name: name.to_string(),
+        sequences,
+        q_matrix: QMatrix::new(q_concepts, concepts.len().max(1)),
+    })
+}
+
+/// Load a dataset from a CSV file on disk.
+pub fn load_csv(name: &str, path: &std::path::Path) -> Result<Dataset, CsvError> {
+    let text = std::fs::read_to_string(path)?;
+    parse_csv(name, &text)
+}
+
+/// Minimal CSV field splitter with double-quote support (enough for the
+/// `"12;37"` concept lists the format uses).
+fn split_csv_line(line: &str) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut cur = String::new();
+    let mut in_quotes = false;
+    for c in line.chars() {
+        match c {
+            '"' => in_quotes = !in_quotes,
+            ',' if !in_quotes => fields.push(std::mem::take(&mut cur)),
+            _ => cur.push(c),
+        }
+    }
+    fields.push(cur);
+    fields
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = "\
+student,question,concepts,correct,timestamp
+a,q1,\"k1;k2\",1,3
+a,q2,k1,0,1
+b,q1,\"k1;k2\",0,5
+";
+
+    #[test]
+    fn parses_and_densifies() {
+        let ds = parse_csv("t", SAMPLE).unwrap();
+        assert_eq!(ds.sequences.len(), 2);
+        assert_eq!(ds.num_questions(), 2);
+        assert_eq!(ds.num_concepts(), 2);
+        // student a's responses sorted by timestamp: q2 then q1
+        assert_eq!(ds.sequences[0].interactions[0].question, 1);
+        assert_eq!(ds.sequences[0].interactions[1].question, 0);
+        assert_eq!(ds.q_matrix.concepts_of(0).len(), 2);
+    }
+
+    #[test]
+    fn rejects_bad_correct_flag() {
+        let bad = "student,question,concepts,correct,timestamp\na,q,k,yes,1\n";
+        let err = parse_csv("t", bad).unwrap_err();
+        assert!(matches!(err, CsvError::Parse(2, _)));
+    }
+
+    #[test]
+    fn rejects_wrong_arity() {
+        let bad = "a,q,k,1\n";
+        assert!(parse_csv("t", bad).is_err());
+    }
+
+    #[test]
+    fn roundtrip_through_windows() {
+        let ds = parse_csv("t", SAMPLE).unwrap();
+        let ws = crate::preprocess::windows(&ds, 10, 1);
+        assert_eq!(ws.len(), 2);
+        assert_eq!(ws[0].len, 2);
+    }
+}

@@ -1,0 +1,36 @@
+//! # rckt-data
+//!
+//! Datasets for the RCKT knowledge-tracing reproduction:
+//!
+//! * [`types`] — interactions, response sequences, Q-matrix, datasets.
+//! * [`synthetic`] — an IRT-style student simulator with presets mirroring
+//!   the paper's four datasets (ASSIST09/12, Slepemapy, Eedi) at CPU scale;
+//!   it satisfies the monotonicity assumption by construction.
+//! * [`preprocess`] — the paper's length-50 windowing plus model batches.
+//! * [`split`] — five-fold cross-validation with a 10% validation carve-out.
+//! * [`stats`] — Table II statistics.
+//! * [`csv`] — loader for real response logs.
+//!
+//! ```
+//! use rckt_data::synthetic::SyntheticSpec;
+//! use rckt_data::preprocess::{windows, DEFAULT_WINDOW_LEN, DEFAULT_MIN_LEN};
+//! use rckt_data::split::KFold;
+//!
+//! let ds = SyntheticSpec::assist09().scaled(0.05).generate();
+//! let ws = windows(&ds, DEFAULT_WINDOW_LEN, DEFAULT_MIN_LEN);
+//! let folds = KFold::paper(42).split(ws.len());
+//! assert_eq!(folds.len(), 5);
+//! ```
+
+pub mod csv;
+pub mod preprocess;
+pub mod split;
+pub mod stats;
+pub mod synthetic;
+pub mod types;
+
+pub use preprocess::{make_batches, windows, Batch, Window};
+pub use split::{Fold, KFold};
+pub use stats::DatasetStats;
+pub use synthetic::{QuestionPolicy, SyntheticSpec};
+pub use types::{ConceptId, Dataset, Interaction, QMatrix, QuestionId, ResponseSeq};

@@ -1,0 +1,190 @@
+//! Paper-faithful preprocessing: length-50 windows and model batches.
+//!
+//! Sec. V-A1: "we split every student's response sequence into subsequences
+//! of 50 responses each. Subsequences with fewer than 5 responses are
+//! removed, and those with fewer than 50 responses are padded."
+
+use crate::types::{Dataset, QMatrix};
+
+pub const DEFAULT_WINDOW_LEN: usize = 50;
+pub const DEFAULT_MIN_LEN: usize = 5;
+
+/// A fixed-length training window (padded past `len`).
+#[derive(Clone, Debug)]
+pub struct Window {
+    pub student: u32,
+    /// Question ids; entries at `len..` are padding (question 0).
+    pub questions: Vec<u32>,
+    /// Correctness 0/1; entries at `len..` are padding (0).
+    pub correct: Vec<u8>,
+    /// Number of real (non-padding) responses.
+    pub len: usize,
+}
+
+/// Split a dataset into padded windows.
+pub fn windows(ds: &Dataset, window_len: usize, min_len: usize) -> Vec<Window> {
+    assert!(min_len >= 1 && min_len <= window_len);
+    let mut out = Vec::new();
+    for seq in &ds.sequences {
+        for chunk in seq.interactions.chunks(window_len) {
+            if chunk.len() < min_len {
+                continue;
+            }
+            let mut questions = vec![0u32; window_len];
+            let mut correct = vec![0u8; window_len];
+            for (i, it) in chunk.iter().enumerate() {
+                questions[i] = it.question;
+                correct[i] = it.correct as u8;
+            }
+            out.push(Window { student: seq.student, questions, correct, len: chunk.len() });
+        }
+    }
+    out
+}
+
+/// A batch of windows flattened to b-major `[B*T]` vectors, with the concept
+/// tags pre-resolved so models can embed questions per Eq. 23.
+#[derive(Clone, Debug)]
+pub struct Batch {
+    pub batch: usize,
+    pub t_len: usize,
+    /// Student id per sequence, `[B]` (windows of one student share it).
+    pub students: Vec<u32>,
+    /// Question id per position, `[B*T]`.
+    pub questions: Vec<usize>,
+    /// Concept ids of all positions, flattened position-major.
+    pub concept_flat: Vec<usize>,
+    /// Number of concepts per position, `[B*T]` (≥ 1 even for padding —
+    /// padding uses question 0's tags and is masked by `valid`).
+    pub concept_lens: Vec<usize>,
+    /// Ground-truth correctness per position (0.0 / 1.0), `[B*T]`.
+    pub correct: Vec<f32>,
+    /// Whether the position is a real response (not padding), `[B*T]`.
+    pub valid: Vec<bool>,
+}
+
+impl Batch {
+    pub fn from_windows(ws: &[&Window], qm: &QMatrix) -> Batch {
+        assert!(!ws.is_empty());
+        let t_len = ws[0].questions.len();
+        assert!(ws.iter().all(|w| w.questions.len() == t_len));
+        let batch = ws.len();
+        let students: Vec<u32> = ws.iter().map(|w| w.student).collect();
+        let n = batch * t_len;
+        let mut questions = Vec::with_capacity(n);
+        let mut concept_flat = Vec::new();
+        let mut concept_lens = Vec::with_capacity(n);
+        let mut correct = Vec::with_capacity(n);
+        let mut valid = Vec::with_capacity(n);
+        for w in ws {
+            for t in 0..t_len {
+                let q = w.questions[t] as usize;
+                questions.push(q);
+                let ks = qm.concepts_of(q as u32);
+                concept_lens.push(ks.len());
+                concept_flat.extend(ks.iter().map(|&k| k as usize));
+                correct.push(w.correct[t] as f32);
+                valid.push(t < w.len);
+            }
+        }
+        Batch { batch, t_len, students, questions, concept_flat, concept_lens, correct, valid }
+    }
+
+    /// Number of real responses in the batch.
+    pub fn num_valid(&self) -> usize {
+        self.valid.iter().filter(|v| **v).count()
+    }
+
+    /// Valid length of sequence `b`.
+    pub fn seq_len(&self, b: usize) -> usize {
+        (0..self.t_len).take_while(|&t| self.valid[b * self.t_len + t]).count()
+    }
+}
+
+/// Chunk `indices` into batches of (at most) `batch_size` windows.
+pub fn make_batches<'a>(
+    ws: &'a [Window],
+    indices: &[usize],
+    qm: &QMatrix,
+    batch_size: usize,
+) -> Vec<Batch> {
+    assert!(batch_size >= 1);
+    indices
+        .chunks(batch_size)
+        .map(|chunk| {
+            let refs: Vec<&'a Window> = chunk.iter().map(|&i| &ws[i]).collect();
+            Batch::from_windows(&refs, qm)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::{Interaction, ResponseSeq};
+
+    fn ds(lens: &[usize]) -> Dataset {
+        let qm = QMatrix::new(vec![vec![0], vec![1], vec![0, 1]], 2);
+        let sequences = lens
+            .iter()
+            .enumerate()
+            .map(|(u, &l)| ResponseSeq {
+                student: u as u32,
+                interactions: (0..l)
+                    .map(|t| Interaction {
+                        question: (t % 3) as u32,
+                        correct: t % 2 == 0,
+                        timestamp: t as u64,
+                    })
+                    .collect(),
+            })
+            .collect();
+        Dataset { name: "t".into(), sequences, q_matrix: qm }
+    }
+
+    #[test]
+    fn windows_split_pad_and_filter() {
+        // 120 -> windows of 50, 50, 20; 3 -> dropped; 7 -> kept padded.
+        let d = ds(&[120, 3, 7]);
+        let ws = windows(&d, 50, 5);
+        assert_eq!(ws.len(), 4);
+        let lens: Vec<usize> = ws.iter().map(|w| w.len).collect();
+        assert_eq!(lens, vec![50, 50, 20, 7]);
+        for w in &ws {
+            assert_eq!(w.questions.len(), 50);
+            // padding is zeroed
+            for t in w.len..50 {
+                assert_eq!(w.questions[t], 0);
+                assert_eq!(w.correct[t], 0);
+            }
+        }
+    }
+
+    #[test]
+    fn batch_layout_is_b_major() {
+        let d = ds(&[10, 8]);
+        let ws = windows(&d, 10, 5);
+        let refs: Vec<&Window> = ws.iter().collect();
+        let b = Batch::from_windows(&refs, &d.q_matrix);
+        assert_eq!(b.batch, 2);
+        assert_eq!(b.t_len, 10);
+        // position (b=1, t=2) is row 1*10+2
+        assert_eq!(b.questions[12], 2);
+        assert_eq!(b.concept_lens[12], 2); // question 2 has two concepts
+        assert_eq!(b.seq_len(0), 10);
+        assert_eq!(b.seq_len(1), 8);
+        assert_eq!(b.num_valid(), 18);
+        assert_eq!(b.concept_flat.len(), b.concept_lens.iter().sum::<usize>());
+    }
+
+    #[test]
+    fn make_batches_chunks() {
+        let d = ds(&[10, 10, 10]);
+        let ws = windows(&d, 10, 5);
+        let idx: Vec<usize> = (0..ws.len()).collect();
+        let batches = make_batches(&ws, &idx, &d.q_matrix, 2);
+        assert_eq!(batches.len(), 2);
+        assert_eq!(batches[0].batch, 2);
+        assert_eq!(batches[1].batch, 1);
+    }
+}

@@ -1,0 +1,109 @@
+//! Cross-validation splits (Sec. V-A2: five-fold CV, 10% of training
+//! sequences held out for validation / early stopping).
+
+use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// One train/validation/test split over item indices.
+#[derive(Clone, Debug)]
+pub struct Fold {
+    pub train: Vec<usize>,
+    pub val: Vec<usize>,
+    pub test: Vec<usize>,
+}
+
+/// Deterministic k-fold splitter.
+#[derive(Clone, Copy, Debug)]
+pub struct KFold {
+    pub folds: usize,
+    /// Fraction of the non-test items carved out for validation.
+    pub val_frac: f64,
+    pub seed: u64,
+}
+
+impl KFold {
+    /// The paper's setting: 5 folds, 10% validation.
+    pub fn paper(seed: u64) -> Self {
+        KFold { folds: 5, val_frac: 0.10, seed }
+    }
+
+    /// Split `n` items into `self.folds` folds.
+    pub fn split(&self, n: usize) -> Vec<Fold> {
+        assert!(self.folds >= 2, "need at least 2 folds");
+        assert!(n >= self.folds, "fewer items than folds");
+        assert!((0.0..1.0).contains(&self.val_frac));
+        let mut idx: Vec<usize> = (0..n).collect();
+        let mut rng = SmallRng::seed_from_u64(self.seed);
+        idx.shuffle(&mut rng);
+
+        let mut folds = Vec::with_capacity(self.folds);
+        for f in 0..self.folds {
+            let lo = n * f / self.folds;
+            let hi = n * (f + 1) / self.folds;
+            let test: Vec<usize> = idx[lo..hi].to_vec();
+            let rest: Vec<usize> =
+                idx[..lo].iter().chain(&idx[hi..]).copied().collect();
+            let n_val = ((rest.len() as f64) * self.val_frac).round() as usize;
+            let n_val = n_val.min(rest.len().saturating_sub(1)).max(1);
+            let val = rest[..n_val].to_vec();
+            let train = rest[n_val..].to_vec();
+            folds.push(Fold { train, val, test });
+        }
+        folds
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn folds_partition_test_sets() {
+        let kf = KFold::paper(42);
+        let folds = kf.split(103);
+        assert_eq!(folds.len(), 5);
+        let mut all_test = HashSet::new();
+        for f in &folds {
+            for &i in &f.test {
+                assert!(all_test.insert(i), "index {i} in two test folds");
+            }
+        }
+        assert_eq!(all_test.len(), 103);
+    }
+
+    #[test]
+    fn train_val_test_disjoint_and_complete() {
+        let folds = KFold::paper(7).split(50);
+        for f in &folds {
+            let mut seen = HashSet::new();
+            for &i in f.train.iter().chain(&f.val).chain(&f.test) {
+                assert!(seen.insert(i));
+            }
+            assert_eq!(seen.len(), 50);
+            assert!(!f.val.is_empty());
+            assert!(!f.train.is_empty());
+        }
+    }
+
+    #[test]
+    fn val_fraction_respected() {
+        let folds = KFold { folds: 5, val_frac: 0.10, seed: 1 }.split(1000);
+        for f in &folds {
+            let non_test = f.train.len() + f.val.len();
+            let frac = f.val.len() as f64 / non_test as f64;
+            assert!((frac - 0.10).abs() < 0.01, "val frac {frac}");
+        }
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let a = KFold::paper(9).split(40);
+        let b = KFold::paper(9).split(40);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.test, y.test);
+            assert_eq!(x.train, y.train);
+        }
+    }
+}

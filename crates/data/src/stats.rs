@@ -1,0 +1,113 @@
+//! Dataset statistics in the shape of the paper's Table II.
+
+use crate::preprocess::Window;
+use crate::types::Dataset;
+use std::fmt;
+
+/// The Table II row set for one dataset.
+#[derive(Clone, Debug, PartialEq)]
+pub struct DatasetStats {
+    pub name: String,
+    pub num_responses: usize,
+    /// Number of preprocessed windows ("#sequence" in the paper).
+    pub num_sequences: usize,
+    pub num_questions: usize,
+    pub num_concepts: usize,
+    pub concepts_per_question: f64,
+    pub correct_rate: f64,
+}
+
+impl DatasetStats {
+    pub fn compute(ds: &Dataset, windows: &[Window]) -> Self {
+        DatasetStats {
+            name: ds.name.clone(),
+            num_responses: windows.iter().map(|w| w.len).sum(),
+            num_sequences: windows.len(),
+            num_questions: ds.num_questions(),
+            num_concepts: ds.num_concepts(),
+            concepts_per_question: ds.q_matrix.concepts_per_question(),
+            correct_rate: {
+                let total: usize = windows.iter().map(|w| w.len).sum();
+                let correct: usize = windows
+                    .iter()
+                    .map(|w| w.correct[..w.len].iter().map(|&c| c as usize).sum::<usize>())
+                    .sum();
+                if total == 0 {
+                    0.0
+                } else {
+                    correct as f64 / total as f64
+                }
+            },
+        }
+    }
+}
+
+impl fmt::Display for DatasetStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Dataset            {}", self.name)?;
+        writeln!(f, "#response          {}", self.num_responses)?;
+        writeln!(f, "#sequence          {}", self.num_sequences)?;
+        writeln!(f, "#question          {}", self.num_questions)?;
+        writeln!(f, "#concept           {}", self.num_concepts)?;
+        writeln!(f, "#concept/question  {:.2}", self.concepts_per_question)?;
+        write!(f, "%correct responses {:.2}", self.correct_rate)
+    }
+}
+
+/// Render several datasets as one Table II-style text table.
+pub fn table2(stats: &[DatasetStats]) -> String {
+    let mut s = String::new();
+    let w = 12;
+    s.push_str(&format!("{:<20}", "Dataset"));
+    for st in stats {
+        s.push_str(&format!("{:>w$}", st.name, w = w));
+    }
+    s.push('\n');
+    type RowGetter = Box<dyn Fn(&DatasetStats) -> String>;
+    let rows: Vec<(&str, RowGetter)> = vec![
+        ("#response", Box::new(|st: &DatasetStats| st.num_responses.to_string())),
+        ("#sequence", Box::new(|st| st.num_sequences.to_string())),
+        ("#question", Box::new(|st| st.num_questions.to_string())),
+        ("#concept", Box::new(|st| st.num_concepts.to_string())),
+        ("#concept/question", Box::new(|st| format!("{:.2}", st.concepts_per_question))),
+        ("%correct", Box::new(|st| format!("{:.2}", st.correct_rate))),
+    ];
+    for (label, get) in rows {
+        s.push_str(&format!("{label:<20}"));
+        for st in stats {
+            s.push_str(&format!("{:>w$}", get(st), w = w));
+        }
+        s.push('\n');
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::preprocess::windows;
+    use crate::synthetic::SyntheticSpec;
+
+    #[test]
+    fn stats_consistent_with_dataset() {
+        let ds = SyntheticSpec::assist09().scaled(0.1).generate();
+        let ws = windows(&ds, 50, 5);
+        let st = DatasetStats::compute(&ds, &ws);
+        assert_eq!(st.num_questions, ds.num_questions());
+        assert_eq!(st.num_concepts, ds.num_concepts());
+        assert!(st.num_responses <= ds.num_responses());
+        assert!(st.num_sequences >= ds.sequences.len()); // windows split long sequences
+        assert!(st.correct_rate > 0.4 && st.correct_rate < 0.9);
+    }
+
+    #[test]
+    fn table_renders_all_columns() {
+        let ds = SyntheticSpec::assist12().scaled(0.05).generate();
+        let ws = windows(&ds, 50, 5);
+        let st = DatasetStats::compute(&ds, &ws);
+        let t = table2(&[st.clone(), st]);
+        assert!(t.contains("#response"));
+        assert!(t.contains("assist12"));
+        assert_eq!(t.lines().count(), 7);
+    }
+}

@@ -1,0 +1,543 @@
+//! Synthetic student simulator.
+//!
+//! The paper evaluates on four proprietary-download datasets (ASSIST09,
+//! ASSIST12, Slepemapy, Eedi). This module substitutes an IRT-style
+//! generative model of student learning whose presets mirror each dataset's
+//! Table II statistics (correct rate, concepts-per-question multiplicity,
+//! question/concept counts) at CPU-trainable scale.
+//!
+//! The simulator satisfies the paper's **monotonicity assumption by
+//! construction**: the probability of a correct response is strictly
+//! increasing in the student's (latent) proficiency on the question's
+//! concepts — which is exactly the structural property RCKT's counterfactual
+//! sequence construction relies on (Sec. III-C of the paper).
+//!
+//! Generative model per student `u` and question `q` with concepts `K(q)`:
+//!
+//! ```text
+//! ability_u            ~ N(0, 1)
+//! group effect γ_{u,g} ~ N(0, 0.4)          (concepts are clustered in groups)
+//! proficiency s_{u,k}  = ability_u + γ + N(0, 0.4)     (initial)
+//! difficulty  b_q      ~ N(δ, 1)            (δ calibrated to the target rate)
+//! p(correct)           = guess + (1 − guess − slip) · σ(a · (mean_k s − b_q))
+//! ```
+//!
+//! after each practice of concept `k`: `s ← s + gain · (cap − s)` plus a
+//! bonus when the answer was correct; unpracticed concepts decay
+//! exponentially back toward their baseline (forgetting curve).
+
+use crate::types::{ConceptId, Dataset, Interaction, QMatrix, ResponseSeq};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// How the simulated tutoring system picks the next question.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum QuestionPolicy {
+    /// Uniformly random over the bank (with concept locality applied on
+    /// top, per `SyntheticSpec::locality`).
+    Random,
+    /// Adaptive practice: among a random candidate set, pick the question
+    /// whose success probability is closest to the given target — the
+    /// scheduling rule of adaptive systems like slepemapy.cz, which keeps
+    /// learners near a fixed challenge level.
+    Adaptive {
+        /// Desired success probability ×100 (e.g. 75 for 75%).
+        target_pct: u8,
+    },
+}
+
+/// Full specification of a synthetic dataset.
+#[derive(Clone, Debug)]
+pub struct SyntheticSpec {
+    pub name: String,
+    pub students: usize,
+    pub questions: usize,
+    pub concepts: usize,
+    /// Number of related-concept clusters (shared group ability; drives the
+    /// "different but relevant concept" influence effect of the paper's
+    /// Fig. 1 example).
+    pub concept_groups: usize,
+    /// Probability that a question is tagged with a second concept.
+    pub multi_concept_rate: f64,
+    pub seq_len_min: usize,
+    pub seq_len_max: usize,
+    pub guess: f64,
+    pub slip: f64,
+    /// IRT discrimination `a`.
+    pub discrimination: f64,
+    /// Learning-gain rate toward the proficiency cap per practice.
+    pub learn_gain: f64,
+    /// Extra gain on a correct response.
+    pub correct_bonus: f64,
+    /// Exponential forgetting rate per timestep of non-practice.
+    pub forget_rate: f64,
+    /// Probability the next question shares a concept with the current one
+    /// (curriculum locality).
+    pub locality: f64,
+    /// How the tutoring system schedules questions.
+    pub policy: QuestionPolicy,
+    /// Attach a concept hierarchy to the Q-matrix (Eedi-style concept tree,
+    /// with concept groups as subtrees).
+    pub hierarchical: bool,
+    /// Desired overall correct rate (Table II `%correct`); difficulty offset
+    /// δ is calibrated against this.
+    pub target_correct_rate: f64,
+    pub seed: u64,
+}
+
+impl SyntheticSpec {
+    /// ASSIST09-like: multi-concept questions (≈1.2 concepts/question), 63%
+    /// correct.
+    pub fn assist09() -> Self {
+        SyntheticSpec {
+            name: "assist09".into(),
+            students: 240,
+            questions: 600,
+            concepts: 40,
+            concept_groups: 8,
+            multi_concept_rate: 0.22,
+            seq_len_min: 10,
+            seq_len_max: 120,
+            guess: 0.20,
+            slip: 0.10,
+            discrimination: 1.8,
+            learn_gain: 0.08,
+            correct_bonus: 0.05,
+            forget_rate: 0.015,
+            locality: 0.6,
+            policy: QuestionPolicy::Random,
+            hierarchical: false,
+            target_correct_rate: 0.63,
+            seed: 0x0907,
+        }
+    }
+
+    /// ASSIST12-like: single-concept questions, 70% correct.
+    pub fn assist12() -> Self {
+        SyntheticSpec {
+            name: "assist12".into(),
+            students: 300,
+            questions: 800,
+            concepts: 50,
+            concept_groups: 10,
+            multi_concept_rate: 0.0,
+            seq_len_min: 10,
+            seq_len_max: 120,
+            guess: 0.22,
+            slip: 0.08,
+            discrimination: 1.7,
+            learn_gain: 0.07,
+            correct_bonus: 0.05,
+            forget_rate: 0.015,
+            locality: 0.55,
+            policy: QuestionPolicy::Random,
+            hierarchical: false,
+            target_correct_rate: 0.70,
+            seed: 0x1213,
+        }
+    }
+
+    /// Slepemapy-like: geography facts, few question types over many places
+    /// (more concepts relative to questions), 78% correct.
+    pub fn slepemapy() -> Self {
+        SyntheticSpec {
+            name: "slepemapy".into(),
+            students: 300,
+            questions: 320,
+            concepts: 150,
+            concept_groups: 15,
+            multi_concept_rate: 0.0,
+            seq_len_min: 15,
+            seq_len_max: 150,
+            guess: 0.25,
+            slip: 0.05,
+            discrimination: 1.5,
+            learn_gain: 0.10,
+            correct_bonus: 0.06,
+            forget_rate: 0.02,
+            locality: 0.7,
+            // slepemapy.cz is an *adaptive* practice system; schedule
+            // questions near a 78% success level
+            policy: QuestionPolicy::Adaptive { target_pct: 78 },
+            hierarchical: false,
+            target_correct_rate: 0.78,
+            seed: 0x51e9,
+        }
+    }
+
+    /// Eedi-like: diagnostic math questions tagged with leaf nodes of a
+    /// concept tree (groups model the tree's internal nodes), 64% correct.
+    pub fn eedi() -> Self {
+        SyntheticSpec {
+            name: "eedi".into(),
+            students: 260,
+            questions: 700,
+            concepts: 60,
+            concept_groups: 12,
+            multi_concept_rate: 0.15,
+            seq_len_min: 10,
+            seq_len_max: 120,
+            guess: 0.25, // 4-option multiple choice
+            slip: 0.08,
+            discrimination: 1.8,
+            learn_gain: 0.08,
+            correct_bonus: 0.05,
+            forget_rate: 0.015,
+            locality: 0.6,
+            policy: QuestionPolicy::Random,
+            hierarchical: true,
+            target_correct_rate: 0.64,
+            seed: 0xeed1,
+        }
+    }
+
+    /// All four paper presets.
+    pub fn paper_presets() -> Vec<SyntheticSpec> {
+        vec![Self::assist09(), Self::assist12(), Self::slepemapy(), Self::eedi()]
+    }
+
+    /// Scale the number of students (and nothing else) by `f`.
+    pub fn scaled(mut self, f: f64) -> Self {
+        self.students = ((self.students as f64 * f).round() as usize).max(4);
+        self
+    }
+
+    /// Generate the dataset, calibrating difficulty so the realized correct
+    /// rate is close to `target_correct_rate`.
+    pub fn generate(&self) -> Dataset {
+        let mut rng = SmallRng::seed_from_u64(self.seed);
+        let q_matrix = self.gen_q_matrix(&mut rng);
+
+        // Calibrate difficulty offset δ with pilot runs on a student subset.
+        let mut delta = 0.0f64;
+        for _ in 0..4 {
+            let pilot = self.simulate(&q_matrix, delta, self.students.min(40), &mut rng);
+            let rate = observed_rate(&pilot);
+            let adj_target = clamp01((self.target_correct_rate - self.guess)
+                / (1.0 - self.guess - self.slip));
+            let adj_obs =
+                clamp01((rate - self.guess) / (1.0 - self.guess - self.slip));
+            let shift = (logit(adj_target) - logit(adj_obs)) / self.discrimination;
+            delta -= shift;
+            if shift.abs() < 0.02 {
+                break;
+            }
+        }
+
+        let sequences = self.simulate(&q_matrix, delta, self.students, &mut rng);
+        Dataset { name: self.name.clone(), sequences, q_matrix }
+    }
+
+    fn gen_q_matrix(&self, rng: &mut SmallRng) -> QMatrix {
+        assert!(self.concepts >= 2 && self.concepts <= u16::MAX as usize);
+        assert!(self.concept_groups >= 1 && self.concept_groups <= self.concepts);
+        let mut concepts = Vec::with_capacity(self.questions);
+        for q in 0..self.questions {
+            // Round-robin base concept guarantees every concept is used.
+            let k1 = (q % self.concepts) as ConceptId;
+            let mut tags = vec![k1];
+            if rng.gen_bool(self.multi_concept_rate) {
+                // Second concept from the same group (tree sibling).
+                let group = self.group_of(k1 as usize);
+                let group_size = self.concepts / self.concept_groups;
+                let lo = group * group_size;
+                let hi = if group + 1 == self.concept_groups {
+                    self.concepts
+                } else {
+                    lo + group_size
+                };
+                let k2 = rng.gen_range(lo..hi) as ConceptId;
+                if k2 != k1 {
+                    tags.push(k2);
+                }
+            }
+            concepts.push(tags);
+        }
+        let qm = QMatrix::new(concepts, self.concepts);
+        if self.hierarchical {
+            // model the concept tree: the first concept of each group acts
+            // as that group's root; the rest are its leaves
+            let parents: Vec<Option<ConceptId>> = (0..self.concepts)
+                .map(|k| {
+                    let group_size = (self.concepts / self.concept_groups).max(1);
+                    let root = self.group_of(k) * group_size;
+                    if k == root {
+                        None
+                    } else {
+                        Some(root as ConceptId)
+                    }
+                })
+                .collect();
+            qm.with_hierarchy(parents)
+        } else {
+            qm
+        }
+    }
+
+    fn group_of(&self, concept: usize) -> usize {
+        let group_size = (self.concepts / self.concept_groups).max(1);
+        (concept / group_size).min(self.concept_groups - 1)
+    }
+
+    fn simulate(
+        &self,
+        q_matrix: &QMatrix,
+        delta: f64,
+        students: usize,
+        rng: &mut SmallRng,
+    ) -> Vec<ResponseSeq> {
+        let difficulties: Vec<f64> =
+            (0..self.questions).map(|_| delta + normal(rng)).collect();
+        // Questions per concept, for curriculum locality.
+        let mut by_concept: Vec<Vec<u32>> = vec![Vec::new(); self.concepts];
+        for q in 0..self.questions {
+            for &k in q_matrix.concepts_of(q as u32) {
+                by_concept[k as usize].push(q as u32);
+            }
+        }
+
+        let cap = 3.0f64;
+        let mut sequences = Vec::with_capacity(students);
+        for u in 0..students {
+            let ability = normal(rng);
+            let group_fx: Vec<f64> =
+                (0..self.concept_groups).map(|_| 0.4 * normal(rng)).collect();
+            let baseline: Vec<f64> = (0..self.concepts)
+                .map(|k| ability + group_fx[self.group_of(k)] + 0.4 * normal(rng))
+                .collect();
+            let mut prof = baseline.clone();
+            let mut last_practice = vec![0u64; self.concepts];
+
+            let len = rng.gen_range(self.seq_len_min..=self.seq_len_max);
+            let mut interactions = Vec::with_capacity(len);
+            let mut prev_q: Option<u32> = None;
+            for t in 0..len as u64 {
+                // Curriculum: often stay near the previous question's concept.
+                let candidate = |rng: &mut SmallRng, prev_q: Option<u32>| -> u32 {
+                    match prev_q {
+                        Some(pq) if rng.gen_bool(self.locality) => {
+                            let ks = q_matrix.concepts_of(pq);
+                            let k = ks[rng.gen_range(0..ks.len())] as usize;
+                            by_concept[k][rng.gen_range(0..by_concept[k].len())]
+                        }
+                        _ => rng.gen_range(0..self.questions) as u32,
+                    }
+                };
+                let q = match self.policy {
+                    QuestionPolicy::Random => candidate(rng, prev_q),
+                    QuestionPolicy::Adaptive { target_pct } => {
+                        // among a handful of candidates, pick the one whose
+                        // expected success rate is closest to the target
+                        let target = target_pct as f64 / 100.0;
+                        let mut best = candidate(rng, prev_q);
+                        let mut best_gap = f64::INFINITY;
+                        for _ in 0..5 {
+                            let c = candidate(rng, prev_q);
+                            let ks = q_matrix.concepts_of(c);
+                            let mp: f64 = ks.iter().map(|&k| prof[k as usize]).sum::<f64>()
+                                / ks.len() as f64;
+                            let p = self.response_probability(mp, difficulties[c as usize]);
+                            let gap = (p - target).abs();
+                            if gap < best_gap {
+                                best_gap = gap;
+                                best = c;
+                            }
+                        }
+                        best
+                    }
+                };
+                prev_q = Some(q);
+
+                // Lazy forgetting: decay each involved concept since its
+                // last practice, toward its baseline.
+                let ks = q_matrix.concepts_of(q);
+                for &k in ks {
+                    let k = k as usize;
+                    let dt = (t - last_practice[k]) as f64;
+                    if dt > 0.0 {
+                        let decay = (-self.forget_rate * dt).exp();
+                        prof[k] = baseline[k] + (prof[k] - baseline[k]) * decay;
+                    }
+                }
+
+                let mean_prof: f64 =
+                    ks.iter().map(|&k| prof[k as usize]).sum::<f64>() / ks.len() as f64;
+                let p = self.guess
+                    + (1.0 - self.guess - self.slip)
+                        * sigmoid(self.discrimination * (mean_prof - difficulties[q as usize]));
+                let correct = rng.gen_bool(clamp01(p));
+
+                // Learning update.
+                for &k in ks {
+                    let k = k as usize;
+                    let gain = self.learn_gain + if correct { self.correct_bonus } else { 0.0 };
+                    prof[k] += gain * (cap - prof[k]).max(0.0);
+                    last_practice[k] = t;
+                }
+
+                interactions.push(Interaction { question: q, correct, timestamp: t });
+            }
+            sequences.push(ResponseSeq { student: u as u32, interactions });
+        }
+        sequences
+    }
+
+    /// The response probability as a function of mean proficiency — exposed
+    /// so tests can verify monotonicity directly.
+    pub fn response_probability(&self, mean_prof: f64, difficulty: f64) -> f64 {
+        self.guess
+            + (1.0 - self.guess - self.slip)
+                * sigmoid(self.discrimination * (mean_prof - difficulty))
+    }
+}
+
+fn observed_rate(seqs: &[ResponseSeq]) -> f64 {
+    let total: usize = seqs.iter().map(|s| s.len()).sum();
+    if total == 0 {
+        return 0.5;
+    }
+    let correct: usize =
+        seqs.iter().flat_map(|s| &s.interactions).filter(|i| i.correct).count();
+    correct as f64 / total as f64
+}
+
+fn clamp01(p: f64) -> f64 {
+    p.clamp(1e-6, 1.0 - 1e-6)
+}
+
+fn logit(p: f64) -> f64 {
+    let p = clamp01(p);
+    (p / (1.0 - p)).ln()
+}
+
+fn sigmoid(x: f64) -> f64 {
+    1.0 / (1.0 + (-x).exp())
+}
+
+/// Standard normal sample via Box–Muller (keeps us off extra crates).
+fn normal(rng: &mut SmallRng) -> f64 {
+    let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+    let u2: f64 = rng.gen();
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generate_matches_spec_sizes() {
+        let spec = SyntheticSpec::assist09().scaled(0.2);
+        let ds = spec.generate();
+        assert_eq!(ds.sequences.len(), spec.students);
+        assert_eq!(ds.num_questions(), spec.questions);
+        assert_eq!(ds.num_concepts(), spec.concepts);
+        for s in &ds.sequences {
+            assert!(s.len() >= spec.seq_len_min && s.len() <= spec.seq_len_max);
+        }
+    }
+
+    #[test]
+    fn correct_rate_is_calibrated() {
+        for spec in [SyntheticSpec::assist09(), SyntheticSpec::slepemapy()] {
+            let ds = spec.generate();
+            let rate = ds.correct_rate();
+            assert!(
+                (rate - spec.target_correct_rate).abs() < 0.06,
+                "{}: calibrated rate {rate} vs target {}",
+                spec.name,
+                spec.target_correct_rate
+            );
+        }
+    }
+
+    #[test]
+    fn multi_concept_rate_reflected_in_q_matrix() {
+        let ds = SyntheticSpec::assist09().scaled(0.1).generate();
+        let cpq = ds.q_matrix.concepts_per_question();
+        assert!(cpq > 1.05 && cpq < 1.35, "concepts/question {cpq}");
+        let ds12 = SyntheticSpec::assist12().scaled(0.1).generate();
+        assert!((ds12.q_matrix.concepts_per_question() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn response_probability_is_monotone_in_proficiency() {
+        let spec = SyntheticSpec::eedi();
+        let mut prev = 0.0;
+        for i in 0..100 {
+            let prof = -5.0 + i as f64 * 0.1;
+            let p = spec.response_probability(prof, 0.0);
+            assert!(p >= prev, "monotonicity violated at {prof}");
+            prev = p;
+        }
+        // bounded by guess and 1 - slip
+        assert!(spec.response_probability(-100.0, 0.0) >= spec.guess - 1e-9);
+        assert!(spec.response_probability(100.0, 0.0) <= 1.0 - spec.slip + 1e-9);
+    }
+
+    #[test]
+    fn generation_is_deterministic_under_seed() {
+        let a = SyntheticSpec::assist12().scaled(0.05).generate();
+        let b = SyntheticSpec::assist12().scaled(0.05).generate();
+        assert_eq!(a.sequences.len(), b.sequences.len());
+        for (x, y) in a.sequences.iter().zip(&b.sequences) {
+            assert_eq!(x.interactions, y.interactions);
+        }
+    }
+
+    #[test]
+    fn eedi_preset_carries_a_concept_tree() {
+        let ds = SyntheticSpec::eedi().scaled(0.05).generate();
+        // at least one concept has a parent, roots have none
+        let with_parent =
+            (0..ds.num_concepts()).filter(|&k| ds.q_matrix.parent_of(k as u16).is_some()).count();
+        assert!(with_parent > 0, "eedi should attach a hierarchy");
+        for k in 0..ds.num_concepts() as u16 {
+            let root = ds.q_matrix.root_of(k);
+            assert_eq!(ds.q_matrix.parent_of(root), None);
+        }
+        // other presets stay flat
+        let flat = SyntheticSpec::assist12().scaled(0.05).generate();
+        assert!((0..flat.num_concepts() as u16).all(|k| flat.q_matrix.parent_of(k).is_none()));
+    }
+
+    #[test]
+    fn adaptive_policy_concentrates_success_rate() {
+        // Adaptive scheduling holds per-response success probability near
+        // the target, so its realized variance of per-student correct rates
+        // is lower than random scheduling's.
+        let mut random = SyntheticSpec::slepemapy().scaled(0.2);
+        random.policy = QuestionPolicy::Random;
+        let adaptive = SyntheticSpec::slepemapy().scaled(0.2);
+        assert!(matches!(adaptive.policy, QuestionPolicy::Adaptive { .. }));
+        let per_student_var = |ds: &crate::types::Dataset| {
+            let rates: Vec<f64> = ds
+                .sequences
+                .iter()
+                .map(|s| {
+                    s.interactions.iter().filter(|i| i.correct).count() as f64
+                        / s.len().max(1) as f64
+                })
+                .collect();
+            let m = rates.iter().sum::<f64>() / rates.len() as f64;
+            rates.iter().map(|r| (r - m) * (r - m)).sum::<f64>() / rates.len() as f64
+        };
+        let v_adaptive = per_student_var(&adaptive.generate());
+        let v_random = per_student_var(&random.generate());
+        assert!(
+            v_adaptive < v_random,
+            "adaptive should reduce spread: {v_adaptive:.4} vs {v_random:.4}"
+        );
+    }
+
+    #[test]
+    fn every_concept_is_used_by_some_question() {
+        let ds = SyntheticSpec::slepemapy().scaled(0.05).generate();
+        for k in 0..ds.num_concepts() {
+            assert!(
+                !ds.q_matrix.questions_of(k as u16).is_empty(),
+                "concept {k} unused"
+            );
+        }
+    }
+}

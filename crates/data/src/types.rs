@@ -1,0 +1,245 @@
+//! Core knowledge-tracing data types.
+
+use serde::{Deserialize, Serialize};
+
+/// Identifier types. Questions and concepts are dense indices starting at 0.
+pub type QuestionId = u32;
+pub type ConceptId = u16;
+
+/// One student–question interaction.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Interaction {
+    pub question: QuestionId,
+    /// Whether the student answered correctly.
+    pub correct: bool,
+    /// Logical timestamp (monotone within a student); used by forgetting
+    /// analyses, not by the models themselves.
+    pub timestamp: u64,
+}
+
+/// A single student's chronological response sequence.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct ResponseSeq {
+    pub student: u32,
+    pub interactions: Vec<Interaction>,
+}
+
+impl ResponseSeq {
+    pub fn len(&self) -> usize {
+        self.interactions.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.interactions.is_empty()
+    }
+}
+
+/// Question → knowledge-concept mapping (the Q-matrix of cognitive
+/// diagnosis). Every question maps to at least one concept. Optionally
+/// carries a concept hierarchy (Eedi tags questions with *leaf nodes of a
+/// concept tree*; the parents are useful for roll-up reporting).
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct QMatrix {
+    concepts: Vec<Vec<ConceptId>>,
+    num_concepts: usize,
+    #[serde(default)]
+    parents: Option<Vec<Option<ConceptId>>>,
+}
+
+impl QMatrix {
+    pub fn new(concepts: Vec<Vec<ConceptId>>, num_concepts: usize) -> Self {
+        assert!(
+            concepts.iter().all(|c| !c.is_empty()),
+            "every question needs at least one concept"
+        );
+        assert!(
+            concepts.iter().flatten().all(|&c| (c as usize) < num_concepts),
+            "concept id out of range"
+        );
+        QMatrix { concepts, num_concepts, parents: None }
+    }
+
+    /// Attach a concept hierarchy: `parents[k]` is concept `k`'s parent
+    /// (`None` for roots). Parent ids live in the same id space.
+    pub fn with_hierarchy(mut self, parents: Vec<Option<ConceptId>>) -> Self {
+        assert_eq!(parents.len(), self.num_concepts, "one parent slot per concept");
+        assert!(
+            parents.iter().flatten().all(|&p| (p as usize) < self.num_concepts),
+            "parent id out of range"
+        );
+        self.parents = Some(parents);
+        self
+    }
+
+    /// Concept `k`'s parent, if a hierarchy is attached and `k` isn't a root.
+    pub fn parent_of(&self, k: ConceptId) -> Option<ConceptId> {
+        self.parents.as_ref().and_then(|p| p[k as usize])
+    }
+
+    /// Walk to the root of `k`'s subtree (identity without a hierarchy).
+    pub fn root_of(&self, mut k: ConceptId) -> ConceptId {
+        let mut hops = 0;
+        while let Some(p) = self.parent_of(k) {
+            k = p;
+            hops += 1;
+            assert!(hops <= self.num_concepts, "cycle in concept hierarchy");
+        }
+        k
+    }
+
+    pub fn num_questions(&self) -> usize {
+        self.concepts.len()
+    }
+
+    pub fn num_concepts(&self) -> usize {
+        self.num_concepts
+    }
+
+    pub fn concepts_of(&self, q: QuestionId) -> &[ConceptId] {
+        &self.concepts[q as usize]
+    }
+
+    /// Questions tagged with concept `k`.
+    pub fn questions_of(&self, k: ConceptId) -> Vec<QuestionId> {
+        self.concepts
+            .iter()
+            .enumerate()
+            .filter(|(_, cs)| cs.contains(&k))
+            .map(|(q, _)| q as QuestionId)
+            .collect()
+    }
+
+    /// Mean number of concepts per question (Table II row).
+    pub fn concepts_per_question(&self) -> f64 {
+        if self.concepts.is_empty() {
+            return 0.0;
+        }
+        self.concepts.iter().map(|c| c.len()).sum::<usize>() as f64 / self.concepts.len() as f64
+    }
+}
+
+/// A complete knowledge-tracing dataset.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Dataset {
+    pub name: String,
+    pub sequences: Vec<ResponseSeq>,
+    pub q_matrix: QMatrix,
+}
+
+impl Dataset {
+    pub fn num_questions(&self) -> usize {
+        self.q_matrix.num_questions()
+    }
+
+    pub fn num_concepts(&self) -> usize {
+        self.q_matrix.num_concepts()
+    }
+
+    pub fn num_responses(&self) -> usize {
+        self.sequences.iter().map(|s| s.len()).sum()
+    }
+
+    /// Serialize the dataset to JSON (round-trips with
+    /// [`Dataset::from_json`]; for CSV interchange see [`crate::csv`]).
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("dataset serialization")
+    }
+
+    pub fn from_json(s: &str) -> Result<Self, serde_json::Error> {
+        serde_json::from_str(s)
+    }
+
+    /// Fraction of correct responses across the dataset.
+    pub fn correct_rate(&self) -> f64 {
+        let total = self.num_responses();
+        if total == 0 {
+            return 0.0;
+        }
+        let correct: usize = self
+            .sequences
+            .iter()
+            .flat_map(|s| &s.interactions)
+            .filter(|i| i.correct)
+            .count();
+        correct as f64 / total as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_qm() -> QMatrix {
+        QMatrix::new(vec![vec![0], vec![0, 1], vec![1]], 2)
+    }
+
+    #[test]
+    fn qmatrix_lookups() {
+        let qm = tiny_qm();
+        assert_eq!(qm.num_questions(), 3);
+        assert_eq!(qm.num_concepts(), 2);
+        assert_eq!(qm.concepts_of(1), &[0, 1]);
+        assert_eq!(qm.questions_of(1), vec![1, 2]);
+        assert!((qm.concepts_per_question() - 4.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one concept")]
+    fn qmatrix_rejects_conceptless_question() {
+        QMatrix::new(vec![vec![]], 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn qmatrix_rejects_bad_concept() {
+        QMatrix::new(vec![vec![5]], 2);
+    }
+
+    #[test]
+    fn hierarchy_roll_up() {
+        let qm = QMatrix::new(vec![vec![0], vec![1]], 4)
+            .with_hierarchy(vec![Some(2), Some(3), None, Some(2)]);
+        assert_eq!(qm.parent_of(0), Some(2));
+        assert_eq!(qm.parent_of(2), None);
+        assert_eq!(qm.root_of(0), 2);
+        assert_eq!(qm.root_of(3), 2);
+        assert_eq!(qm.root_of(1), 2); // 1 -> 3 -> 2
+    }
+
+    #[test]
+    #[should_panic(expected = "one parent slot per concept")]
+    fn hierarchy_length_checked() {
+        QMatrix::new(vec![vec![0]], 2).with_hierarchy(vec![None]);
+    }
+
+    #[test]
+    fn dataset_json_roundtrip() {
+        let qm = tiny_qm();
+        let seq = ResponseSeq {
+            student: 3,
+            interactions: vec![Interaction { question: 1, correct: true, timestamp: 9 }],
+        };
+        let ds = Dataset { name: "rt".into(), sequences: vec![seq], q_matrix: qm };
+        let back = Dataset::from_json(&ds.to_json()).unwrap();
+        assert_eq!(back.name, "rt");
+        assert_eq!(back.sequences[0].interactions, ds.sequences[0].interactions);
+        assert_eq!(back.q_matrix.concepts_of(1), ds.q_matrix.concepts_of(1));
+    }
+
+    #[test]
+    fn dataset_correct_rate() {
+        let qm = tiny_qm();
+        let seq = ResponseSeq {
+            student: 0,
+            interactions: vec![
+                Interaction { question: 0, correct: true, timestamp: 0 },
+                Interaction { question: 1, correct: false, timestamp: 1 },
+                Interaction { question: 2, correct: true, timestamp: 2 },
+                Interaction { question: 0, correct: true, timestamp: 3 },
+            ],
+        };
+        let ds = Dataset { name: "t".into(), sequences: vec![seq], q_matrix: qm };
+        assert_eq!(ds.num_responses(), 4);
+        assert!((ds.correct_rate() - 0.75).abs() < 1e-12);
+    }
+}

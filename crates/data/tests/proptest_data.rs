@@ -1,0 +1,124 @@
+//! Property-based tests for the data substrate: the simulator produces
+//! structurally valid datasets for arbitrary (sane) specifications, and the
+//! preprocessing/splitting pipeline preserves its invariants.
+
+use proptest::prelude::*;
+use rckt_data::preprocess::windows;
+use rckt_data::split::KFold;
+use rckt_data::synthetic::SyntheticSpec;
+
+fn spec_strategy() -> impl Strategy<Value = SyntheticSpec> {
+    (
+        4usize..20,       // students
+        10usize..60,      // questions
+        3usize..20,       // concepts
+        1usize..5,        // groups
+        0.0f64..0.5,      // multi-concept rate
+        0.0f64..0.35,     // guess
+        0.0f64..0.25,     // slip
+        0.35f64..0.9,     // target correct rate
+        any::<u64>(),     // seed
+    )
+        .prop_map(|(students, questions, concepts, groups, multi, guess, slip, target, seed)| {
+            let mut s = SyntheticSpec::assist09();
+            s.students = students;
+            s.questions = questions;
+            s.concepts = concepts;
+            s.concept_groups = groups.min(concepts);
+            s.multi_concept_rate = multi;
+            s.guess = guess;
+            s.slip = slip;
+            // keep the target reachable given guess/slip bounds
+            s.target_correct_rate = target.clamp(guess + 0.05, 1.0 - slip - 0.05);
+            s.seq_len_min = 3;
+            s.seq_len_max = 30;
+            s.seed = seed;
+            s
+        })
+        .prop_filter("target must be representable", |s| {
+            s.target_correct_rate > s.guess && s.target_correct_rate < 1.0 - s.slip
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Every generated dataset is structurally valid.
+    #[test]
+    fn simulator_output_is_valid(spec in spec_strategy()) {
+        let ds = spec.generate();
+        prop_assert_eq!(ds.sequences.len(), spec.students);
+        prop_assert_eq!(ds.num_questions(), spec.questions);
+        prop_assert_eq!(ds.num_concepts(), spec.concepts);
+        for seq in &ds.sequences {
+            prop_assert!(seq.len() >= spec.seq_len_min && seq.len() <= spec.seq_len_max);
+            let mut prev_ts = None;
+            for it in &seq.interactions {
+                prop_assert!((it.question as usize) < spec.questions);
+                prop_assert!(!ds.q_matrix.concepts_of(it.question).is_empty());
+                if let Some(p) = prev_ts {
+                    prop_assert!(it.timestamp > p, "timestamps strictly increase");
+                }
+                prev_ts = Some(it.timestamp);
+            }
+        }
+        // correct rate bounded by guess/slip envelope (with slack for
+        // sampling noise on tiny populations)
+        let rate = ds.correct_rate();
+        prop_assert!(rate >= spec.guess - 0.25 && rate <= 1.0 - spec.slip + 0.25,
+            "rate {} outside envelope [{}, {}]", rate, spec.guess, 1.0 - spec.slip);
+    }
+
+    /// Windowing never fabricates or loses responses when min_len = 1.
+    #[test]
+    fn windowing_conserves_responses(spec in spec_strategy()) {
+        let ds = spec.generate();
+        let ws = windows(&ds, 10, 1);
+        let total: usize = ws.iter().map(|w| w.len).sum();
+        prop_assert_eq!(total, ds.num_responses());
+    }
+
+    /// The CSV parser never panics — arbitrary input yields Ok or Err.
+    #[test]
+    fn csv_parser_total(input in "\\PC{0,300}") {
+        let _ = rckt_data::csv::parse_csv("fuzz", &input);
+    }
+
+    /// Valid CSV rows with random ids always parse and preserve counts.
+    #[test]
+    fn csv_valid_rows_roundtrip(
+        rows in proptest::collection::vec(
+            (0u32..5, 0u32..8, 0u16..4, any::<bool>(), 0u64..100),
+            1..40,
+        )
+    ) {
+        let mut text = String::from("student,question,concepts,correct,timestamp\n");
+        for (s, q, k, c, ts) in &rows {
+            text.push_str(&format!("{s},{q},\"k{k}\",{},{ts}\n", *c as u8));
+        }
+        let ds = rckt_data::csv::parse_csv("t", &text).expect("valid rows parse");
+        prop_assert_eq!(ds.num_responses(), rows.len());
+        let students: std::collections::HashSet<u32> = rows.iter().map(|r| r.0).collect();
+        prop_assert_eq!(ds.sequences.len(), students.len());
+    }
+
+    /// KFold splits always partition regardless of n and seed.
+    #[test]
+    fn kfold_partitions(n in 10usize..300, seed in any::<u64>()) {
+        let folds = KFold::paper(seed).split(n);
+        let mut seen = vec![false; n];
+        for f in &folds {
+            for &i in &f.test {
+                prop_assert!(!seen[i], "duplicate test index {i}");
+                seen[i] = true;
+            }
+            // per-fold disjointness
+            let mut in_fold = vec![0u8; n];
+            for &i in f.train.iter().chain(&f.val).chain(&f.test) {
+                in_fold[i] += 1;
+            }
+            prop_assert!(in_fold.iter().all(|&c| c == 1));
+        }
+        prop_assert!(seen.iter().all(|&s| s));
+    }
+}

@@ -1,0 +1,242 @@
+//! Binary-classification metrics used throughout the paper (AUC, ACC) plus
+//! companions (RMSE, F1, log-loss).
+
+/// Area under the ROC curve via the Mann–Whitney U statistic, with proper
+/// handling of tied scores (ties contribute half).
+///
+/// Returns 0.5 when either class is empty (chance level).
+///
+/// ```
+/// use rckt_metrics::auc;
+/// let perfect = auc(&[0.1, 0.9], &[false, true]);
+/// assert_eq!(perfect, 1.0);
+/// let chance = auc(&[0.5, 0.5], &[false, true]);
+/// assert_eq!(chance, 0.5);
+/// ```
+pub fn auc(scores: &[f32], labels: &[bool]) -> f64 {
+    assert_eq!(scores.len(), labels.len());
+    let n_pos = labels.iter().filter(|&&l| l).count();
+    let n_neg = labels.len() - n_pos;
+    if n_pos == 0 || n_neg == 0 {
+        return 0.5;
+    }
+    // Rank-sum approach: sort by score, assign average ranks to ties.
+    let mut idx: Vec<usize> = (0..scores.len()).collect();
+    idx.sort_by(|&a, &b| scores[a].partial_cmp(&scores[b]).expect("NaN score"));
+    let mut rank_sum_pos = 0.0f64;
+    let mut i = 0;
+    while i < idx.len() {
+        let mut j = i;
+        while j + 1 < idx.len() && scores[idx[j + 1]] == scores[idx[i]] {
+            j += 1;
+        }
+        // ranks are 1-based; ties share the average rank
+        let avg_rank = (i + j + 2) as f64 / 2.0;
+        for &k in &idx[i..=j] {
+            if labels[k] {
+                rank_sum_pos += avg_rank;
+            }
+        }
+        i = j + 1;
+    }
+    let u = rank_sum_pos - (n_pos * (n_pos + 1)) as f64 / 2.0;
+    u / (n_pos as f64 * n_neg as f64)
+}
+
+/// Accuracy at threshold `tau` (paper uses 0.5 on probabilities, 0.0 on
+/// RCKT's influence margins).
+pub fn accuracy(scores: &[f32], labels: &[bool], tau: f32) -> f64 {
+    assert_eq!(scores.len(), labels.len());
+    if scores.is_empty() {
+        return 0.0;
+    }
+    let hits = scores
+        .iter()
+        .zip(labels)
+        .filter(|(&s, &l)| (s >= tau) == l)
+        .count();
+    hits as f64 / scores.len() as f64
+}
+
+/// Root mean squared error between probabilities and 0/1 labels.
+pub fn rmse(scores: &[f32], labels: &[bool]) -> f64 {
+    assert_eq!(scores.len(), labels.len());
+    if scores.is_empty() {
+        return 0.0;
+    }
+    let mse: f64 = scores
+        .iter()
+        .zip(labels)
+        .map(|(&s, &l)| {
+            let d = s as f64 - (l as u8) as f64;
+            d * d
+        })
+        .sum::<f64>()
+        / scores.len() as f64;
+    mse.sqrt()
+}
+
+/// F1 score of the positive class at threshold `tau`.
+pub fn f1(scores: &[f32], labels: &[bool], tau: f32) -> f64 {
+    assert_eq!(scores.len(), labels.len());
+    let (mut tp, mut fp, mut fun) = (0usize, 0usize, 0usize);
+    for (&s, &l) in scores.iter().zip(labels) {
+        match (s >= tau, l) {
+            (true, true) => tp += 1,
+            (true, false) => fp += 1,
+            (false, true) => fun += 1,
+            (false, false) => {}
+        }
+    }
+    if tp == 0 {
+        return 0.0;
+    }
+    let precision = tp as f64 / (tp + fp) as f64;
+    let recall = tp as f64 / (tp + fun) as f64;
+    2.0 * precision * recall / (precision + recall)
+}
+
+/// Expected calibration error with equal-width probability bins: the
+/// prediction-weighted mean |confidence − observed rate| over bins.
+///
+/// ```
+/// use rckt_metrics::ece;
+/// // perfectly calibrated: predicted 0.5 on a 50/50 outcome
+/// let e = ece(&[0.5, 0.5], &[true, false], 10);
+/// assert!(e < 1e-9);
+/// // badly calibrated: says 0.9 but only half are correct
+/// let e = ece(&[0.9, 0.9], &[true, false], 10);
+/// assert!((e - 0.4).abs() < 1e-6);
+/// ```
+pub fn ece(probs: &[f32], labels: &[bool], bins: usize) -> f64 {
+    assert_eq!(probs.len(), labels.len());
+    assert!(bins >= 1);
+    if probs.is_empty() {
+        return 0.0;
+    }
+    let mut sum_p = vec![0.0f64; bins];
+    let mut sum_y = vec![0.0f64; bins];
+    let mut count = vec![0usize; bins];
+    for (&p, &l) in probs.iter().zip(labels) {
+        let b = ((p as f64 * bins as f64) as usize).min(bins - 1);
+        sum_p[b] += p as f64;
+        sum_y[b] += l as u8 as f64;
+        count[b] += 1;
+    }
+    let n = probs.len() as f64;
+    (0..bins)
+        .filter(|&b| count[b] > 0)
+        .map(|b| {
+            let conf = sum_p[b] / count[b] as f64;
+            let acc = sum_y[b] / count[b] as f64;
+            (count[b] as f64 / n) * (conf - acc).abs()
+        })
+        .sum()
+}
+
+/// Mean negative log-likelihood of probabilities against labels.
+pub fn log_loss(probs: &[f32], labels: &[bool]) -> f64 {
+    assert_eq!(probs.len(), labels.len());
+    if probs.is_empty() {
+        return 0.0;
+    }
+    let eps = 1e-7f64;
+    probs
+        .iter()
+        .zip(labels)
+        .map(|(&p, &l)| {
+            let p = (p as f64).clamp(eps, 1.0 - eps);
+            if l {
+                -p.ln()
+            } else {
+                -(1.0 - p).ln()
+            }
+        })
+        .sum::<f64>()
+        / probs.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn auc_perfect_and_inverted() {
+        let scores = [0.1, 0.2, 0.8, 0.9];
+        let labels = [false, false, true, true];
+        assert_eq!(auc(&scores, &labels), 1.0);
+        let inv = [true, true, false, false];
+        assert_eq!(auc(&scores, &inv), 0.0);
+    }
+
+    #[test]
+    fn auc_random_is_half() {
+        // All scores tied -> AUC 0.5 by tie handling.
+        let scores = [0.5; 6];
+        let labels = [true, false, true, false, true, false];
+        assert!((auc(&scores, &labels) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn auc_single_class_is_half() {
+        assert_eq!(auc(&[0.1, 0.9], &[true, true]), 0.5);
+        assert_eq!(auc(&[], &[]), 0.5);
+    }
+
+    #[test]
+    fn auc_handles_partial_ties() {
+        let scores = [0.3, 0.3, 0.7];
+        let labels = [false, true, true];
+        // pairs: (0.3F vs 0.3T) tie = 0.5, (0.3F vs 0.7T) win = 1 → (1.5)/2
+        assert!((auc(&scores, &labels) - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn accuracy_thresholds() {
+        let scores = [0.2, 0.6, 0.4, 0.9];
+        let labels = [false, true, true, true];
+        assert!((accuracy(&scores, &labels, 0.5) - 0.75).abs() < 1e-12);
+        assert!((accuracy(&scores, &labels, 0.3) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rmse_bounds() {
+        assert_eq!(rmse(&[1.0, 0.0], &[true, false]), 0.0);
+        assert_eq!(rmse(&[0.0, 1.0], &[true, false]), 1.0);
+    }
+
+    #[test]
+    fn f1_known_value() {
+        let scores = [0.9, 0.9, 0.1, 0.9];
+        let labels = [true, false, true, true];
+        // tp=2 fp=1 fn=1 -> p=2/3 r=2/3 -> f1=2/3
+        assert!((f1(&scores, &labels, 0.5) - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn f1_degenerate_no_positives_predicted() {
+        assert_eq!(f1(&[0.1, 0.2], &[true, true], 0.5), 0.0);
+    }
+
+    #[test]
+    fn ece_bins_and_edge_cases() {
+        assert_eq!(ece(&[], &[], 10), 0.0);
+        // p = 1.0 lands in the last bin, no panic
+        let e = ece(&[1.0, 0.0], &[true, false], 5);
+        assert!(e < 1e-9);
+        // mixed bins weight by population
+        let probs = [0.1, 0.1, 0.9, 0.9];
+        let labels = [false, false, true, false];
+        // bin(0.1): conf 0.1 acc 0 -> 0.1 * 1/2 weight... compute: each bin
+        // holds half the points; |0.1-0| = 0.1 and |0.9-0.5| = 0.4
+        let e = ece(&probs, &labels, 10);
+        assert!((e - (0.5 * 0.1 + 0.5 * 0.4)).abs() < 1e-6, "{e}");
+    }
+
+    #[test]
+    fn log_loss_prefers_confident_truth() {
+        let good = log_loss(&[0.9, 0.1], &[true, false]);
+        let bad = log_loss(&[0.6, 0.4], &[true, false]);
+        assert!(good < bad);
+    }
+}

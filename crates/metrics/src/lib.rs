@@ -1,0 +1,14 @@
+//! # rckt-metrics
+//!
+//! Evaluation metrics and training-control utilities for the RCKT
+//! knowledge-tracing reproduction: AUC/ACC/RMSE/F1/log-loss, Welch's t-test
+//! for the paper's significance stars, early stopping (patience 10) and
+//! per-fold aggregation.
+
+pub mod classification;
+pub mod stats_tests;
+pub mod training;
+
+pub use classification::{accuracy, auc, ece, f1, log_loss, rmse};
+pub use stats_tests::{mean_var, std_dev, welch_t_test, TestResult};
+pub use training::{EarlyStopping, FoldSummary};

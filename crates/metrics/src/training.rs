@@ -1,0 +1,112 @@
+//! Training-control utilities: early stopping and fold aggregation.
+
+/// Early stopping on a maximized validation metric (the paper stops after
+/// 10 epochs without improvement).
+#[derive(Clone, Debug)]
+pub struct EarlyStopping {
+    pub patience: usize,
+    best: f64,
+    best_epoch: usize,
+    epoch: usize,
+    stale: usize,
+}
+
+impl EarlyStopping {
+    pub fn new(patience: usize) -> Self {
+        EarlyStopping { patience, best: f64::NEG_INFINITY, best_epoch: 0, epoch: 0, stale: 0 }
+    }
+
+    /// The paper's setting (patience = 10).
+    pub fn paper() -> Self {
+        Self::new(10)
+    }
+
+    /// Record an epoch's validation metric. Returns `true` when this epoch
+    /// improved the best value.
+    pub fn update(&mut self, metric: f64) -> bool {
+        self.epoch += 1;
+        if metric > self.best {
+            self.best = metric;
+            self.best_epoch = self.epoch;
+            self.stale = 0;
+            true
+        } else {
+            self.stale += 1;
+            false
+        }
+    }
+
+    pub fn should_stop(&self) -> bool {
+        self.stale >= self.patience
+    }
+
+    pub fn best(&self) -> f64 {
+        self.best
+    }
+
+    pub fn best_epoch(&self) -> usize {
+        self.best_epoch
+    }
+}
+
+/// Mean and standard deviation of a per-fold metric, as reported in the
+/// paper's tables.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct FoldSummary {
+    pub mean: f64,
+    pub std: f64,
+    pub n: usize,
+}
+
+impl FoldSummary {
+    pub fn of(values: &[f64]) -> Self {
+        let (mean, var) = crate::stats_tests::mean_var(values);
+        FoldSummary { mean, std: var.sqrt(), n: values.len() }
+    }
+}
+
+impl std::fmt::Display for FoldSummary {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:.4} ± {:.4}", self.mean, self.std)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn early_stopping_triggers_after_patience() {
+        let mut es = EarlyStopping::new(3);
+        assert!(es.update(0.70));
+        assert!(es.update(0.75));
+        assert!(!es.update(0.74));
+        assert!(!es.update(0.73));
+        assert!(!es.should_stop());
+        assert!(!es.update(0.72));
+        assert!(es.should_stop());
+        assert_eq!(es.best(), 0.75);
+        assert_eq!(es.best_epoch(), 2);
+    }
+
+    #[test]
+    fn improvement_resets_patience() {
+        let mut es = EarlyStopping::new(2);
+        es.update(0.5);
+        es.update(0.4);
+        es.update(0.6); // reset
+        es.update(0.5);
+        assert!(!es.should_stop());
+        es.update(0.5);
+        assert!(es.should_stop());
+    }
+
+    #[test]
+    fn fold_summary_values() {
+        let s = FoldSummary::of(&[1.0, 2.0, 3.0]);
+        assert!((s.mean - 2.0).abs() < 1e-12);
+        assert!((s.std - 1.0).abs() < 1e-12);
+        assert_eq!(s.n, 3);
+        assert_eq!(format!("{s}"), "2.0000 ± 1.0000");
+    }
+}

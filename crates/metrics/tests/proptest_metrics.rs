@@ -1,0 +1,66 @@
+//! Property-based tests for metric invariants.
+
+use proptest::prelude::*;
+use rckt_metrics::{accuracy, auc, log_loss, rmse, welch_t_test};
+
+fn scores_labels() -> impl Strategy<Value = (Vec<f32>, Vec<bool>)> {
+    proptest::collection::vec((0.0f32..1.0, any::<bool>()), 2..60)
+        .prop_map(|v| v.into_iter().unzip())
+}
+
+proptest! {
+    /// AUC is invariant under strictly monotone transforms of the scores.
+    #[test]
+    fn auc_invariant_under_monotone_transform((scores, labels) in scores_labels()) {
+        let a1 = auc(&scores, &labels);
+        let transformed: Vec<f32> = scores.iter().map(|&s| (3.0 * s + 1.0).exp()).collect();
+        let a2 = auc(&transformed, &labels);
+        prop_assert!((a1 - a2).abs() < 1e-9);
+    }
+
+    /// Flipping all labels mirrors AUC around 0.5.
+    #[test]
+    fn auc_label_flip_symmetry((scores, labels) in scores_labels()) {
+        let a1 = auc(&scores, &labels);
+        let flipped: Vec<bool> = labels.iter().map(|l| !l).collect();
+        let a2 = auc(&scores, &flipped);
+        prop_assert!((a1 + a2 - 1.0).abs() < 1e-9);
+    }
+
+    /// All metrics stay in their documented ranges.
+    #[test]
+    fn metric_ranges((scores, labels) in scores_labels()) {
+        let a = auc(&scores, &labels);
+        prop_assert!((0.0..=1.0).contains(&a));
+        let acc = accuracy(&scores, &labels, 0.5);
+        prop_assert!((0.0..=1.0).contains(&acc));
+        let r = rmse(&scores, &labels);
+        prop_assert!((0.0..=1.0).contains(&r));
+        let ll = log_loss(&scores, &labels);
+        prop_assert!(ll >= 0.0);
+    }
+
+    /// Welch's t-test is antisymmetric in its arguments: swapping samples
+    /// flips the t sign but preserves the p-value.
+    #[test]
+    fn welch_swap_symmetry(
+        a in proptest::collection::vec(-2.0f64..2.0, 3..20),
+        b in proptest::collection::vec(-2.0f64..2.0, 3..20),
+    ) {
+        if let (Some(r1), Some(r2)) = (welch_t_test(&a, &b), welch_t_test(&b, &a)) {
+            prop_assert!((r1.t_statistic + r2.t_statistic).abs() < 1e-9);
+            prop_assert!((r1.p_value - r2.p_value).abs() < 1e-9);
+            prop_assert!((0.0..=1.0).contains(&r1.p_value));
+        }
+    }
+
+    /// Accuracy of perfect probabilities is 1.
+    #[test]
+    fn perfect_predictions(labels in proptest::collection::vec(any::<bool>(), 1..40)) {
+        let scores: Vec<f32> = labels.iter().map(|&l| if l { 0.99 } else { 0.01 }).collect();
+        prop_assert_eq!(accuracy(&scores, &labels, 0.5), 1.0);
+        if labels.iter().any(|&l| l) && labels.iter().any(|&l| !l) {
+            prop_assert_eq!(auc(&scores, &labels), 1.0);
+        }
+    }
+}

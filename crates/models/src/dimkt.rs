@@ -1,0 +1,295 @@
+//! DIMKT (Shen et al., SIGIR 2022): difficulty-aware knowledge tracing.
+//!
+//! The defining idea is to make question/concept **difficulty** a first-class
+//! input: empirical error rates from the training split are bucketed into
+//! difficulty levels, embedded, and injected both into the recurrent
+//! knowledge-state update and into the prediction head. The recurrence here
+//! is a difficulty-conditioned gated update (the paper's
+//! subtraction/gain-gate cascade collapsed into one GRU-style cell), which
+//! preserves the model's measured behaviour: strong gains on datasets with
+//! informative per-question statistics.
+
+use crate::common::{eval_positions, eval_weights, factual_cats, KtEmbedding, Prediction, ResponseCat};
+use crate::model::{sgd_fit, FitReport, KtModel, SgdModel, TrainConfig};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use rckt_data::{Batch, QMatrix, Window};
+use rckt_tensor::layers::{Embedding, Linear, PredictionMlp};
+use rckt_tensor::{Adam, Graph, ParamStore, Shape, Tx};
+
+/// Number of difficulty buckets (the original uses 100 on full-size data;
+/// 10 keeps buckets populated at simulator scale).
+pub const DIFFICULTY_LEVELS: usize = 10;
+
+#[derive(Clone, Debug)]
+pub struct DimktConfig {
+    pub dim: usize,
+    pub dropout: f32,
+    pub lr: f32,
+    pub l2: f32,
+    pub seed: u64,
+}
+
+impl Default for DimktConfig {
+    fn default() -> Self {
+        DimktConfig { dim: 32, dropout: 0.2, lr: 1e-3, l2: 1e-5, seed: 0 }
+    }
+}
+
+/// Empirical difficulty tables fit on the training split.
+#[derive(Clone, Debug, Default)]
+pub struct DifficultyTables {
+    /// Bucket per question id.
+    pub question: Vec<usize>,
+    /// Bucket per concept id.
+    pub concept: Vec<usize>,
+}
+
+impl DifficultyTables {
+    /// Bucketed error rates with an add-one prior toward the global rate.
+    pub fn fit(windows: &[Window], idx: &[usize], qm: &QMatrix) -> Self {
+        let nq = qm.num_questions();
+        let nk = qm.num_concepts();
+        let mut q_wrong = vec![0f64; nq];
+        let mut q_total = vec![0f64; nq];
+        let mut k_wrong = vec![0f64; nk];
+        let mut k_total = vec![0f64; nk];
+        let mut wrong_all = 0f64;
+        let mut total_all = 0f64;
+        for &i in idx {
+            let w = &windows[i];
+            for t in 0..w.len {
+                let q = w.questions[t] as usize;
+                let miss = (w.correct[t] == 0) as u8 as f64;
+                q_wrong[q] += miss;
+                q_total[q] += 1.0;
+                for &k in qm.concepts_of(q as u32) {
+                    k_wrong[k as usize] += miss;
+                    k_total[k as usize] += 1.0;
+                }
+                wrong_all += miss;
+                total_all += 1.0;
+            }
+        }
+        let global = if total_all > 0.0 { wrong_all / total_all } else { 0.5 };
+        let bucket = |wrong: f64, total: f64| -> usize {
+            // shrink empirical rate toward the global mean (5 pseudo-counts)
+            let rate = (wrong + 5.0 * global) / (total + 5.0);
+            ((rate * DIFFICULTY_LEVELS as f64) as usize).min(DIFFICULTY_LEVELS - 1)
+        };
+        DifficultyTables {
+            question: (0..nq).map(|q| bucket(q_wrong[q], q_total[q])).collect(),
+            concept: (0..nk).map(|k| bucket(k_wrong[k], k_total[k])).collect(),
+        }
+    }
+
+    fn question_buckets(&self, batch: &Batch) -> Vec<usize> {
+        batch.questions.iter().map(|&q| self.question.get(q).copied().unwrap_or(DIFFICULTY_LEVELS / 2)).collect()
+    }
+
+    fn concept_buckets(&self, batch: &Batch, qm_len: usize) -> Vec<usize> {
+        let _ = qm_len;
+        // mean concept difficulty per position, re-bucketed
+        let mut out = Vec::with_capacity(batch.questions.len());
+        let mut cursor = 0;
+        for &len in &batch.concept_lens {
+            let mut sum = 0usize;
+            for &k in &batch.concept_flat[cursor..cursor + len] {
+                sum += self.concept.get(k).copied().unwrap_or(DIFFICULTY_LEVELS / 2);
+            }
+            out.push(sum / len);
+            cursor += len;
+        }
+        out
+    }
+}
+
+pub struct Dimkt {
+    pub cfg: DimktConfig,
+    emb: KtEmbedding,
+    qd_emb: Embedding,
+    cd_emb: Embedding,
+    input_proj: Linear,
+    gate: Linear,
+    cand: Linear,
+    head: PredictionMlp,
+    store: ParamStore,
+    adam: Adam,
+    pub difficulty: DifficultyTables,
+}
+
+impl Dimkt {
+    pub fn new(num_questions: usize, num_concepts: usize, cfg: DimktConfig) -> Self {
+        let mut rng = SmallRng::seed_from_u64(cfg.seed);
+        let mut store = ParamStore::new();
+        let d = cfg.dim;
+        let emb = KtEmbedding::new(&mut store, "emb", num_questions, num_concepts, d, &mut rng);
+        let qd_emb = Embedding::new(&mut store, "qd", DIFFICULTY_LEVELS, d, &mut rng);
+        let cd_emb = Embedding::new(&mut store, "cd", DIFFICULTY_LEVELS, d, &mut rng);
+        // v_t = [e ⊕ qd ⊕ cd] W
+        let input_proj = Linear::new(&mut store, "in", 3 * d, d, &mut rng);
+        let gate = Linear::new(&mut store, "gate", 3 * d, d, &mut rng);
+        let cand = Linear::new(&mut store, "cand", 3 * d, d, &mut rng);
+        let head = PredictionMlp::new(&mut store, "head", 2 * d, d, cfg.dropout, &mut rng);
+        let adam = Adam::new(cfg.lr).with_l2(cfg.l2);
+        Dimkt {
+            cfg,
+            emb,
+            qd_emb,
+            cd_emb,
+            input_proj,
+            gate,
+            cand,
+            head,
+            store,
+            adam,
+            difficulty: DifficultyTables::default(),
+        }
+    }
+
+    /// Next-step logits `[B*T, 1]` (t = 0 masked by the caller).
+    fn logits(&self, g: &mut Graph, batch: &Batch, train: bool, rng: &mut SmallRng) -> Tx {
+        let store = &self.store;
+        let (bsz, t_len, d) = (batch.batch, batch.t_len, self.cfg.dim);
+        let e = self.emb.questions(g, store, batch);
+        let qd = self.qd_emb.forward(g, store, &self.difficulty.question_buckets(batch));
+        let cd = self.cd_emb.forward(g, store, &self.difficulty.concept_buckets(batch, 0));
+        let eqd = g.concat_cols(e, qd);
+        let eqdcd = g.concat_cols(eqd, cd);
+        let v = self.input_proj.forward(g, store, eqdcd); // [B*T, d]
+        let v = g.tanh(v);
+
+        // response embedding stream
+        let cats: Vec<ResponseCat> = factual_cats(batch);
+        let r_idx: Vec<usize> = cats.iter().map(|c| *c as usize).collect();
+        let r_table = store.leaf(g, self.emb.response.table);
+        let r = g.gather_rows(r_table, &r_idx);
+
+        // difficulty-conditioned gated recurrence over time
+        let zeros = vec![0.0; bsz * d];
+        let mut k = g.input(zeros, Shape::matrix(bsz, d));
+        let mut states: Vec<Tx> = Vec::with_capacity(t_len); // k before consuming step t
+        for t in 0..t_len {
+            states.push(k);
+            let idx = rckt_tensor::layers::time_indices(bsz, t_len, t);
+            let v_t = g.gather_rows(v, &idx);
+            let r_t = g.gather_rows(r, &idx);
+            let vr = g.add(v_t, r_t);
+            let kv = g.concat_cols(k, vr);
+            let kvv = g.concat_cols(kv, v_t);
+            let u = self.gate.forward(g, store, kvv);
+            let u = g.sigmoid(u);
+            let c = self.cand.forward(g, store, kvv);
+            let c = g.tanh(c);
+            // k' = (1-u) ⊙ k + u ⊙ c
+            let uk = g.mul(u, k);
+            let k_minus = g.sub(k, uk); // (1-u) ⊙ k
+            let uc = g.mul(u, c);
+            k = g.add(k_minus, uc);
+        }
+        // b-major prior states
+        let stacked = g.concat_rows(&states);
+        let perm: Vec<usize> =
+            (0..bsz).flat_map(|b| (0..t_len).map(move |t| t * bsz + b)).collect();
+        let k_prev = g.gather_rows(stacked, &perm);
+
+        let x = g.concat_cols(k_prev, v);
+        self.head.forward(g, store, x, train, rng)
+    }
+}
+
+impl SgdModel for Dimkt {
+    fn train_batch(&mut self, batch: &Batch, clip_norm: f32, rng: &mut SmallRng) -> f32 {
+        self.store.zero_grads();
+        let mut g = Graph::new();
+        let logits = self.logits(&mut g, batch, true, rng);
+        let (weights, norm) = eval_weights(batch);
+        let loss = g.bce_with_logits(logits, &batch.correct, &weights, norm);
+        let val = g.value(loss);
+        g.backward(loss);
+        self.store.accumulate_grads(&g);
+        self.store.clip_grad_norm(clip_norm);
+        self.adam.step(&mut self.store);
+        val
+    }
+
+    fn snapshot(&self) -> String {
+        self.store.save_json()
+    }
+
+    fn restore(&mut self, snapshot: &str) {
+        self.store = ParamStore::load_json(snapshot).expect("valid snapshot");
+    }
+}
+
+impl KtModel for Dimkt {
+    fn name(&self) -> String {
+        "DIMKT".into()
+    }
+
+    fn fit(
+        &mut self,
+        windows: &[Window],
+        train_idx: &[usize],
+        val_idx: &[usize],
+        qm: &QMatrix,
+        cfg: &TrainConfig,
+    ) -> FitReport {
+        // Difficulty statistics come from the training split only.
+        self.difficulty = DifficultyTables::fit(windows, train_idx, qm);
+        sgd_fit(self, windows, train_idx, val_idx, qm, cfg)
+    }
+
+    fn predict(&self, batch: &Batch) -> Vec<Prediction> {
+        let mut rng = SmallRng::seed_from_u64(0);
+        let mut g = Graph::new();
+        let logits = self.logits(&mut g, batch, false, &mut rng);
+        let probs = g.sigmoid(logits);
+        let data = g.data(probs);
+        eval_positions(batch)
+            .into_iter()
+            .map(|i| Prediction { prob: data[i], label: batch.correct[i] >= 0.5 })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rckt_data::{make_batches, synthetic::SyntheticSpec, windows};
+
+    #[test]
+    fn difficulty_tables_bucket_sensibly() {
+        let ds = SyntheticSpec::assist09().scaled(0.1).generate();
+        let ws = windows(&ds, 50, 5);
+        let idx: Vec<usize> = (0..ws.len()).collect();
+        let dt = DifficultyTables::fit(&ws, &idx, &ds.q_matrix);
+        assert_eq!(dt.question.len(), ds.num_questions());
+        assert_eq!(dt.concept.len(), ds.num_concepts());
+        assert!(dt.question.iter().all(|&b| b < DIFFICULTY_LEVELS));
+        // at least two distinct buckets on real-ish data
+        let distinct: std::collections::HashSet<_> = dt.question.iter().collect();
+        assert!(distinct.len() >= 2);
+    }
+
+    #[test]
+    fn dimkt_loss_decreases() {
+        let ds = SyntheticSpec::assist09().scaled(0.03).generate();
+        let ws = windows(&ds, 20, 5);
+        let idx: Vec<usize> = (0..ws.len().min(8)).collect();
+        let mut m = Dimkt::new(
+            ds.num_questions(),
+            ds.num_concepts(),
+            DimktConfig { dim: 16, lr: 3e-3, ..Default::default() },
+        );
+        m.difficulty = DifficultyTables::fit(&ws, &idx, &ds.q_matrix);
+        let batches = make_batches(&ws, &idx, &ds.q_matrix, 8);
+        let mut rng = SmallRng::seed_from_u64(3);
+        let first = m.train_batch(&batches[0], 5.0, &mut rng);
+        let mut last = first;
+        for _ in 0..25 {
+            last = m.train_batch(&batches[0], 5.0, &mut rng);
+        }
+        assert!(last < first, "{first} -> {last}");
+    }
+}

@@ -1,0 +1,351 @@
+//! IKT (Minn et al., AAAI 2022): interpretable knowledge tracing with a
+//! Tree-Augmented Naive Bayes (TAN) classifier over three student-modeling
+//! features:
+//!
+//! 1. **skill mastery** — a per-concept running estimate of the student's
+//!    mastery from their past responses in the window;
+//! 2. **ability profile** — the student's recent overall performance level;
+//! 3. **problem difficulty** — the question's empirical difficulty from the
+//!    training split.
+//!
+//! Each feature is discretized; the TAN structure (a Chow–Liu tree over the
+//! features using class-conditional mutual information) augments naive Bayes
+//! with at most one feature-parent per feature.
+
+use crate::common::{eval_positions, Prediction};
+use crate::model::{FitReport, KtModel, TrainConfig};
+use rckt_data::{make_batches, Batch, QMatrix, Window};
+
+/// Buckets per feature.
+const BUCKETS: usize = 5;
+const N_FEATURES: usize = 3;
+
+#[derive(Clone, Debug, Default)]
+pub struct Ikt {
+    /// Question error rate table (index = question id), from the train split.
+    difficulty: Vec<f64>,
+    global_difficulty: f64,
+    /// TAN: parent feature index per feature (`None` → class-only parent).
+    parents: [Option<usize>; N_FEATURES],
+    /// `p(class)`.
+    class_prior: [f64; 2],
+    /// `cpt[f][class][parent_value][value]`; features without a feature
+    /// parent use `parent_value = 0`.
+    cpt: Vec<[Vec<Vec<f64>>; 2]>,
+    fitted: bool,
+    /// Q-matrix captured at fit time (feature extraction needs concepts).
+    qm_cache: Option<QMatrix>,
+}
+
+/// Discrete feature vector for one prediction point.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct IktFeatures {
+    pub skill_mastery: usize,
+    pub ability_profile: usize,
+    pub problem_difficulty: usize,
+}
+
+impl IktFeatures {
+    fn as_array(self) -> [usize; N_FEATURES] {
+        [self.skill_mastery, self.ability_profile, self.problem_difficulty]
+    }
+}
+
+fn bucketize(x: f64) -> usize {
+    ((x * BUCKETS as f64) as usize).min(BUCKETS - 1)
+}
+
+impl Ikt {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Extract (features, label) pairs for every eval position of a batch.
+    /// Skill mastery and ability are exponentially weighted running
+    /// estimates over the window prefix (Laplace-initialized at 0.5).
+    pub fn extract(&self, batch: &Batch, qm: &QMatrix) -> Vec<(IktFeatures, bool)> {
+        let mut out = Vec::new();
+        for b in 0..batch.batch {
+            let len = batch.seq_len(b);
+            // running per-concept mastery estimate
+            let mut mastery: Vec<(f64, f64)> = vec![(0.5, 1.0); qm.num_concepts()]; // (sum, weight)
+            let mut ability = (0.5, 1.0);
+            for t in 0..len {
+                let i = b * batch.t_len + t;
+                let q = batch.questions[i];
+                let label = batch.correct[i] >= 0.5;
+                if t >= 1 {
+                    let ks = qm.concepts_of(q as u32);
+                    let sm: f64 = ks
+                        .iter()
+                        .map(|&k| {
+                            let (s, w) = mastery[k as usize];
+                            s / w
+                        })
+                        .sum::<f64>()
+                        / ks.len() as f64;
+                    let ab = ability.0 / ability.1;
+                    let diff = self.difficulty.get(q).copied().unwrap_or(self.global_difficulty);
+                    out.push((
+                        IktFeatures {
+                            skill_mastery: bucketize(sm),
+                            ability_profile: bucketize(ab),
+                            problem_difficulty: bucketize(diff),
+                        },
+                        label,
+                    ));
+                }
+                // update running estimates with decay 0.8
+                for &k in qm.concepts_of(q as u32) {
+                    let (s, w) = mastery[k as usize];
+                    mastery[k as usize] = (0.8 * s + label as u8 as f64, 0.8 * w + 1.0);
+                }
+                ability = (0.8 * ability.0 + label as u8 as f64, 0.8 * ability.1 + 1.0);
+            }
+        }
+        out
+    }
+
+    fn fit_inner(&mut self, windows: &[Window], train_idx: &[usize], qm: &QMatrix) {
+        self.qm_cache = Some(qm.clone());
+        // 1. question difficulty from train split
+        let nq = qm.num_questions();
+        let mut wrong = vec![0f64; nq];
+        let mut total = vec![0f64; nq];
+        let (mut wa, mut ta) = (0f64, 0f64);
+        for &i in train_idx {
+            let w = &windows[i];
+            for t in 0..w.len {
+                let q = w.questions[t] as usize;
+                let miss = (w.correct[t] == 0) as u8 as f64;
+                wrong[q] += miss;
+                total[q] += 1.0;
+                wa += miss;
+                ta += 1.0;
+            }
+        }
+        self.global_difficulty = if ta > 0.0 { wa / ta } else { 0.5 };
+        self.difficulty = (0..nq)
+            .map(|q| (wrong[q] + 3.0 * self.global_difficulty) / (total[q] + 3.0))
+            .collect();
+
+        // 2. training samples
+        let batches = make_batches(windows, train_idx, qm, 64);
+        let mut samples = Vec::new();
+        for b in &batches {
+            samples.extend(self.extract(b, qm));
+        }
+        if samples.is_empty() {
+            return;
+        }
+
+        // 3. Chow–Liu tree over features with class-conditional MI
+        let mi = |fi: usize, fj: usize| -> f64 {
+            // I(Xi; Xj | C) with Laplace smoothing
+            let mut joint = [[[0f64; BUCKETS]; BUCKETS]; 2];
+            let mut ci = [[0f64; BUCKETS]; 2];
+            let mut cj = [[0f64; BUCKETS]; 2];
+            let mut cls = [0f64; 2];
+            for (f, label) in &samples {
+                let c = *label as usize;
+                let a = f.as_array();
+                joint[c][a[fi]][a[fj]] += 1.0;
+                ci[c][a[fi]] += 1.0;
+                cj[c][a[fj]] += 1.0;
+                cls[c] += 1.0;
+            }
+            let n = samples.len() as f64;
+            let mut total = 0.0;
+            for c in 0..2 {
+                for x in 0..BUCKETS {
+                    for y in 0..BUCKETS {
+                        let pxy = (joint[c][x][y] + 0.1) / (n + 0.1 * (2 * BUCKETS * BUCKETS) as f64);
+                        let pc = (cls[c] + 1.0) / (n + 2.0);
+                        let px_c = (ci[c][x] + 0.1) / (cls[c] + 0.1 * BUCKETS as f64);
+                        let py_c = (cj[c][y] + 0.1) / (cls[c] + 0.1 * BUCKETS as f64);
+                        let pxy_c = pxy / pc;
+                        if pxy_c > 0.0 && px_c > 0.0 && py_c > 0.0 {
+                            total += pxy * (pxy_c / (px_c * py_c)).ln();
+                        }
+                    }
+                }
+            }
+            total
+        };
+        // maximum spanning tree over 3 nodes: keep the 2 heaviest edges that
+        // don't form a cycle (with 3 nodes any 2 distinct edges are a tree),
+        // rooted at feature 0.
+        let mut edges = [(mi(0, 1), 0, 1), (mi(0, 2), 0, 2), (mi(1, 2), 1, 2)];
+        edges.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap());
+        let chosen = &edges[..2];
+        // orient away from root 0 (BFS)
+        self.parents = [None; N_FEATURES];
+        let mut visited = [false; N_FEATURES];
+        visited[0] = true;
+        let mut frontier = vec![0usize];
+        while let Some(u) = frontier.pop() {
+            for &(_, a, b) in chosen {
+                let (x, y) = (a, b);
+                if x == u && !visited[y] {
+                    self.parents[y] = Some(x);
+                    visited[y] = true;
+                    frontier.push(y);
+                } else if y == u && !visited[x] {
+                    self.parents[x] = Some(y);
+                    visited[x] = true;
+                    frontier.push(x);
+                }
+            }
+        }
+
+        // 4. CPTs
+        let n = samples.len() as f64;
+        let mut cls = [0f64; 2];
+        for (_, label) in &samples {
+            cls[*label as usize] += 1.0;
+        }
+        self.class_prior = [(cls[0] + 1.0) / (n + 2.0), (cls[1] + 1.0) / (n + 2.0)];
+        self.cpt = (0..N_FEATURES)
+            .map(|f| {
+                let np = if self.parents[f].is_some() { BUCKETS } else { 1 };
+                let mut counts =
+                    [vec![vec![1.0f64; BUCKETS]; np], vec![vec![1.0f64; BUCKETS]; np]];
+                for (feat, label) in &samples {
+                    let a = feat.as_array();
+                    let pv = self.parents[f].map_or(0, |p| a[p]);
+                    counts[*label as usize][pv][a[f]] += 1.0;
+                }
+                for c in counts.iter_mut() {
+                    for row in c.iter_mut() {
+                        let s: f64 = row.iter().sum();
+                        row.iter_mut().for_each(|v| *v /= s);
+                    }
+                }
+                counts
+            })
+            .collect();
+        self.fitted = true;
+    }
+
+    /// `p(correct | features)` under the TAN model.
+    pub fn posterior(&self, f: IktFeatures) -> f64 {
+        if !self.fitted {
+            return 0.5;
+        }
+        let a = f.as_array();
+        let mut log_odds = (self.class_prior[1] / self.class_prior[0]).ln();
+        for feat in 0..N_FEATURES {
+            let pv = self.parents[feat].map_or(0, |p| a[p]);
+            log_odds += (self.cpt[feat][1][pv][a[feat]] / self.cpt[feat][0][pv][a[feat]]).ln();
+        }
+        1.0 / (1.0 + (-log_odds).exp())
+    }
+
+    pub fn tan_parents(&self) -> [Option<usize>; N_FEATURES] {
+        self.parents
+    }
+}
+
+impl KtModel for Ikt {
+    fn name(&self) -> String {
+        "IKT".into()
+    }
+
+    fn fit(
+        &mut self,
+        windows: &[Window],
+        train_idx: &[usize],
+        _val_idx: &[usize],
+        qm: &QMatrix,
+        _cfg: &TrainConfig,
+    ) -> FitReport {
+        self.fit_inner(windows, train_idx, qm);
+        FitReport { epochs_run: 1, best_epoch: 1, best_val_auc: f64::NAN, train_losses: vec![] }
+    }
+
+    fn predict(&self, batch: &Batch) -> Vec<Prediction> {
+        // Feature extraction needs the concept tags, so predict uses the
+        // Q-matrix captured during fit.
+        let qm = self.qm_cache.as_ref().expect("Ikt::fit must run before predict");
+        let feats = self.extract(batch, qm);
+        let pos = eval_positions(batch);
+        debug_assert_eq!(feats.len(), pos.len());
+        feats
+            .into_iter()
+            .map(|(f, label)| Prediction { prob: self.posterior(f) as f32, label })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::evaluate;
+    use rckt_data::synthetic::SyntheticSpec;
+    use rckt_data::windows;
+
+    #[test]
+    fn ikt_fits_and_beats_chance() {
+        let ds = SyntheticSpec::assist12().scaled(0.3).generate();
+        let ws = windows(&ds, 50, 5);
+        let n = ws.len();
+        let train: Vec<usize> = (0..n * 8 / 10).collect();
+        let test: Vec<usize> = (n * 8 / 10..n).collect();
+        let mut m = Ikt::new();
+        m.fit(&ws, &train, &[], &ds.q_matrix, &TrainConfig::default());
+        let tb = make_batches(&ws, &test, &ds.q_matrix, 32);
+        let (auc, acc) = evaluate(&m, &tb);
+        assert!(auc > 0.55, "IKT auc {auc}");
+        assert!(acc > 0.5);
+    }
+
+    #[test]
+    fn tan_builds_a_tree() {
+        let ds = SyntheticSpec::assist09().scaled(0.2).generate();
+        let ws = windows(&ds, 50, 5);
+        let idx: Vec<usize> = (0..ws.len()).collect();
+        let mut m = Ikt::new();
+        m.fit(&ws, &idx, &[], &ds.q_matrix, &TrainConfig::default());
+        let parents = m.tan_parents();
+        // root has no parent; at least one feature has a feature-parent
+        assert!(parents[0].is_none());
+        assert!(parents.iter().filter(|p| p.is_some()).count() >= 1);
+        // no self-parent
+        for (i, p) in parents.iter().enumerate() {
+            assert_ne!(*p, Some(i));
+        }
+    }
+
+    #[test]
+    fn posterior_is_probability() {
+        let ds = SyntheticSpec::assist09().scaled(0.1).generate();
+        let ws = windows(&ds, 50, 5);
+        let idx: Vec<usize> = (0..ws.len()).collect();
+        let mut m = Ikt::new();
+        m.fit(&ws, &idx, &[], &ds.q_matrix, &TrainConfig::default());
+        for sm in 0..BUCKETS {
+            for ab in 0..BUCKETS {
+                for d in 0..BUCKETS {
+                    let p = m.posterior(IktFeatures {
+                        skill_mastery: sm,
+                        ability_profile: ab,
+                        problem_difficulty: d,
+                    });
+                    assert!(p > 0.0 && p < 1.0);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn mastery_raises_posterior() {
+        let ds = SyntheticSpec::assist12().scaled(0.2).generate();
+        let ws = windows(&ds, 50, 5);
+        let idx: Vec<usize> = (0..ws.len()).collect();
+        let mut m = Ikt::new();
+        m.fit(&ws, &idx, &[], &ds.q_matrix, &TrainConfig::default());
+        let low = m.posterior(IktFeatures { skill_mastery: 0, ability_profile: 0, problem_difficulty: 2 });
+        let high = m.posterior(IktFeatures { skill_mastery: BUCKETS - 1, ability_profile: BUCKETS - 1, problem_difficulty: 2 });
+        assert!(high > low, "mastery should increase p(correct): {low} vs {high}");
+    }
+}

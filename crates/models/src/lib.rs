@@ -1,0 +1,21 @@
+//! # rckt-models
+//!
+//! Knowledge-tracing baselines and encoders for the RCKT reproduction.
+
+pub mod common;
+pub mod attn_kt;
+pub mod bidir;
+pub mod bkt;
+pub mod dimkt;
+pub mod dkt;
+pub mod dkvmn;
+pub mod ikt;
+pub mod ktm;
+pub mod model;
+pub mod pfa;
+pub mod qikt;
+pub mod saint;
+
+pub use bidir::{BiAttnEncoder, BiEncoder, BiLstmEncoder};
+pub use common::{KtEmbedding, Prediction, ResponseCat};
+pub use model::{evaluate, FitReport, KtModel, SgdModel, TrainConfig};

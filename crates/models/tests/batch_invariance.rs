@@ -1,0 +1,109 @@
+//! Batch-composition invariance: a sequence's predictions must be identical
+//! whether it is evaluated alone or alongside other sequences. Catches any
+//! cross-sequence leakage through attention masks, LSTM batching, or
+//! embedding plumbing — for every model family.
+
+use rckt_data::{make_batches, synthetic::SyntheticSpec, windows, Batch, Window};
+use rckt_models::attn_kt::{AttnKt, AttnKtConfig, AttnVariant};
+use rckt_models::dimkt::{Dimkt, DimktConfig};
+use rckt_models::dkt::{Dkt, DktConfig};
+use rckt_models::dkvmn::{Dkvmn, DkvmnConfig};
+use rckt_models::qikt::{Qikt, QiktConfig};
+use rckt_models::saint::{Saint, SaintConfig};
+use rckt_models::KtModel;
+
+fn setup() -> (rckt_data::Dataset, Vec<Window>) {
+    let ds = SyntheticSpec::assist09().scaled(0.05).generate();
+    let ws = windows(&ds, 20, 5);
+    (ds, ws)
+}
+
+fn check_invariance(model: &dyn KtModel, ds: &rckt_data::Dataset, ws: &[Window]) {
+    let joint = make_batches(ws, &[0, 1, 2], &ds.q_matrix, 3);
+    let joint_preds = model.predict(&joint[0]);
+
+    // the same three windows, each alone
+    let mut solo_preds = Vec::new();
+    for w in ws.iter().take(3) {
+        let solo = Batch::from_windows(&[w], &ds.q_matrix);
+        solo_preds.extend(model.predict(&solo));
+    }
+    assert_eq!(joint_preds.len(), solo_preds.len(), "{}", model.name());
+    for (k, (a, b)) in joint_preds.iter().zip(&solo_preds).enumerate() {
+        assert!(
+            (a.prob - b.prob).abs() < 1e-5,
+            "{}: batch composition changed prediction {k}: {} vs {}",
+            model.name(),
+            a.prob,
+            b.prob
+        );
+        assert_eq!(a.label, b.label);
+    }
+}
+
+#[test]
+fn dkt_batch_invariant() {
+    let (ds, ws) = setup();
+    let m = Dkt::new(ds.num_questions(), ds.num_concepts(), DktConfig { dim: 16, ..Default::default() });
+    check_invariance(&m, &ds, &ws);
+}
+
+#[test]
+fn sakt_batch_invariant() {
+    let (ds, ws) = setup();
+    let m = AttnKt::new(
+        AttnVariant::Sakt,
+        ds.num_questions(),
+        ds.num_concepts(),
+        AttnKtConfig { dim: 16, heads: 2, ..Default::default() },
+    );
+    check_invariance(&m, &ds, &ws);
+}
+
+#[test]
+fn akt_batch_invariant() {
+    let (ds, ws) = setup();
+    let m = AttnKt::new(
+        AttnVariant::Akt,
+        ds.num_questions(),
+        ds.num_concepts(),
+        AttnKtConfig { dim: 16, heads: 2, ..Default::default() },
+    );
+    check_invariance(&m, &ds, &ws);
+}
+
+#[test]
+fn dimkt_batch_invariant() {
+    let (ds, ws) = setup();
+    let m = Dimkt::new(ds.num_questions(), ds.num_concepts(), DimktConfig { dim: 16, ..Default::default() });
+    check_invariance(&m, &ds, &ws);
+}
+
+#[test]
+fn dkvmn_batch_invariant() {
+    let (ds, ws) = setup();
+    let m = Dkvmn::new(
+        ds.num_questions(),
+        ds.num_concepts(),
+        DkvmnConfig { dim: 16, value_dim: 16, slots: 4, ..Default::default() },
+    );
+    check_invariance(&m, &ds, &ws);
+}
+
+#[test]
+fn saint_batch_invariant() {
+    let (ds, ws) = setup();
+    let m = Saint::new(
+        ds.num_questions(),
+        ds.num_concepts(),
+        SaintConfig { dim: 16, heads: 2, ..Default::default() },
+    );
+    check_invariance(&m, &ds, &ws);
+}
+
+#[test]
+fn qikt_batch_invariant() {
+    let (ds, ws) = setup();
+    let m = Qikt::new(ds.num_questions(), ds.num_concepts(), QiktConfig { dim: 16, ..Default::default() });
+    check_invariance(&m, &ds, &ws);
+}

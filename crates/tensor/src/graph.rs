@@ -1,0 +1,889 @@
+//! Tape-based reverse-mode automatic differentiation.
+//!
+//! A [`Graph`] is a dynamic tape: every operation appends a node holding
+//! the forward value and an op record naming its inputs. Because inputs
+//! always precede outputs on the tape, a single reverse sweep over the node
+//! vector is a valid reverse-topological traversal.
+//!
+//! Graphs are cheap and rebuilt for every training step; persistent state
+//! (weights, Adam moments) lives in a [`crate::ParamStore`].
+
+use crate::kernels;
+use crate::shape::Shape;
+
+/// Handle to a node in a [`Graph`]. Only valid for the graph that created it.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Tx(pub(crate) usize);
+
+/// Operation record: which op produced a node and from which inputs.
+#[derive(Debug, Clone)]
+pub(crate) enum Op {
+    Leaf,
+    /// Rank-2 matrix product.
+    Matmul(Tx, Tx),
+    /// Rank-3 batched matrix product `[b,m,k]·[b,k,n]`.
+    Bmm(Tx, Tx),
+    /// Swap the two trailing dims (rank 2 or 3).
+    Transpose(Tx),
+    /// Elementwise sum of identically shaped tensors.
+    Add(Tx, Tx),
+    /// Broadcast-add a row vector `[n]` to every row of `[..., n]`.
+    AddRow(Tx, Tx),
+    /// `x + c`; the constant is folded into the forward value and has no
+    /// gradient, so it is not recorded.
+    AddScalar(Tx),
+    Sub(Tx, Tx),
+    Mul(Tx, Tx),
+    MulScalar(Tx, f32),
+    Sigmoid(Tx),
+    Tanh(Tx),
+    Relu(Tx),
+    Exp(Tx),
+    /// `ln(max(x, eps))`; gradient is 0 where the clamp is active.
+    LnClamped(Tx, f32),
+    /// Softmax over the last dimension.
+    SoftmaxLast(Tx),
+    /// Per-row (last dim) layer normalization with affine transform.
+    LayerNorm { x: Tx, gamma: Tx, beta: Tx, eps: f32 },
+    /// Horizontal concat of two rank-2 tensors with equal row counts.
+    ConcatCols(Tx, Tx),
+    /// Vertical concat of rank-2 tensors with equal column counts.
+    ConcatRows(Vec<Tx>),
+    /// Columns `[start, end)` of a rank-2 tensor.
+    SliceCols(Tx, usize, usize),
+    /// Rows `[start, end)` of a rank-2 tensor.
+    SliceRows(Tx, usize, usize),
+    /// Select rows of a rank-2 tensor by index (embedding lookup).
+    GatherRows(Tx, Vec<usize>),
+    /// Mean over consecutive row groups: group `i` spans `lens[i]` rows.
+    /// Output has `lens.len()` rows. Used to average variable-count concept
+    /// embeddings per question (paper Eq. 23).
+    SegmentMeanRows(Tx, Vec<usize>),
+    SumAll(Tx),
+    MeanAll(Tx),
+    /// Sum over the last dimension: `[m, n] -> [m, 1]`.
+    SumLast(Tx),
+    /// Elementwise multiply by a fixed (non-differentiable) mask.
+    Dropout(Tx, Vec<f32>),
+    Reshape(Tx),
+    /// Fused, numerically stable binary cross-entropy on logits.
+    /// `weights` both masks (0 entries are ignored) and scales terms; the
+    /// result is the weighted sum divided by `norm`.
+    BceWithLogits { logits: Tx, targets: Vec<f32>, weights: Vec<f32>, norm: f32 },
+}
+
+pub(crate) struct Node {
+    pub data: Vec<f32>,
+    pub grad: Vec<f32>,
+    pub shape: Shape,
+    pub op: Op,
+    pub requires_grad: bool,
+    /// Index into the originating `ParamStore`, for gradient harvesting.
+    pub param_src: Option<usize>,
+}
+
+/// Dynamic computation tape.
+#[derive(Default)]
+pub struct Graph {
+    pub(crate) nodes: Vec<Node>,
+}
+
+impl Graph {
+    pub fn new() -> Self {
+        Graph { nodes: Vec::with_capacity(256) }
+    }
+
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Drop all nodes but keep the arena's allocation, so a training loop
+    /// can reuse one `Graph` across steps instead of reallocating.
+    pub fn reset(&mut self) {
+        self.nodes.clear();
+    }
+
+    fn push(&mut self, data: Vec<f32>, shape: Shape, op: Op, requires_grad: bool) -> Tx {
+        debug_assert_eq!(data.len(), shape.numel(), "data length must match shape");
+        let grad = if requires_grad { vec![0.0; data.len()] } else { Vec::new() };
+        self.nodes.push(Node { data, grad, shape, op, requires_grad, param_src: None });
+        Tx(self.nodes.len() - 1)
+    }
+
+    fn rg(&self, t: Tx) -> bool {
+        self.nodes[t.0].requires_grad
+    }
+
+    /// A constant input tensor (no gradient).
+    pub fn input(&mut self, data: Vec<f32>, shape: impl Into<Shape>) -> Tx {
+        self.push(data, shape.into(), Op::Leaf, false)
+    }
+
+    /// A leaf that participates in differentiation (used for grad checks).
+    pub fn leaf_grad(&mut self, data: Vec<f32>, shape: impl Into<Shape>) -> Tx {
+        self.push(data, shape.into(), Op::Leaf, true)
+    }
+
+    /// Scalar constant.
+    pub fn scalar(&mut self, v: f32) -> Tx {
+        self.input(vec![v], Shape::scalar())
+    }
+
+    pub(crate) fn push_param(&mut self, data: Vec<f32>, shape: Shape, param_idx: usize) -> Tx {
+        let t = self.push(data, shape, Op::Leaf, true);
+        self.nodes[t.0].param_src = Some(param_idx);
+        t
+    }
+
+    pub fn shape(&self, t: Tx) -> &Shape {
+        &self.nodes[t.0].shape
+    }
+
+    pub fn data(&self, t: Tx) -> &[f32] {
+        &self.nodes[t.0].data
+    }
+
+    pub fn grad(&self, t: Tx) -> &[f32] {
+        &self.nodes[t.0].grad
+    }
+
+    /// The single value of a scalar node.
+    pub fn value(&self, t: Tx) -> f32 {
+        debug_assert_eq!(self.nodes[t.0].shape.numel(), 1);
+        self.nodes[t.0].data[0]
+    }
+
+    // ---------------------------------------------------------------- ops
+
+    pub fn matmul(&mut self, a: Tx, b: Tx) -> Tx {
+        let (m, k) = self.shape(a).mat_dims();
+        let (k2, n) = self.shape(b).mat_dims();
+        assert_eq!(k, k2, "matmul inner dims: {:?} x {:?}", self.shape(a), self.shape(b));
+        assert!(self.shape(a).rank() <= 2 && self.shape(b).rank() <= 2, "use bmm for rank 3");
+        let mut out = vec![0.0; m * n];
+        kernels::matmul_acc(self.data(a), self.data(b), &mut out, m, k, n);
+        let rg = self.rg(a) || self.rg(b);
+        self.push(out, Shape::matrix(m, n), Op::Matmul(a, b), rg)
+    }
+
+    pub fn bmm(&mut self, a: Tx, b: Tx) -> Tx {
+        let (sa, sb) = (self.shape(a).clone(), self.shape(b).clone());
+        assert_eq!(sa.rank(), 3, "bmm lhs must be rank 3");
+        assert_eq!(sb.rank(), 3, "bmm rhs must be rank 3");
+        let (bsz, m, k) = (sa.0[0], sa.0[1], sa.0[2]);
+        let (bsz2, k2, n) = (sb.0[0], sb.0[1], sb.0[2]);
+        assert_eq!(bsz, bsz2, "bmm batch dims");
+        assert_eq!(k, k2, "bmm inner dims");
+        let mut out = vec![0.0; bsz * m * n];
+        for i in 0..bsz {
+            kernels::matmul_acc(
+                &self.data(a)[i * m * k..(i + 1) * m * k],
+                &self.data(b)[i * k * n..(i + 1) * k * n],
+                &mut out[i * m * n..(i + 1) * m * n],
+                m,
+                k,
+                n,
+            );
+        }
+        let rg = self.rg(a) || self.rg(b);
+        self.push(out, Shape::cube(bsz, m, n), Op::Bmm(a, b), rg)
+    }
+
+    /// Swap the two trailing dimensions.
+    pub fn transpose(&mut self, a: Tx) -> Tx {
+        let s = self.shape(a).clone();
+        let (m, n) = s.mat_dims();
+        let bsz = s.batch();
+        let mut out = vec![0.0; s.numel()];
+        for i in 0..bsz {
+            kernels::transpose(
+                &self.data(a)[i * m * n..(i + 1) * m * n],
+                &mut out[i * m * n..(i + 1) * m * n],
+                m,
+                n,
+            );
+        }
+        let shape = if s.rank() == 3 { Shape::cube(bsz, n, m) } else { Shape::matrix(n, m) };
+        let rg = self.rg(a);
+        self.push(out, shape, Op::Transpose(a), rg)
+    }
+
+    pub fn add(&mut self, a: Tx, b: Tx) -> Tx {
+        assert_eq!(self.shape(a), self.shape(b), "add shapes");
+        let out: Vec<f32> =
+            self.data(a).iter().zip(self.data(b)).map(|(x, y)| x + y).collect();
+        let shape = self.shape(a).clone();
+        let rg = self.rg(a) || self.rg(b);
+        self.push(out, shape, Op::Add(a, b), rg)
+    }
+
+    /// Broadcast-add a row vector to every row.
+    pub fn add_row(&mut self, a: Tx, row: Tx) -> Tx {
+        let n = self.shape(a).cols();
+        assert_eq!(self.shape(row).numel(), n, "add_row vector length");
+        let mut out = self.data(a).to_vec();
+        {
+            let r = self.data(row);
+            for chunk in out.chunks_exact_mut(n) {
+                for (c, &v) in chunk.iter_mut().zip(r) {
+                    *c += v;
+                }
+            }
+        }
+        let shape = self.shape(a).clone();
+        let rg = self.rg(a) || self.rg(row);
+        self.push(out, shape, Op::AddRow(a, row), rg)
+    }
+
+    pub fn add_scalar(&mut self, a: Tx, c: f32) -> Tx {
+        let out: Vec<f32> = self.data(a).iter().map(|x| x + c).collect();
+        let shape = self.shape(a).clone();
+        let rg = self.rg(a);
+        self.push(out, shape, Op::AddScalar(a), rg)
+    }
+
+    pub fn sub(&mut self, a: Tx, b: Tx) -> Tx {
+        assert_eq!(self.shape(a), self.shape(b), "sub shapes");
+        let out: Vec<f32> =
+            self.data(a).iter().zip(self.data(b)).map(|(x, y)| x - y).collect();
+        let shape = self.shape(a).clone();
+        let rg = self.rg(a) || self.rg(b);
+        self.push(out, shape, Op::Sub(a, b), rg)
+    }
+
+    pub fn mul(&mut self, a: Tx, b: Tx) -> Tx {
+        assert_eq!(self.shape(a), self.shape(b), "mul shapes");
+        let out: Vec<f32> =
+            self.data(a).iter().zip(self.data(b)).map(|(x, y)| x * y).collect();
+        let shape = self.shape(a).clone();
+        let rg = self.rg(a) || self.rg(b);
+        self.push(out, shape, Op::Mul(a, b), rg)
+    }
+
+    pub fn mul_scalar(&mut self, a: Tx, c: f32) -> Tx {
+        let out: Vec<f32> = self.data(a).iter().map(|x| x * c).collect();
+        let shape = self.shape(a).clone();
+        let rg = self.rg(a);
+        self.push(out, shape, Op::MulScalar(a, c), rg)
+    }
+
+    pub fn neg(&mut self, a: Tx) -> Tx {
+        self.mul_scalar(a, -1.0)
+    }
+
+    pub fn sigmoid(&mut self, a: Tx) -> Tx {
+        let out: Vec<f32> = self.data(a).iter().map(|&x| sigmoid(x)).collect();
+        let shape = self.shape(a).clone();
+        let rg = self.rg(a);
+        self.push(out, shape, Op::Sigmoid(a), rg)
+    }
+
+    pub fn tanh(&mut self, a: Tx) -> Tx {
+        let out: Vec<f32> = self.data(a).iter().map(|x| x.tanh()).collect();
+        let shape = self.shape(a).clone();
+        let rg = self.rg(a);
+        self.push(out, shape, Op::Tanh(a), rg)
+    }
+
+    pub fn relu(&mut self, a: Tx) -> Tx {
+        let out: Vec<f32> = self.data(a).iter().map(|x| x.max(0.0)).collect();
+        let shape = self.shape(a).clone();
+        let rg = self.rg(a);
+        self.push(out, shape, Op::Relu(a), rg)
+    }
+
+    pub fn exp(&mut self, a: Tx) -> Tx {
+        let out: Vec<f32> = self.data(a).iter().map(|x| x.exp()).collect();
+        let shape = self.shape(a).clone();
+        let rg = self.rg(a);
+        self.push(out, shape, Op::Exp(a), rg)
+    }
+
+    /// `ln(max(x, eps))` — the clamp keeps log-losses finite.
+    pub fn ln_clamped(&mut self, a: Tx, eps: f32) -> Tx {
+        let out: Vec<f32> = self.data(a).iter().map(|x| x.max(eps).ln()).collect();
+        let shape = self.shape(a).clone();
+        let rg = self.rg(a);
+        self.push(out, shape, Op::LnClamped(a, eps), rg)
+    }
+
+    pub fn softmax_last(&mut self, a: Tx) -> Tx {
+        let n = self.shape(a).cols();
+        let mut out = vec![0.0; self.shape(a).numel()];
+        kernels::softmax_rows(self.data(a), &mut out, n);
+        let shape = self.shape(a).clone();
+        let rg = self.rg(a);
+        self.push(out, shape, Op::SoftmaxLast(a), rg)
+    }
+
+    pub fn layer_norm(&mut self, x: Tx, gamma: Tx, beta: Tx, eps: f32) -> Tx {
+        let n = self.shape(x).cols();
+        assert_eq!(self.shape(gamma).numel(), n);
+        assert_eq!(self.shape(beta).numel(), n);
+        let mut out = vec![0.0; self.shape(x).numel()];
+        {
+            let (xd, gd, bd) = (self.data(x), self.data(gamma), self.data(beta));
+            for (o_row, x_row) in out.chunks_exact_mut(n).zip(xd.chunks_exact(n)) {
+                let mean = x_row.iter().sum::<f32>() / n as f32;
+                let var = x_row.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / n as f32;
+                let inv = 1.0 / (var + eps).sqrt();
+                for j in 0..n {
+                    o_row[j] = gd[j] * (x_row[j] - mean) * inv + bd[j];
+                }
+            }
+        }
+        let shape = self.shape(x).clone();
+        let rg = self.rg(x) || self.rg(gamma) || self.rg(beta);
+        self.push(out, shape, Op::LayerNorm { x, gamma, beta, eps }, rg)
+    }
+
+    pub fn concat_cols(&mut self, a: Tx, b: Tx) -> Tx {
+        let (m, na) = self.shape(a).mat_dims();
+        let (m2, nb) = self.shape(b).mat_dims();
+        assert_eq!(m, m2, "concat_cols rows");
+        assert!(self.shape(a).rank() <= 2 && self.shape(b).rank() <= 2);
+        let mut out = Vec::with_capacity(m * (na + nb));
+        for i in 0..m {
+            out.extend_from_slice(&self.data(a)[i * na..(i + 1) * na]);
+            out.extend_from_slice(&self.data(b)[i * nb..(i + 1) * nb]);
+        }
+        let rg = self.rg(a) || self.rg(b);
+        self.push(out, Shape::matrix(m, na + nb), Op::ConcatCols(a, b), rg)
+    }
+
+    pub fn concat_rows(&mut self, parts: &[Tx]) -> Tx {
+        assert!(!parts.is_empty());
+        let n = self.shape(parts[0]).cols();
+        let mut rows = 0;
+        let mut out = Vec::new();
+        let mut rg = false;
+        for &p in parts {
+            assert_eq!(self.shape(p).cols(), n, "concat_rows cols");
+            rows += self.shape(p).rows();
+            out.extend_from_slice(self.data(p));
+            rg |= self.rg(p);
+        }
+        self.push(out, Shape::matrix(rows, n), Op::ConcatRows(parts.to_vec()), rg)
+    }
+
+    pub fn slice_cols(&mut self, a: Tx, start: usize, end: usize) -> Tx {
+        let (m, n) = self.shape(a).mat_dims();
+        assert!(self.shape(a).rank() <= 2);
+        assert!(start < end && end <= n, "slice_cols range {start}..{end} of {n}");
+        let w = end - start;
+        let mut out = Vec::with_capacity(m * w);
+        for i in 0..m {
+            out.extend_from_slice(&self.data(a)[i * n + start..i * n + end]);
+        }
+        let rg = self.rg(a);
+        self.push(out, Shape::matrix(m, w), Op::SliceCols(a, start, end), rg)
+    }
+
+    pub fn slice_rows(&mut self, a: Tx, start: usize, end: usize) -> Tx {
+        let (m, n) = self.shape(a).mat_dims();
+        assert!(self.shape(a).rank() <= 2);
+        assert!(start < end && end <= m, "slice_rows range {start}..{end} of {m}");
+        let out = self.data(a)[start * n..end * n].to_vec();
+        let rg = self.rg(a);
+        self.push(out, Shape::matrix(end - start, n), Op::SliceRows(a, start, end), rg)
+    }
+
+    /// Embedding-style lookup: output row `i` is `table` row `indices[i]`.
+    pub fn gather_rows(&mut self, table: Tx, indices: &[usize]) -> Tx {
+        let (m, n) = self.shape(table).mat_dims();
+        assert!(self.shape(table).rank() <= 2);
+        let mut out = Vec::with_capacity(indices.len() * n);
+        for &ix in indices {
+            assert!(ix < m, "gather index {ix} out of {m} rows");
+            out.extend_from_slice(&self.data(table)[ix * n..(ix + 1) * n]);
+        }
+        let rg = self.rg(table);
+        self.push(out, Shape::matrix(indices.len(), n), Op::GatherRows(table, indices.to_vec()), rg)
+    }
+
+    /// Mean over consecutive row groups of sizes `lens` (all > 0, summing to
+    /// the row count of `a`). Output row `i` is the mean of group `i`.
+    pub fn segment_mean_rows(&mut self, a: Tx, lens: &[usize]) -> Tx {
+        let (m, n) = self.shape(a).mat_dims();
+        assert!(self.shape(a).rank() <= 2);
+        assert_eq!(lens.iter().sum::<usize>(), m, "segment lengths must cover all rows");
+        let mut out = Vec::with_capacity(lens.len() * n);
+        let data = self.data(a);
+        let mut row = 0;
+        for &len in lens {
+            assert!(len > 0, "empty segment");
+            let inv = 1.0 / len as f32;
+            for j in 0..n {
+                let mut s = 0.0;
+                for r in row..row + len {
+                    s += data[r * n + j];
+                }
+                out.push(s * inv);
+            }
+            row += len;
+        }
+        let rg = self.rg(a);
+        self.push(out, Shape::matrix(lens.len(), n), Op::SegmentMeanRows(a, lens.to_vec()), rg)
+    }
+
+    pub fn sum_all(&mut self, a: Tx) -> Tx {
+        let s: f32 = self.data(a).iter().sum();
+        let rg = self.rg(a);
+        self.push(vec![s], Shape::scalar(), Op::SumAll(a), rg)
+    }
+
+    pub fn mean_all(&mut self, a: Tx) -> Tx {
+        let n = self.data(a).len() as f32;
+        let s: f32 = self.data(a).iter().sum::<f32>() / n;
+        let rg = self.rg(a);
+        self.push(vec![s], Shape::scalar(), Op::MeanAll(a), rg)
+    }
+
+    /// Sum over the last dimension: `[m, n] -> [m, 1]`.
+    pub fn sum_last(&mut self, a: Tx) -> Tx {
+        let n = self.shape(a).cols();
+        let rows = self.shape(a).rows();
+        let out: Vec<f32> = self.data(a).chunks_exact(n).map(|r| r.iter().sum()).collect();
+        let rg = self.rg(a);
+        self.push(out, Shape::matrix(rows, 1), Op::SumLast(a), rg)
+    }
+
+    /// Apply a pre-sampled inverted-dropout mask (entries are `0` or `1/(1-p)`).
+    pub fn dropout_mask(&mut self, a: Tx, mask: Vec<f32>) -> Tx {
+        assert_eq!(mask.len(), self.data(a).len());
+        let out: Vec<f32> = self.data(a).iter().zip(&mask).map(|(x, m)| x * m).collect();
+        let shape = self.shape(a).clone();
+        let rg = self.rg(a);
+        self.push(out, shape, Op::Dropout(a, mask), rg)
+    }
+
+    pub fn reshape(&mut self, a: Tx, shape: impl Into<Shape>) -> Tx {
+        let shape = shape.into();
+        assert_eq!(shape.numel(), self.shape(a).numel(), "reshape numel");
+        let out = self.data(a).to_vec();
+        let rg = self.rg(a);
+        self.push(out, shape, Op::Reshape(a), rg)
+    }
+
+    /// Numerically stable weighted binary cross-entropy on logits, reduced to
+    /// a scalar: `sum_i w_i * bce(z_i, t_i) / norm`.
+    pub fn bce_with_logits(&mut self, logits: Tx, targets: &[f32], weights: &[f32], norm: f32) -> Tx {
+        let z = self.data(logits);
+        assert_eq!(z.len(), targets.len());
+        assert_eq!(z.len(), weights.len());
+        assert!(norm > 0.0);
+        let mut loss = 0.0f64;
+        for ((&zi, &ti), &wi) in z.iter().zip(targets).zip(weights) {
+            if wi == 0.0 {
+                continue;
+            }
+            // max(z,0) - z*t + ln(1 + e^{-|z|})
+            let l = zi.max(0.0) - zi * ti + (-zi.abs()).exp().ln_1p();
+            loss += (wi * l) as f64;
+        }
+        let rg = self.rg(logits);
+        self.push(
+            vec![(loss / norm as f64) as f32],
+            Shape::scalar(),
+            Op::BceWithLogits {
+                logits,
+                targets: targets.to_vec(),
+                weights: weights.to_vec(),
+                norm,
+            },
+            rg,
+        )
+    }
+
+    // ----------------------------------------------------------- backward
+
+    /// Run reverse-mode differentiation from scalar node `loss`.
+    pub fn backward(&mut self, loss: Tx) {
+        assert_eq!(self.nodes[loss.0].shape.numel(), 1, "backward needs a scalar loss");
+        assert!(self.nodes[loss.0].requires_grad, "loss does not depend on any parameter");
+        self.nodes[loss.0].grad[0] = 1.0;
+
+        for idx in (0..=loss.0).rev() {
+            if !self.nodes[idx].requires_grad {
+                continue;
+            }
+            let op = self.nodes[idx].op.clone();
+            if matches!(op, Op::Leaf) {
+                continue;
+            }
+            let g = std::mem::take(&mut self.nodes[idx].grad);
+            self.backprop_one(idx, &op, &g);
+            self.nodes[idx].grad = g;
+        }
+    }
+
+    fn add_grad(&mut self, t: Tx, f: impl FnOnce(&mut [f32])) {
+        if self.nodes[t.0].requires_grad {
+            f(&mut self.nodes[t.0].grad);
+        }
+    }
+
+    fn backprop_one(&mut self, idx: usize, op: &Op, g: &[f32]) {
+        match *op {
+            Op::Leaf => {}
+            Op::Matmul(a, b) => {
+                let (m, k) = self.shape(a).mat_dims();
+                let n = self.shape(b).cols();
+                if self.rg(a) {
+                    let bd = self.nodes[b.0].data.clone();
+                    self.add_grad(a, |ga| kernels::matmul_bt_acc(g, &bd, ga, m, n, k));
+                }
+                if self.rg(b) {
+                    let ad = self.nodes[a.0].data.clone();
+                    self.add_grad(b, |gb| kernels::matmul_at_acc(&ad, g, gb, m, k, n));
+                }
+            }
+            Op::Bmm(a, b) => {
+                let (bsz, m, k) = {
+                    let s = self.shape(a);
+                    (s.0[0], s.0[1], s.0[2])
+                };
+                let n = self.shape(b).0[2];
+                if self.rg(a) {
+                    let bd = self.nodes[b.0].data.clone();
+                    self.add_grad(a, |ga| {
+                        for i in 0..bsz {
+                            kernels::matmul_bt_acc(
+                                &g[i * m * n..(i + 1) * m * n],
+                                &bd[i * k * n..(i + 1) * k * n],
+                                &mut ga[i * m * k..(i + 1) * m * k],
+                                m,
+                                n,
+                                k,
+                            );
+                        }
+                    });
+                }
+                if self.rg(b) {
+                    let ad = self.nodes[a.0].data.clone();
+                    self.add_grad(b, |gb| {
+                        for i in 0..bsz {
+                            kernels::matmul_at_acc(
+                                &ad[i * m * k..(i + 1) * m * k],
+                                &g[i * m * n..(i + 1) * m * n],
+                                &mut gb[i * k * n..(i + 1) * k * n],
+                                m,
+                                k,
+                                n,
+                            );
+                        }
+                    });
+                }
+            }
+            Op::Transpose(a) => {
+                let s_out = self.nodes[idx].shape.clone();
+                let (m, n) = s_out.mat_dims(); // output dims
+                let bsz = s_out.batch();
+                self.add_grad(a, |ga| {
+                    let mut tmp = vec![0.0; m * n];
+                    for i in 0..bsz {
+                        kernels::transpose(&g[i * m * n..(i + 1) * m * n], &mut tmp, m, n);
+                        for (gv, tv) in ga[i * m * n..(i + 1) * m * n].iter_mut().zip(&tmp) {
+                            *gv += *tv;
+                        }
+                    }
+                });
+            }
+            Op::Add(a, b) => {
+                self.add_grad(a, |ga| acc(ga, g));
+                self.add_grad(b, |gb| acc(gb, g));
+            }
+            Op::AddRow(a, row) => {
+                self.add_grad(a, |ga| acc(ga, g));
+                let n = self.shape(row).numel();
+                self.add_grad(row, |gr| {
+                    for chunk in g.chunks_exact(n) {
+                        for (r, &v) in gr.iter_mut().zip(chunk) {
+                            *r += v;
+                        }
+                    }
+                });
+            }
+            Op::AddScalar(a) => self.add_grad(a, |ga| acc(ga, g)),
+            Op::Sub(a, b) => {
+                self.add_grad(a, |ga| acc(ga, g));
+                self.add_grad(b, |gb| {
+                    for (x, &v) in gb.iter_mut().zip(g) {
+                        *x -= v;
+                    }
+                });
+            }
+            Op::Mul(a, b) => {
+                if self.rg(a) {
+                    let bd = self.nodes[b.0].data.clone();
+                    self.add_grad(a, |ga| {
+                        for ((x, &v), &y) in ga.iter_mut().zip(g).zip(&bd) {
+                            *x += v * y;
+                        }
+                    });
+                }
+                if self.rg(b) {
+                    let ad = self.nodes[a.0].data.clone();
+                    self.add_grad(b, |gb| {
+                        for ((x, &v), &y) in gb.iter_mut().zip(g).zip(&ad) {
+                            *x += v * y;
+                        }
+                    });
+                }
+            }
+            Op::MulScalar(a, c) => self.add_grad(a, |ga| {
+                for (x, &v) in ga.iter_mut().zip(g) {
+                    *x += v * c;
+                }
+            }),
+            Op::Sigmoid(a) => {
+                let y = self.nodes[idx].data.clone();
+                self.add_grad(a, |ga| {
+                    for ((x, &v), &yv) in ga.iter_mut().zip(g).zip(&y) {
+                        *x += v * yv * (1.0 - yv);
+                    }
+                });
+            }
+            Op::Tanh(a) => {
+                let y = self.nodes[idx].data.clone();
+                self.add_grad(a, |ga| {
+                    for ((x, &v), &yv) in ga.iter_mut().zip(g).zip(&y) {
+                        *x += v * (1.0 - yv * yv);
+                    }
+                });
+            }
+            Op::Relu(a) => {
+                let xin = self.nodes[a.0].data.clone();
+                self.add_grad(a, |ga| {
+                    for ((x, &v), &xi) in ga.iter_mut().zip(g).zip(&xin) {
+                        if xi > 0.0 {
+                            *x += v;
+                        }
+                    }
+                });
+            }
+            Op::Exp(a) => {
+                let y = self.nodes[idx].data.clone();
+                self.add_grad(a, |ga| {
+                    for ((x, &v), &yv) in ga.iter_mut().zip(g).zip(&y) {
+                        *x += v * yv;
+                    }
+                });
+            }
+            Op::LnClamped(a, eps) => {
+                let xin = self.nodes[a.0].data.clone();
+                self.add_grad(a, |ga| {
+                    for ((x, &v), &xi) in ga.iter_mut().zip(g).zip(&xin) {
+                        if xi > eps {
+                            *x += v / xi;
+                        }
+                    }
+                });
+            }
+            Op::SoftmaxLast(a) => {
+                let y = self.nodes[idx].data.clone();
+                let n = self.nodes[idx].shape.cols();
+                self.add_grad(a, |ga| {
+                    for ((ga_row, g_row), y_row) in
+                        ga.chunks_exact_mut(n).zip(g.chunks_exact(n)).zip(y.chunks_exact(n))
+                    {
+                        let dot: f32 = g_row.iter().zip(y_row).map(|(a, b)| a * b).sum();
+                        for j in 0..n {
+                            ga_row[j] += y_row[j] * (g_row[j] - dot);
+                        }
+                    }
+                });
+            }
+            Op::LayerNorm { x, gamma, beta, eps } => {
+                let n = self.nodes[idx].shape.cols();
+                let xd = self.nodes[x.0].data.clone();
+                let gd = self.nodes[gamma.0].data.clone();
+                // Recompute per-row statistics (cheaper than caching).
+                let rows = xd.len() / n;
+                let mut xhat = vec![0.0f32; xd.len()];
+                let mut invs = vec![0.0f32; rows];
+                for r in 0..rows {
+                    let x_row = &xd[r * n..(r + 1) * n];
+                    let mean = x_row.iter().sum::<f32>() / n as f32;
+                    let var = x_row.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / n as f32;
+                    let inv = 1.0 / (var + eps).sqrt();
+                    invs[r] = inv;
+                    for j in 0..n {
+                        xhat[r * n + j] = (x_row[j] - mean) * inv;
+                    }
+                }
+                self.add_grad(gamma, |gg| {
+                    for r in 0..rows {
+                        for j in 0..n {
+                            gg[j] += g[r * n + j] * xhat[r * n + j];
+                        }
+                    }
+                });
+                self.add_grad(beta, |gb| {
+                    for r in 0..rows {
+                        for j in 0..n {
+                            gb[j] += g[r * n + j];
+                        }
+                    }
+                });
+                self.add_grad(x, |gx| {
+                    for r in 0..rows {
+                        let gy = &g[r * n..(r + 1) * n];
+                        let xh = &xhat[r * n..(r + 1) * n];
+                        // dl/dxhat_j = gy_j * gamma_j
+                        let mut sum_dxhat = 0.0f32;
+                        let mut sum_dxhat_xhat = 0.0f32;
+                        for j in 0..n {
+                            let d = gy[j] * gd[j];
+                            sum_dxhat += d;
+                            sum_dxhat_xhat += d * xh[j];
+                        }
+                        let inv = invs[r];
+                        for j in 0..n {
+                            let d = gy[j] * gd[j];
+                            gx[r * n + j] += inv
+                                * (d - sum_dxhat / n as f32 - xh[j] * sum_dxhat_xhat / n as f32);
+                        }
+                    }
+                });
+            }
+            Op::ConcatCols(a, b) => {
+                let na = self.shape(a).cols();
+                let nb = self.shape(b).cols();
+                let m = self.shape(a).rows();
+                self.add_grad(a, |ga| {
+                    for i in 0..m {
+                        for j in 0..na {
+                            ga[i * na + j] += g[i * (na + nb) + j];
+                        }
+                    }
+                });
+                self.add_grad(b, |gb| {
+                    for i in 0..m {
+                        for j in 0..nb {
+                            gb[i * nb + j] += g[i * (na + nb) + na + j];
+                        }
+                    }
+                });
+            }
+            Op::ConcatRows(ref parts) => {
+                let parts = parts.clone();
+                let mut offset = 0;
+                for p in parts {
+                    let len = self.shape(p).numel();
+                    self.add_grad(p, |gp| acc(gp, &g[offset..offset + len]));
+                    offset += len;
+                }
+            }
+            Op::SliceCols(a, start, end) => {
+                let n = self.shape(a).cols();
+                let w = end - start;
+                self.add_grad(a, |ga| {
+                    for (i, row) in g.chunks_exact(w).enumerate() {
+                        for (j, &v) in row.iter().enumerate() {
+                            ga[i * n + start + j] += v;
+                        }
+                    }
+                });
+            }
+            Op::SliceRows(a, start, _end) => {
+                let n = self.shape(a).cols();
+                self.add_grad(a, |ga| acc(&mut ga[start * n..start * n + g.len()], g));
+            }
+            Op::GatherRows(table, ref indices) => {
+                let indices = indices.clone();
+                let n = self.shape(table).cols();
+                self.add_grad(table, |gt| {
+                    for (i, &ix) in indices.iter().enumerate() {
+                        for j in 0..n {
+                            gt[ix * n + j] += g[i * n + j];
+                        }
+                    }
+                });
+            }
+            Op::SegmentMeanRows(a, ref lens) => {
+                let lens = lens.clone();
+                let n = self.shape(a).cols();
+                self.add_grad(a, |ga| {
+                    let mut row = 0;
+                    for (i, &len) in lens.iter().enumerate() {
+                        let inv = 1.0 / len as f32;
+                        for r in row..row + len {
+                            for j in 0..n {
+                                ga[r * n + j] += g[i * n + j] * inv;
+                            }
+                        }
+                        row += len;
+                    }
+                });
+            }
+            Op::SumAll(a) => self.add_grad(a, |ga| {
+                for x in ga.iter_mut() {
+                    *x += g[0];
+                }
+            }),
+            Op::MeanAll(a) => {
+                let inv = 1.0 / self.shape(a).numel() as f32;
+                self.add_grad(a, |ga| {
+                    for x in ga.iter_mut() {
+                        *x += g[0] * inv;
+                    }
+                });
+            }
+            Op::SumLast(a) => {
+                let n = self.shape(a).cols();
+                self.add_grad(a, |ga| {
+                    for (i, row) in ga.chunks_exact_mut(n).enumerate() {
+                        for x in row.iter_mut() {
+                            *x += g[i];
+                        }
+                    }
+                });
+            }
+            Op::Dropout(a, ref mask) => {
+                let mask = mask.clone();
+                self.add_grad(a, |ga| {
+                    for ((x, &v), &m) in ga.iter_mut().zip(g).zip(&mask) {
+                        *x += v * m;
+                    }
+                });
+            }
+            Op::Reshape(a) => self.add_grad(a, |ga| acc(ga, g)),
+            Op::BceWithLogits { logits, ref targets, ref weights, norm } => {
+                let (targets, weights) = (targets.clone(), weights.clone());
+                let zd = self.nodes[logits.0].data.clone();
+                self.add_grad(logits, |gz| {
+                    let scale = g[0] / norm;
+                    for (i, x) in gz.iter_mut().enumerate() {
+                        if weights[i] == 0.0 {
+                            continue;
+                        }
+                        *x += scale * weights[i] * (sigmoid(zd[i]) - targets[i]);
+                    }
+                });
+            }
+        }
+    }
+}
+
+#[inline]
+fn acc(dst: &mut [f32], src: &[f32]) {
+    for (d, &s) in dst.iter_mut().zip(src) {
+        *d += s;
+    }
+}
+
+/// Logistic sigmoid, stable for large |x|.
+#[inline]
+pub fn sigmoid(x: f32) -> f32 {
+    if x >= 0.0 {
+        1.0 / (1.0 + (-x).exp())
+    } else {
+        let e = x.exp();
+        e / (1.0 + e)
+    }
+}

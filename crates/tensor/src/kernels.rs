@@ -1,0 +1,156 @@
+//! Dense f32 compute kernels shared by forward and backward passes.
+//!
+//! All kernels operate on row-major slices. They are deliberately simple
+//! loops: at the dimensions used by knowledge-tracing models (d ≤ 256,
+//! T ≤ 200) the compiler's autovectorization is within a small factor of
+//! hand-tuned BLAS, and the code stays auditable.
+
+/// `c += a (m×k) · b (k×n)`, accumulating into `c (m×n)`.
+pub fn matmul_acc(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
+    debug_assert_eq!(a.len(), m * k);
+    debug_assert_eq!(b.len(), k * n);
+    debug_assert_eq!(c.len(), m * n);
+    for i in 0..m {
+        let a_row = &a[i * k..(i + 1) * k];
+        let c_row = &mut c[i * n..(i + 1) * n];
+        for (p, &av) in a_row.iter().enumerate() {
+            if av == 0.0 {
+                continue;
+            }
+            let b_row = &b[p * n..(p + 1) * n];
+            for (cv, &bv) in c_row.iter_mut().zip(b_row) {
+                *cv += av * bv;
+            }
+        }
+    }
+}
+
+/// `c += a (m×k) · bᵀ where b is (n×k)`, accumulating into `c (m×n)`.
+pub fn matmul_bt_acc(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
+    debug_assert_eq!(a.len(), m * k);
+    debug_assert_eq!(b.len(), n * k);
+    debug_assert_eq!(c.len(), m * n);
+    for i in 0..m {
+        let a_row = &a[i * k..(i + 1) * k];
+        for j in 0..n {
+            let b_row = &b[j * k..(j + 1) * k];
+            let mut acc = 0.0f32;
+            for (&av, &bv) in a_row.iter().zip(b_row) {
+                acc += av * bv;
+            }
+            c[i * n + j] += acc;
+        }
+    }
+}
+
+/// `c += aᵀ (k×m viewed from a m×k) · b (m×n)`, accumulating into `c (k×n)`.
+pub fn matmul_at_acc(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
+    debug_assert_eq!(a.len(), m * k);
+    debug_assert_eq!(b.len(), m * n);
+    debug_assert_eq!(c.len(), k * n);
+    for i in 0..m {
+        let a_row = &a[i * k..(i + 1) * k];
+        let b_row = &b[i * n..(i + 1) * n];
+        for (p, &av) in a_row.iter().enumerate() {
+            if av == 0.0 {
+                continue;
+            }
+            let c_row = &mut c[p * n..(p + 1) * n];
+            for (cv, &bv) in c_row.iter_mut().zip(b_row) {
+                *cv += av * bv;
+            }
+        }
+    }
+}
+
+/// Transpose `src (m×n)` into `dst (n×m)`.
+pub fn transpose(src: &[f32], dst: &mut [f32], m: usize, n: usize) {
+    debug_assert_eq!(src.len(), m * n);
+    debug_assert_eq!(dst.len(), m * n);
+    for i in 0..m {
+        for j in 0..n {
+            dst[j * m + i] = src[i * n + j];
+        }
+    }
+}
+
+/// Numerically stable softmax over each contiguous row of length `n`.
+pub fn softmax_rows(src: &[f32], dst: &mut [f32], n: usize) {
+    debug_assert_eq!(src.len() % n, 0);
+    for (s_row, d_row) in src.chunks_exact(n).zip(dst.chunks_exact_mut(n)) {
+        let max = s_row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        let mut sum = 0.0f32;
+        for (d, &s) in d_row.iter_mut().zip(s_row) {
+            let e = (s - max).exp();
+            *d = e;
+            sum += e;
+        }
+        let inv = 1.0 / sum;
+        for d in d_row.iter_mut() {
+            *d *= inv;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matmul_small() {
+        // [1 2; 3 4] * [5 6; 7 8] = [19 22; 43 50]
+        let a = [1.0, 2.0, 3.0, 4.0];
+        let b = [5.0, 6.0, 7.0, 8.0];
+        let mut c = [0.0; 4];
+        matmul_acc(&a, &b, &mut c, 2, 2, 2);
+        assert_eq!(c, [19.0, 22.0, 43.0, 50.0]);
+    }
+
+    #[test]
+    fn matmul_bt_matches_explicit_transpose() {
+        let a = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0]; // 2x3
+        let b = [7.0, 8.0, 9.0, 10.0, 11.0, 12.0]; // 2x3, used as b^T: 3x2
+        let mut c1 = [0.0; 4];
+        matmul_bt_acc(&a, &b, &mut c1, 2, 3, 2);
+        let mut bt = [0.0; 6];
+        transpose(&b, &mut bt, 2, 3);
+        let mut c2 = [0.0; 4];
+        matmul_acc(&a, &bt, &mut c2, 2, 3, 2);
+        assert_eq!(c1, c2);
+    }
+
+    #[test]
+    fn matmul_at_matches_explicit_transpose() {
+        let a = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0]; // 2x3 -> a^T 3x2
+        let b = [1.0, -1.0, 0.5, 2.0]; // 2x2
+        let mut c1 = vec![0.0; 6];
+        matmul_at_acc(&a, &b, &mut c1, 2, 3, 2);
+        let mut at = [0.0; 6];
+        transpose(&a, &mut at, 2, 3);
+        let mut c2 = vec![0.0; 6];
+        matmul_acc(&at, &b, &mut c2, 3, 2, 2);
+        assert_eq!(c1, c2);
+    }
+
+    #[test]
+    fn softmax_rows_sum_to_one() {
+        let src = [1.0, 2.0, 3.0, -1.0, 0.0, 1.0];
+        let mut dst = [0.0; 6];
+        softmax_rows(&src, &mut dst, 3);
+        for row in dst.chunks(3) {
+            let s: f32 = row.iter().sum();
+            assert!((s - 1.0).abs() < 1e-6);
+        }
+        // monotone in logits
+        assert!(dst[0] < dst[1] && dst[1] < dst[2]);
+    }
+
+    #[test]
+    fn softmax_handles_large_negatives() {
+        let src = [0.0, -1e9, -1e9];
+        let mut dst = [0.0; 3];
+        softmax_rows(&src, &mut dst, 3);
+        assert!((dst[0] - 1.0).abs() < 1e-6);
+        assert!(dst[1] < 1e-9);
+    }
+}

@@ -1,0 +1,272 @@
+//! Persistent parameter storage with named tensors and optimizer state.
+
+use crate::graph::{Graph, Tx};
+use crate::shape::Shape;
+use rand::rngs::SmallRng;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Handle to a parameter in a [`ParamStore`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct ParamId(pub(crate) usize);
+
+/// Weight initialization schemes.
+#[derive(Clone, Copy, Debug)]
+pub enum Init {
+    /// All zeros (biases).
+    Zeros,
+    /// All ones (layer-norm gain).
+    Ones,
+    /// Every element set to the given value.
+    Constant(f32),
+    /// Uniform in `[-a, a]`.
+    Uniform(f32),
+    /// Xavier/Glorot uniform, scaled by fan-in + fan-out.
+    Xavier,
+    /// He/Kaiming uniform, scaled by fan-in (for ReLU nets).
+    He,
+}
+
+#[derive(Serialize, Deserialize)]
+pub(crate) struct Param {
+    pub name: String,
+    pub shape: Shape,
+    pub data: Vec<f32>,
+    #[serde(skip)]
+    pub grad: Vec<f32>,
+    #[serde(skip)]
+    pub m: Vec<f32>,
+    #[serde(skip)]
+    pub v: Vec<f32>,
+}
+
+/// Named persistent parameters plus their Adam moments.
+///
+/// A fresh [`Graph`] is built per step; parameters are injected with
+/// [`ParamStore::leaf`], gradients harvested back with
+/// [`ParamStore::accumulate_grads`], and updated by an optimizer from
+/// [`crate::optim`].
+#[derive(Default, Serialize, Deserialize)]
+pub struct ParamStore {
+    pub(crate) params: Vec<Param>,
+    names: HashMap<String, usize>,
+}
+
+impl ParamStore {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register a parameter. Panics if `name` is already taken.
+    pub fn register(
+        &mut self,
+        name: &str,
+        shape: impl Into<Shape>,
+        init: Init,
+        rng: &mut SmallRng,
+    ) -> ParamId {
+        assert!(!self.names.contains_key(name), "duplicate parameter name {name}");
+        let shape = shape.into();
+        let n = shape.numel();
+        let (fan_in, fan_out) = match shape.0.as_slice() {
+            [o] => (*o, *o),
+            [i, o] => (*i, *o),
+            [b, i, o] => (b * i, *o),
+            _ => unreachable!(),
+        };
+        let data = match init {
+            Init::Zeros => vec![0.0; n],
+            Init::Ones => vec![1.0; n],
+            Init::Constant(c) => vec![c; n],
+            Init::Uniform(a) => (0..n).map(|_| rng.gen_range(-a..=a)).collect(),
+            Init::Xavier => {
+                let a = (6.0 / (fan_in + fan_out) as f32).sqrt();
+                (0..n).map(|_| rng.gen_range(-a..=a)).collect()
+            }
+            Init::He => {
+                let a = (6.0 / fan_in as f32).sqrt();
+                (0..n).map(|_| rng.gen_range(-a..=a)).collect()
+            }
+        };
+        self.params.push(Param {
+            name: name.to_string(),
+            shape,
+            data,
+            grad: vec![0.0; n],
+            m: vec![0.0; n],
+            v: vec![0.0; n],
+        });
+        let id = self.params.len() - 1;
+        self.names.insert(name.to_string(), id);
+        ParamId(id)
+    }
+
+    pub fn id(&self, name: &str) -> Option<ParamId> {
+        self.names.get(name).copied().map(ParamId)
+    }
+
+    pub fn len(&self) -> usize {
+        self.params.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.params.is_empty()
+    }
+
+    /// Total number of scalar weights.
+    pub fn num_weights(&self) -> usize {
+        self.params.iter().map(|p| p.data.len()).sum()
+    }
+
+    pub fn data(&self, id: ParamId) -> &[f32] {
+        &self.params[id.0].data
+    }
+
+    pub fn data_mut(&mut self, id: ParamId) -> &mut [f32] {
+        &mut self.params[id.0].data
+    }
+
+    pub fn grad(&self, id: ParamId) -> &[f32] {
+        &self.params[id.0].grad
+    }
+
+    pub fn shape(&self, id: ParamId) -> &Shape {
+        &self.params[id.0].shape
+    }
+
+    /// Inject a parameter into a graph as a differentiable leaf.
+    pub fn leaf(&self, g: &mut Graph, id: ParamId) -> Tx {
+        let p = &self.params[id.0];
+        g.push_param(p.data.clone(), p.shape.clone(), id.0)
+    }
+
+    /// Harvest gradients from a backward-swept graph into `self.grad`
+    /// (accumulating, so several graphs can contribute to one step).
+    pub fn accumulate_grads(&mut self, g: &Graph) {
+        for node in &g.nodes {
+            if let Some(pi) = node.param_src {
+                let dst = &mut self.params[pi].grad;
+                for (d, &s) in dst.iter_mut().zip(&node.grad) {
+                    *d += s;
+                }
+            }
+        }
+    }
+
+    pub fn zero_grads(&mut self) {
+        for p in &mut self.params {
+            p.grad.iter_mut().for_each(|x| *x = 0.0);
+        }
+    }
+
+    /// Global L2 norm of all gradients.
+    pub fn grad_norm(&self) -> f32 {
+        self.params
+            .iter()
+            .flat_map(|p| p.grad.iter())
+            .map(|g| (g * g) as f64)
+            .sum::<f64>()
+            .sqrt() as f32
+    }
+
+    /// Scale all gradients so the global norm is at most `max_norm`.
+    pub fn clip_grad_norm(&mut self, max_norm: f32) {
+        let norm = self.grad_norm();
+        if norm > max_norm && norm > 0.0 {
+            let scale = max_norm / norm;
+            for p in &mut self.params {
+                p.grad.iter_mut().for_each(|g| *g *= scale);
+            }
+        }
+    }
+
+    /// Serialize weights (not optimizer state) to JSON.
+    pub fn save_json(&self) -> String {
+        serde_json::to_string(self).expect("param store serialization")
+    }
+
+    /// Restore weights from [`ParamStore::save_json`] output. Optimizer
+    /// moments are reset.
+    pub fn load_json(s: &str) -> Result<Self, serde_json::Error> {
+        let mut store: ParamStore = serde_json::from_str(s)?;
+        store.names = store
+            .params
+            .iter()
+            .enumerate()
+            .map(|(i, p)| (p.name.clone(), i))
+            .collect();
+        for p in &mut store.params {
+            let n = p.data.len();
+            p.grad = vec![0.0; n];
+            p.m = vec![0.0; n];
+            p.v = vec![0.0; n];
+        }
+        Ok(store)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn register_and_lookup() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        let mut store = ParamStore::new();
+        let w = store.register("w", Shape::matrix(3, 4), Init::Xavier, &mut rng);
+        assert_eq!(store.id("w"), Some(w));
+        assert_eq!(store.id("nope"), None);
+        assert_eq!(store.num_weights(), 12);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate")]
+    fn duplicate_name_panics() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        let mut store = ParamStore::new();
+        store.register("w", Shape::vector(2), Init::Zeros, &mut rng);
+        store.register("w", Shape::vector(2), Init::Zeros, &mut rng);
+    }
+
+    #[test]
+    fn grad_roundtrip_through_graph() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        let mut store = ParamStore::new();
+        let w = store.register("w", Shape::vector(3), Init::Ones, &mut rng);
+
+        let mut g = Graph::new();
+        let wt = store.leaf(&mut g, w);
+        let loss = g.sum_all(wt);
+        g.backward(loss);
+        store.accumulate_grads(&g);
+        assert_eq!(store.grad(w), &[1.0, 1.0, 1.0]);
+
+        store.zero_grads();
+        assert_eq!(store.grad(w), &[0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn clip_grad_norm_scales() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        let mut store = ParamStore::new();
+        let w = store.register("w", Shape::vector(2), Init::Zeros, &mut rng);
+        store.params[w.0].grad = vec![3.0, 4.0]; // norm 5
+        store.clip_grad_norm(1.0);
+        let n = store.grad_norm();
+        assert!((n - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn save_load_roundtrip() {
+        let mut rng = SmallRng::seed_from_u64(9);
+        let mut store = ParamStore::new();
+        store.register("a", Shape::matrix(2, 2), Init::Xavier, &mut rng);
+        store.register("b", Shape::vector(2), Init::Uniform(0.5), &mut rng);
+        let json = store.save_json();
+        let loaded = ParamStore::load_json(&json).unwrap();
+        assert_eq!(loaded.len(), 2);
+        assert_eq!(loaded.data(loaded.id("a").unwrap()), store.data(store.id("a").unwrap()));
+    }
+}

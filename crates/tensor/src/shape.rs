@@ -1,0 +1,117 @@
+//! Tensor shapes (rank 1–3, row-major).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Shape of a tensor. Data is stored row-major; the last dimension is
+/// contiguous. Rank 1 is treated as a row vector `[1, n]` by matrix ops.
+#[derive(Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Shape(pub Vec<usize>);
+
+impl Shape {
+    pub fn scalar() -> Self {
+        Shape(vec![1])
+    }
+
+    pub fn vector(n: usize) -> Self {
+        Shape(vec![n])
+    }
+
+    pub fn matrix(rows: usize, cols: usize) -> Self {
+        Shape(vec![rows, cols])
+    }
+
+    pub fn cube(b: usize, rows: usize, cols: usize) -> Self {
+        Shape(vec![b, rows, cols])
+    }
+
+    pub fn rank(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Total number of elements.
+    pub fn numel(&self) -> usize {
+        self.0.iter().product()
+    }
+
+    /// Number of rows when viewed as a 2-D matrix (batch dims folded in).
+    pub fn rows(&self) -> usize {
+        match self.0.as_slice() {
+            [] => 0,
+            [_] => 1,
+            dims => dims[..dims.len() - 1].iter().product(),
+        }
+    }
+
+    /// Size of the last (contiguous) dimension.
+    pub fn cols(&self) -> usize {
+        *self.0.last().expect("shape must not be empty")
+    }
+
+    /// Leading batch dimension for rank-3 shapes, 1 otherwise.
+    pub fn batch(&self) -> usize {
+        if self.rank() == 3 {
+            self.0[0]
+        } else {
+            1
+        }
+    }
+
+    /// The two trailing matrix dimensions `(m, n)`.
+    pub fn mat_dims(&self) -> (usize, usize) {
+        match self.0.as_slice() {
+            [n] => (1, *n),
+            [m, n] => (*m, *n),
+            [_, m, n] => (*m, *n),
+            _ => panic!("rank > 3 unsupported"),
+        }
+    }
+}
+
+impl fmt::Debug for Shape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:?}", self.0)
+    }
+}
+
+impl From<Vec<usize>> for Shape {
+    fn from(v: Vec<usize>) -> Self {
+        assert!(!v.is_empty() && v.len() <= 3, "supported ranks: 1..=3");
+        Shape(v)
+    }
+}
+
+impl From<&[usize]> for Shape {
+    fn from(v: &[usize]) -> Self {
+        Shape::from(v.to_vec())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn numel_and_dims() {
+        let s = Shape::cube(2, 3, 4);
+        assert_eq!(s.numel(), 24);
+        assert_eq!(s.rows(), 6);
+        assert_eq!(s.cols(), 4);
+        assert_eq!(s.batch(), 2);
+        assert_eq!(s.mat_dims(), (3, 4));
+    }
+
+    #[test]
+    fn vector_is_one_row() {
+        let s = Shape::vector(5);
+        assert_eq!(s.rows(), 1);
+        assert_eq!(s.cols(), 5);
+        assert_eq!(s.mat_dims(), (1, 5));
+    }
+
+    #[test]
+    #[should_panic]
+    fn rank_4_rejected() {
+        let _ = Shape::from(vec![1, 2, 3, 4]);
+    }
+}

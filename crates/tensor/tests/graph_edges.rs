@@ -1,0 +1,123 @@
+//! Edge-case behaviour of the autograd graph: contract violations panic
+//! loudly (shape mismatches, non-scalar losses), and gradient bookkeeping
+//! behaves at the boundaries.
+
+use rckt_tensor::{Graph, Shape};
+
+#[test]
+#[should_panic(expected = "matmul inner dims")]
+fn matmul_shape_mismatch_panics() {
+    let mut g = Graph::new();
+    let a = g.input(vec![0.0; 6], Shape::matrix(2, 3));
+    let b = g.input(vec![0.0; 8], Shape::matrix(4, 2));
+    g.matmul(a, b);
+}
+
+#[test]
+#[should_panic(expected = "add shapes")]
+fn add_shape_mismatch_panics() {
+    let mut g = Graph::new();
+    let a = g.input(vec![0.0; 6], Shape::matrix(2, 3));
+    let b = g.input(vec![0.0; 6], Shape::matrix(3, 2));
+    g.add(a, b);
+}
+
+#[test]
+#[should_panic(expected = "scalar loss")]
+fn backward_requires_scalar() {
+    let mut g = Graph::new();
+    let a = g.leaf_grad(vec![1.0, 2.0], Shape::vector(2));
+    let b = g.mul_scalar(a, 2.0);
+    g.backward(b);
+}
+
+#[test]
+#[should_panic(expected = "does not depend on any parameter")]
+fn backward_requires_grad_path() {
+    let mut g = Graph::new();
+    let a = g.input(vec![1.0], Shape::scalar()); // no grad
+    let b = g.mul_scalar(a, 2.0);
+    g.backward(b);
+}
+
+#[test]
+#[should_panic(expected = "gather index")]
+fn gather_out_of_bounds_panics() {
+    let mut g = Graph::new();
+    let t = g.input(vec![0.0; 4], Shape::matrix(2, 2));
+    g.gather_rows(t, &[2]);
+}
+
+#[test]
+#[should_panic(expected = "bmm batch dims")]
+fn bmm_batch_mismatch_panics() {
+    let mut g = Graph::new();
+    let a = g.input(vec![0.0; 8], Shape::cube(2, 2, 2));
+    let b = g.input(vec![0.0; 4], Shape::cube(1, 2, 2));
+    g.bmm(a, b);
+}
+
+#[test]
+#[should_panic(expected = "reshape numel")]
+fn reshape_numel_mismatch_panics() {
+    let mut g = Graph::new();
+    let a = g.input(vec![0.0; 6], Shape::matrix(2, 3));
+    g.reshape(a, Shape::matrix(2, 2));
+}
+
+#[test]
+#[should_panic(expected = "segment lengths")]
+fn segment_mean_coverage_mismatch_panics() {
+    let mut g = Graph::new();
+    let a = g.input(vec![0.0; 6], Shape::matrix(3, 2));
+    g.segment_mean_rows(a, &[2, 2]);
+}
+
+#[test]
+fn second_backward_accumulates() {
+    // calling backward twice on the same graph doubles leaf grads — the
+    // documented tape semantics (graphs are single-use in practice).
+    let mut g = Graph::new();
+    let a = g.leaf_grad(vec![1.0, 2.0], Shape::vector(2));
+    let loss = g.sum_all(a);
+    g.backward(loss);
+    let first = g.grad(a).to_vec();
+    g.backward(loss);
+    let second = g.grad(a).to_vec();
+    for (f, s) in first.iter().zip(&second) {
+        assert!((s - 2.0 * f).abs() < 1e-6);
+    }
+}
+
+#[test]
+fn grad_of_constant_input_stays_empty() {
+    let mut g = Graph::new();
+    let a = g.input(vec![1.0, 2.0], Shape::vector(2));
+    let w = g.leaf_grad(vec![3.0, 4.0], Shape::vector(2));
+    let m = g.mul(a, w);
+    let loss = g.sum_all(m);
+    g.backward(loss);
+    assert!(g.grad(a).is_empty(), "constants carry no grad buffer");
+    assert_eq!(g.grad(w), &[1.0, 2.0]);
+}
+
+#[test]
+fn ln_clamped_is_finite_at_zero() {
+    let mut g = Graph::new();
+    let a = g.leaf_grad(vec![0.0, -1.0, 1e-12], Shape::vector(3));
+    let l = g.ln_clamped(a, 1e-6);
+    assert!(g.data(l).iter().all(|v| v.is_finite()));
+    let s = g.sum_all(l);
+    g.backward(s);
+    assert!(g.grad(a).iter().all(|v| v.is_finite()));
+}
+
+#[test]
+fn bce_with_zero_weight_positions_has_zero_grad_there() {
+    let mut g = Graph::new();
+    let z = g.leaf_grad(vec![5.0, -5.0], Shape::vector(2));
+    let loss = g.bce_with_logits(z, &[0.0, 1.0], &[0.0, 1.0], 1.0);
+    g.backward(loss);
+    assert_eq!(g.grad(z)[0], 0.0, "masked position must not receive gradient");
+    assert!(g.grad(z)[1] != 0.0);
+}

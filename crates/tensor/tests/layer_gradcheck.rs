@@ -1,0 +1,123 @@
+//! End-to-end gradient checks through whole layers (LSTM, multi-head
+//! attention): the op-level checks in `gradcheck.rs` verify each backward
+//! rule in isolation; these verify the full composition that the
+//! knowledge-tracing models actually run, by perturbing *parameters*.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use rckt_tensor::layers::{abs_distances, AttentionBias, Lstm, MultiHeadAttention};
+use rckt_tensor::{Graph, ParamId, ParamStore, Shape};
+
+const B: usize = 2;
+const T: usize = 4;
+const D: usize = 6;
+
+fn input_data(rng: &mut SmallRng, n: usize) -> Vec<f32> {
+    (0..n).map(|_| rng.gen_range(-0.8f32..0.8)).collect()
+}
+
+/// Analytic grads vs central differences for every weight of `params`.
+fn check_param_grads(
+    store: &mut ParamStore,
+    params: &[ParamId],
+    mut loss_of: impl FnMut(&ParamStore) -> f32,
+    analytic: impl Fn(&ParamStore) -> Vec<(ParamId, Vec<f32>)>,
+) {
+    let grads = analytic(store);
+    let h = 2e-3f32;
+    for (pid, g) in grads {
+        if !params.contains(&pid) {
+            continue;
+        }
+        // spot-check a few coordinates per parameter to keep runtime sane
+        let n = store.data(pid).len();
+        let picks: Vec<usize> = (0..n).step_by((n / 4).max(1)).take(4).collect();
+        for &i in &picks {
+            let orig = store.data(pid)[i];
+            store.data_mut(pid)[i] = orig + h;
+            let lp = loss_of(store);
+            store.data_mut(pid)[i] = orig - h;
+            let lm = loss_of(store);
+            store.data_mut(pid)[i] = orig;
+            let numeric = (lp - lm) / (2.0 * h);
+            let a = g[i];
+            let denom = 1.0f32.max(a.abs()).max(numeric.abs());
+            assert!(
+                (a - numeric).abs() / denom < 5e-2,
+                "param grad mismatch at coord {i}: analytic {a}, numeric {numeric}"
+            );
+        }
+    }
+}
+
+#[test]
+fn lstm_full_gradcheck() {
+    let mut rng = SmallRng::seed_from_u64(11);
+    let mut store = ParamStore::new();
+    let lstm = Lstm::new(&mut store, "lstm", D, D, 1, 0.0, &mut rng);
+    let x = input_data(&mut rng, B * T * D);
+    let params: Vec<ParamId> =
+        ["lstm.l0.w_ih", "lstm.l0.w_hh", "lstm.l0.b"].iter().map(|n| store.id(n).unwrap()).collect();
+
+    let loss_of = |store: &ParamStore| -> f32 {
+        let mut rng = SmallRng::seed_from_u64(0);
+        let mut g = Graph::new();
+        let xt = g.input(x.clone(), Shape::matrix(B * T, D));
+        let hidden = lstm.forward(&mut g, store, xt, B, T, false, false, &mut rng);
+        let sq = g.mul(hidden, hidden);
+        let loss = g.mean_all(sq);
+        g.value(loss)
+    };
+    let analytic = |store: &ParamStore| -> Vec<(ParamId, Vec<f32>)> {
+        let mut store2 = ParamStore::load_json(&store.save_json()).unwrap();
+        let mut rng = SmallRng::seed_from_u64(0);
+        let mut g = Graph::new();
+        let xt = g.input(x.clone(), Shape::matrix(B * T, D));
+        let hidden = lstm.forward(&mut g, &store2, xt, B, T, false, false, &mut rng);
+        let sq = g.mul(hidden, hidden);
+        let loss = g.mean_all(sq);
+        g.backward(loss);
+        store2.zero_grads();
+        store2.accumulate_grads(&g);
+        params.iter().map(|&p| (p, store2.grad(p).to_vec())).collect()
+    };
+    check_param_grads(&mut store, &params, loss_of, analytic);
+}
+
+#[test]
+fn attention_full_gradcheck_with_monotonic_decay() {
+    let mut rng = SmallRng::seed_from_u64(13);
+    let mut store = ParamStore::new();
+    let mha = MultiHeadAttention::new(&mut store, "att", D, 2, true, 0.0, &mut rng);
+    let x = input_data(&mut rng, B * T * D);
+    let params: Vec<ParamId> = ["att.wq.w", "att.wv.w", "att.wo.w", "att.theta"]
+        .iter()
+        .map(|n| store.id(n).unwrap())
+        .collect();
+
+    let run = |store: &ParamStore, want_grads: bool| -> (f32, Option<ParamStore>) {
+        let mut store2 = ParamStore::load_json(&store.save_json()).unwrap();
+        let mut rng = SmallRng::seed_from_u64(0);
+        let mut g = Graph::new();
+        let xt = g.input(x.clone(), Shape::matrix(B * T, D));
+        let bias = AttentionBias { mask: None, distances: Some(abs_distances(T, T)) };
+        let out = mha.forward(&mut g, &store2, xt, xt, xt, B, T, T, &bias, false, &mut rng);
+        let sq = g.mul(out.out, out.out);
+        let loss = g.mean_all(sq);
+        let v = g.value(loss);
+        if want_grads {
+            g.backward(loss);
+            store2.zero_grads();
+            store2.accumulate_grads(&g);
+            (v, Some(store2))
+        } else {
+            (v, None)
+        }
+    };
+    let loss_of = |store: &ParamStore| run(store, false).0;
+    let analytic = |store: &ParamStore| -> Vec<(ParamId, Vec<f32>)> {
+        let s = run(store, true).1.unwrap();
+        params.iter().map(|&p| (p, s.grad(p).to_vec())).collect()
+    };
+    check_param_grads(&mut store, &params, loss_of, analytic);
+}

@@ -1,0 +1,123 @@
+//! Property-based tests for autograd invariants.
+
+use proptest::prelude::*;
+use rckt_tensor::{sigmoid, Graph, Shape};
+
+fn vec_strategy(n: usize) -> impl Strategy<Value = Vec<f32>> {
+    proptest::collection::vec(-3.0f32..3.0, n)
+}
+
+proptest! {
+    /// Softmax rows always sum to 1 and stay in (0, 1).
+    #[test]
+    fn softmax_is_a_distribution(data in vec_strategy(12)) {
+        let mut g = Graph::new();
+        let x = g.input(data, Shape::matrix(3, 4));
+        let s = g.softmax_last(x);
+        for row in g.data(s).chunks(4) {
+            let sum: f32 = row.iter().sum();
+            prop_assert!((sum - 1.0).abs() < 1e-4);
+            for &v in row {
+                prop_assert!(v > 0.0 && v < 1.0);
+            }
+        }
+    }
+
+    /// d(sum(c * x))/dx == c for every element (linearity of backward).
+    #[test]
+    fn backward_is_linear(data in vec_strategy(8), c in -5.0f32..5.0) {
+        let mut g = Graph::new();
+        let x = g.leaf_grad(data, Shape::matrix(2, 4));
+        let y = g.mul_scalar(x, c);
+        let loss = g.sum_all(y);
+        g.backward(loss);
+        for &gv in g.grad(x) {
+            prop_assert!((gv - c).abs() < 1e-5);
+        }
+    }
+
+    /// Gradients accumulate across fan-out: loss = sum(x) + sum(x) gives 2s.
+    #[test]
+    fn grad_accumulates_over_fanout(data in vec_strategy(6)) {
+        let mut g = Graph::new();
+        let x = g.leaf_grad(data, Shape::matrix(2, 3));
+        let s1 = g.sum_all(x);
+        let s2 = g.sum_all(x);
+        let loss = g.add(s1, s2);
+        g.backward(loss);
+        for &gv in g.grad(x) {
+            prop_assert!((gv - 2.0).abs() < 1e-5);
+        }
+    }
+
+    /// transpose(transpose(x)) == x.
+    #[test]
+    fn transpose_is_involutive(data in vec_strategy(12)) {
+        let mut g = Graph::new();
+        let x = g.input(data.clone(), Shape::matrix(3, 4));
+        let t = g.transpose(x);
+        let tt = g.transpose(t);
+        prop_assert_eq!(g.data(tt), &data[..]);
+    }
+
+    /// reshape preserves data exactly.
+    #[test]
+    fn reshape_preserves_data(data in vec_strategy(12)) {
+        let mut g = Graph::new();
+        let x = g.input(data.clone(), Shape::matrix(3, 4));
+        let r = g.reshape(x, Shape::cube(2, 2, 3));
+        prop_assert_eq!(g.data(r), &data[..]);
+    }
+
+    /// concat_cols then matching slice_cols round-trips both halves.
+    #[test]
+    fn concat_slice_roundtrip(a in vec_strategy(6), b in vec_strategy(4)) {
+        let mut g = Graph::new();
+        let at = g.input(a.clone(), Shape::matrix(2, 3));
+        let bt = g.input(b.clone(), Shape::matrix(2, 2));
+        let c = g.concat_cols(at, bt);
+        let a2 = g.slice_cols(c, 0, 3);
+        let b2 = g.slice_cols(c, 3, 5);
+        prop_assert_eq!(g.data(a2), &a[..]);
+        prop_assert_eq!(g.data(b2), &b[..]);
+    }
+
+    /// sigmoid stays in (0,1) and is monotone.
+    #[test]
+    fn sigmoid_properties(x in -50.0f32..50.0, dx in 0.001f32..5.0) {
+        let s1 = sigmoid(x);
+        let s2 = sigmoid(x + dx);
+        prop_assert!((0.0..=1.0).contains(&s1));
+        prop_assert!(s2 >= s1);
+    }
+
+    /// matmul distributes over addition: (A+B)·C == A·C + B·C.
+    #[test]
+    fn matmul_distributes(a in vec_strategy(6), b in vec_strategy(6), c in vec_strategy(6)) {
+        let mut g = Graph::new();
+        let at = g.input(a, Shape::matrix(2, 3));
+        let bt = g.input(b, Shape::matrix(2, 3));
+        let ct = g.input(c, Shape::matrix(3, 2));
+        let sum = g.add(at, bt);
+        let lhs = g.matmul(sum, ct);
+        let ac = g.matmul(at, ct);
+        let bc = g.matmul(bt, ct);
+        let rhs = g.add(ac, bc);
+        for (l, r) in g.data(lhs).iter().zip(g.data(rhs)) {
+            prop_assert!((l - r).abs() < 1e-3);
+        }
+    }
+
+    /// bmm on a batch of 1 equals plain matmul.
+    #[test]
+    fn bmm_batch1_equals_matmul(a in vec_strategy(6), b in vec_strategy(8)) {
+        let mut g = Graph::new();
+        let a2 = g.input(a.clone(), Shape::matrix(3, 2));
+        let b2 = g.input(b.clone(), Shape::matrix(2, 4));
+        let mm = g.matmul(a2, b2);
+        let a3 = g.input(a, Shape::cube(1, 3, 2));
+        let b3 = g.input(b, Shape::cube(1, 2, 4));
+        let bm = g.bmm(a3, b3);
+        prop_assert_eq!(g.data(mm), g.data(bm));
+    }
+}

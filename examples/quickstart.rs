@@ -1,0 +1,49 @@
+//! Quickstart: generate a small synthetic dataset, train RCKT for a few
+//! epochs, evaluate it, and print an influence explanation for one student.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use rckt::explain::{render_influence_table, ExplainContext};
+use rckt::{Backbone, Rckt, RcktConfig};
+use rckt_data::{make_batches, windows, KFold, SyntheticSpec};
+use rckt_models::model::TrainConfig;
+use rckt_models::KtModel;
+
+fn main() {
+    // 1. Data: an ASSIST09-like synthetic dataset (see rckt-data docs for
+    //    the generative model and the CSV loader for real data).
+    let ds = SyntheticSpec::assist09().scaled(0.5).generate();
+    let ws = windows(&ds, 50, 5);
+    let folds = KFold::paper(42).split(ws.len());
+    let fold = &folds[0];
+    println!("dataset: {} ({} windows, {:.0}% correct)", ds.name, ws.len(), ds.correct_rate() * 100.0);
+
+    // 2. Model: RCKT with a BiLSTM (DKT) backbone.
+    let mut model = Rckt::new(
+        Backbone::Dkt,
+        ds.num_questions(),
+        ds.num_concepts(),
+        RcktConfig { dim: 32, lr: 2e-3, ..Default::default() },
+    );
+    println!("model: {} ({} weights)", model.name(), model.num_weights());
+
+    // 3. Train with early stopping on validation AUC.
+    let cfg = TrainConfig { max_epochs: 12, patience: 6, batch_size: 16, verbose: true, ..Default::default() };
+    let report = model.fit(&ws, &fold.train, &fold.val, &ds.q_matrix, &cfg);
+    println!("trained {} epochs (best epoch {})", report.epochs_run, report.best_epoch);
+
+    // 4. Evaluate on the held-out fold (final-response prediction).
+    let test = make_batches(&ws, &fold.test, &ds.q_matrix, 16);
+    let (auc, acc) = model.evaluate_last(&test);
+    println!("test AUC {auc:.4}  ACC {acc:.4}");
+
+    // 5. Explain one prediction: per-response influences.
+    let batch = &test[0];
+    let targets: Vec<usize> = (0..batch.batch).map(|b| batch.seq_len(b) - 1).collect();
+    let rec = &model.influences(batch, &targets)[0];
+    println!("\nwhy does RCKT predict {} for this student's next answer?\n",
+        if rec.predicted_correct() { "correct" } else { "incorrect" });
+    print!("{}", render_influence_table(rec, &ExplainContext::default()));
+}

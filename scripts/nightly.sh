@@ -1,0 +1,13 @@
+#!/usr/bin/env bash
+set -u
+cd /root/repo
+R=target/release
+$R/table4_overall --scale 0.5 --folds 2 --epochs 20 --patience 8 > results/table4.txt 2> results/table4.log; echo T4DONE >> results/progress.txt
+$R/table5_ablation --scale 0.5 --folds 1 --epochs 18 --patience 7 > results/table5.txt 2> results/table5.log; echo T5DONE >> results/progress.txt
+$R/fig4_lambda --scale 0.5 --folds 1 --epochs 18 --patience 7 > results/fig4.txt 2> results/fig4.log; echo F4DONE >> results/progress.txt
+$R/table6_efficiency --scale 0.4 --epochs 15 --patience 6 > results/table6.txt 2> results/table6.log; echo T6DONE >> results/progress.txt
+$R/fig5_proficiency --scale 0.5 --epochs 18 --patience 7 > results/fig5.txt 2> results/fig5.log; echo F5DONE >> results/progress.txt
+$R/fig6_case --scale 0.5 --epochs 18 --patience 7 > results/fig6.txt 2> results/fig6.log; echo F6DONE >> results/progress.txt
+$R/extra_analyses --scale 0.5 --epochs 18 --patience 7 > results/extra.txt 2> results/extra.log; echo EXDONE >> results/progress.txt
+$R/table1_toy --scale 0.3 --epochs 6 > results/table1.txt 2> results/table1.log; echo T1DONE >> results/progress.txt
+$R/table2_stats --scale 0.5 > results/table2.txt 2>&1; echo ALLDONE >> results/progress.txt

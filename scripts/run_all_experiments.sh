@@ -1,0 +1,30 @@
+#!/usr/bin/env bash
+# Regenerate every paper table/figure into results/.
+# Quick CPU settings by default; pass --full for the paper-faithful run.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+EXTRA="${@:-}"
+mkdir -p results
+
+cargo build --release -p rckt-bench
+
+run() {
+  local name="$1"; shift
+  echo "== $name =="
+  target/release/"$name" "$@" $EXTRA | tee "results/$name.txt"
+}
+
+run table2_stats
+run table1_toy
+run table4_overall
+run table5_ablation
+run fig4_lambda
+run fig5_proficiency
+run fig6_case
+run table6_efficiency
+run extra_analyses
+run headline_check
+run ablation_bidir
+run diag_rckt
+
+echo "all experiment outputs in results/"

@@ -1,0 +1,186 @@
+//! Cross-crate integration tests: data generation → preprocessing → model
+//! training → evaluation, for every model family in the workspace.
+
+use rckt::{Backbone, Rckt, RcktConfig};
+use rckt_data::{make_batches, windows, KFold, SyntheticSpec};
+use rckt_metrics::{accuracy, auc};
+use rckt_models::attn_kt::{AttnKt, AttnKtConfig, AttnVariant};
+use rckt_models::bkt::Bkt;
+use rckt_models::dimkt::{Dimkt, DimktConfig};
+use rckt_models::dkt::{Dkt, DktConfig};
+use rckt_models::ikt::Ikt;
+use rckt_models::model::TrainConfig;
+use rckt_models::qikt::{Qikt, QiktConfig};
+use rckt_models::{evaluate, KtModel};
+
+struct Setup {
+    ds: rckt_data::Dataset,
+    ws: Vec<rckt_data::Window>,
+    fold: rckt_data::Fold,
+}
+
+fn setup(scale: f64) -> Setup {
+    let ds = SyntheticSpec::assist12().scaled(scale).generate();
+    let ws = windows(&ds, 50, 5);
+    let folds = KFold::paper(5).split(ws.len());
+    Setup { ds, ws, fold: folds[0].clone() }
+}
+
+fn quick_cfg() -> TrainConfig {
+    TrainConfig { max_epochs: 6, patience: 3, batch_size: 16, ..Default::default() }
+}
+
+/// Every SGD-trained baseline learns something above chance on simulator
+/// data within a few epochs.
+#[test]
+fn all_neural_baselines_beat_chance() {
+    let s = setup(0.25);
+    let (nq, nk) = (s.ds.num_questions(), s.ds.num_concepts());
+    let mut models: Vec<Box<dyn KtModel>> = vec![
+        Box::new(Dkt::new(nq, nk, DktConfig { dim: 16, lr: 2e-3, ..Default::default() })),
+        Box::new(AttnKt::new(
+            AttnVariant::Sakt,
+            nq,
+            nk,
+            AttnKtConfig { dim: 16, heads: 2, lr: 2e-3, ..Default::default() },
+        )),
+        Box::new(AttnKt::new(
+            AttnVariant::Akt,
+            nq,
+            nk,
+            AttnKtConfig { dim: 16, heads: 2, lr: 2e-3, ..Default::default() },
+        )),
+        Box::new(Dimkt::new(nq, nk, DimktConfig { dim: 16, lr: 2e-3, ..Default::default() })),
+        Box::new(Qikt::new(nq, nk, QiktConfig { dim: 16, lr: 2e-3, ..Default::default() })),
+    ];
+    let test = make_batches(&s.ws, &s.fold.test, &s.ds.q_matrix, 16);
+    for m in &mut models {
+        m.fit(&s.ws, &s.fold.train, &s.fold.val, &s.ds.q_matrix, &quick_cfg());
+        let (a, _) = evaluate(m.as_ref(), &test);
+        assert!(a > 0.53, "{} test AUC only {a:.4}", m.name());
+    }
+}
+
+/// The non-neural baselines (IKT, BKT) fit in one pass and beat chance.
+#[test]
+fn statistical_baselines_beat_chance() {
+    let s = setup(0.3);
+    let test = make_batches(&s.ws, &s.fold.test, &s.ds.q_matrix, 32);
+    let mut ikt = Ikt::new();
+    ikt.fit(&s.ws, &s.fold.train, &s.fold.val, &s.ds.q_matrix, &quick_cfg());
+    let (a, _) = evaluate(&ikt, &test);
+    assert!(a > 0.53, "IKT AUC {a:.4}");
+
+    let mut bkt = Bkt::new();
+    bkt.fit(&s.ws, &s.fold.train, &s.fold.val, &s.ds.q_matrix, &quick_cfg());
+    let (a, _) = evaluate(&bkt, &test);
+    assert!(a > 0.52, "BKT AUC {a:.4}");
+}
+
+/// RCKT end-to-end: trains, beats chance on final-response prediction, and
+/// its influence explanations reconstruct its own predictions exactly.
+#[test]
+fn rckt_end_to_end_with_explanations() {
+    let s = setup(0.25);
+    let mut model = Rckt::new(
+        Backbone::Dkt,
+        s.ds.num_questions(),
+        s.ds.num_concepts(),
+        RcktConfig { dim: 16, lr: 2e-3, ..Default::default() },
+    );
+    let report = model.fit(&s.ws, &s.fold.train, &s.fold.val, &s.ds.q_matrix, &quick_cfg());
+    assert!(report.epochs_run >= 1);
+    let test = make_batches(&s.ws, &s.fold.test, &s.ds.q_matrix, 16);
+    let (a, _) = model.evaluate_last(&test);
+    assert!(a > 0.52, "RCKT-DKT final-response AUC {a:.4}");
+
+    // every prediction is exactly the influence-margin comparison
+    for batch in &test {
+        let targets: Vec<usize> = (0..batch.batch).map(|b| batch.seq_len(b) - 1).collect();
+        let preds = model.predict_targets(batch, &targets);
+        let recs = model.influences(batch, &targets);
+        for (p, r) in preds.iter().zip(&recs) {
+            assert!((p.prob - r.score).abs() < 1e-6);
+            let manual =
+                (r.total_correct - r.total_incorrect) / (2.0 * r.target.max(1) as f32) + 0.5;
+            assert!((r.score - manual.clamp(0.0, 1.0)).abs() < 1e-5);
+        }
+    }
+}
+
+/// Checkpointing: save → load → identical predictions across process-like
+/// boundaries (string round trip).
+#[test]
+fn rckt_checkpoint_roundtrip() {
+    let s = setup(0.15);
+    let mut model = Rckt::new(
+        Backbone::Sakt,
+        s.ds.num_questions(),
+        s.ds.num_concepts(),
+        RcktConfig { dim: 16, heads: 2, lr: 2e-3, ..Default::default() },
+    );
+    let cfg = TrainConfig { max_epochs: 2, patience: 2, batch_size: 16, ..Default::default() };
+    model.fit(&s.ws, &s.fold.train, &s.fold.val, &s.ds.q_matrix, &cfg);
+    let test = make_batches(&s.ws, &s.fold.test, &s.ds.q_matrix, 16);
+    let before: Vec<f32> = test.iter().flat_map(|b| model.predict_last(b)).map(|p| p.prob).collect();
+
+    let json = model.save_weights();
+    let mut restored = Rckt::new(
+        Backbone::Sakt,
+        s.ds.num_questions(),
+        s.ds.num_concepts(),
+        RcktConfig { dim: 16, heads: 2, lr: 2e-3, ..Default::default() },
+    );
+    restored.load_weights(&json).unwrap();
+    let after: Vec<f32> =
+        test.iter().flat_map(|b| restored.predict_last(b)).map(|p| p.prob).collect();
+    assert_eq!(before.len(), after.len());
+    for (x, y) in before.iter().zip(&after) {
+        assert!((x - y).abs() < 1e-6);
+    }
+}
+
+/// The CSV loader feeds the same pipeline as the simulator.
+#[test]
+fn csv_to_training_pipeline() {
+    // synthesize a CSV from simulator output, reload it, train briefly
+    let ds = SyntheticSpec::assist09().scaled(0.1).generate();
+    let mut csv = String::from("student,question,concepts,correct,timestamp\n");
+    for seq in &ds.sequences {
+        for it in &seq.interactions {
+            let concepts: Vec<String> = ds
+                .q_matrix
+                .concepts_of(it.question)
+                .iter()
+                .map(|k| k.to_string())
+                .collect();
+            csv.push_str(&format!(
+                "{},{},\"{}\",{},{}\n",
+                seq.student,
+                it.question,
+                concepts.join(";"),
+                it.correct as u8,
+                it.timestamp
+            ));
+        }
+    }
+    let loaded = rckt_data::csv::parse_csv("fromcsv", &csv).unwrap();
+    assert_eq!(loaded.num_responses(), ds.num_responses());
+    let ws = windows(&loaded, 50, 5);
+    assert!(!ws.is_empty());
+    let idx: Vec<usize> = (0..ws.len()).collect();
+    let mut model = Dkt::new(
+        loaded.num_questions(),
+        loaded.num_concepts(),
+        DktConfig { dim: 16, ..Default::default() },
+    );
+    let n = idx.len();
+    let cfg = TrainConfig { max_epochs: 2, patience: 2, batch_size: 16, ..Default::default() };
+    model.fit(&ws, &idx[..n - 2], &idx[n - 2..], &loaded.q_matrix, &cfg);
+    let test = make_batches(&ws, &idx[n - 2..], &loaded.q_matrix, 8);
+    let preds = model.predict(&test[0]);
+    assert!(!preds.is_empty());
+    let scores: Vec<f32> = preds.iter().map(|p| p.prob).collect();
+    let labels: Vec<bool> = preds.iter().map(|p| p.label).collect();
+    let _ = (auc(&scores, &labels), accuracy(&scores, &labels, 0.5));
+}

@@ -1,0 +1,98 @@
+//! Property-based integration tests over the data → counterfactual
+//! construction pipeline.
+
+use proptest::prelude::*;
+use rckt::counterfactual::{backward_quadruple, forward_intervention, joint_contexts, Retention};
+use rckt_data::preprocess::{windows, Window};
+use rckt_data::{Batch, Interaction, QMatrix, ResponseSeq};
+use rckt_models::ResponseCat;
+
+fn cats_strategy(max_len: usize) -> impl Strategy<Value = Vec<ResponseCat>> {
+    proptest::collection::vec(prop_oneof![Just(ResponseCat::Correct), Just(ResponseCat::Incorrect)], 2..max_len)
+}
+
+proptest! {
+    /// Forward intervention always flips exactly the chosen index; with
+    /// monotonic retention everything else is retained-or-masked according
+    /// to the flipped polarity.
+    #[test]
+    fn forward_intervention_invariants(cats in cats_strategy(20), seed in any::<u64>()) {
+        let i = (seed as usize) % cats.len();
+        let (fact, cf) = forward_intervention(&cats, i, Retention::Monotonic);
+        prop_assert_eq!(&fact, &cats);
+        prop_assert_eq!(cf[i], cats[i].flipped());
+        let retained = cats[i].flipped();
+        for (j, (&orig, &new)) in cats.iter().zip(&cf).enumerate() {
+            if j == i { continue; }
+            if orig == retained {
+                prop_assert_eq!(new, orig, "retained polarity must survive");
+            } else {
+                prop_assert_eq!(new, ResponseCat::Masked, "opposite polarity must be masked");
+            }
+        }
+    }
+
+    /// The backward quadruple builds exactly two counterfactual sequences;
+    /// factual contexts are unchanged and counterfactual contexts are a
+    /// partition into retained + masked.
+    #[test]
+    fn backward_quadruple_invariants(cats in cats_strategy(20), seed in any::<u64>()) {
+        let target = (seed as usize) % cats.len();
+        let [f_pos, cf_neg, f_neg, cf_pos] = backward_quadruple(&cats, target, Retention::Monotonic);
+        // factual contexts untouched outside the target
+        for j in 0..cats.len() {
+            if j == target { continue; }
+            prop_assert_eq!(f_pos[j], cats[j]);
+            prop_assert_eq!(f_neg[j], cats[j]);
+            // counterfactuals: retained or masked, never flipped
+            prop_assert!(cf_neg[j] == cats[j] || cf_neg[j] == ResponseCat::Masked);
+            prop_assert!(cf_pos[j] == cats[j] || cf_pos[j] == ResponseCat::Masked);
+        }
+        // target assumptions
+        prop_assert_eq!(f_pos[target], ResponseCat::Correct);
+        prop_assert_eq!(cf_neg[target], ResponseCat::Incorrect);
+        prop_assert_eq!(f_neg[target], ResponseCat::Incorrect);
+        prop_assert_eq!(cf_pos[target], ResponseCat::Correct);
+    }
+
+    /// Joint contexts preserve position count and only ever mask.
+    #[test]
+    fn joint_contexts_only_mask(cats in cats_strategy(20)) {
+        for ctx in joint_contexts(&cats) {
+            prop_assert_eq!(ctx.len(), cats.len());
+            for (&orig, &new) in cats.iter().zip(&ctx) {
+                prop_assert!(new == orig || new == ResponseCat::Masked);
+            }
+        }
+    }
+
+    /// Windowing then batching preserves every response and its label.
+    #[test]
+    fn window_batch_roundtrip(lens in proptest::collection::vec(1usize..40, 1..6)) {
+        let qm = QMatrix::new(vec![vec![0], vec![1], vec![0, 1]], 2);
+        let sequences: Vec<ResponseSeq> = lens.iter().enumerate().map(|(u, &l)| ResponseSeq {
+            student: u as u32,
+            interactions: (0..l).map(|t| Interaction {
+                question: (t % 3) as u32,
+                correct: (t * 7 + u) % 3 == 0,
+                timestamp: t as u64,
+            }).collect(),
+        }).collect();
+        let ds = rckt_data::Dataset { name: "p".into(), sequences, q_matrix: qm };
+        let ws = windows(&ds, 10, 1);
+        let total: usize = ws.iter().map(|w| w.len).sum();
+        prop_assert_eq!(total, ds.num_responses());
+        if !ws.is_empty() {
+            let refs: Vec<&Window> = ws.iter().collect();
+            let b = Batch::from_windows(&refs, &ds.q_matrix);
+            prop_assert_eq!(b.num_valid(), total);
+            // labels survive the flattening
+            for (k, w) in ws.iter().enumerate() {
+                for t in 0..w.len {
+                    let i = k * b.t_len + t;
+                    prop_assert_eq!(b.correct[i] >= 0.5, w.correct[t] == 1);
+                }
+            }
+        }
+    }
+}
