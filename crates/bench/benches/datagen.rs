@@ -11,9 +11,7 @@ fn bench_datagen(c: &mut Criterion) {
     });
 
     let ds = SyntheticSpec::assist09().scaled(0.5).generate();
-    group.bench_function("window_50", |b| {
-        b.iter(|| black_box(windows(&ds, 50, 5)))
-    });
+    group.bench_function("window_50", |b| b.iter(|| black_box(windows(&ds, 50, 5))));
 
     let ws = windows(&ds, 50, 5);
     let idx: Vec<usize> = (0..ws.len()).collect();

@@ -12,13 +12,23 @@ const T: usize = 50;
 const D: usize = 32;
 
 fn data(rng: &mut SmallRng) -> (Vec<f32>, Vec<f32>, Vec<bool>) {
-    let e: Vec<f32> = (0..B * T * D).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
-    let a: Vec<f32> = (0..B * T * D).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
+    let e: Vec<f32> = (0..B * T * D)
+        .map(|_| rng.gen_range(-1.0f32..1.0))
+        .collect();
+    let a: Vec<f32> = (0..B * T * D)
+        .map(|_| rng.gen_range(-1.0f32..1.0))
+        .collect();
     let valid = vec![true; B * T];
     (e, a, valid)
 }
 
-fn run_encoder<E: BiEncoder>(enc: &E, store: &ParamStore, e: &[f32], a: &[f32], valid: &[bool]) -> f32 {
+fn run_encoder<E: BiEncoder>(
+    enc: &E,
+    store: &ParamStore,
+    e: &[f32],
+    a: &[f32],
+    valid: &[bool],
+) -> f32 {
     let mut rng = SmallRng::seed_from_u64(0);
     let mut g = Graph::new();
     let et = g.input(e.to_vec(), Shape::matrix(B * T, D));

@@ -17,7 +17,10 @@ fn bench_inference(c: &mut Criterion) {
             backbone,
             ds.num_questions(),
             ds.num_concepts(),
-            RcktConfig { dim: 32, ..Default::default() },
+            RcktConfig {
+                dim: 32,
+                ..Default::default()
+            },
         );
         let name = match backbone {
             Backbone::Dkt => "DKT",

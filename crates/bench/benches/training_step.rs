@@ -21,31 +21,70 @@ fn bench_training(c: &mut Criterion) {
     let mut group = c.benchmark_group("train_step_16x50_d32");
     group.sample_size(10);
 
-    let mut dkt = Dkt::new(nq, nk, DktConfig { dim: 32, ..Default::default() });
+    let mut dkt = Dkt::new(
+        nq,
+        nk,
+        DktConfig {
+            dim: 32,
+            ..Default::default()
+        },
+    );
     let mut rng = SmallRng::seed_from_u64(1);
     group.bench_function("DKT", |b| {
         b.iter(|| black_box(dkt.train_batch(batch, 5.0, &mut rng)))
     });
 
-    let mut sakt = AttnKt::new(AttnVariant::Sakt, nq, nk, AttnKtConfig { dim: 32, ..Default::default() });
+    let mut sakt = AttnKt::new(
+        AttnVariant::Sakt,
+        nq,
+        nk,
+        AttnKtConfig {
+            dim: 32,
+            ..Default::default()
+        },
+    );
     let mut rng = SmallRng::seed_from_u64(1);
     group.bench_function("SAKT", |b| {
         b.iter(|| black_box(sakt.train_batch(batch, 5.0, &mut rng)))
     });
 
-    let mut akt = AttnKt::new(AttnVariant::Akt, nq, nk, AttnKtConfig { dim: 32, ..Default::default() });
+    let mut akt = AttnKt::new(
+        AttnVariant::Akt,
+        nq,
+        nk,
+        AttnKtConfig {
+            dim: 32,
+            ..Default::default()
+        },
+    );
     let mut rng = SmallRng::seed_from_u64(1);
     group.bench_function("AKT", |b| {
         b.iter(|| black_box(akt.train_batch(batch, 5.0, &mut rng)))
     });
 
-    let mut rckt = Rckt::new(Backbone::Dkt, nq, nk, RcktConfig { dim: 32, ..Default::default() });
+    let mut rckt = Rckt::new(
+        Backbone::Dkt,
+        nq,
+        nk,
+        RcktConfig {
+            dim: 32,
+            ..Default::default()
+        },
+    );
     let mut rng = SmallRng::seed_from_u64(1);
     group.bench_function("RCKT-DKT (7 passes)", |b| {
         b.iter(|| black_box(rckt.train_batch(batch, 5.0, &mut rng)))
     });
 
-    let mut rckt = Rckt::new(Backbone::Akt, nq, nk, RcktConfig { dim: 32, ..Default::default() });
+    let mut rckt = Rckt::new(
+        Backbone::Akt,
+        nq,
+        nk,
+        RcktConfig {
+            dim: 32,
+            ..Default::default()
+        },
+    );
     let mut rng = SmallRng::seed_from_u64(1);
     group.bench_function("RCKT-AKT (7 passes)", |b| {
         b.iter(|| black_box(rckt.train_batch(batch, 5.0, &mut rng)))

@@ -14,6 +14,15 @@
 /// --full           paper-faithful effort: scale 1.0, 5 folds, 40 epochs, patience 10
 /// --verbose        per-epoch logs to stderr
 /// ```
+///
+/// plus the shared observability flags (extracted by
+/// [`rckt_obs::ObsOptions::take_from_args`] before the loop above):
+///
+/// ```text
+/// --log-level <l>     event verbosity: off|info|debug|trace (default info)
+/// --log-json <path>   also write events as JSON lines to <path>
+/// --profile           collect FLOP/CF counters; print a summary at exit
+/// ```
 #[derive(Clone, Debug)]
 pub struct ExpArgs {
     pub scale: f64,
@@ -24,6 +33,8 @@ pub struct ExpArgs {
     pub batch: usize,
     pub seed: u64,
     pub verbose: bool,
+    /// Observability switches (already applied by [`ExpArgs::parse`]).
+    pub obs: rckt_obs::ObsOptions,
 }
 
 impl Default for ExpArgs {
@@ -37,14 +48,24 @@ impl Default for ExpArgs {
             batch: 16,
             seed: 42,
             verbose: false,
+            obs: rckt_obs::ObsOptions::default(),
         }
     }
 }
 
 impl ExpArgs {
-    /// Parse from `std::env::args`, exiting with usage on error.
+    /// Parse from `std::env::args`, exiting with usage on error. Also
+    /// extracts and applies the observability flags ([`rckt_obs::init`]),
+    /// so binaries get `--log-level`/`--log-json`/`--profile` for free.
     pub fn parse() -> Self {
-        Self::parse_from(std::env::args().skip(1))
+        let mut raw: Vec<String> = std::env::args().skip(1).collect();
+        let obs = rckt_obs::ObsOptions::take_from_args(&mut raw).unwrap_or_else(|e| die(&e));
+        let mut out = Self::parse_from(raw);
+        if let Err(e) = rckt_obs::init(&obs) {
+            die(&format!("cannot initialize logging: {e}"));
+        }
+        out.obs = obs;
+        out
     }
 
     pub fn parse_from(args: impl IntoIterator<Item = String>) -> Self {
@@ -80,6 +101,15 @@ impl ExpArgs {
         }
         out
     }
+
+    /// End-of-run hook for every binary: print the `--profile` summary to
+    /// stderr and flush/close the JSON-lines event sink.
+    pub fn finish(&self) {
+        if self.obs.profile {
+            eprint!("{}", rckt_obs::profile_report());
+        }
+        rckt_obs::close_json();
+    }
 }
 
 fn die(msg: &str) -> ! {
@@ -87,6 +117,7 @@ fn die(msg: &str) -> ! {
     eprintln!(
         "flags: --scale f --folds n --epochs n --patience n --dim n --batch n --seed n --full --verbose"
     );
+    eprintln!("       --log-level off|info|debug|trace --log-json path --profile");
     std::process::exit(2)
 }
 
@@ -107,6 +138,20 @@ mod tests {
         assert_eq!(a.folds, 3);
         assert_eq!(a.dim, 64);
         assert!(a.verbose);
+    }
+
+    #[test]
+    fn obs_flags_strip_before_parse() {
+        let mut raw: Vec<String> = "--scale 0.25 --log-level off --profile --folds 3"
+            .split_whitespace()
+            .map(String::from)
+            .collect();
+        let obs = rckt_obs::ObsOptions::take_from_args(&mut raw).unwrap();
+        let a = ExpArgs::parse_from(raw);
+        assert!((a.scale - 0.25).abs() < 1e-12);
+        assert_eq!(a.folds, 3);
+        assert_eq!(obs.level, rckt_obs::Level::Off);
+        assert!(obs.profile);
     }
 
     #[test]

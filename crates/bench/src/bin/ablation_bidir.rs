@@ -17,7 +17,10 @@ use rckt_data::{KFold, SyntheticSpec};
 
 fn main() {
     let args = ExpArgs::parse();
-    println!("bi- vs uni-directional encoder (RCKT-DKT, {} fold(s))\n", args.folds);
+    println!(
+        "bi- vs uni-directional encoder (RCKT-DKT, {} fold(s))\n",
+        args.folds
+    );
     println!("{:<22}{:>12}{:>9}", "", "AUC", "ACC");
     for spec in [SyntheticSpec::assist09(), SyntheticSpec::assist12()] {
         let ds = spec.scaled(args.scale).generate();
@@ -32,7 +35,13 @@ fn main() {
                 ..Default::default()
             };
             let r = fit_and_eval(ModelSpec::RcktDkt, &ds, &ws, &folds, &args, Some(cfg));
-            println!("{:<10} {:<11}{:>12.4}{:>9.4}", ds.name, label, r.auc_mean(), r.acc_mean());
+            println!(
+                "{:<10} {:<11}{:>12.4}{:>9.4}",
+                ds.name,
+                label,
+                r.auc_mean(),
+                r.acc_mean()
+            );
         }
     }
     println!("\nInterpretation (paper Sec. IV-C4): with a forward-only encoder the");
@@ -42,4 +51,5 @@ fn main() {
     println!("AUC may survive, but the influence semantics the paper builds its");
     println!("interpretability claim on are gone; this is *why* the approximation");
     println!("requires bidirectionality, independent of raw accuracy.");
+    args.finish();
 }

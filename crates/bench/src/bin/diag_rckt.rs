@@ -32,7 +32,9 @@ fn main() {
 
     let mut rckt = build_model(ModelSpec::RcktDkt, &ds, &args, None);
     rckt.fit(&ws, fold, &ds, &cfg);
-    let BuiltModel::Rckt(rckt) = rckt else { unreachable!() };
+    let BuiltModel::Rckt(rckt) = rckt else {
+        unreachable!()
+    };
     let mut dkt = build_model(ModelSpec::Dkt, &ds, &args, None);
     dkt.fit(&ws, fold, &ds, &cfg);
 
@@ -55,8 +57,9 @@ fn main() {
             if involved.is_empty() {
                 continue;
             }
-            let targets: Vec<usize> =
-                (0..b.batch).map(|bb| if involved.contains(&bb) { t } else { 1 }).collect();
+            let targets: Vec<usize> = (0..b.batch)
+                .map(|bb| if involved.contains(&bb) { t } else { 1 })
+                .collect();
             let preds = rckt.predict_targets(b, &targets);
             let probs = factual_probs(&rckt, b, &targets);
             for &bb in &involved {
@@ -73,9 +76,18 @@ fn main() {
     let dkt_labels: Vec<bool> = dkt_preds.iter().map(|p| p.label).collect();
 
     println!("n = {} strided targets", labels.len());
-    println!("(a) RCKT margin AUC:            {:.4}", auc(&margin_scores, &labels));
-    println!("(b) RCKT factual-pass AUC:      {:.4}", auc(&factual_scores, &labels));
-    println!("    DKT AUC:                    {:.4}", auc(&dkt_scores, &dkt_labels));
+    println!(
+        "(a) RCKT margin AUC:            {:.4}",
+        auc(&margin_scores, &labels)
+    );
+    println!(
+        "(b) RCKT factual-pass AUC:      {:.4}",
+        auc(&factual_scores, &labels)
+    );
+    println!(
+        "    DKT AUC:                    {:.4}",
+        auc(&dkt_scores, &dkt_labels)
+    );
 
     // (c) per-target-bucket AUCs (cross-length calibration check)
     println!("(c) per-t AUC (margin | factual):");
@@ -90,8 +102,14 @@ fn main() {
         let m: Vec<f32> = idx.iter().map(|&i| margin_scores[i]).collect();
         let f: Vec<f32> = idx.iter().map(|&i| factual_scores[i]).collect();
         let l: Vec<bool> = idx.iter().map(|&i| labels[i]).collect();
-        println!("    t = {t:>2} (n = {:>3}): {:.4} | {:.4}", idx.len(), auc(&m, &l), auc(&f, &l));
+        println!(
+            "    t = {t:>2} (n = {:>3}): {:.4} | {:.4}",
+            idx.len(),
+            auc(&m, &l),
+            auc(&f, &l)
+        );
     }
+    args.finish();
 }
 
 /// Generator probability for each sequence's target under the factual

@@ -26,10 +26,16 @@ fn main() {
         seed: args.seed,
         ..Default::default()
     };
-    eprintln!("training RCKT-DKT on {} windows ...", ws.len());
+    rckt_obs::event(
+        rckt_obs::Level::Info,
+        "extra.train",
+        &[("model", "RCKT-DKT".into()), ("windows", ws.len().into())],
+    );
     let mut built = build_model(ModelSpec::RcktDkt, &ds, &args, None);
     built.fit(&ws, fold, &ds, &cfg);
-    let BuiltModel::Rckt(model) = built else { unreachable!() };
+    let BuiltModel::Rckt(model) = built else {
+        unreachable!()
+    };
 
     // influence records over the test fold (final-response targets)
     let test = make_batches(&ws, &fold.test, &ds.q_matrix, args.batch);
@@ -49,9 +55,14 @@ fn main() {
         println!("{lag:>5}{mean:>12.4}{n:>8}");
     }
     let slope = forgetting_slope(&curve);
-    println!("weighted slope: {slope:+.5} per step ({})",
-        if slope < 0.0 { "recent responses dominate — forgetting shape reproduced" }
-        else { "no forgetting shape at this scale/training budget" });
+    println!(
+        "weighted slope: {slope:+.5} per step ({})",
+        if slope < 0.0 {
+            "recent responses dominate — forgetting shape reproduced"
+        } else {
+            "no forgetting shape at this scale/training budget"
+        }
+    );
 
     println!("\n== question value (mean |influence| per question) ==");
     let mut merged: std::collections::HashMap<usize, (f64, usize)> = Default::default();
@@ -62,8 +73,10 @@ fn main() {
             e.1 += n;
         }
     }
-    let merged: std::collections::HashMap<usize, (f64, usize)> =
-        merged.into_iter().map(|(q, (s, n))| (q, (s / n as f64, n))).collect();
+    let merged: std::collections::HashMap<usize, (f64, usize)> = merged
+        .into_iter()
+        .map(|(q, (s, n))| (q, (s / n as f64, n)))
+        .collect();
     let top = top_value_questions(&merged, 10, 2);
     println!("{:>9}{:>12}{:>12}", "question", "mean |Δ|", "concepts");
     for (q, v) in top {
@@ -71,4 +84,5 @@ fn main() {
     }
     println!("\nHigh-value questions are candidates for question recommendation and");
     println!("question-bank construction (paper Sec. I).");
+    args.finish();
 }

@@ -42,4 +42,5 @@ fn main() {
             println!("peak at lambda = {} (AUC {:.4})\n", best.0, best.1);
         }
     }
+    args.finish();
 }

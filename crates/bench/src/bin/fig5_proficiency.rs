@@ -31,10 +31,16 @@ fn main() {
         seed: args.seed,
         ..Default::default()
     };
-    eprintln!("training RCKT-DKT on {} windows ...", ws.len());
+    rckt_obs::event(
+        rckt_obs::Level::Info,
+        "fig5.train",
+        &[("model", "RCKT-DKT".into()), ("windows", ws.len().into())],
+    );
     let mut built = build_model(ModelSpec::RcktDkt, &ds, &args, None);
     built.fit(&ws, &folds[0], &ds, &cfg);
-    let BuiltModel::Rckt(model) = built else { unreachable!() };
+    let BuiltModel::Rckt(model) = built else {
+        unreachable!()
+    };
 
     // Pick a student window that exercises ≥3 concepts with ≥15 responses
     // and mixed outcomes.
@@ -73,7 +79,10 @@ fn main() {
     concepts.sort_by_key(|&(_, c)| std::cmp::Reverse(c));
     concepts.truncate(3);
 
-    println!("Fig. 5 — proficiency tracking for student {} ({} responses)", case.student, case.len);
+    println!(
+        "Fig. 5 — proficiency tracking for student {} ({} responses)",
+        case.student, case.len
+    );
     print!("responses:    ");
     for t in 0..case.len {
         print!("{} ", if case.correct[t] == 1 { '●' } else { '○' });
@@ -82,14 +91,20 @@ fn main() {
     print!("concept tags: ");
     for t in 0..case.len {
         let k = ds.q_matrix.concepts_of(case.questions[t])[0];
-        let tag = concepts.iter().position(|&(kk, _)| kk == k).map(|i| (b'A' + i as u8) as char);
+        let tag = concepts
+            .iter()
+            .position(|&(kk, _)| kk == k)
+            .map(|i| (b'A' + i as u8) as char);
         print!("{} ", tag.unwrap_or('.'));
     }
     println!();
 
     for (i, &(k, n)) in concepts.iter().enumerate() {
         let trace = model.trace_proficiency(&case, &ds.q_matrix, k);
-        print!("concept {} (k{k:>3}, {n:>2} practices): ", (b'A' + i as u8) as char);
+        print!(
+            "concept {} (k{k:>3}, {n:>2} practices): ",
+            (b'A' + i as u8) as char
+        );
         for &p in &trace.min_max_scaled() {
             print!("{} ", bar(p));
         }
@@ -111,4 +126,5 @@ fn main() {
     println!("\nExpected shapes (paper Sec. V-E): proficiency rises after correct");
     println!("responses and falls after incorrect ones; same-concept responses have");
     println!("larger influence; recent responses outweigh early ones (forgetting).");
+    args.finish();
 }

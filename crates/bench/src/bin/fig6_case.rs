@@ -26,10 +26,19 @@ fn main() {
         ..Default::default()
     };
 
-    eprintln!("training RCKT-AKT and SAKT+ on {} windows ...", ws.len());
+    rckt_obs::event(
+        rckt_obs::Level::Info,
+        "fig6.train",
+        &[
+            ("models", "RCKT-AKT,SAKT+".into()),
+            ("windows", ws.len().into()),
+        ],
+    );
     let mut rckt = build_model(ModelSpec::RcktAkt, &ds, &args, None);
     rckt.fit(&ws, &folds[0], &ds, &cfg);
-    let BuiltModel::Rckt(rckt) = rckt else { unreachable!() };
+    let BuiltModel::Rckt(rckt) = rckt else {
+        unreachable!()
+    };
     // SAKT+ is kept as a concrete AttnKt so its attention maps are readable.
     let mut saktp = AttnKt::new(
         rckt_models::attn_kt::AttnVariant::SaktPlus,
@@ -73,9 +82,16 @@ fn main() {
     let t_len = batch.t_len;
 
     println!("Fig. 6 — response influences (RCKT-AKT) vs attention (SAKT+)");
-    println!("student {}, target question q{} (ground truth: {})\n", case.student, target + 1,
-        if rec.label { "correct" } else { "incorrect" });
-    println!("{:<5} {:<9} {:<3} {:>10} {:>10}", "pos", "question", "r", "Inf.", "Att.");
+    println!(
+        "student {}, target question q{} (ground truth: {})\n",
+        case.student,
+        target + 1,
+        if rec.label { "correct" } else { "incorrect" }
+    );
+    println!(
+        "{:<5} {:<9} {:<3} {:>10} {:>10}",
+        "pos", "question", "r", "Inf.", "Att."
+    );
     for &(pos, correct, delta) in &rec.influences {
         // attention from the target row to the shifted key (key t = a_{t-1})
         let a = att[target * t_len + pos + 1];
@@ -92,7 +108,11 @@ fn main() {
         "\nRCKT: Δ+ {:.3} vs Δ- {:.3} -> predicts {} (margin score {:.3})",
         rec.total_correct,
         rec.total_incorrect,
-        if rec.predicted_correct() { "✓" } else { "✗" },
+        if rec.predicted_correct() {
+            "✓"
+        } else {
+            "✗"
+        },
         rec.score
     );
     let sp = saktp.predict(&batch);
@@ -110,4 +130,5 @@ fn main() {
     println!("\nThe paper's qualitative claim: influence values single out the decisive");
     println!("same-concept responses explicitly, while attention mass need not reflect");
     println!("true importance and the final score passes through an opaque MLP.");
+    args.finish();
 }

@@ -13,6 +13,9 @@ use rckt_data::{make_batches, KFold, SyntheticSpec};
 use rckt_metrics::{welch_t_test, FoldSummary};
 use rckt_models::model::TrainConfig;
 
+/// Per-run manifest history (one JSON object per line).
+const HISTORY: &str = "results/BENCH_headline_check.json";
+
 fn main() {
     let args = ExpArgs::parse();
     let ds = SyntheticSpec::assist12().scaled(args.scale).generate();
@@ -27,7 +30,12 @@ fn main() {
         ..Default::default()
     };
 
-    let lineup = [ModelSpec::Dkt, ModelSpec::Dimkt, ModelSpec::Ikt, ModelSpec::RcktDkt];
+    let lineup = [
+        ModelSpec::Dkt,
+        ModelSpec::Dimkt,
+        ModelSpec::Ikt,
+        ModelSpec::RcktDkt,
+    ];
     println!(
         "headline check — {} ({} windows), per-student final-response AUC over {} fold(s)\n",
         ds.name,
@@ -36,6 +44,13 @@ fn main() {
     );
     let mut per_model: Vec<(String, Vec<f64>)> = Vec::new();
     for spec in lineup {
+        let phases_before = rckt_obs::phases_snapshot();
+        let t0 = std::time::Instant::now();
+        rckt_obs::event(
+            rckt_obs::Level::Info,
+            "headline.train",
+            &[("model", spec.name().into())],
+        );
         let mut aucs = Vec::new();
         for fold in folds.iter().take(args.folds) {
             let mut model = build_model(spec, &ds, &args, None);
@@ -45,6 +60,21 @@ fn main() {
             aucs.push(a);
         }
         println!("{:<10} {}", spec.name(), FoldSummary::of(&aucs));
+        let manifest =
+            rckt_obs::RunManifest::capture("headline_check", args.seed, Some(&phases_before))
+                .config("model", spec.name())
+                .config("dataset", &ds.name)
+                .config("scale", args.scale)
+                .config("folds", args.folds)
+                .config("epochs", args.epochs)
+                .result(
+                    "auc_mean",
+                    aucs.iter().sum::<f64>() / aucs.len().max(1) as f64,
+                )
+                .result("seconds", t0.elapsed().as_secs_f64());
+        if let Err(e) = manifest.append_jsonl(HISTORY) {
+            eprintln!("warning: cannot append {HISTORY}: {e}");
+        }
         per_model.push((spec.name().to_string(), aucs));
     }
 
@@ -64,6 +94,9 @@ fn main() {
         "\nRCKT-DKT vs best baseline {}: {:+.2}% ({})",
         best_base.0,
         (m_rckt / m_base - 1.0) * 100.0,
-        p.map(|p| format!("Welch p = {p:.3}")).unwrap_or_else(|| "p n/a".into())
+        p.map(|p| format!("Welch p = {p:.3}"))
+            .unwrap_or_else(|| "p n/a".into())
     );
+    println!("\ntimings appended to {HISTORY}");
+    args.finish();
 }

@@ -38,7 +38,10 @@ fn main() {
     println!("Fig. 3 — counterfactual construction by the monotonicity assumption");
     println!("factual:               {}", show(&toy[..5]));
     let (_, cf) = forward_intervention(&toy[..5].to_vec(), 2, Retention::Monotonic);
-    println!("flip q3 ✓→✗ (forward): {}   (retain ✗, mask ✓ as ◦)", show(&cf));
+    println!(
+        "flip q3 ✓→✗ (forward): {}   (retain ✗, mask ✓ as ◦)",
+        show(&cf)
+    );
 
     println!("\nTable I — backward approximation sequences for target q6");
     let [f_pos, cf_neg, f_neg, cf_pos] = backward_quadruple(&toy, 5, Retention::Monotonic);
@@ -59,10 +62,16 @@ fn main() {
         seed: args.seed,
         ..Default::default()
     };
-    eprintln!("training RCKT-DKT briefly for the influence table ...");
+    rckt_obs::event(
+        rckt_obs::Level::Info,
+        "table1.train",
+        &[("model", "RCKT-DKT".into()), ("windows", ws.len().into())],
+    );
     let mut built = build_model(ModelSpec::RcktDkt, &ds, &args, None);
     built.fit(&ws, &folds[0], &ds, &cfg);
-    let BuiltModel::Rckt(model) = built else { unreachable!() };
+    let BuiltModel::Rckt(model) = built else {
+        unreachable!()
+    };
 
     let case = folds[0]
         .test
@@ -74,6 +83,13 @@ fn main() {
     let batch = Batch::from_windows(&[case], &ds.q_matrix);
     let target = case.len - 1;
     let rec = &model.influences(&batch, &[target])[0];
-    println!("\ninfluence table for a real test student (target = response {}):\n", target + 1);
-    print!("{}", render_influence_table(rec, &ExplainContext::default()));
+    println!(
+        "\ninfluence table for a real test student (target = response {}):\n",
+        target + 1
+    );
+    print!(
+        "{}",
+        render_influence_table(rec, &ExplainContext::default())
+    );
+    args.finish();
 }

@@ -20,6 +20,10 @@ fn main() {
         })
         .collect();
     println!("Table II — statistics of the four preprocessed (synthetic) datasets");
-    println!("(presets mirror the paper's datasets at --scale {}; see DESIGN.md §1)\n", args.scale);
+    println!(
+        "(presets mirror the paper's datasets at --scale {}; see DESIGN.md §1)\n",
+        args.scale
+    );
     print!("{}", table2(&stats));
+    args.finish();
 }

@@ -24,7 +24,14 @@ fn main() {
         let ds = spec.clone().scaled(args.scale).generate();
         let ws = windows(&ds, DEFAULT_WINDOW_LEN, DEFAULT_MIN_LEN);
         let folds = KFold::paper(args.seed).split(ws.len());
-        eprintln!("== {} ({} windows) ==", ds.name, ws.len());
+        rckt_obs::event(
+            rckt_obs::Level::Info,
+            "table4.dataset",
+            &[
+                ("dataset", ds.name.as_str().into()),
+                ("windows", ws.len().into()),
+            ],
+        );
         let mut per_model = Vec::new();
         for &m in &lineup {
             // RCKT variants: the paper's Table III hyper-parameters in the
@@ -43,22 +50,33 @@ fn main() {
                 } else {
                     RcktConfig::default()
                 };
-                RcktConfig { dim: args.dim, seed: args.seed, ..base }
+                RcktConfig {
+                    dim: args.dim,
+                    seed: args.seed,
+                    ..base
+                }
             });
             let r = fit_and_eval(m, &ds, &ws, &folds, &args, rckt_cfg);
-            eprintln!(
-                "   {:<10} auc {:.4} acc {:.4} ({:.1}s)",
-                r.model,
-                r.auc_mean(),
-                r.acc_mean(),
-                r.seconds
+            rckt_obs::event(
+                rckt_obs::Level::Info,
+                "table4.model",
+                &[
+                    ("model", r.model.as_str().into()),
+                    ("dataset", r.dataset.as_str().into()),
+                    ("auc", r.auc_mean().into()),
+                    ("acc", r.acc_mean().into()),
+                    ("secs", r.seconds.into()),
+                ],
             );
             per_model.push(r);
         }
         all.push(per_model);
     }
 
-    println!("\nTable IV — overall performance (final-response prediction, mean over {} fold(s))", args.folds);
+    println!(
+        "\nTable IV — overall performance (final-response prediction, mean over {} fold(s))",
+        args.folds
+    );
     print!("{:<11}", "Model");
     for spec in &presets {
         print!("{:>11}{:>9}", format!("{}", spec.name), "");
@@ -103,4 +121,5 @@ fn main() {
             best_base.auc_mean(),
         );
     }
+    args.finish();
 }

@@ -23,18 +23,33 @@ fn main() {
     type CfgFn = Box<dyn Fn(&ExpArgs) -> RcktConfig>;
     let variants: Vec<(&str, CfgFn)> = vec![
         ("RCKT", Box::new(base_cfg)),
-        ("-joint", Box::new(move |a: &ExpArgs| base_cfg(a).without_joint())),
-        ("-mono", Box::new(move |a: &ExpArgs| base_cfg(a).without_mono())),
-        ("-con", Box::new(move |a: &ExpArgs| base_cfg(a).without_constraint())),
+        (
+            "-joint",
+            Box::new(move |a: &ExpArgs| base_cfg(a).without_joint()),
+        ),
+        (
+            "-mono",
+            Box::new(move |a: &ExpArgs| base_cfg(a).without_mono()),
+        ),
+        (
+            "-con",
+            Box::new(move |a: &ExpArgs| base_cfg(a).without_constraint()),
+        ),
     ];
 
-    println!("Table V — ablation study (final-response AUC/ACC, mean over {} fold(s))\n", args.folds);
+    println!(
+        "Table V — ablation study (final-response AUC/ACC, mean over {} fold(s))\n",
+        args.folds
+    );
     for spec in SyntheticSpec::paper_presets() {
         let ds = spec.scaled(args.scale).generate();
         let ws = windows(&ds, DEFAULT_WINDOW_LEN, DEFAULT_MIN_LEN);
         let folds = KFold::paper(args.seed).split(ws.len());
         println!("== {} ==", ds.name);
-        println!("{:<8}{:>14}{:>9}{:>14}{:>9}", "", "DKT AUC", "ACC", "AKT AUC", "ACC");
+        println!(
+            "{:<8}{:>14}{:>9}{:>14}{:>9}",
+            "", "DKT AUC", "ACC", "AKT AUC", "ACC"
+        );
         for (vname, make_cfg) in &variants {
             print!("{vname:<8}");
             for &enc in &encoders {
@@ -45,4 +60,5 @@ fn main() {
         }
         println!();
     }
+    args.finish();
 }

@@ -12,6 +12,9 @@ use rckt_data::{make_batches, KFold, SyntheticSpec};
 use rckt_metrics::{accuracy, auc};
 use rckt_models::model::TrainConfig;
 
+/// Per-run manifest history (one JSON object per line).
+const HISTORY: &str = "results/BENCH_table6_efficiency.json";
+
 fn main() {
     let args = ExpArgs::parse();
     let ds = SyntheticSpec::assist09().scaled(args.scale).generate();
@@ -27,7 +30,10 @@ fn main() {
         ..Default::default()
     };
 
-    println!("Table VI — exact (before) vs approximate (after) inference, {} dataset\n", ds.name);
+    println!(
+        "Table VI — exact (before) vs approximate (after) inference, {} dataset\n",
+        ds.name
+    );
     println!(
         "{:<10}{:>14}{:>14}{:>16}{:>16}",
         "", "before AUC", "before ACC", "before ms/stu", ""
@@ -38,10 +44,17 @@ fn main() {
     );
 
     for spec in [ModelSpec::RcktDkt, ModelSpec::RcktAkt] {
-        eprintln!("training {} ...", spec.name());
+        let phases_before = rckt_obs::phases_snapshot();
+        rckt_obs::event(
+            rckt_obs::Level::Info,
+            "table6.train",
+            &[("model", spec.name().into())],
+        );
         let mut built = build_model(spec, &ds, &args, None);
         built.fit(&ws, fold, &ds, &cfg);
-        let BuiltModel::Rckt(model) = built else { unreachable!() };
+        let BuiltModel::Rckt(model) = built else {
+            unreachable!()
+        };
         let test = make_batches(&ws, &fold.test, &ds.q_matrix, args.batch);
         let n_students: usize = test.iter().map(|b| b.batch).sum();
 
@@ -87,8 +100,28 @@ fn main() {
             approx_ms,
             exact_ms / approx_ms
         );
+
+        let manifest =
+            rckt_obs::RunManifest::capture("table6_efficiency", args.seed, Some(&phases_before))
+                .config("model", spec.name())
+                .config("dataset", &ds.name)
+                .config("scale", args.scale)
+                .config("epochs", args.epochs)
+                .config("batch", args.batch)
+                .result("exact_auc", exact_auc)
+                .result("exact_acc", exact_acc)
+                .result("exact_ms_per_student", exact_ms)
+                .result("approx_auc", approx_auc)
+                .result("approx_acc", approx_acc)
+                .result("approx_ms_per_student", approx_ms)
+                .result("speedup", exact_ms / approx_ms);
+        if let Err(e) = manifest.append_jsonl(HISTORY) {
+            eprintln!("warning: cannot append {HISTORY}: {e}");
+        }
     }
     println!("\nPaper shape: approximate inference matches or slightly beats exact");
     println!("(the bi-directional encoder helps) while being ~an order of magnitude");
     println!("faster — the theoretical factor is (t+2)/4 passes ≈ 13x at t = 50.");
+    println!("\ntimings appended to {HISTORY}");
+    args.finish();
 }

@@ -18,8 +18,16 @@ fn main() {
     let ws = windows(&ds, DEFAULT_WINDOW_LEN, DEFAULT_MIN_LEN);
     let folds = KFold::paper(args.seed).split(ws.len());
 
-    println!("tuning RCKT-DKT on {} ({} windows), {} epochs", ds.name, ws.len(), args.epochs);
-    println!("{:>8}{:>8}{:>8}{:>10}{:>10}{:>8}", "lr", "lambda", "layers", "AUC", "ACC", "sec");
+    println!(
+        "tuning RCKT-DKT on {} ({} windows), {} epochs",
+        ds.name,
+        ws.len(),
+        args.epochs
+    );
+    println!(
+        "{:>8}{:>8}{:>8}{:>10}{:>10}{:>8}",
+        "lr", "lambda", "layers", "AUC", "ACC", "sec"
+    );
     for &lr in &[1e-3f32, 2e-3] {
         for &lambda in &[0.05f32, 0.1, 0.3] {
             for &layers in &[1usize, 2] {
@@ -42,4 +50,5 @@ fn main() {
             }
         }
     }
+    args.finish();
 }

@@ -96,23 +96,41 @@ pub fn build_model(
     let seed = args.seed;
     match spec {
         ModelSpec::Bkt => BuiltModel::Base(Box::new(Bkt::new())),
-        ModelSpec::Pfa => BuiltModel::Base(Box::new(rckt_models::pfa::Pfa::new(Default::default()))),
-        ModelSpec::Ktm => BuiltModel::Base(Box::new(rckt_models::ktm::Ktm::new(Default::default()))),
+        ModelSpec::Pfa => {
+            BuiltModel::Base(Box::new(rckt_models::pfa::Pfa::new(Default::default())))
+        }
+        ModelSpec::Ktm => {
+            BuiltModel::Base(Box::new(rckt_models::ktm::Ktm::new(Default::default())))
+        }
         ModelSpec::Ikt => BuiltModel::Base(Box::new(Ikt::new())),
         ModelSpec::Dkvmn => BuiltModel::Base(Box::new(rckt_models::dkvmn::Dkvmn::new(
             nq,
             nk,
-            rckt_models::dkvmn::DkvmnConfig { dim: d, value_dim: d, seed, ..Default::default() },
+            rckt_models::dkvmn::DkvmnConfig {
+                dim: d,
+                value_dim: d,
+                seed,
+                ..Default::default()
+            },
         ))),
         ModelSpec::Saint => BuiltModel::Base(Box::new(rckt_models::saint::Saint::new(
             nq,
             nk,
-            rckt_models::saint::SaintConfig { dim: d, seed, ..Default::default() },
+            rckt_models::saint::SaintConfig {
+                dim: d,
+                seed,
+                ..Default::default()
+            },
         ))),
         ModelSpec::Dkt => BuiltModel::Base(Box::new(Dkt::new(
             nq,
             nk,
-            DktConfig { dim: d, lr: 2e-3, seed, ..Default::default() },
+            DktConfig {
+                dim: d,
+                lr: 2e-3,
+                seed,
+                ..Default::default()
+            },
         ))),
         ModelSpec::Sakt | ModelSpec::SaktPlus | ModelSpec::Akt => {
             let variant = match spec {
@@ -124,18 +142,33 @@ pub fn build_model(
                 variant,
                 nq,
                 nk,
-                AttnKtConfig { dim: d, lr: 2e-3, seed, ..Default::default() },
+                AttnKtConfig {
+                    dim: d,
+                    lr: 2e-3,
+                    seed,
+                    ..Default::default()
+                },
             )))
         }
         ModelSpec::Dimkt => BuiltModel::Base(Box::new(Dimkt::new(
             nq,
             nk,
-            DimktConfig { dim: d, lr: 2e-3, seed, ..Default::default() },
+            DimktConfig {
+                dim: d,
+                lr: 2e-3,
+                seed,
+                ..Default::default()
+            },
         ))),
         ModelSpec::Qikt => BuiltModel::Base(Box::new(Qikt::new(
             nq,
             nk,
-            QiktConfig { dim: d, lr: 2e-3, seed, ..Default::default() },
+            QiktConfig {
+                dim: d,
+                lr: 2e-3,
+                seed,
+                ..Default::default()
+            },
         ))),
         ModelSpec::RcktDkt | ModelSpec::RcktSakt | ModelSpec::RcktAkt => {
             let backbone = match spec {
@@ -143,8 +176,12 @@ pub fn build_model(
                 ModelSpec::RcktSakt => Backbone::Sakt,
                 _ => Backbone::Akt,
             };
-            let cfg = rckt_cfg
-                .unwrap_or_else(|| RcktConfig { dim: d, lr: 2e-3, seed, ..Default::default() });
+            let cfg = rckt_cfg.unwrap_or_else(|| RcktConfig {
+                dim: d,
+                lr: 2e-3,
+                seed,
+                ..Default::default()
+            });
             BuiltModel::Rckt(Box::new(Rckt::new(backbone, nq, nk, cfg)))
         }
     }
@@ -173,9 +210,10 @@ impl BuiltModel {
     pub fn last_preds(&self, batches: &[Batch]) -> Vec<Prediction> {
         match self {
             BuiltModel::Rckt(m) => batches.iter().flat_map(|b| m.predict_last(b)).collect(),
-            BuiltModel::Base(m) => {
-                batches.iter().flat_map(|b| last_target_predictions(m.as_ref(), b)).collect()
-            }
+            BuiltModel::Base(m) => batches
+                .iter()
+                .flat_map(|b| last_target_predictions(m.as_ref(), b))
+                .collect(),
         }
     }
 
@@ -237,8 +275,9 @@ fn stride_targets(b: &Batch, stride: usize, min_t: usize) -> std::collections::B
 pub fn last_target_predictions(model: &dyn KtModel, batch: &Batch) -> Vec<Prediction> {
     let preds = model.predict(batch);
     let pos = eval_positions(batch);
-    let lasts: Vec<usize> =
-        (0..batch.batch).map(|b| b * batch.t_len + batch.seq_len(b) - 1).collect();
+    let lasts: Vec<usize> = (0..batch.batch)
+        .map(|b| b * batch.t_len + batch.seq_len(b) - 1)
+        .collect();
     preds
         .into_iter()
         .zip(pos)
@@ -337,6 +376,8 @@ pub struct RunResult {
     pub auc_folds: Vec<f64>,
     pub acc_folds: Vec<f64>,
     pub seconds: f64,
+    /// Provenance + per-phase timings + profiling counters for this run.
+    pub manifest: rckt_obs::RunManifest,
 }
 
 impl RunResult {
@@ -346,6 +387,12 @@ impl RunResult {
 
     pub fn acc_mean(&self) -> f64 {
         mean(&self.acc_folds)
+    }
+
+    /// Append this run's manifest to a JSON-lines history file (one object
+    /// per run), creating parents as needed.
+    pub fn append_history(&self, path: &str) -> std::io::Result<()> {
+        self.manifest.append_jsonl(path)
     }
 }
 
@@ -373,24 +420,45 @@ pub fn fit_and_eval(
         verbose: args.verbose,
         seed: args.seed,
     };
+    let phases_before = rckt_obs::phases_snapshot();
     let start = std::time::Instant::now();
     let mut auc_folds = Vec::new();
     let mut acc_folds = Vec::new();
     for fold in folds.iter().take(args.folds) {
         let mut model = build_model(spec, ds, args, rckt_cfg.clone());
-        model.fit(ws, fold, ds, &cfg);
+        {
+            let _s = rckt_obs::span("bench.fit");
+            model.fit(ws, fold, ds, &cfg);
+        }
         let test = make_batches(ws, &fold.test, &ds.q_matrix, args.batch);
         // every 8th position plus the final response: ~7 eval points per
         // window, same task for every model
-        let (a, c) = evaluate_stride_any(&model, &test, 8);
+        let (a, c) = {
+            let _s = rckt_obs::span("bench.eval");
+            evaluate_stride_any(&model, &test, 8)
+        };
         auc_folds.push(a);
         acc_folds.push(c);
     }
+    let seconds = start.elapsed().as_secs_f64();
+    let manifest =
+        rckt_obs::RunManifest::capture(&rckt_obs::bin_name(), args.seed, Some(&phases_before))
+            .config("model", spec.name())
+            .config("dataset", &ds.name)
+            .config("scale", args.scale)
+            .config("folds", args.folds)
+            .config("epochs", args.epochs)
+            .config("dim", args.dim)
+            .config("batch", args.batch)
+            .result("auc_mean", mean(&auc_folds))
+            .result("acc_mean", mean(&acc_folds))
+            .result("seconds", seconds);
     RunResult {
         model: spec.name().to_string(),
         dataset: ds.name.clone(),
         auc_folds,
         acc_folds,
-        seconds: start.elapsed().as_secs_f64(),
+        seconds,
+        manifest,
     }
 }

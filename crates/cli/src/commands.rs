@@ -21,7 +21,12 @@ commands:
             [--lr f] [--lambda f] [--seed n] --out <model.json>
   evaluate  --data <csv> --model <model.json> [--stride n]
   explain   --data <csv> --model <model.json> [--window n]
-  audit     --data <csv> --model <model.json> [--groups n]";
+  audit     --data <csv> --model <model.json> [--groups n]
+
+global flags (any command):
+  --log-level off|info|debug|trace   event verbosity (default info)
+  --log-json <path>                  also write events as JSON lines
+  --profile                          collect counters, print summary at exit";
 
 #[derive(Debug)]
 pub struct CliError(pub String);
@@ -46,14 +51,19 @@ pub fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, CliError>
         let Some(name) = k.strip_prefix("--") else {
             return Err(err(format!("expected a --flag, got {k:?}")));
         };
-        let v = it.next().ok_or_else(|| err(format!("--{name} needs a value")))?;
+        let v = it
+            .next()
+            .ok_or_else(|| err(format!("--{name} needs a value")))?;
         flags.insert(name.to_string(), v.clone());
     }
     Ok(flags)
 }
 
 fn get<'a>(flags: &'a HashMap<String, String>, name: &str) -> Result<&'a str, CliError> {
-    flags.get(name).map(|s| s.as_str()).ok_or_else(|| err(format!("missing --{name}")))
+    flags
+        .get(name)
+        .map(|s| s.as_str())
+        .ok_or_else(|| err(format!("missing --{name}")))
 }
 
 fn get_num<T: std::str::FromStr>(
@@ -63,7 +73,9 @@ fn get_num<T: std::str::FromStr>(
 ) -> Result<T, CliError> {
     match flags.get(name) {
         None => Ok(default),
-        Some(v) => v.parse().map_err(|_| err(format!("--{name}: bad value {v:?}"))),
+        Some(v) => v
+            .parse()
+            .map_err(|_| err(format!("--{name}: bad value {v:?}"))),
     }
 }
 
@@ -86,7 +98,10 @@ pub fn dispatch(args: &[String]) -> Result<(), CliError> {
 fn load_data(flags: &HashMap<String, String>) -> Result<Dataset, CliError> {
     let path = get(flags, "data")?;
     csv::load_csv(
-        Path::new(path).file_stem().and_then(|s| s.to_str()).unwrap_or("data"),
+        Path::new(path)
+            .file_stem()
+            .and_then(|s| s.to_str())
+            .unwrap_or("data"),
         Path::new(path),
     )
     .map_err(|e| err(format!("loading {path}: {e}")))
@@ -97,8 +112,12 @@ pub fn dataset_to_csv(ds: &Dataset) -> String {
     let mut out = String::from("student,question,concepts,correct,timestamp\n");
     for seq in &ds.sequences {
         for it in &seq.interactions {
-            let concepts: Vec<String> =
-                ds.q_matrix.concepts_of(it.question).iter().map(|k| k.to_string()).collect();
+            let concepts: Vec<String> = ds
+                .q_matrix
+                .concepts_of(it.question)
+                .iter()
+                .map(|k| k.to_string())
+                .collect();
             out.push_str(&format!(
                 "{},{},\"{}\",{},{}\n",
                 seq.student,
@@ -162,15 +181,21 @@ fn train(flags: &HashMap<String, String>) -> Result<(), CliError> {
 
     let ws = windows(&ds, DEFAULT_WINDOW_LEN, DEFAULT_MIN_LEN);
     if ws.len() < 10 {
-        return Err(err(format!("only {} usable windows — need at least 10", ws.len())));
+        return Err(err(format!(
+            "only {} usable windows — need at least 10",
+            ws.len()
+        )));
     }
     let folds = KFold::paper(cfg.seed).split(ws.len());
     let mut model = Rckt::new(backbone, ds.num_questions(), ds.num_concepts(), cfg);
-    eprintln!(
-        "training {} on {} windows ({} weights)",
-        model.name(),
-        ws.len(),
-        model.num_weights()
+    rckt_obs::event(
+        rckt_obs::Level::Info,
+        "cli.train",
+        &[
+            ("model", model.name().into()),
+            ("windows", ws.len().into()),
+            ("weights", model.num_weights().into()),
+        ],
     );
     let tc = TrainConfig {
         max_epochs: epochs,
@@ -179,8 +204,8 @@ fn train(flags: &HashMap<String, String>) -> Result<(), CliError> {
         verbose: true,
         ..Default::default()
     };
-    let report = model.fit(&ws, &folds[0].train, &folds[0].val, &ds.q_matrix, &tc);
-    eprintln!("best validation AUC {:.4} (epoch {})", report.best_val_auc, report.best_epoch);
+    // `run_fit` already reports best_val_auc/best_epoch via the "train.done" event.
+    model.fit(&ws, &folds[0].train, &folds[0].val, &ds.q_matrix, &tc);
     std::fs::write(out, model.export(ds.num_questions(), ds.num_concepts()))
         .map_err(|e| err(format!("writing {out}: {e}")))?;
     println!("saved model to {out}");
@@ -189,8 +214,7 @@ fn train(flags: &HashMap<String, String>) -> Result<(), CliError> {
 
 fn load_model(flags: &HashMap<String, String>) -> Result<Rckt, CliError> {
     let path = get(flags, "model")?;
-    let json =
-        std::fs::read_to_string(path).map_err(|e| err(format!("reading {path}: {e}")))?;
+    let json = std::fs::read_to_string(path).map_err(|e| err(format!("reading {path}: {e}")))?;
     Rckt::import(&json).map_err(|e| err(format!("loading {path}: {e}")))
 }
 
@@ -202,7 +226,13 @@ fn evaluate(flags: &HashMap<String, String>) -> Result<(), CliError> {
     let idx: Vec<usize> = (0..ws.len()).collect();
     let batches = make_batches(&ws, &idx, &ds.q_matrix, 16);
     let (auc, acc) = model.evaluate_stride(&batches, stride);
-    println!("{} on {} windows: AUC {:.4}  ACC {:.4}", model.name(), ws.len(), auc, acc);
+    println!(
+        "{} on {} windows: AUC {:.4}  ACC {:.4}",
+        model.name(),
+        ws.len(),
+        auc,
+        acc
+    );
     Ok(())
 }
 
@@ -211,12 +241,16 @@ fn explain(flags: &HashMap<String, String>) -> Result<(), CliError> {
     let model = load_model(flags)?;
     let ws = windows(&ds, DEFAULT_WINDOW_LEN, DEFAULT_MIN_LEN);
     let wi: usize = get_num(flags, "window", 0)?;
-    let w = ws.get(wi).ok_or_else(|| err(format!("--window {wi} out of {} windows", ws.len())))?;
+    let w = ws
+        .get(wi)
+        .ok_or_else(|| err(format!("--window {wi} out of {} windows", ws.len())))?;
     let batch = rckt_data::Batch::from_windows(&[w], &ds.q_matrix);
     let target = batch.seq_len(0) - 1;
     let rec = &model.influences(&batch, &[target])[0];
     let ctx = ExplainContext {
-        question_labels: (0..w.len).map(|t| format!("question {}", w.questions[t])).collect(),
+        question_labels: (0..w.len)
+            .map(|t| format!("question {}", w.questions[t]))
+            .collect(),
     };
     println!(
         "window {wi} (student {}, {} responses), explaining response {}:",
@@ -250,8 +284,9 @@ fn audit(flags: &HashMap<String, String>) -> Result<(), CliError> {
                 t += 8;
             }
             if len >= 2 {
-                let targets: Vec<usize> =
-                    (0..b.batch).map(|x| if x == bb { len - 1 } else { 1 }).collect();
+                let targets: Vec<usize> = (0..b.batch)
+                    .map(|x| if x == bb { len - 1 } else { 1 })
+                    .collect();
                 preds.push(model.predict_targets(b, &targets)[bb]);
             }
             if !preds.is_empty() {
@@ -260,7 +295,10 @@ fn audit(flags: &HashMap<String, String>) -> Result<(), CliError> {
         }
     }
     let reports = rckt::audit::audit_by_ability(&per_student, groups);
-    println!("{:>14}{:>6}{:>8}{:>8}{:>12}", "correct-rate", "n", "AUC", "ACC", "calib gap");
+    println!(
+        "{:>14}{:>6}{:>8}{:>8}{:>12}",
+        "correct-rate", "n", "AUC", "ACC", "calib gap"
+    );
     for r in &reports {
         if r.n == 0 {
             continue;

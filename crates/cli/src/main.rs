@@ -10,18 +10,39 @@
 //!
 //! The data format is the CSV documented in `rckt_data::csv`
 //! (`student,question,concepts,correct,timestamp`).
+//!
+//! Every command additionally accepts the global observability flags
+//! `--log-level off|info|debug|trace`, `--log-json <path>`, and
+//! `--profile` (see `docs/observability.md`).
 
 use rckt_cli::commands;
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    match commands::dispatch(&args) {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let obs = match rckt_obs::ObsOptions::take_from_args(&mut args) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!("{}", commands::USAGE);
+            return ExitCode::from(2);
+        }
+    };
+    if let Err(e) = rckt_obs::init(&obs) {
+        eprintln!("error: cannot initialize logging: {e}");
+        return ExitCode::from(2);
+    }
+    let code = match commands::dispatch(&args) {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
             eprintln!("error: {e}");
             eprintln!("{}", commands::USAGE);
             ExitCode::from(2)
         }
+    };
+    if obs.profile {
+        eprint!("{}", rckt_obs::profile_report());
     }
+    rckt_obs::close_json();
+    code
 }

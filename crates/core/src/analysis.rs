@@ -30,8 +30,10 @@ pub fn forgetting_curve<'a>(
             e.1 += 1;
         }
     }
-    let mut out: Vec<(usize, f64, usize)> =
-        acc.into_iter().map(|(lag, (sum, n))| (lag, sum / n as f64, n)).collect();
+    let mut out: Vec<(usize, f64, usize)> = acc
+        .into_iter()
+        .map(|(lag, (sum, n))| (lag, sum / n as f64, n))
+        .collect();
     out.sort_by_key(|&(lag, _, _)| lag);
     out
 }
@@ -43,11 +45,20 @@ pub fn forgetting_slope(curve: &[(usize, f64, usize)]) -> f64 {
     if w == 0.0 {
         return 0.0;
     }
-    let mx = curve.iter().map(|&(l, _, n)| l as f64 * n as f64).sum::<f64>() / w;
+    let mx = curve
+        .iter()
+        .map(|&(l, _, n)| l as f64 * n as f64)
+        .sum::<f64>()
+        / w;
     let my = curve.iter().map(|&(_, v, n)| v * n as f64).sum::<f64>() / w;
-    let cov: f64 =
-        curve.iter().map(|&(l, v, n)| n as f64 * (l as f64 - mx) * (v - my)).sum();
-    let var: f64 = curve.iter().map(|&(l, _, n)| n as f64 * (l as f64 - mx).powi(2)).sum();
+    let cov: f64 = curve
+        .iter()
+        .map(|&(l, v, n)| n as f64 * (l as f64 - mx) * (v - my))
+        .sum();
+    let var: f64 = curve
+        .iter()
+        .map(|&(l, _, n)| n as f64 * (l as f64 - mx).powi(2))
+        .sum();
     if var == 0.0 {
         0.0
     } else {
@@ -60,10 +71,7 @@ pub fn forgetting_slope(curve: &[(usize, f64, usize)]) -> f64 {
 ///
 /// `records` must be the output of [`crate::Rckt::influences`] on `batch`
 /// (one record per sequence, in order).
-pub fn question_value(
-    records: &[InfluenceRecord],
-    batch: &Batch,
-) -> HashMap<usize, (f64, usize)> {
+pub fn question_value(records: &[InfluenceRecord], batch: &Batch) -> HashMap<usize, (f64, usize)> {
     assert_eq!(records.len(), batch.batch);
     let mut acc: HashMap<usize, (f64, usize)> = HashMap::new();
     for (b, rec) in records.iter().enumerate() {
@@ -74,7 +82,9 @@ pub fn question_value(
             e.1 += 1;
         }
     }
-    acc.into_iter().map(|(q, (sum, n))| (q, (sum / n as f64, n))).collect()
+    acc.into_iter()
+        .map(|(q, (sum, n))| (q, (sum / n as f64, n)))
+        .collect()
 }
 
 /// The `k` highest-value questions (by mean |influence|), requiring at

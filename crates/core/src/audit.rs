@@ -38,8 +38,7 @@ pub fn audit_by_ability(per_student: &[Vec<Prediction>], groups: usize) -> Vec<G
         if preds.is_empty() {
             continue;
         }
-        let rate =
-            preds.iter().filter(|p| p.label).count() as f64 / preds.len() as f64;
+        let rate = preds.iter().filter(|p| p.label).count() as f64 / preds.len() as f64;
         let g = ((rate * groups as f64) as usize).min(groups - 1);
         buckets[g].extend(preds.iter());
     }
@@ -74,9 +73,15 @@ pub fn audit_by_ability(per_student: &[Vec<Prediction>], groups: usize) -> Vec<G
 /// Largest pairwise AUC difference between non-empty groups — a single
 /// disparity number for dashboards (0 = perfectly even).
 pub fn auc_disparity(reports: &[GroupReport]) -> f64 {
-    let aucs: Vec<f64> =
-        reports.iter().filter(|r| r.n >= 10).map(|r| r.auc).collect();
-    match (aucs.iter().cloned().fold(f64::NAN, f64::min), aucs.iter().cloned().fold(f64::NAN, f64::max)) {
+    let aucs: Vec<f64> = reports
+        .iter()
+        .filter(|r| r.n >= 10)
+        .map(|r| r.auc)
+        .collect();
+    match (
+        aucs.iter().cloned().fold(f64::NAN, f64::min),
+        aucs.iter().cloned().fold(f64::NAN, f64::max),
+    ) {
         (lo, hi) if lo.is_finite() && hi.is_finite() => hi - lo,
         _ => 0.0,
     }
@@ -87,7 +92,10 @@ mod tests {
     use super::*;
 
     fn preds(pairs: &[(f32, bool)]) -> Vec<Prediction> {
-        pairs.iter().map(|&(prob, label)| Prediction { prob, label }).collect()
+        pairs
+            .iter()
+            .map(|&(prob, label)| Prediction { prob, label })
+            .collect()
     }
 
     #[test]
@@ -114,13 +122,41 @@ mod tests {
     fn disparity_zero_when_even_or_empty() {
         assert_eq!(auc_disparity(&[]), 0.0);
         let even = vec![
-            GroupReport { rate_lo: 0.0, rate_hi: 0.5, n: 20, auc: 0.7, acc: 0.6, calibration_gap: 0.0 },
-            GroupReport { rate_lo: 0.5, rate_hi: 1.0, n: 20, auc: 0.7, acc: 0.6, calibration_gap: 0.0 },
+            GroupReport {
+                rate_lo: 0.0,
+                rate_hi: 0.5,
+                n: 20,
+                auc: 0.7,
+                acc: 0.6,
+                calibration_gap: 0.0,
+            },
+            GroupReport {
+                rate_lo: 0.5,
+                rate_hi: 1.0,
+                n: 20,
+                auc: 0.7,
+                acc: 0.6,
+                calibration_gap: 0.0,
+            },
         ];
         assert!(auc_disparity(&even).abs() < 1e-12);
         let uneven = vec![
-            GroupReport { rate_lo: 0.0, rate_hi: 0.5, n: 20, auc: 0.6, acc: 0.6, calibration_gap: 0.0 },
-            GroupReport { rate_lo: 0.5, rate_hi: 1.0, n: 20, auc: 0.75, acc: 0.6, calibration_gap: 0.0 },
+            GroupReport {
+                rate_lo: 0.0,
+                rate_hi: 0.5,
+                n: 20,
+                auc: 0.6,
+                acc: 0.6,
+                calibration_gap: 0.0,
+            },
+            GroupReport {
+                rate_lo: 0.5,
+                rate_hi: 1.0,
+                n: 20,
+                auc: 0.75,
+                acc: 0.6,
+                calibration_gap: 0.0,
+            },
         ];
         assert!((auc_disparity(&uneven) - 0.15).abs() < 1e-12);
     }

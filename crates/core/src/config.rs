@@ -93,7 +93,14 @@ impl RcktConfig {
             ("eedi", Backbone::Akt) => (5e-4, 0.01, 1e-5, 0.0, 3),
             _ => return RcktConfig::default(),
         };
-        RcktConfig { lr, lambda, l2, dropout, layers, ..Default::default() }
+        RcktConfig {
+            lr,
+            lambda,
+            l2,
+            dropout,
+            layers,
+            ..Default::default()
+        }
     }
 
     /// The `-joint` ablation (no joint training of the probability
@@ -123,7 +130,10 @@ mod tests {
     #[test]
     fn table3_known_entries() {
         let c = RcktConfig::paper_table3("assist09", Backbone::Dkt);
-        assert_eq!((c.lr, c.lambda, c.l2, c.dropout, c.layers), (1e-3, 0.1, 1e-5, 0.3, 2));
+        assert_eq!(
+            (c.lr, c.lambda, c.l2, c.dropout, c.layers),
+            (1e-3, 0.1, 1e-5, 0.3, 2)
+        );
         let c = RcktConfig::paper_table3("slepemapy", Backbone::Sakt);
         assert_eq!((c.lr, c.lambda), (5e-4, 0.4));
         // α fixed at 1.0 everywhere, as in the paper
@@ -142,6 +152,9 @@ mod tests {
     fn ablation_builders() {
         assert_eq!(RcktConfig::default().without_joint().lambda, 0.0);
         assert_eq!(RcktConfig::default().without_constraint().alpha, 0.0);
-        assert_eq!(RcktConfig::default().without_mono().retention, Retention::FlipOnly);
+        assert_eq!(
+            RcktConfig::default().without_mono().retention,
+            Retention::FlipOnly
+        );
     }
 }

@@ -23,6 +23,32 @@
 
 use rckt_models::ResponseCat;
 use serde::{Deserialize, Serialize};
+use std::sync::OnceLock;
+
+/// Profiling tallies for counterfactual construction, cached so the
+/// registry lookup stays off the per-sequence path. All updates are gated
+/// on [`rckt_obs::profiling`].
+struct CfCounters {
+    /// Counterfactual/assumed sequences materialized.
+    sequences: rckt_obs::Counter,
+    /// Responses masked by the monotonicity repair.
+    masked: rckt_obs::Counter,
+    /// Responses retained by the monotonicity repair.
+    retained: rckt_obs::Counter,
+    forward_interventions: rckt_obs::Counter,
+    backward_quadruples: rckt_obs::Counter,
+}
+
+fn cf_counters() -> &'static CfCounters {
+    static COUNTERS: OnceLock<CfCounters> = OnceLock::new();
+    COUNTERS.get_or_init(|| CfCounters {
+        sequences: rckt_obs::counter("cf.sequences"),
+        masked: rckt_obs::counter("cf.masked"),
+        retained: rckt_obs::counter("cf.retained"),
+        forward_interventions: rckt_obs::counter("cf.forward_interventions"),
+        backward_quadruples: rckt_obs::counter("cf.backward_quadruples"),
+    })
+}
 
 /// Sequence of response categories (one window), target position included.
 pub type Cats = Vec<ResponseCat>;
@@ -41,13 +67,23 @@ pub enum Retention {
 /// keep responses of `retain_cat`, mask responses of the opposite
 /// correctness; `Masked` inputs stay masked.
 fn repair(cats: &mut Cats, flip_at: usize, retain_cat: ResponseCat) {
+    let mut masked = 0u64;
+    let mut retained = 0u64;
     for (i, c) in cats.iter_mut().enumerate() {
         if i == flip_at {
             continue;
         }
-        if *c != retain_cat && *c != ResponseCat::Masked {
+        if *c == retain_cat {
+            retained += 1;
+        } else if *c != ResponseCat::Masked {
             *c = ResponseCat::Masked;
+            masked += 1;
         }
+    }
+    if rckt_obs::profiling() {
+        let c = cf_counters();
+        c.masked.add(masked);
+        c.retained.add(retained);
     }
 }
 
@@ -58,7 +94,11 @@ fn repair(cats: &mut Cats, flip_at: usize, retain_cat: ResponseCat) {
 pub fn forward_intervention(factual: &Cats, i: usize, retention: Retention) -> (Cats, Cats) {
     assert!(i < factual.len());
     let original = factual[i];
-    assert_ne!(original, ResponseCat::Masked, "cannot intervene on a masked response");
+    assert_ne!(
+        original,
+        ResponseCat::Masked,
+        "cannot intervene on a masked response"
+    );
     let mut cf = factual.clone();
     cf[i] = original.flipped();
     if retention == Retention::Monotonic {
@@ -67,6 +107,11 @@ pub fn forward_intervention(factual: &Cats, i: usize, retention: Retention) -> (
         // (mask) — and vice versa.
         let retain = original.flipped();
         repair(&mut cf, i, retain);
+    }
+    if rckt_obs::profiling() {
+        let c = cf_counters();
+        c.forward_interventions.incr();
+        c.sequences.incr();
     }
     (factual.clone(), cf)
 }
@@ -107,6 +152,11 @@ pub fn backward_quadruple(factual: &Cats, target: usize, retention: Retention) -
         repair(&mut cf_neg, target, ResponseCat::Incorrect);
         repair(&mut cf_pos, target, ResponseCat::Correct);
     }
+    if rckt_obs::profiling() {
+        let c = cf_counters();
+        c.backward_quadruples.incr();
+        c.sequences.add(4);
+    }
     [f_pos, cf_neg, f_neg, cf_pos]
 }
 
@@ -117,10 +167,20 @@ pub fn joint_contexts(factual: &Cats) -> [Cats; 3] {
     let mask_where = |keep: ResponseCat| -> Cats {
         factual
             .iter()
-            .map(|&c| if c == keep || c == ResponseCat::Masked { c } else { ResponseCat::Masked })
+            .map(|&c| {
+                if c == keep || c == ResponseCat::Masked {
+                    c
+                } else {
+                    ResponseCat::Masked
+                }
+            })
             .collect()
     };
-    [factual.clone(), mask_where(ResponseCat::Correct), mask_where(ResponseCat::Incorrect)]
+    [
+        factual.clone(),
+        mask_where(ResponseCat::Correct),
+        mask_where(ResponseCat::Incorrect),
+    ]
 }
 
 #[cfg(test)]
@@ -167,7 +227,8 @@ mod tests {
     fn backward_quadruple_matches_table_i() {
         // Table I: assuming r6=1 then flipping to 0 retains the incorrect
         // q2/q5 and masks the correct q1/q3/q4; vice versa for r6=0.
-        let [f_pos, cf_neg, f_neg, cf_pos] = backward_quadruple(&example(), 5, Retention::Monotonic);
+        let [f_pos, cf_neg, f_neg, cf_pos] =
+            backward_quadruple(&example(), 5, Retention::Monotonic);
         assert_eq!(f_pos, vec![C, I, C, C, I, C]);
         assert_eq!(cf_neg, vec![M, I, M, M, I, I]);
         assert_eq!(f_neg, vec![C, I, C, C, I, I]);
@@ -176,7 +237,8 @@ mod tests {
 
     #[test]
     fn backward_counterfactuals_flip_exactly_the_target() {
-        let [f_pos, cf_neg, f_neg, cf_pos] = backward_quadruple(&example(), 5, Retention::Monotonic);
+        let [f_pos, cf_neg, f_neg, cf_pos] =
+            backward_quadruple(&example(), 5, Retention::Monotonic);
         assert_eq!(f_pos[5], C);
         assert_eq!(cf_neg[5], I);
         assert_eq!(f_neg[5], I);
@@ -209,6 +271,24 @@ mod tests {
                 M => unreachable!(),
             }
         }
+    }
+
+    #[test]
+    fn profiling_counts_sequences_and_repairs() {
+        rckt_obs::set_profiling(true);
+        let seq0 = rckt_obs::counter("cf.sequences").get();
+        let quad0 = rckt_obs::counter("cf.backward_quadruples").get();
+        let masked0 = rckt_obs::counter("cf.masked").get();
+        let retained0 = rckt_obs::counter("cf.retained").get();
+        backward_quadruple(&example(), 5, Retention::Monotonic);
+        rckt_obs::set_profiling(false);
+        // `>=`: other tests may construct counterfactuals concurrently while
+        // profiling is on. This quadruple contributes 4 sequences; its two
+        // repairs mask 3+2 and retain 2+3 of the ✓✗✓✓✗ context.
+        assert!(rckt_obs::counter("cf.sequences").get() - seq0 >= 4);
+        assert!(rckt_obs::counter("cf.backward_quadruples").get() - quad0 >= 1);
+        assert!(rckt_obs::counter("cf.masked").get() - masked0 >= 5);
+        assert!(rckt_obs::counter("cf.retained").get() - retained0 >= 5);
     }
 
     #[test]

@@ -16,7 +16,12 @@ pub struct ExplainContext {
 /// totals and the verdict.
 pub fn render_influence_table(rec: &InfluenceRecord, ctx: &ExplainContext) -> String {
     let mut s = String::new();
-    writeln!(s, "{:<6} {:<24} {:>3}  {:>10}", "pos", "question", "r", "influence").unwrap();
+    writeln!(
+        s,
+        "{:<6} {:<24} {:>3}  {:>10}",
+        "pos", "question", "r", "influence"
+    )
+    .unwrap();
     for &(pos, correct, delta) in &rec.influences {
         let label = ctx
             .question_labels
@@ -42,8 +47,16 @@ pub fn render_influence_table(rec: &InfluenceRecord, ctx: &ExplainContext) -> St
     writeln!(
         s,
         "prediction: {}   ground truth: {}",
-        if rec.predicted_correct() { "correct (✓)" } else { "incorrect (✗)" },
-        if rec.label { "correct (✓)" } else { "incorrect (✗)" }
+        if rec.predicted_correct() {
+            "correct (✓)"
+        } else {
+            "incorrect (✗)"
+        },
+        if rec.label {
+            "correct (✓)"
+        } else {
+            "incorrect (✗)"
+        }
     )
     .unwrap();
     s
@@ -92,7 +105,13 @@ mod tests {
     fn record() -> InfluenceRecord {
         InfluenceRecord {
             target: 5,
-            influences: vec![(0, true, 0.1), (1, false, 0.2), (2, true, 0.5), (3, true, 0.3), (4, false, 0.8)],
+            influences: vec![
+                (0, true, 0.1),
+                (1, false, 0.2),
+                (2, true, 0.5),
+                (3, true, 0.3),
+                (4, false, 0.8),
+            ],
             total_correct: 0.9,
             total_incorrect: 1.0,
             score: 0.49,
@@ -117,7 +136,9 @@ mod tests {
 
     #[test]
     fn json_export_contains_schema_and_values() {
-        let ctx = ExplainContext { question_labels: vec!["q one".into()] };
+        let ctx = ExplainContext {
+            question_labels: vec!["q one".into()],
+        };
         let j = to_json(&record(), &ctx);
         assert!(j.contains("rckt.influence.v1"));
         assert!(j.contains("\"total_correct\":0.9"));

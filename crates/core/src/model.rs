@@ -12,9 +12,9 @@ use rand::rngs::SmallRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
 use rckt_data::{make_batches, Batch, QMatrix, Window};
-use rckt_metrics::{accuracy, auc, EarlyStopping};
+use rckt_metrics::{accuracy, auc};
 use rckt_models::common::{factual_cats, ProbeSpec};
-use rckt_models::model::{FitReport, KtModel, TrainConfig};
+use rckt_models::model::{run_fit, FitReport, KtModel, TrainConfig};
 use rckt_models::{BiAttnEncoder, BiEncoder, BiLstmEncoder, KtEmbedding, Prediction, ResponseCat};
 use rckt_tensor::layers::PredictionMlp;
 use rckt_tensor::{Adam, Graph, ParamStore, Shape, Tx};
@@ -82,7 +82,12 @@ pub struct Rckt {
 }
 
 impl Rckt {
-    pub fn new(backbone: Backbone, num_questions: usize, num_concepts: usize, cfg: RcktConfig) -> Self {
+    pub fn new(
+        backbone: Backbone,
+        num_questions: usize,
+        num_concepts: usize,
+        cfg: RcktConfig,
+    ) -> Self {
         let mut rng = SmallRng::seed_from_u64(cfg.seed);
         let mut store = ParamStore::new();
         let d = cfg.dim;
@@ -97,15 +102,39 @@ impl Rckt {
                 Encoder::Lstm(enc)
             }
             Backbone::Sakt => Encoder::Attn(BiAttnEncoder::new(
-                &mut store, "enc", d, cfg.heads, cfg.layers, false, cfg.dropout, cfg.max_len, &mut rng,
+                &mut store,
+                "enc",
+                d,
+                cfg.heads,
+                cfg.layers,
+                false,
+                cfg.dropout,
+                cfg.max_len,
+                &mut rng,
             )),
             Backbone::Akt => Encoder::Attn(BiAttnEncoder::new(
-                &mut store, "enc", d, cfg.heads, cfg.layers, true, cfg.dropout, cfg.max_len, &mut rng,
+                &mut store,
+                "enc",
+                d,
+                cfg.heads,
+                cfg.layers,
+                true,
+                cfg.dropout,
+                cfg.max_len,
+                &mut rng,
             )),
         };
         let head = PredictionMlp::new(&mut store, "head", 2 * d, d, cfg.dropout, &mut rng);
         let adam = Adam::new(cfg.lr).with_l2(cfg.l2);
-        Rckt { cfg, backbone, emb, encoder, head, store, adam }
+        Rckt {
+            cfg,
+            backbone,
+            emb,
+            encoder,
+            head,
+            store,
+            adam,
+        }
     }
 
     pub fn num_weights(&self) -> usize {
@@ -135,9 +164,21 @@ impl Rckt {
         train: bool,
         rng: &mut SmallRng,
     ) -> Tx {
-        let e = self.emb.questions_with_probes(g, &self.store, batch, probes);
+        let e = self
+            .emb
+            .questions_with_probes(g, &self.store, batch, probes);
         let a = self.emb.interactions(g, &self.store, e, cats);
-        let h = self.encoder.encode(g, &self.store, e, a, batch.batch, batch.t_len, valid, train, rng);
+        let h = self.encoder.encode(
+            g,
+            &self.store,
+            e,
+            a,
+            batch.batch,
+            batch.t_len,
+            valid,
+            train,
+            rng,
+        );
         let x = g.concat_cols(h, e);
         self.head.forward(g, &self.store, x, train, rng)
     }
@@ -260,7 +301,9 @@ impl Rckt {
 
     /// Last valid position per sequence (the training target).
     fn last_targets(batch: &Batch) -> Vec<usize> {
-        (0..batch.batch).map(|b| batch.seq_len(b).saturating_sub(1)).collect()
+        (0..batch.batch)
+            .map(|b| batch.seq_len(b).saturating_sub(1))
+            .collect()
     }
 
     /// One optimization step (Eq. 16–17 + Eq. 27–29). Returns the loss.
@@ -368,6 +411,7 @@ impl Rckt {
         targets: &[usize],
         probes: &[ProbeSpec],
     ) -> Vec<Prediction> {
+        let _s = rckt_obs::span("rckt.infer.approx");
         let mut rng = SmallRng::seed_from_u64(0);
         let mut g = Graph::new();
         let (delta_pos, delta_neg, _, _) =
@@ -405,6 +449,7 @@ impl Rckt {
         targets: &[usize],
         probes: &[ProbeSpec],
     ) -> Vec<InfluenceRecord> {
+        let _s = rckt_obs::span("rckt.infer.approx");
         let mut rng = SmallRng::seed_from_u64(0);
         let mut g = Graph::new();
         let (delta_pos, delta_neg, d_pos_map, d_neg_map) =
@@ -445,7 +490,10 @@ impl Rckt {
     pub fn predict_exact_targets(&self, batch: &Batch, targets: &[usize]) -> Vec<Prediction> {
         self.influences_exact(batch, targets)
             .into_iter()
-            .map(|r| Prediction { prob: r.score, label: r.label })
+            .map(|r| Prediction {
+                prob: r.score,
+                label: r.label,
+            })
             .collect()
     }
 
@@ -453,6 +501,7 @@ impl Rckt {
     /// non-approximate counterpart of [`Rckt::influences`], costing one
     /// forward pass per past response.
     pub fn influences_exact(&self, batch: &Batch, targets: &[usize]) -> Vec<InfluenceRecord> {
+        let _s = rckt_obs::span("rckt.infer.exact");
         let mut rng = SmallRng::seed_from_u64(0);
         let t_len = batch.t_len;
         let vis = self.visibility(batch, targets);
@@ -479,7 +528,9 @@ impl Rckt {
             let mut g = Graph::new();
             let p = self.probs_pass(&mut g, batch, &flat_factual, &vis, &[], false, &mut rng);
             let d = g.data(p);
-            (0..batch.batch).map(|b| d[b * t_len + targets[b]]).collect()
+            (0..batch.batch)
+                .map(|b| d[b * t_len + targets[b]])
+                .collect()
         };
 
         let mut per_seq: Vec<Vec<(usize, bool, f32)>> = vec![Vec::new(); batch.batch];
@@ -525,10 +576,16 @@ impl Rckt {
             .into_iter()
             .enumerate()
             .map(|(b, influences)| {
-                let total_correct: f32 =
-                    influences.iter().filter(|(_, c, _)| *c).map(|(_, _, d)| d).sum();
-                let total_incorrect: f32 =
-                    influences.iter().filter(|(_, c, _)| !*c).map(|(_, _, d)| d).sum();
+                let total_correct: f32 = influences
+                    .iter()
+                    .filter(|(_, c, _)| *c)
+                    .map(|(_, _, d)| d)
+                    .sum();
+                let total_incorrect: f32 = influences
+                    .iter()
+                    .filter(|(_, c, _)| !*c)
+                    .map(|(_, _, d)| d)
+                    .sum();
                 let t = targets[b].max(1) as f32;
                 InfluenceRecord {
                     target: targets[b],
@@ -561,7 +618,9 @@ impl Rckt {
         let mut g = Graph::new();
         let p = self.probs_pass(&mut g, batch, cats, &vis, &[], false, &mut rng);
         let d = g.data(p);
-        (0..batch.batch).map(|b| d[b * batch.t_len + targets[b]]).collect()
+        (0..batch.batch)
+            .map(|b| d[b * batch.t_len + targets[b]])
+            .collect()
     }
 
     /// Predictions at strided positions (`t = stride−1, 2·stride−1, …` plus
@@ -600,8 +659,9 @@ impl Rckt {
             if seqs.is_empty() {
                 continue;
             }
-            let targets: Vec<usize> =
-                (0..batch.batch).map(|b| if seqs.contains(&b) { t } else { 1 }).collect();
+            let targets: Vec<usize> = (0..batch.batch)
+                .map(|b| if seqs.contains(&b) { t } else { 1 })
+                .collect();
             let preds = self.predict_targets(batch, &targets);
             for &b in seqs {
                 out.push(preds[b]);
@@ -649,11 +709,14 @@ impl Rckt {
 
 impl KtModel for Rckt {
     fn name(&self) -> String {
-        format!("RCKT-{}", match self.backbone {
-            Backbone::Dkt => "DKT",
-            Backbone::Sakt => "SAKT",
-            Backbone::Akt => "AKT",
-        })
+        format!(
+            "RCKT-{}",
+            match self.backbone {
+                Backbone::Dkt => "DKT",
+                Backbone::Sakt => "SAKT",
+                Backbone::Akt => "AKT",
+            }
+        )
     }
 
     fn fit(
@@ -664,44 +727,31 @@ impl KtModel for Rckt {
         qm: &QMatrix,
         cfg: &TrainConfig,
     ) -> FitReport {
-        let mut rng = SmallRng::seed_from_u64(cfg.seed);
         let val_batches = make_batches(windows, val_idx, qm, cfg.batch_size);
-        let mut es = EarlyStopping::new(cfg.patience);
-        let mut best: Option<String> = None;
-        let mut train_losses = Vec::new();
+        // Validation at strided targets with at least half-window history —
+        // the same regime the experiments test in.
+        let min_t = val_batches.first().map(|b| b.t_len / 2).unwrap_or(0);
         let mut order = train_idx.to_vec();
-        let mut epochs_run = 0;
-        for epoch in 0..cfg.max_epochs {
-            epochs_run = epoch + 1;
-            order.shuffle(&mut rng);
-            let batches = make_batches(windows, &order, qm, cfg.batch_size);
-            let mut loss_sum = 0.0f64;
-            for b in &batches {
-                loss_sum += self.train_batch(b, cfg.clip_norm, &mut rng) as f64;
-            }
-            let mean_loss = (loss_sum / batches.len().max(1) as f64) as f32;
-            train_losses.push(mean_loss);
-            // Validation at strided targets with at least half-window
-            // history — the same regime the experiments test in.
-            let min_t = val_batches.first().map(|b| b.t_len / 2).unwrap_or(0);
-            let (val_auc, val_acc) = self.evaluate_stride_from(&val_batches, 10, min_t);
-            if cfg.verbose {
-                eprintln!(
-                    "[{}] epoch {epoch:>3} loss {mean_loss:.4} val auc {val_auc:.4} acc {val_acc:.4}",
-                    self.name()
-                );
-            }
-            if es.update(val_auc) {
-                best = Some(self.save_weights());
-            }
-            if es.should_stop() {
-                break;
-            }
-        }
-        if let Some(s) = best {
-            self.load_weights(&s).expect("snapshot restores");
-        }
-        FitReport { epochs_run, best_epoch: es.best_epoch(), best_val_auc: es.best(), train_losses }
+        let name = self.name();
+        run_fit(
+            self,
+            &name,
+            cfg,
+            train_idx.len(),
+            val_idx.len(),
+            |m, _epoch, rng| {
+                order.shuffle(rng);
+                let batches = make_batches(windows, &order, qm, cfg.batch_size);
+                let mut loss_sum = 0.0f64;
+                for b in &batches {
+                    loss_sum += m.train_batch(b, cfg.clip_norm, rng) as f64;
+                }
+                (loss_sum / batches.len().max(1) as f64) as f32
+            },
+            |m| m.evaluate_stride_from(&val_batches, 10, min_t),
+            |m| m.save_weights(),
+            |m, s| m.load_weights(&s).expect("snapshot restores"),
+        )
     }
 
     /// All-position prediction (one 4-pass round per target index) — used
@@ -712,13 +762,15 @@ impl KtModel for Rckt {
         let mut by_pos: Vec<Option<Prediction>> = vec![None; batch.batch * t_len];
         for t in 1..t_len {
             // sequences for which position t is a real response
-            let involved: Vec<usize> =
-                (0..batch.batch).filter(|&b| batch.valid[b * t_len + t]).collect();
+            let involved: Vec<usize> = (0..batch.batch)
+                .filter(|&b| batch.valid[b * t_len + t])
+                .collect();
             if involved.is_empty() {
                 continue;
             }
-            let targets: Vec<usize> =
-                (0..batch.batch).map(|b| if batch.valid[b * t_len + t] { t } else { 1 }).collect();
+            let targets: Vec<usize> = (0..batch.batch)
+                .map(|b| if batch.valid[b * t_len + t] { t } else { 1 })
+                .collect();
             let preds = self.predict_targets(batch, &targets);
             for &b in &involved {
                 by_pos[b * t_len + t] = Some(preds[b]);
@@ -749,7 +801,12 @@ mod tests {
             backbone,
             ds.num_questions(),
             ds.num_concepts(),
-            RcktConfig { dim: 16, heads: 2, lr: 3e-3, ..Default::default() },
+            RcktConfig {
+                dim: 16,
+                heads: 2,
+                lr: 3e-3,
+                ..Default::default()
+            },
         )
     }
 
@@ -805,9 +862,24 @@ mod tests {
     fn ablation_configs_train() {
         let (ds, _, batches) = tiny(0.03, 8);
         for cfg in [
-            RcktConfig { dim: 16, lr: 3e-3, ..Default::default() }.without_joint(),
-            RcktConfig { dim: 16, lr: 3e-3, ..Default::default() }.without_constraint(),
-            RcktConfig { dim: 16, lr: 3e-3, ..Default::default() }.without_mono(),
+            RcktConfig {
+                dim: 16,
+                lr: 3e-3,
+                ..Default::default()
+            }
+            .without_joint(),
+            RcktConfig {
+                dim: 16,
+                lr: 3e-3,
+                ..Default::default()
+            }
+            .without_constraint(),
+            RcktConfig {
+                dim: 16,
+                lr: 3e-3,
+                ..Default::default()
+            }
+            .without_mono(),
         ] {
             let mut m = Rckt::new(Backbone::Dkt, ds.num_questions(), ds.num_concepts(), cfg);
             let mut rng = SmallRng::seed_from_u64(1);
@@ -834,10 +906,18 @@ mod tests {
                 assert!((p.prob - r.score).abs() < 1e-6);
                 assert_eq!(p.prob >= 0.5, r.total_correct >= r.total_incorrect);
                 // totals match the per-response sums
-                let sum_pos: f32 =
-                    r.influences.iter().filter(|(_, c, _)| *c).map(|(_, _, d)| d).sum();
-                let sum_neg: f32 =
-                    r.influences.iter().filter(|(_, c, _)| !*c).map(|(_, _, d)| d).sum();
+                let sum_pos: f32 = r
+                    .influences
+                    .iter()
+                    .filter(|(_, c, _)| *c)
+                    .map(|(_, _, d)| d)
+                    .sum();
+                let sum_neg: f32 = r
+                    .influences
+                    .iter()
+                    .filter(|(_, c, _)| !*c)
+                    .map(|(_, _, d)| d)
+                    .sum();
                 assert!((sum_pos - r.total_correct).abs() < 1e-4);
                 assert!((sum_neg - r.total_incorrect).abs() < 1e-4);
             }
@@ -855,7 +935,12 @@ mod tests {
             Backbone::Dkt,
             ds.num_questions(),
             ds.num_concepts(),
-            RcktConfig { dim: 16, lr: 3e-3, clamp_inference: false, ..Default::default() },
+            RcktConfig {
+                dim: 16,
+                lr: 3e-3,
+                clamp_inference: false,
+                ..Default::default()
+            },
         );
         let mut rng = SmallRng::seed_from_u64(5);
         for _ in 0..10 {
@@ -898,13 +983,21 @@ mod tests {
         for batch in &batches {
             let targets = Rckt::last_targets(batch);
             for r in m.influences_exact(batch, &targets) {
-                let sp: f32 = r.influences.iter().filter(|(_, c, _)| *c).map(|(_, _, d)| d).sum();
-                let sn: f32 =
-                    r.influences.iter().filter(|(_, c, _)| !*c).map(|(_, _, d)| d).sum();
+                let sp: f32 = r
+                    .influences
+                    .iter()
+                    .filter(|(_, c, _)| *c)
+                    .map(|(_, _, d)| d)
+                    .sum();
+                let sn: f32 = r
+                    .influences
+                    .iter()
+                    .filter(|(_, c, _)| !*c)
+                    .map(|(_, _, d)| d)
+                    .sum();
                 assert!((sp - r.total_correct).abs() < 1e-5);
                 assert!((sn - r.total_incorrect).abs() < 1e-5);
-                let manual =
-                    ((sp - sn) / (2.0 * r.target.max(1) as f32) + 0.5).clamp(0.0, 1.0);
+                let manual = ((sp - sn) / (2.0 * r.target.max(1) as f32) + 0.5).clamp(0.0, 1.0);
                 assert!((r.score - manual).abs() < 1e-5);
                 assert_eq!(r.influences.len(), r.target);
             }

@@ -32,7 +32,10 @@ impl std::fmt::Display for PersistError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             PersistError::Version(v) => {
-                write!(f, "unsupported model file version {v} (expected {MODEL_FILE_VERSION})")
+                write!(
+                    f,
+                    "unsupported model file version {v} (expected {MODEL_FILE_VERSION})"
+                )
             }
             PersistError::Json(e) => write!(f, "model file parse error: {e}"),
         }
@@ -67,8 +70,12 @@ impl Rckt {
         if saved.version != MODEL_FILE_VERSION {
             return Err(PersistError::Version(saved.version));
         }
-        let mut model =
-            Rckt::new(saved.backbone, saved.num_questions, saved.num_concepts, saved.config);
+        let mut model = Rckt::new(
+            saved.backbone,
+            saved.num_questions,
+            saved.num_concepts,
+            saved.config,
+        );
         model.load_weights(&saved.weights)?;
         Ok(model)
     }
@@ -89,7 +96,11 @@ mod tests {
             Backbone::Akt,
             ds.num_questions(),
             ds.num_concepts(),
-            RcktConfig { dim: 16, heads: 2, ..Default::default() },
+            RcktConfig {
+                dim: 16,
+                heads: 2,
+                ..Default::default()
+            },
         );
         let json = model.export(ds.num_questions(), ds.num_concepts());
         let restored = Rckt::import(&json).unwrap();
@@ -107,15 +118,24 @@ mod tests {
             Backbone::Dkt,
             ds.num_questions(),
             ds.num_concepts(),
-            RcktConfig { dim: 8, ..Default::default() },
+            RcktConfig {
+                dim: 8,
+                ..Default::default()
+            },
         );
         let json = model.export(ds.num_questions(), ds.num_concepts());
         let tampered = json.replacen("\"version\":1", "\"version\":99", 1);
-        assert!(matches!(Rckt::import(&tampered), Err(PersistError::Version(99))));
+        assert!(matches!(
+            Rckt::import(&tampered),
+            Err(PersistError::Version(99))
+        ));
     }
 
     #[test]
     fn garbage_is_a_parse_error() {
-        assert!(matches!(Rckt::import("not json"), Err(PersistError::Json(_))));
+        assert!(matches!(
+            Rckt::import("not json"),
+            Err(PersistError::Json(_))
+        ));
     }
 }

@@ -30,7 +30,10 @@ impl ProficiencyTrace {
         if !(hi - lo).is_normal() {
             return vec![0.5; self.after.len()];
         }
-        self.after.iter().map(|&v| 0.05 + 0.9 * (v - lo) / (hi - lo)).collect()
+        self.after
+            .iter()
+            .map(|&v| 0.05 + 0.9 * (v - lo) / (hi - lo))
+            .collect()
     }
 }
 
@@ -50,29 +53,54 @@ fn probe_batch(window: &Window, qm: &QMatrix) -> (Batch, Vec<usize>) {
     for j in 0..len {
         // row j: prefix = responses 0..=j, probe target at position j+1
         for t in 0..t_len {
-            let q = if t < len { window.questions[t] as usize } else { 0 };
+            let q = if t < len {
+                window.questions[t] as usize
+            } else {
+                0
+            };
             questions.push(q);
             let ks = qm.concepts_of(q as u32);
             concept_lens.push(ks.len());
             concept_flat.extend(ks.iter().map(|&k| k as usize));
-            correct.push(if t < len { window.correct[t] as f32 } else { 0.0 });
+            correct.push(if t < len {
+                window.correct[t] as f32
+            } else {
+                0.0
+            });
             valid.push(t <= j + 1);
         }
         targets.push(j + 1);
     }
     let students = vec![window.student; bsz];
     (
-        Batch { batch: bsz, t_len, students, questions, concept_flat, concept_lens, correct, valid },
+        Batch {
+            batch: bsz,
+            t_len,
+            students,
+            questions,
+            concept_flat,
+            concept_lens,
+            correct,
+            valid,
+        },
         targets,
     )
 }
 
 impl Rckt {
     /// Trace proficiency on `concept` after every response of `window`.
-    pub fn trace_proficiency(&self, window: &Window, qm: &QMatrix, concept: u16) -> ProficiencyTrace {
+    pub fn trace_proficiency(
+        &self,
+        window: &Window,
+        qm: &QMatrix,
+        concept: u16,
+    ) -> ProficiencyTrace {
         let (batch, targets) = probe_batch(window, qm);
-        let questions: Vec<usize> =
-            qm.questions_of(concept).into_iter().map(|q| q as usize).collect();
+        let questions: Vec<usize> = qm
+            .questions_of(concept)
+            .into_iter()
+            .map(|q| q as usize)
+            .collect();
         assert!(!questions.is_empty(), "concept {concept} has no questions");
         let probes: Vec<ProbeSpec> = (0..batch.batch)
             .map(|b| ProbeSpec {
@@ -82,7 +110,10 @@ impl Rckt {
             })
             .collect();
         let preds = self.predict_targets_probed(&batch, &targets, &probes);
-        ProficiencyTrace { concept, after: preds.into_iter().map(|p| p.prob).collect() }
+        ProficiencyTrace {
+            concept,
+            after: preds.into_iter().map(|p| p.prob).collect(),
+        }
     }
 
     /// Per-response influences on capturing `concept` after the whole
@@ -94,13 +125,20 @@ impl Rckt {
         concept: u16,
     ) -> InfluenceRecord {
         let (batch, targets) = probe_batch(window, qm);
-        let questions: Vec<usize> =
-            qm.questions_of(concept).into_iter().map(|q| q as usize).collect();
+        let questions: Vec<usize> = qm
+            .questions_of(concept)
+            .into_iter()
+            .map(|q| q as usize)
+            .collect();
         assert!(!questions.is_empty(), "concept {concept} has no questions");
         // only the final prefix row is needed
         let last = batch.batch - 1;
         let sub = sub_batch(&batch, last);
-        let probe = ProbeSpec { position: targets[last], questions, concept: concept as usize };
+        let probe = ProbeSpec {
+            position: targets[last],
+            questions,
+            concept: concept as usize,
+        };
         self.influences_probed(&sub, &[targets[last]], &[probe])
             .into_iter()
             .next()
@@ -148,7 +186,15 @@ mod tests {
             questions[t] = seq.interactions[t].question;
             correct[t] = seq.interactions[t].correct as u8;
         }
-        (ds.clone(), Window { student: 0, questions, correct, len })
+        (
+            ds.clone(),
+            Window {
+                student: 0,
+                questions,
+                correct,
+                len,
+            },
+        )
     }
 
     #[test]
@@ -173,7 +219,10 @@ mod tests {
             Backbone::Dkt,
             ds.num_questions(),
             ds.num_concepts(),
-            RcktConfig { dim: 16, ..Default::default() },
+            RcktConfig {
+                dim: 16,
+                ..Default::default()
+            },
         );
         let concept = ds.q_matrix.concepts_of(w.questions[0])[0];
         let trace = model.trace_proficiency(&w, &ds.q_matrix, concept);
@@ -190,7 +239,10 @@ mod tests {
             Backbone::Dkt,
             ds.num_questions(),
             ds.num_concepts(),
-            RcktConfig { dim: 16, ..Default::default() },
+            RcktConfig {
+                dim: 16,
+                ..Default::default()
+            },
         );
         let concept = ds.q_matrix.concepts_of(w.questions[0])[0];
         let rec = model.concept_influences(&w, &ds.q_matrix, concept);

@@ -59,7 +59,10 @@ pub fn parse_csv(name: &str, text: &str) -> Result<Dataset, CsvError> {
         }
         let fields = split_csv_line(line);
         if fields.len() != 5 {
-            return Err(CsvError::Parse(lineno, format!("expected 5 fields, got {}", fields.len())));
+            return Err(CsvError::Parse(
+                lineno,
+                format!("expected 5 fields, got {}", fields.len()),
+            ));
         }
         let n_students = students.len() as u32;
         let student = *students.entry(fields[0].clone()).or_insert(n_students);
@@ -87,14 +90,24 @@ pub fn parse_csv(name: &str, text: &str) -> Result<Dataset, CsvError> {
             "0" => false,
             "1" => true,
             other => {
-                return Err(CsvError::Parse(lineno, format!("correct must be 0/1, got {other:?}")))
+                return Err(CsvError::Parse(
+                    lineno,
+                    format!("correct must be 0/1, got {other:?}"),
+                ))
             }
         };
         let timestamp: u64 = fields[4]
             .trim()
             .parse()
             .map_err(|_| CsvError::Parse(lineno, format!("bad timestamp {:?}", fields[4])))?;
-        rows.push((student, Interaction { question, correct, timestamp }));
+        rows.push((
+            student,
+            Interaction {
+                question,
+                correct,
+                timestamp,
+            },
+        ));
     }
 
     let mut by_student: HashMap<u32, Vec<Interaction>> = HashMap::new();
@@ -105,7 +118,10 @@ pub fn parse_csv(name: &str, text: &str) -> Result<Dataset, CsvError> {
         .into_iter()
         .map(|(student, mut interactions)| {
             interactions.sort_by_key(|i| i.timestamp);
-            ResponseSeq { student, interactions }
+            ResponseSeq {
+                student,
+                interactions,
+            }
         })
         .collect();
     sequences.sort_by_key(|s| s.student);

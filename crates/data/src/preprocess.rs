@@ -36,7 +36,12 @@ pub fn windows(ds: &Dataset, window_len: usize, min_len: usize) -> Vec<Window> {
                 questions[i] = it.question;
                 correct[i] = it.correct as u8;
             }
-            out.push(Window { student: seq.student, questions, correct, len: chunk.len() });
+            out.push(Window {
+                student: seq.student,
+                questions,
+                correct,
+                len: chunk.len(),
+            });
         }
     }
     out
@@ -87,7 +92,16 @@ impl Batch {
                 valid.push(t < w.len);
             }
         }
-        Batch { batch, t_len, students, questions, concept_flat, concept_lens, correct, valid }
+        Batch {
+            batch,
+            t_len,
+            students,
+            questions,
+            concept_flat,
+            concept_lens,
+            correct,
+            valid,
+        }
     }
 
     /// Number of real responses in the batch.
@@ -97,7 +111,9 @@ impl Batch {
 
     /// Valid length of sequence `b`.
     pub fn seq_len(&self, b: usize) -> usize {
-        (0..self.t_len).take_while(|&t| self.valid[b * self.t_len + t]).count()
+        (0..self.t_len)
+            .take_while(|&t| self.valid[b * self.t_len + t])
+            .count()
     }
 }
 
@@ -139,7 +155,11 @@ mod tests {
                     .collect(),
             })
             .collect();
-        Dataset { name: "t".into(), sequences, q_matrix: qm }
+        Dataset {
+            name: "t".into(),
+            sequences,
+            q_matrix: qm,
+        }
     }
 
     #[test]

@@ -25,7 +25,11 @@ pub struct KFold {
 impl KFold {
     /// The paper's setting: 5 folds, 10% validation.
     pub fn paper(seed: u64) -> Self {
-        KFold { folds: 5, val_frac: 0.10, seed }
+        KFold {
+            folds: 5,
+            val_frac: 0.10,
+            seed,
+        }
     }
 
     /// Split `n` items into `self.folds` folds.
@@ -42,8 +46,7 @@ impl KFold {
             let lo = n * f / self.folds;
             let hi = n * (f + 1) / self.folds;
             let test: Vec<usize> = idx[lo..hi].to_vec();
-            let rest: Vec<usize> =
-                idx[..lo].iter().chain(&idx[hi..]).copied().collect();
+            let rest: Vec<usize> = idx[..lo].iter().chain(&idx[hi..]).copied().collect();
             let n_val = ((rest.len() as f64) * self.val_frac).round() as usize;
             let n_val = n_val.min(rest.len().saturating_sub(1)).max(1);
             let val = rest[..n_val].to_vec();
@@ -89,7 +92,12 @@ mod tests {
 
     #[test]
     fn val_fraction_respected() {
-        let folds = KFold { folds: 5, val_frac: 0.10, seed: 1 }.split(1000);
+        let folds = KFold {
+            folds: 5,
+            val_frac: 0.10,
+            seed: 1,
+        }
+        .split(1000);
         for f in &folds {
             let non_test = f.train.len() + f.val.len();
             let frac = f.val.len() as f64 / non_test as f64;

@@ -30,7 +30,12 @@ impl DatasetStats {
                 let total: usize = windows.iter().map(|w| w.len).sum();
                 let correct: usize = windows
                     .iter()
-                    .map(|w| w.correct[..w.len].iter().map(|&c| c as usize).sum::<usize>())
+                    .map(|w| {
+                        w.correct[..w.len]
+                            .iter()
+                            .map(|&c| c as usize)
+                            .sum::<usize>()
+                    })
                     .sum();
                 if total == 0 {
                     0.0
@@ -65,11 +70,17 @@ pub fn table2(stats: &[DatasetStats]) -> String {
     s.push('\n');
     type RowGetter = Box<dyn Fn(&DatasetStats) -> String>;
     let rows: Vec<(&str, RowGetter)> = vec![
-        ("#response", Box::new(|st: &DatasetStats| st.num_responses.to_string())),
+        (
+            "#response",
+            Box::new(|st: &DatasetStats| st.num_responses.to_string()),
+        ),
         ("#sequence", Box::new(|st| st.num_sequences.to_string())),
         ("#question", Box::new(|st| st.num_questions.to_string())),
         ("#concept", Box::new(|st| st.num_concepts.to_string())),
-        ("#concept/question", Box::new(|st| format!("{:.2}", st.concepts_per_question))),
+        (
+            "#concept/question",
+            Box::new(|st| format!("{:.2}", st.concepts_per_question)),
+        ),
         ("%correct", Box::new(|st| format!("{:.2}", st.correct_rate))),
     ];
     for (label, get) in rows {

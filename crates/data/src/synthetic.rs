@@ -193,7 +193,12 @@ impl SyntheticSpec {
 
     /// All four paper presets.
     pub fn paper_presets() -> Vec<SyntheticSpec> {
-        vec![Self::assist09(), Self::assist12(), Self::slepemapy(), Self::eedi()]
+        vec![
+            Self::assist09(),
+            Self::assist12(),
+            Self::slepemapy(),
+            Self::eedi(),
+        ]
     }
 
     /// Scale the number of students (and nothing else) by `f`.
@@ -213,10 +218,9 @@ impl SyntheticSpec {
         for _ in 0..4 {
             let pilot = self.simulate(&q_matrix, delta, self.students.min(40), &mut rng);
             let rate = observed_rate(&pilot);
-            let adj_target = clamp01((self.target_correct_rate - self.guess)
-                / (1.0 - self.guess - self.slip));
-            let adj_obs =
-                clamp01((rate - self.guess) / (1.0 - self.guess - self.slip));
+            let adj_target =
+                clamp01((self.target_correct_rate - self.guess) / (1.0 - self.guess - self.slip));
+            let adj_obs = clamp01((rate - self.guess) / (1.0 - self.guess - self.slip));
             let shift = (logit(adj_target) - logit(adj_obs)) / self.discrimination;
             delta -= shift;
             if shift.abs() < 0.02 {
@@ -225,7 +229,11 @@ impl SyntheticSpec {
         }
 
         let sequences = self.simulate(&q_matrix, delta, self.students, &mut rng);
-        Dataset { name: self.name.clone(), sequences, q_matrix }
+        Dataset {
+            name: self.name.clone(),
+            sequences,
+            q_matrix,
+        }
     }
 
     fn gen_q_matrix(&self, rng: &mut SmallRng) -> QMatrix {
@@ -286,8 +294,7 @@ impl SyntheticSpec {
         students: usize,
         rng: &mut SmallRng,
     ) -> Vec<ResponseSeq> {
-        let difficulties: Vec<f64> =
-            (0..self.questions).map(|_| delta + normal(rng)).collect();
+        let difficulties: Vec<f64> = (0..self.questions).map(|_| delta + normal(rng)).collect();
         // Questions per concept, for curriculum locality.
         let mut by_concept: Vec<Vec<u32>> = vec![Vec::new(); self.concepts];
         for q in 0..self.questions {
@@ -300,8 +307,9 @@ impl SyntheticSpec {
         let mut sequences = Vec::with_capacity(students);
         for u in 0..students {
             let ability = normal(rng);
-            let group_fx: Vec<f64> =
-                (0..self.concept_groups).map(|_| 0.4 * normal(rng)).collect();
+            let group_fx: Vec<f64> = (0..self.concept_groups)
+                .map(|_| 0.4 * normal(rng))
+                .collect();
             let baseline: Vec<f64> = (0..self.concepts)
                 .map(|k| ability + group_fx[self.group_of(k)] + 0.4 * normal(rng))
                 .collect();
@@ -334,8 +342,8 @@ impl SyntheticSpec {
                         for _ in 0..5 {
                             let c = candidate(rng, prev_q);
                             let ks = q_matrix.concepts_of(c);
-                            let mp: f64 = ks.iter().map(|&k| prof[k as usize]).sum::<f64>()
-                                / ks.len() as f64;
+                            let mp: f64 =
+                                ks.iter().map(|&k| prof[k as usize]).sum::<f64>() / ks.len() as f64;
                             let p = self.response_probability(mp, difficulties[c as usize]);
                             let gap = (p - target).abs();
                             if gap < best_gap {
@@ -375,9 +383,16 @@ impl SyntheticSpec {
                     last_practice[k] = t;
                 }
 
-                interactions.push(Interaction { question: q, correct, timestamp: t });
+                interactions.push(Interaction {
+                    question: q,
+                    correct,
+                    timestamp: t,
+                });
             }
-            sequences.push(ResponseSeq { student: u as u32, interactions });
+            sequences.push(ResponseSeq {
+                student: u as u32,
+                interactions,
+            });
         }
         sequences
     }
@@ -396,8 +411,11 @@ fn observed_rate(seqs: &[ResponseSeq]) -> f64 {
     if total == 0 {
         return 0.5;
     }
-    let correct: usize =
-        seqs.iter().flat_map(|s| &s.interactions).filter(|i| i.correct).count();
+    let correct: usize = seqs
+        .iter()
+        .flat_map(|s| &s.interactions)
+        .filter(|i| i.correct)
+        .count();
     correct as f64 / total as f64
 }
 
@@ -489,8 +507,9 @@ mod tests {
     fn eedi_preset_carries_a_concept_tree() {
         let ds = SyntheticSpec::eedi().scaled(0.05).generate();
         // at least one concept has a parent, roots have none
-        let with_parent =
-            (0..ds.num_concepts()).filter(|&k| ds.q_matrix.parent_of(k as u16).is_some()).count();
+        let with_parent = (0..ds.num_concepts())
+            .filter(|&k| ds.q_matrix.parent_of(k as u16).is_some())
+            .count();
         assert!(with_parent > 0, "eedi should attach a hierarchy");
         for k in 0..ds.num_concepts() as u16 {
             let root = ds.q_matrix.root_of(k);

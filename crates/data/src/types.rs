@@ -53,18 +53,32 @@ impl QMatrix {
             "every question needs at least one concept"
         );
         assert!(
-            concepts.iter().flatten().all(|&c| (c as usize) < num_concepts),
+            concepts
+                .iter()
+                .flatten()
+                .all(|&c| (c as usize) < num_concepts),
             "concept id out of range"
         );
-        QMatrix { concepts, num_concepts, parents: None }
+        QMatrix {
+            concepts,
+            num_concepts,
+            parents: None,
+        }
     }
 
     /// Attach a concept hierarchy: `parents[k]` is concept `k`'s parent
     /// (`None` for roots). Parent ids live in the same id space.
     pub fn with_hierarchy(mut self, parents: Vec<Option<ConceptId>>) -> Self {
-        assert_eq!(parents.len(), self.num_concepts, "one parent slot per concept");
+        assert_eq!(
+            parents.len(),
+            self.num_concepts,
+            "one parent slot per concept"
+        );
         assert!(
-            parents.iter().flatten().all(|&p| (p as usize) < self.num_concepts),
+            parents
+                .iter()
+                .flatten()
+                .all(|&p| (p as usize) < self.num_concepts),
             "parent id out of range"
         );
         self.parents = Some(parents);
@@ -197,8 +211,12 @@ mod tests {
 
     #[test]
     fn hierarchy_roll_up() {
-        let qm = QMatrix::new(vec![vec![0], vec![1]], 4)
-            .with_hierarchy(vec![Some(2), Some(3), None, Some(2)]);
+        let qm = QMatrix::new(vec![vec![0], vec![1]], 4).with_hierarchy(vec![
+            Some(2),
+            Some(3),
+            None,
+            Some(2),
+        ]);
         assert_eq!(qm.parent_of(0), Some(2));
         assert_eq!(qm.parent_of(2), None);
         assert_eq!(qm.root_of(0), 2);
@@ -217,9 +235,17 @@ mod tests {
         let qm = tiny_qm();
         let seq = ResponseSeq {
             student: 3,
-            interactions: vec![Interaction { question: 1, correct: true, timestamp: 9 }],
+            interactions: vec![Interaction {
+                question: 1,
+                correct: true,
+                timestamp: 9,
+            }],
         };
-        let ds = Dataset { name: "rt".into(), sequences: vec![seq], q_matrix: qm };
+        let ds = Dataset {
+            name: "rt".into(),
+            sequences: vec![seq],
+            q_matrix: qm,
+        };
         let back = Dataset::from_json(&ds.to_json()).unwrap();
         assert_eq!(back.name, "rt");
         assert_eq!(back.sequences[0].interactions, ds.sequences[0].interactions);
@@ -232,13 +258,33 @@ mod tests {
         let seq = ResponseSeq {
             student: 0,
             interactions: vec![
-                Interaction { question: 0, correct: true, timestamp: 0 },
-                Interaction { question: 1, correct: false, timestamp: 1 },
-                Interaction { question: 2, correct: true, timestamp: 2 },
-                Interaction { question: 0, correct: true, timestamp: 3 },
+                Interaction {
+                    question: 0,
+                    correct: true,
+                    timestamp: 0,
+                },
+                Interaction {
+                    question: 1,
+                    correct: false,
+                    timestamp: 1,
+                },
+                Interaction {
+                    question: 2,
+                    correct: true,
+                    timestamp: 2,
+                },
+                Interaction {
+                    question: 0,
+                    correct: true,
+                    timestamp: 3,
+                },
             ],
         };
-        let ds = Dataset { name: "t".into(), sequences: vec![seq], q_matrix: qm };
+        let ds = Dataset {
+            name: "t".into(),
+            sequences: vec![seq],
+            q_matrix: qm,
+        };
         assert_eq!(ds.num_responses(), 4);
         assert!((ds.correct_rate() - 0.75).abs() < 1e-12);
     }

@@ -9,32 +9,34 @@ use rckt_data::synthetic::SyntheticSpec;
 
 fn spec_strategy() -> impl Strategy<Value = SyntheticSpec> {
     (
-        4usize..20,       // students
-        10usize..60,      // questions
-        3usize..20,       // concepts
-        1usize..5,        // groups
-        0.0f64..0.5,      // multi-concept rate
-        0.0f64..0.35,     // guess
-        0.0f64..0.25,     // slip
-        0.35f64..0.9,     // target correct rate
-        any::<u64>(),     // seed
+        4usize..20,   // students
+        10usize..60,  // questions
+        3usize..20,   // concepts
+        1usize..5,    // groups
+        0.0f64..0.5,  // multi-concept rate
+        0.0f64..0.35, // guess
+        0.0f64..0.25, // slip
+        0.35f64..0.9, // target correct rate
+        any::<u64>(), // seed
     )
-        .prop_map(|(students, questions, concepts, groups, multi, guess, slip, target, seed)| {
-            let mut s = SyntheticSpec::assist09();
-            s.students = students;
-            s.questions = questions;
-            s.concepts = concepts;
-            s.concept_groups = groups.min(concepts);
-            s.multi_concept_rate = multi;
-            s.guess = guess;
-            s.slip = slip;
-            // keep the target reachable given guess/slip bounds
-            s.target_correct_rate = target.clamp(guess + 0.05, 1.0 - slip - 0.05);
-            s.seq_len_min = 3;
-            s.seq_len_max = 30;
-            s.seed = seed;
-            s
-        })
+        .prop_map(
+            |(students, questions, concepts, groups, multi, guess, slip, target, seed)| {
+                let mut s = SyntheticSpec::assist09();
+                s.students = students;
+                s.questions = questions;
+                s.concepts = concepts;
+                s.concept_groups = groups.min(concepts);
+                s.multi_concept_rate = multi;
+                s.guess = guess;
+                s.slip = slip;
+                // keep the target reachable given guess/slip bounds
+                s.target_correct_rate = target.clamp(guess + 0.05, 1.0 - slip - 0.05);
+                s.seq_len_min = 3;
+                s.seq_len_max = 30;
+                s.seed = seed;
+                s
+            },
+        )
         .prop_filter("target must be representable", |s| {
             s.target_correct_rate > s.guess && s.target_correct_rate < 1.0 - s.slip
         })

@@ -25,7 +25,11 @@ pub fn welch_t_test(a: &[f64], b: &[f64]) -> Option<TestResult> {
     let se2 = va / na + vb / nb;
     if se2 <= 0.0 {
         return if ma == mb {
-            Some(TestResult { t_statistic: 0.0, degrees_of_freedom: na + nb - 2.0, p_value: 1.0 })
+            Some(TestResult {
+                t_statistic: 0.0,
+                degrees_of_freedom: na + nb - 2.0,
+                p_value: 1.0,
+            })
         } else {
             Some(TestResult {
                 t_statistic: f64::INFINITY,
@@ -39,7 +43,11 @@ pub fn welch_t_test(a: &[f64], b: &[f64]) -> Option<TestResult> {
     let df = se2 * se2
         / ((va / na).powi(2) / (na - 1.0) + (vb / nb).powi(2) / (nb - 1.0)).max(f64::MIN_POSITIVE);
     let p = 2.0 * student_t_sf(t.abs(), df);
-    Some(TestResult { t_statistic: t, degrees_of_freedom: df, p_value: p.clamp(0.0, 1.0) })
+    Some(TestResult {
+        t_statistic: t,
+        degrees_of_freedom: df,
+        p_value: p.clamp(0.0, 1.0),
+    })
 }
 
 /// Sample mean and (unbiased) variance.

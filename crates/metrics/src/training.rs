@@ -13,7 +13,13 @@ pub struct EarlyStopping {
 
 impl EarlyStopping {
     pub fn new(patience: usize) -> Self {
-        EarlyStopping { patience, best: f64::NEG_INFINITY, best_epoch: 0, epoch: 0, stale: 0 }
+        EarlyStopping {
+            patience,
+            best: f64::NEG_INFINITY,
+            best_epoch: 0,
+            epoch: 0,
+            stale: 0,
+        }
     }
 
     /// The paper's setting (patience = 10).
@@ -61,7 +67,11 @@ pub struct FoldSummary {
 impl FoldSummary {
     pub fn of(values: &[f64]) -> Self {
         let (mean, var) = crate::stats_tests::mean_var(values);
-        FoldSummary { mean, std: var.sqrt(), n: values.len() }
+        FoldSummary {
+            mean,
+            std: var.sqrt(),
+            n: values.len(),
+        }
     }
 }
 

@@ -100,7 +100,12 @@ impl AttnKt {
         let pos = PositionalEmbedding::new(&mut store, "pos", cfg.max_len, d, &mut rng);
         let monotonic = variant == AttnVariant::Akt;
         let rasch = (variant == AttnVariant::Akt).then(|| Rasch {
-            mu: store.register("rasch.mu", Shape::matrix(num_questions, 1), Init::Zeros, &mut rng),
+            mu: store.register(
+                "rasch.mu",
+                Shape::matrix(num_questions, 1),
+                Init::Zeros,
+                &mut rng,
+            ),
             variation: Embedding::new(&mut store, "rasch.d", num_concepts, d, &mut rng),
         });
         let blocks = (0..cfg.layers)
@@ -114,7 +119,14 @@ impl AttnKt {
                     cfg.dropout,
                     &mut rng,
                 ),
-                ffn: FeedForward::new(&mut store, &format!("blk{l}.ffn"), d, 2 * d, cfg.dropout, &mut rng),
+                ffn: FeedForward::new(
+                    &mut store,
+                    &format!("blk{l}.ffn"),
+                    d,
+                    2 * d,
+                    cfg.dropout,
+                    &mut rng,
+                ),
                 ln_q: LayerNorm::new(&mut store, &format!("blk{l}.ln_q"), d, &mut rng),
                 ln_kv: LayerNorm::new(&mut store, &format!("blk{l}.ln_kv"), d, &mut rng),
                 ln_ff: LayerNorm::new(&mut store, &format!("blk{l}.ln_ff"), d, &mut rng),
@@ -122,7 +134,17 @@ impl AttnKt {
             .collect();
         let head = PredictionMlp::new(&mut store, "head", 2 * d, d, cfg.dropout, &mut rng);
         let adam = Adam::new(cfg.lr).with_l2(cfg.l2);
-        AttnKt { cfg, variant, emb, pos, rasch, blocks, head, store, adam }
+        AttnKt {
+            cfg,
+            variant,
+            emb,
+            pos,
+            rasch,
+            blocks,
+            head,
+            store,
+            adam,
+        }
     }
 
     /// Question-side embeddings: concept mean (+ question id for SAKT+/AKT,
@@ -138,8 +160,8 @@ impl AttnKt {
             let mu = g.gather_rows(mu_table, &batch.questions); // [B*T, 1]
             let d_all = rasch.variation.forward(g, store, &batch.concept_flat);
             let d_mean = g.segment_mean_rows(d_all, &batch.concept_lens); // [B*T, d]
-            // broadcast μ over columns: replicate the scalar with matmul by a
-            // row of ones, then multiply elementwise.
+                                                                          // broadcast μ over columns: replicate the scalar with matmul by a
+                                                                          // row of ones, then multiply elementwise.
             let ones = g.input(vec![1.0; self.cfg.dim], Shape::matrix(1, self.cfg.dim));
             let mu_b = g.matmul(mu, ones); // [B*T, d]
             let rasch_term = g.mul(mu_b, d_mean);
@@ -198,7 +220,9 @@ impl AttnKt {
         for blk in &self.blocks {
             let qn = blk.ln_q.forward(g, store, q_stream);
             let kvn = blk.ln_kv.forward(g, store, kv);
-            let att = blk.attn.forward(g, store, qn, kvn, kvn, bsz, t_len, t_len, &bias, train, rng);
+            let att = blk
+                .attn
+                .forward(g, store, qn, kvn, kvn, bsz, t_len, t_len, &bias, train, rng);
             attention_maps.push(mean_heads(g, &att.weights));
             let x1 = g.add(q_stream, att.out);
             let x1n = blk.ln_ff.forward(g, store, x1);
@@ -221,7 +245,10 @@ impl AttnKt {
         let data = g.data(probs);
         let preds = eval_positions(batch)
             .into_iter()
-            .map(|i| Prediction { prob: data[i], label: batch.correct[i] >= 0.5 })
+            .map(|i| Prediction {
+                prob: data[i],
+                label: batch.correct[i] >= 0.5,
+            })
             .collect();
         (preds, maps.into_iter().next_back().unwrap_or_default())
     }
@@ -313,7 +340,12 @@ mod tests {
             AttnVariant::Sakt,
             ds.num_questions(),
             ds.num_concepts(),
-            AttnKtConfig { dim: 16, heads: 2, lr: 3e-3, ..Default::default() },
+            AttnKtConfig {
+                dim: 16,
+                heads: 2,
+                lr: 3e-3,
+                ..Default::default()
+            },
         );
         let mut rng = SmallRng::seed_from_u64(3);
         let first = m.train_batch(&batches[0], 5.0, &mut rng);
@@ -333,7 +365,12 @@ mod tests {
             AttnVariant::Akt,
             ds.num_questions(),
             ds.num_concepts(),
-            AttnKtConfig { dim: 16, heads: 2, lr: 3e-3, ..Default::default() },
+            AttnKtConfig {
+                dim: 16,
+                heads: 2,
+                lr: 3e-3,
+                ..Default::default()
+            },
         );
         assert!(m.rasch.is_some());
         let mut rng = SmallRng::seed_from_u64(3);
@@ -353,7 +390,11 @@ mod tests {
             AttnVariant::SaktPlus,
             ds.num_questions(),
             ds.num_concepts(),
-            AttnKtConfig { dim: 16, heads: 2, ..Default::default() },
+            AttnKtConfig {
+                dim: 16,
+                heads: 2,
+                ..Default::default()
+            },
         );
         let (preds, att) = m.predict_with_attention(&batches[0]);
         assert!(!preds.is_empty());
@@ -375,13 +416,21 @@ mod tests {
             AttnVariant::Sakt,
             ds.num_questions(),
             ds.num_concepts(),
-            AttnKtConfig { dim: 16, heads: 2, ..Default::default() },
+            AttnKtConfig {
+                dim: 16,
+                heads: 2,
+                ..Default::default()
+            },
         );
         let (_, att) = m.predict_with_attention(&batches[0]);
         let t = batches[0].t_len;
         for i in 0..t {
             for j in (i + 1)..t {
-                assert!(att[i * t + j] < 1e-6, "future leak at ({i},{j}): {}", att[i * t + j]);
+                assert!(
+                    att[i * t + j] < 1e-6,
+                    "future leak at ({i},{j}): {}",
+                    att[i * t + j]
+                );
             }
         }
     }

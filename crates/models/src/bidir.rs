@@ -69,8 +69,24 @@ impl BiLstmEncoder {
         rng: &mut SmallRng,
     ) -> Self {
         BiLstmEncoder {
-            fwd: Lstm::new(store, &format!("{name}.fwd"), dim, dim, layers, dropout, rng),
-            bwd: Lstm::new(store, &format!("{name}.bwd"), dim, dim, layers, dropout, rng),
+            fwd: Lstm::new(
+                store,
+                &format!("{name}.fwd"),
+                dim,
+                dim,
+                layers,
+                dropout,
+                rng,
+            ),
+            bwd: Lstm::new(
+                store,
+                &format!("{name}.bwd"),
+                dim,
+                dim,
+                layers,
+                dropout,
+                rng,
+            ),
             dim,
             forward_only: false,
         }
@@ -101,9 +117,11 @@ impl BiEncoder for BiLstmEncoder {
         // The validity gate keeps padding (which the reverse pass meets
         // first) from corrupting the state.
         let out_f =
-            self.fwd.forward_masked(g, store, a, batch, t_len, false, Some(valid), train, rng);
+            self.fwd
+                .forward_masked(g, store, a, batch, t_len, false, Some(valid), train, rng);
         let out_b =
-            self.bwd.forward_masked(g, store, a, batch, t_len, true, Some(valid), train, rng);
+            self.bwd
+                .forward_masked(g, store, a, batch, t_len, true, Some(valid), train, rng);
         // Append a zero block so boundary positions can gather a zero state.
         let zeros = g.input(vec![0.0; batch * d], Shape::matrix(batch, d));
         let f_ext = g.concat_rows(&[out_f, zeros]);
@@ -111,13 +129,24 @@ impl BiEncoder for BiLstmEncoder {
         let zero_row = |b: usize| batch * t_len + b;
         let f_idx: Vec<usize> = (0..batch)
             .flat_map(|b| {
-                (0..t_len).map(move |t| if t == 0 { zero_row(b) } else { b * t_len + t - 1 })
+                (0..t_len).map(move |t| {
+                    if t == 0 {
+                        zero_row(b)
+                    } else {
+                        b * t_len + t - 1
+                    }
+                })
             })
             .collect();
         let b_idx: Vec<usize> = (0..batch)
             .flat_map(|b| {
-                (0..t_len)
-                    .map(move |t| if t + 1 >= t_len { zero_row(b) } else { b * t_len + t + 1 })
+                (0..t_len).map(move |t| {
+                    if t + 1 >= t_len {
+                        zero_row(b)
+                    } else {
+                        b * t_len + t + 1
+                    }
+                })
             })
             .collect();
         let h_f = g.gather_rows(f_ext, &f_idx);
@@ -194,24 +223,31 @@ impl BiAttnEncoder {
                     dropout,
                     rng,
                 ),
-                ffn: FeedForward::new(store, &format!("{name}.blk{l}.ffn"), dim, 2 * dim, dropout, rng),
+                ffn: FeedForward::new(
+                    store,
+                    &format!("{name}.blk{l}.ffn"),
+                    dim,
+                    2 * dim,
+                    dropout,
+                    rng,
+                ),
                 ln_q: LayerNorm::new(store, &format!("{name}.blk{l}.ln_q"), dim, rng),
                 ln_kv: LayerNorm::new(store, &format!("{name}.blk{l}.ln_kv"), dim, rng),
                 ln_ff: LayerNorm::new(store, &format!("{name}.blk{l}.ln_ff"), dim, rng),
             })
             .collect();
-        BiAttnEncoder { pos, blocks, dim, monotonic }
+        BiAttnEncoder {
+            pos,
+            blocks,
+            dim,
+            monotonic,
+        }
     }
 
     /// Strictly-causal additive masks plus a per-row "has any visible key"
     /// indicator (rows with no visible key get their attention output
     /// zeroed — softmax over an all-masked row would silently go uniform).
-    fn masks(
-        batch: usize,
-        t_len: usize,
-        valid: &[bool],
-        future: bool,
-    ) -> (Vec<f32>, Vec<f32>) {
+    fn masks(batch: usize, t_len: usize, valid: &[bool], future: bool) -> (Vec<f32>, Vec<f32>) {
         let mut mask = vec![0.0f32; batch * t_len * t_len];
         let mut row_ok = vec![0.0f32; batch * t_len];
         for b in 0..batch {
@@ -264,17 +300,21 @@ impl BiEncoder for BiAttnEncoder {
         };
         // expand per-row indicators over feature dims
         let expand = |ok: &[f32]| -> Vec<f32> {
-            ok.iter().flat_map(|&v| std::iter::repeat(v).take(d)).collect()
+            ok.iter()
+                .flat_map(|&v| std::iter::repeat(v).take(d))
+                .collect()
         };
         let (ok_f, ok_b) = (expand(&ok_f), expand(&ok_b));
 
         for blk in &self.blocks {
             let qn = blk.ln_q.forward(g, store, q_stream);
             let kvn = blk.ln_kv.forward(g, store, kv);
-            let att_f =
-                blk.attn_f.forward(g, store, qn, kvn, kvn, batch, t_len, t_len, &bias_f, train, rng);
-            let att_b =
-                blk.attn_b.forward(g, store, qn, kvn, kvn, batch, t_len, t_len, &bias_b, train, rng);
+            let att_f = blk.attn_f.forward(
+                g, store, qn, kvn, kvn, batch, t_len, t_len, &bias_f, train, rng,
+            );
+            let att_b = blk.attn_b.forward(
+                g, store, qn, kvn, kvn, batch, t_len, t_len, &bias_b, train, rng,
+            );
             let att_f = g.dropout_mask(att_f.out, ok_f.clone());
             let att_b = g.dropout_mask(att_b.out, ok_b.clone());
             let att = g.add(att_f, att_b);
@@ -315,8 +355,12 @@ mod tests {
         let (batch, t_len) = (1usize, 5usize);
         let valid = vec![true; t_len];
         let mut rng = SmallRng::seed_from_u64(7);
-        let base: Vec<f32> = (0..batch * t_len * d).map(|i| ((i * 37 % 13) as f32 - 6.0) / 6.0).collect();
-        let e_data: Vec<f32> = (0..batch * t_len * d).map(|i| ((i * 17 % 11) as f32 - 5.0) / 5.0).collect();
+        let base: Vec<f32> = (0..batch * t_len * d)
+            .map(|i| ((i * 37 % 13) as f32 - 6.0) / 6.0)
+            .collect();
+        let e_data: Vec<f32> = (0..batch * t_len * d)
+            .map(|i| ((i * 17 % 11) as f32 - 5.0) / 5.0)
+            .collect();
 
         let run = |a_data: &[f32], rng: &mut SmallRng| -> Vec<f32> {
             let mut g = Graph::new();
@@ -347,7 +391,10 @@ mod tests {
             let moved = (0..t_len * d)
                 .filter(|&k| k / d != i)
                 .any(|k| (h0[k] - h1[k]).abs() > 1e-4);
-            assert!(moved, "perturbing a_{i} changed nothing — encoder ignores inputs");
+            assert!(
+                moved,
+                "perturbing a_{i} changed nothing — encoder ignores inputs"
+            );
         }
     }
 
@@ -456,8 +503,14 @@ mod tests {
         store.register("pad", Shape::vector(1), Init::Zeros, &mut rng);
         let (batch, t_len) = (2usize, 3usize);
         let mut g = Graph::new();
-        let e = g.input(vec![0.1; batch * t_len * d], Shape::matrix(batch * t_len, d));
-        let a = g.input(vec![0.2; batch * t_len * d], Shape::matrix(batch * t_len, d));
+        let e = g.input(
+            vec![0.1; batch * t_len * d],
+            Shape::matrix(batch * t_len, d),
+        );
+        let a = g.input(
+            vec![0.2; batch * t_len * d],
+            Shape::matrix(batch * t_len, d),
+        );
         let valid = vec![true; batch * t_len];
         let h = enc.encode(&mut g, &store, e, a, batch, t_len, &valid, false, &mut rng);
         assert_eq!(g.shape(h).0, vec![batch * t_len, d]);

@@ -23,7 +23,12 @@ pub struct BktParams {
 
 impl Default for BktParams {
     fn default() -> Self {
-        BktParams { p_init: 0.4, p_learn: 0.15, p_guess: 0.25, p_slip: 0.1 }
+        BktParams {
+            p_init: 0.4,
+            p_learn: 0.15,
+            p_guess: 0.25,
+            p_slip: 0.1,
+        }
     }
 }
 
@@ -131,7 +136,10 @@ fn em_step(p: &BktParams, seqs: &[Vec<bool>]) -> BktParams {
         };
         let trans = [[1.0 - p.p_learn, p.p_learn], [0.0, 1.0]];
         let mut alpha = vec![[0.0f64; 2]; t_len];
-        alpha[0] = [(1.0 - p.p_init) * emis(0, seq[0]), p.p_init * emis(1, seq[0])];
+        alpha[0] = [
+            (1.0 - p.p_init) * emis(0, seq[0]),
+            p.p_init * emis(1, seq[0]),
+        ];
         for t in 1..t_len {
             for s in 0..2 {
                 let mut a = 0.0;
@@ -180,8 +188,7 @@ fn em_step(p: &BktParams, seqs: &[Vec<bool>]) -> BktParams {
             }
             if t + 1 < t_len {
                 // ξ(unknown → known)
-                let xi_num =
-                    alpha[t][0] * trans[0][1] * emis(1, seq[t + 1]) * beta[t + 1][1];
+                let xi_num = alpha[t][0] * trans[0][1] * emis(1, seq[t + 1]) * beta[t + 1][1];
                 let xi_den: f64 = (0..2)
                     .flat_map(|a| (0..2).map(move |b| (a, b)))
                     .map(|(a, b)| alpha[t][a] * trans[a][b] * emis(b, seq[t + 1]) * beta[t + 1][b])
@@ -206,11 +213,43 @@ fn em_step(p: &BktParams, seqs: &[Vec<bool>]) -> BktParams {
         }
     };
     BktParams {
-        p_init: clamp(if init_den > 0.0 { init_num / init_den } else { p.p_init }, 0.01, 0.99),
-        p_learn: clamp(if learn_den > 0.0 { learn_num / learn_den } else { p.p_learn }, 0.01, 0.8),
+        p_init: clamp(
+            if init_den > 0.0 {
+                init_num / init_den
+            } else {
+                p.p_init
+            },
+            0.01,
+            0.99,
+        ),
+        p_learn: clamp(
+            if learn_den > 0.0 {
+                learn_num / learn_den
+            } else {
+                p.p_learn
+            },
+            0.01,
+            0.8,
+        ),
         // keep guess/slip in the identifiable region (standard BKT practice)
-        p_guess: clamp(if guess_den > 0.0 { guess_num / guess_den } else { p.p_guess }, 0.01, 0.5),
-        p_slip: clamp(if slip_den_full > 0.0 { slip_num / slip_den_full } else { p.p_slip }, 0.01, 0.4),
+        p_guess: clamp(
+            if guess_den > 0.0 {
+                guess_num / guess_den
+            } else {
+                p.p_guess
+            },
+            0.01,
+            0.5,
+        ),
+        p_slip: clamp(
+            if slip_den_full > 0.0 {
+                slip_num / slip_den_full
+            } else {
+                p.p_slip
+            },
+            0.01,
+            0.4,
+        ),
     }
 }
 
@@ -244,11 +283,19 @@ impl KtModel for Bkt {
             })
             .collect();
         self.fit_em(&sequences, qm.num_concepts(), 10);
-        FitReport { epochs_run: 10, best_epoch: 10, best_val_auc: f64::NAN, train_losses: vec![] }
+        FitReport {
+            epochs_run: 10,
+            best_epoch: 10,
+            best_val_auc: f64::NAN,
+            train_losses: vec![],
+        }
     }
 
     fn predict(&self, batch: &Batch) -> Vec<Prediction> {
-        let qm = self.qm_cache.as_ref().expect("Bkt::fit must run before predict");
+        let qm = self
+            .qm_cache
+            .as_ref()
+            .expect("Bkt::fit must run before predict");
         let mut out = Vec::new();
         for b in 0..batch.batch {
             let len = batch.seq_len(b);
@@ -267,17 +314,27 @@ impl KtModel for Bkt {
                     let p: f64 = ks
                         .iter()
                         .map(|&k| {
-                            let params =
-                                self.per_concept.get(k as usize).copied().unwrap_or_default();
+                            let params = self
+                                .per_concept
+                                .get(k as usize)
+                                .copied()
+                                .unwrap_or_default();
                             params.p_correct(known[k as usize])
                         })
                         .sum::<f64>()
                         / ks.len() as f64;
-                    out.push(Prediction { prob: p as f32, label: batch.correct[i] >= 0.5 });
+                    out.push(Prediction {
+                        prob: p as f32,
+                        label: batch.correct[i] >= 0.5,
+                    });
                 }
                 let correct = batch.correct[i] >= 0.5;
                 for &k in ks {
-                    let params = self.per_concept.get(k as usize).copied().unwrap_or_default();
+                    let params = self
+                        .per_concept
+                        .get(k as usize)
+                        .copied()
+                        .unwrap_or_default();
                     known[k as usize] = params.update(known[k as usize], correct);
                 }
             }
@@ -313,7 +370,12 @@ mod tests {
     #[test]
     fn em_recovers_learning_on_synthetic_mastery_data() {
         // Students who start unknown, learn fast, rarely slip.
-        let truth = BktParams { p_init: 0.1, p_learn: 0.4, p_guess: 0.2, p_slip: 0.05 };
+        let truth = BktParams {
+            p_init: 0.1,
+            p_learn: 0.4,
+            p_guess: 0.2,
+            p_slip: 0.05,
+        };
         let mut seqs = Vec::new();
         let mut state = 0x9e3779b97f4a7c15u64;
         let mut rand01 = move || {
@@ -326,7 +388,11 @@ mod tests {
             let mut known = rand01() < truth.p_init;
             let mut seq = Vec::new();
             for _ in 0..15 {
-                let p = if known { 1.0 - truth.p_slip } else { truth.p_guess };
+                let p = if known {
+                    1.0 - truth.p_slip
+                } else {
+                    truth.p_guess
+                };
                 seq.push(rand01() < p);
                 if !known && rand01() < truth.p_learn {
                     known = true;
@@ -338,7 +404,11 @@ mod tests {
         for _ in 0..30 {
             params = em_step(&params, &seqs);
         }
-        assert!((params.p_learn - truth.p_learn).abs() < 0.15, "p_learn {}", params.p_learn);
+        assert!(
+            (params.p_learn - truth.p_learn).abs() < 0.15,
+            "p_learn {}",
+            params.p_learn
+        );
         assert!(params.p_init < 0.35, "p_init {}", params.p_init);
         assert!(params.p_slip < 0.15, "p_slip {}", params.p_slip);
     }

@@ -112,7 +112,10 @@ impl KtEmbedding {
         let mut parts = vec![e];
         let mut index: Vec<usize> = (0..n).collect();
         for (pi, probe) in probes.iter().enumerate() {
-            assert!(!probe.questions.is_empty(), "probe concept has no questions");
+            assert!(
+                !probe.questions.is_empty(),
+                "probe concept has no questions"
+            );
             let qs = g.gather_rows(q_table, &probe.questions);
             let q_mean = g.segment_mean_rows(qs, &[probe.questions.len()]);
             let k_row = g.gather_rows(k_table, &[probe.concept]);
@@ -148,7 +151,11 @@ impl KtEmbedding {
 
 /// Response categories of a factual batch (no masking).
 pub fn factual_cats(batch: &Batch) -> Vec<ResponseCat> {
-    batch.correct.iter().map(|&c| ResponseCat::from_correct(c >= 0.5)).collect()
+    batch
+        .correct
+        .iter()
+        .map(|&c| ResponseCat::from_correct(c >= 0.5))
+        .collect()
 }
 
 /// Positions eligible for next-step evaluation: valid and not the first
@@ -184,8 +191,18 @@ mod tests {
 
     fn toy_batch() -> (Batch, QMatrix) {
         let qm = QMatrix::new(vec![vec![0], vec![0, 1], vec![1]], 2);
-        let w1 = Window { student: 0, questions: vec![0, 1, 2, 0], correct: vec![1, 0, 1, 0], len: 4 };
-        let w2 = Window { student: 1, questions: vec![2, 1, 0, 0], correct: vec![0, 1, 0, 0], len: 2 };
+        let w1 = Window {
+            student: 0,
+            questions: vec![0, 1, 2, 0],
+            correct: vec![1, 0, 1, 0],
+            len: 4,
+        };
+        let w2 = Window {
+            student: 1,
+            questions: vec![2, 1, 0, 0],
+            correct: vec![0, 1, 0, 0],
+            len: 2,
+        };
         (Batch::from_windows(&[&w1, &w2], &qm), qm)
     }
 

@@ -9,7 +9,9 @@
 //! preserves the model's measured behaviour: strong gains on datasets with
 //! informative per-question statistics.
 
-use crate::common::{eval_positions, eval_weights, factual_cats, KtEmbedding, Prediction, ResponseCat};
+use crate::common::{
+    eval_positions, eval_weights, factual_cats, KtEmbedding, Prediction, ResponseCat,
+};
 use crate::model::{sgd_fit, FitReport, KtModel, SgdModel, TrainConfig};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
@@ -32,7 +34,13 @@ pub struct DimktConfig {
 
 impl Default for DimktConfig {
     fn default() -> Self {
-        DimktConfig { dim: 32, dropout: 0.2, lr: 1e-3, l2: 1e-5, seed: 0 }
+        DimktConfig {
+            dim: 32,
+            dropout: 0.2,
+            lr: 1e-3,
+            l2: 1e-5,
+            seed: 0,
+        }
     }
 }
 
@@ -71,7 +79,11 @@ impl DifficultyTables {
                 total_all += 1.0;
             }
         }
-        let global = if total_all > 0.0 { wrong_all / total_all } else { 0.5 };
+        let global = if total_all > 0.0 {
+            wrong_all / total_all
+        } else {
+            0.5
+        };
         let bucket = |wrong: f64, total: f64| -> usize {
             // shrink empirical rate toward the global mean (5 pseudo-counts)
             let rate = (wrong + 5.0 * global) / (total + 5.0);
@@ -84,7 +96,16 @@ impl DifficultyTables {
     }
 
     fn question_buckets(&self, batch: &Batch) -> Vec<usize> {
-        batch.questions.iter().map(|&q| self.question.get(q).copied().unwrap_or(DIFFICULTY_LEVELS / 2)).collect()
+        batch
+            .questions
+            .iter()
+            .map(|&q| {
+                self.question
+                    .get(q)
+                    .copied()
+                    .unwrap_or(DIFFICULTY_LEVELS / 2)
+            })
+            .collect()
     }
 
     fn concept_buckets(&self, batch: &Batch, qm_len: usize) -> Vec<usize> {
@@ -95,7 +116,11 @@ impl DifficultyTables {
         for &len in &batch.concept_lens {
             let mut sum = 0usize;
             for &k in &batch.concept_flat[cursor..cursor + len] {
-                sum += self.concept.get(k).copied().unwrap_or(DIFFICULTY_LEVELS / 2);
+                sum += self
+                    .concept
+                    .get(k)
+                    .copied()
+                    .unwrap_or(DIFFICULTY_LEVELS / 2);
             }
             out.push(sum / len);
             cursor += len;
@@ -152,8 +177,12 @@ impl Dimkt {
         let store = &self.store;
         let (bsz, t_len, d) = (batch.batch, batch.t_len, self.cfg.dim);
         let e = self.emb.questions(g, store, batch);
-        let qd = self.qd_emb.forward(g, store, &self.difficulty.question_buckets(batch));
-        let cd = self.cd_emb.forward(g, store, &self.difficulty.concept_buckets(batch, 0));
+        let qd = self
+            .qd_emb
+            .forward(g, store, &self.difficulty.question_buckets(batch));
+        let cd = self
+            .cd_emb
+            .forward(g, store, &self.difficulty.concept_buckets(batch, 0));
         let eqd = g.concat_cols(e, qd);
         let eqdcd = g.concat_cols(eqd, cd);
         let v = self.input_proj.forward(g, store, eqdcd); // [B*T, d]
@@ -189,8 +218,9 @@ impl Dimkt {
         }
         // b-major prior states
         let stacked = g.concat_rows(&states);
-        let perm: Vec<usize> =
-            (0..bsz).flat_map(|b| (0..t_len).map(move |t| t * bsz + b)).collect();
+        let perm: Vec<usize> = (0..bsz)
+            .flat_map(|b| (0..t_len).map(move |t| t * bsz + b))
+            .collect();
         let k_prev = g.gather_rows(stacked, &perm);
 
         let x = g.concat_cols(k_prev, v);
@@ -248,7 +278,10 @@ impl KtModel for Dimkt {
         let data = g.data(probs);
         eval_positions(batch)
             .into_iter()
-            .map(|i| Prediction { prob: data[i], label: batch.correct[i] >= 0.5 })
+            .map(|i| Prediction {
+                prob: data[i],
+                label: batch.correct[i] >= 0.5,
+            })
             .collect()
     }
 }
@@ -280,7 +313,11 @@ mod tests {
         let mut m = Dimkt::new(
             ds.num_questions(),
             ds.num_concepts(),
-            DimktConfig { dim: 16, lr: 3e-3, ..Default::default() },
+            DimktConfig {
+                dim: 16,
+                lr: 3e-3,
+                ..Default::default()
+            },
         );
         m.difficulty = DifficultyTables::fit(&ws, &idx, &ds.q_matrix);
         let batches = make_batches(&ws, &idx, &ds.q_matrix, 8);

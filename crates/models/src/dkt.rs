@@ -24,7 +24,14 @@ pub struct DktConfig {
 
 impl Default for DktConfig {
     fn default() -> Self {
-        DktConfig { dim: 32, layers: 1, dropout: 0.2, lr: 1e-3, l2: 1e-5, seed: 0 }
+        DktConfig {
+            dim: 32,
+            layers: 1,
+            dropout: 0.2,
+            lr: 1e-3,
+            l2: 1e-5,
+            seed: 0,
+        }
     }
 }
 
@@ -46,7 +53,14 @@ impl Dkt {
         let lstm = Lstm::new(&mut store, "lstm", d, d, cfg.layers, cfg.dropout, &mut rng);
         let head = PredictionMlp::new(&mut store, "head", 2 * d, d, cfg.dropout, &mut rng);
         let adam = Adam::new(cfg.lr).with_l2(cfg.l2);
-        Dkt { cfg, emb, lstm, head, store, adam }
+        Dkt {
+            cfg,
+            emb,
+            lstm,
+            head,
+            store,
+            adam,
+        }
     }
 
     /// Next-step logits for all positions `[B*T, 1]`; position `(b, t)` uses
@@ -56,7 +70,16 @@ impl Dkt {
         let e = self.emb.questions(g, &self.store, batch);
         let cats = factual_cats(batch);
         let a = self.emb.interactions(g, &self.store, e, &cats);
-        let h = self.lstm.forward(g, &self.store, a, batch.batch, batch.t_len, false, train, rng);
+        let h = self.lstm.forward(
+            g,
+            &self.store,
+            a,
+            batch.batch,
+            batch.t_len,
+            false,
+            train,
+            rng,
+        );
         // shift hidden states one step right
         let prev_idx: Vec<usize> = (0..batch.batch)
             .flat_map(|b| {
@@ -118,7 +141,10 @@ impl KtModel for Dkt {
         let data = g.data(probs);
         eval_positions(batch)
             .into_iter()
-            .map(|i| Prediction { prob: data[i], label: batch.correct[i] >= 0.5 })
+            .map(|i| Prediction {
+                prob: data[i],
+                label: batch.correct[i] >= 0.5,
+            })
             .collect()
     }
 }
@@ -137,7 +163,11 @@ mod tests {
         let mut model = Dkt::new(
             ds.num_questions(),
             ds.num_concepts(),
-            DktConfig { dim: 16, lr: 3e-3, ..Default::default() },
+            DktConfig {
+                dim: 16,
+                lr: 3e-3,
+                ..Default::default()
+            },
         );
         let batches = make_batches(&ws, &idx, &ds.q_matrix, 8);
         let mut rng = SmallRng::seed_from_u64(1);
@@ -146,7 +176,10 @@ mod tests {
         for _ in 0..30 {
             last = model.train_batch(&batches[0], 5.0, &mut rng);
         }
-        assert!(last < first_loss, "loss should decrease: {first_loss} -> {last}");
+        assert!(
+            last < first_loss,
+            "loss should decrease: {first_loss} -> {last}"
+        );
     }
 
     #[test]
@@ -160,12 +193,24 @@ mod tests {
         let mut model = Dkt::new(
             ds.num_questions(),
             ds.num_concepts(),
-            DktConfig { dim: 16, lr: 2e-3, ..Default::default() },
+            DktConfig {
+                dim: 16,
+                lr: 2e-3,
+                ..Default::default()
+            },
         );
-        let cfg =
-            TrainConfig { max_epochs: 12, patience: 6, batch_size: 16, ..Default::default() };
+        let cfg = TrainConfig {
+            max_epochs: 12,
+            patience: 6,
+            batch_size: 16,
+            ..Default::default()
+        };
         let report = model.fit(&ws, &train, &val, &ds.q_matrix, &cfg);
-        assert!(report.best_val_auc > 0.54, "val auc {}", report.best_val_auc);
+        assert!(
+            report.best_val_auc > 0.54,
+            "val auc {}",
+            report.best_val_auc
+        );
         let test_batches = make_batches(&ws, &test, &ds.q_matrix, 16);
         let (auc, _) = evaluate(&model, &test_batches);
         assert!(auc > 0.54, "test auc {auc}");

@@ -37,7 +37,15 @@ pub struct DkvmnConfig {
 
 impl Default for DkvmnConfig {
     fn default() -> Self {
-        DkvmnConfig { dim: 32, value_dim: 32, slots: 10, dropout: 0.2, lr: 2e-3, l2: 1e-5, seed: 0 }
+        DkvmnConfig {
+            dim: 32,
+            value_dim: 32,
+            slots: 10,
+            dropout: 0.2,
+            lr: 2e-3,
+            l2: 1e-5,
+            seed: 0,
+        }
     }
 }
 
@@ -62,12 +70,23 @@ impl Dkvmn {
         let (d, dv, n) = (cfg.dim, cfg.value_dim, cfg.slots);
         let emb = KtEmbedding::new(&mut store, "emb", num_questions, num_concepts, d, &mut rng);
         let key_memory = store.register("mem.key", Shape::matrix(n, d), Init::Xavier, &mut rng);
-        let value_init = store.register("mem.v0", Shape::matrix(n, dv), Init::Uniform(0.1), &mut rng);
+        let value_init =
+            store.register("mem.v0", Shape::matrix(n, dv), Init::Uniform(0.1), &mut rng);
         let erase = Linear::new(&mut store, "erase", d, dv, &mut rng);
         let add = Linear::new(&mut store, "add", d, dv, &mut rng);
         let head = PredictionMlp::new(&mut store, "head", dv + d, d, cfg.dropout, &mut rng);
         let adam = Adam::new(cfg.lr).with_l2(cfg.l2);
-        Dkvmn { cfg, emb, key_memory, value_init, erase, add, head, store, adam }
+        Dkvmn {
+            cfg,
+            emb,
+            key_memory,
+            value_init,
+            erase,
+            add,
+            head,
+            store,
+            adam,
+        }
     }
 
     /// Next-step logits `[B*T, 1]`; position t reads memory written by
@@ -114,15 +133,16 @@ impl Dkvmn {
             let a3 = g.reshape(a_vec, Shape::cube(bsz, 1, dv));
             let outer_e = g.bmm(w_col, e3); // [B, n, dv]
             let outer_a = g.bmm(w_col, a3); // [B, n, dv]
-            // M ← M ∘ (1 − w e) + w a  ≡  M − M ∘ (w e) + w a
+                                            // M ← M ∘ (1 − w e) + w a  ≡  M − M ∘ (w e) + w a
             let m_we = g.mul(mv3, outer_e);
             let kept = g.sub(mv3, m_we);
             mv3 = g.add(kept, outer_a);
         }
         // b-major reads [B*T, dv]
         let stacked = g.concat_rows(&reads);
-        let perm: Vec<usize> =
-            (0..bsz).flat_map(|b| (0..t_len).map(move |t| t * bsz + b)).collect();
+        let perm: Vec<usize> = (0..bsz)
+            .flat_map(|b| (0..t_len).map(move |t| t * bsz + b))
+            .collect();
         mv = g.gather_rows(stacked, &perm);
 
         let x = g.concat_cols(mv, e);
@@ -178,7 +198,10 @@ impl KtModel for Dkvmn {
         let data = g.data(probs);
         eval_positions(batch)
             .into_iter()
-            .map(|i| Prediction { prob: data[i], label: batch.correct[i] >= 0.5 })
+            .map(|i| Prediction {
+                prob: data[i],
+                label: batch.correct[i] >= 0.5,
+            })
             .collect()
     }
 }
@@ -197,7 +220,13 @@ mod tests {
         let mut m = Dkvmn::new(
             ds.num_questions(),
             ds.num_concepts(),
-            DkvmnConfig { dim: 16, value_dim: 16, slots: 5, lr: 3e-3, ..Default::default() },
+            DkvmnConfig {
+                dim: 16,
+                value_dim: 16,
+                slots: 5,
+                lr: 3e-3,
+                ..Default::default()
+            },
         );
         let mut rng = SmallRng::seed_from_u64(3);
         let first = m.train_batch(&batches[0], 5.0, &mut rng);
@@ -217,7 +246,13 @@ mod tests {
         let m = Dkvmn::new(
             ds.num_questions(),
             ds.num_concepts(),
-            DkvmnConfig { dim: 16, value_dim: 16, slots: 4, dropout: 0.0, ..Default::default() },
+            DkvmnConfig {
+                dim: 16,
+                value_dim: 16,
+                slots: 4,
+                dropout: 0.0,
+                ..Default::default()
+            },
         );
         let batches = make_batches(&ws, &[0], &ds.q_matrix, 1);
         let b = &batches[0];
@@ -242,7 +277,11 @@ mod tests {
     fn predictions_are_probabilities() {
         let ds = SyntheticSpec::assist09().scaled(0.02).generate();
         let ws = windows(&ds, 10, 5);
-        let m = Dkvmn::new(ds.num_questions(), ds.num_concepts(), DkvmnConfig::default());
+        let m = Dkvmn::new(
+            ds.num_questions(),
+            ds.num_concepts(),
+            DkvmnConfig::default(),
+        );
         let batches = make_batches(&ws, &[0, 1], &ds.q_matrix, 2);
         for p in m.predict(&batches[0]) {
             assert!(p.prob > 0.0 && p.prob < 1.0);

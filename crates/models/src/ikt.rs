@@ -47,7 +47,11 @@ pub struct IktFeatures {
 
 impl IktFeatures {
     fn as_array(self) -> [usize; N_FEATURES] {
-        [self.skill_mastery, self.ability_profile, self.problem_difficulty]
+        [
+            self.skill_mastery,
+            self.ability_profile,
+            self.problem_difficulty,
+        ]
     }
 }
 
@@ -85,7 +89,11 @@ impl Ikt {
                         .sum::<f64>()
                         / ks.len() as f64;
                     let ab = ability.0 / ability.1;
-                    let diff = self.difficulty.get(q).copied().unwrap_or(self.global_difficulty);
+                    let diff = self
+                        .difficulty
+                        .get(q)
+                        .copied()
+                        .unwrap_or(self.global_difficulty);
                     out.push((
                         IktFeatures {
                             skill_mastery: bucketize(sm),
@@ -159,7 +167,8 @@ impl Ikt {
             for c in 0..2 {
                 for x in 0..BUCKETS {
                     for y in 0..BUCKETS {
-                        let pxy = (joint[c][x][y] + 0.1) / (n + 0.1 * (2 * BUCKETS * BUCKETS) as f64);
+                        let pxy =
+                            (joint[c][x][y] + 0.1) / (n + 0.1 * (2 * BUCKETS * BUCKETS) as f64);
                         let pc = (cls[c] + 1.0) / (n + 2.0);
                         let px_c = (ci[c][x] + 0.1) / (cls[c] + 0.1 * BUCKETS as f64);
                         let py_c = (cj[c][y] + 0.1) / (cls[c] + 0.1 * BUCKETS as f64);
@@ -207,9 +216,15 @@ impl Ikt {
         self.class_prior = [(cls[0] + 1.0) / (n + 2.0), (cls[1] + 1.0) / (n + 2.0)];
         self.cpt = (0..N_FEATURES)
             .map(|f| {
-                let np = if self.parents[f].is_some() { BUCKETS } else { 1 };
-                let mut counts =
-                    [vec![vec![1.0f64; BUCKETS]; np], vec![vec![1.0f64; BUCKETS]; np]];
+                let np = if self.parents[f].is_some() {
+                    BUCKETS
+                } else {
+                    1
+                };
+                let mut counts = [
+                    vec![vec![1.0f64; BUCKETS]; np],
+                    vec![vec![1.0f64; BUCKETS]; np],
+                ];
                 for (feat, label) in &samples {
                     let a = feat.as_array();
                     let pv = self.parents[f].map_or(0, |p| a[p]);
@@ -260,19 +275,30 @@ impl KtModel for Ikt {
         _cfg: &TrainConfig,
     ) -> FitReport {
         self.fit_inner(windows, train_idx, qm);
-        FitReport { epochs_run: 1, best_epoch: 1, best_val_auc: f64::NAN, train_losses: vec![] }
+        FitReport {
+            epochs_run: 1,
+            best_epoch: 1,
+            best_val_auc: f64::NAN,
+            train_losses: vec![],
+        }
     }
 
     fn predict(&self, batch: &Batch) -> Vec<Prediction> {
         // Feature extraction needs the concept tags, so predict uses the
         // Q-matrix captured during fit.
-        let qm = self.qm_cache.as_ref().expect("Ikt::fit must run before predict");
+        let qm = self
+            .qm_cache
+            .as_ref()
+            .expect("Ikt::fit must run before predict");
         let feats = self.extract(batch, qm);
         let pos = eval_positions(batch);
         debug_assert_eq!(feats.len(), pos.len());
         feats
             .into_iter()
-            .map(|(f, label)| Prediction { prob: self.posterior(f) as f32, label })
+            .map(|(f, label)| Prediction {
+                prob: self.posterior(f) as f32,
+                label,
+            })
             .collect()
     }
 }
@@ -344,8 +370,19 @@ mod tests {
         let idx: Vec<usize> = (0..ws.len()).collect();
         let mut m = Ikt::new();
         m.fit(&ws, &idx, &[], &ds.q_matrix, &TrainConfig::default());
-        let low = m.posterior(IktFeatures { skill_mastery: 0, ability_profile: 0, problem_difficulty: 2 });
-        let high = m.posterior(IktFeatures { skill_mastery: BUCKETS - 1, ability_profile: BUCKETS - 1, problem_difficulty: 2 });
-        assert!(high > low, "mastery should increase p(correct): {low} vs {high}");
+        let low = m.posterior(IktFeatures {
+            skill_mastery: 0,
+            ability_profile: 0,
+            problem_difficulty: 2,
+        });
+        let high = m.posterior(IktFeatures {
+            skill_mastery: BUCKETS - 1,
+            ability_profile: BUCKETS - 1,
+            problem_difficulty: 2,
+        });
+        assert!(
+            high > low,
+            "mastery should increase p(correct): {low} vs {high}"
+        );
     }
 }

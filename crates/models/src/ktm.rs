@@ -30,7 +30,13 @@ pub struct KtmConfig {
 
 impl Default for KtmConfig {
     fn default() -> Self {
-        KtmConfig { factors: 8, lr: 0.03, epochs: 25, l2: 1e-4, seed: 0 }
+        KtmConfig {
+            factors: 8,
+            lr: 0.03,
+            epochs: 25,
+            l2: 1e-4,
+            seed: 0,
+        }
     }
 }
 
@@ -196,14 +202,20 @@ impl KtModel for Ktm {
     }
 
     fn predict(&self, batch: &Batch) -> Vec<Prediction> {
-        let qm = self.qm_cache.as_ref().expect("Ktm::fit must run before predict");
+        let qm = self
+            .qm_cache
+            .as_ref()
+            .expect("Ktm::fit must run before predict");
         let samples = self.extract(batch, qm);
         debug_assert_eq!(samples.len(), eval_positions(batch).len());
         samples
             .into_iter()
             .map(|(feats, label)| {
                 let (logit, _) = self.forward(&feats);
-                Prediction { prob: sigmoid(logit), label }
+                Prediction {
+                    prob: sigmoid(logit),
+                    label,
+                }
             })
             .collect()
     }
@@ -234,7 +246,10 @@ mod tests {
         let ds = SyntheticSpec::assist09().scaled(0.1).generate();
         let ws = windows(&ds, 50, 5);
         let idx: Vec<usize> = (0..ws.len()).collect();
-        let mut m = Ktm::new(KtmConfig { epochs: 8, ..Default::default() });
+        let mut m = Ktm::new(KtmConfig {
+            epochs: 8,
+            ..Default::default()
+        });
         let report = m.fit(&ws, &idx, &[], &ds.q_matrix, &TrainConfig::default());
         assert!(report.train_losses.last().unwrap() < report.train_losses.first().unwrap());
     }
@@ -242,7 +257,10 @@ mod tests {
     #[test]
     fn fm_pairwise_identity_matches_naive() {
         // verify the O(k·nnz) trick against the O(nnz²) definition
-        let mut m = Ktm::new(KtmConfig { factors: 3, ..Default::default() });
+        let mut m = Ktm::new(KtmConfig {
+            factors: 3,
+            ..Default::default()
+        });
         m.n_students = 2;
         m.n_questions = 2;
         m.n_concepts = 2;

@@ -2,10 +2,10 @@
 //!
 //! Knowledge-tracing baselines and encoders for the RCKT reproduction.
 
-pub mod common;
 pub mod attn_kt;
 pub mod bidir;
 pub mod bkt;
+pub mod common;
 pub mod dimkt;
 pub mod dkt;
 pub mod dkvmn;
@@ -18,4 +18,4 @@ pub mod saint;
 
 pub use bidir::{BiAttnEncoder, BiEncoder, BiLstmEncoder};
 pub use common::{KtEmbedding, Prediction, ResponseCat};
-pub use model::{evaluate, FitReport, KtModel, SgdModel, TrainConfig};
+pub use model::{evaluate, run_fit, sgd_fit, FitReport, KtModel, SgdModel, TrainConfig};

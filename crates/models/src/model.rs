@@ -6,6 +6,7 @@ use rand::seq::SliceRandom;
 use rand::SeedableRng;
 use rckt_data::{make_batches, Batch, QMatrix, Window};
 use rckt_metrics::{accuracy, auc, EarlyStopping};
+use std::time::Instant;
 
 /// Training hyper-parameters shared by all models.
 #[derive(Clone, Debug)]
@@ -83,8 +84,91 @@ pub trait SgdModel {
     fn restore(&mut self, snapshot: &str);
 }
 
-/// Shared fit loop: epoch shuffling, early stopping on validation AUC
-/// (patience per the paper), best-weight restore.
+/// Generic epoch-loop driver shared by every trainable model: epoch
+/// shuffling, early stopping on validation AUC (patience per the paper),
+/// best-weight restore, and uniform observability (a `fit` span with
+/// `epoch`/`validate` children, `train.start`/`train.done` events, and the
+/// per-epoch [`rckt_obs::report_epoch`] record).
+///
+/// `ctx` carries the model (plus any shared state) through the hook
+/// closures, which keeps the borrows disjoint: `train_epoch` may also
+/// capture the shuffle order and batching inputs, `validate` the validation
+/// batches. The RNG is seeded once from `cfg.seed` and threaded only
+/// through `train_epoch`, so the random stream is identical to the historic
+/// inline loops (shuffle, then per-batch training draws; validation never
+/// consumes randomness).
+#[allow(clippy::too_many_arguments)]
+pub fn run_fit<C, S>(
+    ctx: &mut C,
+    model_name: &str,
+    cfg: &TrainConfig,
+    n_train: usize,
+    n_val: usize,
+    mut train_epoch: impl FnMut(&mut C, usize, &mut SmallRng) -> f32,
+    mut validate: impl FnMut(&mut C) -> (f64, f64),
+    mut snapshot: impl FnMut(&mut C) -> S,
+    mut restore: impl FnMut(&mut C, S),
+) -> FitReport {
+    let _fit_span = rckt_obs::span("fit");
+    let fit_start = Instant::now();
+    rckt_obs::report_start(model_name, n_train, n_val, cfg.max_epochs);
+    let mut rng = SmallRng::seed_from_u64(cfg.seed);
+    let mut es = EarlyStopping::new(cfg.patience);
+    let mut best: Option<S> = None;
+    let mut train_losses = Vec::new();
+    let mut epochs_run = 0;
+
+    for epoch in 0..cfg.max_epochs {
+        epochs_run = epoch + 1;
+        let epoch_start = Instant::now();
+        let mean_loss = {
+            let _s = rckt_obs::span("epoch");
+            train_epoch(ctx, epoch, &mut rng)
+        };
+        train_losses.push(mean_loss);
+
+        let (val_auc, val_acc) = {
+            let _s = rckt_obs::span("validate");
+            validate(ctx)
+        };
+        rckt_obs::report_epoch(
+            &rckt_obs::EpochReport {
+                model: model_name,
+                epoch,
+                mean_loss,
+                val_auc,
+                val_acc,
+                wall_secs: epoch_start.elapsed().as_secs_f64(),
+            },
+            cfg.verbose,
+        );
+        if es.update(val_auc) {
+            best = Some(snapshot(ctx));
+        }
+        if es.should_stop() {
+            break;
+        }
+    }
+    if let Some(s) = best {
+        restore(ctx, s);
+    }
+    rckt_obs::report_done(
+        model_name,
+        epochs_run,
+        es.best_epoch(),
+        es.best(),
+        fit_start.elapsed().as_secs_f64(),
+    );
+    FitReport {
+        epochs_run,
+        best_epoch: es.best_epoch(),
+        best_val_auc: es.best(),
+        train_losses,
+    }
+}
+
+/// Shared fit loop for [`SgdModel`]s, built on [`run_fit`]: standard
+/// whole-batch training epochs and [`evaluate`]-based validation.
 pub fn sgd_fit<M: KtModel + SgdModel>(
     model: &mut M,
     windows: &[Window],
@@ -93,48 +177,28 @@ pub fn sgd_fit<M: KtModel + SgdModel>(
     qm: &QMatrix,
     cfg: &TrainConfig,
 ) -> FitReport {
-    let mut rng = SmallRng::seed_from_u64(cfg.seed);
     let val_batches = make_batches(windows, val_idx, qm, cfg.batch_size);
-    let mut es = EarlyStopping::new(cfg.patience);
-    let mut best_snapshot: Option<String> = None;
-    let mut train_losses = Vec::new();
     let mut order = train_idx.to_vec();
-    let mut epochs_run = 0;
-
-    for epoch in 0..cfg.max_epochs {
-        epochs_run = epoch + 1;
-        order.shuffle(&mut rng);
-        let batches = make_batches(windows, &order, qm, cfg.batch_size);
-        let mut loss_sum = 0.0f64;
-        for b in &batches {
-            loss_sum += model.train_batch(b, cfg.clip_norm, &mut rng) as f64;
-        }
-        let mean_loss = (loss_sum / batches.len().max(1) as f64) as f32;
-        train_losses.push(mean_loss);
-
-        let (val_auc, val_acc) = evaluate(model, &val_batches);
-        if cfg.verbose {
-            eprintln!(
-                "[{}] epoch {epoch:>3} loss {mean_loss:.4} val auc {val_auc:.4} acc {val_acc:.4}",
-                model.name()
-            );
-        }
-        if es.update(val_auc) {
-            best_snapshot = Some(model.snapshot());
-        }
-        if es.should_stop() {
-            break;
-        }
-    }
-    if let Some(s) = best_snapshot {
-        model.restore(&s);
-    }
-    FitReport {
-        epochs_run,
-        best_epoch: es.best_epoch(),
-        best_val_auc: es.best(),
-        train_losses,
-    }
+    let name = model.name();
+    run_fit(
+        model,
+        &name,
+        cfg,
+        train_idx.len(),
+        val_idx.len(),
+        |m, _epoch, rng| {
+            order.shuffle(rng);
+            let batches = make_batches(windows, &order, qm, cfg.batch_size);
+            let mut loss_sum = 0.0f64;
+            for b in &batches {
+                loss_sum += m.train_batch(b, cfg.clip_norm, rng) as f64;
+            }
+            (loss_sum / batches.len().max(1) as f64) as f32
+        },
+        |m| evaluate(m, &val_batches),
+        |m| m.snapshot(),
+        |m, s| m.restore(&s),
+    )
 }
 
 #[cfg(test)]
@@ -162,13 +226,21 @@ mod tests {
             _cfg: &TrainConfig,
         ) -> FitReport {
             self.fitted = true;
-            FitReport { epochs_run: 1, best_epoch: 1, best_val_auc: 0.5, train_losses: vec![] }
+            FitReport {
+                epochs_run: 1,
+                best_epoch: 1,
+                best_val_auc: 0.5,
+                train_losses: vec![],
+            }
         }
 
         fn predict(&self, batch: &Batch) -> Vec<Prediction> {
             eval_positions(batch)
                 .iter()
-                .map(|&i| Prediction { prob: self.p, label: batch.correct[i] >= 0.5 })
+                .map(|&i| Prediction {
+                    prob: self.p,
+                    label: batch.correct[i] >= 0.5,
+                })
                 .collect()
         }
     }
@@ -183,7 +255,10 @@ mod tests {
             len: 4,
         };
         let batches = make_batches(&[w], &[0], &qm, 4);
-        let m = Dummy { p: 0.5, fitted: false };
+        let m = Dummy {
+            p: 0.5,
+            fitted: false,
+        };
         let (a, acc) = evaluate(&m, &batches);
         assert!((a - 0.5).abs() < 1e-9);
         // constant 0.5 >= 0.5 predicts "correct" everywhere; labels at eval

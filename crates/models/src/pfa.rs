@@ -23,7 +23,11 @@ pub struct PfaConfig {
 
 impl Default for PfaConfig {
     fn default() -> Self {
-        PfaConfig { lr: 0.05, epochs: 30, l2: 1e-4 }
+        PfaConfig {
+            lr: 0.05,
+            epochs: 30,
+            l2: 1e-4,
+        }
     }
 }
 
@@ -76,7 +80,13 @@ fn extract(batch: &Batch, qm: &QMatrix) -> Vec<(PfaFeats, bool)> {
 
 impl Pfa {
     pub fn new(cfg: PfaConfig) -> Self {
-        Pfa { cfg, beta: Vec::new(), gamma: Vec::new(), rho: Vec::new(), qm_cache: None }
+        Pfa {
+            cfg,
+            beta: Vec::new(),
+            gamma: Vec::new(),
+            rho: Vec::new(),
+            qm_cache: None,
+        }
     }
 
     fn logit(&self, feats: &PfaFeats) -> f32 {
@@ -126,12 +136,10 @@ impl KtModel for Pfa {
                 let err = p - y; // d(BCE)/d(logit)
                 loss += -((if *label { p } else { 1.0 - p }).max(1e-7).ln()) as f64;
                 for &(k, s, f) in feats {
-                    self.beta[k] -=
-                        self.cfg.lr * (err + self.cfg.l2 * self.beta[k]);
+                    self.beta[k] -= self.cfg.lr * (err + self.cfg.l2 * self.beta[k]);
                     self.gamma[k] -=
                         self.cfg.lr * (err * (1.0 + s).ln() + self.cfg.l2 * self.gamma[k]);
-                    self.rho[k] -=
-                        self.cfg.lr * (err * (1.0 + f).ln() + self.cfg.l2 * self.rho[k]);
+                    self.rho[k] -= self.cfg.lr * (err * (1.0 + f).ln() + self.cfg.l2 * self.rho[k]);
                 }
             }
             losses.push((loss / samples.len().max(1) as f64) as f32);
@@ -145,12 +153,18 @@ impl KtModel for Pfa {
     }
 
     fn predict(&self, batch: &Batch) -> Vec<Prediction> {
-        let qm = self.qm_cache.as_ref().expect("Pfa::fit must run before predict");
+        let qm = self
+            .qm_cache
+            .as_ref()
+            .expect("Pfa::fit must run before predict");
         let samples = extract(batch, qm);
         debug_assert_eq!(samples.len(), eval_positions(batch).len());
         samples
             .into_iter()
-            .map(|(feats, label)| Prediction { prob: sigmoid(self.logit(&feats)), label })
+            .map(|(feats, label)| Prediction {
+                prob: sigmoid(self.logit(&feats)),
+                label,
+            })
             .collect()
     }
 }
@@ -184,12 +198,19 @@ mod tests {
         let idx: Vec<usize> = (0..ws.len()).collect();
         let mut m = Pfa::new(PfaConfig::default());
         m.fit(&ws, &idx, &[], &ds.q_matrix, &TrainConfig::default());
-        let mean_gamma: f32 =
-            (0..ds.num_concepts()).map(|k| m.parameters(k).1).sum::<f32>() / ds.num_concepts() as f32;
-        let mean_rho: f32 =
-            (0..ds.num_concepts()).map(|k| m.parameters(k).2).sum::<f32>() / ds.num_concepts() as f32;
+        let mean_gamma: f32 = (0..ds.num_concepts())
+            .map(|k| m.parameters(k).1)
+            .sum::<f32>()
+            / ds.num_concepts() as f32;
+        let mean_rho: f32 = (0..ds.num_concepts())
+            .map(|k| m.parameters(k).2)
+            .sum::<f32>()
+            / ds.num_concepts() as f32;
         assert!(mean_gamma > 0.0, "mean γ {mean_gamma}");
-        assert!(mean_gamma > mean_rho, "success weight should exceed failure weight");
+        assert!(
+            mean_gamma > mean_rho,
+            "success weight should exceed failure weight"
+        );
     }
 
     #[test]
@@ -197,7 +218,10 @@ mod tests {
         let ds = SyntheticSpec::assist09().scaled(0.1).generate();
         let ws = windows(&ds, 50, 5);
         let idx: Vec<usize> = (0..ws.len()).collect();
-        let mut m = Pfa::new(PfaConfig { epochs: 10, ..Default::default() });
+        let mut m = Pfa::new(PfaConfig {
+            epochs: 10,
+            ..Default::default()
+        });
         let report = m.fit(&ws, &idx, &[], &ds.q_matrix, &TrainConfig::default());
         assert!(report.train_losses.last().unwrap() < report.train_losses.first().unwrap());
     }

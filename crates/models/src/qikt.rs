@@ -29,7 +29,14 @@ pub struct QiktConfig {
 
 impl Default for QiktConfig {
     fn default() -> Self {
-        QiktConfig { dim: 32, dropout: 0.2, lr: 1e-3, l2: 1e-5, aux_weight: 0.3, seed: 0 }
+        QiktConfig {
+            dim: 32,
+            dropout: 0.2,
+            lr: 1e-3,
+            l2: 1e-5,
+            aux_weight: 0.3,
+            seed: 0,
+        }
     }
 }
 
@@ -61,21 +68,40 @@ impl Qikt {
         let d = cfg.dim;
         let emb = KtEmbedding::new(&mut store, "emb", num_questions, num_concepts, d, &mut rng);
         let lstm = Lstm::new(&mut store, "lstm", d, d, 1, cfg.dropout, &mut rng);
-        let head_acquisition = PredictionMlp::new(&mut store, "ka", 2 * d, d, cfg.dropout, &mut rng);
+        let head_acquisition =
+            PredictionMlp::new(&mut store, "ka", 2 * d, d, cfg.dropout, &mut rng);
         let head_mastery = PredictionMlp::new(&mut store, "km", d, d, cfg.dropout, &mut rng);
         let head_question = PredictionMlp::new(&mut store, "kq", d, d, cfg.dropout, &mut rng);
         let combine = store.register("combine", Shape::matrix(3, 1), Init::Ones, &mut rng);
         let adam = Adam::new(cfg.lr).with_l2(cfg.l2);
-        Qikt { cfg, emb, lstm, head_acquisition, head_mastery, head_question, combine, store, adam }
+        Qikt {
+            cfg,
+            emb,
+            lstm,
+            head_acquisition,
+            head_mastery,
+            head_question,
+            combine,
+            store,
+            adam,
+        }
     }
 
-    fn forward(&self, g: &mut Graph, batch: &Batch, train: bool, rng: &mut SmallRng) -> QiktForward {
+    fn forward(
+        &self,
+        g: &mut Graph,
+        batch: &Batch,
+        train: bool,
+        rng: &mut SmallRng,
+    ) -> QiktForward {
         let store = &self.store;
         let (bsz, t_len) = (batch.batch, batch.t_len);
         let e = self.emb.questions(g, store, batch);
         let cats = factual_cats(batch);
         let a = self.emb.interactions(g, store, e, &cats);
-        let h = self.lstm.forward(g, store, a, bsz, t_len, false, train, rng);
+        let h = self
+            .lstm
+            .forward(g, store, a, bsz, t_len, false, train, rng);
         let prev_idx: Vec<usize> = (0..bsz)
             .flat_map(|b| (0..t_len).map(move |t| b * t_len + t.saturating_sub(1)))
             .collect();
@@ -90,7 +116,12 @@ impl Qikt {
         let amq = g.concat_cols(am, question); // [B*T, 3]
         let w = store.leaf(g, self.combine);
         let final_logits = g.matmul(amq, w); // [B*T, 1]
-        QiktForward { final_logits, acquisition, mastery, question }
+        QiktForward {
+            final_logits,
+            acquisition,
+            mastery,
+            question,
+        }
     }
 
     /// The three interpretable component probabilities per position
@@ -102,8 +133,15 @@ impl Qikt {
         let pa = g.sigmoid(f.acquisition);
         let pm = g.sigmoid(f.mastery);
         let pq = g.sigmoid(f.question);
-        let (pa, pm, pq) = (g.data(pa).to_vec(), g.data(pm).to_vec(), g.data(pq).to_vec());
-        eval_positions(batch).into_iter().map(|i| (pa[i], pm[i], pq[i])).collect()
+        let (pa, pm, pq) = (
+            g.data(pa).to_vec(),
+            g.data(pm).to_vec(),
+            g.data(pq).to_vec(),
+        );
+        eval_positions(batch)
+            .into_iter()
+            .map(|i| (pa[i], pm[i], pq[i]))
+            .collect()
     }
 }
 
@@ -160,7 +198,10 @@ impl KtModel for Qikt {
         let data = g.data(probs);
         eval_positions(batch)
             .into_iter()
-            .map(|i| Prediction { prob: data[i], label: batch.correct[i] >= 0.5 })
+            .map(|i| Prediction {
+                prob: data[i],
+                label: batch.correct[i] >= 0.5,
+            })
             .collect()
     }
 }
@@ -179,7 +220,11 @@ mod tests {
         let mut m = Qikt::new(
             ds.num_questions(),
             ds.num_concepts(),
-            QiktConfig { dim: 16, lr: 3e-3, ..Default::default() },
+            QiktConfig {
+                dim: 16,
+                lr: 3e-3,
+                ..Default::default()
+            },
         );
         let mut rng = SmallRng::seed_from_u64(3);
         let first = m.train_batch(&batches[0], 5.0, &mut rng);

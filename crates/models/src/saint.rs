@@ -81,17 +81,55 @@ impl Saint {
         let pos = PositionalEmbedding::new(&mut store, "pos", cfg.max_len, d, &mut rng);
         let enc = (0..cfg.layers)
             .map(|l| EncBlock {
-                attn: MultiHeadAttention::new(&mut store, &format!("enc{l}.attn"), d, cfg.heads, false, cfg.dropout, &mut rng),
-                ffn: FeedForward::new(&mut store, &format!("enc{l}.ffn"), d, 2 * d, cfg.dropout, &mut rng),
+                attn: MultiHeadAttention::new(
+                    &mut store,
+                    &format!("enc{l}.attn"),
+                    d,
+                    cfg.heads,
+                    false,
+                    cfg.dropout,
+                    &mut rng,
+                ),
+                ffn: FeedForward::new(
+                    &mut store,
+                    &format!("enc{l}.ffn"),
+                    d,
+                    2 * d,
+                    cfg.dropout,
+                    &mut rng,
+                ),
                 ln1: LayerNorm::new(&mut store, &format!("enc{l}.ln1"), d, &mut rng),
                 ln2: LayerNorm::new(&mut store, &format!("enc{l}.ln2"), d, &mut rng),
             })
             .collect();
         let dec = (0..cfg.layers)
             .map(|l| DecBlock {
-                self_attn: MultiHeadAttention::new(&mut store, &format!("dec{l}.self"), d, cfg.heads, false, cfg.dropout, &mut rng),
-                cross_attn: MultiHeadAttention::new(&mut store, &format!("dec{l}.cross"), d, cfg.heads, false, cfg.dropout, &mut rng),
-                ffn: FeedForward::new(&mut store, &format!("dec{l}.ffn"), d, 2 * d, cfg.dropout, &mut rng),
+                self_attn: MultiHeadAttention::new(
+                    &mut store,
+                    &format!("dec{l}.self"),
+                    d,
+                    cfg.heads,
+                    false,
+                    cfg.dropout,
+                    &mut rng,
+                ),
+                cross_attn: MultiHeadAttention::new(
+                    &mut store,
+                    &format!("dec{l}.cross"),
+                    d,
+                    cfg.heads,
+                    false,
+                    cfg.dropout,
+                    &mut rng,
+                ),
+                ffn: FeedForward::new(
+                    &mut store,
+                    &format!("dec{l}.ffn"),
+                    d,
+                    2 * d,
+                    cfg.dropout,
+                    &mut rng,
+                ),
                 ln1: LayerNorm::new(&mut store, &format!("dec{l}.ln1"), d, &mut rng),
                 ln2: LayerNorm::new(&mut store, &format!("dec{l}.ln2"), d, &mut rng),
                 ln3: LayerNorm::new(&mut store, &format!("dec{l}.ln3"), d, &mut rng),
@@ -99,7 +137,16 @@ impl Saint {
             .collect();
         let head = PredictionMlp::new(&mut store, "head", 2 * d, d, cfg.dropout, &mut rng);
         let adam = Adam::new(cfg.lr).with_l2(cfg.l2);
-        Saint { cfg, emb, pos, enc, dec, head, store, adam }
+        Saint {
+            cfg,
+            emb,
+            pos,
+            enc,
+            dec,
+            head,
+            store,
+            adam,
+        }
     }
 
     /// Next-step logits `[B*T, 1]` (position `t = 0` masked by the caller):
@@ -118,7 +165,9 @@ impl Saint {
         let a_prev = g.gather_rows(a, &shift_idx);
         let mut zero_first = vec![1.0f32; bsz * t_len * d];
         for b in 0..bsz {
-            zero_first[b * t_len * d..b * t_len * d + d].iter_mut().for_each(|v| *v = 0.0);
+            zero_first[b * t_len * d..b * t_len * d + d]
+                .iter_mut()
+                .for_each(|v| *v = 0.0);
         }
         let a_prev = g.dropout_mask(a_prev, zero_first);
 
@@ -128,14 +177,22 @@ impl Saint {
 
         // causal-inclusive masks (+ padding) for both streams
         let mut mask = causal_mask(bsz, t_len);
-        for (m, pm) in mask.iter_mut().zip(padding_mask(bsz, t_len, t_len, &batch.valid)) {
+        for (m, pm) in mask
+            .iter_mut()
+            .zip(padding_mask(bsz, t_len, t_len, &batch.valid))
+        {
             *m += pm;
         }
-        let bias = AttentionBias { mask: Some(mask), distances: None };
+        let bias = AttentionBias {
+            mask: Some(mask),
+            distances: None,
+        };
 
         for blk in &self.enc {
             let xn = blk.ln1.forward(g, store, enc_x);
-            let att = blk.attn.forward(g, store, xn, xn, xn, bsz, t_len, t_len, &bias, train, rng);
+            let att = blk
+                .attn
+                .forward(g, store, xn, xn, xn, bsz, t_len, t_len, &bias, train, rng);
             let x1 = g.add(enc_x, att.out);
             let x1n = blk.ln2.forward(g, store, x1);
             let ff = blk.ffn.forward(g, store, x1n, train, rng);
@@ -143,12 +200,15 @@ impl Saint {
         }
         for blk in &self.dec {
             let xn = blk.ln1.forward(g, store, dec_x);
-            let att = blk.self_attn.forward(g, store, xn, xn, xn, bsz, t_len, t_len, &bias, train, rng);
+            let att = blk
+                .self_attn
+                .forward(g, store, xn, xn, xn, bsz, t_len, t_len, &bias, train, rng);
             let x1 = g.add(dec_x, att.out);
             let x1n = blk.ln2.forward(g, store, x1);
             let enc_n = blk.ln2.forward(g, store, enc_x);
-            let cross =
-                blk.cross_attn.forward(g, store, x1n, enc_n, enc_n, bsz, t_len, t_len, &bias, train, rng);
+            let cross = blk.cross_attn.forward(
+                g, store, x1n, enc_n, enc_n, bsz, t_len, t_len, &bias, train, rng,
+            );
             let x2 = g.add(x1, cross.out);
             let x2n = blk.ln3.forward(g, store, x2);
             let ff = blk.ffn.forward(g, store, x2n, train, rng);
@@ -207,7 +267,10 @@ impl KtModel for Saint {
         let data = g.data(probs);
         eval_positions(batch)
             .into_iter()
-            .map(|i| Prediction { prob: data[i], label: batch.correct[i] >= 0.5 })
+            .map(|i| Prediction {
+                prob: data[i],
+                label: batch.correct[i] >= 0.5,
+            })
             .collect()
     }
 }
@@ -226,7 +289,12 @@ mod tests {
         let mut m = Saint::new(
             ds.num_questions(),
             ds.num_concepts(),
-            SaintConfig { dim: 16, heads: 2, lr: 3e-3, ..Default::default() },
+            SaintConfig {
+                dim: 16,
+                heads: 2,
+                lr: 3e-3,
+                ..Default::default()
+            },
         );
         let mut rng = SmallRng::seed_from_u64(3);
         let first = m.train_batch(&batches[0], 5.0, &mut rng);
@@ -246,7 +314,12 @@ mod tests {
         let m = Saint::new(
             ds.num_questions(),
             ds.num_concepts(),
-            SaintConfig { dim: 16, heads: 2, dropout: 0.0, ..Default::default() },
+            SaintConfig {
+                dim: 16,
+                heads: 2,
+                dropout: 0.0,
+                ..Default::default()
+            },
         );
         let batches = make_batches(&ws, &[0], &ds.q_matrix, 1);
         let b = &batches[0];
@@ -269,7 +342,11 @@ mod tests {
     fn saint_predictions_are_probabilities() {
         let ds = SyntheticSpec::assist09().scaled(0.02).generate();
         let ws = windows(&ds, 10, 5);
-        let m = Saint::new(ds.num_questions(), ds.num_concepts(), SaintConfig::default());
+        let m = Saint::new(
+            ds.num_questions(),
+            ds.num_concepts(),
+            SaintConfig::default(),
+        );
         let batches = make_batches(&ws, &[0, 1], &ds.q_matrix, 2);
         for p in m.predict(&batches[0]) {
             assert!(p.prob > 0.0 && p.prob < 1.0);

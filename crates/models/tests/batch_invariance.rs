@@ -44,7 +44,14 @@ fn check_invariance(model: &dyn KtModel, ds: &rckt_data::Dataset, ws: &[Window])
 #[test]
 fn dkt_batch_invariant() {
     let (ds, ws) = setup();
-    let m = Dkt::new(ds.num_questions(), ds.num_concepts(), DktConfig { dim: 16, ..Default::default() });
+    let m = Dkt::new(
+        ds.num_questions(),
+        ds.num_concepts(),
+        DktConfig {
+            dim: 16,
+            ..Default::default()
+        },
+    );
     check_invariance(&m, &ds, &ws);
 }
 
@@ -55,7 +62,11 @@ fn sakt_batch_invariant() {
         AttnVariant::Sakt,
         ds.num_questions(),
         ds.num_concepts(),
-        AttnKtConfig { dim: 16, heads: 2, ..Default::default() },
+        AttnKtConfig {
+            dim: 16,
+            heads: 2,
+            ..Default::default()
+        },
     );
     check_invariance(&m, &ds, &ws);
 }
@@ -67,7 +78,11 @@ fn akt_batch_invariant() {
         AttnVariant::Akt,
         ds.num_questions(),
         ds.num_concepts(),
-        AttnKtConfig { dim: 16, heads: 2, ..Default::default() },
+        AttnKtConfig {
+            dim: 16,
+            heads: 2,
+            ..Default::default()
+        },
     );
     check_invariance(&m, &ds, &ws);
 }
@@ -75,7 +90,14 @@ fn akt_batch_invariant() {
 #[test]
 fn dimkt_batch_invariant() {
     let (ds, ws) = setup();
-    let m = Dimkt::new(ds.num_questions(), ds.num_concepts(), DimktConfig { dim: 16, ..Default::default() });
+    let m = Dimkt::new(
+        ds.num_questions(),
+        ds.num_concepts(),
+        DimktConfig {
+            dim: 16,
+            ..Default::default()
+        },
+    );
     check_invariance(&m, &ds, &ws);
 }
 
@@ -85,7 +107,12 @@ fn dkvmn_batch_invariant() {
     let m = Dkvmn::new(
         ds.num_questions(),
         ds.num_concepts(),
-        DkvmnConfig { dim: 16, value_dim: 16, slots: 4, ..Default::default() },
+        DkvmnConfig {
+            dim: 16,
+            value_dim: 16,
+            slots: 4,
+            ..Default::default()
+        },
     );
     check_invariance(&m, &ds, &ws);
 }
@@ -96,7 +123,11 @@ fn saint_batch_invariant() {
     let m = Saint::new(
         ds.num_questions(),
         ds.num_concepts(),
-        SaintConfig { dim: 16, heads: 2, ..Default::default() },
+        SaintConfig {
+            dim: 16,
+            heads: 2,
+            ..Default::default()
+        },
     );
     check_invariance(&m, &ds, &ws);
 }
@@ -104,6 +135,13 @@ fn saint_batch_invariant() {
 #[test]
 fn qikt_batch_invariant() {
     let (ds, ws) = setup();
-    let m = Qikt::new(ds.num_questions(), ds.num_concepts(), QiktConfig { dim: 16, ..Default::default() });
+    let m = Qikt::new(
+        ds.num_questions(),
+        ds.num_concepts(),
+        QiktConfig {
+            dim: 16,
+            ..Default::default()
+        },
+    );
     check_invariance(&m, &ds, &ws);
 }

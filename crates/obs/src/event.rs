@@ -1,0 +1,260 @@
+//! Structured events routed to a human-readable stderr sink and an
+//! optional JSON-lines file sink.
+
+use std::fs::File;
+use std::io::{BufWriter, Write};
+use std::sync::Mutex;
+use std::time::{SystemTime, UNIX_EPOCH};
+
+use crate::json::{self, Obj};
+use crate::level::{enabled, Level};
+
+/// A field value attached to an event.
+#[derive(Clone, Debug)]
+pub enum Value {
+    I64(i64),
+    U64(u64),
+    F64(f64),
+    Str(String),
+    Bool(bool),
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::I64(v)
+    }
+}
+
+impl From<i32> for Value {
+    fn from(v: i32) -> Self {
+        Value::I64(v as i64)
+    }
+}
+
+impl From<u64> for Value {
+    fn from(v: u64) -> Self {
+        Value::U64(v)
+    }
+}
+
+impl From<usize> for Value {
+    fn from(v: usize) -> Self {
+        Value::U64(v as u64)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::F64(v)
+    }
+}
+
+impl From<f32> for Value {
+    fn from(v: f32) -> Self {
+        Value::F64(v as f64)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::Str(v.to_string())
+    }
+}
+
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::Str(v)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+
+impl Value {
+    fn to_json(&self) -> String {
+        match self {
+            Value::I64(v) => v.to_string(),
+            Value::U64(v) => v.to_string(),
+            Value::F64(v) => json::number(*v),
+            Value::Str(s) => json::string(s),
+            Value::Bool(b) => b.to_string(),
+        }
+    }
+
+    fn to_human(&self) -> String {
+        match self {
+            Value::I64(v) => v.to_string(),
+            Value::U64(v) => v.to_string(),
+            Value::F64(v) => {
+                let v = *v;
+                if v == 0.0 || (v.abs() >= 1e-3 && v.abs() < 1e7) {
+                    format!("{v:.4}")
+                } else {
+                    format!("{v:.3e}")
+                }
+            }
+            Value::Str(s) => s.clone(),
+            Value::Bool(b) => b.to_string(),
+        }
+    }
+}
+
+struct SinkState {
+    stderr: bool,
+    json: Option<BufWriter<File>>,
+}
+
+static SINKS: Mutex<SinkState> = Mutex::new(SinkState {
+    stderr: true,
+    json: None,
+});
+
+fn sinks() -> std::sync::MutexGuard<'static, SinkState> {
+    SINKS.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Route future events to a JSON-lines file at `path` (truncates any
+/// existing file). Each event becomes one line:
+/// `{"ts":…,"level":"…","event":"…","fields":{…}}`.
+pub fn log_to_json(path: &str) -> std::io::Result<()> {
+    let f = File::create(path)?;
+    sinks().json = Some(BufWriter::new(f));
+    Ok(())
+}
+
+/// Flush and close the JSON-lines sink, if open. Call before process exit —
+/// the sink is buffered.
+pub fn close_json() {
+    let mut s = sinks();
+    if let Some(mut w) = s.json.take() {
+        let _ = w.flush();
+    }
+}
+
+/// Enable/disable the human-readable stderr sink (on by default).
+pub fn set_stderr_sink(on: bool) {
+    sinks().stderr = on;
+}
+
+fn unix_ts() -> f64 {
+    SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|d| d.as_secs_f64())
+        .unwrap_or(0.0)
+}
+
+/// Emit a structured event at `level` with key/value `fields`. A no-op
+/// unless the global filter admits `level` (one relaxed atomic load).
+pub fn event(level: Level, name: &str, fields: &[(&str, Value)]) {
+    if !enabled(level) {
+        return;
+    }
+    let mut s = sinks();
+    if s.stderr {
+        let mut line = format!("[{}] {}", level.as_str(), name);
+        for (k, v) in fields {
+            line.push_str(&format!(" {}={}", k, v.to_human()));
+        }
+        eprintln!("{line}");
+    }
+    if let Some(w) = s.json.as_mut() {
+        let mut f = Obj::new();
+        for (k, v) in fields {
+            f.raw(k, &v.to_json());
+        }
+        let mut o = Obj::new();
+        o.f64("ts", unix_ts())
+            .str("level", level.as_str())
+            .str("event", name)
+            .raw("fields", &f.finish());
+        let ok = writeln!(w, "{}", o.finish()).and_then(|_| w.flush());
+        if ok.is_err() {
+            s.json = None; // drop a broken sink rather than failing every event
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::level::{set_level, Level};
+    use crate::testutil;
+
+    fn read_lines(path: &str) -> Vec<String> {
+        std::fs::read_to_string(path)
+            .unwrap_or_default()
+            .lines()
+            .map(|l| l.to_string())
+            .collect()
+    }
+
+    #[test]
+    fn json_sink_writes_one_line_per_event() {
+        let _g = testutil::global_lock();
+        let before = crate::level::level();
+        let path = std::env::temp_dir().join("rckt_obs_event_test.jsonl");
+        let path = path.to_str().unwrap().to_string();
+        set_level(Level::Debug);
+        set_stderr_sink(false);
+        log_to_json(&path).unwrap();
+        event(
+            Level::Info,
+            "unit.test",
+            &[("k", 1u64.into()), ("s", "a\"b".into())],
+        );
+        event(Level::Trace, "unit.filtered", &[]); // below filter — dropped
+        event(
+            Level::Debug,
+            "unit.floats",
+            &[
+                ("f", 0.5f64.into()),
+                ("nan", f64::NAN.into()),
+                ("ok", true.into()),
+            ],
+        );
+        close_json();
+        set_stderr_sink(true);
+        set_level(before);
+
+        let lines = read_lines(&path);
+        assert_eq!(lines.len(), 2, "trace event filtered out: {lines:?}");
+        assert!(lines[0].contains("\"event\":\"unit.test\""));
+        assert!(lines[0].contains("\"level\":\"info\""));
+        assert!(lines[0].contains("\"fields\":{\"k\":1,\"s\":\"a\\\"b\"}"));
+        assert!(lines[0].contains("\"ts\":"));
+        assert!(lines[1].contains("\"nan\":null"));
+        assert!(lines[1].contains("\"f\":0.5"));
+        assert!(lines[1].contains("\"ok\":true"));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn events_are_noop_when_off() {
+        let _g = testutil::global_lock();
+        let before = crate::level::level();
+        set_level(Level::Off);
+        // Must not panic or write anywhere; Off filters everything.
+        event(Level::Info, "unit.off", &[("k", 1i64.into())]);
+        set_level(before);
+    }
+
+    #[test]
+    fn human_float_rendering() {
+        assert_eq!(Value::F64(0.5).to_human(), "0.5000");
+        assert_eq!(Value::F64(0.0).to_human(), "0.0000");
+        assert_eq!(Value::F64(1.5e-7).to_human(), "1.500e-7");
+        assert_eq!(Value::U64(3).to_human(), "3");
+        assert_eq!(Value::Str("x".into()).to_human(), "x");
+    }
+
+    #[test]
+    fn value_conversions() {
+        assert!(matches!(Value::from(3usize), Value::U64(3)));
+        assert!(matches!(Value::from(-2i32), Value::I64(-2)));
+        assert!(matches!(Value::from(0.5f32), Value::F64(_)));
+        assert!(matches!(Value::from("s"), Value::Str(_)));
+    }
+}

@@ -1,0 +1,147 @@
+//! Minimal JSON encoding (objects, arrays, scalars) for the event and
+//! manifest sinks. Encoding only — parsing stays with `serde_json` in the
+//! crates that already depend on it. Keeping the encoder here lets
+//! `rckt-obs` stay dependency-free so every crate can link it.
+
+use std::fmt::Write as _;
+
+/// Escape a string for inclusion in a JSON document (adds no quotes).
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// A quoted, escaped JSON string.
+pub fn string(s: &str) -> String {
+    format!("\"{}\"", escape(s))
+}
+
+/// A JSON number; non-finite floats become `null` (JSON has no NaN/inf).
+pub fn number(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_string()
+    }
+}
+
+/// A JSON array from already-encoded element strings.
+pub fn array(items: impl IntoIterator<Item = String>) -> String {
+    let mut out = String::from("[");
+    for (i, it) in items.into_iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&it);
+    }
+    out.push(']');
+    out
+}
+
+/// Incremental JSON object builder.
+#[derive(Default)]
+pub struct Obj {
+    body: String,
+}
+
+impl Obj {
+    pub fn new() -> Self {
+        Obj::default()
+    }
+
+    /// Add a field whose value is already valid JSON.
+    pub fn raw(&mut self, key: &str, value: &str) -> &mut Self {
+        if !self.body.is_empty() {
+            self.body.push(',');
+        }
+        let _ = write!(self.body, "{}:{}", string(key), value);
+        self
+    }
+
+    pub fn str(&mut self, key: &str, value: &str) -> &mut Self {
+        let v = string(value);
+        self.raw(key, &v)
+    }
+
+    pub fn u64(&mut self, key: &str, value: u64) -> &mut Self {
+        let v = value.to_string();
+        self.raw(key, &v)
+    }
+
+    pub fn i64(&mut self, key: &str, value: i64) -> &mut Self {
+        let v = value.to_string();
+        self.raw(key, &v)
+    }
+
+    pub fn f64(&mut self, key: &str, value: f64) -> &mut Self {
+        let v = number(value);
+        self.raw(key, &v)
+    }
+
+    pub fn bool(&mut self, key: &str, value: bool) -> &mut Self {
+        let v = if value { "true" } else { "false" };
+        self.raw(key, v)
+    }
+
+    pub fn finish(&self) -> String {
+        format!("{{{}}}", self.body)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escapes_specials_and_controls() {
+        assert_eq!(escape("a\"b\\c"), "a\\\"b\\\\c");
+        assert_eq!(escape("line\nbreak\ttab"), "line\\nbreak\\ttab");
+        assert_eq!(escape("\u{1}"), "\\u0001");
+        assert_eq!(string("hé✓"), "\"hé✓\"");
+    }
+
+    #[test]
+    fn numbers_and_nonfinite() {
+        assert_eq!(number(1.0), "1");
+        assert_eq!(number(0.25), "0.25");
+        assert_eq!(number(f64::NAN), "null");
+        assert_eq!(number(f64::INFINITY), "null");
+    }
+
+    #[test]
+    fn object_builder_produces_valid_json() {
+        let mut o = Obj::new();
+        o.str("name", "x\"y")
+            .u64("n", 3)
+            .f64("v", 0.5)
+            .bool("ok", true)
+            .raw("arr", "[1,2]");
+        assert_eq!(
+            o.finish(),
+            "{\"name\":\"x\\\"y\",\"n\":3,\"v\":0.5,\"ok\":true,\"arr\":[1,2]}"
+        );
+        assert_eq!(Obj::new().finish(), "{}");
+    }
+
+    #[test]
+    fn array_joins_encoded_items() {
+        assert_eq!(
+            array(vec!["1".to_string(), "\"a\"".to_string()]),
+            "[1,\"a\"]"
+        );
+        assert_eq!(array(Vec::<String>::new()), "[]");
+    }
+}

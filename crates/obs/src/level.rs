@@ -1,0 +1,132 @@
+//! Global verbosity level and the profiling switch.
+
+use std::str::FromStr;
+use std::sync::atomic::{AtomicBool, AtomicU8, Ordering};
+
+/// Event verbosity. Ordered: `Off < Info < Debug < Trace`.
+#[repr(u8)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Debug)]
+pub enum Level {
+    /// Emit nothing (the library default).
+    Off = 0,
+    /// Coarse progress: run/fit start and end, dataset summaries.
+    Info = 1,
+    /// Per-epoch training detail.
+    Debug = 2,
+    /// Span-level timing events.
+    Trace = 3,
+}
+
+impl Level {
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Level::Off => "off",
+            Level::Info => "info",
+            Level::Debug => "debug",
+            Level::Trace => "trace",
+        }
+    }
+
+    fn from_u8(v: u8) -> Level {
+        match v {
+            1 => Level::Info,
+            2 => Level::Debug,
+            3 => Level::Trace,
+            _ => Level::Off,
+        }
+    }
+}
+
+impl FromStr for Level {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "off" => Ok(Level::Off),
+            "info" => Ok(Level::Info),
+            "debug" => Ok(Level::Debug),
+            "trace" => Ok(Level::Trace),
+            other => Err(format!(
+                "unknown log level {other:?} (off|info|debug|trace)"
+            )),
+        }
+    }
+}
+
+static LEVEL: AtomicU8 = AtomicU8::new(Level::Off as u8);
+static PROFILING: AtomicBool = AtomicBool::new(false);
+
+/// Set the global level filter.
+pub fn set_level(l: Level) {
+    LEVEL.store(l as u8, Ordering::Relaxed);
+}
+
+/// Current global level.
+pub fn level() -> Level {
+    Level::from_u8(LEVEL.load(Ordering::Relaxed))
+}
+
+/// Would an event at `l` pass the filter? `enabled(Off)` is always false.
+#[inline]
+pub fn enabled(l: Level) -> bool {
+    l != Level::Off && (l as u8) <= LEVEL.load(Ordering::Relaxed)
+}
+
+/// Enable/disable profiling counters (kernel FLOPs, counterfactual
+/// mask/retain tallies). Independent of the event level so `--profile`
+/// works without any logging.
+pub fn set_profiling(on: bool) {
+    PROFILING.store(on, Ordering::Relaxed);
+}
+
+/// Hot-path guard for profiling counters: one relaxed atomic load when
+/// disabled, so instrumented kernels stay effectively zero-cost.
+#[inline]
+pub fn profiling() -> bool {
+    PROFILING.load(Ordering::Relaxed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil;
+
+    #[test]
+    fn parse_and_roundtrip() {
+        for (s, l) in [
+            ("off", Level::Off),
+            ("info", Level::Info),
+            ("DEBUG", Level::Debug),
+            ("trace", Level::Trace),
+        ] {
+            assert_eq!(s.parse::<Level>().unwrap(), l);
+        }
+        assert!("verbose".parse::<Level>().is_err());
+        assert_eq!(Level::Debug.as_str(), "debug");
+    }
+
+    #[test]
+    fn enabled_respects_ordering() {
+        let _g = testutil::global_lock();
+        let before = level();
+        set_level(Level::Debug);
+        assert!(enabled(Level::Info));
+        assert!(enabled(Level::Debug));
+        assert!(!enabled(Level::Trace));
+        assert!(!enabled(Level::Off), "Off never passes");
+        set_level(Level::Off);
+        assert!(!enabled(Level::Info));
+        set_level(before);
+    }
+
+    #[test]
+    fn profiling_toggle() {
+        let _g = testutil::global_lock();
+        let before = profiling();
+        set_profiling(true);
+        assert!(profiling());
+        set_profiling(false);
+        assert!(!profiling());
+        set_profiling(before);
+    }
+}

@@ -1,0 +1,192 @@
+//! # rckt-obs
+//!
+//! Structured tracing, metrics, and profiling for the RCKT stack.
+//!
+//! The crate is std-only (no external dependencies) so every workspace
+//! crate — down to the tensor kernels — can link it without widening the
+//! dependency graph. It provides four cooperating layers:
+//!
+//! * **Levels** ([`Level`], [`set_level`]) — a global `off/info/debug/trace`
+//!   filter. The default is [`Level::Off`]: unconfigured library use emits
+//!   nothing and hot-path guards reduce to one relaxed atomic load.
+//! * **Metrics** ([`counter`], [`gauge`], [`histogram`]) — a concurrent
+//!   registry of named counters, gauges, and fixed-bucket histograms with
+//!   p50/p90/p99 queries.
+//! * **Spans** ([`span`]) — RAII wall-clock timers with thread-local
+//!   nesting; a span opened inside another records under the joined path
+//!   (`fit/epoch`). Accumulated per-phase totals feed the profile report
+//!   and run manifests.
+//! * **Events** ([`event`]) — structured key/value records routed to a
+//!   human-readable stderr sink and an optional JSON-lines file sink
+//!   ([`log_to_json`]).
+//!
+//! [`RunManifest`] stamps experiment results with the git commit, seed,
+//! configuration, and per-phase timings; [`profile_report`] renders
+//! everything collected so far as a text table (the `--profile` output).
+//!
+//! ```
+//! use rckt_obs::{counter, span, Level};
+//!
+//! rckt_obs::set_level(Level::Info);
+//! {
+//!     let _outer = span("fit");
+//!     let _inner = span("epoch"); // records under "fit/epoch"
+//!     counter("train.batches").add(4);
+//! }
+//! rckt_obs::event(Level::Info, "train.done", &[("batches", 4u64.into())]);
+//! assert_eq!(counter("train.batches").get(), 4);
+//! ```
+
+pub mod event;
+pub mod json;
+pub mod level;
+pub mod manifest;
+pub mod metrics;
+pub mod report;
+pub mod span;
+pub mod train;
+
+pub use event::{close_json, event, log_to_json, set_stderr_sink, Value};
+pub use level::{enabled, level, profiling, set_level, set_profiling, Level};
+pub use manifest::{bin_name, git_commit, PhaseTiming, RunManifest};
+pub use metrics::{
+    counter, gauge, histogram, histogram_with, metrics_snapshot, reset_metrics, Counter, Gauge,
+    Histogram, HistogramSummary, MetricsSnapshot,
+};
+pub use report::profile_report;
+pub use span::{
+    phase_timings, phases_snapshot, reset_phases, span, PhaseStat, PhasesSnapshot, SpanGuard,
+};
+pub use train::{report_done, report_epoch, report_start, EpochReport};
+
+/// Observability switches shared by the CLI and the experiment binaries.
+#[derive(Clone, Debug)]
+pub struct ObsOptions {
+    /// Global event-level filter.
+    pub level: Level,
+    /// JSON-lines sink path (`--log-json <path>`).
+    pub json_path: Option<String>,
+    /// Enable profiling counters and the final `--profile` summary.
+    pub profile: bool,
+}
+
+impl Default for ObsOptions {
+    fn default() -> Self {
+        ObsOptions {
+            level: Level::Off,
+            json_path: None,
+            profile: false,
+        }
+    }
+}
+
+impl ObsOptions {
+    /// Extract the shared observability flags (`--log-level <l>`,
+    /// `--log-json <path>`, `--profile`) from an argument vector, removing
+    /// them so downstream parsers never see them. Binaries default to
+    /// [`Level::Info`] so coarse progress events stay visible on stderr;
+    /// pass `--log-level off` to silence them.
+    pub fn take_from_args(args: &mut Vec<String>) -> Result<ObsOptions, String> {
+        let mut out = ObsOptions {
+            level: Level::Info,
+            ..Default::default()
+        };
+        let mut i = 0;
+        while i < args.len() {
+            match args[i].as_str() {
+                "--log-level" => {
+                    let v = args
+                        .get(i + 1)
+                        .ok_or("--log-level needs a value (off|info|debug|trace)")?
+                        .clone();
+                    out.level = v.parse()?;
+                    args.drain(i..i + 2);
+                }
+                "--log-json" => {
+                    let v = args
+                        .get(i + 1)
+                        .ok_or("--log-json needs a file path")?
+                        .clone();
+                    out.json_path = Some(v);
+                    args.drain(i..i + 2);
+                }
+                "--profile" => {
+                    out.profile = true;
+                    args.remove(i);
+                }
+                _ => i += 1,
+            }
+        }
+        Ok(out)
+    }
+}
+
+/// Apply an [`ObsOptions`]: set the level and profiling flags and open the
+/// JSON-lines sink if requested.
+pub fn init(opts: &ObsOptions) -> std::io::Result<()> {
+    set_level(opts.level);
+    set_profiling(opts.profile);
+    if let Some(p) = &opts.json_path {
+        log_to_json(p)?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+pub(crate) mod testutil {
+    use std::sync::{Mutex, MutexGuard};
+
+    /// Serializes tests that mutate process-global observability state
+    /// (level, sinks) so the multithreaded test harness stays deterministic.
+    static LOCK: Mutex<()> = Mutex::new(());
+
+    pub fn global_lock() -> MutexGuard<'static, ()> {
+        LOCK.lock().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn take_from_args_extracts_and_removes_flags() {
+        let _g = testutil::global_lock();
+        let mut args: Vec<String> = [
+            "--scale",
+            "0.5",
+            "--log-level",
+            "debug",
+            "--profile",
+            "--log-json",
+            "/tmp/x.jsonl",
+            "--folds",
+            "2",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        let o = ObsOptions::take_from_args(&mut args).unwrap();
+        assert_eq!(o.level, Level::Debug);
+        assert!(o.profile);
+        assert_eq!(o.json_path.as_deref(), Some("/tmp/x.jsonl"));
+        assert_eq!(args, vec!["--scale", "0.5", "--folds", "2"]);
+    }
+
+    #[test]
+    fn take_from_args_defaults_to_info() {
+        let mut args: Vec<String> = vec![];
+        let o = ObsOptions::take_from_args(&mut args).unwrap();
+        assert_eq!(o.level, Level::Info);
+        assert!(!o.profile);
+        assert!(o.json_path.is_none());
+    }
+
+    #[test]
+    fn take_from_args_rejects_bad_level_and_missing_values() {
+        let mut args: Vec<String> = vec!["--log-level".into(), "loud".into()];
+        assert!(ObsOptions::take_from_args(&mut args).is_err());
+        let mut args: Vec<String> = vec!["--log-json".into()];
+        assert!(ObsOptions::take_from_args(&mut args).is_err());
+    }
+}

@@ -1,0 +1,271 @@
+//! Run manifests: stamp every experiment result with the git commit, seed,
+//! configuration, per-phase timings, and profiling counters, and write it
+//! as JSON so `results/BENCH_*.json` accumulates a comparable history.
+
+use std::io::Write;
+use std::path::Path;
+use std::time::{SystemTime, UNIX_EPOCH};
+
+use crate::json::{array, Obj};
+use crate::metrics::metrics_snapshot;
+use crate::span::PhasesSnapshot;
+
+/// One span path's contribution to a run.
+#[derive(Clone, Debug)]
+pub struct PhaseTiming {
+    pub name: String,
+    pub secs: f64,
+    pub count: u64,
+}
+
+/// Provenance + measurements for one experiment run.
+#[derive(Clone, Debug, Default)]
+pub struct RunManifest {
+    /// Binary or experiment name (`table6_efficiency`, `cli train`, …).
+    pub bin: String,
+    /// Current git commit hash, or `"unknown"` outside a checkout.
+    pub git_commit: String,
+    /// Unix timestamp (seconds) when the manifest was captured.
+    pub unix_ts: u64,
+    pub seed: u64,
+    /// Ordered `(key, value)` configuration pairs.
+    pub config: Vec<(String, String)>,
+    /// Per-phase wall-clock timings for this run.
+    pub phases: Vec<PhaseTiming>,
+    /// Profiling counters at capture time (kernel FLOPs, CF tallies, …).
+    pub counters: Vec<(String, u64)>,
+    /// Named scalar results (AUC, ACC, seconds, …).
+    pub results: Vec<(String, f64)>,
+}
+
+impl RunManifest {
+    /// Capture provenance plus, when `since` is given, the growth of the
+    /// phase table since that snapshot (so concurrent or earlier runs do
+    /// not leak into this manifest).
+    pub fn capture(bin: &str, seed: u64, since: Option<&PhasesSnapshot>) -> RunManifest {
+        let phases = match since {
+            Some(s) => s.delta(),
+            None => crate::span::phase_timings(),
+        };
+        let counters = metrics_snapshot()
+            .counters
+            .into_iter()
+            .filter(|&(_, v)| v > 0)
+            .collect();
+        RunManifest {
+            bin: bin.to_string(),
+            git_commit: git_commit(),
+            unix_ts: SystemTime::now()
+                .duration_since(UNIX_EPOCH)
+                .map(|d| d.as_secs())
+                .unwrap_or(0),
+            seed,
+            config: Vec::new(),
+            phases: phases
+                .into_iter()
+                .map(|(name, s)| PhaseTiming {
+                    name,
+                    secs: s.secs,
+                    count: s.count,
+                })
+                .collect(),
+            counters,
+            results: Vec::new(),
+        }
+    }
+
+    /// Append a configuration pair (builder style).
+    pub fn config(mut self, key: &str, value: impl ToString) -> Self {
+        self.config.push((key.to_string(), value.to_string()));
+        self
+    }
+
+    /// Append a named scalar result (builder style).
+    pub fn result(mut self, key: &str, value: f64) -> Self {
+        self.results.push((key.to_string(), value));
+        self
+    }
+
+    /// Encode as a single JSON object.
+    pub fn to_json(&self) -> String {
+        let mut config = Obj::new();
+        for (k, v) in &self.config {
+            config.str(k, v);
+        }
+        let mut results = Obj::new();
+        for (k, v) in &self.results {
+            results.f64(k, *v);
+        }
+        let mut counters = Obj::new();
+        for (k, v) in &self.counters {
+            counters.u64(k, *v);
+        }
+        let phases = array(self.phases.iter().map(|p| {
+            let mut o = Obj::new();
+            o.str("name", &p.name)
+                .f64("secs", p.secs)
+                .u64("count", p.count);
+            o.finish()
+        }));
+        let mut o = Obj::new();
+        o.str("bin", &self.bin)
+            .str("git_commit", &self.git_commit)
+            .u64("unix_ts", self.unix_ts)
+            .u64("seed", self.seed)
+            .raw("config", &config.finish())
+            .raw("phases", &phases)
+            .raw("counters", &counters.finish())
+            .raw("results", &results.finish());
+        o.finish()
+    }
+
+    /// Write the manifest as a standalone pretty-enough JSON file.
+    pub fn write_json(&self, path: impl AsRef<Path>) -> std::io::Result<()> {
+        if let Some(dir) = path.as_ref().parent() {
+            if !dir.as_os_str().is_empty() {
+                std::fs::create_dir_all(dir)?;
+            }
+        }
+        std::fs::write(path, self.to_json() + "\n")
+    }
+
+    /// Append the manifest as one line to a JSON-lines history file,
+    /// creating parent directories as needed.
+    pub fn append_jsonl(&self, path: impl AsRef<Path>) -> std::io::Result<()> {
+        if let Some(dir) = path.as_ref().parent() {
+            if !dir.as_os_str().is_empty() {
+                std::fs::create_dir_all(dir)?;
+            }
+        }
+        let mut f = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)?;
+        writeln!(f, "{}", self.to_json())
+    }
+}
+
+/// The current git commit hash, read directly from `.git` (no subprocess):
+/// follows `HEAD` to a ref under `refs/` or into `packed-refs`, walking up
+/// from the current directory to find the repository root. Returns
+/// `"unknown"` when not in a git checkout.
+pub fn git_commit() -> String {
+    let mut dir = match std::env::current_dir() {
+        Ok(d) => d,
+        Err(_) => return "unknown".to_string(),
+    };
+    loop {
+        let git = dir.join(".git");
+        if git.is_dir() {
+            return read_commit(&git).unwrap_or_else(|| "unknown".to_string());
+        }
+        if !dir.pop() {
+            return "unknown".to_string();
+        }
+    }
+}
+
+fn read_commit(git: &Path) -> Option<String> {
+    let head = std::fs::read_to_string(git.join("HEAD")).ok()?;
+    let head = head.trim();
+    let Some(refname) = head.strip_prefix("ref: ") else {
+        // Detached HEAD: the file holds the hash itself.
+        return Some(head.to_string());
+    };
+    if let Ok(h) = std::fs::read_to_string(git.join(refname)) {
+        return Some(h.trim().to_string());
+    }
+    let packed = std::fs::read_to_string(git.join("packed-refs")).ok()?;
+    for line in packed.lines() {
+        if let Some((hash, name)) = line.split_once(' ') {
+            if name.trim() == refname {
+                return Some(hash.trim().to_string());
+            }
+        }
+    }
+    None
+}
+
+/// The invoking binary's basename (from `argv[0]`), for manifest `bin`
+/// fields without each binary hard-coding its own name.
+pub fn bin_name() -> String {
+    std::env::args()
+        .next()
+        .as_deref()
+        .map(Path::new)
+        .and_then(|p| p.file_name())
+        .map(|s| s.to_string_lossy().into_owned())
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn manifest_json_has_all_sections() {
+        let m = RunManifest {
+            bin: "test_bin".into(),
+            git_commit: "abc123".into(),
+            unix_ts: 1700000000,
+            seed: 42,
+            config: vec![("scale".into(), "0.5".into())],
+            phases: vec![PhaseTiming {
+                name: "fit".into(),
+                secs: 1.25,
+                count: 2,
+            }],
+            counters: vec![("kernel.matmul.flops".into(), 1000)],
+            results: vec![("auc".into(), 0.81)],
+        };
+        let j = m.to_json();
+        assert!(j.contains("\"bin\":\"test_bin\""));
+        assert!(j.contains("\"git_commit\":\"abc123\""));
+        assert!(j.contains("\"seed\":42"));
+        assert!(j.contains("\"config\":{\"scale\":\"0.5\"}"));
+        assert!(j.contains("\"phases\":[{\"name\":\"fit\",\"secs\":1.25,\"count\":2}]"));
+        assert!(j.contains("\"counters\":{\"kernel.matmul.flops\":1000}"));
+        assert!(j.contains("\"results\":{\"auc\":0.81}"));
+    }
+
+    #[test]
+    fn capture_fills_provenance_and_delta_phases() {
+        let _g = crate::testutil::global_lock();
+        let snap = crate::span::phases_snapshot();
+        {
+            let _s = crate::span::span("test_manifest_phase");
+        }
+        let m = RunManifest::capture("caps", 7, Some(&snap))
+            .config("k", "v")
+            .result("auc", 0.9);
+        assert_eq!(m.bin, "caps");
+        assert_eq!(m.seed, 7);
+        assert!(m.unix_ts > 1_600_000_000, "plausible wall clock");
+        assert!(m.phases.iter().any(|p| p.name == "test_manifest_phase"));
+        assert_eq!(m.config, vec![("k".to_string(), "v".to_string())]);
+        assert_eq!(m.results, vec![("auc".to_string(), 0.9)]);
+    }
+
+    #[test]
+    fn git_commit_resolves_in_this_repo() {
+        // The test runs inside the repo checkout, so this must find a hash.
+        let c = git_commit();
+        assert!(c == "unknown" || c.len() >= 7, "got {c:?}");
+    }
+
+    #[test]
+    fn append_jsonl_accumulates_lines() {
+        let path = std::env::temp_dir().join("rckt_obs_manifest_test.jsonl");
+        let _ = std::fs::remove_file(&path);
+        let m = RunManifest {
+            bin: "b".into(),
+            ..Default::default()
+        };
+        m.append_jsonl(&path).unwrap();
+        m.append_jsonl(&path).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(text.lines().count(), 2);
+        assert!(text.lines().all(|l| l.starts_with('{') && l.ends_with('}')));
+        let _ = std::fs::remove_file(&path);
+    }
+}

@@ -1,0 +1,108 @@
+//! Text rendering of everything collected so far — the `--profile` output.
+
+use std::fmt::Write;
+
+use crate::metrics::metrics_snapshot;
+use crate::span::phase_timings;
+
+fn human_count(v: u64) -> String {
+    const UNITS: [(u64, &str); 4] = [
+        (1_000_000_000_000, "T"),
+        (1_000_000_000, "G"),
+        (1_000_000, "M"),
+        (1_000, "k"),
+    ];
+    for (scale, suffix) in UNITS {
+        if v >= scale {
+            return format!("{:.2}{}", v as f64 / scale as f64, suffix);
+        }
+    }
+    v.to_string()
+}
+
+/// Render per-phase timings, counters, gauges, and histogram summaries as
+/// an aligned text table. Returns an empty-ish header even when nothing
+/// was recorded, so callers can print it unconditionally under `--profile`.
+pub fn profile_report() -> String {
+    let mut out = String::from("=== profile ===\n");
+
+    let phases = phase_timings();
+    if !phases.is_empty() {
+        out.push_str("-- phases (wall clock) --\n");
+        let w = phases.iter().map(|(p, _)| p.len()).max().unwrap_or(0);
+        for (path, stat) in &phases {
+            let mean = if stat.count > 0 {
+                stat.secs / stat.count as f64
+            } else {
+                0.0
+            };
+            let _ = writeln!(
+                out,
+                "{:w$}  total {:>9.3}s  count {:>7}  mean {:>9.4}s",
+                path, stat.secs, stat.count, mean
+            );
+        }
+    }
+
+    let snap = metrics_snapshot();
+    let counters: Vec<_> = snap.counters.iter().filter(|&&(_, v)| v > 0).collect();
+    if !counters.is_empty() {
+        out.push_str("-- counters --\n");
+        let w = counters.iter().map(|(k, _)| k.len()).max().unwrap_or(0);
+        for (name, v) in &counters {
+            let _ = writeln!(out, "{:w$}  {:>14}  ({})", name, v, human_count(*v));
+        }
+    }
+    if !snap.gauges.is_empty() {
+        out.push_str("-- gauges --\n");
+        let w = snap.gauges.iter().map(|(k, _)| k.len()).max().unwrap_or(0);
+        for (name, v) in &snap.gauges {
+            let _ = writeln!(out, "{:w$}  {:.6}", name, v);
+        }
+    }
+    let hists: Vec<_> = snap.histograms.iter().filter(|h| h.count > 0).collect();
+    if !hists.is_empty() {
+        out.push_str("-- histograms --\n");
+        let w = hists.iter().map(|h| h.name.len()).max().unwrap_or(0);
+        for h in &hists {
+            let _ = writeln!(
+                out,
+                "{:w$}  n {:>8}  mean {:>10.4}  p50 {:>10.4}  p90 {:>10.4}  p99 {:>10.4}",
+                h.name, h.count, h.mean, h.p50, h.p90, h.p99
+            );
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::{counter, histogram_with};
+    use crate::span::span;
+
+    #[test]
+    fn report_includes_phases_counters_histograms() {
+        let _g = crate::testutil::global_lock();
+        {
+            let _s = span("test_report_phase");
+        }
+        counter("test.report.counter").add(1_500_000);
+        histogram_with("test.report.hist", &[1.0, 10.0]).observe(0.5);
+        let r = profile_report();
+        assert!(r.starts_with("=== profile ==="));
+        assert!(r.contains("test_report_phase"));
+        assert!(r.contains("test.report.counter"));
+        assert!(r.contains("(1.50M)"));
+        assert!(r.contains("test.report.hist"));
+    }
+
+    #[test]
+    fn human_count_scales() {
+        assert_eq!(human_count(999), "999");
+        assert_eq!(human_count(1_500), "1.50k");
+        assert_eq!(human_count(2_000_000), "2.00M");
+        assert_eq!(human_count(3_000_000_000), "3.00G");
+        assert_eq!(human_count(4_500_000_000_000), "4.50T");
+    }
+}

@@ -1,0 +1,225 @@
+//! RAII wall-clock spans with thread-local nesting.
+//!
+//! `span("fit")` starts a timer; dropping the guard stops it and folds the
+//! elapsed time into a process-wide per-phase table keyed by the span
+//! *path*: a span opened while another is live on the same thread records
+//! under the joined name (`fit/epoch`). The table feeds
+//! [`crate::profile_report`] and [`crate::RunManifest`].
+
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+use std::time::Instant;
+
+use crate::event::event;
+use crate::level::Level;
+
+/// Accumulated totals for one span path.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct PhaseStat {
+    /// Total wall-clock seconds across completed spans.
+    pub secs: f64,
+    /// Number of completed spans.
+    pub count: u64,
+}
+
+static PHASES: Mutex<BTreeMap<String, PhaseStat>> = Mutex::new(BTreeMap::new());
+
+thread_local! {
+    static STACK: RefCell<Vec<String>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Live timer for one span; created by [`span`], records on drop.
+pub struct SpanGuard {
+    path: String,
+    depth: usize,
+    start: Instant,
+}
+
+/// Open a span named `name`. Nested calls on the same thread join paths
+/// with `/`. Keep the returned guard alive for the duration being timed.
+pub fn span(name: &str) -> SpanGuard {
+    let (path, depth) = STACK.with(|s| {
+        let mut s = s.borrow_mut();
+        let path = match s.last() {
+            Some(parent) => format!("{parent}/{name}"),
+            None => name.to_string(),
+        };
+        s.push(path.clone());
+        (path, s.len())
+    });
+    SpanGuard {
+        path,
+        depth,
+        start: Instant::now(),
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let secs = self.start.elapsed().as_secs_f64();
+        STACK.with(|s| {
+            let mut s = s.borrow_mut();
+            // Out-of-order drops (guards held across each other) still
+            // unwind to this span's depth so the stack cannot grow.
+            s.truncate(self.depth.saturating_sub(1));
+        });
+        {
+            let mut phases = PHASES.lock().unwrap_or_else(|e| e.into_inner());
+            let stat = phases.entry(self.path.clone()).or_default();
+            stat.secs += secs;
+            stat.count += 1;
+        }
+        if crate::level::enabled(Level::Trace) {
+            event(
+                Level::Trace,
+                "span.end",
+                &[("span", self.path.as_str().into()), ("secs", secs.into())],
+            );
+        }
+    }
+}
+
+/// Totals for every span path completed so far, sorted by path.
+pub fn phase_timings() -> Vec<(String, PhaseStat)> {
+    PHASES
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .iter()
+        .map(|(k, v)| (k.clone(), *v))
+        .collect()
+}
+
+/// Clear the per-phase table (tests, or between independent runs).
+pub fn reset_phases() {
+    PHASES.lock().unwrap_or_else(|e| e.into_inner()).clear();
+}
+
+/// A point-in-time copy of the phase table, used to compute deltas for a
+/// single run via [`PhasesSnapshot::delta`].
+#[derive(Clone, Debug, Default)]
+pub struct PhasesSnapshot {
+    at: BTreeMap<String, PhaseStat>,
+}
+
+/// Capture the current phase totals.
+pub fn phases_snapshot() -> PhasesSnapshot {
+    PhasesSnapshot {
+        at: PHASES.lock().unwrap_or_else(|e| e.into_inner()).clone(),
+    }
+}
+
+impl PhasesSnapshot {
+    /// Per-path growth since this snapshot was taken; paths with no new
+    /// completions are omitted.
+    pub fn delta(&self) -> Vec<(String, PhaseStat)> {
+        phase_timings()
+            .into_iter()
+            .filter_map(|(path, now)| {
+                let before = self.at.get(&path).copied().unwrap_or_default();
+                let count = now.count.saturating_sub(before.count);
+                if count == 0 {
+                    return None;
+                }
+                Some((
+                    path,
+                    PhaseStat {
+                        secs: now.secs - before.secs,
+                        count,
+                    },
+                ))
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    fn stat(path: &str) -> Option<PhaseStat> {
+        phase_timings()
+            .into_iter()
+            .find(|(p, _)| p == path)
+            .map(|(_, s)| s)
+    }
+
+    #[test]
+    fn nested_spans_record_joined_paths() {
+        let _g = crate::testutil::global_lock();
+        {
+            let _outer = span("test_span_outer");
+            std::thread::sleep(Duration::from_millis(2));
+            {
+                let _inner = span("inner");
+                std::thread::sleep(Duration::from_millis(2));
+            }
+        }
+        let outer = stat("test_span_outer").expect("outer recorded");
+        let inner = stat("test_span_outer/inner").expect("inner recorded under joined path");
+        assert_eq!(outer.count, 1);
+        assert_eq!(inner.count, 1);
+        assert!(outer.secs >= inner.secs, "outer includes inner time");
+        assert!(inner.secs > 0.0);
+    }
+
+    #[test]
+    fn sibling_spans_accumulate() {
+        let _g = crate::testutil::global_lock();
+        for _ in 0..3 {
+            let _s = span("test_span_sibling");
+        }
+        assert_eq!(stat("test_span_sibling").unwrap().count, 3);
+    }
+
+    #[test]
+    fn stack_unwinds_after_drop() {
+        let _g = crate::testutil::global_lock();
+        {
+            let _a = span("test_span_unwind_a");
+        }
+        // After a top-level span drops, a new span is again top-level.
+        {
+            let _b = span("test_span_unwind_b");
+        }
+        assert!(stat("test_span_unwind_b").is_some());
+        assert!(stat("test_span_unwind_a/test_span_unwind_b").is_none());
+    }
+
+    #[test]
+    fn snapshot_delta_reports_only_growth() {
+        let _g = crate::testutil::global_lock();
+        {
+            let _s = span("test_span_delta_before");
+        }
+        let snap = phases_snapshot();
+        {
+            let _s = span("test_span_delta_after");
+        }
+        {
+            let _s = span("test_span_delta_after");
+        }
+        let delta = snap.delta();
+        assert!(delta.iter().all(|(p, _)| p != "test_span_delta_before"));
+        let after = delta
+            .iter()
+            .find(|(p, _)| p == "test_span_delta_after")
+            .unwrap();
+        assert_eq!(after.1.count, 2);
+    }
+
+    #[test]
+    fn threads_have_independent_stacks() {
+        let _g = crate::testutil::global_lock();
+        let _outer = span("test_span_thread_outer");
+        std::thread::scope(|s| {
+            s.spawn(|| {
+                // Not nested under the main thread's live span.
+                let _t = span("test_span_thread_child");
+            });
+        });
+        assert!(stat("test_span_thread_child").is_some());
+        assert!(stat("test_span_thread_outer/test_span_thread_child").is_none());
+    }
+}

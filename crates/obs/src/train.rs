@@ -1,0 +1,142 @@
+//! Shared per-epoch training reporting, used by both the baseline
+//! `sgd_fit` driver and `Rckt::fit` so the two loops emit identical
+//! telemetry.
+
+use crate::event::event;
+use crate::level::{enabled, Level};
+
+/// One epoch's training summary.
+#[derive(Clone, Copy, Debug)]
+pub struct EpochReport<'a> {
+    /// Model tag used in log lines (e.g. `"rckt"`, `"dkt"`).
+    pub model: &'a str,
+    /// 0-based epoch index.
+    pub epoch: usize,
+    pub mean_loss: f32,
+    pub val_auc: f64,
+    pub val_acc: f64,
+    /// Wall-clock seconds spent in this epoch (train + validate).
+    pub wall_secs: f64,
+}
+
+/// Emit the per-epoch record: a `train.epoch` event at [`Level::Debug`],
+/// falling back to the legacy one-line stderr format when `verbose` is set
+/// but debug events are filtered out — so `--verbose` keeps working without
+/// any observability flags.
+pub fn report_epoch(r: &EpochReport<'_>, verbose: bool) {
+    if enabled(Level::Debug) {
+        event(
+            Level::Debug,
+            "train.epoch",
+            &[
+                ("model", r.model.into()),
+                ("epoch", r.epoch.into()),
+                ("loss", r.mean_loss.into()),
+                ("val_auc", r.val_auc.into()),
+                ("val_acc", r.val_acc.into()),
+                ("secs", r.wall_secs.into()),
+            ],
+        );
+    } else if verbose {
+        eprintln!(
+            "[{}] epoch {:>3} loss {:.4} val auc {:.4} acc {:.4} ({:.1}s)",
+            r.model, r.epoch, r.mean_loss, r.val_auc, r.val_acc, r.wall_secs
+        );
+    }
+}
+
+/// Emit the `train.start` event ([`Level::Info`]).
+pub fn report_start(model: &str, n_train: usize, n_val: usize, max_epochs: usize) {
+    event(
+        Level::Info,
+        "train.start",
+        &[
+            ("model", model.into()),
+            ("train_seqs", n_train.into()),
+            ("val_seqs", n_val.into()),
+            ("max_epochs", max_epochs.into()),
+        ],
+    );
+}
+
+/// Emit the `train.done` event ([`Level::Info`]).
+pub fn report_done(
+    model: &str,
+    epochs_run: usize,
+    best_epoch: usize,
+    best_val_auc: f64,
+    secs: f64,
+) {
+    event(
+        Level::Info,
+        "train.done",
+        &[
+            ("model", model.into()),
+            ("epochs_run", epochs_run.into()),
+            ("best_epoch", best_epoch.into()),
+            ("best_val_auc", best_val_auc.into()),
+            ("secs", secs.into()),
+        ],
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::level::{set_level, Level};
+    use crate::testutil;
+
+    #[test]
+    fn report_epoch_emits_debug_event_to_json() {
+        let _g = testutil::global_lock();
+        let before = crate::level::level();
+        let path = std::env::temp_dir().join("rckt_obs_train_test.jsonl");
+        let path = path.to_str().unwrap().to_string();
+        set_level(Level::Debug);
+        crate::event::set_stderr_sink(false);
+        crate::event::log_to_json(&path).unwrap();
+        report_epoch(
+            &EpochReport {
+                model: "rckt",
+                epoch: 3,
+                mean_loss: 0.25,
+                val_auc: 0.81,
+                val_acc: 0.74,
+                wall_secs: 1.5,
+            },
+            false,
+        );
+        report_start("rckt", 100, 20, 50);
+        report_done("rckt", 12, 9, 0.82, 18.0);
+        crate::event::close_json();
+        crate::event::set_stderr_sink(true);
+        set_level(before);
+
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.contains("\"event\":\"train.epoch\""));
+        assert!(text.contains("\"val_auc\":0.81"));
+        assert!(text.contains("\"event\":\"train.start\""));
+        assert!(text.contains("\"event\":\"train.done\""));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn report_epoch_silent_when_off_and_not_verbose() {
+        let _g = testutil::global_lock();
+        let before = crate::level::level();
+        set_level(Level::Off);
+        // Must not panic; verbose=false means no legacy line either.
+        report_epoch(
+            &EpochReport {
+                model: "m",
+                epoch: 0,
+                mean_loss: 0.0,
+                val_auc: 0.5,
+                val_acc: 0.5,
+                wall_secs: 0.0,
+            },
+            false,
+        );
+        set_level(before);
+    }
+}

@@ -1,0 +1,71 @@
+//! Property tests for the metrics registry: counter totals survive
+//! arbitrary concurrent interleavings, and histogram bucketing conserves
+//! the observation count.
+
+use proptest::prelude::*;
+
+use rckt_obs::{counter, histogram_with};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// The sum of per-thread increments always equals the counter total,
+    /// regardless of thread count and per-thread workload.
+    #[test]
+    fn counter_total_preserved_under_concurrency(
+        amounts in prop::collection::vec(0u64..2_000, 1..8),
+    ) {
+        // A fresh name per case: proptest reuses the process, and the
+        // registry is process-global.
+        let name = format!("proptest.counter.{:x}", fingerprint(&amounts));
+        let c = counter(&name);
+        let before = c.get();
+        std::thread::scope(|s| {
+            for &n in &amounts {
+                let c = c.clone();
+                s.spawn(move || {
+                    for _ in 0..n {
+                        c.incr();
+                    }
+                });
+            }
+        });
+        let expected: u64 = amounts.iter().sum();
+        prop_assert_eq!(c.get() - before, expected);
+    }
+
+    /// Every observation lands in exactly one bucket: bucket counts sum to
+    /// the total count, and the estimated quantile is an actual bucket
+    /// upper bound at or above the true quantile's bucket.
+    #[test]
+    fn histogram_conserves_count_and_orders_quantiles(
+        values in prop::collection::vec(0.0f64..100.0, 1..200),
+        q in 0.01f64..1.0,
+    ) {
+        let name = format!("proptest.hist.{:x}.{}", values.len(), (q * 1000.0) as u64);
+        let h = histogram_with(&name, &[0.1, 1.0, 5.0, 10.0, 50.0]);
+        let base = h.count();
+        for &v in &values {
+            h.observe(v);
+        }
+        let total: u64 = h.bucket_counts().iter().map(|&(_, c)| c).sum();
+        prop_assert_eq!(total, h.count());
+        prop_assert_eq!(h.count() - base, values.len() as u64);
+        let p = h.quantile(q);
+        prop_assert!(p > 0.0);
+        // Monotone in q.
+        prop_assert!(h.quantile(1.0) >= p);
+    }
+}
+
+fn fingerprint(v: &[u64]) -> u64 {
+    // FNV-1a, enough to keep per-case metric names distinct.
+    let mut h = 0xcbf29ce484222325u64;
+    for &x in v {
+        for b in x.to_le_bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100000001b3);
+        }
+    }
+    h ^ v.len() as u64
+}

@@ -44,7 +44,12 @@ pub(crate) enum Op {
     /// Softmax over the last dimension.
     SoftmaxLast(Tx),
     /// Per-row (last dim) layer normalization with affine transform.
-    LayerNorm { x: Tx, gamma: Tx, beta: Tx, eps: f32 },
+    LayerNorm {
+        x: Tx,
+        gamma: Tx,
+        beta: Tx,
+        eps: f32,
+    },
     /// Horizontal concat of two rank-2 tensors with equal row counts.
     ConcatCols(Tx, Tx),
     /// Vertical concat of rank-2 tensors with equal column counts.
@@ -69,7 +74,12 @@ pub(crate) enum Op {
     /// Fused, numerically stable binary cross-entropy on logits.
     /// `weights` both masks (0 entries are ignored) and scales terms; the
     /// result is the weighted sum divided by `norm`.
-    BceWithLogits { logits: Tx, targets: Vec<f32>, weights: Vec<f32>, norm: f32 },
+    BceWithLogits {
+        logits: Tx,
+        targets: Vec<f32>,
+        weights: Vec<f32>,
+        norm: f32,
+    },
 }
 
 pub(crate) struct Node {
@@ -90,7 +100,9 @@ pub struct Graph {
 
 impl Graph {
     pub fn new() -> Self {
-        Graph { nodes: Vec::with_capacity(256) }
+        Graph {
+            nodes: Vec::with_capacity(256),
+        }
     }
 
     pub fn len(&self) -> usize {
@@ -109,8 +121,19 @@ impl Graph {
 
     fn push(&mut self, data: Vec<f32>, shape: Shape, op: Op, requires_grad: bool) -> Tx {
         debug_assert_eq!(data.len(), shape.numel(), "data length must match shape");
-        let grad = if requires_grad { vec![0.0; data.len()] } else { Vec::new() };
-        self.nodes.push(Node { data, grad, shape, op, requires_grad, param_src: None });
+        let grad = if requires_grad {
+            vec![0.0; data.len()]
+        } else {
+            Vec::new()
+        };
+        self.nodes.push(Node {
+            data,
+            grad,
+            shape,
+            op,
+            requires_grad,
+            param_src: None,
+        });
         Tx(self.nodes.len() - 1)
     }
 
@@ -162,8 +185,17 @@ impl Graph {
     pub fn matmul(&mut self, a: Tx, b: Tx) -> Tx {
         let (m, k) = self.shape(a).mat_dims();
         let (k2, n) = self.shape(b).mat_dims();
-        assert_eq!(k, k2, "matmul inner dims: {:?} x {:?}", self.shape(a), self.shape(b));
-        assert!(self.shape(a).rank() <= 2 && self.shape(b).rank() <= 2, "use bmm for rank 3");
+        assert_eq!(
+            k,
+            k2,
+            "matmul inner dims: {:?} x {:?}",
+            self.shape(a),
+            self.shape(b)
+        );
+        assert!(
+            self.shape(a).rank() <= 2 && self.shape(b).rank() <= 2,
+            "use bmm for rank 3"
+        );
         let mut out = vec![0.0; m * n];
         kernels::matmul_acc(self.data(a), self.data(b), &mut out, m, k, n);
         let rg = self.rg(a) || self.rg(b);
@@ -207,15 +239,23 @@ impl Graph {
                 n,
             );
         }
-        let shape = if s.rank() == 3 { Shape::cube(bsz, n, m) } else { Shape::matrix(n, m) };
+        let shape = if s.rank() == 3 {
+            Shape::cube(bsz, n, m)
+        } else {
+            Shape::matrix(n, m)
+        };
         let rg = self.rg(a);
         self.push(out, shape, Op::Transpose(a), rg)
     }
 
     pub fn add(&mut self, a: Tx, b: Tx) -> Tx {
         assert_eq!(self.shape(a), self.shape(b), "add shapes");
-        let out: Vec<f32> =
-            self.data(a).iter().zip(self.data(b)).map(|(x, y)| x + y).collect();
+        let out: Vec<f32> = self
+            .data(a)
+            .iter()
+            .zip(self.data(b))
+            .map(|(x, y)| x + y)
+            .collect();
         let shape = self.shape(a).clone();
         let rg = self.rg(a) || self.rg(b);
         self.push(out, shape, Op::Add(a, b), rg)
@@ -248,8 +288,12 @@ impl Graph {
 
     pub fn sub(&mut self, a: Tx, b: Tx) -> Tx {
         assert_eq!(self.shape(a), self.shape(b), "sub shapes");
-        let out: Vec<f32> =
-            self.data(a).iter().zip(self.data(b)).map(|(x, y)| x - y).collect();
+        let out: Vec<f32> = self
+            .data(a)
+            .iter()
+            .zip(self.data(b))
+            .map(|(x, y)| x - y)
+            .collect();
         let shape = self.shape(a).clone();
         let rg = self.rg(a) || self.rg(b);
         self.push(out, shape, Op::Sub(a, b), rg)
@@ -257,8 +301,12 @@ impl Graph {
 
     pub fn mul(&mut self, a: Tx, b: Tx) -> Tx {
         assert_eq!(self.shape(a), self.shape(b), "mul shapes");
-        let out: Vec<f32> =
-            self.data(a).iter().zip(self.data(b)).map(|(x, y)| x * y).collect();
+        let out: Vec<f32> = self
+            .data(a)
+            .iter()
+            .zip(self.data(b))
+            .map(|(x, y)| x * y)
+            .collect();
         let shape = self.shape(a).clone();
         let rg = self.rg(a) || self.rg(b);
         self.push(out, shape, Op::Mul(a, b), rg)
@@ -338,7 +386,17 @@ impl Graph {
         }
         let shape = self.shape(x).clone();
         let rg = self.rg(x) || self.rg(gamma) || self.rg(beta);
-        self.push(out, shape, Op::LayerNorm { x, gamma, beta, eps }, rg)
+        self.push(
+            out,
+            shape,
+            Op::LayerNorm {
+                x,
+                gamma,
+                beta,
+                eps,
+            },
+            rg,
+        )
     }
 
     pub fn concat_cols(&mut self, a: Tx, b: Tx) -> Tx {
@@ -367,13 +425,21 @@ impl Graph {
             out.extend_from_slice(self.data(p));
             rg |= self.rg(p);
         }
-        self.push(out, Shape::matrix(rows, n), Op::ConcatRows(parts.to_vec()), rg)
+        self.push(
+            out,
+            Shape::matrix(rows, n),
+            Op::ConcatRows(parts.to_vec()),
+            rg,
+        )
     }
 
     pub fn slice_cols(&mut self, a: Tx, start: usize, end: usize) -> Tx {
         let (m, n) = self.shape(a).mat_dims();
         assert!(self.shape(a).rank() <= 2);
-        assert!(start < end && end <= n, "slice_cols range {start}..{end} of {n}");
+        assert!(
+            start < end && end <= n,
+            "slice_cols range {start}..{end} of {n}"
+        );
         let w = end - start;
         let mut out = Vec::with_capacity(m * w);
         for i in 0..m {
@@ -386,10 +452,18 @@ impl Graph {
     pub fn slice_rows(&mut self, a: Tx, start: usize, end: usize) -> Tx {
         let (m, n) = self.shape(a).mat_dims();
         assert!(self.shape(a).rank() <= 2);
-        assert!(start < end && end <= m, "slice_rows range {start}..{end} of {m}");
+        assert!(
+            start < end && end <= m,
+            "slice_rows range {start}..{end} of {m}"
+        );
         let out = self.data(a)[start * n..end * n].to_vec();
         let rg = self.rg(a);
-        self.push(out, Shape::matrix(end - start, n), Op::SliceRows(a, start, end), rg)
+        self.push(
+            out,
+            Shape::matrix(end - start, n),
+            Op::SliceRows(a, start, end),
+            rg,
+        )
     }
 
     /// Embedding-style lookup: output row `i` is `table` row `indices[i]`.
@@ -402,7 +476,12 @@ impl Graph {
             out.extend_from_slice(&self.data(table)[ix * n..(ix + 1) * n]);
         }
         let rg = self.rg(table);
-        self.push(out, Shape::matrix(indices.len(), n), Op::GatherRows(table, indices.to_vec()), rg)
+        self.push(
+            out,
+            Shape::matrix(indices.len(), n),
+            Op::GatherRows(table, indices.to_vec()),
+            rg,
+        )
     }
 
     /// Mean over consecutive row groups of sizes `lens` (all > 0, summing to
@@ -410,7 +489,11 @@ impl Graph {
     pub fn segment_mean_rows(&mut self, a: Tx, lens: &[usize]) -> Tx {
         let (m, n) = self.shape(a).mat_dims();
         assert!(self.shape(a).rank() <= 2);
-        assert_eq!(lens.iter().sum::<usize>(), m, "segment lengths must cover all rows");
+        assert_eq!(
+            lens.iter().sum::<usize>(),
+            m,
+            "segment lengths must cover all rows"
+        );
         let mut out = Vec::with_capacity(lens.len() * n);
         let data = self.data(a);
         let mut row = 0;
@@ -427,7 +510,12 @@ impl Graph {
             row += len;
         }
         let rg = self.rg(a);
-        self.push(out, Shape::matrix(lens.len(), n), Op::SegmentMeanRows(a, lens.to_vec()), rg)
+        self.push(
+            out,
+            Shape::matrix(lens.len(), n),
+            Op::SegmentMeanRows(a, lens.to_vec()),
+            rg,
+        )
     }
 
     pub fn sum_all(&mut self, a: Tx) -> Tx {
@@ -447,7 +535,11 @@ impl Graph {
     pub fn sum_last(&mut self, a: Tx) -> Tx {
         let n = self.shape(a).cols();
         let rows = self.shape(a).rows();
-        let out: Vec<f32> = self.data(a).chunks_exact(n).map(|r| r.iter().sum()).collect();
+        let out: Vec<f32> = self
+            .data(a)
+            .chunks_exact(n)
+            .map(|r| r.iter().sum())
+            .collect();
         let rg = self.rg(a);
         self.push(out, Shape::matrix(rows, 1), Op::SumLast(a), rg)
     }
@@ -471,7 +563,13 @@ impl Graph {
 
     /// Numerically stable weighted binary cross-entropy on logits, reduced to
     /// a scalar: `sum_i w_i * bce(z_i, t_i) / norm`.
-    pub fn bce_with_logits(&mut self, logits: Tx, targets: &[f32], weights: &[f32], norm: f32) -> Tx {
+    pub fn bce_with_logits(
+        &mut self,
+        logits: Tx,
+        targets: &[f32],
+        weights: &[f32],
+        norm: f32,
+    ) -> Tx {
         let z = self.data(logits);
         assert_eq!(z.len(), targets.len());
         assert_eq!(z.len(), weights.len());
@@ -503,8 +601,15 @@ impl Graph {
 
     /// Run reverse-mode differentiation from scalar node `loss`.
     pub fn backward(&mut self, loss: Tx) {
-        assert_eq!(self.nodes[loss.0].shape.numel(), 1, "backward needs a scalar loss");
-        assert!(self.nodes[loss.0].requires_grad, "loss does not depend on any parameter");
+        assert_eq!(
+            self.nodes[loss.0].shape.numel(),
+            1,
+            "backward needs a scalar loss"
+        );
+        assert!(
+            self.nodes[loss.0].requires_grad,
+            "loss does not depend on any parameter"
+        );
         self.nodes[loss.0].grad[0] = 1.0;
 
         for idx in (0..=loss.0).rev() {
@@ -688,8 +793,10 @@ impl Graph {
                 let y = self.nodes[idx].data.clone();
                 let n = self.nodes[idx].shape.cols();
                 self.add_grad(a, |ga| {
-                    for ((ga_row, g_row), y_row) in
-                        ga.chunks_exact_mut(n).zip(g.chunks_exact(n)).zip(y.chunks_exact(n))
+                    for ((ga_row, g_row), y_row) in ga
+                        .chunks_exact_mut(n)
+                        .zip(g.chunks_exact(n))
+                        .zip(y.chunks_exact(n))
                     {
                         let dot: f32 = g_row.iter().zip(y_row).map(|(a, b)| a * b).sum();
                         for j in 0..n {
@@ -698,7 +805,12 @@ impl Graph {
                     }
                 });
             }
-            Op::LayerNorm { x, gamma, beta, eps } => {
+            Op::LayerNorm {
+                x,
+                gamma,
+                beta,
+                eps,
+            } => {
                 let n = self.nodes[idx].shape.cols();
                 let xd = self.nodes[x.0].data.clone();
                 let gd = self.nodes[gamma.0].data.clone();
@@ -853,7 +965,12 @@ impl Graph {
                 });
             }
             Op::Reshape(a) => self.add_grad(a, |ga| acc(ga, g)),
-            Op::BceWithLogits { logits, ref targets, ref weights, norm } => {
+            Op::BceWithLogits {
+                logits,
+                ref targets,
+                ref weights,
+                norm,
+            } => {
                 let (targets, weights) = (targets.clone(), weights.clone());
                 let zd = self.nodes[logits.0].data.clone();
                 self.add_grad(logits, |gz| {

@@ -5,11 +5,35 @@
 //! T ≤ 200) the compiler's autovectorization is within a small factor of
 //! hand-tuned BLAS, and the code stays auditable.
 
+use std::sync::OnceLock;
+
+/// Tally one matmul of shape `(m×k)·(k×n)` into the profiling counters
+/// (`kernel.matmul.calls` / `kernel.matmul.flops`, FLOPs as the usual
+/// 2·m·k·n). Guarded by [`rckt_obs::profiling`], so the disabled cost is
+/// one relaxed atomic load per kernel call; the counter handles are cached
+/// in a `OnceLock` to keep the registry out of the hot path entirely.
+#[inline]
+fn record_matmul(m: usize, k: usize, n: usize) {
+    if !rckt_obs::profiling() {
+        return;
+    }
+    static COUNTERS: OnceLock<(rckt_obs::Counter, rckt_obs::Counter)> = OnceLock::new();
+    let (calls, flops) = COUNTERS.get_or_init(|| {
+        (
+            rckt_obs::counter("kernel.matmul.calls"),
+            rckt_obs::counter("kernel.matmul.flops"),
+        )
+    });
+    calls.incr();
+    flops.add(2 * (m as u64) * (k as u64) * (n as u64));
+}
+
 /// `c += a (m×k) · b (k×n)`, accumulating into `c (m×n)`.
 pub fn matmul_acc(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
     debug_assert_eq!(a.len(), m * k);
     debug_assert_eq!(b.len(), k * n);
     debug_assert_eq!(c.len(), m * n);
+    record_matmul(m, k, n);
     for i in 0..m {
         let a_row = &a[i * k..(i + 1) * k];
         let c_row = &mut c[i * n..(i + 1) * n];
@@ -30,6 +54,7 @@ pub fn matmul_bt_acc(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n:
     debug_assert_eq!(a.len(), m * k);
     debug_assert_eq!(b.len(), n * k);
     debug_assert_eq!(c.len(), m * n);
+    record_matmul(m, k, n);
     for i in 0..m {
         let a_row = &a[i * k..(i + 1) * k];
         for j in 0..n {
@@ -48,6 +73,7 @@ pub fn matmul_at_acc(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n:
     debug_assert_eq!(a.len(), m * k);
     debug_assert_eq!(b.len(), m * n);
     debug_assert_eq!(c.len(), k * n);
+    record_matmul(m, k, n);
     for i in 0..m {
         let a_row = &a[i * k..(i + 1) * k];
         let b_row = &b[i * n..(i + 1) * n];
@@ -143,6 +169,22 @@ mod tests {
         }
         // monotone in logits
         assert!(dst[0] < dst[1] && dst[1] < dst[2]);
+    }
+
+    #[test]
+    fn profiling_counts_matmul_flops() {
+        let a = [1.0, 2.0, 3.0, 4.0];
+        let b = [5.0, 6.0, 7.0, 8.0];
+        let mut c = [0.0; 4];
+        rckt_obs::set_profiling(true);
+        let calls0 = rckt_obs::counter("kernel.matmul.calls").get();
+        let flops0 = rckt_obs::counter("kernel.matmul.flops").get();
+        matmul_acc(&a, &b, &mut c, 2, 2, 2);
+        rckt_obs::set_profiling(false);
+        // `>=`: other tests may run matmuls concurrently while profiling
+        // is enabled here; this one contributes 1 call and 2·2·2·2 FLOPs.
+        assert!(rckt_obs::counter("kernel.matmul.calls").get() - calls0 >= 1);
+        assert!(rckt_obs::counter("kernel.matmul.flops").get() - flops0 >= 16);
     }
 
     #[test]

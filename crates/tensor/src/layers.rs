@@ -19,8 +19,9 @@ pub fn dropout(g: &mut Graph, x: Tx, p: f32, train: bool, rng: &mut SmallRng) ->
     }
     let keep = 1.0 - p;
     let scale = 1.0 / keep;
-    let mask: Vec<f32> =
-        (0..g.shape(x).numel()).map(|_| if rng.gen::<f32>() < keep { scale } else { 0.0 }).collect();
+    let mask: Vec<f32> = (0..g.shape(x).numel())
+        .map(|_| if rng.gen::<f32>() < keep { scale } else { 0.0 })
+        .collect();
     g.dropout_mask(x, mask)
 }
 
@@ -33,10 +34,31 @@ pub struct Linear {
 }
 
 impl Linear {
-    pub fn new(store: &mut ParamStore, name: &str, in_dim: usize, out_dim: usize, rng: &mut SmallRng) -> Self {
-        let w = store.register(&format!("{name}.w"), Shape::matrix(in_dim, out_dim), Init::Xavier, rng);
-        let b = store.register(&format!("{name}.b"), Shape::vector(out_dim), Init::Zeros, rng);
-        Linear { w, b, in_dim, out_dim }
+    pub fn new(
+        store: &mut ParamStore,
+        name: &str,
+        in_dim: usize,
+        out_dim: usize,
+        rng: &mut SmallRng,
+    ) -> Self {
+        let w = store.register(
+            &format!("{name}.w"),
+            Shape::matrix(in_dim, out_dim),
+            Init::Xavier,
+            rng,
+        );
+        let b = store.register(
+            &format!("{name}.b"),
+            Shape::vector(out_dim),
+            Init::Zeros,
+            rng,
+        );
+        Linear {
+            w,
+            b,
+            in_dim,
+            out_dim,
+        }
     }
 
     pub fn forward(&self, g: &mut Graph, store: &ParamStore, x: Tx) -> Tx {
@@ -56,7 +78,14 @@ pub struct PredictionMlp {
 }
 
 impl PredictionMlp {
-    pub fn new(store: &mut ParamStore, name: &str, in_dim: usize, hidden: usize, dropout: f32, rng: &mut SmallRng) -> Self {
+    pub fn new(
+        store: &mut ParamStore,
+        name: &str,
+        in_dim: usize,
+        hidden: usize,
+        dropout: f32,
+        rng: &mut SmallRng,
+    ) -> Self {
         PredictionMlp {
             l1: Linear::new(store, &format!("{name}.l1"), in_dim, hidden, rng),
             l2: Linear::new(store, &format!("{name}.l2"), hidden, 1, rng),
@@ -64,7 +93,14 @@ impl PredictionMlp {
         }
     }
 
-    pub fn forward(&self, g: &mut Graph, store: &ParamStore, x: Tx, train: bool, rng: &mut SmallRng) -> Tx {
+    pub fn forward(
+        &self,
+        g: &mut Graph,
+        store: &ParamStore,
+        x: Tx,
+        train: bool,
+        rng: &mut SmallRng,
+    ) -> Tx {
         let h = self.l1.forward(g, store, x);
         let h = g.relu(h);
         let h = dropout(g, h, self.dropout, train, rng);
@@ -80,7 +116,13 @@ pub struct Embedding {
 }
 
 impl Embedding {
-    pub fn new(store: &mut ParamStore, name: &str, vocab: usize, dim: usize, rng: &mut SmallRng) -> Self {
+    pub fn new(
+        store: &mut ParamStore,
+        name: &str,
+        vocab: usize,
+        dim: usize,
+        rng: &mut SmallRng,
+    ) -> Self {
         let a = (1.0 / dim as f32).sqrt();
         let table = store.register(name, Shape::matrix(vocab, dim), Init::Uniform(a), rng);
         Embedding { table, vocab, dim }
@@ -101,9 +143,23 @@ pub struct LayerNorm {
 
 impl LayerNorm {
     pub fn new(store: &mut ParamStore, name: &str, dim: usize, rng: &mut SmallRng) -> Self {
-        let gamma = store.register(&format!("{name}.gamma"), Shape::vector(dim), Init::Ones, rng);
-        let beta = store.register(&format!("{name}.beta"), Shape::vector(dim), Init::Zeros, rng);
-        LayerNorm { gamma, beta, eps: 1e-5 }
+        let gamma = store.register(
+            &format!("{name}.gamma"),
+            Shape::vector(dim),
+            Init::Ones,
+            rng,
+        );
+        let beta = store.register(
+            &format!("{name}.beta"),
+            Shape::vector(dim),
+            Init::Zeros,
+            rng,
+        );
+        LayerNorm {
+            gamma,
+            beta,
+            eps: 1e-5,
+        }
     }
 
     pub fn forward(&self, g: &mut Graph, store: &ParamStore, x: Tx) -> Tx {
@@ -123,11 +179,38 @@ pub struct LstmCell {
 }
 
 impl LstmCell {
-    pub fn new(store: &mut ParamStore, name: &str, in_dim: usize, hidden: usize, rng: &mut SmallRng) -> Self {
-        let w_ih = store.register(&format!("{name}.w_ih"), Shape::matrix(in_dim, 4 * hidden), Init::Xavier, rng);
-        let w_hh = store.register(&format!("{name}.w_hh"), Shape::matrix(hidden, 4 * hidden), Init::Xavier, rng);
-        let b = store.register(&format!("{name}.b"), Shape::vector(4 * hidden), Init::Zeros, rng);
-        LstmCell { w_ih, w_hh, b, in_dim, hidden }
+    pub fn new(
+        store: &mut ParamStore,
+        name: &str,
+        in_dim: usize,
+        hidden: usize,
+        rng: &mut SmallRng,
+    ) -> Self {
+        let w_ih = store.register(
+            &format!("{name}.w_ih"),
+            Shape::matrix(in_dim, 4 * hidden),
+            Init::Xavier,
+            rng,
+        );
+        let w_hh = store.register(
+            &format!("{name}.w_hh"),
+            Shape::matrix(hidden, 4 * hidden),
+            Init::Xavier,
+            rng,
+        );
+        let b = store.register(
+            &format!("{name}.b"),
+            Shape::vector(4 * hidden),
+            Init::Zeros,
+            rng,
+        );
+        LstmCell {
+            w_ih,
+            w_hh,
+            b,
+            in_dim,
+            hidden,
+        }
     }
 
     /// One step: `(x_t [B,in], h [B,d], c [B,d]) -> (h', c')`.
@@ -170,7 +253,15 @@ pub struct Lstm {
 }
 
 impl Lstm {
-    pub fn new(store: &mut ParamStore, name: &str, in_dim: usize, hidden: usize, layers: usize, dropout: f32, rng: &mut SmallRng) -> Self {
+    pub fn new(
+        store: &mut ParamStore,
+        name: &str,
+        in_dim: usize,
+        hidden: usize,
+        layers: usize,
+        dropout: f32,
+        rng: &mut SmallRng,
+    ) -> Self {
         assert!(layers >= 1);
         let cells = (0..layers)
             .map(|l| {
@@ -178,7 +269,11 @@ impl Lstm {
                 LstmCell::new(store, &format!("{name}.l{l}"), dim, hidden, rng)
             })
             .collect();
-        Lstm { cells, hidden, dropout }
+        Lstm {
+            cells,
+            hidden,
+            dropout,
+        }
     }
 
     /// Process `x [B*T, in]`; returns hidden states `[B*T, hidden]` in the
@@ -227,8 +322,11 @@ impl Lstm {
             let mut h = g.input(zeros.clone(), Shape::matrix(batch, self.hidden));
             let mut c = g.input(zeros, Shape::matrix(batch, self.hidden));
             let mut outs: Vec<Tx> = Vec::with_capacity(t_len);
-            let order: Vec<usize> =
-                if reverse { (0..t_len).rev().collect() } else { (0..t_len).collect() };
+            let order: Vec<usize> = if reverse {
+                (0..t_len).rev().collect()
+            } else {
+                (0..t_len).collect()
+            };
             for &t in &order {
                 let idx = time_indices(batch, t_len, t);
                 let x_t = g.gather_rows(layer_in, &idx);
@@ -259,8 +357,9 @@ impl Lstm {
             }
             // outs is t-major ([T][B, d]); restore b-major rows b*T+t.
             let stacked = g.concat_rows(&outs);
-            let perm: Vec<usize> =
-                (0..batch).flat_map(|b| (0..t_len).map(move |t| t * batch + b)).collect();
+            let perm: Vec<usize> = (0..batch)
+                .flat_map(|b| (0..t_len).map(move |t| t * batch + b))
+                .collect();
             let mut out = g.gather_rows(stacked, &perm);
             if li + 1 < self.cells.len() {
                 out = dropout(g, out, self.dropout, train, rng);
@@ -282,7 +381,10 @@ pub struct AttentionBias {
 
 impl AttentionBias {
     pub fn none() -> Self {
-        AttentionBias { mask: None, distances: None }
+        AttentionBias {
+            mask: None,
+            distances: None,
+        }
     }
 }
 
@@ -324,7 +426,12 @@ impl MultiHeadAttention {
         // gentle recency bias with an effective span of ~12 steps. Large
         // inits collapse the attention span to the nearest key.
         let theta = monotonic.then(|| {
-            store.register(&format!("{name}.theta"), Shape::vector(heads), Init::Constant(-2.5), rng)
+            store.register(
+                &format!("{name}.theta"),
+                Shape::vector(heads),
+                Init::Constant(-2.5),
+                rng,
+            )
         });
         MultiHeadAttention {
             wq: Linear::new(store, &format!("{name}.wq"), dim, dim, rng),
@@ -367,7 +474,7 @@ impl MultiHeadAttention {
         // θ·dist bias, shared across batch, computed per head below.
         let theta_sp = self.theta.map(|pid| {
             let th = store.leaf(g, pid); // [heads]
-            // softplus for positivity: ln(1 + e^x)
+                                         // softplus for positivity: ln(1 + e^x)
             let e = g.exp(th);
             let e1 = g.add_scalar(e, 1.0);
             g.ln_clamped(e1, 1e-12)
@@ -413,7 +520,10 @@ impl MultiHeadAttention {
             cat = g.concat_cols(cat, h);
         }
         let out = self.wo.forward(g, store, cat);
-        AttentionOutput { out, weights: head_weights }
+        AttentionOutput {
+            out,
+            weights: head_weights,
+        }
     }
 }
 
@@ -425,7 +535,14 @@ pub struct FeedForward {
 }
 
 impl FeedForward {
-    pub fn new(store: &mut ParamStore, name: &str, dim: usize, hidden: usize, dropout: f32, rng: &mut SmallRng) -> Self {
+    pub fn new(
+        store: &mut ParamStore,
+        name: &str,
+        dim: usize,
+        hidden: usize,
+        dropout: f32,
+        rng: &mut SmallRng,
+    ) -> Self {
         FeedForward {
             l1: Linear::new(store, &format!("{name}.l1"), dim, hidden, rng),
             l2: Linear::new(store, &format!("{name}.l2"), hidden, dim, rng),
@@ -433,7 +550,14 @@ impl FeedForward {
         }
     }
 
-    pub fn forward(&self, g: &mut Graph, store: &ParamStore, x: Tx, train: bool, rng: &mut SmallRng) -> Tx {
+    pub fn forward(
+        &self,
+        g: &mut Graph,
+        store: &ParamStore,
+        x: Tx,
+        train: bool,
+        rng: &mut SmallRng,
+    ) -> Tx {
         let h = self.l1.forward(g, store, x);
         let h = g.relu(h);
         let h = dropout(g, h, self.dropout, train, rng);
@@ -460,7 +584,15 @@ impl TransformerBlock {
         rng: &mut SmallRng,
     ) -> Self {
         TransformerBlock {
-            attn: MultiHeadAttention::new(store, &format!("{name}.attn"), dim, heads, monotonic, dropout, rng),
+            attn: MultiHeadAttention::new(
+                store,
+                &format!("{name}.attn"),
+                dim,
+                heads,
+                monotonic,
+                dropout,
+                rng,
+            ),
             ffn: FeedForward::new(store, &format!("{name}.ffn"), dim, 4 * dim, dropout, rng),
             ln1: LayerNorm::new(store, &format!("{name}.ln1"), dim, rng),
             ln2: LayerNorm::new(store, &format!("{name}.ln2"), dim, rng),
@@ -480,12 +612,17 @@ impl TransformerBlock {
         rng: &mut SmallRng,
     ) -> AttentionOutput {
         let xn = self.ln1.forward(g, store, x);
-        let att = self.attn.forward(g, store, xn, xn, xn, batch, t_len, t_len, bias, train, rng);
+        let att = self
+            .attn
+            .forward(g, store, xn, xn, xn, batch, t_len, t_len, bias, train, rng);
         let x1 = g.add(x, att.out);
         let x1n = self.ln2.forward(g, store, x1);
         let ff = self.ffn.forward(g, store, x1n, train, rng);
         let out = g.add(x1, ff);
-        AttentionOutput { out, weights: att.weights }
+        AttentionOutput {
+            out,
+            weights: att.weights,
+        }
     }
 }
 
@@ -496,8 +633,17 @@ pub struct PositionalEmbedding {
 }
 
 impl PositionalEmbedding {
-    pub fn new(store: &mut ParamStore, name: &str, max_len: usize, dim: usize, rng: &mut SmallRng) -> Self {
-        PositionalEmbedding { table: Embedding::new(store, name, max_len, dim, rng), max_len }
+    pub fn new(
+        store: &mut ParamStore,
+        name: &str,
+        max_len: usize,
+        dim: usize,
+        rng: &mut SmallRng,
+    ) -> Self {
+        PositionalEmbedding {
+            table: Embedding::new(store, name, max_len, dim, rng),
+            max_len,
+        }
     }
 
     /// Positional rows for a b-major `[B*T, d]` tensor.
@@ -576,7 +722,10 @@ mod tests {
         let lstm = Lstm::new(&mut store, "lstm", 4, 6, 2, 0.0, &mut rng);
         let mut g = Graph::new();
         let (b, t) = (3, 5);
-        let x = g.input((0..b * t * 4).map(|i| (i % 7) as f32 / 7.0).collect(), Shape::matrix(b * t, 4));
+        let x = g.input(
+            (0..b * t * 4).map(|i| (i % 7) as f32 / 7.0).collect(),
+            Shape::matrix(b * t, 4),
+        );
         let h = lstm.forward(&mut g, &store, x, b, t, false, false, &mut rng);
         assert_eq!(g.shape(h).0, vec![b * t, 6]);
         // states differ across time for a non-constant input
@@ -600,14 +749,17 @@ mod tests {
         };
         let mut perturbed = base.clone();
         perturbed[3 * 2] += 1.0; // change input at t = 3
-        // forward: h_0..h_2 unaffected by a change at t=3
+                                 // forward: h_0..h_2 unaffected by a change at t=3
         let (f0, f1) = (run(&base, false), run(&perturbed, false));
         for i in 0..3 * 3 {
             assert!((f0[i] - f1[i]).abs() < 1e-6, "forward leaked future at {i}");
         }
         // reverse: h_3 is the first consumed, h_0 must change
         let (r0, r1) = (run(&base, true), run(&perturbed, true));
-        assert!((0..3).any(|j| (r0[j] - r1[j]).abs() > 1e-6), "reverse ignored future");
+        assert!(
+            (0..3).any(|j| (r0[j] - r1[j]).abs() > 1e-6),
+            "reverse ignored future"
+        );
     }
 
     #[test]
@@ -619,7 +771,17 @@ mod tests {
         let valid = vec![true, true, false, false];
         let mut g = Graph::new();
         let x = g.input(x_data, Shape::matrix(b * t, 2));
-        let h = lstm.forward_masked(&mut g, &store, x, b, t, false, Some(&valid), false, &mut rng);
+        let h = lstm.forward_masked(
+            &mut g,
+            &store,
+            x,
+            b,
+            t,
+            false,
+            Some(&valid),
+            false,
+            &mut rng,
+        );
         let d = g.data(h);
         // state frozen after the last valid step
         assert_eq!(&d[3..2 * 3], &d[2 * 3..3 * 3]);
@@ -631,10 +793,15 @@ mod tests {
         let (mut store, mut rng) = setup();
         let mha = MultiHeadAttention::new(&mut store, "att", 8, 2, false, 0.0, &mut rng);
         let (b, t) = (1, 4);
-        let x: Vec<f32> = (0..b * t * 8).map(|i| ((i * 13) % 11) as f32 / 11.0 - 0.5).collect();
+        let x: Vec<f32> = (0..b * t * 8)
+            .map(|i| ((i * 13) % 11) as f32 / 11.0 - 0.5)
+            .collect();
         let mut g = Graph::new();
         let xt = g.input(x, Shape::matrix(b * t, 8));
-        let bias = AttentionBias { mask: Some(causal_mask(b, t)), distances: None };
+        let bias = AttentionBias {
+            mask: Some(causal_mask(b, t)),
+            distances: None,
+        };
         let out = mha.forward(&mut g, &store, xt, xt, xt, b, t, t, &bias, false, &mut rng);
         for w in &out.weights {
             let data = g.data(*w);
@@ -658,7 +825,10 @@ mod tests {
         let x = vec![0.3f32; b * t * 8];
         let mut g = Graph::new();
         let xt = g.input(x, Shape::matrix(b * t, 8));
-        let bias = AttentionBias { mask: None, distances: Some(abs_distances(t, t)) };
+        let bias = AttentionBias {
+            mask: None,
+            distances: Some(abs_distances(t, t)),
+        };
         let out = mha.forward(&mut g, &store, xt, xt, xt, b, t, t, &bias, false, &mut rng);
         let w = g.data(out.weights[0]);
         // for the last query, attention must decrease with distance
@@ -683,7 +853,10 @@ mod tests {
         let zeros = d.iter().filter(|&&v| v == 0.0).count();
         let scaled = d.iter().filter(|&&v| (v - 2.0).abs() < 1e-6).count();
         assert_eq!(zeros + scaled, 100);
-        assert!(zeros > 20 && zeros < 80, "p=0.5 should drop roughly half, got {zeros}");
+        assert!(
+            zeros > 20 && zeros < 80,
+            "p=0.5 should drop roughly half, got {zeros}"
+        );
     }
 
     #[test]

@@ -17,7 +17,14 @@ pub struct Adam {
 
 impl Adam {
     pub fn new(lr: f32) -> Self {
-        Adam { lr, beta1: 0.9, beta2: 0.999, eps: 1e-8, l2: 0.0, t: 0 }
+        Adam {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            l2: 0.0,
+            t: 0,
+        }
     }
 
     pub fn with_l2(mut self, l2: f32) -> Self {

@@ -66,7 +66,10 @@ impl ParamStore {
         init: Init,
         rng: &mut SmallRng,
     ) -> ParamId {
-        assert!(!self.names.contains_key(name), "duplicate parameter name {name}");
+        assert!(
+            !self.names.contains_key(name),
+            "duplicate parameter name {name}"
+        );
         let shape = shape.into();
         let n = shape.numel();
         let (fan_in, fan_out) = match shape.0.as_slice() {
@@ -267,6 +270,9 @@ mod tests {
         let json = store.save_json();
         let loaded = ParamStore::load_json(&json).unwrap();
         assert_eq!(loaded.len(), 2);
-        assert_eq!(loaded.data(loaded.id("a").unwrap()), store.data(store.id("a").unwrap()));
+        assert_eq!(
+            loaded.data(loaded.id("a").unwrap()),
+            store.data(store.id("a").unwrap())
+        );
     }
 }

@@ -118,6 +118,10 @@ fn bce_with_zero_weight_positions_has_zero_grad_there() {
     let z = g.leaf_grad(vec![5.0, -5.0], Shape::vector(2));
     let loss = g.bce_with_logits(z, &[0.0, 1.0], &[0.0, 1.0], 1.0);
     g.backward(loss);
-    assert_eq!(g.grad(z)[0], 0.0, "masked position must not receive gradient");
+    assert_eq!(
+        g.grad(z)[0],
+        0.0,
+        "masked position must not receive gradient"
+    );
     assert!(g.grad(z)[1] != 0.0);
 }

@@ -56,8 +56,10 @@ fn lstm_full_gradcheck() {
     let mut store = ParamStore::new();
     let lstm = Lstm::new(&mut store, "lstm", D, D, 1, 0.0, &mut rng);
     let x = input_data(&mut rng, B * T * D);
-    let params: Vec<ParamId> =
-        ["lstm.l0.w_ih", "lstm.l0.w_hh", "lstm.l0.b"].iter().map(|n| store.id(n).unwrap()).collect();
+    let params: Vec<ParamId> = ["lstm.l0.w_ih", "lstm.l0.w_hh", "lstm.l0.b"]
+        .iter()
+        .map(|n| store.id(n).unwrap())
+        .collect();
 
     let loss_of = |store: &ParamStore| -> f32 {
         let mut rng = SmallRng::seed_from_u64(0);
@@ -79,7 +81,10 @@ fn lstm_full_gradcheck() {
         g.backward(loss);
         store2.zero_grads();
         store2.accumulate_grads(&g);
-        params.iter().map(|&p| (p, store2.grad(p).to_vec())).collect()
+        params
+            .iter()
+            .map(|&p| (p, store2.grad(p).to_vec()))
+            .collect()
     };
     check_param_grads(&mut store, &params, loss_of, analytic);
 }
@@ -100,7 +105,10 @@ fn attention_full_gradcheck_with_monotonic_decay() {
         let mut rng = SmallRng::seed_from_u64(0);
         let mut g = Graph::new();
         let xt = g.input(x.clone(), Shape::matrix(B * T, D));
-        let bias = AttentionBias { mask: None, distances: Some(abs_distances(T, T)) };
+        let bias = AttentionBias {
+            mask: None,
+            distances: Some(abs_distances(T, T)),
+        };
         let out = mha.forward(&mut g, &store2, xt, xt, xt, B, T, T, &bias, false, &mut rng);
         let sq = g.mul(out.out, out.out);
         let loss = g.mean_all(sq);

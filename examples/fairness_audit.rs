@@ -7,7 +7,7 @@
 //! cargo run --release --example fairness_audit
 //! ```
 
-use rckt::audit::{audit_by_ability, auc_disparity};
+use rckt::audit::{auc_disparity, audit_by_ability};
 use rckt::{Backbone, Rckt, RcktConfig};
 use rckt_data::{make_batches, windows, KFold, SyntheticSpec};
 use rckt_models::model::TrainConfig;
@@ -23,10 +23,19 @@ fn main() {
         Backbone::Dkt,
         ds.num_questions(),
         ds.num_concepts(),
-        RcktConfig { dim: 32, lr: 2e-3, ..Default::default() },
+        RcktConfig {
+            dim: 32,
+            lr: 2e-3,
+            ..Default::default()
+        },
     );
     eprintln!("training {} ...", model.name());
-    let cfg = TrainConfig { max_epochs: 12, patience: 6, batch_size: 16, ..Default::default() };
+    let cfg = TrainConfig {
+        max_epochs: 12,
+        patience: 6,
+        batch_size: 16,
+        ..Default::default()
+    };
     model.fit(&ws, &fold.train, &fold.val, &ds.q_matrix, &cfg);
 
     // per-student (per-window) prediction sets at strided targets
@@ -43,7 +52,8 @@ fn main() {
         for t in 0..b.t_len {
             for bb in 0..b.batch {
                 let len = b.seq_len(bb);
-                let hit = (t % 8 == 7 && t < len) || (len >= 2 && t == len - 1 && len.saturating_sub(1) % 8 != 7);
+                let hit = (t % 8 == 7 && t < len)
+                    || (len >= 2 && t == len - 1 && len.saturating_sub(1) % 8 != 7);
                 if hit {
                     layout.push(bb);
                 }
@@ -57,7 +67,10 @@ fn main() {
     }
 
     println!("=== subgroup audit ({} students) ===\n", per_student.len());
-    println!("{:>14}{:>6}{:>8}{:>8}{:>12}", "correct-rate", "n", "AUC", "ACC", "calib gap");
+    println!(
+        "{:>14}{:>6}{:>8}{:>8}{:>12}",
+        "correct-rate", "n", "AUC", "ACC", "calib gap"
+    );
     let reports = audit_by_ability(&per_student, 4);
     for r in &reports {
         if r.n == 0 {
@@ -68,6 +81,9 @@ fn main() {
             r.rate_lo, r.rate_hi, r.n, r.auc, r.acc, r.calibration_gap
         );
     }
-    println!("\nAUC disparity across groups: {:.3}", auc_disparity(&reports));
+    println!(
+        "\nAUC disparity across groups: {:.3}",
+        auc_disparity(&reports)
+    );
     println!("(positive calibration gap = the model flatters that group)");
 }

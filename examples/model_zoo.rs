@@ -17,8 +17,8 @@ use rckt_models::dkt::{Dkt, DktConfig};
 use rckt_models::dkvmn::{Dkvmn, DkvmnConfig};
 use rckt_models::ikt::Ikt;
 use rckt_models::ktm::{Ktm, KtmConfig};
-use rckt_models::pfa::{Pfa, PfaConfig};
 use rckt_models::model::TrainConfig;
+use rckt_models::pfa::{Pfa, PfaConfig};
 use rckt_models::qikt::{Qikt, QiktConfig};
 use rckt_models::saint::{Saint, SaintConfig};
 use rckt_models::KtModel;
@@ -28,8 +28,9 @@ fn last_preds(model: &dyn KtModel, batches: &[Batch]) -> (Vec<f32>, Vec<bool>) {
     let mut s = Vec::new();
     let mut l = Vec::new();
     for b in batches {
-        let lasts: Vec<usize> =
-            (0..b.batch).map(|bb| bb * b.t_len + b.seq_len(bb) - 1).collect();
+        let lasts: Vec<usize> = (0..b.batch)
+            .map(|bb| bb * b.t_len + b.seq_len(bb) - 1)
+            .collect();
         for (p, i) in model.predict(b).into_iter().zip(eval_positions(b)) {
             if lasts.contains(&i) {
                 s.push(p.prob);
@@ -46,7 +47,12 @@ fn main() {
     let folds = KFold::paper(3).split(ws.len());
     let fold = &folds[0];
     let (nq, nk) = (ds.num_questions(), ds.num_concepts());
-    let cfg = TrainConfig { max_epochs: 10, patience: 5, batch_size: 16, ..Default::default() };
+    let cfg = TrainConfig {
+        max_epochs: 10,
+        patience: 5,
+        batch_size: 16,
+        ..Default::default()
+    };
     let test = make_batches(&ws, &fold.test, &ds.q_matrix, 16);
 
     let mut models: Vec<Box<dyn KtModel>> = vec![
@@ -54,13 +60,70 @@ fn main() {
         Box::new(Pfa::new(PfaConfig::default())),
         Box::new(Ktm::new(KtmConfig::default())),
         Box::new(Ikt::new()),
-        Box::new(Dkt::new(nq, nk, DktConfig { dim: 32, lr: 2e-3, ..Default::default() })),
-        Box::new(Dkvmn::new(nq, nk, DkvmnConfig { dim: 32, value_dim: 32, ..Default::default() })),
-        Box::new(AttnKt::new(AttnVariant::Sakt, nq, nk, AttnKtConfig { dim: 32, lr: 2e-3, ..Default::default() })),
-        Box::new(AttnKt::new(AttnVariant::Akt, nq, nk, AttnKtConfig { dim: 32, lr: 2e-3, ..Default::default() })),
-        Box::new(Dimkt::new(nq, nk, DimktConfig { dim: 32, lr: 2e-3, ..Default::default() })),
-        Box::new(Qikt::new(nq, nk, QiktConfig { dim: 32, lr: 2e-3, ..Default::default() })),
-        Box::new(Saint::new(nq, nk, SaintConfig { dim: 32, ..Default::default() })),
+        Box::new(Dkt::new(
+            nq,
+            nk,
+            DktConfig {
+                dim: 32,
+                lr: 2e-3,
+                ..Default::default()
+            },
+        )),
+        Box::new(Dkvmn::new(
+            nq,
+            nk,
+            DkvmnConfig {
+                dim: 32,
+                value_dim: 32,
+                ..Default::default()
+            },
+        )),
+        Box::new(AttnKt::new(
+            AttnVariant::Sakt,
+            nq,
+            nk,
+            AttnKtConfig {
+                dim: 32,
+                lr: 2e-3,
+                ..Default::default()
+            },
+        )),
+        Box::new(AttnKt::new(
+            AttnVariant::Akt,
+            nq,
+            nk,
+            AttnKtConfig {
+                dim: 32,
+                lr: 2e-3,
+                ..Default::default()
+            },
+        )),
+        Box::new(Dimkt::new(
+            nq,
+            nk,
+            DimktConfig {
+                dim: 32,
+                lr: 2e-3,
+                ..Default::default()
+            },
+        )),
+        Box::new(Qikt::new(
+            nq,
+            nk,
+            QiktConfig {
+                dim: 32,
+                lr: 2e-3,
+                ..Default::default()
+            },
+        )),
+        Box::new(Saint::new(
+            nq,
+            nk,
+            SaintConfig {
+                dim: 32,
+                ..Default::default()
+            },
+        )),
     ];
 
     let mut rows: Vec<(String, f64, f64)> = Vec::new();
@@ -71,14 +134,26 @@ fn main() {
         rows.push((m.name(), auc(&s, &l), accuracy(&s, &l, 0.5)));
     }
 
-    let mut rckt = Rckt::new(Backbone::Akt, nq, nk, RcktConfig { dim: 32, lr: 2e-3, ..Default::default() });
+    let mut rckt = Rckt::new(
+        Backbone::Akt,
+        nq,
+        nk,
+        RcktConfig {
+            dim: 32,
+            lr: 2e-3,
+            ..Default::default()
+        },
+    );
     eprintln!("training {} ...", rckt.name());
     rckt.fit(&ws, &fold.train, &fold.val, &ds.q_matrix, &cfg);
     let (a, acc) = rckt.evaluate_last(&test);
     rows.push((rckt.name(), a, acc));
 
     rows.sort_by(|x, y| y.1.partial_cmp(&x.1).unwrap());
-    println!("\n=== model zoo on {} (final-response prediction) ===", ds.name);
+    println!(
+        "\n=== model zoo on {} (final-response prediction) ===",
+        ds.name
+    );
     println!("{:<12}{:>8}{:>8}", "model", "AUC", "ACC");
     for (name, a, c) in rows {
         println!("{name:<12}{a:>8.4}{c:>8.4}");

@@ -26,10 +26,19 @@ fn main() {
         Backbone::Dkt,
         ds.num_questions(),
         ds.num_concepts(),
-        RcktConfig { dim: 32, lr: 2e-3, ..Default::default() },
+        RcktConfig {
+            dim: 32,
+            lr: 2e-3,
+            ..Default::default()
+        },
     );
     eprintln!("training ...");
-    let cfg = TrainConfig { max_epochs: 10, patience: 5, batch_size: 16, ..Default::default() };
+    let cfg = TrainConfig {
+        max_epochs: 10,
+        patience: 5,
+        batch_size: 16,
+        ..Default::default()
+    };
     model.fit(&ws, &fold.train, &fold.val, &ds.q_matrix, &cfg);
 
     // dashboard for the longest test window
@@ -39,12 +48,16 @@ fn main() {
         .map(|&i| &ws[i])
         .max_by_key(|w| w.len)
         .expect("test windows exist");
-    let mut concepts: Vec<u16> =
-        (0..w.len).flat_map(|t| ds.q_matrix.concepts_of(w.questions[t]).to_vec()).collect();
+    let mut concepts: Vec<u16> = (0..w.len)
+        .flat_map(|t| ds.q_matrix.concepts_of(w.questions[t]).to_vec())
+        .collect();
     concepts.sort_unstable();
     concepts.dedup();
 
-    println!("=== proficiency dashboard: student {} ({} responses) ===\n", w.student, w.len);
+    println!(
+        "=== proficiency dashboard: student {} ({} responses) ===\n",
+        w.student, w.len
+    );
     print!("{:<14}", "responses");
     for t in 0..w.len {
         print!("{}", if w.correct[t] == 1 { '●' } else { '○' });

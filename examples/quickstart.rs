@@ -18,21 +18,39 @@ fn main() {
     let ws = windows(&ds, 50, 5);
     let folds = KFold::paper(42).split(ws.len());
     let fold = &folds[0];
-    println!("dataset: {} ({} windows, {:.0}% correct)", ds.name, ws.len(), ds.correct_rate() * 100.0);
+    println!(
+        "dataset: {} ({} windows, {:.0}% correct)",
+        ds.name,
+        ws.len(),
+        ds.correct_rate() * 100.0
+    );
 
     // 2. Model: RCKT with a BiLSTM (DKT) backbone.
     let mut model = Rckt::new(
         Backbone::Dkt,
         ds.num_questions(),
         ds.num_concepts(),
-        RcktConfig { dim: 32, lr: 2e-3, ..Default::default() },
+        RcktConfig {
+            dim: 32,
+            lr: 2e-3,
+            ..Default::default()
+        },
     );
     println!("model: {} ({} weights)", model.name(), model.num_weights());
 
     // 3. Train with early stopping on validation AUC.
-    let cfg = TrainConfig { max_epochs: 12, patience: 6, batch_size: 16, verbose: true, ..Default::default() };
+    let cfg = TrainConfig {
+        max_epochs: 12,
+        patience: 6,
+        batch_size: 16,
+        verbose: true,
+        ..Default::default()
+    };
     let report = model.fit(&ws, &fold.train, &fold.val, &ds.q_matrix, &cfg);
-    println!("trained {} epochs (best epoch {})", report.epochs_run, report.best_epoch);
+    println!(
+        "trained {} epochs (best epoch {})",
+        report.epochs_run, report.best_epoch
+    );
 
     // 4. Evaluate on the held-out fold (final-response prediction).
     let test = make_batches(&ws, &fold.test, &ds.q_matrix, 16);
@@ -43,7 +61,16 @@ fn main() {
     let batch = &test[0];
     let targets: Vec<usize> = (0..batch.batch).map(|b| batch.seq_len(b) - 1).collect();
     let rec = &model.influences(batch, &targets)[0];
-    println!("\nwhy does RCKT predict {} for this student's next answer?\n",
-        if rec.predicted_correct() { "correct" } else { "incorrect" });
-    print!("{}", render_influence_table(rec, &ExplainContext::default()));
+    println!(
+        "\nwhy does RCKT predict {} for this student's next answer?\n",
+        if rec.predicted_correct() {
+            "correct"
+        } else {
+            "incorrect"
+        }
+    );
+    print!(
+        "{}",
+        render_influence_table(rec, &ExplainContext::default())
+    );
 }

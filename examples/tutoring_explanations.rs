@@ -27,10 +27,23 @@ fn main() {
         Backbone::Akt,
         ds.num_questions(),
         ds.num_concepts(),
-        RcktConfig { dim: 32, lr: 2e-3, ..Default::default() },
+        RcktConfig {
+            dim: 32,
+            lr: 2e-3,
+            ..Default::default()
+        },
     );
-    eprintln!("training {} on {} windows ...", model.name(), fold.train.len());
-    let cfg = TrainConfig { max_epochs: 10, patience: 5, batch_size: 16, ..Default::default() };
+    eprintln!(
+        "training {} on {} windows ...",
+        model.name(),
+        fold.train.len()
+    );
+    let cfg = TrainConfig {
+        max_epochs: 10,
+        patience: 5,
+        batch_size: 16,
+        ..Default::default()
+    };
     model.fit(&ws, &fold.train, &fold.val, &ds.q_matrix, &cfg);
 
     let test = make_batches(&ws, &fold.test, &ds.q_matrix, 8);
@@ -47,7 +60,11 @@ fn main() {
             println!(
                 "student window #{student}: predicted to answer the next question {} \
                  (score {:.2}, actual: {})",
-                if rec.predicted_correct() { "CORRECTLY" } else { "INCORRECTLY" },
+                if rec.predicted_correct() {
+                    "CORRECTLY"
+                } else {
+                    "INCORRECTLY"
+                },
                 rec.score,
                 if rec.label { "correct" } else { "incorrect" }
             );
@@ -87,5 +104,7 @@ fn main() {
             }
         }
     }
-    println!("(each report is a transparent sum of per-response influences — Eq. 12/13 of the paper)");
+    println!(
+        "(each report is a transparent sum of per-response influences — Eq. 12/13 of the paper)"
+    );
 }

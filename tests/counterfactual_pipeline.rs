@@ -6,7 +6,15 @@ use rckt_data::{make_batches, windows, KFold, SyntheticSpec};
 use rckt_models::model::TrainConfig;
 use rckt_models::KtModel;
 
-fn trained_model(backbone: Backbone, scale: f64) -> (rckt_data::Dataset, Vec<rckt_data::Window>, rckt_data::Fold, Rckt) {
+fn trained_model(
+    backbone: Backbone,
+    scale: f64,
+) -> (
+    rckt_data::Dataset,
+    Vec<rckt_data::Window>,
+    rckt_data::Fold,
+    Rckt,
+) {
     let ds = SyntheticSpec::assist09().scaled(scale).generate();
     let ws = windows(&ds, 30, 5);
     let folds = KFold::paper(9).split(ws.len());
@@ -15,9 +23,19 @@ fn trained_model(backbone: Backbone, scale: f64) -> (rckt_data::Dataset, Vec<rck
         backbone,
         ds.num_questions(),
         ds.num_concepts(),
-        RcktConfig { dim: 16, heads: 2, lr: 2e-3, ..Default::default() },
+        RcktConfig {
+            dim: 16,
+            heads: 2,
+            lr: 2e-3,
+            ..Default::default()
+        },
     );
-    let cfg = TrainConfig { max_epochs: 5, patience: 3, batch_size: 16, ..Default::default() };
+    let cfg = TrainConfig {
+        max_epochs: 5,
+        patience: 3,
+        batch_size: 16,
+        ..Default::default()
+    };
     model.fit(&ws, &fold.train, &fold.val, &ds.q_matrix, &cfg);
     (ds, ws, fold, model)
 }
@@ -32,15 +50,30 @@ fn approximation_tracks_exact_inference() {
     let mut exact = Vec::new();
     for b in &test {
         approx.extend(model.predict_last(b).into_iter().map(|p| p.prob as f64));
-        exact.extend(model.predict_exact_last(b).into_iter().map(|p| p.prob as f64));
+        exact.extend(
+            model
+                .predict_exact_last(b)
+                .into_iter()
+                .map(|p| p.prob as f64),
+        );
     }
     let n = approx.len() as f64;
-    let (ma, me) = (approx.iter().sum::<f64>() / n, exact.iter().sum::<f64>() / n);
-    let cov: f64 = approx.iter().zip(&exact).map(|(a, e)| (a - ma) * (e - me)).sum();
+    let (ma, me) = (
+        approx.iter().sum::<f64>() / n,
+        exact.iter().sum::<f64>() / n,
+    );
+    let cov: f64 = approx
+        .iter()
+        .zip(&exact)
+        .map(|(a, e)| (a - ma) * (e - me))
+        .sum();
     let va: f64 = approx.iter().map(|a| (a - ma) * (a - ma)).sum();
     let ve: f64 = exact.iter().map(|e| (e - me) * (e - me)).sum();
     let r = cov / (va.sqrt() * ve.sqrt()).max(1e-12);
-    assert!(r > 0.25, "approximate vs exact correlation too weak: {r:.3}");
+    assert!(
+        r > 0.25,
+        "approximate vs exact correlation too weak: {r:.3}"
+    );
 }
 
 /// The -mono ablation must actually change the counterfactual inputs (and
@@ -51,13 +84,22 @@ fn mono_ablation_changes_predictions() {
     let ws = windows(&ds, 30, 5);
     let folds = KFold::paper(1).split(ws.len());
     let fold = &folds[0];
-    let cfg = TrainConfig { max_epochs: 3, patience: 3, batch_size: 16, ..Default::default() };
+    let cfg = TrainConfig {
+        max_epochs: 3,
+        patience: 3,
+        batch_size: 16,
+        ..Default::default()
+    };
 
     let mut full = Rckt::new(
         Backbone::Dkt,
         ds.num_questions(),
         ds.num_concepts(),
-        RcktConfig { dim: 16, lr: 2e-3, ..Default::default() },
+        RcktConfig {
+            dim: 16,
+            lr: 2e-3,
+            ..Default::default()
+        },
     );
     full.fit(&ws, &fold.train, &fold.val, &ds.q_matrix, &cfg);
     // same weights, different retention: load full's weights into an
@@ -66,15 +108,35 @@ fn mono_ablation_changes_predictions() {
         Backbone::Dkt,
         ds.num_questions(),
         ds.num_concepts(),
-        RcktConfig { dim: 16, lr: 2e-3, ..Default::default() }.without_mono(),
+        RcktConfig {
+            dim: 16,
+            lr: 2e-3,
+            ..Default::default()
+        }
+        .without_mono(),
     );
     ablated.load_weights(&full.save_weights()).unwrap();
 
     let test = make_batches(&ws, &fold.test, &ds.q_matrix, 16);
-    let a: Vec<f32> = test.iter().flat_map(|b| full.predict_last(b)).map(|p| p.prob).collect();
-    let b: Vec<f32> = test.iter().flat_map(|b| ablated.predict_last(b)).map(|p| p.prob).collect();
-    let max_diff = a.iter().zip(&b).map(|(x, y)| (x - y).abs()).fold(0.0f32, f32::max);
-    assert!(max_diff > 1e-4, "retention ablation had no effect (max diff {max_diff})");
+    let a: Vec<f32> = test
+        .iter()
+        .flat_map(|b| full.predict_last(b))
+        .map(|p| p.prob)
+        .collect();
+    let b: Vec<f32> = test
+        .iter()
+        .flat_map(|b| ablated.predict_last(b))
+        .map(|p| p.prob)
+        .collect();
+    let max_diff = a
+        .iter()
+        .zip(&b)
+        .map(|(x, y)| (x - y).abs())
+        .fold(0.0f32, f32::max);
+    assert!(
+        max_diff > 1e-4,
+        "retention ablation had no effect (max diff {max_diff})"
+    );
 }
 
 /// Proficiency probes respond to evidence: a streak of correct answers on a
@@ -98,7 +160,10 @@ fn proficiency_trends_follow_evidence() {
         let first: f32 = trace.after[..half].iter().sum::<f32>() / half as f32;
         let second: f32 =
             trace.after[half..].iter().sum::<f32>() / (trace.after.len() - half) as f32;
-        let correct_rate: f32 = w.correct[half..w.len].iter().map(|&c| c as f32).sum::<f32>()
+        let correct_rate: f32 = w.correct[half..w.len]
+            .iter()
+            .map(|&c| c as f32)
+            .sum::<f32>()
             / (w.len - half) as f32;
         cases += 1;
         let went_up = second >= first;
@@ -121,8 +186,9 @@ fn rckt_batch_composition_invariance() {
     let (ds, ws, fold, model) = trained_model(Backbone::Sakt, 0.15);
     let take: Vec<usize> = fold.test.iter().copied().take(3).collect();
     let joint = make_batches(&ws, &take, &ds.q_matrix, 3);
-    let joint_targets: Vec<usize> =
-        (0..joint[0].batch).map(|b| joint[0].seq_len(b) - 1).collect();
+    let joint_targets: Vec<usize> = (0..joint[0].batch)
+        .map(|b| joint[0].seq_len(b) - 1)
+        .collect();
     let joint_preds = model.predict_targets(&joint[0], &joint_targets);
 
     for (k, &i) in take.iter().enumerate() {
@@ -174,13 +240,15 @@ fn per_position_targets_are_well_formed() {
     let test = make_batches(&ws, &fold.test[..fold.test.len().min(4)], &ds.q_matrix, 4);
     for b in &test {
         for t in 1..b.t_len {
-            let involved: Vec<usize> =
-                (0..b.batch).filter(|&bb| b.valid[bb * b.t_len + t]).collect();
+            let involved: Vec<usize> = (0..b.batch)
+                .filter(|&bb| b.valid[bb * b.t_len + t])
+                .collect();
             if involved.is_empty() {
                 continue;
             }
-            let targets: Vec<usize> =
-                (0..b.batch).map(|bb| if b.valid[bb * b.t_len + t] { t } else { 1 }).collect();
+            let targets: Vec<usize> = (0..b.batch)
+                .map(|bb| if b.valid[bb * b.t_len + t] { t } else { 1 })
+                .collect();
             for (bb, p) in model.predict_targets(b, &targets).into_iter().enumerate() {
                 if involved.contains(&bb) {
                     assert!(

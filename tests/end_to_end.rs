@@ -23,11 +23,20 @@ fn setup(scale: f64) -> Setup {
     let ds = SyntheticSpec::assist12().scaled(scale).generate();
     let ws = windows(&ds, 50, 5);
     let folds = KFold::paper(5).split(ws.len());
-    Setup { ds, ws, fold: folds[0].clone() }
+    Setup {
+        ds,
+        ws,
+        fold: folds[0].clone(),
+    }
 }
 
 fn quick_cfg() -> TrainConfig {
-    TrainConfig { max_epochs: 6, patience: 3, batch_size: 16, ..Default::default() }
+    TrainConfig {
+        max_epochs: 6,
+        patience: 3,
+        batch_size: 16,
+        ..Default::default()
+    }
 }
 
 /// Every SGD-trained baseline learns something above chance on simulator
@@ -37,25 +46,65 @@ fn all_neural_baselines_beat_chance() {
     let s = setup(0.25);
     let (nq, nk) = (s.ds.num_questions(), s.ds.num_concepts());
     let mut models: Vec<Box<dyn KtModel>> = vec![
-        Box::new(Dkt::new(nq, nk, DktConfig { dim: 16, lr: 2e-3, ..Default::default() })),
+        Box::new(Dkt::new(
+            nq,
+            nk,
+            DktConfig {
+                dim: 16,
+                lr: 2e-3,
+                ..Default::default()
+            },
+        )),
         Box::new(AttnKt::new(
             AttnVariant::Sakt,
             nq,
             nk,
-            AttnKtConfig { dim: 16, heads: 2, lr: 2e-3, ..Default::default() },
+            AttnKtConfig {
+                dim: 16,
+                heads: 2,
+                lr: 2e-3,
+                ..Default::default()
+            },
         )),
         Box::new(AttnKt::new(
             AttnVariant::Akt,
             nq,
             nk,
-            AttnKtConfig { dim: 16, heads: 2, lr: 2e-3, ..Default::default() },
+            AttnKtConfig {
+                dim: 16,
+                heads: 2,
+                lr: 2e-3,
+                ..Default::default()
+            },
         )),
-        Box::new(Dimkt::new(nq, nk, DimktConfig { dim: 16, lr: 2e-3, ..Default::default() })),
-        Box::new(Qikt::new(nq, nk, QiktConfig { dim: 16, lr: 2e-3, ..Default::default() })),
+        Box::new(Dimkt::new(
+            nq,
+            nk,
+            DimktConfig {
+                dim: 16,
+                lr: 2e-3,
+                ..Default::default()
+            },
+        )),
+        Box::new(Qikt::new(
+            nq,
+            nk,
+            QiktConfig {
+                dim: 16,
+                lr: 2e-3,
+                ..Default::default()
+            },
+        )),
     ];
     let test = make_batches(&s.ws, &s.fold.test, &s.ds.q_matrix, 16);
     for m in &mut models {
-        m.fit(&s.ws, &s.fold.train, &s.fold.val, &s.ds.q_matrix, &quick_cfg());
+        m.fit(
+            &s.ws,
+            &s.fold.train,
+            &s.fold.val,
+            &s.ds.q_matrix,
+            &quick_cfg(),
+        );
         let (a, _) = evaluate(m.as_ref(), &test);
         assert!(a > 0.53, "{} test AUC only {a:.4}", m.name());
     }
@@ -67,12 +116,24 @@ fn statistical_baselines_beat_chance() {
     let s = setup(0.3);
     let test = make_batches(&s.ws, &s.fold.test, &s.ds.q_matrix, 32);
     let mut ikt = Ikt::new();
-    ikt.fit(&s.ws, &s.fold.train, &s.fold.val, &s.ds.q_matrix, &quick_cfg());
+    ikt.fit(
+        &s.ws,
+        &s.fold.train,
+        &s.fold.val,
+        &s.ds.q_matrix,
+        &quick_cfg(),
+    );
     let (a, _) = evaluate(&ikt, &test);
     assert!(a > 0.53, "IKT AUC {a:.4}");
 
     let mut bkt = Bkt::new();
-    bkt.fit(&s.ws, &s.fold.train, &s.fold.val, &s.ds.q_matrix, &quick_cfg());
+    bkt.fit(
+        &s.ws,
+        &s.fold.train,
+        &s.fold.val,
+        &s.ds.q_matrix,
+        &quick_cfg(),
+    );
     let (a, _) = evaluate(&bkt, &test);
     assert!(a > 0.52, "BKT AUC {a:.4}");
 }
@@ -86,9 +147,19 @@ fn rckt_end_to_end_with_explanations() {
         Backbone::Dkt,
         s.ds.num_questions(),
         s.ds.num_concepts(),
-        RcktConfig { dim: 16, lr: 2e-3, ..Default::default() },
+        RcktConfig {
+            dim: 16,
+            lr: 2e-3,
+            ..Default::default()
+        },
     );
-    let report = model.fit(&s.ws, &s.fold.train, &s.fold.val, &s.ds.q_matrix, &quick_cfg());
+    let report = model.fit(
+        &s.ws,
+        &s.fold.train,
+        &s.fold.val,
+        &s.ds.q_matrix,
+        &quick_cfg(),
+    );
     assert!(report.epochs_run >= 1);
     let test = make_batches(&s.ws, &s.fold.test, &s.ds.q_matrix, 16);
     let (a, _) = model.evaluate_last(&test);
@@ -117,23 +188,45 @@ fn rckt_checkpoint_roundtrip() {
         Backbone::Sakt,
         s.ds.num_questions(),
         s.ds.num_concepts(),
-        RcktConfig { dim: 16, heads: 2, lr: 2e-3, ..Default::default() },
+        RcktConfig {
+            dim: 16,
+            heads: 2,
+            lr: 2e-3,
+            ..Default::default()
+        },
     );
-    let cfg = TrainConfig { max_epochs: 2, patience: 2, batch_size: 16, ..Default::default() };
+    let cfg = TrainConfig {
+        max_epochs: 2,
+        patience: 2,
+        batch_size: 16,
+        ..Default::default()
+    };
     model.fit(&s.ws, &s.fold.train, &s.fold.val, &s.ds.q_matrix, &cfg);
     let test = make_batches(&s.ws, &s.fold.test, &s.ds.q_matrix, 16);
-    let before: Vec<f32> = test.iter().flat_map(|b| model.predict_last(b)).map(|p| p.prob).collect();
+    let before: Vec<f32> = test
+        .iter()
+        .flat_map(|b| model.predict_last(b))
+        .map(|p| p.prob)
+        .collect();
 
     let json = model.save_weights();
     let mut restored = Rckt::new(
         Backbone::Sakt,
         s.ds.num_questions(),
         s.ds.num_concepts(),
-        RcktConfig { dim: 16, heads: 2, lr: 2e-3, ..Default::default() },
+        RcktConfig {
+            dim: 16,
+            heads: 2,
+            lr: 2e-3,
+            ..Default::default()
+        },
     );
     restored.load_weights(&json).unwrap();
-    let after: Vec<f32> =
-        test.iter().flat_map(|b| restored.predict_last(b)).map(|p| p.prob).collect();
+    let after: Vec<f32> = test
+        .iter()
+        .flat_map(|b| restored.predict_last(b))
+        .map(|p| p.prob)
+        .collect();
     assert_eq!(before.len(), after.len());
     for (x, y) in before.iter().zip(&after) {
         assert!((x - y).abs() < 1e-6);
@@ -172,10 +265,18 @@ fn csv_to_training_pipeline() {
     let mut model = Dkt::new(
         loaded.num_questions(),
         loaded.num_concepts(),
-        DktConfig { dim: 16, ..Default::default() },
+        DktConfig {
+            dim: 16,
+            ..Default::default()
+        },
     );
     let n = idx.len();
-    let cfg = TrainConfig { max_epochs: 2, patience: 2, batch_size: 16, ..Default::default() };
+    let cfg = TrainConfig {
+        max_epochs: 2,
+        patience: 2,
+        batch_size: 16,
+        ..Default::default()
+    };
     model.fit(&ws, &idx[..n - 2], &idx[n - 2..], &loaded.q_matrix, &cfg);
     let test = make_batches(&ws, &idx[n - 2..], &loaded.q_matrix, 8);
     let preds = model.predict(&test[0]);

@@ -8,7 +8,10 @@ use rckt_data::{Batch, Interaction, QMatrix, ResponseSeq};
 use rckt_models::ResponseCat;
 
 fn cats_strategy(max_len: usize) -> impl Strategy<Value = Vec<ResponseCat>> {
-    proptest::collection::vec(prop_oneof![Just(ResponseCat::Correct), Just(ResponseCat::Incorrect)], 2..max_len)
+    proptest::collection::vec(
+        prop_oneof![Just(ResponseCat::Correct), Just(ResponseCat::Incorrect)],
+        2..max_len,
+    )
 }
 
 proptest! {
