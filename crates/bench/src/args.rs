@@ -11,6 +11,9 @@
 /// --dim <n>        hidden dimension (default 32)
 /// --batch <n>      batch size (default 16)
 /// --seed <n>       global seed (default 42)
+/// --threads <n>    worker threads for the rckt-tensor pool (default: the
+///                  RCKT_THREADS env var, else the machine's parallelism);
+///                  results are bit-identical for any value
 /// --full           paper-faithful effort: scale 1.0, 5 folds, 40 epochs, patience 10
 /// --verbose        per-epoch logs to stderr
 /// ```
@@ -32,6 +35,9 @@ pub struct ExpArgs {
     pub dim: usize,
     pub batch: usize,
     pub seed: u64,
+    /// Requested pool width; `0` means "not set" (RCKT_THREADS env or the
+    /// machine's parallelism decides). Applied by [`ExpArgs::parse`].
+    pub threads: usize,
     pub verbose: bool,
     /// Observability switches (already applied by [`ExpArgs::parse`]).
     pub obs: rckt_obs::ObsOptions,
@@ -47,6 +53,7 @@ impl Default for ExpArgs {
             dim: 32,
             batch: 16,
             seed: 42,
+            threads: 0,
             verbose: false,
             obs: rckt_obs::ObsOptions::default(),
         }
@@ -64,8 +71,18 @@ impl ExpArgs {
         if let Err(e) = rckt_obs::init(&obs) {
             die(&format!("cannot initialize logging: {e}"));
         }
+        if out.threads > 0 {
+            rckt_tensor::pool::set_threads(out.threads);
+        }
         out.obs = obs;
         out
+    }
+
+    /// The pool width actually in effect (after `--threads`, the
+    /// `RCKT_THREADS` env var, and hardware detection) — what run
+    /// manifests should record.
+    pub fn threads_in_use(&self) -> usize {
+        rckt_tensor::pool::threads()
     }
 
     pub fn parse_from(args: impl IntoIterator<Item = String>) -> Self {
@@ -85,6 +102,7 @@ impl ExpArgs {
                 "--dim" => out.dim = num("--dim") as usize,
                 "--batch" => out.batch = num("--batch") as usize,
                 "--seed" => out.seed = num("--seed") as u64,
+                "--threads" => out.threads = num("--threads") as usize,
                 "--full" => {
                     out.scale = 1.0;
                     out.folds = 5;
@@ -115,7 +133,7 @@ impl ExpArgs {
 fn die(msg: &str) -> ! {
     eprintln!("usage error: {msg}");
     eprintln!(
-        "flags: --scale f --folds n --epochs n --patience n --dim n --batch n --seed n --full --verbose"
+        "flags: --scale f --folds n --epochs n --patience n --dim n --batch n --seed n --threads n --full --verbose"
     );
     eprintln!("       --log-level off|info|debug|trace --log-json path --profile");
     std::process::exit(2)
@@ -138,6 +156,13 @@ mod tests {
         assert_eq!(a.folds, 3);
         assert_eq!(a.dim, 64);
         assert!(a.verbose);
+    }
+
+    #[test]
+    fn threads_flag_parses_without_applying() {
+        // parse_from records the request; only parse() touches the pool
+        assert_eq!(parse("").threads, 0);
+        assert_eq!(parse("--threads 3").threads, 3);
     }
 
     #[test]

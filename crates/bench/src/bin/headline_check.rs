@@ -67,6 +67,8 @@ fn main() {
                 .config("scale", args.scale)
                 .config("folds", args.folds)
                 .config("epochs", args.epochs)
+                .config("threads", args.threads_in_use())
+                .config("kernel", rckt_tensor::kernels::kernel_variant_name())
                 .result(
                     "auc_mean",
                     aucs.iter().sum::<f64>() / aucs.len().max(1) as f64,

@@ -1,0 +1,133 @@
+//! Kernel scaling sweep: matmul throughput across thread counts × shapes ×
+//! kernel variants (naive reference vs blocked/parallel), appended to the
+//! perf-trajectory history like every other bench bin.
+//!
+//! ```text
+//! cargo run --release -p rckt-bench --bin kernel_scaling [--threads n ...]
+//! ```
+//!
+//! Shapes cover the sizes RCKT actually runs: `[B*T, d] × [d, d]` encoder
+//! projections (tall-skinny) and square attention-score products. The
+//! naive variant is always single-threaded (it is the bit-exact reference
+//! path); the blocked variant uses the pool, so the blocked rows show the
+//! thread scaling.
+
+use rckt_bench::ExpArgs;
+use rckt_tensor::kernels::{self, KernelVariant};
+use rckt_tensor::pool;
+use std::time::Instant;
+
+/// Per-run manifest history (one JSON object per line).
+const HISTORY: &str = "results/BENCH_kernel_scaling.json";
+
+/// `(m, k, n)` shapes swept, roughly small → large.
+const SHAPES: [(usize, usize, usize); 4] = [
+    (64, 64, 64),
+    (256, 128, 128),
+    (800, 64, 64), // B=16 × T=50 rows against a d=64 projection
+    (384, 384, 384),
+];
+
+/// Flops we aim to spend per timed measurement (keeps reps sane across
+/// shape sizes).
+const TARGET_FLOPS: f64 = 2e8;
+
+fn fill(seed: &mut u64, buf: &mut [f32]) {
+    // xorshift64* — cheap deterministic data, values in [-0.5, 0.5)
+    for x in buf.iter_mut() {
+        *seed ^= *seed << 13;
+        *seed ^= *seed >> 7;
+        *seed ^= *seed << 17;
+        *x = ((*seed >> 40) as f32 / (1u64 << 24) as f32) - 0.5;
+    }
+}
+
+fn gflops(m: usize, k: usize, n: usize, variant: KernelVariant, threads: usize) -> (f64, f64) {
+    kernels::set_kernel_variant(variant);
+    pool::set_threads(threads);
+    let mut seed = 0x9e3779b97f4a7c15u64;
+    let mut a = vec![0.0f32; m * k];
+    let mut b = vec![0.0f32; k * n];
+    let mut c = vec![0.0f32; m * n];
+    fill(&mut seed, &mut a);
+    fill(&mut seed, &mut b);
+    let flops = 2.0 * m as f64 * k as f64 * n as f64;
+    let reps = (TARGET_FLOPS / flops).ceil().max(1.0) as usize;
+    // warm up (resolves the pool width, faults in the buffers)
+    kernels::matmul_acc(&a, &b, &mut c, m, k, n);
+    let t0 = Instant::now();
+    for _ in 0..reps {
+        kernels::matmul_acc(&a, &b, &mut c, m, k, n);
+    }
+    let secs = t0.elapsed().as_secs_f64();
+    assert!(c.iter().all(|x| x.is_finite()));
+    let ms = secs * 1000.0 / reps as f64;
+    (flops * reps as f64 / secs / 1e9, ms)
+}
+
+fn main() {
+    let args = ExpArgs::parse();
+    let hw = args.threads_in_use();
+    let mut thread_counts = vec![1usize, 2, 4];
+    if !thread_counts.contains(&hw) {
+        thread_counts.push(hw);
+    }
+    thread_counts.sort_unstable();
+
+    println!("kernel scaling — matmul GFLOP/s (naive reference vs blocked), hw width {hw}\n");
+    println!(
+        "{:<16}{:>10}{:>9}{:>12}{:>12}",
+        "shape (m,k,n)", "variant", "threads", "GFLOP/s", "ms/call"
+    );
+
+    for &(m, k, n) in &SHAPES {
+        let (naive_gf, naive_ms) = gflops(m, k, n, KernelVariant::Naive, 1);
+        println!(
+            "{:<16}{:>10}{:>9}{:>12.2}{:>12.3}",
+            format!("{m}x{k}x{n}"),
+            "naive",
+            1,
+            naive_gf,
+            naive_ms
+        );
+        record(&args, m, k, n, "naive", 1, naive_gf, naive_ms, 1.0);
+        for &t in &thread_counts {
+            let (gf, ms) = gflops(m, k, n, KernelVariant::Blocked, t);
+            let speedup = naive_ms / ms;
+            println!(
+                "{:<16}{:>10}{:>9}{:>12.2}{:>12.3}   ({speedup:.2}x vs naive)",
+                "", "blocked", t, gf, ms
+            );
+            record(&args, m, k, n, "blocked", t, gf, ms, speedup);
+        }
+    }
+    // restore the CLI-requested width for anything running after us
+    pool::set_threads(hw);
+
+    println!("\nresults appended to {HISTORY}");
+    args.finish();
+}
+
+#[allow(clippy::too_many_arguments)]
+fn record(
+    args: &ExpArgs,
+    m: usize,
+    k: usize,
+    n: usize,
+    variant: &str,
+    threads: usize,
+    gf: f64,
+    ms: f64,
+    speedup_vs_naive: f64,
+) {
+    let manifest = rckt_obs::RunManifest::capture("kernel_scaling", args.seed, None)
+        .config("shape", format!("{m}x{k}x{n}"))
+        .config("kernel", variant)
+        .config("threads", threads)
+        .result("gflops", gf)
+        .result("ms_per_call", ms)
+        .result("speedup_vs_naive", speedup_vs_naive);
+    if let Err(e) = manifest.append_jsonl(HISTORY) {
+        eprintln!("warning: cannot append {HISTORY}: {e}");
+    }
+}

@@ -108,6 +108,8 @@ fn main() {
                 .config("scale", args.scale)
                 .config("epochs", args.epochs)
                 .config("batch", args.batch)
+                .config("threads", args.threads_in_use())
+                .config("kernel", rckt_tensor::kernels::kernel_variant_name())
                 .result("exact_auc", exact_auc)
                 .result("exact_acc", exact_acc)
                 .result("exact_ms_per_student", exact_ms)

@@ -18,12 +18,15 @@ commands:
   generate  --preset <assist09|assist12|slepemapy|eedi> [--scale f] --out <csv>
   stats     --data <csv>
   train     --data <csv> [--backbone dkt|sakt|akt] [--epochs n] [--dim n]
-            [--lr f] [--lambda f] [--seed n] --out <model.json>
+            [--lr f] [--lambda f] [--seed n] [--grad-shards n] --out <model.json>
   evaluate  --data <csv> --model <model.json> [--stride n]
   explain   --data <csv> --model <model.json> [--window n]
   audit     --data <csv> --model <model.json> [--groups n]
 
 global flags (any command):
+  --threads <n>                      rckt-tensor pool width (default: the
+                                     RCKT_THREADS env var, else hardware);
+                                     results are identical for any value
   --log-level off|info|debug|trace   event verbosity (default info)
   --log-json <path>                  also write events as JSON lines
   --profile                          collect counters, print summary at exit";
@@ -84,6 +87,11 @@ pub fn dispatch(args: &[String]) -> Result<(), CliError> {
         return Err(err("no command"));
     };
     let flags = parse_flags(rest)?;
+    // global: pool width (0 = leave the RCKT_THREADS env / hardware default)
+    let threads: usize = get_num(&flags, "threads", 0)?;
+    if threads > 0 {
+        rckt_tensor::pool::set_threads(threads);
+    }
     match cmd.as_str() {
         "generate" => generate(&flags),
         "stats" => stats(&flags),
@@ -175,6 +183,7 @@ fn train(flags: &HashMap<String, String>) -> Result<(), CliError> {
         lr: get_num(flags, "lr", 2e-3)?,
         lambda: get_num(flags, "lambda", 0.1)?,
         seed: get_num(flags, "seed", 0u64)?,
+        grad_shards: get_num(flags, "grad-shards", 1usize)?.max(1),
         ..Default::default()
     };
     let epochs: usize = get_num(flags, "epochs", 15)?;

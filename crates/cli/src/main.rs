@@ -13,7 +13,9 @@
 //!
 //! Every command additionally accepts the global observability flags
 //! `--log-level off|info|debug|trace`, `--log-json <path>`, and
-//! `--profile` (see `docs/observability.md`).
+//! `--profile` (see `docs/observability.md`), plus `--threads <n>` to set
+//! the rckt-tensor worker-pool width (`RCKT_THREADS` is the env fallback;
+//! results are identical for any value — see `docs/performance.md`).
 
 use rckt_cli::commands;
 use std::process::ExitCode;

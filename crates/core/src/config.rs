@@ -48,6 +48,19 @@ pub struct RcktConfig {
     pub clamp_inference: bool,
     pub max_len: usize,
     pub seed: u64,
+    /// Number of data-parallel gradient shards per training batch. Each
+    /// shard builds its loss graph independently (on the `rckt_tensor`
+    /// thread pool when it is wider than one) with its own RNG stream
+    /// seeded in shard order, and gradients are summed in fixed shard
+    /// order — so the trained weights depend only on this value, never on
+    /// the thread count. `1` (the default) keeps the historic single-graph
+    /// RNG stream byte-for-byte.
+    #[serde(default = "default_grad_shards")]
+    pub grad_shards: usize,
+}
+
+fn default_grad_shards() -> usize {
+    1
 }
 
 impl Default for RcktConfig {
@@ -66,6 +79,7 @@ impl Default for RcktConfig {
             clamp_inference: true,
             max_len: 200,
             seed: 0,
+            grad_shards: 1,
         }
     }
 }
@@ -121,6 +135,12 @@ impl RcktConfig {
         self.alpha = 0.0;
         self
     }
+
+    /// Set the number of data-parallel gradient shards per batch.
+    pub fn with_grad_shards(mut self, n: usize) -> Self {
+        self.grad_shards = n.max(1);
+        self
+    }
 }
 
 #[cfg(test)]
@@ -146,6 +166,18 @@ mod tests {
         let d = RcktConfig::default();
         assert_eq!(c.lr, d.lr);
         assert_eq!(c.layers, d.layers);
+    }
+
+    #[test]
+    fn grad_shards_defaults_and_loads_old_configs() {
+        assert_eq!(RcktConfig::default().grad_shards, 1);
+        assert_eq!(RcktConfig::default().with_grad_shards(0).grad_shards, 1);
+        assert_eq!(RcktConfig::default().with_grad_shards(4).grad_shards, 4);
+        // configs serialized before the field existed still deserialize
+        let mut v = serde_json::to_value(RcktConfig::default()).unwrap();
+        v.as_object_mut().unwrap().remove("grad_shards");
+        let c: RcktConfig = serde_json::from_value(v).unwrap();
+        assert_eq!(c.grad_shards, 1);
     }
 
     #[test]

@@ -17,6 +17,7 @@ use rckt_models::common::{factual_cats, ProbeSpec};
 use rckt_models::model::{run_fit, FitReport, KtModel, TrainConfig};
 use rckt_models::{BiAttnEncoder, BiEncoder, BiLstmEncoder, KtEmbedding, Prediction, ResponseCat};
 use rckt_tensor::layers::PredictionMlp;
+use rckt_tensor::pool;
 use rckt_tensor::{Adam, Graph, ParamStore, Shape, Tx};
 
 enum Encoder {
@@ -299,6 +300,67 @@ impl Rckt {
         (delta_pos, delta_neg, d_pos_map, d_neg_map)
     }
 
+    /// Inference-only counterpart of [`Rckt::delta_graph`]: the four
+    /// generator passes of the backward approximation are independent, so
+    /// they run as separate graphs fanned out on the [`pool`]. Eval passes
+    /// never consume randomness (dropout is a no-op), so every pass
+    /// computes the same bits no matter which worker runs it, and the
+    /// results are combined in fixed pass order — predictions are
+    /// identical for any `RCKT_THREADS`.
+    ///
+    /// Returns `(Δ⁺ [B], Δ⁻ [B], Δ⁺-map [B*T], Δ⁻-map [B*T])` as plain
+    /// data (no gradients flow at inference).
+    fn delta_infer(
+        &self,
+        batch: &Batch,
+        targets: &[usize],
+        probes: &[ProbeSpec],
+    ) -> (Vec<f32>, Vec<f32>, Vec<f32>, Vec<f32>) {
+        let (bsz, t_len) = (batch.batch, batch.t_len);
+        let [f_pos, cf_neg, f_neg, cf_pos] = self.quadruple_cats(batch, targets);
+        let vis = self.visibility(batch, targets);
+        if rckt_obs::profiling() {
+            rckt_obs::counter("core.infer.passes").add(4);
+        }
+        let cats: [&[ResponseCat]; 4] = [&f_pos, &cf_neg, &f_neg, &cf_pos];
+        let probs: Vec<Vec<f32>> = pool::parallel_map(4, |k| {
+            let mut rng = SmallRng::seed_from_u64(0);
+            let mut g = Graph::new();
+            let p = self.probs_pass(&mut g, batch, cats[k], &vis, probes, false, &mut rng);
+            g.data(p).to_vec()
+        });
+        let [p_fp, p_cfn, p_fn, p_cfp]: [Vec<f32>; 4] =
+            probs.try_into().expect("four generator passes");
+
+        // Combine with the same graph ops as delta_graph so the arithmetic
+        // (and therefore the scores) matches the training-time definition.
+        let mut g = Graph::new();
+        let n = bsz * t_len;
+        let t_fp = g.input(p_fp, Shape::matrix(n, 1));
+        let t_cfn = g.input(p_cfn, Shape::matrix(n, 1));
+        let t_fn = g.input(p_fn, Shape::matrix(n, 1));
+        let t_cfp = g.input(p_cfp, Shape::matrix(n, 1));
+        let (mc, mi) = self.influence_masks(batch, targets);
+        let mut d_pos = g.sub(t_fp, t_cfn);
+        d_pos = g.dropout_mask(d_pos, mc);
+        let mut d_neg = g.sub(t_cfp, t_fn);
+        d_neg = g.dropout_mask(d_neg, mi);
+        if self.cfg.clamp_inference {
+            d_pos = g.relu(d_pos);
+            d_neg = g.relu(d_neg);
+        }
+        let d_pos_map = g.reshape(d_pos, Shape::matrix(bsz, t_len));
+        let d_neg_map = g.reshape(d_neg, Shape::matrix(bsz, t_len));
+        let delta_pos = g.sum_last(d_pos_map);
+        let delta_neg = g.sum_last(d_neg_map);
+        (
+            g.data(delta_pos).to_vec(),
+            g.data(delta_neg).to_vec(),
+            g.data(d_pos_map).to_vec(),
+            g.data(d_neg_map).to_vec(),
+        )
+    }
+
     /// Last valid position per sequence (the training target).
     fn last_targets(batch: &Batch) -> Vec<usize> {
         (0..batch.batch)
@@ -316,6 +378,66 @@ impl Rckt {
     pub fn train_batch(&mut self, batch: &Batch, clip_norm: f32, rng: &mut SmallRng) -> f32 {
         use rand::Rng;
         self.store.zero_grads();
+        let shards = self.cfg.grad_shards.max(1).min(batch.batch);
+        let joint_norm = batch.num_valid().max(1) as f32;
+        let val = if shards <= 1 {
+            let (g, val) = self.batch_loss_graph(batch, 1.0, joint_norm, rng);
+            self.store.accumulate_grads(&g);
+            val
+        } else {
+            // Data-parallel gradient accumulation: each shard builds and
+            // sweeps its own loss graph, scaled so the shard losses sum to
+            // the full-batch loss. Seeds are drawn here in shard order and
+            // gradients folded back in shard order, so the update depends
+            // only on `grad_shards` — never on which worker ran a shard or
+            // how many threads the pool has.
+            let bsz = batch.batch;
+            let bounds: Vec<(usize, usize)> = (0..shards)
+                .map(|s| (s * bsz / shards, (s + 1) * bsz / shards))
+                .collect();
+            let seeds: Vec<u64> = (0..shards).map(|_| rng.gen()).collect();
+            let subs: Vec<Batch> = bounds
+                .iter()
+                .map(|&(lo, hi)| batch.sub_batch(lo, hi))
+                .collect();
+            if rckt_obs::profiling() {
+                rckt_obs::counter("core.train.shards").add(shards as u64);
+            }
+            let this: &Rckt = self;
+            let results = pool::parallel_map(shards, |s| {
+                let mut shard_rng = SmallRng::seed_from_u64(seeds[s]);
+                let scale = subs[s].batch as f32 / bsz as f32;
+                this.batch_loss_graph(&subs[s], scale, joint_norm, &mut shard_rng)
+            });
+            let mut val = 0.0f32;
+            for (g, v) in &results {
+                self.store.accumulate_grads(g);
+                val += *v;
+            }
+            val
+        };
+        self.store.clip_grad_norm(clip_norm);
+        self.adam.step(&mut self.store);
+        val
+    }
+
+    /// Build the full training-loss graph for a (sub-)batch, run the
+    /// backward sweep, and return the swept graph plus the loss value.
+    ///
+    /// `scale` re-weights the per-sequence mean terms (`L_CF`, `L*`) so
+    /// that shard losses sum to the whole-batch mean (`1.0` for an unsharded
+    /// batch — the scaling node is skipped entirely then, keeping the graph
+    /// byte-identical to the historic inline path). `joint_norm` is the
+    /// valid-position count of the *whole* batch, normalizing the joint BCE
+    /// the same way regardless of sharding.
+    fn batch_loss_graph(
+        &self,
+        batch: &Batch,
+        scale: f32,
+        joint_norm: f32,
+        rng: &mut SmallRng,
+    ) -> (Graph, f32) {
+        use rand::Rng;
         let mut g = Graph::new();
         let (bsz, _t_len) = (batch.batch, batch.t_len);
         let targets: Vec<usize> = (0..bsz)
@@ -363,10 +485,14 @@ impl Rckt {
             let l_star = g.mul_scalar(l_star, self.cfg.alpha);
             loss = g.add(loss, l_star);
         }
+        if scale != 1.0 {
+            loss = g.mul_scalar(loss, scale);
+        }
 
         // Joint training (Eq. 27–29): BCE on the factual and two masked
         // contexts, over all valid positions (bidirectional encoders can
-        // predict position 0 from future context).
+        // predict position 0 from future context). Already normalized by
+        // the whole-batch valid count, so no extra shard scaling applies.
         if self.cfg.lambda > 0.0 {
             let factual: Vec<ResponseCat> = factual_cats(batch)
                 .into_iter()
@@ -375,11 +501,10 @@ impl Rckt {
                 .collect();
             let contexts = joint_contexts(&factual);
             let weights: Vec<f32> = batch.valid.iter().map(|&v| v as u8 as f32).collect();
-            let norm = batch.num_valid().max(1) as f32;
             let mut joint = None;
             for ctx in &contexts {
                 let logits = self.logits_pass(&mut g, batch, ctx, &batch.valid, &[], true, rng);
-                let l = g.bce_with_logits(logits, &batch.correct, &weights, norm);
+                let l = g.bce_with_logits(logits, &batch.correct, &weights, joint_norm);
                 joint = Some(match joint {
                     None => l,
                     Some(j) => g.add(j, l),
@@ -391,10 +516,7 @@ impl Rckt {
 
         let val = g.value(loss);
         g.backward(loss);
-        self.store.accumulate_grads(&g);
-        self.store.clip_grad_norm(clip_norm);
-        self.adam.step(&mut self.store);
-        val
+        (g, val)
     }
 
     /// Approximate-mode scores for explicit targets: `(score, label)` per
@@ -412,12 +534,7 @@ impl Rckt {
         probes: &[ProbeSpec],
     ) -> Vec<Prediction> {
         let _s = rckt_obs::span("rckt.infer.approx");
-        let mut rng = SmallRng::seed_from_u64(0);
-        let mut g = Graph::new();
-        let (delta_pos, delta_neg, _, _) =
-            self.delta_graph(&mut g, batch, targets, probes, false, &mut rng);
-        let dp = g.data(delta_pos);
-        let dn = g.data(delta_neg);
+        let (dp, dn, _, _) = self.delta_infer(batch, targets, probes);
         (0..batch.batch)
             .map(|b| {
                 let t = targets[b].max(1) as f32;
@@ -450,14 +567,7 @@ impl Rckt {
         probes: &[ProbeSpec],
     ) -> Vec<InfluenceRecord> {
         let _s = rckt_obs::span("rckt.infer.approx");
-        let mut rng = SmallRng::seed_from_u64(0);
-        let mut g = Graph::new();
-        let (delta_pos, delta_neg, d_pos_map, d_neg_map) =
-            self.delta_graph(&mut g, batch, targets, probes, false, &mut rng);
-        let dp = g.data(delta_pos).to_vec();
-        let dn = g.data(delta_neg).to_vec();
-        let pm = g.data(d_pos_map).to_vec();
-        let nm = g.data(d_neg_map).to_vec();
+        let (dp, dn, pm, nm) = self.delta_infer(batch, targets, probes);
         (0..batch.batch)
             .map(|b| {
                 let target = targets[b];
@@ -533,9 +643,15 @@ impl Rckt {
                 .collect()
         };
 
-        let mut per_seq: Vec<Vec<(usize, bool, f32)>> = vec![Vec::new(); batch.batch];
+        // One counterfactual pass per intervention position, fanned out on
+        // the pool. Each pass is an independent eval-mode graph (no RNG
+        // draws), and the per-response influences are folded back in index
+        // order below, so the records are identical for any RCKT_THREADS.
         let max_target = targets.iter().copied().max().unwrap_or(0);
-        for i in 0..max_target {
+        if rckt_obs::profiling() {
+            rckt_obs::counter("core.infer.passes").add(1 + max_target as u64);
+        }
+        let per_pos = pool::parallel_map(max_target, |i| {
             // intervene position i for every sequence where i is a valid
             // past response
             let mut cats = flat_factual.clone();
@@ -548,11 +664,13 @@ impl Rckt {
                 }
             }
             if !involved.iter().any(|&x| x) {
-                continue;
+                return None;
             }
+            let mut rng = SmallRng::seed_from_u64(0);
             let mut g = Graph::new();
             let p = self.probs_pass(&mut g, batch, &cats, &vis, &[], false, &mut rng);
             let d = g.data(p);
+            let mut entries = Vec::new();
             for b in 0..batch.batch {
                 if !involved[b] {
                     continue;
@@ -569,6 +687,13 @@ impl Rckt {
                 if self.cfg.clamp_inference {
                     delta = delta.max(0.0);
                 }
+                entries.push((b, correct, delta));
+            }
+            Some(entries)
+        });
+        let mut per_seq: Vec<Vec<(usize, bool, f32)>> = vec![Vec::new(); batch.batch];
+        for (i, entries) in per_pos.into_iter().enumerate() {
+            for (b, correct, delta) in entries.into_iter().flatten() {
                 per_seq[b].push((i, correct, delta));
             }
         }
@@ -655,15 +780,24 @@ impl Rckt {
                 by_t[len - 1].push(b);
             }
         }
-        for (t, seqs) in by_t.iter().enumerate() {
-            if seqs.is_empty() {
-                continue;
-            }
-            let targets: Vec<usize> = (0..batch.batch)
-                .map(|b| if seqs.contains(&b) { t } else { 1 })
-                .collect();
-            let preds = self.predict_targets(batch, &targets);
-            for &b in seqs {
+        // One 4-pass round per distinct target index; the rounds are
+        // independent, so they fan out on the pool and fold back in t
+        // order (each round's own 4-pass fan-out runs inline when nested).
+        let work: Vec<_> = by_t
+            .iter()
+            .enumerate()
+            .filter(|(_, seqs)| !seqs.is_empty())
+            .map(|(t, seqs)| {
+                let targets: Vec<usize> = (0..batch.batch)
+                    .map(|b| if seqs.contains(&b) { t } else { 1 })
+                    .collect();
+                (seqs, targets)
+            })
+            .collect();
+        let preds_per_t: Vec<Vec<Prediction>> =
+            pool::parallel_map(work.len(), |w| self.predict_targets(batch, &work[w].1));
+        for ((seqs, _), preds) in work.iter().zip(&preds_per_t) {
+            for &b in *seqs {
                 out.push(preds[b]);
             }
         }
@@ -760,19 +894,27 @@ impl KtModel for Rckt {
     fn predict(&self, batch: &Batch) -> Vec<Prediction> {
         let t_len = batch.t_len;
         let mut by_pos: Vec<Option<Prediction>> = vec![None; batch.batch * t_len];
-        for t in 1..t_len {
-            // sequences for which position t is a real response
-            let involved: Vec<usize> = (0..batch.batch)
-                .filter(|&b| batch.valid[b * t_len + t])
-                .collect();
-            if involved.is_empty() {
-                continue;
-            }
-            let targets: Vec<usize> = (0..batch.batch)
-                .map(|b| if batch.valid[b * t_len + t] { t } else { 1 })
-                .collect();
-            let preds = self.predict_targets(batch, &targets);
-            for &b in &involved {
+        // One independent round per target position; fanned out on the
+        // pool, results written back in t order.
+        let work: Vec<_> = (1..t_len)
+            .filter_map(|t| {
+                // sequences for which position t is a real response
+                let involved: Vec<usize> = (0..batch.batch)
+                    .filter(|&b| batch.valid[b * t_len + t])
+                    .collect();
+                if involved.is_empty() {
+                    return None;
+                }
+                let targets: Vec<usize> = (0..batch.batch)
+                    .map(|b| if batch.valid[b * t_len + t] { t } else { 1 })
+                    .collect();
+                Some((t, involved, targets))
+            })
+            .collect();
+        let preds_per_t: Vec<Vec<Prediction>> =
+            pool::parallel_map(work.len(), |w| self.predict_targets(batch, &work[w].2));
+        for ((t, involved, _), preds) in work.iter().zip(&preds_per_t) {
+            for &b in involved {
                 by_pos[b * t_len + t] = Some(preds[b]);
             }
         }
@@ -890,6 +1032,57 @@ mod tests {
             }
             assert!(last < first, "ablation failed to train: {first} -> {last}");
         }
+    }
+
+    /// Data-parallel gradient sharding still trains (loss decreases).
+    #[test]
+    fn sharded_training_decreases_loss() {
+        let (ds, _, batches) = tiny(0.03, 8);
+        let mut m = Rckt::new(
+            Backbone::Dkt,
+            ds.num_questions(),
+            ds.num_concepts(),
+            RcktConfig {
+                dim: 16,
+                lr: 3e-3,
+                ..Default::default()
+            }
+            .with_grad_shards(4),
+        );
+        let mut rng = SmallRng::seed_from_u64(1);
+        let first = m.train_batch(&batches[0], 5.0, &mut rng);
+        assert!(first.is_finite());
+        let mut last = first;
+        for _ in 0..15 {
+            last = m.train_batch(&batches[0], 5.0, &mut rng);
+        }
+        assert!(last < first, "{first} -> {last}");
+    }
+
+    /// The sharded path is deterministic: a rerun from the same seed gives
+    /// bit-identical losses and weights (shard seeds are drawn in shard
+    /// order and gradients folded in shard order).
+    #[test]
+    fn sharded_training_is_reproducible() {
+        let (ds, _, batches) = tiny(0.03, 4);
+        let cfg = RcktConfig {
+            dim: 16,
+            lr: 3e-3,
+            ..Default::default()
+        }
+        .with_grad_shards(3);
+        let run = |cfg: RcktConfig| {
+            let mut m = Rckt::new(Backbone::Dkt, ds.num_questions(), ds.num_concepts(), cfg);
+            let mut rng = SmallRng::seed_from_u64(9);
+            let l1 = m.train_batch(&batches[0], 5.0, &mut rng);
+            let l2 = m.train_batch(&batches[0], 5.0, &mut rng);
+            (l1, l2, m.save_weights())
+        };
+        let a = run(cfg.clone());
+        let b = run(cfg);
+        assert_eq!(a.0.to_bits(), b.0.to_bits());
+        assert_eq!(a.1.to_bits(), b.1.to_bits());
+        assert_eq!(a.2, b.2);
     }
 
     /// The reported margin must equal the sum-comparison rule of Eq. 13:

@@ -1,0 +1,136 @@
+//! End-to-end determinism contract of the parallel compute layer:
+//! training losses, updated weights, and counterfactual predictions must be
+//! bit-identical no matter how wide the `rckt_tensor` pool is, and the
+//! blocked kernels must track the naive reference through a whole model.
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use rckt::{Backbone, Rckt, RcktConfig};
+use rckt_data::{make_batches, windows, Batch, Dataset, SyntheticSpec};
+use rckt_tensor::kernels::{self, KernelVariant};
+use rckt_tensor::pool;
+use std::sync::Mutex;
+
+/// Serializes tests that mutate process-global state (pool width, kernel
+/// variant).
+static GLOBAL: Mutex<()> = Mutex::new(());
+
+fn tiny() -> (Dataset, Vec<Batch>) {
+    let ds = SyntheticSpec::assist09().scaled(0.03).generate();
+    let ws = windows(&ds, 20, 5);
+    let idx: Vec<usize> = (0..ws.len().min(8)).collect();
+    let batches = make_batches(&ws, &idx, &ds.q_matrix, 8);
+    (ds, batches)
+}
+
+/// Two optimization steps + predictions + influence records, everything
+/// reduced to comparable bits.
+fn scenario(ds: &Dataset, batches: &[Batch], grad_shards: usize) -> (u32, u32, String, Vec<u32>) {
+    let cfg = RcktConfig {
+        dim: 16,
+        lr: 3e-3,
+        ..Default::default()
+    }
+    .with_grad_shards(grad_shards);
+    let mut m = Rckt::new(Backbone::Dkt, ds.num_questions(), ds.num_concepts(), cfg);
+    let mut rng = SmallRng::seed_from_u64(3);
+    let l1 = m.train_batch(&batches[0], 5.0, &mut rng);
+    let l2 = m.train_batch(&batches[0], 5.0, &mut rng);
+    let mut pred_bits = Vec::new();
+    for b in batches {
+        for p in m.predict_last(b) {
+            pred_bits.push(p.prob.to_bits());
+        }
+        let targets: Vec<usize> = (0..b.batch)
+            .map(|s| b.seq_len(s).saturating_sub(1))
+            .collect();
+        for r in m.influences(b, &targets) {
+            for (_, _, d) in r.influences {
+                pred_bits.push(d.to_bits());
+            }
+        }
+    }
+    (l1.to_bits(), l2.to_bits(), m.save_weights(), pred_bits)
+}
+
+#[test]
+fn training_and_inference_bit_identical_across_widths() {
+    let _g = GLOBAL.lock().unwrap();
+    let (ds, batches) = tiny();
+    pool::set_threads(1);
+    let reference = scenario(&ds, &batches, 1);
+    for width in [2, 4] {
+        pool::set_threads(width);
+        let run = scenario(&ds, &batches, 1);
+        assert_eq!(reference.0, run.0, "step-1 loss differs at width {width}");
+        assert_eq!(reference.1, run.1, "step-2 loss differs at width {width}");
+        assert_eq!(reference.2, run.2, "weights differ at width {width}");
+        assert_eq!(reference.3, run.3, "predictions differ at width {width}");
+    }
+    pool::set_threads(1);
+}
+
+#[test]
+fn sharded_training_bit_identical_across_widths() {
+    let _g = GLOBAL.lock().unwrap();
+    let (ds, batches) = tiny();
+    pool::set_threads(1);
+    let reference = scenario(&ds, &batches, 3);
+    for width in [2, 4] {
+        pool::set_threads(width);
+        let run = scenario(&ds, &batches, 3);
+        assert_eq!(reference.0, run.0, "step-1 loss differs at width {width}");
+        assert_eq!(reference.1, run.1, "step-2 loss differs at width {width}");
+        assert_eq!(reference.2, run.2, "weights differ at width {width}");
+        assert_eq!(reference.3, run.3, "predictions differ at width {width}");
+    }
+    pool::set_threads(1);
+}
+
+/// Blocked vs naive kernels through a whole trained model: per-prediction
+/// scores agree within 1e-5 (the kernels only differ by float summation
+/// order).
+#[test]
+fn blocked_and_naive_kernels_agree_through_model() {
+    let _g = GLOBAL.lock().unwrap();
+    let (ds, batches) = tiny();
+    pool::set_threads(1);
+
+    let run = |variant: KernelVariant| -> (Vec<f32>, Vec<f32>) {
+        kernels::set_kernel_variant(variant);
+        let cfg = RcktConfig {
+            dim: 16,
+            lr: 3e-3,
+            dropout: 0.0,
+            ..Default::default()
+        };
+        let mut m = Rckt::new(Backbone::Dkt, ds.num_questions(), ds.num_concepts(), cfg);
+        let mut rng = SmallRng::seed_from_u64(5);
+        let losses: Vec<f32> = (0..2)
+            .map(|_| m.train_batch(&batches[0], 5.0, &mut rng))
+            .collect();
+        let preds = batches
+            .iter()
+            .flat_map(|b| m.predict_last(b))
+            .map(|p| p.prob)
+            .collect();
+        (losses, preds)
+    };
+
+    let (naive_loss, naive_pred) = run(KernelVariant::Naive);
+    let (blocked_loss, blocked_pred) = run(KernelVariant::Blocked);
+    kernels::set_kernel_variant(KernelVariant::Blocked);
+    for (i, (a, b)) in naive_loss.iter().zip(&blocked_loss).enumerate() {
+        assert!(
+            (a - b).abs() < 1e-5,
+            "step-{i} loss diverged: naive {a} vs blocked {b}"
+        );
+    }
+    assert_eq!(naive_pred.len(), blocked_pred.len());
+    for (i, (a, b)) in naive_pred.iter().zip(&blocked_pred).enumerate() {
+        assert!(
+            (a - b).abs() < 1e-5,
+            "prediction {i} diverged: naive {a} vs blocked {b}"
+        );
+    }
+}

@@ -115,6 +115,31 @@ impl Batch {
             .take_while(|&t| self.valid[b * self.t_len + t])
             .count()
     }
+
+    /// The sub-batch holding sequences `lo..hi`, with every per-position
+    /// vector (including the ragged concept tags) re-sliced to match.
+    /// Used to shard a batch across data-parallel gradient workers.
+    pub fn sub_batch(&self, lo: usize, hi: usize) -> Batch {
+        assert!(
+            lo < hi && hi <= self.batch,
+            "sub-batch {lo}..{hi} of {}",
+            self.batch
+        );
+        let t = self.t_len;
+        let (plo, phi) = (lo * t, hi * t);
+        let flat_lo: usize = self.concept_lens[..plo].iter().sum();
+        let flat_len: usize = self.concept_lens[plo..phi].iter().sum();
+        Batch {
+            batch: hi - lo,
+            t_len: t,
+            students: self.students[lo..hi].to_vec(),
+            questions: self.questions[plo..phi].to_vec(),
+            concept_flat: self.concept_flat[flat_lo..flat_lo + flat_len].to_vec(),
+            concept_lens: self.concept_lens[plo..phi].to_vec(),
+            correct: self.correct[plo..phi].to_vec(),
+            valid: self.valid[plo..phi].to_vec(),
+        }
+    }
 }
 
 /// Chunk `indices` into batches of (at most) `batch_size` windows.
@@ -195,6 +220,26 @@ mod tests {
         assert_eq!(b.seq_len(1), 8);
         assert_eq!(b.num_valid(), 18);
         assert_eq!(b.concept_flat.len(), b.concept_lens.iter().sum::<usize>());
+    }
+
+    #[test]
+    fn sub_batch_matches_direct_construction() {
+        let d = ds(&[10, 8, 6]);
+        let ws = windows(&d, 10, 5);
+        let refs: Vec<&Window> = ws.iter().collect();
+        let full = Batch::from_windows(&refs, &d.q_matrix);
+        let sub = full.sub_batch(1, 3);
+        let expect = Batch::from_windows(&refs[1..3], &d.q_matrix);
+        assert_eq!(sub.batch, 2);
+        assert_eq!(sub.t_len, full.t_len);
+        assert_eq!(sub.students, expect.students);
+        assert_eq!(sub.questions, expect.questions);
+        assert_eq!(sub.concept_flat, expect.concept_flat);
+        assert_eq!(sub.concept_lens, expect.concept_lens);
+        assert_eq!(sub.correct, expect.correct);
+        assert_eq!(sub.valid, expect.valid);
+        assert_eq!(sub.seq_len(0), 8);
+        assert_eq!(sub.seq_len(1), 6);
     }
 
     #[test]

@@ -9,6 +9,7 @@
 //! (weights, Adam moments) lives in a [`crate::ParamStore`].
 
 use crate::kernels;
+use crate::pool;
 use crate::shape::Shape;
 
 /// Handle to a node in a [`Graph`]. Only valid for the graph that created it.
@@ -211,15 +212,21 @@ impl Graph {
         assert_eq!(bsz, bsz2, "bmm batch dims");
         assert_eq!(k, k2, "bmm inner dims");
         let mut out = vec![0.0; bsz * m * n];
-        for i in 0..bsz {
-            kernels::matmul_acc(
-                &self.data(a)[i * m * k..(i + 1) * m * k],
-                &self.data(b)[i * k * n..(i + 1) * k * n],
-                &mut out[i * m * n..(i + 1) * m * n],
-                m,
-                k,
-                n,
-            );
+        {
+            // Batch slices are independent: split them across the pool (the
+            // per-slice matmul runs inline when already inside a parallel
+            // region, so this composes with kernel-level parallelism).
+            let (ad, bd) = (self.data(a), self.data(b));
+            pool::parallel_chunks_mut(&mut out, m * n, &|i, c_slice| {
+                kernels::matmul_acc(
+                    &ad[i * m * k..(i + 1) * m * k],
+                    &bd[i * k * n..(i + 1) * k * n],
+                    c_slice,
+                    m,
+                    k,
+                    n,
+                );
+            });
         }
         let rg = self.rg(a) || self.rg(b);
         self.push(out, Shape::cube(bsz, m, n), Op::Bmm(a, b), rg)
@@ -250,12 +257,8 @@ impl Graph {
 
     pub fn add(&mut self, a: Tx, b: Tx) -> Tx {
         assert_eq!(self.shape(a), self.shape(b), "add shapes");
-        let out: Vec<f32> = self
-            .data(a)
-            .iter()
-            .zip(self.data(b))
-            .map(|(x, y)| x + y)
-            .collect();
+        let mut out = vec![0.0; self.data(a).len()];
+        kernels::map_binary(self.data(a), self.data(b), &mut out, |x, y| x + y);
         let shape = self.shape(a).clone();
         let rg = self.rg(a) || self.rg(b);
         self.push(out, shape, Op::Add(a, b), rg)
@@ -288,12 +291,8 @@ impl Graph {
 
     pub fn sub(&mut self, a: Tx, b: Tx) -> Tx {
         assert_eq!(self.shape(a), self.shape(b), "sub shapes");
-        let out: Vec<f32> = self
-            .data(a)
-            .iter()
-            .zip(self.data(b))
-            .map(|(x, y)| x - y)
-            .collect();
+        let mut out = vec![0.0; self.data(a).len()];
+        kernels::map_binary(self.data(a), self.data(b), &mut out, |x, y| x - y);
         let shape = self.shape(a).clone();
         let rg = self.rg(a) || self.rg(b);
         self.push(out, shape, Op::Sub(a, b), rg)
@@ -301,12 +300,8 @@ impl Graph {
 
     pub fn mul(&mut self, a: Tx, b: Tx) -> Tx {
         assert_eq!(self.shape(a), self.shape(b), "mul shapes");
-        let out: Vec<f32> = self
-            .data(a)
-            .iter()
-            .zip(self.data(b))
-            .map(|(x, y)| x * y)
-            .collect();
+        let mut out = vec![0.0; self.data(a).len()];
+        kernels::map_binary(self.data(a), self.data(b), &mut out, |x, y| x * y);
         let shape = self.shape(a).clone();
         let rg = self.rg(a) || self.rg(b);
         self.push(out, shape, Op::Mul(a, b), rg)
@@ -324,28 +319,32 @@ impl Graph {
     }
 
     pub fn sigmoid(&mut self, a: Tx) -> Tx {
-        let out: Vec<f32> = self.data(a).iter().map(|&x| sigmoid(x)).collect();
+        let mut out = vec![0.0; self.data(a).len()];
+        kernels::map_unary(self.data(a), &mut out, sigmoid);
         let shape = self.shape(a).clone();
         let rg = self.rg(a);
         self.push(out, shape, Op::Sigmoid(a), rg)
     }
 
     pub fn tanh(&mut self, a: Tx) -> Tx {
-        let out: Vec<f32> = self.data(a).iter().map(|x| x.tanh()).collect();
+        let mut out = vec![0.0; self.data(a).len()];
+        kernels::map_unary(self.data(a), &mut out, |x| x.tanh());
         let shape = self.shape(a).clone();
         let rg = self.rg(a);
         self.push(out, shape, Op::Tanh(a), rg)
     }
 
     pub fn relu(&mut self, a: Tx) -> Tx {
-        let out: Vec<f32> = self.data(a).iter().map(|x| x.max(0.0)).collect();
+        let mut out = vec![0.0; self.data(a).len()];
+        kernels::map_unary(self.data(a), &mut out, |x| x.max(0.0));
         let shape = self.shape(a).clone();
         let rg = self.rg(a);
         self.push(out, shape, Op::Relu(a), rg)
     }
 
     pub fn exp(&mut self, a: Tx) -> Tx {
-        let out: Vec<f32> = self.data(a).iter().map(|x| x.exp()).collect();
+        let mut out = vec![0.0; self.data(a).len()];
+        kernels::map_unary(self.data(a), &mut out, |x| x.exp());
         let shape = self.shape(a).clone();
         let rg = self.rg(a);
         self.push(out, shape, Op::Exp(a), rg)
@@ -373,17 +372,14 @@ impl Graph {
         assert_eq!(self.shape(gamma).numel(), n);
         assert_eq!(self.shape(beta).numel(), n);
         let mut out = vec![0.0; self.shape(x).numel()];
-        {
-            let (xd, gd, bd) = (self.data(x), self.data(gamma), self.data(beta));
-            for (o_row, x_row) in out.chunks_exact_mut(n).zip(xd.chunks_exact(n)) {
-                let mean = x_row.iter().sum::<f32>() / n as f32;
-                let var = x_row.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / n as f32;
-                let inv = 1.0 / (var + eps).sqrt();
-                for j in 0..n {
-                    o_row[j] = gd[j] * (x_row[j] - mean) * inv + bd[j];
-                }
-            }
-        }
+        kernels::layer_norm_rows(
+            self.data(x),
+            self.data(gamma),
+            self.data(beta),
+            &mut out,
+            n,
+            eps,
+        );
         let shape = self.shape(x).clone();
         let rg = self.rg(x) || self.rg(gamma) || self.rg(beta);
         self.push(
@@ -648,39 +644,39 @@ impl Graph {
                 }
             }
             Op::Bmm(a, b) => {
-                let (bsz, m, k) = {
+                let (m, k) = {
                     let s = self.shape(a);
-                    (s.0[0], s.0[1], s.0[2])
+                    (s.0[1], s.0[2])
                 };
                 let n = self.shape(b).0[2];
                 if self.rg(a) {
                     let bd = self.nodes[b.0].data.clone();
                     self.add_grad(a, |ga| {
-                        for i in 0..bsz {
+                        pool::parallel_chunks_mut(ga, m * k, &|i, ga_slice| {
                             kernels::matmul_bt_acc(
                                 &g[i * m * n..(i + 1) * m * n],
                                 &bd[i * k * n..(i + 1) * k * n],
-                                &mut ga[i * m * k..(i + 1) * m * k],
+                                ga_slice,
                                 m,
                                 n,
                                 k,
                             );
-                        }
+                        });
                     });
                 }
                 if self.rg(b) {
                     let ad = self.nodes[a.0].data.clone();
                     self.add_grad(b, |gb| {
-                        for i in 0..bsz {
+                        pool::parallel_chunks_mut(gb, k * n, &|i, gb_slice| {
                             kernels::matmul_at_acc(
                                 &ad[i * m * k..(i + 1) * m * k],
                                 &g[i * m * n..(i + 1) * m * n],
-                                &mut gb[i * k * n..(i + 1) * k * n],
+                                gb_slice,
                                 m,
                                 k,
                                 n,
                             );
-                        }
+                        });
                     });
                 }
             }

@@ -51,6 +51,7 @@ pub mod kernels;
 pub mod layers;
 pub mod optim;
 pub mod param;
+pub mod pool;
 pub mod shape;
 
 pub use graph::{sigmoid, Graph, Tx};

@@ -1,0 +1,454 @@
+//! A std-only persistent thread pool with a determinism contract.
+//!
+//! The pool exists so the compute kernels ([`crate::kernels`]) and the
+//! counterfactual fan-out in `rckt-core` can use every core **without
+//! changing a single bit of any result**. The contract:
+//!
+//! * **Disjoint writes.** Every task writes to its own output region
+//!   ([`parallel_chunks_mut`] hands out non-overlapping sub-slices), so the
+//!   value of each output element is computed by exactly one task with a
+//!   fixed internal operation order — which thread runs the task is
+//!   irrelevant.
+//! * **Fixed-order reduction.** When results must be combined (gradient
+//!   shards, influence aggregation), callers collect per-task results with
+//!   [`parallel_map`] and reduce them on the calling thread in task-index
+//!   order. Floating-point addition order therefore never depends on
+//!   `RCKT_THREADS`.
+//!
+//! Together these make every computation bit-identical for any thread
+//! count, which the test suite enforces (see
+//! `crates/core/tests/parallel_determinism.rs`).
+//!
+//! ## Sizing
+//!
+//! The pool resolves its width once from, in order of precedence:
+//! [`set_threads`] (the CLI `--threads` flag), the `RCKT_THREADS`
+//! environment variable, and [`std::thread::available_parallelism`].
+//! Workers are spawned lazily on first parallel call and persist for the
+//! process lifetime; [`set_threads`] may grow (or logically shrink) the
+//! active width at any time — surplus workers simply stop claiming work.
+//!
+//! ## Nesting
+//!
+//! A `parallel_for` issued while another is in flight (e.g. a matmul inside
+//! an already-parallel counterfactual pass) runs inline on the calling
+//! thread. That keeps exactly one level of parallelism active, avoids
+//! oversubscription, and — by the contract above — cannot change results.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicIsize, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+
+/// Hard cap on pool width; far above any sensible CPU count for this
+/// workload and a guard against `RCKT_THREADS=100000`.
+pub const MAX_THREADS: usize = 64;
+
+/// 0 = not yet resolved.
+static CONFIGURED: AtomicUsize = AtomicUsize::new(0);
+
+/// Set the pool width programmatically (CLI `--threads`). Takes precedence
+/// over `RCKT_THREADS`. Values are clamped to `1..=MAX_THREADS`.
+pub fn set_threads(n: usize) {
+    CONFIGURED.store(n.clamp(1, MAX_THREADS), Ordering::SeqCst);
+}
+
+/// The resolved pool width: [`set_threads`] > `RCKT_THREADS` > available
+/// parallelism. Resolved once and cached (a later `set_threads` still
+/// overrides).
+pub fn threads() -> usize {
+    let c = CONFIGURED.load(Ordering::Relaxed);
+    if c != 0 {
+        return c;
+    }
+    let resolved = std::env::var("RCKT_THREADS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&n| n >= 1)
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        })
+        .clamp(1, MAX_THREADS);
+    // A racing set_threads wins: only install if still unresolved.
+    let _ = CONFIGURED.compare_exchange(0, resolved, Ordering::SeqCst, Ordering::SeqCst);
+    CONFIGURED.load(Ordering::Relaxed)
+}
+
+/// One in-flight `parallel_for`. The raw task pointer is lifetime-erased;
+/// soundness comes from the caller blocking until `pending` reaches zero
+/// before returning, and from workers only dereferencing it for claimed
+/// indices `< n_tasks`.
+struct Job {
+    task: *const (dyn Fn(usize) + Sync),
+    next: AtomicUsize,
+    n_tasks: usize,
+    /// Tasks not yet completed; the caller waits for 0.
+    pending: AtomicUsize,
+    /// Worker participation slots (`threads - 1`); surplus workers that
+    /// fail to claim a slot go back to sleep so a logically shrunk pool
+    /// really uses fewer threads.
+    budget: AtomicIsize,
+    panicked: AtomicBool,
+}
+
+unsafe impl Send for Job {}
+unsafe impl Sync for Job {}
+
+#[derive(Default)]
+struct PoolState {
+    job: Option<Arc<Job>>,
+    epoch: u64,
+    spawned: usize,
+}
+
+struct Shared {
+    state: Mutex<PoolState>,
+    work_cv: Condvar,
+    done_cv: Condvar,
+}
+
+fn shared() -> &'static Shared {
+    static SHARED: OnceLock<Shared> = OnceLock::new();
+    SHARED.get_or_init(|| Shared {
+        state: Mutex::new(PoolState::default()),
+        work_cv: Condvar::new(),
+        done_cv: Condvar::new(),
+    })
+}
+
+/// Tally of parallel regions / tasks executed, for the `--profile` report.
+fn record_dispatch(n_tasks: usize) {
+    if !rckt_obs::profiling() {
+        return;
+    }
+    static COUNTERS: OnceLock<(rckt_obs::Counter, rckt_obs::Counter)> = OnceLock::new();
+    let (regions, tasks) = COUNTERS.get_or_init(|| {
+        (
+            rckt_obs::counter("pool.regions"),
+            rckt_obs::counter("pool.tasks"),
+        )
+    });
+    regions.incr();
+    tasks.add(n_tasks as u64);
+}
+
+fn run_tasks(shared: &Shared, job: &Job) {
+    loop {
+        let i = job.next.fetch_add(1, Ordering::SeqCst);
+        if i >= job.n_tasks {
+            return;
+        }
+        let task = unsafe { &*job.task };
+        if catch_unwind(AssertUnwindSafe(|| task(i))).is_err() {
+            job.panicked.store(true, Ordering::SeqCst);
+        }
+        if job.pending.fetch_sub(1, Ordering::SeqCst) == 1 {
+            // Last task: wake the caller. Taking the lock orders this
+            // notify after the caller's wait registration.
+            let _guard = shared.state.lock().unwrap_or_else(|e| e.into_inner());
+            shared.done_cv.notify_all();
+        }
+    }
+}
+
+fn worker_loop() {
+    let shared = shared();
+    let mut seen_epoch = 0u64;
+    loop {
+        let job = {
+            let mut state = shared.state.lock().unwrap_or_else(|e| e.into_inner());
+            while state.epoch == seen_epoch {
+                state = shared
+                    .work_cv
+                    .wait(state)
+                    .unwrap_or_else(|e| e.into_inner());
+            }
+            seen_epoch = state.epoch;
+            state.job.clone()
+        };
+        if let Some(job) = job {
+            if job.budget.fetch_sub(1, Ordering::SeqCst) > 0 {
+                run_tasks(shared, &job);
+            }
+        }
+    }
+}
+
+fn ensure_workers(state: &mut PoolState, wanted: usize) {
+    while state.spawned < wanted {
+        std::thread::Builder::new()
+            .name(format!("rckt-pool-{}", state.spawned))
+            .spawn(worker_loop)
+            .expect("spawning pool worker");
+        state.spawned += 1;
+    }
+}
+
+/// True while a parallel region is running anywhere in the process; used to
+/// run nested/concurrent regions inline.
+static ACTIVE: AtomicBool = AtomicBool::new(false);
+
+struct ActiveGuard;
+impl Drop for ActiveGuard {
+    fn drop(&mut self) {
+        ACTIVE.store(false, Ordering::SeqCst);
+    }
+}
+
+/// Run `task(0), task(1), …, task(n_tasks - 1)`, potentially on multiple
+/// threads, returning when all have finished. Tasks must confine their
+/// writes to disjoint data (see the module docs). Panics in any task are
+/// re-raised on the caller after the region completes.
+pub fn parallel_for(n_tasks: usize, task: &(dyn Fn(usize) + Sync)) {
+    if n_tasks == 0 {
+        return;
+    }
+    let width = threads();
+    if width <= 1 || n_tasks == 1 {
+        for i in 0..n_tasks {
+            task(i);
+        }
+        return;
+    }
+    if ACTIVE.swap(true, Ordering::SeqCst) {
+        // Nested or concurrent region: run inline. Results are identical
+        // by the determinism contract.
+        for i in 0..n_tasks {
+            task(i);
+        }
+        return;
+    }
+    let _active = ActiveGuard;
+    record_dispatch(n_tasks);
+
+    let shared = shared();
+    // Erase the borrow lifetime; sound because this function blocks until
+    // `pending == 0` (below) before the borrow expires.
+    let erased: *const (dyn Fn(usize) + Sync) =
+        unsafe { std::mem::transmute::<&(dyn Fn(usize) + Sync), _>(task) };
+    let job = Arc::new(Job {
+        task: erased,
+        next: AtomicUsize::new(0),
+        n_tasks,
+        pending: AtomicUsize::new(n_tasks),
+        budget: AtomicIsize::new((width - 1) as isize),
+        panicked: AtomicBool::new(false),
+    });
+    {
+        let mut state = shared.state.lock().unwrap_or_else(|e| e.into_inner());
+        ensure_workers(&mut state, width - 1);
+        state.job = Some(job.clone());
+        state.epoch += 1;
+    }
+    shared.work_cv.notify_all();
+
+    // The caller is a full participant.
+    run_tasks(shared, &job);
+
+    let mut state = shared.state.lock().unwrap_or_else(|e| e.into_inner());
+    while job.pending.load(Ordering::SeqCst) > 0 {
+        state = shared
+            .done_cv
+            .wait(state)
+            .unwrap_or_else(|e| e.into_inner());
+    }
+    state.job = None;
+    drop(state);
+
+    if job.panicked.load(Ordering::SeqCst) {
+        panic!("a task panicked inside the rckt thread pool");
+    }
+}
+
+/// [`parallel_for`] collecting each task's return value into a `Vec` in
+/// task-index order — the fixed-order-reduction primitive.
+pub fn parallel_map<T, F>(n_tasks: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let mut out: Vec<Option<T>> = Vec::with_capacity(n_tasks);
+    out.resize_with(n_tasks, || None);
+    parallel_chunks_mut(&mut out, 1, &|i, slot| {
+        slot[0] = Some(f(i));
+    });
+    out.into_iter()
+        .map(|o| o.expect("every task produces a value"))
+        .collect()
+}
+
+/// Split `data` into consecutive chunks of `chunk_len` elements (the last
+/// may be shorter) and run `f(chunk_index, chunk)` over them in parallel.
+/// Chunks are disjoint, so this is safe for any `T: Send`.
+pub fn parallel_chunks_mut<T: Send>(
+    data: &mut [T],
+    chunk_len: usize,
+    f: &(dyn Fn(usize, &mut [T]) + Sync),
+) {
+    assert!(chunk_len > 0, "chunk_len must be positive");
+    let len = data.len();
+    if len == 0 {
+        return;
+    }
+    let n_chunks = len.div_ceil(chunk_len);
+    let base = SendPtr(data.as_mut_ptr());
+    parallel_for(n_chunks, &|ci| {
+        let lo = ci * chunk_len;
+        let hi = (lo + chunk_len).min(len);
+        // Disjoint by construction: chunk `ci` covers exactly [lo, hi).
+        let chunk = unsafe { std::slice::from_raw_parts_mut(base.get().add(lo), hi - lo) };
+        f(ci, chunk);
+    });
+}
+
+/// Chunk length that yields roughly `per_thread` chunks per active thread
+/// but never slices finer than `min_len` elements. Used by kernels to size
+/// disjoint-write work items; per the module contract, the boundary choice
+/// cannot affect results.
+pub fn chunk_len_for(total: usize, min_len: usize) -> usize {
+    let width = threads();
+    let target_chunks = (width * 4).max(1);
+    (total.div_ceil(target_chunks)).max(min_len).max(1)
+}
+
+/// Serializes tests (across this crate's test modules) that mutate the
+/// global pool width, so width-sensitive assertions don't race.
+#[cfg(test)]
+pub(crate) static TEST_WIDTH_LOCK: Mutex<()> = Mutex::new(());
+
+/// A raw pointer that may cross thread boundaries. Safe only because every
+/// user derives disjoint ranges from it.
+struct SendPtr<T>(*mut T);
+unsafe impl<T> Send for SendPtr<T> {}
+unsafe impl<T> Sync for SendPtr<T> {}
+
+impl<T> SendPtr<T> {
+    /// Accessor (rather than field access) so closures capture the whole
+    /// `Sync` wrapper, not the raw pointer field.
+    fn get(&self) -> *mut T {
+        self.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn with_threads(n: usize, f: impl FnOnce()) {
+        let _g = TEST_WIDTH_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        let before = threads();
+        set_threads(n);
+        f();
+        set_threads(before);
+    }
+
+    #[test]
+    fn parallel_map_preserves_order() {
+        with_threads(4, || {
+            let out = parallel_map(100, |i| i * i);
+            assert_eq!(out, (0..100).map(|i| i * i).collect::<Vec<_>>());
+        });
+    }
+
+    #[test]
+    fn chunks_cover_everything_once() {
+        with_threads(4, || {
+            let mut data = vec![0u32; 1000];
+            parallel_chunks_mut(&mut data, 64, &|_ci, chunk| {
+                for x in chunk {
+                    *x += 1;
+                }
+            });
+            assert!(data.iter().all(|&x| x == 1));
+        });
+    }
+
+    #[test]
+    fn chunk_index_matches_offsets() {
+        with_threads(3, || {
+            let mut data: Vec<usize> = vec![0; 257];
+            parallel_chunks_mut(&mut data, 10, &|ci, chunk| {
+                for (j, x) in chunk.iter_mut().enumerate() {
+                    *x = ci * 10 + j;
+                }
+            });
+            let expect: Vec<usize> = (0..257).collect();
+            assert_eq!(data, expect);
+        });
+    }
+
+    #[test]
+    fn nested_regions_run_inline() {
+        with_threads(4, || {
+            let mut outer = vec![0u64; 8];
+            parallel_chunks_mut(&mut outer, 1, &|i, slot| {
+                // Inner region while the outer is active: must not deadlock.
+                let inner = parallel_map(5, |j| (i * 10 + j) as u64);
+                slot[0] = inner.iter().sum();
+            });
+            for (i, &v) in outer.iter().enumerate() {
+                let expect: u64 = (0..5).map(|j| (i * 10 + j) as u64).sum();
+                assert_eq!(v, expect);
+            }
+        });
+    }
+
+    #[test]
+    fn identical_results_across_widths() {
+        let reduce = || -> f32 {
+            // Fixed chunking (independent of width) + index-order reduction.
+            let partials = parallel_map(16, |c| {
+                let mut s = 0.0f32;
+                for i in (c * 1000)..((c + 1) * 1000) {
+                    s += (i as f32).sqrt() * 1e-3;
+                }
+                s
+            });
+            partials.iter().sum()
+        };
+        let mut bits = Vec::new();
+        for w in [1, 2, 4] {
+            with_threads(w, || bits.push(reduce().to_bits()));
+        }
+        assert_eq!(bits[0], bits[1]);
+        assert_eq!(bits[1], bits[2]);
+    }
+
+    #[test]
+    fn panics_propagate_without_deadlock() {
+        with_threads(2, || {
+            let r = std::panic::catch_unwind(|| {
+                parallel_for(8, &|i| {
+                    if i == 3 {
+                        panic!("boom");
+                    }
+                });
+            });
+            assert!(r.is_err());
+            // Pool must still be usable afterwards.
+            let out = parallel_map(4, |i| i + 1);
+            assert_eq!(out, vec![1, 2, 3, 4]);
+        });
+    }
+
+    #[test]
+    fn width_one_runs_serial() {
+        with_threads(1, || {
+            let main_id = std::thread::current().id();
+            let ids = parallel_map(6, |_| std::thread::current().id());
+            assert!(ids.iter().all(|&id| id == main_id));
+        });
+    }
+
+    #[test]
+    fn set_threads_clamps() {
+        let _g = TEST_WIDTH_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        let before = threads();
+        set_threads(0);
+        assert_eq!(threads(), 1);
+        set_threads(1_000_000);
+        assert_eq!(threads(), MAX_THREADS);
+        set_threads(before);
+    }
+}

@@ -1,0 +1,118 @@
+//! Public-API property tests for the blocked/parallel kernel layer: the
+//! blocked matmul family must track the naive reference within 1e-5 over
+//! random shapes, be bit-identical for any pool width, and the blocked
+//! transpose must be exact.
+
+use rckt_tensor::kernels;
+use rckt_tensor::pool;
+use std::sync::Mutex;
+
+/// Serializes the tests that mutate process-global state (the pool width).
+static GLOBAL: Mutex<()> = Mutex::new(());
+
+/// Small deterministic generator (keeps the test dependency-free).
+struct Lcg(u64);
+
+impl Lcg {
+    fn next_u64(&mut self) -> u64 {
+        self.0 = self
+            .0
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        self.0
+    }
+
+    fn f32(&mut self) -> f32 {
+        ((self.next_u64() >> 40) as f32 / (1u64 << 24) as f32) - 0.5
+    }
+
+    fn dim(&mut self, lo: usize, hi: usize) -> usize {
+        lo + (self.next_u64() as usize) % (hi - lo)
+    }
+
+    fn vec(&mut self, n: usize) -> Vec<f32> {
+        (0..n).map(|_| self.f32()).collect()
+    }
+}
+
+fn max_rel_err(a: &[f32], b: &[f32]) -> f32 {
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| (x - y).abs() / x.abs().max(y.abs()).max(1.0))
+        .fold(0.0, f32::max)
+}
+
+#[test]
+fn blocked_family_matches_naive_over_random_shapes() {
+    let mut rng = Lcg(0xfeed);
+    for round in 0..25 {
+        let (m, k, n) = (rng.dim(1, 80), rng.dim(1, 80), rng.dim(1, 80));
+        let a = rng.vec(m * k);
+        let b = rng.vec(k * n);
+        let c0 = rng.vec(m * n); // accumulate semantics: start non-zero
+
+        // plain: a [m,k] × b [k,n]
+        let mut naive = c0.clone();
+        kernels::naive_matmul_acc(&a, &b, &mut naive, m, k, n);
+        let mut blocked = c0.clone();
+        kernels::blocked_matmul_acc(&a, &b, &mut blocked, m, k, n);
+        let e = max_rel_err(&naive, &blocked);
+        assert!(e < 1e-5, "round {round} {m}x{k}x{n}: rel err {e}");
+
+        // bt: a [m,k] × bᵀ where b is [n,k]
+        let bt = rng.vec(n * k);
+        let mut naive = c0.clone();
+        kernels::naive_matmul_bt_acc(&a, &bt, &mut naive, m, k, n);
+        let mut blocked = c0.clone();
+        kernels::blocked_matmul_bt_acc(&a, &bt, &mut blocked, m, k, n);
+        let e = max_rel_err(&naive, &blocked);
+        assert!(e < 1e-5, "round {round} bt {m}x{k}x{n}: rel err {e}");
+
+        // at: aᵀ × b where a is [k,m] (depth k rows)
+        let at = rng.vec(k * m);
+        let mut naive = c0.clone();
+        kernels::naive_matmul_at_acc(&at, &b, &mut naive, k, m, n);
+        let mut blocked = c0.clone();
+        kernels::blocked_matmul_at_acc(&at, &b, &mut blocked, k, m, n);
+        let e = max_rel_err(&naive, &blocked);
+        assert!(e < 1e-5, "round {round} at {k}x{m}x{n}: rel err {e}");
+    }
+}
+
+#[test]
+fn blocked_matmul_bit_identical_across_widths() {
+    let _g = GLOBAL.lock().unwrap();
+    let mut rng = Lcg(7);
+    let (m, k, n) = (61, 47, 53);
+    let a = rng.vec(m * k);
+    let b = rng.vec(k * n);
+    let reference: Vec<u32> = {
+        pool::set_threads(1);
+        let mut c = vec![0.0f32; m * n];
+        kernels::blocked_matmul_acc(&a, &b, &mut c, m, k, n);
+        c.iter().map(|x| x.to_bits()).collect()
+    };
+    for width in [2, 4] {
+        pool::set_threads(width);
+        let mut c = vec![0.0f32; m * n];
+        kernels::blocked_matmul_acc(&a, &b, &mut c, m, k, n);
+        let bits: Vec<u32> = c.iter().map(|x| x.to_bits()).collect();
+        assert_eq!(reference, bits, "width {width} changed the result");
+    }
+    pool::set_threads(1);
+}
+
+#[test]
+fn transpose_is_exact_on_awkward_shapes() {
+    let mut rng = Lcg(11);
+    for &(m, n) in &[(1usize, 1usize), (3, 129), (33, 65), (64, 64), (70, 190)] {
+        let src = rng.vec(m * n);
+        let mut dst = vec![0.0f32; m * n];
+        kernels::transpose(&src, &mut dst, m, n);
+        for i in 0..m {
+            for j in 0..n {
+                assert_eq!(dst[j * m + i].to_bits(), src[i * n + j].to_bits());
+            }
+        }
+    }
+}
