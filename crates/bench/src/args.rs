@@ -22,9 +22,12 @@
 /// [`rckt_obs::ObsOptions::take_from_args`] before the loop above):
 ///
 /// ```text
-/// --log-level <l>     event verbosity: off|info|debug|trace (default info)
-/// --log-json <path>   also write events as JSON lines to <path>
-/// --profile           collect FLOP/CF counters; print a summary at exit
+/// --log-level <l>       event verbosity: off|info|debug|trace (default info)
+/// --log-json <path>     also write events as JSON lines to <path>
+/// --profile             collect FLOP/CF counters; print a summary at exit
+/// --profile-out <path>  write the --profile report to <path> instead of stdout
+/// --trace-out <path>    write a Chrome trace-event timeline (chrome://tracing)
+/// --serve-metrics <p>   serve /metrics, /healthz, /runs on 127.0.0.1:<p>
 /// ```
 #[derive(Clone, Debug)]
 pub struct ExpArgs {
@@ -75,6 +78,12 @@ impl ExpArgs {
             rckt_tensor::pool::set_threads(out.threads);
         }
         out.obs = obs;
+        // Stamp run identity onto the Prometheus `rckt_run_info` gauge so
+        // scrapes can tell configurations apart.
+        rckt_obs::set_run_label("bin", rckt_obs::bin_name());
+        rckt_obs::set_run_label("seed", out.seed);
+        rckt_obs::set_run_label("threads", out.threads_in_use());
+        rckt_obs::set_run_label("kernel", rckt_tensor::kernels::kernel_variant_name());
         out
     }
 
@@ -120,13 +129,11 @@ impl ExpArgs {
         out
     }
 
-    /// End-of-run hook for every binary: print the `--profile` summary to
-    /// stderr and flush/close the JSON-lines event sink.
+    /// End-of-run hook for every binary: write the `--profile` report
+    /// (stdout or `--profile-out`), flush the trace file, stop the
+    /// telemetry server, and close the JSON-lines event sink.
     pub fn finish(&self) {
-        if self.obs.profile {
-            eprint!("{}", rckt_obs::profile_report());
-        }
-        rckt_obs::close_json();
+        self.obs.finish();
     }
 }
 
@@ -135,7 +142,10 @@ fn die(msg: &str) -> ! {
     eprintln!(
         "flags: --scale f --folds n --epochs n --patience n --dim n --batch n --seed n --threads n --full --verbose"
     );
-    eprintln!("       --log-level off|info|debug|trace --log-json path --profile");
+    eprintln!(
+        "       --log-level off|info|debug|trace --log-json path --profile --profile-out path"
+    );
+    eprintln!("       --trace-out path --serve-metrics port");
     std::process::exit(2)
 }
 

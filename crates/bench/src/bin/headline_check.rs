@@ -69,6 +69,7 @@ fn main() {
                 .config("epochs", args.epochs)
                 .config("threads", args.threads_in_use())
                 .config("kernel", rckt_tensor::kernels::kernel_variant_name())
+                .config("grad_shards", rckt::RcktConfig::default().grad_shards)
                 .result(
                     "auc_mean",
                     aucs.iter().sum::<f64>() / aucs.len().max(1) as f64,

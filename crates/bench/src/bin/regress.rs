@@ -1,0 +1,106 @@
+//! Bench regression gate over the perf-trajectory histories.
+//!
+//! ```text
+//! cargo run --release -p rckt-bench --bin regress [-- --dir results --threshold 0.5 --verbose]
+//! ```
+//!
+//! Scans `--dir` (default `results/`) for `BENCH_*.json` JSON-lines
+//! histories, compares the newest entry of every `(bin, config)` group
+//! against its first (committed) entry via [`rckt_bench::regress`], prints
+//! one report per file, and exits nonzero when any directional metric
+//! regressed past `--threshold` (default 0.5 = 50% worse — lenient on
+//! purpose; see the module docs for why).
+
+use rckt_bench::regress::{compare_history, has_regressions, parse_history, render_report};
+use std::path::PathBuf;
+
+fn die(msg: &str) -> ! {
+    eprintln!("usage error: {msg}");
+    eprintln!("flags: --dir <path> --threshold <f64> --verbose");
+    std::process::exit(2)
+}
+
+fn main() {
+    let mut dir = PathBuf::from("results");
+    let mut threshold = 0.5f64;
+    let mut verbose = false;
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--dir" => {
+                dir = it
+                    .next()
+                    .map(PathBuf::from)
+                    .unwrap_or_else(|| die("--dir needs a path"))
+            }
+            "--threshold" => {
+                threshold = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|t: &f64| t.is_finite() && *t > 0.0)
+                    .unwrap_or_else(|| die("--threshold needs a positive number"))
+            }
+            "--verbose" => verbose = true,
+            "--help" | "-h" => die("bench regression gate"),
+            other => die(&format!("unknown flag {other}")),
+        }
+    }
+
+    let mut histories: Vec<PathBuf> = match std::fs::read_dir(&dir) {
+        Ok(rd) => rd
+            .filter_map(|e| e.ok())
+            .map(|e| e.path())
+            .filter(|p| {
+                p.file_name()
+                    .and_then(|n| n.to_str())
+                    .is_some_and(|n| n.starts_with("BENCH_") && n.ends_with(".json"))
+            })
+            .collect(),
+        Err(e) => {
+            eprintln!("regress: cannot read {}: {e}", dir.display());
+            std::process::exit(2);
+        }
+    };
+    histories.sort();
+    if histories.is_empty() {
+        println!(
+            "regress: no BENCH_*.json histories in {} — nothing to gate",
+            dir.display()
+        );
+        return;
+    }
+
+    let mut failed = false;
+    for path in &histories {
+        let name = path
+            .file_name()
+            .unwrap_or_default()
+            .to_string_lossy()
+            .into_owned();
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("regress: cannot read {}: {e}", path.display());
+                failed = true;
+                continue;
+            }
+        };
+        let (entries, skipped) = parse_history(&text);
+        if skipped > 0 {
+            eprintln!("regress: {name}: skipped {skipped} malformed line(s)");
+        }
+        let comps = compare_history(&entries, threshold);
+        print!("{}", render_report(&name, &comps, threshold, verbose));
+        if has_regressions(&comps) {
+            failed = true;
+        }
+    }
+    if failed {
+        eprintln!(
+            "regress: FAIL — at least one metric regressed past {:.0}%",
+            threshold * 100.0
+        );
+        std::process::exit(1);
+    }
+    println!("regress: OK");
+}

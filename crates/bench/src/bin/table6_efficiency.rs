@@ -110,6 +110,7 @@ fn main() {
                 .config("batch", args.batch)
                 .config("threads", args.threads_in_use())
                 .config("kernel", rckt_tensor::kernels::kernel_variant_name())
+                .config("grad_shards", rckt::RcktConfig::default().grad_shards)
                 .result("exact_auc", exact_auc)
                 .result("exact_acc", exact_acc)
                 .result("exact_ms_per_student", exact_ms)

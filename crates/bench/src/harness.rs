@@ -441,6 +441,10 @@ pub fn fit_and_eval(
         acc_folds.push(c);
     }
     let seconds = start.elapsed().as_secs_f64();
+    let grad_shards = rckt_cfg
+        .as_ref()
+        .map(|c| c.grad_shards)
+        .unwrap_or_else(|| RcktConfig::default().grad_shards);
     let manifest =
         rckt_obs::RunManifest::capture(&rckt_obs::bin_name(), args.seed, Some(&phases_before))
             .config("model", spec.name())
@@ -450,6 +454,9 @@ pub fn fit_and_eval(
             .config("epochs", args.epochs)
             .config("dim", args.dim)
             .config("batch", args.batch)
+            .config("threads", args.threads_in_use())
+            .config("kernel", rckt_tensor::kernels::kernel_variant_name())
+            .config("grad_shards", grad_shards)
             .result("auc_mean", mean(&auc_folds))
             .result("acc_mean", mean(&acc_folds))
             .result("seconds", seconds);

@@ -5,6 +5,7 @@
 
 pub mod args;
 pub mod harness;
+pub mod regress;
 
 pub use args::ExpArgs;
 pub use harness::{

@@ -1,0 +1,417 @@
+//! Bench regression gate: diff the newest entry of each `results/BENCH_*.json`
+//! perf-trajectory history against its committed baseline and fail when a
+//! metric moved the wrong way by more than a threshold.
+//!
+//! Every bench binary appends one [`rckt_obs::RunManifest`] JSON line per
+//! measured cell (shape × kernel × threads, model × dataset, …). This module
+//! groups a history's lines by `(bin, config)`, takes the **first** line of a
+//! group as the baseline (the committed entry) and the **last** as the
+//! candidate (the run CI just produced), and compares every shared result
+//! metric whose name implies a direction:
+//!
+//! * higher is better — `gflops`, `speedup`, `auc`, `acc`, `throughput`
+//! * lower is better  — `ms`, `secs`/`seconds`, `bytes`, `latency`
+//!
+//! Metrics with no implied direction (λ values, counts, …) are ignored.
+//! Groups with a single entry are reported as `new` and never fail the gate,
+//! so adding a config to a sweep does not require regenerating baselines.
+//!
+//! The default threshold is deliberately lenient (50%): CI hardware differs
+//! from the hardware that produced the committed baseline, and the gate is
+//! meant to catch order-of-magnitude slips (accidentally quadratic loop, a
+//! kernel silently falling back to the naive path), not 10% jitter.
+
+use std::collections::BTreeMap;
+
+use rckt_obs::json::{parse, JsonValue};
+
+/// Which way a metric is supposed to move.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Direction {
+    HigherBetter,
+    LowerBetter,
+}
+
+/// Direction implied by a result metric's name, or `None` when the name
+/// carries no verdict (configuration echoes, counts, λ sweeps).
+pub fn metric_direction(name: &str) -> Option<Direction> {
+    let n = name.to_ascii_lowercase();
+    const HIGHER: [&str; 5] = ["gflops", "speedup", "auc", "acc", "throughput"];
+    const LOWER: [&str; 5] = ["ms", "secs", "seconds", "bytes", "latency"];
+    // Match on word-ish fragments so `ms_per_call` and `fit_secs` hit, but
+    // an unrelated substring (e.g. `rms`) does not: split on `_` and `.`.
+    let parts: Vec<&str> = n.split(['_', '.']).collect();
+    if HIGHER.iter().any(|h| parts.contains(h)) {
+        return Some(Direction::HigherBetter);
+    }
+    if LOWER.iter().any(|l| parts.contains(l)) {
+        return Some(Direction::LowerBetter);
+    }
+    None
+}
+
+/// One manifest line of a history file, reduced to what the gate needs.
+#[derive(Clone, Debug)]
+pub struct Entry {
+    pub bin: String,
+    pub git_commit: String,
+    pub unix_ts: u64,
+    /// Sorted `key=value` pairs — the group identity within a history.
+    pub config: Vec<(String, String)>,
+    pub results: Vec<(String, f64)>,
+}
+
+impl Entry {
+    fn group_key(&self) -> String {
+        let mut parts = vec![self.bin.clone()];
+        parts.extend(self.config.iter().map(|(k, v)| format!("{k}={v}")));
+        parts.join(" ")
+    }
+}
+
+/// Parse a JSON-lines history. Malformed lines are skipped (the count is
+/// returned so callers can surface it) — a truncated final line from a
+/// killed run must not wedge the gate forever.
+pub fn parse_history(text: &str) -> (Vec<Entry>, usize) {
+    let mut entries = Vec::new();
+    let mut skipped = 0usize;
+    for line in text.lines() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        match parse(line).ok().and_then(|v| entry_from_json(&v)) {
+            Some(e) => entries.push(e),
+            None => skipped += 1,
+        }
+    }
+    (entries, skipped)
+}
+
+fn entry_from_json(v: &JsonValue) -> Option<Entry> {
+    let bin = v.get("bin")?.as_str()?.to_string();
+    let mut config: Vec<(String, String)> = v
+        .get("config")
+        .and_then(|c| c.as_object())
+        .map(|pairs| {
+            pairs
+                .iter()
+                .filter_map(|(k, val)| {
+                    let s = match val {
+                        JsonValue::Str(s) => s.clone(),
+                        JsonValue::Num(n) => rckt_obs::json::number(*n),
+                        JsonValue::Bool(b) => b.to_string(),
+                        _ => return None,
+                    };
+                    Some((k.clone(), s))
+                })
+                .collect()
+        })
+        .unwrap_or_default();
+    config.sort();
+    let results = v
+        .get("results")
+        .and_then(|r| r.as_object())
+        .map(|pairs| {
+            pairs
+                .iter()
+                .filter_map(|(k, val)| Some((k.clone(), val.as_f64()?)))
+                .collect()
+        })
+        .unwrap_or_default();
+    Some(Entry {
+        bin,
+        git_commit: v
+            .get("git_commit")
+            .and_then(|c| c.as_str())
+            .unwrap_or("unknown")
+            .to_string(),
+        unix_ts: v.get("unix_ts").and_then(|t| t.as_f64()).unwrap_or(0.0) as u64,
+        config,
+        results,
+    })
+}
+
+/// Verdict for one `(group, metric)` cell.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Verdict {
+    Ok,
+    Improved,
+    Regressed,
+    /// Group has one entry — nothing to compare against yet.
+    New,
+}
+
+/// One compared metric of one config group.
+#[derive(Clone, Debug)]
+pub struct Comparison {
+    pub group: String,
+    pub metric: String,
+    pub direction: Direction,
+    pub baseline: f64,
+    pub candidate: f64,
+    /// Relative change of the candidate vs the baseline, signed so that
+    /// positive is always *better* (throughput up, latency down).
+    pub gain: f64,
+    pub verdict: Verdict,
+}
+
+/// Compare the first (baseline) vs the last (candidate) entry of every
+/// `(bin, config)` group in a history. `threshold` is the relative loss
+/// past which a cell counts as regressed (0.5 = candidate may be up to 50%
+/// worse before the gate trips).
+pub fn compare_history(entries: &[Entry], threshold: f64) -> Vec<Comparison> {
+    let mut groups: BTreeMap<String, Vec<&Entry>> = BTreeMap::new();
+    for e in entries {
+        groups.entry(e.group_key()).or_default().push(e);
+    }
+    let mut out = Vec::new();
+    for (key, group) in &groups {
+        let baseline = group[0];
+        let candidate = group[group.len() - 1];
+        let single = group.len() == 1;
+        for (metric, base_v) in &baseline.results {
+            let Some(direction) = metric_direction(metric) else {
+                continue;
+            };
+            let Some(&(_, cand_v)) = candidate.results.iter().find(|(m, _)| m == metric) else {
+                continue;
+            };
+            if single {
+                out.push(Comparison {
+                    group: key.clone(),
+                    metric: metric.clone(),
+                    direction,
+                    baseline: *base_v,
+                    candidate: cand_v,
+                    gain: 0.0,
+                    verdict: Verdict::New,
+                });
+                continue;
+            }
+            if !base_v.is_finite() || !cand_v.is_finite() || *base_v <= 0.0 {
+                continue;
+            }
+            let gain = match direction {
+                Direction::HigherBetter => cand_v / base_v - 1.0,
+                Direction::LowerBetter => base_v / cand_v.max(f64::MIN_POSITIVE) - 1.0,
+            };
+            let verdict = if gain < -threshold {
+                Verdict::Regressed
+            } else if gain > threshold {
+                Verdict::Improved
+            } else {
+                Verdict::Ok
+            };
+            out.push(Comparison {
+                group: key.clone(),
+                metric: metric.clone(),
+                direction,
+                baseline: *base_v,
+                candidate: cand_v,
+                gain,
+                verdict,
+            });
+        }
+    }
+    out
+}
+
+/// True when any cell regressed past the threshold.
+pub fn has_regressions(comps: &[Comparison]) -> bool {
+    comps.iter().any(|c| c.verdict == Verdict::Regressed)
+}
+
+/// Aligned text report for one history's comparisons. Regressions first,
+/// then improvements; unremarkable cells are summarized in one line unless
+/// `verbose`.
+pub fn render_report(name: &str, comps: &[Comparison], threshold: f64, verbose: bool) -> String {
+    use std::fmt::Write;
+    let mut out = String::new();
+    let regressed: Vec<_> = comps
+        .iter()
+        .filter(|c| c.verdict == Verdict::Regressed)
+        .collect();
+    let improved: Vec<_> = comps
+        .iter()
+        .filter(|c| c.verdict == Verdict::Improved)
+        .collect();
+    let new = comps.iter().filter(|c| c.verdict == Verdict::New).count();
+    let ok = comps.iter().filter(|c| c.verdict == Verdict::Ok).count();
+    let _ = writeln!(
+        out,
+        "{name}: {} cells — {} regressed, {} improved, {ok} within ±{:.0}%, {new} new",
+        comps.len(),
+        regressed.len(),
+        improved.len(),
+        threshold * 100.0
+    );
+    let mut detail = |tag: &str, list: &[&Comparison]| {
+        for c in list {
+            let _ = writeln!(
+                out,
+                "  {tag} {:<40} {:<18} {:>12.4} -> {:>12.4}  ({:+.1}%)",
+                c.group,
+                c.metric,
+                c.baseline,
+                c.candidate,
+                c.gain * 100.0
+            );
+        }
+    };
+    detail("REGRESSED", &regressed);
+    detail("improved ", &improved);
+    if verbose {
+        let rest: Vec<_> = comps
+            .iter()
+            .filter(|c| matches!(c.verdict, Verdict::Ok | Verdict::New))
+            .collect();
+        detail("         ", &rest);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn line(bin: &str, kernel: &str, threads: u32, gflops: f64, ms: f64) -> String {
+        format!(
+            r#"{{"bin":"{bin}","git_commit":"c0ffee","unix_ts":1700000000,"seed":42,"config":{{"kernel":"{kernel}","threads":"{threads}"}},"phases":[],"counters":{{}},"results":{{"gflops":{gflops},"ms_per_call":{ms},"lambda":0.5}}}}"#
+        )
+    }
+
+    #[test]
+    fn directions_from_metric_names() {
+        assert_eq!(metric_direction("gflops"), Some(Direction::HigherBetter));
+        assert_eq!(
+            metric_direction("speedup_vs_naive"),
+            Some(Direction::HigherBetter)
+        );
+        assert_eq!(metric_direction("mean_auc"), Some(Direction::HigherBetter));
+        assert_eq!(
+            metric_direction("ms_per_call"),
+            Some(Direction::LowerBetter)
+        );
+        assert_eq!(metric_direction("fit_secs"), Some(Direction::LowerBetter));
+        assert_eq!(metric_direction("peak_bytes"), Some(Direction::LowerBetter));
+        assert_eq!(metric_direction("lambda"), None);
+        assert_eq!(
+            metric_direction("rms"),
+            None,
+            "substring of a word is not a match"
+        );
+    }
+
+    #[test]
+    fn parse_history_skips_garbage_lines() {
+        let text = format!(
+            "{}\nnot json at all\n{{\"truncated\":\n{}\n",
+            line("kernel_scaling", "blocked", 4, 20.0, 1.0),
+            line("kernel_scaling", "blocked", 4, 21.0, 0.9),
+        );
+        let (entries, skipped) = parse_history(&text);
+        assert_eq!(entries.len(), 2);
+        assert_eq!(skipped, 2);
+        assert_eq!(entries[0].bin, "kernel_scaling");
+        assert_eq!(entries[0].git_commit, "c0ffee");
+        assert_eq!(entries[0].unix_ts, 1700000000);
+        assert!(entries[0]
+            .config
+            .contains(&("kernel".to_string(), "blocked".to_string())));
+    }
+
+    #[test]
+    fn stable_history_passes() {
+        let text = [
+            line("kernel_scaling", "blocked", 4, 20.0, 1.0),
+            line("kernel_scaling", "naive", 1, 2.0, 10.0),
+            line("kernel_scaling", "blocked", 4, 21.5, 0.93),
+            line("kernel_scaling", "naive", 1, 1.9, 10.5),
+        ]
+        .join("\n");
+        let (entries, _) = parse_history(&text);
+        let comps = compare_history(&entries, 0.5);
+        assert!(!has_regressions(&comps));
+        // Two groups × two directional metrics (lambda has no direction).
+        assert_eq!(comps.len(), 4);
+        assert!(comps.iter().all(|c| c.verdict == Verdict::Ok));
+    }
+
+    #[test]
+    fn injected_slowdown_trips_the_gate() {
+        let text = [
+            line("kernel_scaling", "blocked", 4, 20.0, 1.0),
+            // 10x slower / 10x fewer gflops than the baseline.
+            line("kernel_scaling", "blocked", 4, 2.0, 10.0),
+        ]
+        .join("\n");
+        let (entries, _) = parse_history(&text);
+        let comps = compare_history(&entries, 0.5);
+        assert!(has_regressions(&comps));
+        let bad: Vec<_> = comps
+            .iter()
+            .filter(|c| c.verdict == Verdict::Regressed)
+            .collect();
+        assert_eq!(
+            bad.len(),
+            2,
+            "both gflops and ms_per_call regress: {comps:?}"
+        );
+        let report = render_report("BENCH_kernel_scaling.json", &comps, 0.5, false);
+        assert!(report.contains("REGRESSED"), "{report}");
+        assert!(report.contains("gflops"), "{report}");
+    }
+
+    #[test]
+    fn improvement_is_not_a_regression() {
+        let text = [
+            line("kernel_scaling", "blocked", 4, 2.0, 10.0),
+            line("kernel_scaling", "blocked", 4, 20.0, 1.0),
+        ]
+        .join("\n");
+        let (entries, _) = parse_history(&text);
+        let comps = compare_history(&entries, 0.5);
+        assert!(!has_regressions(&comps));
+        assert!(comps.iter().all(|c| c.verdict == Verdict::Improved));
+    }
+
+    #[test]
+    fn single_entry_groups_are_new_not_failures() {
+        let (entries, _) = parse_history(&line("kernel_scaling", "blocked", 8, 30.0, 0.6));
+        let comps = compare_history(&entries, 0.5);
+        assert!(!has_regressions(&comps));
+        assert!(comps.iter().all(|c| c.verdict == Verdict::New));
+    }
+
+    #[test]
+    fn different_configs_never_cross_compare() {
+        // naive@1 is 10x slower than blocked@4 — but they are different
+        // groups, so no comparison happens across them.
+        let text = [
+            line("kernel_scaling", "blocked", 4, 20.0, 1.0),
+            line("kernel_scaling", "naive", 1, 2.0, 10.0),
+        ]
+        .join("\n");
+        let (entries, _) = parse_history(&text);
+        let comps = compare_history(&entries, 0.5);
+        assert!(!has_regressions(&comps));
+        assert!(comps.iter().all(|c| c.verdict == Verdict::New));
+    }
+
+    #[test]
+    fn zero_and_nonfinite_baselines_are_skipped() {
+        let mk = |g: f64| {
+            format!(
+                r#"{{"bin":"b","git_commit":"x","unix_ts":1,"seed":0,"config":{{}},"phases":[],"counters":{{}},"results":{{"gflops":{g}}}}}"#
+            )
+        };
+        let text = format!("{}\n{}", mk(0.0), mk(5.0));
+        let (entries, _) = parse_history(&text);
+        let comps = compare_history(&entries, 0.5);
+        assert!(
+            comps.is_empty(),
+            "zero baseline produces no verdict: {comps:?}"
+        );
+    }
+}

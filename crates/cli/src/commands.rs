@@ -29,7 +29,10 @@ global flags (any command):
                                      results are identical for any value
   --log-level off|info|debug|trace   event verbosity (default info)
   --log-json <path>                  also write events as JSON lines
-  --profile                          collect counters, print summary at exit";
+  --profile                          collect counters, print summary at exit
+  --profile-out <path>               write the --profile report to a file
+  --trace-out <path>                 write a Chrome trace-event timeline
+  --serve-metrics <port>             serve /metrics /healthz /runs on localhost";
 
 #[derive(Debug)]
 pub struct CliError(pub String);
@@ -196,7 +199,16 @@ fn train(flags: &HashMap<String, String>) -> Result<(), CliError> {
         )));
     }
     let folds = KFold::paper(cfg.seed).split(ws.len());
+    let seed = cfg.seed;
+    let grad_shards = cfg.grad_shards;
     let mut model = Rckt::new(backbone, ds.num_questions(), ds.num_concepts(), cfg);
+    // Identity labels for the live /metrics endpoint (`rckt_run_info`).
+    rckt_obs::set_run_label("bin", "rckt-train");
+    rckt_obs::set_run_label("model", model.name());
+    rckt_obs::set_run_label("seed", seed);
+    rckt_obs::set_run_label("threads", rckt_tensor::pool::threads());
+    rckt_obs::set_run_label("kernel", rckt_tensor::kernels::kernel_variant_name());
+    rckt_obs::set_run_label("grad_shards", grad_shards);
     rckt_obs::event(
         rckt_obs::Level::Info,
         "cli.train",
@@ -214,7 +226,17 @@ fn train(flags: &HashMap<String, String>) -> Result<(), CliError> {
         ..Default::default()
     };
     // `run_fit` already reports best_val_auc/best_epoch via the "train.done" event.
+    let fit_t0 = std::time::Instant::now();
     model.fit(&ws, &folds[0].train, &folds[0].val, &ds.q_matrix, &tc);
+    // Publish the run's provenance to the live /runs endpoint (no file
+    // write — the CLI is not a bench binary with a trajectory history).
+    rckt_obs::RunManifest::capture("rckt-train", seed, None)
+        .config("model", model.name())
+        .config("threads", rckt_tensor::pool::threads())
+        .config("kernel", rckt_tensor::kernels::kernel_variant_name())
+        .config("grad_shards", grad_shards)
+        .result("fit_secs", fit_t0.elapsed().as_secs_f64())
+        .publish();
     std::fs::write(out, model.export(ds.num_questions(), ds.num_concepts()))
         .map_err(|e| err(format!("writing {out}: {e}")))?;
     println!("saved model to {out}");

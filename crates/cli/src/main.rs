@@ -12,8 +12,9 @@
 //! (`student,question,concepts,correct,timestamp`).
 //!
 //! Every command additionally accepts the global observability flags
-//! `--log-level off|info|debug|trace`, `--log-json <path>`, and
-//! `--profile` (see `docs/observability.md`), plus `--threads <n>` to set
+//! `--log-level off|info|debug|trace`, `--log-json <path>`, `--profile`,
+//! `--profile-out <path>`, `--trace-out <path>`, and `--serve-metrics
+//! <port>` (see `docs/observability.md`), plus `--threads <n>` to set
 //! the rckt-tensor worker-pool width (`RCKT_THREADS` is the env fallback;
 //! results are identical for any value — see `docs/performance.md`).
 
@@ -42,9 +43,8 @@ fn main() -> ExitCode {
             ExitCode::from(2)
         }
     };
-    if obs.profile {
-        eprint!("{}", rckt_obs::profile_report());
-    }
-    rckt_obs::close_json();
+    // Profile report (stdout or --profile-out), trace flush, telemetry
+    // shutdown, JSON-lines close.
+    obs.finish();
     code
 }

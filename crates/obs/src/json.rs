@@ -1,7 +1,9 @@
 //! Minimal JSON encoding (objects, arrays, scalars) for the event and
-//! manifest sinks. Encoding only — parsing stays with `serde_json` in the
-//! crates that already depend on it. Keeping the encoder here lets
-//! `rckt-obs` stay dependency-free so every crate can link it.
+//! manifest sinks, plus a small strict parser ([`parse`]) so the bench
+//! regression gate can read manifest histories back. Keeping both here
+//! lets `rckt-obs` stay dependency-free so every crate can link it;
+//! crates that already depend on `serde_json` keep using it for their
+//! own formats.
 
 use std::fmt::Write as _;
 
@@ -101,6 +103,242 @@ impl Obj {
     }
 }
 
+/// A parsed JSON document. Object keys keep insertion order (manifest
+/// configs are ordered); duplicate keys keep the last value on lookup.
+#[derive(Clone, Debug, PartialEq)]
+pub enum JsonValue {
+    Null,
+    Bool(bool),
+    Num(f64),
+    Str(String),
+    Arr(Vec<JsonValue>),
+    Object(Vec<(String, JsonValue)>),
+}
+
+impl JsonValue {
+    pub fn get(&self, key: &str) -> Option<&JsonValue> {
+        match self {
+            JsonValue::Object(fields) => {
+                fields.iter().rev().find(|(k, _)| k == key).map(|(_, v)| v)
+            }
+            _ => None,
+        }
+    }
+
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            JsonValue::Num(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            JsonValue::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    pub fn as_object(&self) -> Option<&[(String, JsonValue)]> {
+        match self {
+            JsonValue::Object(fields) => Some(fields),
+            _ => None,
+        }
+    }
+
+    pub fn as_array(&self) -> Option<&[JsonValue]> {
+        match self {
+            JsonValue::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+}
+
+/// Parse one JSON document; trailing non-whitespace is an error.
+pub fn parse(text: &str) -> Result<JsonValue, String> {
+    let bytes = text.as_bytes();
+    let mut pos = 0usize;
+    let v = parse_value(bytes, &mut pos, 0)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(format!("trailing data at byte {pos}"));
+    }
+    Ok(v)
+}
+
+const MAX_DEPTH: usize = 64;
+
+fn skip_ws(b: &[u8], pos: &mut usize) {
+    while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn expect(b: &[u8], pos: &mut usize, lit: &str) -> Result<(), String> {
+    if b[*pos..].starts_with(lit.as_bytes()) {
+        *pos += lit.len();
+        Ok(())
+    } else {
+        Err(format!("expected `{lit}` at byte {}", *pos))
+    }
+}
+
+fn parse_value(b: &[u8], pos: &mut usize, depth: usize) -> Result<JsonValue, String> {
+    if depth > MAX_DEPTH {
+        return Err("nesting too deep".to_string());
+    }
+    skip_ws(b, pos);
+    match b.get(*pos) {
+        None => Err("unexpected end of input".to_string()),
+        Some(b'n') => expect(b, pos, "null").map(|_| JsonValue::Null),
+        Some(b't') => expect(b, pos, "true").map(|_| JsonValue::Bool(true)),
+        Some(b'f') => expect(b, pos, "false").map(|_| JsonValue::Bool(false)),
+        Some(b'"') => parse_string(b, pos).map(JsonValue::Str),
+        Some(b'[') => {
+            *pos += 1;
+            let mut items = Vec::new();
+            skip_ws(b, pos);
+            if b.get(*pos) == Some(&b']') {
+                *pos += 1;
+                return Ok(JsonValue::Arr(items));
+            }
+            loop {
+                items.push(parse_value(b, pos, depth + 1)?);
+                skip_ws(b, pos);
+                match b.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b']') => {
+                        *pos += 1;
+                        return Ok(JsonValue::Arr(items));
+                    }
+                    _ => return Err(format!("expected `,` or `]` at byte {}", *pos)),
+                }
+            }
+        }
+        Some(b'{') => {
+            *pos += 1;
+            let mut fields = Vec::new();
+            skip_ws(b, pos);
+            if b.get(*pos) == Some(&b'}') {
+                *pos += 1;
+                return Ok(JsonValue::Object(fields));
+            }
+            loop {
+                skip_ws(b, pos);
+                let key = parse_string(b, pos)?;
+                skip_ws(b, pos);
+                if b.get(*pos) != Some(&b':') {
+                    return Err(format!("expected `:` at byte {}", *pos));
+                }
+                *pos += 1;
+                let value = parse_value(b, pos, depth + 1)?;
+                fields.push((key, value));
+                skip_ws(b, pos);
+                match b.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b'}') => {
+                        *pos += 1;
+                        return Ok(JsonValue::Object(fields));
+                    }
+                    _ => return Err(format!("expected `,` or `}}` at byte {}", *pos)),
+                }
+            }
+        }
+        Some(_) => parse_number(b, pos).map(JsonValue::Num),
+    }
+}
+
+fn parse_string(b: &[u8], pos: &mut usize) -> Result<String, String> {
+    if b.get(*pos) != Some(&b'"') {
+        return Err(format!("expected string at byte {}", *pos));
+    }
+    *pos += 1;
+    let mut out = String::new();
+    loop {
+        match b.get(*pos) {
+            None => return Err("unterminated string".to_string()),
+            Some(b'"') => {
+                *pos += 1;
+                return Ok(out);
+            }
+            Some(b'\\') => {
+                *pos += 1;
+                let esc = b.get(*pos).ok_or("unterminated escape")?;
+                *pos += 1;
+                match esc {
+                    b'"' => out.push('"'),
+                    b'\\' => out.push('\\'),
+                    b'/' => out.push('/'),
+                    b'b' => out.push('\u{8}'),
+                    b'f' => out.push('\u{c}'),
+                    b'n' => out.push('\n'),
+                    b'r' => out.push('\r'),
+                    b't' => out.push('\t'),
+                    b'u' => {
+                        let cp = parse_hex4(b, pos)?;
+                        // Combine surrogate pairs; a lone surrogate
+                        // becomes the replacement character.
+                        let c = if (0xD800..0xDC00).contains(&cp) {
+                            if b.get(*pos) == Some(&b'\\') && b.get(*pos + 1) == Some(&b'u') {
+                                *pos += 2;
+                                let lo = parse_hex4(b, pos)?;
+                                let combined =
+                                    0x10000 + ((cp - 0xD800) << 10) + (lo.wrapping_sub(0xDC00));
+                                char::from_u32(combined).unwrap_or('\u{FFFD}')
+                            } else {
+                                '\u{FFFD}'
+                            }
+                        } else {
+                            char::from_u32(cp).unwrap_or('\u{FFFD}')
+                        };
+                        out.push(c);
+                    }
+                    _ => return Err(format!("bad escape at byte {}", *pos - 1)),
+                }
+            }
+            Some(&c) if c < 0x20 => return Err("control character in string".to_string()),
+            Some(_) => {
+                // Copy one UTF-8 scalar (input is a &str, so boundaries
+                // are valid).
+                let start = *pos;
+                *pos += 1;
+                while *pos < b.len() && (b[*pos] & 0xC0) == 0x80 {
+                    *pos += 1;
+                }
+                out.push_str(std::str::from_utf8(&b[start..*pos]).map_err(|e| e.to_string())?);
+            }
+        }
+    }
+}
+
+fn parse_hex4(b: &[u8], pos: &mut usize) -> Result<u32, String> {
+    let hex = b
+        .get(*pos..*pos + 4)
+        .ok_or("truncated \\u escape")
+        .and_then(|s| std::str::from_utf8(s).map_err(|_| "bad \\u escape"))
+        .map_err(|e| e.to_string())?;
+    let v = u32::from_str_radix(hex, 16).map_err(|e| e.to_string())?;
+    *pos += 4;
+    Ok(v)
+}
+
+fn parse_number(b: &[u8], pos: &mut usize) -> Result<f64, String> {
+    let start = *pos;
+    if b.get(*pos) == Some(&b'-') {
+        *pos += 1;
+    }
+    while *pos < b.len() && matches!(b[*pos], b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-') {
+        *pos += 1;
+    }
+    if *pos == start {
+        return Err(format!("expected a value at byte {start}"));
+    }
+    std::str::from_utf8(&b[start..*pos])
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| format!("bad number at byte {start}"))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -143,5 +381,100 @@ mod tests {
             "[1,\"a\"]"
         );
         assert_eq!(array(Vec::<String>::new()), "[]");
+    }
+
+    #[test]
+    fn parse_scalars_arrays_objects() {
+        assert_eq!(parse("null").unwrap(), JsonValue::Null);
+        assert_eq!(parse(" true ").unwrap(), JsonValue::Bool(true));
+        assert_eq!(parse("-2.5e2").unwrap(), JsonValue::Num(-250.0));
+        assert_eq!(parse("\"hi\"").unwrap(), JsonValue::Str("hi".into()));
+        assert_eq!(
+            parse("[1, 2, []]").unwrap(),
+            JsonValue::Arr(vec![
+                JsonValue::Num(1.0),
+                JsonValue::Num(2.0),
+                JsonValue::Arr(vec![])
+            ])
+        );
+        let v = parse("{\"a\": {\"b\": [1, \"x\"]}, \"c\": false}").unwrap();
+        assert_eq!(
+            v.get("a")
+                .and_then(|a| a.get("b"))
+                .and_then(|b| b.as_array()),
+            Some(&[JsonValue::Num(1.0), JsonValue::Str("x".into())][..])
+        );
+        assert_eq!(v.get("c"), Some(&JsonValue::Bool(false)));
+        assert_eq!(v.get("missing"), None);
+    }
+
+    #[test]
+    fn parse_string_escapes_and_unicode() {
+        assert_eq!(
+            parse("\"a\\\"b\\\\c\\n\\t\\u0041\"").unwrap(),
+            JsonValue::Str("a\"b\\c\n\tA".into())
+        );
+        // Surrogate pair → one astral scalar.
+        assert_eq!(
+            parse("\"\\ud83d\\ude00\"").unwrap(),
+            JsonValue::Str("😀".into())
+        );
+        // Raw multi-byte UTF-8 passes through.
+        assert_eq!(
+            parse("\"héllo✓\"").unwrap(),
+            JsonValue::Str("héllo✓".into())
+        );
+    }
+
+    #[test]
+    fn parse_rejects_malformed_input() {
+        for bad in [
+            "",
+            "{",
+            "[1,",
+            "{\"a\":}",
+            "tru",
+            "\"unterminated",
+            "1 2",
+            "{'a':1}",
+            "[1]]",
+        ] {
+            assert!(parse(bad).is_err(), "should reject {bad:?}");
+        }
+    }
+
+    #[test]
+    fn parse_round_trips_encoder_output() {
+        let mut o = Obj::new();
+        o.str("name", "x\"y\nz")
+            .u64("n", 42)
+            .f64("v", 0.125)
+            .bool("ok", true)
+            .raw("arr", &array(vec![number(1.0), string("s")]));
+        let v = parse(&o.finish()).unwrap();
+        assert_eq!(v.get("name").and_then(|s| s.as_str()), Some("x\"y\nz"));
+        assert_eq!(v.get("n").and_then(|n| n.as_f64()), Some(42.0));
+        assert_eq!(v.get("v").and_then(|n| n.as_f64()), Some(0.125));
+        assert_eq!(v.get("ok"), Some(&JsonValue::Bool(true)));
+        // A manifest line round-trips too.
+        let m = crate::manifest::RunManifest {
+            bin: "b".into(),
+            config: vec![("kernel".into(), "blocked".into())],
+            results: vec![("gflops".into(), 3.5)],
+            ..Default::default()
+        };
+        let v = parse(&m.to_json()).unwrap();
+        assert_eq!(
+            v.get("config")
+                .and_then(|c| c.get("kernel"))
+                .and_then(|k| k.as_str()),
+            Some("blocked")
+        );
+        assert_eq!(
+            v.get("results")
+                .and_then(|r| r.get("gflops"))
+                .and_then(|g| g.as_f64()),
+            Some(3.5)
+        );
     }
 }

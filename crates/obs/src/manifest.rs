@@ -119,18 +119,27 @@ impl RunManifest {
         o.finish()
     }
 
-    /// Write the manifest as a standalone pretty-enough JSON file.
+    /// Make this manifest visible at the live `/runs` telemetry endpoint
+    /// (see [`crate::serve`]). Cheap; harmless when no server is running.
+    pub fn publish(&self) {
+        crate::serve::publish_manifest(&self.to_json());
+    }
+
+    /// Write the manifest as a standalone pretty-enough JSON file (also
+    /// published to the live `/runs` endpoint).
     pub fn write_json(&self, path: impl AsRef<Path>) -> std::io::Result<()> {
         if let Some(dir) = path.as_ref().parent() {
             if !dir.as_os_str().is_empty() {
                 std::fs::create_dir_all(dir)?;
             }
         }
+        self.publish();
         std::fs::write(path, self.to_json() + "\n")
     }
 
     /// Append the manifest as one line to a JSON-lines history file,
-    /// creating parent directories as needed.
+    /// creating parent directories as needed (also published to the live
+    /// `/runs` endpoint).
     pub fn append_jsonl(&self, path: impl AsRef<Path>) -> std::io::Result<()> {
         if let Some(dir) = path.as_ref().parent() {
             if !dir.as_os_str().is_empty() {
@@ -141,6 +150,7 @@ impl RunManifest {
             .create(true)
             .append(true)
             .open(path)?;
+        self.publish();
         writeln!(f, "{}", self.to_json())
     }
 }

@@ -214,10 +214,14 @@ pub fn histogram_with(name: &str, bounds: &[f64]) -> Histogram {
 pub struct HistogramSummary {
     pub name: String,
     pub count: u64,
+    pub sum: f64,
     pub mean: f64,
     pub p50: f64,
     pub p90: f64,
     pub p99: f64,
+    /// `(upper_bound, count)` per bucket, overflow bound `+inf` — the raw
+    /// (non-cumulative) counts from [`Histogram::bucket_counts`].
+    pub buckets: Vec<(f64, u64)>,
 }
 
 /// Point-in-time copy of every registered metric.
@@ -242,10 +246,12 @@ pub fn metrics_snapshot() -> MetricsSnapshot {
         .map(|(k, h)| HistogramSummary {
             name: k.clone(),
             count: h.count(),
+            sum: h.sum(),
             mean: h.mean(),
             p50: h.quantile(0.5),
             p90: h.quantile(0.9),
             p99: h.quantile(0.99),
+            buckets: h.bucket_counts(),
         })
         .collect();
     MetricsSnapshot {
@@ -327,6 +333,61 @@ mod tests {
         // empty histogram → 0
         let h3 = histogram_with("test.metrics.hist_empty", &[1.0]);
         assert_eq!(h3.quantile(0.99), 0.0);
+    }
+
+    #[test]
+    fn quantile_edge_cases() {
+        // Empty: every quantile is 0, including the degenerate q values.
+        let h = histogram_with("test.metrics.edge_empty", &[1.0, 2.0]);
+        for q in [0.0, 0.5, 1.0, -3.0, 7.0] {
+            assert_eq!(h.quantile(q), 0.0);
+        }
+
+        // Single sample: every quantile lands in that sample's bucket.
+        let h = histogram_with("test.metrics.edge_single", &[1.0, 2.0, 4.0]);
+        h.observe(1.5);
+        for q in [0.01, 0.5, 0.99, 1.0] {
+            assert_eq!(h.quantile(q), 2.0);
+        }
+        // q is clamped, so out-of-range requests behave like 0 and 1.
+        assert_eq!(h.quantile(-1.0), 2.0);
+        assert_eq!(h.quantile(2.0), 2.0);
+
+        // All-equal samples: the distribution is a point mass; every
+        // quantile reports the one occupied bucket's upper bound.
+        let h = histogram_with("test.metrics.edge_equal", &[1.0, 2.0, 4.0]);
+        for _ in 0..1000 {
+            h.observe(3.0);
+        }
+        for q in [0.001, 0.25, 0.5, 0.75, 0.999, 1.0] {
+            assert_eq!(h.quantile(q), 4.0);
+        }
+        assert_eq!(h.count(), 1000);
+        assert!((h.mean() - 3.0).abs() < 1e-9);
+
+        // Sample exactly on a bucket bound belongs to that bucket.
+        let h = histogram_with("test.metrics.edge_bound", &[1.0, 2.0]);
+        h.observe(1.0);
+        assert_eq!(h.quantile(0.5), 1.0);
+    }
+
+    #[test]
+    fn snapshot_summary_carries_sum_and_buckets() {
+        let h = histogram_with("test.metrics.snap_detail", &[1.0, 2.0]);
+        h.observe(0.5);
+        h.observe(1.5);
+        h.observe(9.0);
+        let s = metrics_snapshot();
+        let hs = s
+            .histograms
+            .iter()
+            .find(|h| h.name == "test.metrics.snap_detail")
+            .unwrap();
+        assert_eq!(hs.count, 3);
+        assert!((hs.sum - 11.0).abs() < 1e-12);
+        let counts: Vec<u64> = hs.buckets.iter().map(|&(_, c)| c).collect();
+        assert_eq!(counts, vec![1, 1, 1]);
+        assert!(hs.buckets.last().unwrap().0.is_infinite());
     }
 
     #[test]

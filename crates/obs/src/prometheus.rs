@@ -1,0 +1,219 @@
+//! Prometheus text exposition (format 0.0.4) of the metrics registry and
+//! the span phase table, served by [`crate::serve`] at `/metrics`.
+//!
+//! Internal metric names use dots (`kernel.matmul.flops`); here they are
+//! sanitized to `rckt_kernel_matmul_flops` plus the conventional suffixes
+//! (`_total` on counters, `_bucket`/`_sum`/`_count` on histograms). A
+//! process-wide label set ([`set_run_label`]) is exported as a
+//! `rckt_run_info` info-gauge so dashboards can slice runs by kernel
+//! variant, pool width, or gradient shards without per-sample labels.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::Mutex;
+
+use crate::metrics::metrics_snapshot;
+use crate::span::phase_timings;
+
+static RUN_LABELS: Mutex<BTreeMap<String, String>> = Mutex::new(BTreeMap::new());
+
+/// Set (or overwrite) one key of the process-wide run-info label set,
+/// exported as `rckt_run_info{key="value",...} 1`.
+pub fn set_run_label(key: &str, value: impl ToString) {
+    RUN_LABELS
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .insert(key.to_string(), value.to_string());
+}
+
+/// The current run-info labels, sorted by key.
+pub fn run_labels() -> Vec<(String, String)> {
+    RUN_LABELS
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .iter()
+        .map(|(k, v)| (k.clone(), v.clone()))
+        .collect()
+}
+
+/// Clear the run-info label set (tests).
+pub fn reset_run_labels() {
+    RUN_LABELS.lock().unwrap_or_else(|e| e.into_inner()).clear();
+}
+
+/// Sanitize an internal metric name into a valid Prometheus metric name:
+/// every character outside `[a-zA-Z0-9_:]` becomes `_`, and names are
+/// prefixed with `rckt_` unless they already carry it.
+pub fn metric_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len() + 5);
+    if !name.starts_with("rckt_") && !name.starts_with("rckt.") {
+        out.push_str("rckt_");
+    }
+    for (i, c) in name.chars().enumerate() {
+        let ok = c.is_ascii_alphanumeric() || c == '_' || c == ':';
+        // A metric name cannot start with a digit even when prefixed later.
+        if ok && !(i == 0 && out.is_empty() && c.is_ascii_digit()) {
+            out.push(c);
+        } else {
+            out.push('_');
+        }
+    }
+    out
+}
+
+/// Escape a label value per the exposition format: backslash, double
+/// quote, and newline must be escaped; everything else passes through.
+pub fn escape_label_value(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    for c in v.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Render a float the way Prometheus expects (`+Inf`, `-Inf`, `NaN`).
+fn fmt_value(v: f64) -> String {
+    if v.is_nan() {
+        "NaN".to_string()
+    } else if v == f64::INFINITY {
+        "+Inf".to_string()
+    } else if v == f64::NEG_INFINITY {
+        "-Inf".to_string()
+    } else {
+        format!("{v}")
+    }
+}
+
+/// Render the whole registry (counters, gauges, histograms), the span
+/// phase table, and the run-info gauge as one exposition document.
+pub fn render() -> String {
+    let mut out = String::new();
+
+    let labels = run_labels();
+    if !labels.is_empty() {
+        out.push_str("# TYPE rckt_run_info gauge\n");
+        out.push_str("rckt_run_info{");
+        for (i, (k, v)) in labels.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "{}=\"{}\"", metric_name(k), escape_label_value(v));
+        }
+        out.push_str("} 1\n");
+    }
+
+    for (path, stat) in phase_timings() {
+        let esc = escape_label_value(&path);
+        let _ = writeln!(
+            out,
+            "rckt_phase_seconds_total{{phase=\"{esc}\"}} {}",
+            fmt_value(stat.secs)
+        );
+        let _ = writeln!(
+            out,
+            "rckt_phase_runs_total{{phase=\"{esc}\"}} {}",
+            stat.count
+        );
+    }
+
+    let snap = metrics_snapshot();
+    for (name, v) in &snap.counters {
+        let n = format!("{}_total", metric_name(name));
+        let _ = writeln!(out, "# TYPE {n} counter\n{n} {v}");
+    }
+    for (name, v) in &snap.gauges {
+        let n = metric_name(name);
+        let _ = writeln!(out, "# TYPE {n} gauge\n{n} {}", fmt_value(*v));
+    }
+    for h in &snap.histograms {
+        let n = metric_name(&h.name);
+        let _ = writeln!(out, "# TYPE {n} histogram");
+        let mut cum = 0u64;
+        for &(bound, count) in &h.buckets {
+            cum += count;
+            let _ = writeln!(out, "{n}_bucket{{le=\"{}\"}} {cum}", fmt_value(bound));
+        }
+        let _ = writeln!(out, "{n}_sum {}", fmt_value(h.sum));
+        let _ = writeln!(out, "{n}_count {}", h.count);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::{counter, gauge, histogram_with};
+
+    #[test]
+    fn metric_name_sanitizes_and_prefixes() {
+        assert_eq!(
+            metric_name("kernel.matmul.flops"),
+            "rckt_kernel_matmul_flops"
+        );
+        assert_eq!(metric_name("pool.worker-3/busy"), "rckt_pool_worker_3_busy");
+        assert_eq!(metric_name("rckt_already_ok"), "rckt_already_ok");
+        assert_eq!(metric_name("héllo"), "rckt_h_llo");
+    }
+
+    #[test]
+    fn label_value_escaping() {
+        assert_eq!(escape_label_value("plain"), "plain");
+        assert_eq!(escape_label_value("a\"b"), "a\\\"b");
+        assert_eq!(escape_label_value("a\\b"), "a\\\\b");
+        assert_eq!(escape_label_value("a\nb"), "a\\nb");
+        assert_eq!(escape_label_value("q=\"x\\y\"\nz"), "q=\\\"x\\\\y\\\"\\nz");
+    }
+
+    #[test]
+    fn fmt_value_special_floats() {
+        assert_eq!(fmt_value(f64::INFINITY), "+Inf");
+        assert_eq!(fmt_value(f64::NEG_INFINITY), "-Inf");
+        assert_eq!(fmt_value(f64::NAN), "NaN");
+        assert_eq!(fmt_value(0.25), "0.25");
+    }
+
+    #[test]
+    fn render_covers_all_metric_kinds() {
+        let _g = crate::testutil::global_lock();
+        counter("test.prom.counter").add(7);
+        gauge("test.prom.gauge").set(1.5);
+        let h = histogram_with("test.prom.hist", &[1.0, 2.0]);
+        h.observe(0.5);
+        h.observe(9.0);
+        {
+            let _s = crate::span::span("test_prom_phase");
+        }
+        set_run_label("kernel", "blocked");
+        set_run_label("quoted", "a\"b");
+
+        let text = render();
+        assert!(text.contains("# TYPE rckt_test_prom_counter_total counter"));
+        assert!(text.contains("rckt_test_prom_counter_total 7"));
+        assert!(text.contains("rckt_test_prom_gauge 1.5"));
+        // Cumulative buckets: 1 at le=1, still 1 at le=2, 2 at +Inf.
+        assert!(text.contains("rckt_test_prom_hist_bucket{le=\"1\"} 1"));
+        assert!(text.contains("rckt_test_prom_hist_bucket{le=\"2\"} 1"));
+        assert!(text.contains("rckt_test_prom_hist_bucket{le=\"+Inf\"} 2"));
+        assert!(text.contains("rckt_test_prom_hist_sum 9.5"));
+        assert!(text.contains("rckt_test_prom_hist_count 2"));
+        assert!(text.contains("rckt_phase_seconds_total{phase=\"test_prom_phase\"}"));
+        assert!(text.contains("kernel=\"blocked\""));
+        assert!(text.contains("quoted=\"a\\\"b\""));
+        assert!(text.contains("rckt_run_info{"));
+    }
+
+    #[test]
+    fn run_labels_overwrite_and_reset() {
+        let _g = crate::testutil::global_lock();
+        set_run_label("test_prom_k", "1");
+        set_run_label("test_prom_k", "2");
+        assert!(run_labels().contains(&("test_prom_k".to_string(), "2".to_string())));
+        reset_run_labels();
+        assert!(run_labels().is_empty());
+    }
+}

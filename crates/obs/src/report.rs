@@ -1,5 +1,6 @@
 //! Text rendering of everything collected so far — the `--profile` output.
 
+use std::collections::BTreeMap;
 use std::fmt::Write;
 
 use crate::metrics::metrics_snapshot;
@@ -18,6 +19,54 @@ fn human_count(v: u64) -> String {
         }
     }
     v.to_string()
+}
+
+/// One tensor op kind's aggregates, reconstructed from the registry's
+/// `op.<kind>.*` metrics (the naming contract with `rckt-tensor`'s
+/// per-op profiler).
+#[derive(Default)]
+struct OpRow {
+    calls: u64,
+    fwd_secs: f64,
+    bwd_secs: f64,
+    flops: u64,
+    alloc_bytes: u64,
+}
+
+fn collect_op_rows(snap: &crate::metrics::MetricsSnapshot) -> BTreeMap<String, OpRow> {
+    let mut rows: BTreeMap<String, OpRow> = BTreeMap::new();
+    for h in &snap.histograms {
+        if let Some(kind) = h
+            .name
+            .strip_prefix("op.")
+            .and_then(|r| r.strip_suffix(".secs"))
+        {
+            let row = rows.entry(kind.to_string()).or_default();
+            row.calls = h.count;
+            row.fwd_secs = h.sum;
+        } else if let Some(kind) = h
+            .name
+            .strip_prefix("op.")
+            .and_then(|r| r.strip_suffix(".bwd_secs"))
+        {
+            rows.entry(kind.to_string()).or_default().bwd_secs = h.sum;
+        }
+    }
+    for (name, v) in &snap.counters {
+        if let Some(kind) = name
+            .strip_prefix("op.")
+            .and_then(|r| r.strip_suffix(".flops"))
+        {
+            rows.entry(kind.to_string()).or_default().flops = *v;
+        } else if let Some(kind) = name
+            .strip_prefix("op.")
+            .and_then(|r| r.strip_suffix(".alloc_bytes"))
+        {
+            rows.entry(kind.to_string()).or_default().alloc_bytes = *v;
+        }
+    }
+    rows.retain(|_, r| r.calls > 0 || r.flops > 0 || r.alloc_bytes > 0 || r.bwd_secs > 0.0);
+    rows
 }
 
 /// Render per-phase timings, counters, gauges, and histogram summaries as
@@ -45,6 +94,52 @@ pub fn profile_report() -> String {
     }
 
     let snap = metrics_snapshot();
+
+    let ops = collect_op_rows(&snap);
+    if !ops.is_empty() {
+        out.push_str("-- tensor ops --\n");
+        let w = ops.keys().map(|k| k.len()).max().unwrap_or(0).max(4);
+        let _ = writeln!(
+            out,
+            "{:w$}  {:>9}  {:>10}  {:>10}  {:>9}  {:>8}  {:>9}",
+            "op", "calls", "fwd", "bwd", "flops", "gflop/s", "alloc"
+        );
+        for (kind, r) in &ops {
+            let gflops = if r.fwd_secs > 0.0 {
+                r.flops as f64 / r.fwd_secs / 1e9
+            } else {
+                0.0
+            };
+            let _ = writeln!(
+                out,
+                "{:w$}  {:>9}  {:>9.4}s  {:>9.4}s  {:>9}  {:>8.2}  {:>8}B",
+                kind,
+                r.calls,
+                r.fwd_secs,
+                r.bwd_secs,
+                human_count(r.flops),
+                gflops,
+                human_count(r.alloc_bytes)
+            );
+        }
+    }
+    for (name, v) in &snap.gauges {
+        if name == "tensor.mem.peak_bytes" && *v > 0.0 {
+            let _ = writeln!(
+                out,
+                "-- tensor memory --\npeak {:>10}B  live {:>10}B",
+                human_count(*v as u64),
+                human_count(
+                    snap.gauges
+                        .iter()
+                        .find(|(n, _)| n == "tensor.mem.live_bytes")
+                        .map(|&(_, v)| v as u64)
+                        .unwrap_or(0)
+                )
+            );
+        }
+    }
+
     let counters: Vec<_> = snap.counters.iter().filter(|&&(_, v)| v > 0).collect();
     if !counters.is_empty() {
         out.push_str("-- counters --\n");
@@ -95,6 +190,24 @@ mod tests {
         assert!(r.contains("test.report.counter"));
         assert!(r.contains("(1.50M)"));
         assert!(r.contains("test.report.hist"));
+    }
+
+    #[test]
+    fn report_renders_tensor_op_table() {
+        let _g = crate::testutil::global_lock();
+        let h = histogram_with("op.test_report_mm.secs", &[1e-6, 1e-3, 1.0]);
+        h.observe(0.5);
+        h.observe(0.5);
+        counter("op.test_report_mm.flops").add(2_000_000_000);
+        counter("op.test_report_mm.alloc_bytes").add(4096);
+        crate::metrics::gauge("tensor.mem.peak_bytes").set(8192.0);
+        let r = profile_report();
+        assert!(r.contains("-- tensor ops --"));
+        assert!(r.contains("test_report_mm"));
+        assert!(r.contains("2.00G"), "flops rendered human-readable: {r}");
+        assert!(r.contains("4.10k"), "alloc bytes rendered: {r}");
+        assert!(r.contains("-- tensor memory --"));
+        crate::metrics::gauge("tensor.mem.peak_bytes").set(0.0);
     }
 
     #[test]

@@ -70,6 +70,9 @@ impl Drop for SpanGuard {
             stat.secs += secs;
             stat.count += 1;
         }
+        if crate::trace::trace_enabled() {
+            crate::trace::record_event(&self.path, "span", self.start, secs);
+        }
         if crate::level::enabled(Level::Trace) {
             event(
                 Level::Trace,

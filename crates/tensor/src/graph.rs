@@ -10,6 +10,7 @@
 
 use crate::kernels;
 use crate::pool;
+use crate::profiler;
 use crate::shape::Shape;
 
 /// Handle to a node in a [`Graph`]. Only valid for the graph that created it.
@@ -83,6 +84,44 @@ pub(crate) enum Op {
     },
 }
 
+impl Op {
+    /// Stable short name used as the profiler's op-kind key
+    /// (`op.<kind>.secs` etc. in the metrics registry).
+    pub(crate) fn kind(&self) -> &'static str {
+        match self {
+            Op::Leaf => "leaf",
+            Op::Matmul(..) => "matmul",
+            Op::Bmm(..) => "bmm",
+            Op::Transpose(..) => "transpose",
+            Op::Add(..) => "add",
+            Op::AddRow(..) => "add_row",
+            Op::AddScalar(..) => "add_scalar",
+            Op::Sub(..) => "sub",
+            Op::Mul(..) => "mul",
+            Op::MulScalar(..) => "mul_scalar",
+            Op::Sigmoid(..) => "sigmoid",
+            Op::Tanh(..) => "tanh",
+            Op::Relu(..) => "relu",
+            Op::Exp(..) => "exp",
+            Op::LnClamped(..) => "ln_clamped",
+            Op::SoftmaxLast(..) => "softmax_last",
+            Op::LayerNorm { .. } => "layer_norm",
+            Op::ConcatCols(..) => "concat_cols",
+            Op::ConcatRows(..) => "concat_rows",
+            Op::SliceCols(..) => "slice_cols",
+            Op::SliceRows(..) => "slice_rows",
+            Op::GatherRows(..) => "gather_rows",
+            Op::SegmentMeanRows(..) => "segment_mean_rows",
+            Op::SumAll(..) => "sum_all",
+            Op::MeanAll(..) => "mean_all",
+            Op::SumLast(..) => "sum_last",
+            Op::Dropout(..) => "dropout",
+            Op::Reshape(..) => "reshape",
+            Op::BceWithLogits { .. } => "bce_with_logits",
+        }
+    }
+}
+
 pub(crate) struct Node {
     pub data: Vec<f32>,
     pub grad: Vec<f32>,
@@ -97,12 +136,16 @@ pub(crate) struct Node {
 #[derive(Default)]
 pub struct Graph {
     pub(crate) nodes: Vec<Node>,
+    /// Node storage bytes reported to the profiler's allocation tracker
+    /// (only grows while profiling is enabled; released on reset/drop).
+    tracked_bytes: u64,
 }
 
 impl Graph {
     pub fn new() -> Self {
         Graph {
             nodes: Vec::with_capacity(256),
+            tracked_bytes: 0,
         }
     }
 
@@ -118,6 +161,10 @@ impl Graph {
     /// can reuse one `Graph` across steps instead of reallocating.
     pub fn reset(&mut self) {
         self.nodes.clear();
+        if self.tracked_bytes > 0 {
+            profiler::on_free(self.tracked_bytes);
+            self.tracked_bytes = 0;
+        }
     }
 
     fn push(&mut self, data: Vec<f32>, shape: Shape, op: Op, requires_grad: bool) -> Tx {
@@ -127,6 +174,11 @@ impl Graph {
         } else {
             Vec::new()
         };
+        if rckt_obs::profiling() {
+            let bytes = ((data.len() + grad.len()) * std::mem::size_of::<f32>()) as u64;
+            profiler::on_alloc(op.kind(), bytes);
+            self.tracked_bytes += bytes;
+        }
         self.nodes.push(Node {
             data,
             grad,
@@ -184,6 +236,7 @@ impl Graph {
     // ---------------------------------------------------------------- ops
 
     pub fn matmul(&mut self, a: Tx, b: Tx) -> Tx {
+        let _t = profiler::op_timer("matmul");
         let (m, k) = self.shape(a).mat_dims();
         let (k2, n) = self.shape(b).mat_dims();
         assert_eq!(
@@ -199,11 +252,13 @@ impl Graph {
         );
         let mut out = vec![0.0; m * n];
         kernels::matmul_acc(self.data(a), self.data(b), &mut out, m, k, n);
+        _t.flops(2 * (m * k * n) as u64);
         let rg = self.rg(a) || self.rg(b);
         self.push(out, Shape::matrix(m, n), Op::Matmul(a, b), rg)
     }
 
     pub fn bmm(&mut self, a: Tx, b: Tx) -> Tx {
+        let _t = profiler::op_timer("bmm");
         let (sa, sb) = (self.shape(a).clone(), self.shape(b).clone());
         assert_eq!(sa.rank(), 3, "bmm lhs must be rank 3");
         assert_eq!(sb.rank(), 3, "bmm rhs must be rank 3");
@@ -228,12 +283,14 @@ impl Graph {
                 );
             });
         }
+        _t.flops(2 * (bsz * m * k * n) as u64);
         let rg = self.rg(a) || self.rg(b);
         self.push(out, Shape::cube(bsz, m, n), Op::Bmm(a, b), rg)
     }
 
     /// Swap the two trailing dimensions.
     pub fn transpose(&mut self, a: Tx) -> Tx {
+        let _t = profiler::op_timer("transpose");
         let s = self.shape(a).clone();
         let (m, n) = s.mat_dims();
         let bsz = s.batch();
@@ -256,6 +313,7 @@ impl Graph {
     }
 
     pub fn add(&mut self, a: Tx, b: Tx) -> Tx {
+        let _t = profiler::op_timer("add");
         assert_eq!(self.shape(a), self.shape(b), "add shapes");
         let mut out = vec![0.0; self.data(a).len()];
         kernels::map_binary(self.data(a), self.data(b), &mut out, |x, y| x + y);
@@ -266,6 +324,7 @@ impl Graph {
 
     /// Broadcast-add a row vector to every row.
     pub fn add_row(&mut self, a: Tx, row: Tx) -> Tx {
+        let _t = profiler::op_timer("add_row");
         let n = self.shape(a).cols();
         assert_eq!(self.shape(row).numel(), n, "add_row vector length");
         let mut out = self.data(a).to_vec();
@@ -283,6 +342,7 @@ impl Graph {
     }
 
     pub fn add_scalar(&mut self, a: Tx, c: f32) -> Tx {
+        let _t = profiler::op_timer("add_scalar");
         let out: Vec<f32> = self.data(a).iter().map(|x| x + c).collect();
         let shape = self.shape(a).clone();
         let rg = self.rg(a);
@@ -290,6 +350,7 @@ impl Graph {
     }
 
     pub fn sub(&mut self, a: Tx, b: Tx) -> Tx {
+        let _t = profiler::op_timer("sub");
         assert_eq!(self.shape(a), self.shape(b), "sub shapes");
         let mut out = vec![0.0; self.data(a).len()];
         kernels::map_binary(self.data(a), self.data(b), &mut out, |x, y| x - y);
@@ -299,6 +360,7 @@ impl Graph {
     }
 
     pub fn mul(&mut self, a: Tx, b: Tx) -> Tx {
+        let _t = profiler::op_timer("mul");
         assert_eq!(self.shape(a), self.shape(b), "mul shapes");
         let mut out = vec![0.0; self.data(a).len()];
         kernels::map_binary(self.data(a), self.data(b), &mut out, |x, y| x * y);
@@ -308,6 +370,7 @@ impl Graph {
     }
 
     pub fn mul_scalar(&mut self, a: Tx, c: f32) -> Tx {
+        let _t = profiler::op_timer("mul_scalar");
         let out: Vec<f32> = self.data(a).iter().map(|x| x * c).collect();
         let shape = self.shape(a).clone();
         let rg = self.rg(a);
@@ -319,6 +382,7 @@ impl Graph {
     }
 
     pub fn sigmoid(&mut self, a: Tx) -> Tx {
+        let _t = profiler::op_timer("sigmoid");
         let mut out = vec![0.0; self.data(a).len()];
         kernels::map_unary(self.data(a), &mut out, sigmoid);
         let shape = self.shape(a).clone();
@@ -327,6 +391,7 @@ impl Graph {
     }
 
     pub fn tanh(&mut self, a: Tx) -> Tx {
+        let _t = profiler::op_timer("tanh");
         let mut out = vec![0.0; self.data(a).len()];
         kernels::map_unary(self.data(a), &mut out, |x| x.tanh());
         let shape = self.shape(a).clone();
@@ -335,6 +400,7 @@ impl Graph {
     }
 
     pub fn relu(&mut self, a: Tx) -> Tx {
+        let _t = profiler::op_timer("relu");
         let mut out = vec![0.0; self.data(a).len()];
         kernels::map_unary(self.data(a), &mut out, |x| x.max(0.0));
         let shape = self.shape(a).clone();
@@ -343,6 +409,7 @@ impl Graph {
     }
 
     pub fn exp(&mut self, a: Tx) -> Tx {
+        let _t = profiler::op_timer("exp");
         let mut out = vec![0.0; self.data(a).len()];
         kernels::map_unary(self.data(a), &mut out, |x| x.exp());
         let shape = self.shape(a).clone();
@@ -352,6 +419,7 @@ impl Graph {
 
     /// `ln(max(x, eps))` — the clamp keeps log-losses finite.
     pub fn ln_clamped(&mut self, a: Tx, eps: f32) -> Tx {
+        let _t = profiler::op_timer("ln_clamped");
         let out: Vec<f32> = self.data(a).iter().map(|x| x.max(eps).ln()).collect();
         let shape = self.shape(a).clone();
         let rg = self.rg(a);
@@ -359,6 +427,7 @@ impl Graph {
     }
 
     pub fn softmax_last(&mut self, a: Tx) -> Tx {
+        let _t = profiler::op_timer("softmax_last");
         let n = self.shape(a).cols();
         let mut out = vec![0.0; self.shape(a).numel()];
         kernels::softmax_rows(self.data(a), &mut out, n);
@@ -368,6 +437,7 @@ impl Graph {
     }
 
     pub fn layer_norm(&mut self, x: Tx, gamma: Tx, beta: Tx, eps: f32) -> Tx {
+        let _t = profiler::op_timer("layer_norm");
         let n = self.shape(x).cols();
         assert_eq!(self.shape(gamma).numel(), n);
         assert_eq!(self.shape(beta).numel(), n);
@@ -396,6 +466,7 @@ impl Graph {
     }
 
     pub fn concat_cols(&mut self, a: Tx, b: Tx) -> Tx {
+        let _t = profiler::op_timer("concat_cols");
         let (m, na) = self.shape(a).mat_dims();
         let (m2, nb) = self.shape(b).mat_dims();
         assert_eq!(m, m2, "concat_cols rows");
@@ -410,6 +481,7 @@ impl Graph {
     }
 
     pub fn concat_rows(&mut self, parts: &[Tx]) -> Tx {
+        let _t = profiler::op_timer("concat_rows");
         assert!(!parts.is_empty());
         let n = self.shape(parts[0]).cols();
         let mut rows = 0;
@@ -430,6 +502,7 @@ impl Graph {
     }
 
     pub fn slice_cols(&mut self, a: Tx, start: usize, end: usize) -> Tx {
+        let _t = profiler::op_timer("slice_cols");
         let (m, n) = self.shape(a).mat_dims();
         assert!(self.shape(a).rank() <= 2);
         assert!(
@@ -446,6 +519,7 @@ impl Graph {
     }
 
     pub fn slice_rows(&mut self, a: Tx, start: usize, end: usize) -> Tx {
+        let _t = profiler::op_timer("slice_rows");
         let (m, n) = self.shape(a).mat_dims();
         assert!(self.shape(a).rank() <= 2);
         assert!(
@@ -464,6 +538,7 @@ impl Graph {
 
     /// Embedding-style lookup: output row `i` is `table` row `indices[i]`.
     pub fn gather_rows(&mut self, table: Tx, indices: &[usize]) -> Tx {
+        let _t = profiler::op_timer("gather_rows");
         let (m, n) = self.shape(table).mat_dims();
         assert!(self.shape(table).rank() <= 2);
         let mut out = Vec::with_capacity(indices.len() * n);
@@ -483,6 +558,7 @@ impl Graph {
     /// Mean over consecutive row groups of sizes `lens` (all > 0, summing to
     /// the row count of `a`). Output row `i` is the mean of group `i`.
     pub fn segment_mean_rows(&mut self, a: Tx, lens: &[usize]) -> Tx {
+        let _t = profiler::op_timer("segment_mean_rows");
         let (m, n) = self.shape(a).mat_dims();
         assert!(self.shape(a).rank() <= 2);
         assert_eq!(
@@ -515,12 +591,14 @@ impl Graph {
     }
 
     pub fn sum_all(&mut self, a: Tx) -> Tx {
+        let _t = profiler::op_timer("sum_all");
         let s: f32 = self.data(a).iter().sum();
         let rg = self.rg(a);
         self.push(vec![s], Shape::scalar(), Op::SumAll(a), rg)
     }
 
     pub fn mean_all(&mut self, a: Tx) -> Tx {
+        let _t = profiler::op_timer("mean_all");
         let n = self.data(a).len() as f32;
         let s: f32 = self.data(a).iter().sum::<f32>() / n;
         let rg = self.rg(a);
@@ -529,6 +607,7 @@ impl Graph {
 
     /// Sum over the last dimension: `[m, n] -> [m, 1]`.
     pub fn sum_last(&mut self, a: Tx) -> Tx {
+        let _t = profiler::op_timer("sum_last");
         let n = self.shape(a).cols();
         let rows = self.shape(a).rows();
         let out: Vec<f32> = self
@@ -542,6 +621,7 @@ impl Graph {
 
     /// Apply a pre-sampled inverted-dropout mask (entries are `0` or `1/(1-p)`).
     pub fn dropout_mask(&mut self, a: Tx, mask: Vec<f32>) -> Tx {
+        let _t = profiler::op_timer("dropout");
         assert_eq!(mask.len(), self.data(a).len());
         let out: Vec<f32> = self.data(a).iter().zip(&mask).map(|(x, m)| x * m).collect();
         let shape = self.shape(a).clone();
@@ -550,6 +630,7 @@ impl Graph {
     }
 
     pub fn reshape(&mut self, a: Tx, shape: impl Into<Shape>) -> Tx {
+        let _t = profiler::op_timer("reshape");
         let shape = shape.into();
         assert_eq!(shape.numel(), self.shape(a).numel(), "reshape numel");
         let out = self.data(a).to_vec();
@@ -566,6 +647,7 @@ impl Graph {
         weights: &[f32],
         norm: f32,
     ) -> Tx {
+        let _t = profiler::op_timer("bce_with_logits");
         let z = self.data(logits);
         assert_eq!(z.len(), targets.len());
         assert_eq!(z.len(), weights.len());
@@ -617,7 +699,10 @@ impl Graph {
                 continue;
             }
             let g = std::mem::take(&mut self.nodes[idx].grad);
-            self.backprop_one(idx, &op, &g);
+            {
+                let _t = profiler::op_timer_bwd(op.kind());
+                self.backprop_one(idx, &op, &g);
+            }
             self.nodes[idx].grad = g;
         }
     }
@@ -979,6 +1064,14 @@ impl Graph {
                     }
                 });
             }
+        }
+    }
+}
+
+impl Drop for Graph {
+    fn drop(&mut self) {
+        if self.tracked_bytes > 0 {
+            profiler::on_free(self.tracked_bytes);
         }
     }
 }

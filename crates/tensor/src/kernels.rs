@@ -767,6 +767,9 @@ mod tests {
 
     #[test]
     fn profiling_counts_matmul_flops() {
+        let _g = crate::profiler::TEST_PROFILING_LOCK
+            .lock()
+            .unwrap_or_else(|e| e.into_inner());
         let a = [1.0, 2.0, 3.0, 4.0];
         let b = [5.0, 6.0, 7.0, 8.0];
         let mut c = [0.0; 4];

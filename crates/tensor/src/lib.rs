@@ -52,6 +52,7 @@ pub mod layers;
 pub mod optim;
 pub mod param;
 pub mod pool;
+pub mod profiler;
 pub mod shape;
 
 pub use graph::{sigmoid, Graph, Tx};

@@ -117,6 +117,11 @@ fn shared() -> &'static Shared {
     })
 }
 
+fn queue_depth_gauge() -> &'static rckt_obs::Gauge {
+    static GAUGE: OnceLock<rckt_obs::Gauge> = OnceLock::new();
+    GAUGE.get_or_init(|| rckt_obs::gauge("pool.queue_depth"))
+}
+
 /// Tally of parallel regions / tasks executed, for the `--profile` report.
 fn record_dispatch(n_tasks: usize) {
     if !rckt_obs::profiling() {
@@ -131,14 +136,38 @@ fn record_dispatch(n_tasks: usize) {
     });
     regions.incr();
     tasks.add(n_tasks as u64);
+    queue_depth_gauge().set(n_tasks as f64);
 }
 
-fn run_tasks(shared: &Shared, job: &Job) {
+/// Per-participant region bookkeeping: accumulate busy time into this
+/// participant's gauge (single writer — a worker's `run_tasks` only runs
+/// on its own thread, and the caller slot is unique while `ACTIVE`), and
+/// emit one trace lane event per participant per region.
+#[cold]
+fn record_participation(worker: Option<usize>, start: std::time::Instant) {
+    let secs = start.elapsed().as_secs_f64();
+    if rckt_obs::profiling() {
+        let name = match worker {
+            Some(i) => format!("pool.worker{i}.busy_secs"),
+            None => "pool.caller.busy_secs".to_string(),
+        };
+        let g = rckt_obs::gauge(&name);
+        g.set(g.get() + secs);
+    }
+    if rckt_obs::trace_enabled() {
+        rckt_obs::record_event("pool.run", "pool", start, secs);
+    }
+}
+
+fn run_tasks(shared: &Shared, job: &Job, worker: Option<usize>) {
+    let start = (rckt_obs::profiling() || rckt_obs::trace_enabled()).then(std::time::Instant::now);
+    let mut claimed = false;
     loop {
         let i = job.next.fetch_add(1, Ordering::SeqCst);
         if i >= job.n_tasks {
-            return;
+            break;
         }
+        claimed = true;
         let task = unsafe { &*job.task };
         if catch_unwind(AssertUnwindSafe(|| task(i))).is_err() {
             job.panicked.store(true, Ordering::SeqCst);
@@ -150,9 +179,14 @@ fn run_tasks(shared: &Shared, job: &Job) {
             shared.done_cv.notify_all();
         }
     }
+    if let Some(start) = start {
+        if claimed {
+            record_participation(worker, start);
+        }
+    }
 }
 
-fn worker_loop() {
+fn worker_loop(worker_ix: usize) {
     let shared = shared();
     let mut seen_epoch = 0u64;
     loop {
@@ -169,7 +203,7 @@ fn worker_loop() {
         };
         if let Some(job) = job {
             if job.budget.fetch_sub(1, Ordering::SeqCst) > 0 {
-                run_tasks(shared, &job);
+                run_tasks(shared, &job, Some(worker_ix));
             }
         }
     }
@@ -177,9 +211,10 @@ fn worker_loop() {
 
 fn ensure_workers(state: &mut PoolState, wanted: usize) {
     while state.spawned < wanted {
+        let worker_ix = state.spawned;
         std::thread::Builder::new()
-            .name(format!("rckt-pool-{}", state.spawned))
-            .spawn(worker_loop)
+            .name(format!("rckt-pool-{worker_ix}"))
+            .spawn(move || worker_loop(worker_ix))
             .expect("spawning pool worker");
         state.spawned += 1;
     }
@@ -244,7 +279,7 @@ pub fn parallel_for(n_tasks: usize, task: &(dyn Fn(usize) + Sync)) {
     shared.work_cv.notify_all();
 
     // The caller is a full participant.
-    run_tasks(shared, &job);
+    run_tasks(shared, &job, None);
 
     let mut state = shared.state.lock().unwrap_or_else(|e| e.into_inner());
     while job.pending.load(Ordering::SeqCst) > 0 {
@@ -256,6 +291,9 @@ pub fn parallel_for(n_tasks: usize, task: &(dyn Fn(usize) + Sync)) {
     state.job = None;
     drop(state);
 
+    if rckt_obs::profiling() {
+        queue_depth_gauge().set(0.0);
+    }
     if job.panicked.load(Ordering::SeqCst) {
         panic!("a task panicked inside the rckt thread pool");
     }
@@ -438,6 +476,39 @@ mod tests {
             let main_id = std::thread::current().id();
             let ids = parallel_map(6, |_| std::thread::current().id());
             assert!(ids.iter().all(|&id| id == main_id));
+        });
+    }
+
+    #[test]
+    fn profiling_records_pool_gauges_and_busy_time() {
+        // Width lock is taken first (via with_threads) and the profiling
+        // lock second; no other test takes them in the opposite order.
+        with_threads(2, || {
+            let _p = crate::profiler::TEST_PROFILING_LOCK
+                .lock()
+                .unwrap_or_else(|e| e.into_inner());
+            rckt_obs::set_profiling(true);
+            parallel_for(64, &|i| {
+                std::hint::black_box((0..500 + i).sum::<usize>());
+            });
+            rckt_obs::set_profiling(false);
+            assert!(rckt_obs::counter("pool.regions").get() >= 1);
+            assert!(rckt_obs::counter("pool.tasks").get() >= 64);
+            assert_eq!(
+                rckt_obs::gauge("pool.queue_depth").get(),
+                0.0,
+                "queue depth returns to 0 after the region"
+            );
+            // At least one participant (caller or worker) accumulated busy
+            // time; which ones claim tasks is a scheduling race.
+            let snap = rckt_obs::metrics_snapshot();
+            let busy: f64 = snap
+                .gauges
+                .iter()
+                .filter(|(n, _)| n.starts_with("pool.") && n.ends_with(".busy_secs"))
+                .map(|&(_, v)| v)
+                .sum();
+            assert!(busy > 0.0, "some participant recorded busy time");
         });
     }
 
