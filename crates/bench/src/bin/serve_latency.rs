@@ -1,0 +1,161 @@
+//! Online-serving latency benchmark: start an in-process `rckt-serve`
+//! instance over a freshly built model, fire concurrent `/predict` and
+//! `/explain` requests from client threads, and append p50/p99 latency +
+//! throughput (and the cache-hit rate of a repeat pass) to the
+//! `results/BENCH_serve.json` perf-trajectory history.
+//!
+//! ```text
+//! cargo run --release -p rckt-bench --bin serve_latency [--scale f] [--dim n]
+//! ```
+
+use rckt::{Backbone, Rckt, RcktConfig};
+use rckt_bench::ExpArgs;
+use rckt_data::preprocess::windows;
+use rckt_data::SyntheticSpec;
+use rckt_serve::{Engine, HistoryItem, PredictBody, PredictRequest, ServeConfig};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Per-run manifest history (one JSON object per line).
+const HISTORY: &str = "results/BENCH_serve.json";
+
+/// Client threads firing requests concurrently.
+const CLIENTS: usize = 4;
+/// Requests per client and pass.
+const PER_CLIENT: usize = 25;
+
+fn quantile(sorted_ms: &[f64], q: f64) -> f64 {
+    if sorted_ms.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted_ms.len() as f64 - 1.0) * q).round() as usize;
+    sorted_ms[idx.min(sorted_ms.len() - 1)]
+}
+
+/// Fire `CLIENTS × PER_CLIENT` requests; returns (per-request ms, wall s).
+fn run_pass(port: u16, bodies: &[String]) -> (Vec<f64>, f64) {
+    let bodies = Arc::new(bodies.to_vec());
+    let t0 = Instant::now();
+    let mut handles = Vec::new();
+    for c in 0..CLIENTS {
+        let bodies = Arc::clone(&bodies);
+        handles.push(std::thread::spawn(move || {
+            let mut lat = Vec::with_capacity(PER_CLIENT);
+            for i in 0..PER_CLIENT {
+                let body = &bodies[(c * PER_CLIENT + i) % bodies.len()];
+                let r0 = Instant::now();
+                let (status, _) =
+                    rckt_serve::http_request(port, "POST", "/predict", body).expect("request");
+                assert!(status.contains("200"), "predict failed: {status}");
+                lat.push(r0.elapsed().as_secs_f64() * 1000.0);
+            }
+            lat
+        }));
+    }
+    let mut all = Vec::new();
+    for h in handles {
+        all.extend(h.join().expect("client thread"));
+    }
+    let wall = t0.elapsed().as_secs_f64();
+    all.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    (all, wall)
+}
+
+fn main() {
+    let args = ExpArgs::parse();
+    let ds = SyntheticSpec::assist09()
+        .scaled(args.scale * 0.1)
+        .generate();
+    let model = Rckt::new(
+        Backbone::Dkt,
+        ds.num_questions(),
+        ds.num_concepts(),
+        RcktConfig {
+            dim: args.dim,
+            seed: args.seed,
+            ..Default::default()
+        },
+    );
+    let json = model.export_with_qmatrix(&ds.q_matrix);
+    let cfg = ServeConfig {
+        max_batch: args.batch.max(1),
+        max_queue: 256,
+        ..Default::default()
+    };
+    let engine = Arc::new(Engine::from_json(&json, &cfg).expect("engine"));
+    let server = rckt_serve::start(Arc::clone(&engine), &cfg).expect("bind");
+    let port = server.port();
+
+    // Distinct single-request bodies drawn from real windows so the cold
+    // pass is all cache misses and the repeat pass is all hits.
+    let ws = windows(&ds, cfg.window, 5);
+    let bodies: Vec<String> = ws
+        .iter()
+        .take(CLIENTS * PER_CLIENT)
+        .map(|w| {
+            let n = w.len.min(cfg.window - 1);
+            let req = PredictRequest {
+                student: w.student,
+                history: (0..n.saturating_sub(1))
+                    .map(|t| HistoryItem {
+                        question: w.questions[t],
+                        correct: w.correct[t] != 0,
+                    })
+                    .collect(),
+                target_question: w.questions[n.saturating_sub(1)],
+            };
+            serde_json::to_string(&PredictBody {
+                requests: vec![req],
+                deadline_ms: None,
+            })
+            .unwrap()
+        })
+        .collect();
+    assert!(!bodies.is_empty(), "dataset produced no windows");
+
+    println!(
+        "serve latency — {} distinct bodies, {CLIENTS} clients × {PER_CLIENT} reqs/pass, max_batch {}",
+        bodies.len(),
+        cfg.max_batch
+    );
+    let (cold, cold_wall) = run_pass(port, &bodies);
+    let (warm, warm_wall) = run_pass(port, &bodies);
+    let (hits, misses) = engine.cache.stats();
+    let hit_rate = hits as f64 / (hits + misses).max(1) as f64;
+    server.stop();
+
+    let total = (CLIENTS * PER_CLIENT) as f64;
+    let rows = [("cold", &cold, cold_wall), ("warm", &warm, warm_wall)];
+    println!(
+        "{:<8}{:>12}{:>12}{:>16}",
+        "pass", "p50 ms", "p99 ms", "throughput r/s"
+    );
+    for (pass, lat, wall) in rows {
+        let p50 = quantile(lat, 0.50);
+        let p99 = quantile(lat, 0.99);
+        let rps = total / wall;
+        println!("{pass:<8}{p50:>12.3}{p99:>12.3}{rps:>16.1}");
+        let manifest = rckt_obs::RunManifest::capture("serve_latency", args.seed, None)
+            .config("pass", pass)
+            .config("clients", CLIENTS)
+            .config("max_batch", cfg.max_batch)
+            .result("p50_ms", p50)
+            .result("p99_ms", p99)
+            .result("throughput_rps", rps)
+            .result("cache_hit_rate", hit_rate);
+        if let Err(e) = manifest.append_jsonl(HISTORY) {
+            eprintln!("warning: cannot append {HISTORY}: {e}");
+        }
+    }
+    println!(
+        "cache hit rate across both passes: {:.1}%",
+        hit_rate * 100.0
+    );
+    assert!(
+        hit_rate > 0.0,
+        "the warm pass repeats every body — cache hits must be nonzero"
+    );
+
+    println!("\nresults appended to {HISTORY}");
+    args.finish();
+}

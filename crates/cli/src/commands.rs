@@ -22,6 +22,10 @@ commands:
   evaluate  --data <csv> --model <model.json> [--stride n]
   explain   --data <csv> --model <model.json> [--window n]
   audit     --data <csv> --model <model.json> [--groups n]
+  serve     --model <model.json> [--port p] [--max-batch n] [--max-queue n]
+            [--window n] [--cache n] [--deadline-ms n]
+  predict   --model <model.json> --requests <json> [--mode predict|explain]
+            [--window n]
 
 global flags (any command):
   --threads <n>                      rckt-tensor pool width (default: the
@@ -102,6 +106,8 @@ pub fn dispatch(args: &[String]) -> Result<(), CliError> {
         "evaluate" => evaluate(&flags),
         "explain" => explain(&flags),
         "audit" => audit(&flags),
+        "serve" => serve(&flags),
+        "predict" => predict(&flags),
         other => Err(err(format!("unknown command {other:?}"))),
     }
 }
@@ -237,9 +243,97 @@ fn train(flags: &HashMap<String, String>) -> Result<(), CliError> {
         .config("grad_shards", grad_shards)
         .result("fit_secs", fit_t0.elapsed().as_secs_f64())
         .publish();
-    std::fs::write(out, model.export(ds.num_questions(), ds.num_concepts()))
+    // Embed the Q-matrix so the file is self-contained for `rckt serve`
+    // (no dataset CSV needed to answer online queries).
+    std::fs::write(out, model.export_with_qmatrix(&ds.q_matrix))
         .map_err(|e| err(format!("writing {out}: {e}")))?;
     println!("saved model to {out}");
+    Ok(())
+}
+
+fn serve_config(flags: &HashMap<String, String>) -> Result<rckt_serve::ServeConfig, CliError> {
+    let defaults = rckt_serve::ServeConfig::default();
+    Ok(rckt_serve::ServeConfig {
+        port: get_num(flags, "port", defaults.port)?,
+        max_batch: get_num(flags, "max-batch", defaults.max_batch)?,
+        max_queue: get_num(flags, "max-queue", defaults.max_queue)?,
+        window: get_num(flags, "window", defaults.window)?,
+        cache_capacity: get_num(flags, "cache", defaults.cache_capacity)?,
+        deadline_ms: get_num(flags, "deadline-ms", defaults.deadline_ms)?,
+    })
+}
+
+fn serve(flags: &HashMap<String, String>) -> Result<(), CliError> {
+    let model_path = get(flags, "model")?;
+    let cfg = serve_config(flags)?;
+    let engine = std::sync::Arc::new(rckt_serve::Engine::from_file(model_path, &cfg).map_err(err)?);
+    rckt_obs::set_run_label("bin", "rckt-serve");
+    rckt_obs::set_run_label("model_hash", format!("{:016x}", engine.model_hash));
+    let server = rckt_serve::start(engine, &cfg)
+        .map_err(|e| err(format!("cannot bind 127.0.0.1:{}: {e}", cfg.port)))?;
+    // The same discovery event the telemetry server emits, so scripts can
+    // poll a --log-json file for the bound port (port 0 = OS picks).
+    rckt_obs::event(
+        rckt_obs::Level::Info,
+        "serve.listening",
+        &[("port", u64::from(server.port()).into())],
+    );
+    println!(
+        "serving on 127.0.0.1:{} — POST /predict /explain /shutdown, GET /healthz /metrics",
+        server.port()
+    );
+    server.wait();
+    println!("drained and stopped");
+    Ok(())
+}
+
+fn predict(flags: &HashMap<String, String>) -> Result<(), CliError> {
+    let model_path = get(flags, "model")?;
+    let cfg = rckt_serve::ServeConfig {
+        window: get_num(flags, "window", rckt_serve::DEFAULT_SERVE_WINDOW)?,
+        cache_capacity: 0,
+        ..Default::default()
+    };
+    let engine = rckt_serve::Engine::from_file(model_path, &cfg).map_err(err)?;
+    let req_path = get(flags, "requests")?;
+    let text =
+        std::fs::read_to_string(req_path).map_err(|e| err(format!("reading {req_path}: {e}")))?;
+    // Output is serialized from the same structs the server responds
+    // with, so `rckt predict` stdout is byte-comparable to a served
+    // response body over the same requests (CI asserts exactly that).
+    match flags.get("mode").map(|s| s.as_str()).unwrap_or("predict") {
+        "predict" => {
+            let body: rckt_serve::PredictBody =
+                serde_json::from_str(&text).map_err(|e| err(format!("parsing {req_path}: {e}")))?;
+            let resp = rckt_serve::api::predict_batch(
+                &engine.model,
+                &engine.qm,
+                &body.requests,
+                cfg.window,
+            )
+            .map_err(|e| err(e.to_string()))?;
+            println!(
+                "{}",
+                serde_json::to_string(&resp).expect("response serialization")
+            );
+        }
+        "explain" => {
+            let body: rckt_serve::ExplainBody =
+                serde_json::from_str(&text).map_err(|e| err(format!("parsing {req_path}: {e}")))?;
+            let resp = rckt_serve::api::explain_batch(
+                &engine.model,
+                &engine.qm,
+                &body.requests,
+                cfg.window,
+            )
+            .map_err(|e| err(e.to_string()))?;
+            println!(
+                "{}",
+                serde_json::to_string(&resp).expect("response serialization")
+            );
+        }
+        other => return Err(err(format!("unknown --mode {other:?} (predict|explain)"))),
+    }
     Ok(())
 }
 
@@ -417,5 +511,98 @@ mod tests {
             model.display()
         )))
         .unwrap();
+        // Trained models now embed the Q-matrix so `rckt serve` can build
+        // batches from the model file alone.
+        let saved = rckt::SavedModel::parse(&std::fs::read_to_string(&model).unwrap()).unwrap();
+        assert!(saved.q_matrix.is_some(), "train must embed the Q-matrix");
+        // And the offline predict path answers from that file.
+        let reqs = dir.join("requests.json");
+        std::fs::write(
+            &reqs,
+            "{\"requests\":[{\"student\":0,\"history\":[],\"target_question\":1}]}",
+        )
+        .unwrap();
+        dispatch(&args(&format!(
+            "predict --model {} --requests {}",
+            model.display(),
+            reqs.display()
+        )))
+        .unwrap();
+    }
+
+    #[test]
+    fn missing_files_are_contextual_errors_not_panics() {
+        let e = dispatch(&args(
+            "predict --model /nonexistent/m.json --requests /nonexistent/r.json",
+        ))
+        .unwrap_err();
+        assert!(e.0.contains("cannot read model file"), "{e}");
+        let e = dispatch(&args(
+            "evaluate --data /nonexistent/d.csv --model /nonexistent/m.json",
+        ))
+        .unwrap_err();
+        assert!(e.0.contains("/nonexistent/d.csv"), "{e}");
+        let e = dispatch(&args("serve --model /nonexistent/m.json")).unwrap_err();
+        assert!(e.0.contains("cannot read model file"), "{e}");
+    }
+
+    #[test]
+    fn malformed_json_is_a_contextual_error_not_a_panic() {
+        let dir = std::env::temp_dir().join("rckt_cli_badfiles");
+        std::fs::create_dir_all(&dir).unwrap();
+        let bad_model = dir.join("bad_model.json");
+        std::fs::write(&bad_model, "{\"version\": 1, \"truncated").unwrap();
+        let e = dispatch(&args(&format!(
+            "predict --model {} --requests /nonexistent/r.json",
+            bad_model.display()
+        )))
+        .unwrap_err();
+        assert!(e.0.contains("parse error"), "{e}");
+
+        // A valid model but malformed requests file.
+        let ds = SyntheticSpec::assist09().scaled(0.05).generate();
+        let model = Rckt::new(
+            Backbone::Dkt,
+            ds.num_questions(),
+            ds.num_concepts(),
+            RcktConfig {
+                dim: 8,
+                ..Default::default()
+            },
+        );
+        let good_model = dir.join("good_model.json");
+        std::fs::write(&good_model, model.export_with_qmatrix(&ds.q_matrix)).unwrap();
+        let bad_reqs = dir.join("bad_reqs.json");
+        std::fs::write(&bad_reqs, "[not a body]").unwrap();
+        let e = dispatch(&args(&format!(
+            "predict --model {} --requests {}",
+            good_model.display(),
+            bad_reqs.display()
+        )))
+        .unwrap_err();
+        assert!(e.0.contains("parsing"), "{e}");
+
+        // Out-of-range ids in the requests surface as a typed error.
+        let oor = dir.join("oor.json");
+        std::fs::write(
+            &oor,
+            "{\"requests\":[{\"history\":[],\"target_question\":99999999}]}",
+        )
+        .unwrap();
+        let e = dispatch(&args(&format!(
+            "predict --model {} --requests {}",
+            good_model.display(),
+            oor.display()
+        )))
+        .unwrap_err();
+        assert!(e.0.contains("out of range"), "{e}");
+
+        let e = dispatch(&args(&format!(
+            "predict --model {} --requests {} --mode frobnicate",
+            good_model.display(),
+            bad_reqs.display()
+        )))
+        .unwrap_err();
+        assert!(e.0.contains("unknown --mode"), "{e}");
     }
 }

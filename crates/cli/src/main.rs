@@ -6,6 +6,8 @@
 //! rckt train    --data data.csv --backbone akt --epochs 15 --out model.json
 //! rckt evaluate --data data.csv --model model.json
 //! rckt explain  --data data.csv --model model.json --window 3
+//! rckt serve    --model model.json --port 7700 --max-batch 8 --max-queue 64
+//! rckt predict  --model model.json --requests requests.json
 //! ```
 //!
 //! The data format is the CSV documented in `rckt_data::csv`

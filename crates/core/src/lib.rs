@@ -47,5 +47,5 @@ pub mod persist;
 pub mod proficiency;
 
 pub use config::{Backbone, RcktConfig, Retention};
-pub use model::{InfluenceRecord, Rckt};
-pub use persist::SavedModel;
+pub use model::{InfluenceRecord, QueryError, Rckt};
+pub use persist::{PersistError, SavedModel};

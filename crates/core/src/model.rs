@@ -70,6 +70,68 @@ impl InfluenceRecord {
     }
 }
 
+/// A malformed inference query, detected at the prediction API boundary
+/// before any embedding lookup can panic. Produced by the `*_checked`
+/// entry points ([`Rckt::predict_targets_checked`],
+/// [`Rckt::influences_exact_checked`]); online servers map it to a 400
+/// response, the CLI to a contextual error and nonzero exit.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum QueryError {
+    /// A question id at `position` is not in the model's vocabulary.
+    QuestionOutOfRange {
+        position: usize,
+        id: usize,
+        num_questions: usize,
+    },
+    /// A concept id at `position` is not in the model's vocabulary.
+    ConceptOutOfRange {
+        position: usize,
+        id: usize,
+        num_concepts: usize,
+    },
+    /// The target index for sequence `seq` is outside the window.
+    TargetOutOfRange {
+        seq: usize,
+        target: usize,
+        t_len: usize,
+    },
+    /// `targets.len()` does not match the batch's sequence count.
+    TargetCountMismatch { targets: usize, batch: usize },
+}
+
+impl std::fmt::Display for QueryError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            QueryError::QuestionOutOfRange {
+                position,
+                id,
+                num_questions,
+            } => write!(
+                f,
+                "question id {id} at position {position} is out of range (model knows {num_questions} questions)"
+            ),
+            QueryError::ConceptOutOfRange {
+                position,
+                id,
+                num_concepts,
+            } => write!(
+                f,
+                "concept id {id} at position {position} is out of range (model knows {num_concepts} concepts)"
+            ),
+            QueryError::TargetOutOfRange { seq, target, t_len } => write!(
+                f,
+                "target {target} for sequence {seq} is outside the window (t_len {t_len})"
+            ),
+            QueryError::TargetCountMismatch { targets, batch } => write!(
+                f,
+                "got {targets} targets for a batch of {batch} sequences"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for QueryError {}
+
 /// RCKT (the paper's model). Construct with [`Rckt::new`], train with
 /// [`KtModel::fit`], explain with [`Rckt::influences`].
 pub struct Rckt {
@@ -80,6 +142,11 @@ pub struct Rckt {
     head: PredictionMlp,
     store: ParamStore,
     adam: Adam,
+    /// Question-vocabulary size the embeddings were built for; queries are
+    /// validated against it by [`Rckt::validate_query`].
+    num_questions: usize,
+    /// Concept-vocabulary size the embeddings were built for.
+    num_concepts: usize,
 }
 
 impl Rckt {
@@ -135,11 +202,97 @@ impl Rckt {
             head,
             store,
             adam,
+            num_questions,
+            num_concepts,
         }
     }
 
     pub fn num_weights(&self) -> usize {
         self.store.num_weights()
+    }
+
+    /// Question-vocabulary size this model was constructed for.
+    pub fn num_questions(&self) -> usize {
+        self.num_questions
+    }
+
+    /// Concept-vocabulary size this model was constructed for.
+    pub fn num_concepts(&self) -> usize {
+        self.num_concepts
+    }
+
+    /// Validate a query against the model's stored vocabulary sizes and the
+    /// batch's own geometry, so out-of-range ids surface as a typed
+    /// [`QueryError`] instead of a panic deep inside an embedding gather.
+    pub fn validate_query(&self, batch: &Batch, targets: &[usize]) -> Result<(), QueryError> {
+        if targets.len() != batch.batch {
+            return Err(QueryError::TargetCountMismatch {
+                targets: targets.len(),
+                batch: batch.batch,
+            });
+        }
+        for (seq, &t) in targets.iter().enumerate() {
+            if t >= batch.t_len {
+                return Err(QueryError::TargetOutOfRange {
+                    seq,
+                    target: t,
+                    t_len: batch.t_len,
+                });
+            }
+        }
+        for (position, &q) in batch.questions.iter().enumerate() {
+            if q >= self.num_questions {
+                return Err(QueryError::QuestionOutOfRange {
+                    position,
+                    id: q,
+                    num_questions: self.num_questions,
+                });
+            }
+        }
+        let mut flat = 0usize;
+        for (position, &len) in batch.concept_lens.iter().enumerate() {
+            for &k in &batch.concept_flat[flat..flat + len] {
+                if k >= self.num_concepts {
+                    return Err(QueryError::ConceptOutOfRange {
+                        position,
+                        id: k,
+                        num_concepts: self.num_concepts,
+                    });
+                }
+            }
+            flat += len;
+        }
+        Ok(())
+    }
+
+    /// [`Rckt::predict_targets`] behind [`Rckt::validate_query`].
+    pub fn predict_targets_checked(
+        &self,
+        batch: &Batch,
+        targets: &[usize],
+    ) -> Result<Vec<Prediction>, QueryError> {
+        self.validate_query(batch, targets)?;
+        Ok(self.predict_targets(batch, targets))
+    }
+
+    /// [`Rckt::influences`] behind [`Rckt::validate_query`].
+    pub fn influences_checked(
+        &self,
+        batch: &Batch,
+        targets: &[usize],
+    ) -> Result<Vec<InfluenceRecord>, QueryError> {
+        self.validate_query(batch, targets)?;
+        Ok(self.influences(batch, targets))
+    }
+
+    /// [`Rckt::influences_exact`] behind [`Rckt::validate_query`].
+    pub fn influences_exact_checked(
+        &self,
+        batch: &Batch,
+        targets: &[usize],
+    ) -> Result<Vec<InfluenceRecord>, QueryError> {
+        self.validate_query(batch, targets)?;
+        Ok(self.influences_exact(batch, targets))
     }
 
     /// Serialize weights; restore with [`Rckt::load_weights`].
@@ -607,18 +760,11 @@ impl Rckt {
             .collect()
     }
 
-    /// Exact-mode per-response influence attribution (Eq. 9/11): the
-    /// non-approximate counterpart of [`Rckt::influences`], costing one
-    /// forward pass per past response.
-    pub fn influences_exact(&self, batch: &Batch, targets: &[usize]) -> Vec<InfluenceRecord> {
-        let _s = rckt_obs::span("rckt.infer.exact");
-        let mut rng = SmallRng::seed_from_u64(0);
+    /// Factual categories for exact inference: each sequence's real
+    /// responses with the target masked (its response is what we predict).
+    fn masked_factual_cats(&self, batch: &Batch, targets: &[usize]) -> Vec<Cats> {
         let t_len = batch.t_len;
-        let vis = self.visibility(batch, targets);
-
-        // Factual categories with the target masked (its response is what
-        // we predict).
-        let factual_per_seq: Vec<Cats> = (0..batch.batch)
+        (0..batch.batch)
             .map(|b| {
                 (0..t_len)
                     .map(|t| {
@@ -631,18 +777,41 @@ impl Rckt {
                     })
                     .collect()
             })
-            .collect();
+            .collect()
+    }
+
+    /// The factual half of exact inference: one generator pass over the
+    /// target-masked factual sequences, returning `p(correct)` at each
+    /// sequence's target. This is the per-prefix state an online server
+    /// caches; the counterfactual half ([`Rckt::exact_influence_entries`])
+    /// consumes it without recomputing the pass.
+    pub fn factual_target_probs(&self, batch: &Batch, targets: &[usize]) -> Vec<f32> {
+        let factual_per_seq = self.masked_factual_cats(batch, targets);
         let flat_factual: Vec<ResponseCat> = factual_per_seq.concat();
+        let vis = self.visibility(batch, targets);
+        let mut rng = SmallRng::seed_from_u64(0);
+        let mut g = Graph::new();
+        let p = self.probs_pass(&mut g, batch, &flat_factual, &vis, &[], false, &mut rng);
+        let d = g.data(p);
+        (0..batch.batch)
+            .map(|b| d[b * batch.t_len + targets[b]])
+            .collect()
+    }
 
-        let p_target_factual: Vec<f32> = {
-            let mut g = Graph::new();
-            let p = self.probs_pass(&mut g, batch, &flat_factual, &vis, &[], false, &mut rng);
-            let d = g.data(p);
-            (0..batch.batch)
-                .map(|b| d[b * t_len + targets[b]])
-                .collect()
-        };
-
+    /// The counterfactual half of exact inference: one pass per
+    /// intervention position against a precomputed factual target
+    /// probability, returning `(position, was_correct, Δ)` entries per
+    /// sequence (position-ascending).
+    fn exact_influence_entries(
+        &self,
+        batch: &Batch,
+        targets: &[usize],
+        factual_per_seq: &[Cats],
+        flat_factual: &[ResponseCat],
+        p_target_factual: &[f32],
+    ) -> Vec<Vec<(usize, bool, f32)>> {
+        let t_len = batch.t_len;
+        let vis = self.visibility(batch, targets);
         // One counterfactual pass per intervention position, fanned out on
         // the pool. Each pass is an independent eval-mode graph (no RNG
         // draws), and the per-response influences are folded back in index
@@ -654,7 +823,7 @@ impl Rckt {
         let per_pos = pool::parallel_map(max_target, |i| {
             // intervene position i for every sequence where i is a valid
             // past response
-            let mut cats = flat_factual.clone();
+            let mut cats = flat_factual.to_vec();
             let mut involved = vec![false; batch.batch];
             for b in 0..batch.batch {
                 if i < targets[b] && batch.valid[b * t_len + i] {
@@ -697,6 +866,29 @@ impl Rckt {
                 per_seq[b].push((i, correct, delta));
             }
         }
+        per_seq
+    }
+
+    /// Exact-mode per-response influence attribution (Eq. 9/11): the
+    /// non-approximate counterpart of [`Rckt::influences`], costing one
+    /// forward pass per past response. Composed from the factual pass
+    /// ([`Rckt::factual_target_probs`]), the per-position counterfactual
+    /// deltas, and a plain assembly step — split so a serving layer can
+    /// cache the factual state per history prefix; the composition is
+    /// bit-identical to running the historic single-function path.
+    pub fn influences_exact(&self, batch: &Batch, targets: &[usize]) -> Vec<InfluenceRecord> {
+        let _s = rckt_obs::span("rckt.infer.exact");
+        let t_len = batch.t_len;
+        let factual_per_seq = self.masked_factual_cats(batch, targets);
+        let flat_factual: Vec<ResponseCat> = factual_per_seq.concat();
+        let p_target_factual = self.factual_target_probs(batch, targets);
+        let per_seq = self.exact_influence_entries(
+            batch,
+            targets,
+            &factual_per_seq,
+            &flat_factual,
+            &p_target_factual,
+        );
         per_seq
             .into_iter()
             .enumerate()
@@ -1265,6 +1457,131 @@ mod tests {
                 .collect();
             let tp = m.predict_targets(b, &targets);
             assert!((p.prob - tp[seq].prob).abs() < 1e-6, "mismatch at {i}");
+        }
+    }
+
+    /// Out-of-range ids and targets surface as typed errors at the API
+    /// boundary instead of panicking inside an embedding gather — what an
+    /// online server needs to answer 400 rather than die.
+    #[test]
+    fn checked_queries_reject_out_of_range_ids() {
+        let (ds, _, batches) = tiny(0.02, 2);
+        let m = small_model(&ds, Backbone::Dkt);
+        let good = &batches[0];
+        let targets = Rckt::last_targets(good);
+        assert!(m.predict_targets_checked(good, &targets).is_ok());
+        assert!(m.influences_checked(good, &targets).is_ok());
+        assert!(m.influences_exact_checked(good, &targets).is_ok());
+
+        // Question id beyond the model's vocabulary.
+        let mut bad = good.clone();
+        bad.questions[3] = m.num_questions() + 5;
+        assert_eq!(
+            m.predict_targets_checked(&bad, &targets).unwrap_err(),
+            QueryError::QuestionOutOfRange {
+                position: 3,
+                id: m.num_questions() + 5,
+                num_questions: m.num_questions(),
+            }
+        );
+
+        // Concept id beyond the model's vocabulary.
+        let mut bad = good.clone();
+        bad.concept_flat[0] = m.num_concepts() + 2;
+        assert!(matches!(
+            m.influences_exact_checked(&bad, &targets),
+            Err(QueryError::ConceptOutOfRange { position: 0, .. })
+        ));
+
+        // Target outside the window.
+        let mut t2 = targets.clone();
+        t2[0] = good.t_len + 1;
+        assert_eq!(
+            m.predict_targets_checked(good, &t2).unwrap_err(),
+            QueryError::TargetOutOfRange {
+                seq: 0,
+                target: good.t_len + 1,
+                t_len: good.t_len,
+            }
+        );
+
+        // Wrong number of targets.
+        assert_eq!(
+            m.influences_checked(good, &targets[..targets.len() - 1])
+                .unwrap_err(),
+            QueryError::TargetCountMismatch {
+                targets: targets.len() - 1,
+                batch: good.batch,
+            }
+        );
+
+        // Errors render a contextual message.
+        let msg = m
+            .predict_targets_checked(
+                &{
+                    let mut b = good.clone();
+                    b.questions[0] = 99_999;
+                    b
+                },
+                &targets,
+            )
+            .unwrap_err()
+            .to_string();
+        assert!(
+            msg.contains("99999") && msg.contains("out of range"),
+            "{msg}"
+        );
+    }
+
+    /// Micro-batching invariance: a sequence predicted alone produces the
+    /// same bits as the same sequence inside a larger batch (same t_len).
+    /// This is what lets an online server fuse concurrent requests into
+    /// one `predict_targets`/`influences_exact` call and still answer
+    /// bit-identically to a solo offline run.
+    #[test]
+    fn batched_inference_is_bitwise_solo_equivalent() {
+        let (ds, ws, _) = tiny(0.03, 6);
+        let m = small_model(&ds, Backbone::Dkt);
+        let refs: Vec<&Window> = ws.iter().take(6).collect();
+        let full = Batch::from_windows(&refs, &ds.q_matrix);
+        let targets = Rckt::last_targets(&full);
+        let batched_preds = m.predict_targets(&full, &targets);
+        let batched_recs = m.influences_exact(&full, &targets);
+        for (b, &w) in refs.iter().enumerate() {
+            let solo = Batch::from_windows(&[w], &ds.q_matrix);
+            let solo_targets = vec![targets[b]];
+            let sp = m.predict_targets(&solo, &solo_targets);
+            assert_eq!(
+                sp[0].prob.to_bits(),
+                batched_preds[b].prob.to_bits(),
+                "sequence {b}: batched vs solo predict_targets diverged"
+            );
+            let sr = &m.influences_exact(&solo, &solo_targets)[0];
+            let br = &batched_recs[b];
+            assert_eq!(sr.score.to_bits(), br.score.to_bits());
+            assert_eq!(sr.influences.len(), br.influences.len());
+            for ((pa, ca, da), (pb, cb, db)) in sr.influences.iter().zip(&br.influences) {
+                assert_eq!((pa, ca, da.to_bits()), (pb, cb, db.to_bits()));
+            }
+        }
+    }
+
+    /// The factual/counterfactual split composes back to the monolithic
+    /// exact path: `factual_target_probs` matches the probabilities the
+    /// full `influences_exact` run uses internally.
+    #[test]
+    fn factual_split_matches_exact_path() {
+        let (ds, _, batches) = tiny(0.03, 4);
+        let m = small_model(&ds, Backbone::Dkt);
+        let b = &batches[0];
+        let targets = Rckt::last_targets(b);
+        let probs = m.factual_target_probs(b, &targets);
+        assert_eq!(probs.len(), b.batch);
+        assert!(probs.iter().all(|p| (0.0..=1.0).contains(p)));
+        // Running the split twice is deterministic to the bit.
+        let again = m.factual_target_probs(b, &targets);
+        for (x, y) in probs.iter().zip(&again) {
+            assert_eq!(x.to_bits(), y.to_bits());
         }
     }
 }

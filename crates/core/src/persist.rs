@@ -4,13 +4,14 @@
 
 use crate::config::{Backbone, RcktConfig};
 use crate::model::Rckt;
+use rckt_data::QMatrix;
 use serde::{Deserialize, Serialize};
 
 /// Format version, bumped on breaking layout changes.
 pub const MODEL_FILE_VERSION: u32 = 1;
 
 /// A serialized RCKT model.
-#[derive(Serialize, Deserialize)]
+#[derive(Debug, Serialize, Deserialize)]
 pub struct SavedModel {
     pub version: u32,
     pub backbone: Backbone,
@@ -19,6 +20,25 @@ pub struct SavedModel {
     pub num_concepts: usize,
     /// Inner weight payload (the `ParamStore` JSON).
     pub weights: String,
+    /// Optional question→concept mapping, embedded so a model file is
+    /// self-contained for online serving (no dataset CSV needed to build
+    /// batches). Absent in files written before this field existed —
+    /// still format version 1, the field is strictly additive.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub q_matrix: Option<QMatrix>,
+}
+
+impl SavedModel {
+    /// Parse and version-check a model file without instantiating the
+    /// model — serving layers use this to reach the embedded
+    /// [`SavedModel::q_matrix`] and dimensions alongside [`Rckt::import`].
+    pub fn parse(json: &str) -> Result<SavedModel, PersistError> {
+        let saved: SavedModel = serde_json::from_str(json)?;
+        if saved.version != MODEL_FILE_VERSION {
+            return Err(PersistError::Version(saved.version));
+        }
+        Ok(saved)
+    }
 }
 
 #[derive(Debug)]
@@ -60,24 +80,42 @@ impl Rckt {
             num_questions,
             num_concepts,
             weights: self.save_weights(),
+            q_matrix: None,
         };
         serde_json::to_string(&saved).expect("model serialization")
     }
 
-    /// Rebuild a model from [`Rckt::export`] output.
-    pub fn import(json: &str) -> Result<Rckt, PersistError> {
-        let saved: SavedModel = serde_json::from_str(json)?;
-        if saved.version != MODEL_FILE_VERSION {
-            return Err(PersistError::Version(saved.version));
-        }
+    /// [`Rckt::export`] with the dataset's Q-matrix embedded, making the
+    /// file self-contained for online serving. Dimensions come from the
+    /// Q-matrix itself and must match what the model was built with.
+    pub fn export_with_qmatrix(&self, qm: &QMatrix) -> String {
+        let saved = SavedModel {
+            version: MODEL_FILE_VERSION,
+            backbone: self.backbone,
+            config: self.cfg.clone(),
+            num_questions: qm.num_questions(),
+            num_concepts: qm.num_concepts(),
+            weights: self.save_weights(),
+            q_matrix: Some(qm.clone()),
+        };
+        serde_json::to_string(&saved).expect("model serialization")
+    }
+
+    /// Rebuild a model from an already-parsed [`SavedModel`].
+    pub fn from_saved(saved: &SavedModel) -> Result<Rckt, PersistError> {
         let mut model = Rckt::new(
             saved.backbone,
             saved.num_questions,
             saved.num_concepts,
-            saved.config,
+            saved.config.clone(),
         );
         model.load_weights(&saved.weights)?;
         Ok(model)
+    }
+
+    /// Rebuild a model from [`Rckt::export`] output.
+    pub fn import(json: &str) -> Result<Rckt, PersistError> {
+        Rckt::from_saved(&SavedModel::parse(json)?)
     }
 }
 
@@ -137,5 +175,131 @@ mod tests {
             Rckt::import("not json"),
             Err(PersistError::Json(_))
         ));
+    }
+
+    #[test]
+    fn roundtrip_predictions_are_bit_identical() {
+        let ds = SyntheticSpec::assist09().scaled(0.05).generate();
+        let ws = windows(&ds, 20, 5);
+        let idx: Vec<usize> = (0..ws.len().min(6)).collect();
+        let batches = make_batches(&ws, &idx, &ds.q_matrix, 6);
+        let model = Rckt::new(
+            Backbone::Dkt,
+            ds.num_questions(),
+            ds.num_concepts(),
+            RcktConfig {
+                dim: 16,
+                ..Default::default()
+            },
+        );
+        let restored = Rckt::import(&model.export(ds.num_questions(), ds.num_concepts())).unwrap();
+        for batch in &batches {
+            let targets: Vec<usize> = (0..batch.batch)
+                .map(|b| batch.seq_len(b).saturating_sub(1))
+                .collect();
+            let a = model.predict_targets(batch, &targets);
+            let b = restored.predict_targets(batch, &targets);
+            assert_eq!(a.len(), b.len());
+            for (x, y) in a.iter().zip(&b) {
+                assert_eq!(
+                    x.prob.to_bits(),
+                    y.prob.to_bits(),
+                    "restored model must reproduce predictions bit-for-bit"
+                );
+                assert_eq!(x.label, y.label);
+            }
+            let ia = model.influences_exact(batch, &targets);
+            let ib = restored.influences_exact(batch, &targets);
+            for (x, y) in ia.iter().zip(&ib) {
+                assert_eq!(x.score.to_bits(), y.score.to_bits());
+                assert_eq!(x.influences.len(), y.influences.len());
+                for ((pa, ca, da), (pb, cb, db)) in x.influences.iter().zip(&y.influences) {
+                    assert_eq!((pa, ca, da.to_bits()), (pb, cb, db.to_bits()));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn truncated_file_is_a_parse_error() {
+        let ds = SyntheticSpec::assist09().scaled(0.05).generate();
+        let model = Rckt::new(
+            Backbone::Dkt,
+            ds.num_questions(),
+            ds.num_concepts(),
+            RcktConfig {
+                dim: 8,
+                ..Default::default()
+            },
+        );
+        let json = model.export(ds.num_questions(), ds.num_concepts());
+        // Chop mid-document at several depths; every prefix must surface
+        // as PersistError::Json, never a panic.
+        for frac in [0.1, 0.5, 0.9, 0.999] {
+            let cut = (json.len() as f64 * frac) as usize;
+            let truncated = &json[..cut];
+            assert!(
+                matches!(Rckt::import(truncated), Err(PersistError::Json(_))),
+                "truncated at {cut}/{} bytes should be a parse error",
+                json.len()
+            );
+        }
+        // An empty file too.
+        assert!(matches!(Rckt::import(""), Err(PersistError::Json(_))));
+    }
+
+    #[test]
+    fn embedded_qmatrix_roundtrips_and_stays_optional() {
+        let ds = SyntheticSpec::assist09().scaled(0.05).generate();
+        let model = Rckt::new(
+            Backbone::Dkt,
+            ds.num_questions(),
+            ds.num_concepts(),
+            RcktConfig {
+                dim: 8,
+                ..Default::default()
+            },
+        );
+        // Plain export: no q_matrix key at all (old readers unaffected).
+        let plain = model.export(ds.num_questions(), ds.num_concepts());
+        assert!(!plain.contains("q_matrix"));
+        assert!(SavedModel::parse(&plain).unwrap().q_matrix.is_none());
+
+        // Embedded export round-trips the mapping and the dimensions.
+        let rich = model.export_with_qmatrix(&ds.q_matrix);
+        let saved = SavedModel::parse(&rich).unwrap();
+        assert_eq!(saved.num_questions, ds.num_questions());
+        assert_eq!(saved.num_concepts, ds.num_concepts());
+        let qm = saved.q_matrix.as_ref().unwrap();
+        assert_eq!(qm.num_questions(), ds.q_matrix.num_questions());
+        for q in 0..qm.num_questions() {
+            assert_eq!(qm.concepts_of(q as u32), ds.q_matrix.concepts_of(q as u32));
+        }
+        // And the model itself still loads from the parsed form.
+        let restored = Rckt::from_saved(&saved).unwrap();
+        assert_eq!(restored.num_questions(), ds.num_questions());
+        assert_eq!(restored.num_concepts(), ds.num_concepts());
+    }
+
+    #[test]
+    fn version_check_happens_in_parse() {
+        let ds = SyntheticSpec::assist09().scaled(0.05).generate();
+        let model = Rckt::new(
+            Backbone::Dkt,
+            ds.num_questions(),
+            ds.num_concepts(),
+            RcktConfig {
+                dim: 8,
+                ..Default::default()
+            },
+        );
+        let json = model.export(ds.num_questions(), ds.num_concepts());
+        let tampered = json.replacen("\"version\":1", "\"version\":7", 1);
+        assert!(matches!(
+            SavedModel::parse(&tampered),
+            Err(PersistError::Version(7))
+        ));
+        let msg = SavedModel::parse(&tampered).unwrap_err().to_string();
+        assert!(msg.contains("version 7"), "contextual message: {msg}");
     }
 }

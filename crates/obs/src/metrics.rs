@@ -56,6 +56,11 @@ struct HistogramInner {
     count: AtomicU64,
     /// Running sum as `f64` bits, updated by CAS.
     sum_bits: AtomicU64,
+    /// Largest finite value observed so far as `f64` bits (CAS-max);
+    /// `f64::NEG_INFINITY` bits while empty. Lets quantile queries that
+    /// land in the overflow bucket report a finite estimate instead of
+    /// `+inf` (which the JSON sink would silently turn into `null`).
+    max_bits: AtomicU64,
 }
 
 /// Fixed-bucket histogram with quantile queries.
@@ -93,6 +98,7 @@ impl Histogram {
             buckets,
             count: AtomicU64::new(0),
             sum_bits: AtomicU64::new(0.0f64.to_bits()),
+            max_bits: AtomicU64::new(f64::NEG_INFINITY.to_bits()),
         }))
     }
 
@@ -113,6 +119,26 @@ impl Histogram {
                 Err(seen) => cur = seen,
             }
         }
+        if v.is_finite() {
+            let mut cur = self.0.max_bits.load(Ordering::Relaxed);
+            while v > f64::from_bits(cur) {
+                match self.0.max_bits.compare_exchange_weak(
+                    cur,
+                    v.to_bits(),
+                    Ordering::Relaxed,
+                    Ordering::Relaxed,
+                ) {
+                    Ok(_) => break,
+                    Err(seen) => cur = seen,
+                }
+            }
+        }
+    }
+
+    /// Largest finite value observed since creation/reset, if any.
+    pub fn max_observed(&self) -> Option<f64> {
+        let m = f64::from_bits(self.0.max_bits.load(Ordering::Relaxed));
+        (m > f64::NEG_INFINITY).then_some(m)
     }
 
     pub fn count(&self) -> u64 {
@@ -134,8 +160,12 @@ impl Histogram {
 
     /// The q-quantile (`0 < q <= 1`) as the upper bound of the bucket
     /// containing it — the standard fixed-bucket estimate. Returns 0 for an
-    /// empty histogram and `+inf` when the quantile falls in the overflow
-    /// bucket.
+    /// empty histogram. A quantile landing in the overflow bucket is
+    /// clamped to the largest value observed (falling back to the largest
+    /// finite bucket bound) so the estimate stays finite: downstream JSON
+    /// sinks encode non-finite floats as `null`, which used to silently
+    /// wipe p99 from events, manifests, and `/runs` whenever a single
+    /// sample exceeded the bucket ladder.
     pub fn quantile(&self, q: f64) -> f64 {
         let total = self.count();
         if total == 0 {
@@ -146,10 +176,23 @@ impl Histogram {
         for (i, b) in self.0.buckets.iter().enumerate() {
             cum += b.load(Ordering::Relaxed);
             if cum >= rank {
-                return self.0.bounds.get(i).copied().unwrap_or(f64::INFINITY);
+                return match self.0.bounds.get(i) {
+                    Some(&bound) => bound,
+                    None => self.overflow_estimate(),
+                };
             }
         }
-        f64::INFINITY
+        self.overflow_estimate()
+    }
+
+    /// Finite stand-in for "above every bucket bound": the max observed
+    /// value when one is known, else the largest finite bound.
+    fn overflow_estimate(&self) -> f64 {
+        let top = *self.0.bounds.last().expect("histogram has bounds");
+        match self.max_observed() {
+            Some(m) => m.max(top),
+            None => top,
+        }
     }
 
     /// `(upper_bound, count)` per bucket; the overflow bucket reports
@@ -174,6 +217,9 @@ impl Histogram {
         }
         self.0.count.store(0, Ordering::Relaxed);
         self.0.sum_bits.store(0.0f64.to_bits(), Ordering::Relaxed);
+        self.0
+            .max_bits
+            .store(f64::NEG_INFINITY.to_bits(), Ordering::Relaxed);
     }
 }
 
@@ -326,13 +372,45 @@ mod tests {
         assert_eq!(h.quantile(0.9), 1.0);
         assert_eq!(h.quantile(0.95), 2.0);
         assert_eq!(h.quantile(1.0), 8.0);
-        // overflow bucket reports +inf
+        // overflow bucket clamps to the max observed value
         let h2 = histogram_with("test.metrics.hist_over", &[1.0]);
         h2.observe(5.0);
-        assert_eq!(h2.quantile(0.5), f64::INFINITY);
+        assert_eq!(h2.quantile(0.5), 5.0);
         // empty histogram → 0
         let h3 = histogram_with("test.metrics.hist_empty", &[1.0]);
         assert_eq!(h3.quantile(0.99), 0.0);
+    }
+
+    #[test]
+    fn overflow_quantile_stays_finite_and_json_numeric() {
+        // Regression: a sample above every bucket bound used to make the
+        // quantile +inf, which the JSON sink encodes as null — p99 then
+        // silently vanished from events, manifests, and /runs.
+        let h = histogram_with("test.metrics.hist_overfix", &[1e-3, 1.0]);
+        h.observe(0.5);
+        h.observe(120.0);
+        h.observe(450.0);
+        assert_eq!(h.quantile(0.99), 450.0);
+        assert_eq!(h.max_observed(), Some(450.0));
+        assert_ne!(crate::json::number(h.quantile(0.99)), "null");
+        let s = metrics_snapshot();
+        let hs = s
+            .histograms
+            .iter()
+            .find(|x| x.name == "test.metrics.hist_overfix")
+            .unwrap();
+        assert!(hs.p50.is_finite() && hs.p90.is_finite() && hs.p99.is_finite());
+
+        // A non-finite observation never poisons the max estimate.
+        let h2 = histogram_with("test.metrics.hist_overinf", &[1.0]);
+        h2.observe(f64::INFINITY);
+        assert_eq!(h2.quantile(0.99), 1.0, "falls back to the largest bound");
+
+        // reset() also clears the tracked max.
+        h.reset();
+        assert_eq!(h.max_observed(), None);
+        h.observe(2.0);
+        assert_eq!(h.quantile(0.99), 2.0);
     }
 
     #[test]

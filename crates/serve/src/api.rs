@@ -1,0 +1,467 @@
+//! Request/response schemas for `/predict` and `/explain`, plus the
+//! request→window conversion and the offline batch entry points the CLI
+//! (`rckt predict`) shares with the server worker.
+//!
+//! Bit-identity contract: every path — served or offline — pads windows to
+//! the same configured length and runs the same `Rckt` entry points, and
+//! the blocked kernels compute each batch row independently of its
+//! neighbours, so a served response is byte-identical to an offline run
+//! over the same requests against the same model file.
+
+use rckt::{InfluenceRecord, Rckt};
+use rckt_data::{Batch, QMatrix, Window};
+use serde::{Deserialize, Serialize};
+
+/// Default pad length for serving windows — the paper's window length.
+pub const DEFAULT_SERVE_WINDOW: usize = rckt_data::preprocess::DEFAULT_WINDOW_LEN;
+
+/// One past response in a student's history.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HistoryItem {
+    pub question: u32,
+    pub correct: bool,
+}
+
+/// Score the probability that `student` answers `target_question`
+/// correctly given their response history.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PredictRequest {
+    #[serde(default)]
+    pub student: u32,
+    pub history: Vec<HistoryItem>,
+    pub target_question: u32,
+}
+
+/// Explain the influence attribution for one response in a student's
+/// history (default: the last one).
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ExplainRequest {
+    #[serde(default)]
+    pub student: u32,
+    pub history: Vec<HistoryItem>,
+    /// Index within `history` to explain; defaults to the last response.
+    #[serde(default)]
+    pub target: Option<usize>,
+}
+
+/// `POST /predict` body.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct PredictBody {
+    pub requests: Vec<PredictRequest>,
+    /// Per-request deadline; a request still queued past it gets a 504.
+    /// `None`/0 falls back to the server's configured default.
+    #[serde(default)]
+    pub deadline_ms: Option<u64>,
+}
+
+/// `POST /explain` body.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ExplainBody {
+    pub requests: Vec<ExplainRequest>,
+    #[serde(default)]
+    pub deadline_ms: Option<u64>,
+}
+
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct PredictResponseItem {
+    pub student: u32,
+    /// Normalized influence margin in `(0, 1)`; ≥ ½ predicts correct.
+    pub score: f32,
+}
+
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct PredictResponse {
+    pub predictions: Vec<PredictResponseItem>,
+}
+
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ExplainResponseItem {
+    pub student: u32,
+    #[serde(flatten)]
+    pub record: InfluenceRecord,
+}
+
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ExplainResponse {
+    pub explanations: Vec<ExplainResponseItem>,
+}
+
+/// Why a request was not answered with a 200.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ApiError {
+    /// Invalid input (unknown question id, over-long history, …) → 400.
+    BadRequest(String),
+    /// Bounded queue is full → 503 + `Retry-After`.
+    Overloaded,
+    /// Server is draining for shutdown → 503 + `Retry-After`.
+    Draining,
+    /// The request sat in the queue past its deadline → 504.
+    DeadlineExceeded,
+    /// Worker-side failure → 500.
+    Internal(String),
+}
+
+impl std::fmt::Display for ApiError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ApiError::BadRequest(m) => write!(f, "bad request: {m}"),
+            ApiError::Overloaded => write!(f, "server overloaded, retry later"),
+            ApiError::Draining => write!(f, "server is draining for shutdown"),
+            ApiError::DeadlineExceeded => write!(f, "request deadline exceeded while queued"),
+            ApiError::Internal(m) => write!(f, "internal error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ApiError {}
+
+fn check_questions<'a>(
+    ids: impl Iterator<Item = &'a u32>,
+    model: &Rckt,
+    qm: &QMatrix,
+) -> Result<(), ApiError> {
+    let known = model.num_questions().min(qm.num_questions());
+    for &q in ids {
+        if q as usize >= known {
+            return Err(ApiError::BadRequest(format!(
+                "question id {q} is out of range (model knows {known} questions)"
+            )));
+        }
+    }
+    Ok(())
+}
+
+/// Validate a predict request and build its padded window + target index.
+///
+/// The window is padded to the fixed `window` length shared by the server
+/// and the offline CLI so that batch geometry — and therefore every bit of
+/// the result — never depends on which requests happen to be fused.
+pub fn predict_window(
+    req: &PredictRequest,
+    model: &Rckt,
+    qm: &QMatrix,
+    window: usize,
+) -> Result<(Window, usize), ApiError> {
+    if req.history.len() + 1 > window {
+        return Err(ApiError::BadRequest(format!(
+            "history of {} responses exceeds the serve window ({window} incl. the target); send the most recent {} responses",
+            req.history.len(),
+            window - 1
+        )));
+    }
+    check_questions(
+        req.history
+            .iter()
+            .map(|h| &h.question)
+            .chain(std::iter::once(&req.target_question)),
+        model,
+        qm,
+    )?;
+    let mut questions = vec![0u32; window];
+    let mut correct = vec![0u8; window];
+    for (t, h) in req.history.iter().enumerate() {
+        questions[t] = h.question;
+        correct[t] = h.correct as u8;
+    }
+    let target = req.history.len();
+    // The target's own correctness is unknown (that is the prediction);
+    // the score never reads it, only the record's ground-truth label does.
+    questions[target] = req.target_question;
+    let w = Window {
+        student: req.student,
+        questions,
+        correct,
+        len: target + 1,
+    };
+    Ok((w, target))
+}
+
+/// Validate an explain request and build its padded window + target index.
+pub fn explain_window(
+    req: &ExplainRequest,
+    model: &Rckt,
+    qm: &QMatrix,
+    window: usize,
+) -> Result<(Window, usize), ApiError> {
+    if req.history.is_empty() {
+        return Err(ApiError::BadRequest(
+            "history must contain at least one response to explain".to_string(),
+        ));
+    }
+    if req.history.len() > window {
+        return Err(ApiError::BadRequest(format!(
+            "history of {} responses exceeds the serve window ({window}); send the most recent {window} responses",
+            req.history.len()
+        )));
+    }
+    let target = req.target.unwrap_or(req.history.len() - 1);
+    if target >= req.history.len() {
+        return Err(ApiError::BadRequest(format!(
+            "target index {target} is outside the {}-response history",
+            req.history.len()
+        )));
+    }
+    check_questions(req.history.iter().map(|h| &h.question), model, qm)?;
+    let mut questions = vec![0u32; window];
+    let mut correct = vec![0u8; window];
+    for (t, h) in req.history.iter().enumerate() {
+        questions[t] = h.question;
+        correct[t] = h.correct as u8;
+    }
+    let w = Window {
+        student: req.student,
+        questions,
+        correct,
+        len: req.history.len(),
+    };
+    Ok((w, target))
+}
+
+/// Score a set of predict requests in one fused `predict_targets` call —
+/// the offline path behind `rckt predict`, and the oracle the CI smoke
+/// job compares served responses against.
+pub fn predict_batch(
+    model: &Rckt,
+    qm: &QMatrix,
+    reqs: &[PredictRequest],
+    window: usize,
+) -> Result<PredictResponse, ApiError> {
+    if reqs.is_empty() {
+        return Ok(PredictResponse {
+            predictions: Vec::new(),
+        });
+    }
+    let mut ws = Vec::with_capacity(reqs.len());
+    let mut targets = Vec::with_capacity(reqs.len());
+    for r in reqs {
+        let (w, t) = predict_window(r, model, qm, window)?;
+        ws.push(w);
+        targets.push(t);
+    }
+    let refs: Vec<&Window> = ws.iter().collect();
+    let batch = Batch::from_windows(&refs, qm);
+    let preds = model
+        .predict_targets_checked(&batch, &targets)
+        .map_err(|e| ApiError::BadRequest(e.to_string()))?;
+    Ok(PredictResponse {
+        predictions: reqs
+            .iter()
+            .zip(&preds)
+            .map(|(r, p)| PredictResponseItem {
+                student: r.student,
+                score: p.prob,
+            })
+            .collect(),
+    })
+}
+
+/// Explain a set of requests in one fused `influences_exact` call — the
+/// offline path behind `rckt predict --explain`.
+pub fn explain_batch(
+    model: &Rckt,
+    qm: &QMatrix,
+    reqs: &[ExplainRequest],
+    window: usize,
+) -> Result<ExplainResponse, ApiError> {
+    if reqs.is_empty() {
+        return Ok(ExplainResponse {
+            explanations: Vec::new(),
+        });
+    }
+    let mut ws = Vec::with_capacity(reqs.len());
+    let mut targets = Vec::with_capacity(reqs.len());
+    for r in reqs {
+        let (w, t) = explain_window(r, model, qm, window)?;
+        ws.push(w);
+        targets.push(t);
+    }
+    let refs: Vec<&Window> = ws.iter().collect();
+    let batch = Batch::from_windows(&refs, qm);
+    let recs = model
+        .influences_exact_checked(&batch, &targets)
+        .map_err(|e| ApiError::BadRequest(e.to_string()))?;
+    Ok(ExplainResponse {
+        explanations: reqs
+            .iter()
+            .zip(recs)
+            .map(|(r, record)| ExplainResponseItem {
+                student: r.student,
+                record,
+            })
+            .collect(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rckt::{Backbone, RcktConfig};
+    use rckt_data::SyntheticSpec;
+
+    fn setup() -> (Rckt, QMatrix) {
+        let ds = SyntheticSpec::assist09().scaled(0.05).generate();
+        let m = Rckt::new(
+            Backbone::Dkt,
+            ds.num_questions(),
+            ds.num_concepts(),
+            RcktConfig {
+                dim: 8,
+                ..Default::default()
+            },
+        );
+        (m, ds.q_matrix)
+    }
+
+    fn hist(pairs: &[(u32, bool)]) -> Vec<HistoryItem> {
+        pairs
+            .iter()
+            .map(|&(question, correct)| HistoryItem { question, correct })
+            .collect()
+    }
+
+    #[test]
+    fn predict_window_layout() {
+        let (m, qm) = setup();
+        let req = PredictRequest {
+            student: 7,
+            history: hist(&[(1, true), (2, false)]),
+            target_question: 3,
+        };
+        let (w, target) = predict_window(&req, &m, &qm, 10).unwrap();
+        assert_eq!(target, 2);
+        assert_eq!(w.len, 3);
+        assert_eq!(w.questions[..4], [1, 2, 3, 0]);
+        assert_eq!(w.correct[..3], [1, 0, 0]);
+        assert_eq!(w.questions.len(), 10);
+    }
+
+    #[test]
+    fn predict_rejects_unknown_question_and_long_history() {
+        let (m, qm) = setup();
+        let bad_q = PredictRequest {
+            student: 0,
+            history: hist(&[(999_999, true)]),
+            target_question: 1,
+        };
+        assert!(matches!(
+            predict_window(&bad_q, &m, &qm, 10),
+            Err(ApiError::BadRequest(m)) if m.contains("999999")
+        ));
+        let long = PredictRequest {
+            student: 0,
+            history: hist(&[(1, true); 10]),
+            target_question: 1,
+        };
+        assert!(matches!(
+            predict_window(&long, &m, &qm, 10),
+            Err(ApiError::BadRequest(m)) if m.contains("exceeds")
+        ));
+    }
+
+    #[test]
+    fn explain_window_defaults_to_last_and_checks_target() {
+        let (m, qm) = setup();
+        let req = ExplainRequest {
+            student: 1,
+            history: hist(&[(1, true), (2, false), (3, true)]),
+            target: None,
+        };
+        let (w, target) = explain_window(&req, &m, &qm, 10).unwrap();
+        assert_eq!(target, 2);
+        assert_eq!(w.len, 3);
+        let out = ExplainRequest {
+            target: Some(3),
+            ..req.clone()
+        };
+        assert!(matches!(
+            explain_window(&out, &m, &qm, 10),
+            Err(ApiError::BadRequest(_))
+        ));
+        let empty = ExplainRequest {
+            student: 0,
+            history: vec![],
+            target: None,
+        };
+        assert!(matches!(
+            explain_window(&empty, &m, &qm, 10),
+            Err(ApiError::BadRequest(_))
+        ));
+    }
+
+    #[test]
+    fn predict_batch_matches_direct_model_call_bitwise() {
+        let (m, qm) = setup();
+        let reqs = vec![
+            PredictRequest {
+                student: 0,
+                history: hist(&[(1, true), (4, false), (2, true)]),
+                target_question: 5,
+            },
+            PredictRequest {
+                student: 1,
+                history: hist(&[(3, false)]),
+                target_question: 2,
+            },
+        ];
+        let resp = predict_batch(&m, &qm, &reqs, 16).unwrap();
+        assert_eq!(resp.predictions.len(), 2);
+        // Oracle: hand-built windows through the raw model API.
+        let mut ws = Vec::new();
+        let mut targets = Vec::new();
+        for r in &reqs {
+            let (w, t) = predict_window(r, &m, &qm, 16).unwrap();
+            ws.push(w);
+            targets.push(t);
+        }
+        let refs: Vec<&Window> = ws.iter().collect();
+        let batch = Batch::from_windows(&refs, &qm);
+        let direct = m.predict_targets(&batch, &targets);
+        for (got, want) in resp.predictions.iter().zip(&direct) {
+            assert_eq!(got.score.to_bits(), want.prob.to_bits());
+        }
+        // And each request solo gives the same bits as the fused batch.
+        for (i, r) in reqs.iter().enumerate() {
+            let solo = predict_batch(&m, &qm, std::slice::from_ref(r), 16).unwrap();
+            assert_eq!(
+                solo.predictions[0].score.to_bits(),
+                resp.predictions[i].score.to_bits()
+            );
+        }
+    }
+
+    #[test]
+    fn explain_batch_returns_per_response_influences() {
+        let (m, qm) = setup();
+        let reqs = vec![ExplainRequest {
+            student: 4,
+            history: hist(&[(1, true), (2, false), (3, true), (4, true)]),
+            target: None,
+        }];
+        let resp = explain_batch(&m, &qm, &reqs, 16).unwrap();
+        let rec = &resp.explanations[0].record;
+        assert_eq!(rec.target, 3);
+        assert_eq!(rec.influences.len(), 3);
+        assert!(rec.label, "fourth response was correct");
+        // JSON wire shape: flattened record next to the student id.
+        let json = serde_json::to_string(&resp).unwrap();
+        assert!(json.contains("\"student\":4"));
+        assert!(json.contains("\"influences\""));
+        assert!(json.contains("\"score\""));
+    }
+
+    #[test]
+    fn schemas_roundtrip_and_default_optionals() {
+        let body: PredictBody = serde_json::from_str(
+            "{\"requests\":[{\"history\":[{\"question\":1,\"correct\":true}],\"target_question\":2}]}",
+        )
+        .unwrap();
+        assert_eq!(body.requests[0].student, 0, "student defaults to 0");
+        assert_eq!(body.deadline_ms, None);
+        let body: ExplainBody = serde_json::from_str(
+            "{\"requests\":[{\"student\":3,\"history\":[{\"question\":1,\"correct\":false}]}],\"deadline_ms\":50}",
+        )
+        .unwrap();
+        assert_eq!(body.deadline_ms, Some(50));
+        assert_eq!(body.requests[0].target, None);
+    }
+}

@@ -1,0 +1,514 @@
+//! Micro-batching core: a bounded request queue drained by one worker
+//! thread that fuses same-kind jobs into a single `predict_targets` /
+//! `influences_exact` call. Because every eval op computes batch rows
+//! independently (and windows are padded to one fixed length), fusing is
+//! invisible in the output bits — a request answered in a wave of 8 is
+//! byte-identical to the same request answered alone.
+//!
+//! The queue is bounded: a full queue sheds load with
+//! [`ApiError::Overloaded`] (the HTTP layer turns that into a 503 +
+//! `Retry-After`) instead of letting latency grow without bound, and a
+//! draining server rejects new work while the worker finishes what was
+//! already accepted.
+
+use crate::api::{self, ApiError, ExplainRequest, PredictRequest};
+use crate::cache::{Outcome, SessionCache};
+use rckt::Rckt;
+use rckt_data::QMatrix;
+use rckt_obs::{counter, gauge, histogram, histogram_with};
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+/// Everything the worker needs to answer a request: the loaded model,
+/// its question→concept mapping, the fixed pad length, and the session
+/// cache. Shared immutably across the worker and the HTTP handlers.
+pub struct Engine {
+    pub model: Rckt,
+    pub qm: QMatrix,
+    /// Fixed pad length for every served window; also the bound on
+    /// history length. Shared with the offline CLI for bit-identity.
+    pub window: usize,
+    pub cache: SessionCache,
+    /// FNV-1a hash of the model file, part of every cache key so a
+    /// process serving a different model never reads stale entries.
+    pub model_hash: u64,
+}
+
+impl std::fmt::Debug for Engine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Engine")
+            .field("model_hash", &format_args!("{:016x}", self.model_hash))
+            .field("window", &self.window)
+            .finish_non_exhaustive()
+    }
+}
+
+/// A single queued unit of work — one element of a request body.
+#[derive(Clone, Debug)]
+pub enum JobRequest {
+    Predict(PredictRequest),
+    Explain(ExplainRequest),
+}
+
+impl JobRequest {
+    fn is_predict(&self) -> bool {
+        matches!(self, JobRequest::Predict(_))
+    }
+}
+
+/// Cache key: model hash + kind tag + the canonical request JSON. The
+/// student id is a request field, so keys are per-student by
+/// construction.
+pub fn cache_key(model_hash: u64, req: &JobRequest) -> String {
+    match req {
+        JobRequest::Predict(r) => {
+            format!("{model_hash:016x}|p|{}", serde_json::to_string(r).unwrap())
+        }
+        JobRequest::Explain(r) => {
+            format!("{model_hash:016x}|e|{}", serde_json::to_string(r).unwrap())
+        }
+    }
+}
+
+pub struct Job {
+    pub key: String,
+    pub req: JobRequest,
+    /// The request's position in its HTTP body, echoed back so the
+    /// handler can reassemble responses in order.
+    pub index: usize,
+    pub enqueued: Instant,
+    /// Past this instant a still-queued job is answered with
+    /// [`ApiError::DeadlineExceeded`] instead of being computed.
+    pub deadline: Option<Instant>,
+    pub reply: mpsc::Sender<(usize, Result<Outcome, ApiError>)>,
+}
+
+struct Shared {
+    engine: Arc<Engine>,
+    queue: Mutex<VecDeque<Job>>,
+    cv: Condvar,
+    stop: AtomicBool,
+    draining: AtomicBool,
+    max_queue: usize,
+    max_batch: usize,
+}
+
+/// The bounded queue plus its single worker thread.
+pub struct Batcher {
+    shared: Arc<Shared>,
+    worker: Mutex<Option<JoinHandle<()>>>,
+}
+
+impl Batcher {
+    pub fn start(engine: Arc<Engine>, max_batch: usize, max_queue: usize) -> Batcher {
+        let shared = Arc::new(Shared {
+            engine,
+            queue: Mutex::new(VecDeque::new()),
+            cv: Condvar::new(),
+            stop: AtomicBool::new(false),
+            draining: AtomicBool::new(false),
+            max_queue,
+            max_batch: max_batch.max(1),
+        });
+        let worker_shared = Arc::clone(&shared);
+        let worker = std::thread::Builder::new()
+            .name("rckt-serve-batcher".to_string())
+            .spawn(move || worker_loop(&worker_shared))
+            .expect("spawn batcher worker");
+        Batcher {
+            shared,
+            worker: Mutex::new(Some(worker)),
+        }
+    }
+
+    /// Enqueue a job, or shed it if the server is draining or the queue
+    /// is at capacity. Callers must have validated the request already —
+    /// by the time a job reaches the worker, only capacity and deadline
+    /// failures are possible.
+    pub fn submit(&self, job: Job) -> Result<(), ApiError> {
+        if self.shared.draining.load(Ordering::Acquire) {
+            return Err(ApiError::Draining);
+        }
+        let mut q = self.shared.queue.lock().unwrap();
+        if q.len() >= self.shared.max_queue {
+            counter("serve.requests.shed").incr();
+            return Err(ApiError::Overloaded);
+        }
+        q.push_back(job);
+        gauge("serve.queue.depth").set(q.len() as f64);
+        drop(q);
+        self.shared.cv.notify_one();
+        Ok(())
+    }
+
+    /// Reject new submissions while the worker keeps answering what was
+    /// already accepted. `drain_and_stop` finishes the job.
+    pub fn begin_drain(&self) {
+        self.shared.draining.store(true, Ordering::Release);
+    }
+
+    pub fn is_draining(&self) -> bool {
+        self.shared.draining.load(Ordering::Acquire)
+    }
+
+    pub fn queue_depth(&self) -> usize {
+        self.shared.queue.lock().unwrap().len()
+    }
+
+    /// Graceful shutdown: reject new work, let the worker finish every
+    /// job already accepted, then join it. Idempotent.
+    pub fn drain_and_stop(&self) {
+        self.shared.draining.store(true, Ordering::Release);
+        self.shared.stop.store(true, Ordering::Release);
+        self.shared.cv.notify_all();
+        if let Some(handle) = self.worker.lock().unwrap().take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for Batcher {
+    fn drop(&mut self) {
+        self.drain_and_stop();
+    }
+}
+
+fn worker_loop(shared: &Shared) {
+    loop {
+        let wave = {
+            let mut q = shared.queue.lock().unwrap();
+            loop {
+                if !q.is_empty() {
+                    break take_wave(&mut q, shared.max_batch);
+                }
+                if shared.stop.load(Ordering::Acquire) {
+                    return;
+                }
+                q = shared.cv.wait(q).unwrap();
+            }
+        };
+        gauge("serve.queue.depth").set(shared.queue.lock().unwrap().len() as f64);
+        process_wave(&shared.engine, wave);
+    }
+}
+
+/// Pop up to `max_batch` jobs of the front job's kind, preserving the
+/// arrival order of everything left behind.
+fn take_wave(q: &mut VecDeque<Job>, max_batch: usize) -> Vec<Job> {
+    let predict = q.front().map(|j| j.req.is_predict()).unwrap_or(true);
+    let mut wave = Vec::new();
+    let mut i = 0;
+    while i < q.len() && wave.len() < max_batch {
+        if q[i].req.is_predict() == predict {
+            wave.push(q.remove(i).unwrap());
+        } else {
+            i += 1;
+        }
+    }
+    wave
+}
+
+/// Answer one wave: expire deadlines, serve cache hits, fuse the distinct
+/// misses into one model call, fill the cache, and reply to every job.
+pub(crate) fn process_wave(engine: &Engine, jobs: Vec<Job>) {
+    let now = Instant::now();
+    let queue_seconds = histogram("serve.queue.seconds");
+    counter("serve.batches").incr();
+    histogram_with("serve.batch.size", &[1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0])
+        .observe(jobs.len() as f64);
+
+    let mut live: Vec<Job> = Vec::with_capacity(jobs.len());
+    for job in jobs {
+        queue_seconds.observe(now.duration_since(job.enqueued).as_secs_f64());
+        if job.deadline.is_some_and(|d| now > d) {
+            counter("serve.requests.deadline").incr();
+            let _ = job.reply.send((job.index, Err(ApiError::DeadlineExceeded)));
+        } else {
+            live.push(job);
+        }
+    }
+
+    // Cache pass: hits reply immediately; misses are grouped by key so a
+    // wave of identical requests costs one model slot.
+    let mut miss_order: Vec<String> = Vec::new();
+    let mut misses: HashMap<String, Vec<Job>> = HashMap::new();
+    for job in live {
+        if let Some(out) = engine.cache.get(&job.key) {
+            counter("serve.cache.hits").incr();
+            let _ = job.reply.send((job.index, Ok(out)));
+        } else {
+            counter("serve.cache.misses").incr();
+            if !misses.contains_key(&job.key) {
+                miss_order.push(job.key.clone());
+            }
+            misses.entry(job.key.clone()).or_default().push(job);
+        }
+    }
+    gauge("serve.cache.hit_rate").set(engine.cache.hit_rate());
+    if miss_order.is_empty() {
+        return;
+    }
+
+    let mut predict_keys = Vec::new();
+    let mut predict_reqs = Vec::new();
+    let mut explain_keys = Vec::new();
+    let mut explain_reqs = Vec::new();
+    for key in &miss_order {
+        match &misses[key][0].req {
+            JobRequest::Predict(r) => {
+                predict_keys.push(key.clone());
+                predict_reqs.push(r.clone());
+            }
+            JobRequest::Explain(r) => {
+                explain_keys.push(key.clone());
+                explain_reqs.push(r.clone());
+            }
+        }
+    }
+
+    let mut reply_all = |key: &str, result: Result<Outcome, ApiError>| {
+        if let Ok(out) = &result {
+            engine.cache.put(key.to_string(), out.clone());
+        }
+        for job in misses.remove(key).unwrap_or_default() {
+            let _ = job.reply.send((job.index, result.clone()));
+        }
+    };
+
+    if !predict_reqs.is_empty() {
+        match api::predict_batch(&engine.model, &engine.qm, &predict_reqs, engine.window) {
+            Ok(resp) => {
+                for (key, item) in predict_keys.iter().zip(resp.predictions) {
+                    reply_all(key, Ok(Outcome::Predict(item)));
+                }
+            }
+            Err(e) => {
+                for key in &predict_keys {
+                    reply_all(key, Err(e.clone()));
+                }
+            }
+        }
+    }
+    if !explain_reqs.is_empty() {
+        match api::explain_batch(&engine.model, &engine.qm, &explain_reqs, engine.window) {
+            Ok(resp) => {
+                for (key, item) in explain_keys.iter().zip(resp.explanations) {
+                    reply_all(key, Ok(Outcome::Explain(item)));
+                }
+            }
+            Err(e) => {
+                for key in &explain_keys {
+                    reply_all(key, Err(e.clone()));
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::api::HistoryItem;
+    use rckt::{Backbone, RcktConfig};
+    use rckt_data::SyntheticSpec;
+    use std::time::Duration;
+
+    fn engine() -> Arc<Engine> {
+        let ds = SyntheticSpec::assist09().scaled(0.05).generate();
+        let model = Rckt::new(
+            Backbone::Dkt,
+            ds.num_questions(),
+            ds.num_concepts(),
+            RcktConfig {
+                dim: 8,
+                ..Default::default()
+            },
+        );
+        Arc::new(Engine {
+            model,
+            qm: ds.q_matrix,
+            window: 16,
+            cache: SessionCache::new(64),
+            model_hash: 0xfeed,
+        })
+    }
+
+    fn predict_req(student: u32, target_question: u32) -> PredictRequest {
+        PredictRequest {
+            student,
+            history: vec![
+                HistoryItem {
+                    question: 1,
+                    correct: true,
+                },
+                HistoryItem {
+                    question: 2,
+                    correct: false,
+                },
+            ],
+            target_question,
+        }
+    }
+
+    fn job(
+        eng: &Engine,
+        req: JobRequest,
+        index: usize,
+        deadline: Option<Instant>,
+    ) -> (Job, mpsc::Receiver<(usize, Result<Outcome, ApiError>)>) {
+        let (tx, rx) = mpsc::channel();
+        let j = Job {
+            key: cache_key(eng.model_hash, &req),
+            req,
+            index,
+            enqueued: Instant::now(),
+            deadline,
+            reply: tx,
+        };
+        (j, rx)
+    }
+
+    #[test]
+    fn expired_deadline_gets_504_without_compute() {
+        let eng = engine();
+        let past = Instant::now() - Duration::from_millis(50);
+        let (j, rx) = job(&eng, JobRequest::Predict(predict_req(0, 3)), 7, Some(past));
+        process_wave(&eng, vec![j]);
+        let (idx, result) = rx.recv().unwrap();
+        assert_eq!(idx, 7);
+        assert_eq!(result.unwrap_err(), ApiError::DeadlineExceeded);
+        assert!(eng.cache.is_empty(), "expired job must not touch the model");
+    }
+
+    #[test]
+    fn wave_results_match_offline_batch_bitwise() {
+        let eng = engine();
+        let reqs = vec![predict_req(0, 3), predict_req(1, 4)];
+        let oracle = api::predict_batch(&eng.model, &eng.qm, &reqs, eng.window).unwrap();
+        let mut rxs = Vec::new();
+        let mut jobs = Vec::new();
+        for (i, r) in reqs.iter().enumerate() {
+            let (j, rx) = job(&eng, JobRequest::Predict(r.clone()), i, None);
+            jobs.push(j);
+            rxs.push(rx);
+        }
+        process_wave(&eng, jobs);
+        for (i, rx) in rxs.iter().enumerate() {
+            let (idx, result) = rx.recv().unwrap();
+            assert_eq!(idx, i);
+            match result.unwrap() {
+                Outcome::Predict(p) => {
+                    assert_eq!(p.score.to_bits(), oracle.predictions[i].score.to_bits())
+                }
+                Outcome::Explain(_) => panic!("predict outcome expected"),
+            }
+        }
+    }
+
+    #[test]
+    fn duplicate_keys_in_one_wave_share_a_model_slot_and_fill_cache() {
+        let eng = engine();
+        let r = predict_req(5, 3);
+        let (j1, rx1) = job(&eng, JobRequest::Predict(r.clone()), 0, None);
+        let (j2, rx2) = job(&eng, JobRequest::Predict(r.clone()), 1, None);
+        process_wave(&eng, vec![j1, j2]);
+        let a = rx1.recv().unwrap().1.unwrap();
+        let b = rx2.recv().unwrap().1.unwrap();
+        match (&a, &b) {
+            (Outcome::Predict(x), Outcome::Predict(y)) => {
+                assert_eq!(x.score.to_bits(), y.score.to_bits())
+            }
+            _ => panic!("predict outcomes expected"),
+        }
+        assert_eq!(eng.cache.len(), 1);
+        // A later wave with the same request is a pure cache hit.
+        let (j3, rx3) = job(&eng, JobRequest::Predict(r), 0, None);
+        process_wave(&eng, vec![j3]);
+        assert!(rx3.recv().unwrap().1.is_ok());
+        let (hits, _) = eng.cache.stats();
+        assert!(hits >= 1, "repeat request must hit the session cache");
+    }
+
+    #[test]
+    fn mixed_wave_answers_both_kinds() {
+        let eng = engine();
+        let (jp, rxp) = job(&eng, JobRequest::Predict(predict_req(0, 3)), 0, None);
+        let er = ExplainRequest {
+            student: 1,
+            history: vec![
+                HistoryItem {
+                    question: 1,
+                    correct: true,
+                },
+                HistoryItem {
+                    question: 3,
+                    correct: true,
+                },
+            ],
+            target: None,
+        };
+        let (je, rxe) = job(&eng, JobRequest::Explain(er), 0, None);
+        process_wave(&eng, vec![jp, je]);
+        assert!(matches!(
+            rxp.recv().unwrap().1.unwrap(),
+            Outcome::Predict(_)
+        ));
+        match rxe.recv().unwrap().1.unwrap() {
+            Outcome::Explain(e) => assert_eq!(e.record.target, 1),
+            Outcome::Predict(_) => panic!("explain outcome expected"),
+        }
+    }
+
+    #[test]
+    fn full_queue_sheds_and_draining_rejects() {
+        let eng = engine();
+        // Zero-capacity queue: every submit is shed with Overloaded.
+        let b = Batcher::start(Arc::clone(&eng), 4, 0);
+        let (j, _rx) = job(&eng, JobRequest::Predict(predict_req(0, 3)), 0, None);
+        assert_eq!(b.submit(j).unwrap_err(), ApiError::Overloaded);
+        b.drain_and_stop();
+        assert!(b.is_draining());
+        let (j, _rx) = job(&eng, JobRequest::Predict(predict_req(0, 3)), 0, None);
+        assert_eq!(b.submit(j).unwrap_err(), ApiError::Draining);
+    }
+
+    #[test]
+    fn batcher_end_to_end_matches_offline() {
+        let eng = engine();
+        let b = Batcher::start(Arc::clone(&eng), 8, 64);
+        let reqs = vec![predict_req(0, 3), predict_req(1, 4), predict_req(2, 5)];
+        let oracle = api::predict_batch(&eng.model, &eng.qm, &reqs, eng.window).unwrap();
+        let (tx, rx) = mpsc::channel();
+        for (i, r) in reqs.iter().enumerate() {
+            let req = JobRequest::Predict(r.clone());
+            b.submit(Job {
+                key: cache_key(eng.model_hash, &req),
+                req,
+                index: i,
+                enqueued: Instant::now(),
+                deadline: None,
+                reply: tx.clone(),
+            })
+            .unwrap();
+        }
+        let mut scores = vec![None; reqs.len()];
+        for _ in 0..reqs.len() {
+            let (idx, result) = rx.recv_timeout(Duration::from_secs(30)).unwrap();
+            match result.unwrap() {
+                Outcome::Predict(p) => scores[idx] = Some(p.score),
+                Outcome::Explain(_) => panic!("predict outcome expected"),
+            }
+        }
+        for (i, s) in scores.iter().enumerate() {
+            assert_eq!(
+                s.unwrap().to_bits(),
+                oracle.predictions[i].score.to_bits(),
+                "queued path must be bit-identical to the offline batch"
+            );
+        }
+        b.drain_and_stop();
+    }
+}

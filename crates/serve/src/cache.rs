@@ -1,0 +1,171 @@
+//! Per-student session cache: an LRU memo from (model hash, canonical
+//! request JSON) to the finished outcome. A student re-querying the same
+//! history prefix — the dominant online pattern, since each new response
+//! appends to an otherwise-identical history — skips the model entirely
+//! and is answered from the cache with bit-identical bytes.
+
+use crate::api::{ExplainResponseItem, PredictResponseItem};
+use std::collections::HashMap;
+use std::sync::Mutex;
+
+/// A finished, cacheable result for one request.
+#[derive(Clone, Debug)]
+pub enum Outcome {
+    Predict(PredictResponseItem),
+    Explain(ExplainResponseItem),
+}
+
+struct Inner {
+    map: HashMap<String, (u64, Outcome)>,
+    tick: u64,
+    hits: u64,
+    misses: u64,
+}
+
+/// A small mutex-guarded LRU. Eviction scans for the oldest tick — O(n),
+/// fine at the few-thousand-entry capacities used here and dependency-free.
+pub struct SessionCache {
+    inner: Mutex<Inner>,
+    capacity: usize,
+}
+
+impl SessionCache {
+    pub fn new(capacity: usize) -> SessionCache {
+        SessionCache {
+            inner: Mutex::new(Inner {
+                map: HashMap::new(),
+                tick: 0,
+                hits: 0,
+                misses: 0,
+            }),
+            capacity,
+        }
+    }
+
+    /// Look up a key, refreshing its recency on a hit.
+    pub fn get(&self, key: &str) -> Option<Outcome> {
+        let mut g = self.inner.lock().unwrap();
+        let tick = {
+            g.tick += 1;
+            g.tick
+        };
+        match g.map.get_mut(key) {
+            Some(slot) => {
+                slot.0 = tick;
+                let out = slot.1.clone();
+                g.hits += 1;
+                Some(out)
+            }
+            None => {
+                g.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Insert (or refresh) a key, evicting the least-recently-used entry
+    /// when full. A zero capacity disables caching entirely.
+    pub fn put(&self, key: String, value: Outcome) {
+        if self.capacity == 0 {
+            return;
+        }
+        let mut g = self.inner.lock().unwrap();
+        g.tick += 1;
+        let tick = g.tick;
+        if g.map.len() >= self.capacity && !g.map.contains_key(&key) {
+            if let Some(oldest) = g
+                .map
+                .iter()
+                .min_by_key(|(_, (t, _))| *t)
+                .map(|(k, _)| k.clone())
+            {
+                g.map.remove(&oldest);
+            }
+        }
+        g.map.insert(key, (tick, value));
+    }
+
+    pub fn len(&self) -> usize {
+        self.inner.lock().unwrap().map.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// `(hits, misses)` since construction.
+    pub fn stats(&self) -> (u64, u64) {
+        let g = self.inner.lock().unwrap();
+        (g.hits, g.misses)
+    }
+
+    /// Hit rate in `[0, 1]`, or 0 before any lookup.
+    pub fn hit_rate(&self) -> f64 {
+        let (h, m) = self.stats();
+        if h + m == 0 {
+            0.0
+        } else {
+            h as f64 / (h + m) as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn item(student: u32, score: f32) -> Outcome {
+        Outcome::Predict(PredictResponseItem { student, score })
+    }
+
+    fn score_of(o: &Outcome) -> f32 {
+        match o {
+            Outcome::Predict(p) => p.score,
+            Outcome::Explain(_) => panic!("predict outcome expected"),
+        }
+    }
+
+    #[test]
+    fn hit_miss_and_stats() {
+        let c = SessionCache::new(8);
+        assert!(c.get("a").is_none());
+        c.put("a".into(), item(1, 0.25));
+        let got = c.get("a").unwrap();
+        assert_eq!(score_of(&got), 0.25);
+        assert_eq!(c.stats(), (1, 1));
+        assert!((c.hit_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn evicts_least_recently_used() {
+        let c = SessionCache::new(2);
+        c.put("a".into(), item(1, 0.1));
+        c.put("b".into(), item(2, 0.2));
+        // Touch "a" so "b" becomes the LRU entry.
+        assert!(c.get("a").is_some());
+        c.put("c".into(), item(3, 0.3));
+        assert_eq!(c.len(), 2);
+        assert!(c.get("a").is_some());
+        assert!(c.get("b").is_none(), "LRU entry evicted");
+        assert!(c.get("c").is_some());
+    }
+
+    #[test]
+    fn reinsert_refreshes_without_evicting() {
+        let c = SessionCache::new(2);
+        c.put("a".into(), item(1, 0.1));
+        c.put("b".into(), item(2, 0.2));
+        c.put("a".into(), item(1, 0.9));
+        assert_eq!(c.len(), 2);
+        assert_eq!(score_of(&c.get("a").unwrap()), 0.9);
+        assert!(c.get("b").is_some());
+    }
+
+    #[test]
+    fn zero_capacity_disables_caching() {
+        let c = SessionCache::new(0);
+        c.put("a".into(), item(1, 0.1));
+        assert!(c.is_empty());
+        assert!(c.get("a").is_none());
+    }
+}

@@ -1,0 +1,193 @@
+//! Minimal std-only HTTP/1.1 plumbing for the inference service, in the
+//! style of `rckt_obs::serve` but with `Content-Length` body reading so
+//! `POST` endpoints work. One request per connection, `Connection:
+//! close`, loopback only, no TLS.
+
+use std::io::{Read as _, Write as _};
+use std::net::{Shutdown, TcpStream};
+use std::time::Duration;
+
+/// Cap on the header block; a client exceeding it gets a 400.
+const MAX_HEADER_BYTES: usize = 16 * 1024;
+/// Cap on request bodies; micro-batch bodies are small JSON documents.
+const MAX_BODY_BYTES: usize = 4 * 1024 * 1024;
+
+/// One parsed request: method, path (query string stripped), raw body.
+#[derive(Debug)]
+pub struct Request {
+    pub method: String,
+    pub path: String,
+    pub body: Vec<u8>,
+}
+
+/// Errors surfaced to the client as a 400 before any routing happens.
+#[derive(Debug)]
+pub enum ReadError {
+    Io(std::io::Error),
+    TooLarge,
+    Malformed(&'static str),
+}
+
+impl std::fmt::Display for ReadError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ReadError::Io(e) => write!(f, "i/o error: {e}"),
+            ReadError::TooLarge => write!(f, "request too large"),
+            ReadError::Malformed(what) => write!(f, "malformed request: {what}"),
+        }
+    }
+}
+
+/// Read one HTTP/1.1 request (header block + `Content-Length` body).
+pub fn read_request(stream: &mut TcpStream) -> Result<Request, ReadError> {
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(10)));
+    let _ = stream.set_write_timeout(Some(Duration::from_secs(10)));
+    let mut buf = Vec::with_capacity(1024);
+    let mut chunk = [0u8; 1024];
+    let header_end = loop {
+        if let Some(pos) = find_header_end(&buf) {
+            break pos;
+        }
+        if buf.len() > MAX_HEADER_BYTES {
+            return Err(ReadError::TooLarge);
+        }
+        match stream.read(&mut chunk) {
+            Ok(0) => return Err(ReadError::Malformed("connection closed mid-headers")),
+            Ok(n) => buf.extend_from_slice(&chunk[..n]),
+            Err(e) => return Err(ReadError::Io(e)),
+        }
+    };
+
+    let head = String::from_utf8_lossy(&buf[..header_end]).to_string();
+    let mut lines = head.lines();
+    let mut first = lines.next().unwrap_or("").split_whitespace();
+    let method = first
+        .next()
+        .ok_or(ReadError::Malformed("missing method"))?
+        .to_string();
+    let path = first
+        .next()
+        .ok_or(ReadError::Malformed("missing path"))?
+        .split('?')
+        .next()
+        .unwrap_or("")
+        .to_string();
+
+    let mut content_length = 0usize;
+    for line in lines {
+        if let Some((name, value)) = line.split_once(':') {
+            if name.trim().eq_ignore_ascii_case("content-length") {
+                content_length = value
+                    .trim()
+                    .parse()
+                    .map_err(|_| ReadError::Malformed("bad Content-Length"))?;
+            }
+        }
+    }
+    if content_length > MAX_BODY_BYTES {
+        return Err(ReadError::TooLarge);
+    }
+
+    let mut body = buf[header_end + 4..].to_vec();
+    while body.len() < content_length {
+        match stream.read(&mut chunk) {
+            Ok(0) => return Err(ReadError::Malformed("connection closed mid-body")),
+            Ok(n) => body.extend_from_slice(&chunk[..n]),
+            Err(e) => return Err(ReadError::Io(e)),
+        }
+    }
+    body.truncate(content_length);
+    Ok(Request { method, path, body })
+}
+
+fn find_header_end(buf: &[u8]) -> Option<usize> {
+    buf.windows(4).position(|w| w == b"\r\n\r\n")
+}
+
+/// Write a complete response and close the connection. `extra_headers`
+/// lets handlers attach e.g. `Retry-After` on a 503.
+pub fn respond(
+    stream: &mut TcpStream,
+    status: &str,
+    content_type: &str,
+    extra_headers: &[(&str, &str)],
+    body: &str,
+) {
+    let mut headers = String::new();
+    for (k, v) in extra_headers {
+        headers.push_str(&format!("{k}: {v}\r\n"));
+    }
+    let response = format!(
+        "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\n{headers}Connection: close\r\n\r\n{body}",
+        body.len()
+    );
+    let _ = stream.write_all(response.as_bytes());
+    let _ = stream.shutdown(Shutdown::Both);
+}
+
+/// `{"error":"..."}` with the message JSON-escaped via serde.
+pub fn error_body(msg: &str) -> String {
+    format!("{{\"error\":{}}}", serde_json::to_string(msg).unwrap())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::TcpListener;
+
+    fn roundtrip(raw: &[u8]) -> Result<Request, ReadError> {
+        let listener = TcpListener::bind(("127.0.0.1", 0)).unwrap();
+        let port = listener.local_addr().unwrap().port();
+        let raw = raw.to_vec();
+        let client = std::thread::spawn(move || {
+            let mut s = TcpStream::connect(("127.0.0.1", port)).unwrap();
+            s.write_all(&raw).unwrap();
+            let _ = s.shutdown(Shutdown::Write);
+            s
+        });
+        let (mut server_side, _) = listener.accept().unwrap();
+        let req = read_request(&mut server_side);
+        let _ = client.join();
+        req
+    }
+
+    #[test]
+    fn parses_post_with_body() {
+        let req = roundtrip(
+            b"POST /predict?x=1 HTTP/1.1\r\nHost: l\r\nContent-Length: 11\r\n\r\nhello world",
+        )
+        .unwrap();
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.path, "/predict");
+        assert_eq!(req.body, b"hello world");
+    }
+
+    #[test]
+    fn parses_get_without_body() {
+        let req = roundtrip(b"GET /metrics HTTP/1.1\r\n\r\n").unwrap();
+        assert_eq!(req.method, "GET");
+        assert_eq!(req.path, "/metrics");
+        assert!(req.body.is_empty());
+    }
+
+    #[test]
+    fn body_split_across_header_read_is_kept() {
+        // Entire request arrives in one packet: body bytes already sit in
+        // the header buffer and must not be lost.
+        let req = roundtrip(b"POST /p HTTP/1.1\r\nContent-Length: 4\r\n\r\nabcd").unwrap();
+        assert_eq!(req.body, b"abcd");
+    }
+
+    #[test]
+    fn rejects_bad_content_length() {
+        assert!(matches!(
+            roundtrip(b"POST /p HTTP/1.1\r\nContent-Length: nope\r\n\r\n"),
+            Err(ReadError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn error_body_escapes() {
+        assert_eq!(error_body("a\"b"), "{\"error\":\"a\\\"b\"}");
+    }
+}

@@ -1,0 +1,739 @@
+//! # rckt-serve
+//!
+//! Batched online inference for a trained RCKT model: a std-only HTTP
+//! service exposing `POST /predict` and `POST /explain` over a
+//! [`SavedModel`](rckt::SavedModel) file, with
+//!
+//! * **micro-batching** — concurrent requests are fused into single
+//!   `predict_targets` / `influences_exact` calls by a worker thread
+//!   ([`batcher`]); fixed-length window padding plus row-independent eval
+//!   kernels make the fused results bit-identical to solo runs;
+//! * **per-student session caching** — an LRU memo keyed on
+//!   (model hash, request) answers repeated history prefixes without
+//!   touching the model ([`cache`]);
+//! * **load-shedding** — a bounded queue answers 503 + `Retry-After`
+//!   when full, per-request deadlines answer 504 when exceeded, and
+//!   `POST /shutdown` drains gracefully;
+//! * **observability** — request/queue latency histograms, queue-depth
+//!   and cache hit-rate gauges, and per-endpoint counters land in the
+//!   `rckt-obs` registry and are scrapable at `GET /metrics`.
+//!
+//! The offline entry points ([`api::predict_batch`],
+//! [`api::explain_batch`]) are the same code the worker runs, so
+//! `rckt predict` output is byte-comparable to served responses — CI
+//! asserts exactly that.
+
+pub mod api;
+pub mod batcher;
+pub mod cache;
+pub mod http;
+
+pub use api::{
+    ApiError, ExplainBody, ExplainRequest, ExplainResponse, ExplainResponseItem, HistoryItem,
+    PredictBody, PredictRequest, PredictResponse, PredictResponseItem, DEFAULT_SERVE_WINDOW,
+};
+pub use batcher::{cache_key, Batcher, Engine, Job, JobRequest};
+pub use cache::{Outcome, SessionCache};
+
+use rckt::{Rckt, SavedModel};
+use rckt_obs::{counter, histogram};
+use std::io::Write as _;
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc};
+use std::time::{Duration, Instant};
+
+/// Serving knobs; every field has a CLI flag (`rckt serve --help`).
+#[derive(Clone, Debug)]
+pub struct ServeConfig {
+    /// Port to bind on loopback; 0 lets the OS pick.
+    pub port: u16,
+    /// Largest number of requests fused into one model call.
+    pub max_batch: usize,
+    /// Queue capacity; submissions beyond it are shed with a 503.
+    pub max_queue: usize,
+    /// Fixed pad length for served windows (bounds history length).
+    /// Must match the offline run being compared against.
+    pub window: usize,
+    /// Session-cache entries (0 disables caching).
+    pub cache_capacity: usize,
+    /// Default per-request deadline in ms (0 = none); bodies can
+    /// override via `deadline_ms`.
+    pub deadline_ms: u64,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            port: 0,
+            max_batch: 8,
+            max_queue: 64,
+            window: DEFAULT_SERVE_WINDOW,
+            cache_capacity: 4096,
+            deadline_ms: 0,
+        }
+    }
+}
+
+/// FNV-1a 64-bit — hashes the model file so cache keys from a previous
+/// model can never answer for a new one.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+impl Engine {
+    /// Build a serving engine from exported model JSON. The file must
+    /// carry an embedded Q-matrix (`rckt train` writes one); without it
+    /// there is no question→concept mapping to build batches from.
+    pub fn from_json(json: &str, cfg: &ServeConfig) -> Result<Engine, String> {
+        let saved = SavedModel::parse(json).map_err(|e| e.to_string())?;
+        let qm = saved.q_matrix.clone().ok_or_else(|| {
+            "model file has no embedded q_matrix; re-export it with `rckt train` \
+             (which embeds the dataset's question→concept mapping)"
+                .to_string()
+        })?;
+        if cfg.window == 0 {
+            return Err("serve window must be at least 1".to_string());
+        }
+        if cfg.window > saved.config.max_len {
+            return Err(format!(
+                "serve window {} exceeds the model's trained max_len {}",
+                cfg.window, saved.config.max_len
+            ));
+        }
+        let model = Rckt::from_saved(&saved).map_err(|e| e.to_string())?;
+        Ok(Engine {
+            model,
+            qm,
+            window: cfg.window,
+            cache: SessionCache::new(cfg.cache_capacity),
+            model_hash: fnv1a(json.as_bytes()),
+        })
+    }
+
+    /// [`Engine::from_json`] over a file path.
+    pub fn from_file(path: &str, cfg: &ServeConfig) -> Result<Engine, String> {
+        let json = std::fs::read_to_string(path)
+            .map_err(|e| format!("cannot read model file {path}: {e}"))?;
+        Engine::from_json(&json, cfg)
+    }
+}
+
+struct Ctx {
+    engine: Arc<Engine>,
+    batcher: Arc<Batcher>,
+    stop: Arc<AtomicBool>,
+    started_at: Instant,
+    default_deadline_ms: u64,
+    port: u16,
+}
+
+/// A running inference server; [`ServeServer::wait`] blocks until
+/// `POST /shutdown` (or [`ServeServer::stop`]) and then drains the queue.
+pub struct ServeServer {
+    port: u16,
+    stop: Arc<AtomicBool>,
+    batcher: Arc<Batcher>,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+impl ServeServer {
+    pub fn port(&self) -> u16 {
+        self.port
+    }
+
+    /// Block until the accept loop exits, then drain the batcher so every
+    /// accepted request is answered before returning.
+    pub fn wait(mut self) {
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+        self.batcher.drain_and_stop();
+    }
+
+    /// Stop from the owning thread: close the accept loop and drain.
+    pub fn stop(mut self) {
+        self.shutdown();
+    }
+
+    fn shutdown(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        let _ = TcpStream::connect(("127.0.0.1", self.port));
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+        self.batcher.drain_and_stop();
+    }
+}
+
+impl Drop for ServeServer {
+    fn drop(&mut self) {
+        if self.handle.is_some() {
+            self.shutdown();
+        }
+    }
+}
+
+/// Bind `127.0.0.1:<cfg.port>` and serve until stopped.
+pub fn start(engine: Arc<Engine>, cfg: &ServeConfig) -> std::io::Result<ServeServer> {
+    let listener = TcpListener::bind(("127.0.0.1", cfg.port))?;
+    let port = listener.local_addr()?.port();
+    let stop = Arc::new(AtomicBool::new(false));
+    let batcher = Arc::new(Batcher::start(
+        Arc::clone(&engine),
+        cfg.max_batch,
+        cfg.max_queue,
+    ));
+    let ctx = Arc::new(Ctx {
+        engine,
+        batcher: Arc::clone(&batcher),
+        stop: Arc::clone(&stop),
+        started_at: Instant::now(),
+        default_deadline_ms: cfg.deadline_ms,
+        port,
+    });
+    let accept_stop = Arc::clone(&stop);
+    let handle = std::thread::Builder::new()
+        .name("rckt-serve-accept".to_string())
+        .spawn(move || {
+            for conn in listener.incoming() {
+                if accept_stop.load(Ordering::SeqCst) {
+                    break;
+                }
+                if let Ok(stream) = conn {
+                    let ctx = Arc::clone(&ctx);
+                    let _ = std::thread::Builder::new()
+                        .name("rckt-serve-conn".to_string())
+                        .spawn(move || handle_connection(&ctx, stream));
+                }
+            }
+        })?;
+    Ok(ServeServer {
+        port,
+        stop,
+        batcher,
+        handle: Some(handle),
+    })
+}
+
+const JSON: &str = "application/json";
+const RETRY: &[(&str, &str)] = &[("Retry-After", "1")];
+
+fn respond_api_error(stream: &mut TcpStream, e: &ApiError) {
+    let (status, extra): (&str, &[(&str, &str)]) = match e {
+        ApiError::BadRequest(_) => ("400 Bad Request", &[]),
+        ApiError::Overloaded | ApiError::Draining => ("503 Service Unavailable", RETRY),
+        ApiError::DeadlineExceeded => ("504 Gateway Timeout", &[]),
+        ApiError::Internal(_) => ("500 Internal Server Error", &[]),
+    };
+    http::respond(
+        stream,
+        status,
+        JSON,
+        extra,
+        &http::error_body(&e.to_string()),
+    );
+}
+
+fn deadline_from(body_ms: Option<u64>, default_ms: u64) -> Option<Instant> {
+    match body_ms.unwrap_or(default_ms) {
+        0 => None,
+        ms => Some(Instant::now() + Duration::from_millis(ms)),
+    }
+}
+
+/// Enqueue one validated request set and collect outcomes in body order.
+fn run_jobs(
+    ctx: &Ctx,
+    reqs: Vec<JobRequest>,
+    deadline: Option<Instant>,
+) -> Result<Vec<Outcome>, ApiError> {
+    let (tx, rx) = mpsc::channel();
+    let n = reqs.len();
+    for (index, req) in reqs.into_iter().enumerate() {
+        ctx.batcher.submit(Job {
+            key: cache_key(ctx.engine.model_hash, &req),
+            req,
+            index,
+            enqueued: Instant::now(),
+            deadline,
+            reply: tx.clone(),
+        })?;
+    }
+    drop(tx);
+    let mut out: Vec<Option<Outcome>> = vec![None; n];
+    for _ in 0..n {
+        let (index, result) = rx
+            .recv()
+            .map_err(|_| ApiError::Internal("batch worker exited".to_string()))?;
+        out[index] = Some(result?);
+    }
+    Ok(out.into_iter().map(Option::unwrap).collect())
+}
+
+fn handle_predict(ctx: &Ctx, body: &[u8], stream: &mut TcpStream) {
+    let started = Instant::now();
+    counter("serve.predict.requests").incr();
+    let parsed: PredictBody = match serde_json::from_slice(body) {
+        Ok(b) => b,
+        Err(e) => {
+            http::respond(
+                stream,
+                "400 Bad Request",
+                JSON,
+                &[],
+                &http::error_body(&format!("invalid /predict body: {e}")),
+            );
+            return;
+        }
+    };
+    // Validate the whole body at the door: one bad element fails the
+    // request with a 400 before anything is queued.
+    for (i, r) in parsed.requests.iter().enumerate() {
+        if let Err(e) = api::predict_window(r, &ctx.engine.model, &ctx.engine.qm, ctx.engine.window)
+        {
+            http::respond(
+                stream,
+                "400 Bad Request",
+                JSON,
+                &[],
+                &http::error_body(&format!("request {i}: {e}")),
+            );
+            return;
+        }
+    }
+    let deadline = deadline_from(parsed.deadline_ms, ctx.default_deadline_ms);
+    let jobs = parsed
+        .requests
+        .into_iter()
+        .map(JobRequest::Predict)
+        .collect();
+    match run_jobs(ctx, jobs, deadline) {
+        Ok(outcomes) => {
+            let resp = PredictResponse {
+                predictions: outcomes
+                    .into_iter()
+                    .map(|o| match o {
+                        Outcome::Predict(p) => p,
+                        Outcome::Explain(_) => unreachable!("predict key yields predict outcome"),
+                    })
+                    .collect(),
+            };
+            histogram("serve.request.seconds").observe(started.elapsed().as_secs_f64());
+            http::respond(
+                stream,
+                "200 OK",
+                JSON,
+                &[],
+                &serde_json::to_string(&resp).unwrap(),
+            );
+        }
+        Err(e) => respond_api_error(stream, &e),
+    }
+}
+
+fn handle_explain(ctx: &Ctx, body: &[u8], stream: &mut TcpStream) {
+    let started = Instant::now();
+    counter("serve.explain.requests").incr();
+    let parsed: ExplainBody = match serde_json::from_slice(body) {
+        Ok(b) => b,
+        Err(e) => {
+            http::respond(
+                stream,
+                "400 Bad Request",
+                JSON,
+                &[],
+                &http::error_body(&format!("invalid /explain body: {e}")),
+            );
+            return;
+        }
+    };
+    for (i, r) in parsed.requests.iter().enumerate() {
+        if let Err(e) = api::explain_window(r, &ctx.engine.model, &ctx.engine.qm, ctx.engine.window)
+        {
+            http::respond(
+                stream,
+                "400 Bad Request",
+                JSON,
+                &[],
+                &http::error_body(&format!("request {i}: {e}")),
+            );
+            return;
+        }
+    }
+    let deadline = deadline_from(parsed.deadline_ms, ctx.default_deadline_ms);
+    let jobs = parsed
+        .requests
+        .into_iter()
+        .map(JobRequest::Explain)
+        .collect();
+    match run_jobs(ctx, jobs, deadline) {
+        Ok(outcomes) => {
+            let resp = ExplainResponse {
+                explanations: outcomes
+                    .into_iter()
+                    .map(|o| match o {
+                        Outcome::Explain(e) => e,
+                        Outcome::Predict(_) => unreachable!("explain key yields explain outcome"),
+                    })
+                    .collect(),
+            };
+            histogram("serve.request.seconds").observe(started.elapsed().as_secs_f64());
+            http::respond(
+                stream,
+                "200 OK",
+                JSON,
+                &[],
+                &serde_json::to_string(&resp).unwrap(),
+            );
+        }
+        Err(e) => respond_api_error(stream, &e),
+    }
+}
+
+fn handle_connection(ctx: &Ctx, mut stream: TcpStream) {
+    let req = match http::read_request(&mut stream) {
+        Ok(r) => r,
+        Err(e) => {
+            http::respond(
+                &mut stream,
+                "400 Bad Request",
+                JSON,
+                &[],
+                &http::error_body(&e.to_string()),
+            );
+            return;
+        }
+    };
+    match (req.method.as_str(), req.path.as_str()) {
+        ("POST", "/predict") => handle_predict(ctx, &req.body, &mut stream),
+        ("POST", "/explain") => handle_explain(ctx, &req.body, &mut stream),
+        ("GET", "/healthz") => {
+            let body = format!(
+                "{{\"status\":\"ok\",\"model_hash\":\"{:016x}\",\"draining\":{},\"window\":{},\"uptime_secs\":{:.3}}}",
+                ctx.engine.model_hash,
+                ctx.batcher.is_draining(),
+                ctx.engine.window,
+                ctx.started_at.elapsed().as_secs_f64(),
+            );
+            http::respond(&mut stream, "200 OK", JSON, &[], &body);
+        }
+        ("GET", "/metrics") => {
+            http::respond(
+                &mut stream,
+                "200 OK",
+                "text/plain; version=0.0.4; charset=utf-8",
+                &[],
+                &rckt_obs::prometheus::render(),
+            );
+        }
+        ("POST", "/shutdown") => {
+            // Reject new work immediately; already-queued jobs are still
+            // answered (the accept loop exits, then wait()/stop() drains).
+            ctx.batcher.begin_drain();
+            ctx.stop.store(true, Ordering::SeqCst);
+            http::respond(
+                &mut stream,
+                "200 OK",
+                JSON,
+                &[],
+                "{\"status\":\"draining\"}",
+            );
+            // Unblock accept() so the loop observes the stop flag.
+            let _ = TcpStream::connect(("127.0.0.1", ctx.port));
+        }
+        ("GET" | "POST", _) => {
+            http::respond(
+                &mut stream,
+                "404 Not Found",
+                JSON,
+                &[],
+                &http::error_body("not found; try /predict /explain /healthz /metrics /shutdown"),
+            );
+        }
+        _ => {
+            http::respond(
+                &mut stream,
+                "405 Method Not Allowed",
+                JSON,
+                &[],
+                &http::error_body("method not allowed"),
+            );
+        }
+    }
+}
+
+/// Send one request to a running server and return `(status_line, body)`.
+/// Shared by the integration tests and the latency benchmark.
+pub fn http_request(
+    port: u16,
+    method: &str,
+    path: &str,
+    body: &str,
+) -> std::io::Result<(String, String)> {
+    let mut s = TcpStream::connect(("127.0.0.1", port))?;
+    s.set_read_timeout(Some(Duration::from_secs(60)))?;
+    s.set_write_timeout(Some(Duration::from_secs(60)))?;
+    write!(
+        s,
+        "{method} {path} HTTP/1.1\r\nHost: localhost\r\nContent-Type: application/json\r\nContent-Length: {}\r\n\r\n{body}",
+        body.len()
+    )?;
+    let mut raw = String::new();
+    use std::io::Read as _;
+    let _ = s.read_to_string(&mut raw);
+    let status = raw.lines().next().unwrap_or("").to_string();
+    let body = match raw.split_once("\r\n\r\n") {
+        Some((_, b)) => b.to_string(),
+        None => String::new(),
+    };
+    Ok((status, body))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rckt::{Backbone, RcktConfig};
+    use rckt_data::SyntheticSpec;
+    use std::io::Read as _;
+
+    fn model_json() -> String {
+        let ds = SyntheticSpec::assist09().scaled(0.05).generate();
+        let model = Rckt::new(
+            Backbone::Dkt,
+            ds.num_questions(),
+            ds.num_concepts(),
+            RcktConfig {
+                dim: 8,
+                ..Default::default()
+            },
+        );
+        model.export_with_qmatrix(&ds.q_matrix)
+    }
+
+    fn serve_cfg() -> ServeConfig {
+        ServeConfig {
+            window: 16,
+            ..Default::default()
+        }
+    }
+
+    fn predict_body() -> String {
+        serde_json::to_string(&PredictBody {
+            requests: vec![
+                PredictRequest {
+                    student: 0,
+                    history: vec![
+                        HistoryItem {
+                            question: 1,
+                            correct: true,
+                        },
+                        HistoryItem {
+                            question: 2,
+                            correct: false,
+                        },
+                    ],
+                    target_question: 3,
+                },
+                PredictRequest {
+                    student: 1,
+                    history: vec![HistoryItem {
+                        question: 4,
+                        correct: true,
+                    }],
+                    target_question: 5,
+                },
+            ],
+            deadline_ms: None,
+        })
+        .unwrap()
+    }
+
+    #[test]
+    fn served_predictions_match_offline_bitwise_and_cache_hits() {
+        let json = model_json();
+        let cfg = serve_cfg();
+        let engine = Arc::new(Engine::from_json(&json, &cfg).unwrap());
+        let oracle_engine = Engine::from_json(&json, &cfg).unwrap();
+        let server = start(Arc::clone(&engine), &cfg).unwrap();
+        let port = server.port();
+
+        let health = http_request(port, "GET", "/healthz", "").unwrap();
+        assert!(health.0.contains("200"), "healthz: {}", health.0);
+        assert!(health.1.contains("\"status\":\"ok\""));
+        assert!(health.1.contains("\"draining\":false"));
+
+        let body = predict_body();
+        let (status, resp1) = http_request(port, "POST", "/predict", &body).unwrap();
+        assert!(status.contains("200 OK"), "predict: {status} {resp1}");
+        let got: PredictResponse = serde_json::from_str(&resp1).unwrap();
+        let parsed: PredictBody = serde_json::from_str(&body).unwrap();
+        let oracle = api::predict_batch(
+            &oracle_engine.model,
+            &oracle_engine.qm,
+            &parsed.requests,
+            cfg.window,
+        )
+        .unwrap();
+        assert_eq!(got.predictions.len(), 2);
+        for (g, o) in got.predictions.iter().zip(&oracle.predictions) {
+            assert_eq!(
+                g.score.to_bits(),
+                o.score.to_bits(),
+                "served prediction must be bit-identical to the offline batch"
+            );
+        }
+
+        // The exact same body again: byte-identical response, served from
+        // the session cache.
+        let (_, resp2) = http_request(port, "POST", "/predict", &body).unwrap();
+        assert_eq!(resp1, resp2, "repeat request must be byte-identical");
+        let (hits, _) = engine.cache.stats();
+        assert!(hits >= 2, "repeat body must hit the session cache: {hits}");
+
+        // /explain end-to-end with a flattened InfluenceRecord.
+        let ebody = serde_json::to_string(&ExplainBody {
+            requests: vec![ExplainRequest {
+                student: 9,
+                history: vec![
+                    HistoryItem {
+                        question: 1,
+                        correct: true,
+                    },
+                    HistoryItem {
+                        question: 2,
+                        correct: false,
+                    },
+                ],
+                target: None,
+            }],
+            deadline_ms: None,
+        })
+        .unwrap();
+        let (estatus, eresp) = http_request(port, "POST", "/explain", &ebody).unwrap();
+        assert!(estatus.contains("200 OK"), "explain: {estatus} {eresp}");
+        let parsed: ExplainResponse = serde_json::from_str(&eresp).unwrap();
+        assert_eq!(parsed.explanations[0].record.target, 1);
+        assert_eq!(parsed.explanations[0].record.influences.len(), 1);
+
+        // /metrics shows the per-endpoint counters and cache hits.
+        let (_, metrics) = http_request(port, "GET", "/metrics", "").unwrap();
+        assert!(metrics.contains("rckt_serve_predict_requests_total"));
+        assert!(metrics.contains("rckt_serve_cache_hits_total"));
+
+        server.stop();
+    }
+
+    #[test]
+    fn bad_requests_get_400_not_a_panic() {
+        let json = model_json();
+        let cfg = serve_cfg();
+        let engine = Arc::new(Engine::from_json(&json, &cfg).unwrap());
+        let server = start(engine, &cfg).unwrap();
+        let port = server.port();
+
+        let (status, body) = http_request(port, "POST", "/predict", "{not json").unwrap();
+        assert!(status.contains("400"), "{status}");
+        assert!(body.contains("error"));
+
+        let bad = "{\"requests\":[{\"history\":[],\"target_question\":99999999}]}";
+        let (status, body) = http_request(port, "POST", "/predict", bad).unwrap();
+        assert!(status.contains("400"), "{status} {body}");
+        assert!(body.contains("out of range"), "{body}");
+
+        let (status, _) = http_request(port, "GET", "/nope", "").unwrap();
+        assert!(status.contains("404"));
+
+        server.stop();
+    }
+
+    #[test]
+    fn over_quota_burst_is_shed_with_retry_after() {
+        let json = model_json();
+        let cfg = ServeConfig {
+            max_queue: 0,
+            ..serve_cfg()
+        };
+        let engine = Arc::new(Engine::from_json(&json, &cfg).unwrap());
+        let server = start(engine, &cfg).unwrap();
+        let port = server.port();
+
+        // Raw request so the Retry-After header is visible.
+        let body = predict_body();
+        let mut s = TcpStream::connect(("127.0.0.1", port)).unwrap();
+        write!(
+            s,
+            "POST /predict HTTP/1.1\r\nHost: l\r\nContent-Length: {}\r\n\r\n{body}",
+            body.len()
+        )
+        .unwrap();
+        let mut raw = String::new();
+        let _ = s.read_to_string(&mut raw);
+        assert!(raw.contains("503 Service Unavailable"), "{raw}");
+        assert!(raw.contains("Retry-After: 1"), "{raw}");
+
+        server.stop();
+    }
+
+    #[test]
+    fn shutdown_endpoint_drains_and_exits() {
+        let json = model_json();
+        let cfg = serve_cfg();
+        let engine = Arc::new(Engine::from_json(&json, &cfg).unwrap());
+        let server = start(engine, &cfg).unwrap();
+        let port = server.port();
+        let (status, body) = http_request(port, "POST", "/shutdown", "").unwrap();
+        assert!(status.contains("200"), "{status}");
+        assert!(body.contains("draining"));
+        // The accept loop exits and the queue drains.
+        server.wait();
+    }
+
+    #[test]
+    fn engine_rejects_models_without_qmatrix_and_bad_windows() {
+        let ds = SyntheticSpec::assist09().scaled(0.05).generate();
+        let model = Rckt::new(
+            Backbone::Dkt,
+            ds.num_questions(),
+            ds.num_concepts(),
+            RcktConfig {
+                dim: 8,
+                ..Default::default()
+            },
+        );
+        let plain = model.export(ds.num_questions(), ds.num_concepts());
+        let err = Engine::from_json(&plain, &serve_cfg()).unwrap_err();
+        assert!(err.contains("q_matrix"), "{err}");
+
+        let rich = model.export_with_qmatrix(&ds.q_matrix);
+        let err = Engine::from_json(
+            &rich,
+            &ServeConfig {
+                window: 10_000,
+                ..Default::default()
+            },
+        )
+        .unwrap_err();
+        assert!(err.contains("max_len"), "{err}");
+        let err = Engine::from_json(
+            &rich,
+            &ServeConfig {
+                window: 0,
+                ..Default::default()
+            },
+        )
+        .unwrap_err();
+        assert!(err.contains("at least 1"), "{err}");
+    }
+
+    #[test]
+    fn fnv1a_is_stable() {
+        assert_eq!(fnv1a(b""), 0xcbf2_9ce4_8422_2325);
+        assert_ne!(fnv1a(b"model-a"), fnv1a(b"model-b"));
+    }
+}
