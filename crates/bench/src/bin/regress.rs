@@ -1,28 +1,32 @@
 //! Bench regression gate over the perf-trajectory histories.
 //!
 //! ```text
-//! cargo run --release -p rckt-bench --bin regress [-- --dir results --threshold 0.5 --verbose]
+//! cargo run --release -p rckt-bench --bin regress [-- --dir results --threshold 0.5 --window 5 --verbose]
 //! ```
 //!
 //! Scans `--dir` (default `results/`) for `BENCH_*.json` JSON-lines
 //! histories, compares the newest entry of every `(bin, config)` group
-//! against its first (committed) entry via [`rckt_bench::regress`], prints
+//! against the per-metric best of its last `--window` preceding entries
+//! (default 5; 0 = the whole history) via [`rckt_bench::regress`], prints
 //! one report per file, and exits nonzero when any directional metric
 //! regressed past `--threshold` (default 0.5 = 50% worse — lenient on
 //! purpose; see the module docs for why).
 
-use rckt_bench::regress::{compare_history, has_regressions, parse_history, render_report};
+use rckt_bench::regress::{
+    compare_history, has_regressions, parse_history, render_report, DEFAULT_WINDOW,
+};
 use std::path::PathBuf;
 
 fn die(msg: &str) -> ! {
     eprintln!("usage error: {msg}");
-    eprintln!("flags: --dir <path> --threshold <f64> --verbose");
+    eprintln!("flags: --dir <path> --threshold <f64> --window <n> --verbose");
     std::process::exit(2)
 }
 
 fn main() {
     let mut dir = PathBuf::from("results");
     let mut threshold = 0.5f64;
+    let mut window = DEFAULT_WINDOW;
     let mut verbose = false;
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -39,6 +43,12 @@ fn main() {
                     .and_then(|v| v.parse().ok())
                     .filter(|t: &f64| t.is_finite() && *t > 0.0)
                     .unwrap_or_else(|| die("--threshold needs a positive number"))
+            }
+            "--window" => {
+                window = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| die("--window needs a non-negative integer (0 = all)"))
             }
             "--verbose" => verbose = true,
             "--help" | "-h" => die("bench regression gate"),
@@ -89,7 +99,7 @@ fn main() {
         if skipped > 0 {
             eprintln!("regress: {name}: skipped {skipped} malformed line(s)");
         }
-        let comps = compare_history(&entries, threshold);
+        let comps = compare_history(&entries, threshold, window);
         print!("{}", render_report(&name, &comps, threshold, verbose));
         if has_regressions(&comps) {
             failed = true;

@@ -2,7 +2,11 @@
 //! instance over a freshly built model, fire concurrent `/predict` and
 //! `/explain` requests from client threads, and append p50/p99 latency +
 //! throughput (and the cache-hit rate of a repeat pass) to the
-//! `results/BENCH_serve.json` perf-trajectory history.
+//! `results/BENCH_serve.json` perf-trajectory history. A third section
+//! measures the quality-monitor layer in isolation — per-event ingest
+//! cost and `/feedback` endpoint latency — so the monitoring overhead is
+//! visible in the history (reported, not gated: `ns`/`us` metrics carry
+//! no regress direction).
 //!
 //! ```text
 //! cargo run --release -p rckt-bench --bin serve_latency [--scale f] [--dim n]
@@ -122,6 +126,43 @@ fn main() {
     let (warm, warm_wall) = run_pass(port, &bodies);
     let (hits, misses) = engine.cache.stats();
     let hit_rate = hits as f64 / (hits + misses).max(1) as f64;
+
+    // Monitor overhead, measured two ways: the raw quality-layer ingest
+    // path (what every /predict pays per response item), and the
+    // /feedback endpoint end-to-end.
+    const INGEST_EVENTS: usize = 10_000;
+    let t0 = Instant::now();
+    for i in 0..INGEST_EVENTS {
+        engine
+            .quality
+            .observe(rckt_obs::QualityEvent::Score((i % 100) as f64 / 100.0));
+    }
+    let ingest_ns_per_event = t0.elapsed().as_secs_f64() * 1e9 / INGEST_EVENTS as f64;
+
+    const FEEDBACK_REQS: usize = 50;
+    let fb_body = {
+        let events: Vec<String> = (0..8)
+            .map(|i| {
+                format!(
+                    "{{\"score\":{},\"correct\":{}}}",
+                    (i as f64) / 8.0,
+                    i % 2 == 0
+                )
+            })
+            .collect();
+        format!("{{\"events\":[{}]}}", events.join(","))
+    };
+    let mut fb_lat = Vec::with_capacity(FEEDBACK_REQS);
+    for _ in 0..FEEDBACK_REQS {
+        let r0 = Instant::now();
+        let (status, _) =
+            rckt_serve::http_request(port, "POST", "/feedback", &fb_body).expect("feedback");
+        assert!(status.contains("200"), "feedback failed: {status}");
+        fb_lat.push(r0.elapsed().as_secs_f64() * 1000.0);
+    }
+    fb_lat.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let feedback_p50_us = quantile(&fb_lat, 0.50) * 1e3;
+
     server.stop();
 
     let total = (CLIENTS * PER_CLIENT) as f64;
@@ -151,6 +192,18 @@ fn main() {
         "cache hit rate across both passes: {:.1}%",
         hit_rate * 100.0
     );
+    println!(
+        "monitor overhead: {ingest_ns_per_event:.0} ns/ingest, /feedback p50 {feedback_p50_us:.1} µs (8 events/req)"
+    );
+    let monitor_manifest = rckt_obs::RunManifest::capture("serve_latency", args.seed, None)
+        .config("pass", "monitor")
+        .config("clients", CLIENTS)
+        .config("max_batch", cfg.max_batch)
+        .result("monitor_ingest_ns_per_event", ingest_ns_per_event)
+        .result("feedback_p50_us", feedback_p50_us);
+    if let Err(e) = monitor_manifest.append_jsonl(HISTORY) {
+        eprintln!("warning: cannot append {HISTORY}: {e}");
+    }
     assert!(
         hit_rate > 0.0,
         "the warm pass repeats every body — cache hits must be nonzero"

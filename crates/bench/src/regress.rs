@@ -4,10 +4,16 @@
 //!
 //! Every bench binary appends one [`rckt_obs::RunManifest`] JSON line per
 //! measured cell (shape × kernel × threads, model × dataset, …). This module
-//! groups a history's lines by `(bin, config)`, takes the **first** line of a
-//! group as the baseline (the committed entry) and the **last** as the
-//! candidate (the run CI just produced), and compares every shared result
-//! metric whose name implies a direction:
+//! groups a history's lines by `(bin, config)`, takes the **last** line of a
+//! group as the candidate (the run CI just produced) and, per metric, the
+//! **best of the up-to-`window` preceding entries** as the baseline
+//! (best = max for higher-is-better metrics, min for lower-is-better;
+//! `window = 0` widens the pool to the whole history). A windowed
+//! best-of-K baseline keeps the gate honest as histories grow: a slow
+//! drift can never become the new normal just because the last committed
+//! entry was already slow, while an ancient fast entry from different
+//! hardware ages out of the pool. Compared metrics are those whose name
+//! implies a direction:
 //!
 //! * higher is better — `gflops`, `speedup`, `auc`, `acc`, `throughput`
 //! * lower is better  — `ms`, `secs`/`seconds`, `bytes`, `latency`
@@ -156,42 +162,64 @@ pub struct Comparison {
     pub verdict: Verdict,
 }
 
-/// Compare the first (baseline) vs the last (candidate) entry of every
-/// `(bin, config)` group in a history. `threshold` is the relative loss
-/// past which a cell counts as regressed (0.5 = candidate may be up to 50%
-/// worse before the gate trips).
-pub fn compare_history(entries: &[Entry], threshold: f64) -> Vec<Comparison> {
+/// Default baseline-pool width for [`compare_history`].
+pub const DEFAULT_WINDOW: usize = 5;
+
+/// Compare the last (candidate) entry of every `(bin, config)` group in a
+/// history against the per-metric **best of the up-to-`window` preceding
+/// entries** (`window = 0` uses the whole preceding history as the pool).
+/// `threshold` is the relative loss past which a cell counts as regressed
+/// (0.5 = candidate may be up to 50% worse than the pool's best before
+/// the gate trips). A metric with no usable pool value (single-entry
+/// group, or every pool value zero/non-finite) is reported as
+/// [`Verdict::New`] and never fails the gate.
+pub fn compare_history(entries: &[Entry], threshold: f64, window: usize) -> Vec<Comparison> {
     let mut groups: BTreeMap<String, Vec<&Entry>> = BTreeMap::new();
     for e in entries {
         groups.entry(e.group_key()).or_default().push(e);
     }
     let mut out = Vec::new();
     for (key, group) in &groups {
-        let baseline = group[0];
         let candidate = group[group.len() - 1];
-        let single = group.len() == 1;
-        for (metric, base_v) in &baseline.results {
+        let pool = &group[..group.len() - 1];
+        let pool = if window == 0 {
+            pool
+        } else {
+            &pool[pool.len().saturating_sub(window)..]
+        };
+        for (metric, cand_v) in &candidate.results {
             let Some(direction) = metric_direction(metric) else {
                 continue;
             };
-            let Some(&(_, cand_v)) = candidate.results.iter().find(|(m, _)| m == metric) else {
+            if !cand_v.is_finite() {
                 continue;
-            };
-            if single {
+            }
+            let mut best: Option<f64> = None;
+            for e in pool {
+                let Some(&(_, v)) = e.results.iter().find(|(m, _)| m == metric) else {
+                    continue;
+                };
+                if !v.is_finite() || v <= 0.0 {
+                    continue;
+                }
+                best = Some(match (best, direction) {
+                    (None, _) => v,
+                    (Some(b), Direction::HigherBetter) => b.max(v),
+                    (Some(b), Direction::LowerBetter) => b.min(v),
+                });
+            }
+            let Some(base_v) = best else {
                 out.push(Comparison {
                     group: key.clone(),
                     metric: metric.clone(),
                     direction,
-                    baseline: *base_v,
-                    candidate: cand_v,
+                    baseline: *cand_v,
+                    candidate: *cand_v,
                     gain: 0.0,
                     verdict: Verdict::New,
                 });
                 continue;
-            }
-            if !base_v.is_finite() || !cand_v.is_finite() || *base_v <= 0.0 {
-                continue;
-            }
+            };
             let gain = match direction {
                 Direction::HigherBetter => cand_v / base_v - 1.0,
                 Direction::LowerBetter => base_v / cand_v.max(f64::MIN_POSITIVE) - 1.0,
@@ -207,8 +235,8 @@ pub fn compare_history(entries: &[Entry], threshold: f64) -> Vec<Comparison> {
                 group: key.clone(),
                 metric: metric.clone(),
                 direction,
-                baseline: *base_v,
-                candidate: cand_v,
+                baseline: base_v,
+                candidate: *cand_v,
                 gain,
                 verdict,
             });
@@ -331,7 +359,7 @@ mod tests {
         ]
         .join("\n");
         let (entries, _) = parse_history(&text);
-        let comps = compare_history(&entries, 0.5);
+        let comps = compare_history(&entries, 0.5, DEFAULT_WINDOW);
         assert!(!has_regressions(&comps));
         // Two groups × two directional metrics (lambda has no direction).
         assert_eq!(comps.len(), 4);
@@ -347,7 +375,7 @@ mod tests {
         ]
         .join("\n");
         let (entries, _) = parse_history(&text);
-        let comps = compare_history(&entries, 0.5);
+        let comps = compare_history(&entries, 0.5, DEFAULT_WINDOW);
         assert!(has_regressions(&comps));
         let bad: Vec<_> = comps
             .iter()
@@ -371,7 +399,7 @@ mod tests {
         ]
         .join("\n");
         let (entries, _) = parse_history(&text);
-        let comps = compare_history(&entries, 0.5);
+        let comps = compare_history(&entries, 0.5, DEFAULT_WINDOW);
         assert!(!has_regressions(&comps));
         assert!(comps.iter().all(|c| c.verdict == Verdict::Improved));
     }
@@ -379,9 +407,58 @@ mod tests {
     #[test]
     fn single_entry_groups_are_new_not_failures() {
         let (entries, _) = parse_history(&line("kernel_scaling", "blocked", 8, 30.0, 0.6));
-        let comps = compare_history(&entries, 0.5);
+        let comps = compare_history(&entries, 0.5, DEFAULT_WINDOW);
         assert!(!has_regressions(&comps));
         assert!(comps.iter().all(|c| c.verdict == Verdict::New));
+    }
+
+    #[test]
+    fn baseline_is_the_best_of_the_last_k_entries() {
+        // gflops drifts around 10 with one fast outlier (21) in the middle.
+        let text = [
+            line("kernel_scaling", "blocked", 4, 10.0, 1.0),
+            line("kernel_scaling", "blocked", 4, 10.2, 1.0),
+            line("kernel_scaling", "blocked", 4, 21.0, 1.0),
+            line("kernel_scaling", "blocked", 4, 10.1, 1.0),
+            line("kernel_scaling", "blocked", 4, 9.9, 1.0),
+            line("kernel_scaling", "blocked", 4, 9.8, 1.0), // candidate
+        ]
+        .join("\n");
+        let (entries, _) = parse_history(&text);
+
+        // Window 5 sees the 21.0 outlier: 9.8/21 − 1 ≈ −53% → regressed.
+        let comps = compare_history(&entries, 0.5, 5);
+        let g = comps.iter().find(|c| c.metric == "gflops").unwrap();
+        assert_eq!(g.verdict, Verdict::Regressed, "{comps:?}");
+        assert_eq!(g.baseline, 21.0, "pool best, not last entry");
+
+        // Window 2 ages it out: best of [10.1, 9.9] is 10.1 → within 50%.
+        let comps = compare_history(&entries, 0.5, 2);
+        let g = comps.iter().find(|c| c.metric == "gflops").unwrap();
+        assert_eq!(g.verdict, Verdict::Ok, "{comps:?}");
+        assert_eq!(g.baseline, 10.1);
+
+        // Window 0 means the whole preceding history is the pool.
+        let comps = compare_history(&entries, 0.5, 0);
+        let g = comps.iter().find(|c| c.metric == "gflops").unwrap();
+        assert_eq!(g.baseline, 21.0);
+    }
+
+    #[test]
+    fn lower_is_better_pool_picks_the_minimum() {
+        let text = [
+            line("kernel_scaling", "blocked", 4, 10.0, 2.0),
+            line("kernel_scaling", "blocked", 4, 10.0, 0.5),
+            line("kernel_scaling", "blocked", 4, 10.0, 3.0),
+            line("kernel_scaling", "blocked", 4, 10.0, 0.9), // candidate
+        ]
+        .join("\n");
+        let (entries, _) = parse_history(&text);
+        let comps = compare_history(&entries, 0.5, DEFAULT_WINDOW);
+        let ms = comps.iter().find(|c| c.metric == "ms_per_call").unwrap();
+        assert_eq!(ms.baseline, 0.5, "best latency in the pool is the bar");
+        // 0.5/0.9 − 1 ≈ −44% → within the 50% threshold.
+        assert_eq!(ms.verdict, Verdict::Ok, "{comps:?}");
     }
 
     #[test]
@@ -394,13 +471,13 @@ mod tests {
         ]
         .join("\n");
         let (entries, _) = parse_history(&text);
-        let comps = compare_history(&entries, 0.5);
+        let comps = compare_history(&entries, 0.5, DEFAULT_WINDOW);
         assert!(!has_regressions(&comps));
         assert!(comps.iter().all(|c| c.verdict == Verdict::New));
     }
 
     #[test]
-    fn zero_and_nonfinite_baselines_are_skipped() {
+    fn zero_and_nonfinite_pool_values_leave_the_metric_new() {
         let mk = |g: f64| {
             format!(
                 r#"{{"bin":"b","git_commit":"x","unix_ts":1,"seed":0,"config":{{}},"phases":[],"counters":{{}},"results":{{"gflops":{g}}}}}"#
@@ -408,10 +485,13 @@ mod tests {
         };
         let text = format!("{}\n{}", mk(0.0), mk(5.0));
         let (entries, _) = parse_history(&text);
-        let comps = compare_history(&entries, 0.5);
-        assert!(
-            comps.is_empty(),
-            "zero baseline produces no verdict: {comps:?}"
+        let comps = compare_history(&entries, 0.5, DEFAULT_WINDOW);
+        assert_eq!(comps.len(), 1, "{comps:?}");
+        assert_eq!(
+            comps[0].verdict,
+            Verdict::New,
+            "a zero-only pool cannot set a bar; the cell is new, not a failure"
         );
+        assert!(!has_regressions(&comps));
     }
 }

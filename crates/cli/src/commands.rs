@@ -23,9 +23,12 @@ commands:
   explain   --data <csv> --model <model.json> [--window n]
   audit     --data <csv> --model <model.json> [--groups n]
   serve     --model <model.json> [--port p] [--max-batch n] [--max-queue n]
-            [--window n] [--cache n] [--deadline-ms n]
+            [--window n] [--cache n] [--deadline-ms n] [--quality-log <csv>]
   predict   --model <model.json> --requests <json> [--mode predict|explain]
             [--window n]
+  monitor   --replay <quality.csv>   (re-derive the rckt_quality_* report
+            from a serve --quality-log file; byte-identical to the live
+            gauges at the moment the log was written)
 
 global flags (any command):
   --threads <n>                      rckt-tensor pool width (default: the
@@ -108,6 +111,7 @@ pub fn dispatch(args: &[String]) -> Result<(), CliError> {
         "audit" => audit(&flags),
         "serve" => serve(&flags),
         "predict" => predict(&flags),
+        "monitor" => monitor(&flags),
         other => Err(err(format!("unknown command {other:?}"))),
     }
 }
@@ -244,11 +248,39 @@ fn train(flags: &HashMap<String, String>) -> Result<(), CliError> {
         .result("fit_secs", fit_t0.elapsed().as_secs_f64())
         .publish();
     // Embed the Q-matrix so the file is self-contained for `rckt serve`
-    // (no dataset CSV needed to answer online queries).
-    std::fs::write(out, model.export_with_qmatrix(&ds.q_matrix))
+    // (no dataset CSV needed to answer online queries), plus the
+    // validation-fold score histogram as the PSI drift reference for the
+    // serving-time quality monitors.
+    let reference = rckt::ScoreReference::from_scores(
+        validation_scores(&model, &ws, &folds[0].val, &ds.q_matrix),
+        rckt_obs::SCORE_BINS,
+    );
+    std::fs::write(out, model.export_full(&ds.q_matrix, Some(reference)))
         .map_err(|e| err(format!("writing {out}: {e}")))?;
     println!("saved model to {out}");
     Ok(())
+}
+
+/// Final-position prediction probability for every validation window —
+/// the model's own score distribution at train time, histogrammed into
+/// the serving monitors' PSI reference.
+fn validation_scores(
+    model: &Rckt,
+    ws: &[rckt_data::Window],
+    val: &[usize],
+    qm: &rckt_data::QMatrix,
+) -> Vec<f64> {
+    let mut scores = Vec::with_capacity(val.len());
+    for b in &make_batches(ws, val, qm, 16) {
+        for bb in 0..b.batch {
+            let last = b.seq_len(bb) - 1;
+            let targets: Vec<usize> = (0..b.batch)
+                .map(|x| if x == bb { last } else { 1 })
+                .collect();
+            scores.push(f64::from(model.predict_targets(b, &targets)[bb].prob));
+        }
+    }
+    scores
 }
 
 fn serve_config(flags: &HashMap<String, String>) -> Result<rckt_serve::ServeConfig, CliError> {
@@ -260,6 +292,7 @@ fn serve_config(flags: &HashMap<String, String>) -> Result<rckt_serve::ServeConf
         window: get_num(flags, "window", defaults.window)?,
         cache_capacity: get_num(flags, "cache", defaults.cache_capacity)?,
         deadline_ms: get_num(flags, "deadline-ms", defaults.deadline_ms)?,
+        quality_log: flags.get("quality-log").cloned(),
     })
 }
 
@@ -279,7 +312,7 @@ fn serve(flags: &HashMap<String, String>) -> Result<(), CliError> {
         &[("port", u64::from(server.port()).into())],
     );
     println!(
-        "serving on 127.0.0.1:{} — POST /predict /explain /shutdown, GET /healthz /metrics",
+        "serving on 127.0.0.1:{} — POST /predict /explain /feedback /shutdown, GET /healthz /metrics",
         server.port()
     );
     server.wait();
@@ -333,6 +366,43 @@ fn predict(flags: &HashMap<String, String>) -> Result<(), CliError> {
             );
         }
         other => return Err(err(format!("unknown --mode {other:?} (predict|explain)"))),
+    }
+    Ok(())
+}
+
+/// Replay a `rckt serve --quality-log` file through a fresh
+/// [`rckt_obs::QualityMonitor`] and render the resulting quality report —
+/// byte-identical to the `rckt_quality_*` gauges the live server exported
+/// at the moment the log ended, because the log records events in
+/// ingestion order and the renderer is shared. Returns the report and the
+/// count of skipped (unparseable) lines.
+pub fn replay_quality_log(text: &str) -> (String, usize) {
+    let mut mon = rckt_obs::QualityMonitor::new(rckt_obs::MonitorConfig::default());
+    let mut skipped = 0usize;
+    for line in text.lines() {
+        if let Some(counts) = rckt_obs::monitor::decode_reference(line) {
+            mon.set_reference(&counts);
+        } else if let Some(ev) = rckt_obs::QualityEvent::decode(line) {
+            mon.ingest(&ev);
+        } else if !line.trim().is_empty() && !line.starts_with('#') {
+            skipped += 1;
+        }
+    }
+    (mon.render_report(), skipped)
+}
+
+fn monitor(flags: &HashMap<String, String>) -> Result<(), CliError> {
+    let path = get(flags, "replay")?;
+    let text = std::fs::read_to_string(path).map_err(|e| err(format!("reading {path}: {e}")))?;
+    let (report, skipped) = replay_quality_log(&text);
+    // stdout carries ONLY the report so it can be diffed against a
+    // `grep '^rckt_quality_' /metrics` scrape; diagnostics go to stderr.
+    print!("{report}");
+    if skipped > 0 {
+        eprintln!("warning: skipped {skipped} unparseable line(s) in {path}");
+    }
+    if report.is_empty() {
+        eprintln!("note: no quality gauges yet (log has no monitored events)");
     }
     Ok(())
 }
@@ -515,6 +585,14 @@ mod tests {
         // batches from the model file alone.
         let saved = rckt::SavedModel::parse(&std::fs::read_to_string(&model).unwrap()).unwrap();
         assert!(saved.q_matrix.is_some(), "train must embed the Q-matrix");
+        // Trained models also embed the validation-fold score histogram
+        // as the serving monitors' PSI drift reference.
+        let reference = saved
+            .score_reference
+            .as_ref()
+            .expect("train must embed a score_reference");
+        assert_eq!(reference.counts.len(), rckt_obs::SCORE_BINS);
+        assert!(reference.counts.iter().sum::<u64>() > 0);
         // And the offline predict path answers from that file.
         let reqs = dir.join("requests.json");
         std::fs::write(
@@ -528,6 +606,45 @@ mod tests {
             reqs.display()
         )))
         .unwrap();
+    }
+
+    #[test]
+    fn monitor_replay_matches_a_directly_fed_monitor() {
+        // A log with a reference histogram and enough feedback to arm
+        // every monitor family.
+        let mut log = String::from("reference,5,0,0,0,0,0,0,0,0,5\n");
+        for i in 0..30 {
+            let score = f64::from(i) / 30.0;
+            log.push_str(&format!("predict,{score}\n"));
+            log.push_str(&format!("feedback,{score},{}\n", u8::from(score > 0.5)));
+        }
+        log.push_str("explain,0.5,0.25,0.9,0.1\n");
+        log.push_str("# comment\n\nnot,a,real,line\n");
+
+        let (report, skipped) = replay_quality_log(&log);
+        assert_eq!(skipped, 1, "only the junk line is skipped");
+        for name in [
+            "rckt_quality_auc ",
+            "rckt_quality_ece ",
+            "rckt_quality_score_psi ",
+            "rckt_quality_score_p50 ",
+            "rckt_quality_influence_entropy ",
+        ] {
+            assert!(report.contains(name), "missing {name} in:\n{report}");
+        }
+
+        // Replaying the same log again is deterministic.
+        assert_eq!(replay_quality_log(&log).0, report);
+
+        // And the CLI command prints it without error.
+        let dir = std::env::temp_dir().join("rckt_cli_monitor");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("quality.csv");
+        std::fs::write(&path, &log).unwrap();
+        dispatch(&args(&format!("monitor --replay {}", path.display()))).unwrap();
+
+        let e = dispatch(&args("monitor --replay /nonexistent/q.csv")).unwrap_err();
+        assert!(e.0.contains("reading"), "{e}");
     }
 
     #[test]

@@ -8,6 +8,7 @@
 //! rckt explain  --data data.csv --model model.json --window 3
 //! rckt serve    --model model.json --port 7700 --max-batch 8 --max-queue 64
 //! rckt predict  --model model.json --requests requests.json
+//! rckt monitor  --replay quality.csv
 //! ```
 //!
 //! The data format is the CSV documented in `rckt_data::csv`

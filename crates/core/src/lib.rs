@@ -48,4 +48,4 @@ pub mod proficiency;
 
 pub use config::{Backbone, RcktConfig, Retention};
 pub use model::{InfluenceRecord, QueryError, Rckt};
-pub use persist::{PersistError, SavedModel};
+pub use persist::{PersistError, SavedModel, ScoreReference};

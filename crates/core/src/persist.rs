@@ -10,6 +10,30 @@ use serde::{Deserialize, Serialize};
 /// Format version, bumped on breaking layout changes.
 pub const MODEL_FILE_VERSION: u32 = 1;
 
+/// Training-time prediction-score histogram: counts over equal-width
+/// bins on `[0, 1]`, captured on the validation fold at export time.
+/// Online monitors compare the live score distribution against it
+/// (population stability index) to detect serving drift. The bin count
+/// is conventionally `rckt_obs::SCORE_BINS` (10) but is not enforced
+/// here — consumers validate the length.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ScoreReference {
+    pub counts: Vec<u64>,
+}
+
+impl ScoreReference {
+    /// Histogram a batch of probabilities into `bins` equal-width bins.
+    pub fn from_scores(scores: impl IntoIterator<Item = f64>, bins: usize) -> ScoreReference {
+        let mut counts = vec![0u64; bins.max(1)];
+        let n = counts.len();
+        for s in scores {
+            let b = ((s.clamp(0.0, 1.0) * n as f64) as usize).min(n - 1);
+            counts[b] += 1;
+        }
+        ScoreReference { counts }
+    }
+}
+
 /// A serialized RCKT model.
 #[derive(Debug, Serialize, Deserialize)]
 pub struct SavedModel {
@@ -26,6 +50,11 @@ pub struct SavedModel {
     /// still format version 1, the field is strictly additive.
     #[serde(default, skip_serializing_if = "Option::is_none")]
     pub q_matrix: Option<QMatrix>,
+    /// Optional training-time score histogram for drift monitoring.
+    /// Strictly additive like [`SavedModel::q_matrix`]: files without it
+    /// parse unchanged, files with it are ignored by old readers.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub score_reference: Option<ScoreReference>,
 }
 
 impl SavedModel {
@@ -81,6 +110,7 @@ impl Rckt {
             num_concepts,
             weights: self.save_weights(),
             q_matrix: None,
+            score_reference: None,
         };
         serde_json::to_string(&saved).expect("model serialization")
     }
@@ -89,6 +119,14 @@ impl Rckt {
     /// file self-contained for online serving. Dimensions come from the
     /// Q-matrix itself and must match what the model was built with.
     pub fn export_with_qmatrix(&self, qm: &QMatrix) -> String {
+        self.export_full(qm, None)
+    }
+
+    /// [`Rckt::export_with_qmatrix`] plus an optional training-time score
+    /// histogram ([`ScoreReference`]) so serving can monitor
+    /// score-distribution drift against the distribution the model
+    /// actually produced at train time.
+    pub fn export_full(&self, qm: &QMatrix, score_reference: Option<ScoreReference>) -> String {
         let saved = SavedModel {
             version: MODEL_FILE_VERSION,
             backbone: self.backbone,
@@ -97,6 +135,7 @@ impl Rckt {
             num_concepts: qm.num_concepts(),
             weights: self.save_weights(),
             q_matrix: Some(qm.clone()),
+            score_reference,
         };
         serde_json::to_string(&saved).expect("model serialization")
     }
@@ -279,6 +318,37 @@ mod tests {
         let restored = Rckt::from_saved(&saved).unwrap();
         assert_eq!(restored.num_questions(), ds.num_questions());
         assert_eq!(restored.num_concepts(), ds.num_concepts());
+    }
+
+    #[test]
+    fn score_reference_is_additive_and_roundtrips() {
+        let ds = SyntheticSpec::assist09().scaled(0.05).generate();
+        let model = Rckt::new(
+            Backbone::Dkt,
+            ds.num_questions(),
+            ds.num_concepts(),
+            RcktConfig {
+                dim: 8,
+                ..Default::default()
+            },
+        );
+        // Exports without a reference omit the key entirely.
+        let plain = model.export_with_qmatrix(&ds.q_matrix);
+        assert!(!plain.contains("score_reference"));
+        assert!(SavedModel::parse(&plain).unwrap().score_reference.is_none());
+
+        let reference = ScoreReference::from_scores([0.05, 0.55, 0.56, 0.95, 1.0, -0.5], 10);
+        assert_eq!(reference.counts, vec![2, 0, 0, 0, 0, 2, 0, 0, 0, 2]);
+        // Out-of-range scores clamp into the edge bins; 1.0 lands in the
+        // last bin, -0.5 in the first.
+        assert_eq!(reference.counts.iter().sum::<u64>(), 6);
+
+        let rich = model.export_full(&ds.q_matrix, Some(reference.clone()));
+        let saved = SavedModel::parse(&rich).unwrap();
+        assert_eq!(saved.score_reference, Some(reference));
+        // The model still loads and the q_matrix is intact alongside.
+        assert!(saved.q_matrix.is_some());
+        assert!(Rckt::from_saved(&saved).is_ok());
     }
 
     #[test]

@@ -19,6 +19,11 @@
 //! * **Events** ([`event`]) — structured key/value records routed to a
 //!   human-readable stderr sink and an optional JSON-lines file sink
 //!   ([`log_to_json`]).
+//! * **Quality monitors** ([`QualityMonitor`]) — streaming sliding-window
+//!   model-quality estimates (rolling AUC/ECE over labeled feedback, P²
+//!   score quantiles, PSI drift vs a training reference, influence
+//!   health) with threshold-crossing alerts, exported as
+//!   `rckt_quality_*` gauges.
 //!
 //! [`RunManifest`] stamps experiment results with the git commit, seed,
 //! configuration, and per-phase timings; [`profile_report`] renders
@@ -42,6 +47,7 @@ pub mod json;
 pub mod level;
 pub mod manifest;
 pub mod metrics;
+pub mod monitor;
 pub mod prometheus;
 pub mod report;
 pub mod serve;
@@ -56,6 +62,7 @@ pub use metrics::{
     counter, gauge, histogram, histogram_with, metrics_snapshot, reset_metrics, Counter, Gauge,
     Histogram, HistogramSummary, MetricsSnapshot,
 };
+pub use monitor::{Alert, MonitorConfig, P2Quantile, QualityEvent, QualityMonitor, SCORE_BINS};
 pub use prometheus::{run_labels, set_run_label};
 pub use report::profile_report;
 pub use serve::TelemetryServer;

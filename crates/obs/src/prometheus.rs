@@ -77,7 +77,9 @@ pub fn escape_label_value(v: &str) -> String {
 }
 
 /// Render a float the way Prometheus expects (`+Inf`, `-Inf`, `NaN`).
-fn fmt_value(v: f64) -> String {
+/// Shared with [`crate::monitor`] so the replay report and the live
+/// exposition format floats identically.
+pub(crate) fn fmt_value(v: f64) -> String {
     if v.is_nan() {
         "NaN".to_string()
     } else if v == f64::INFINITY {
@@ -91,8 +93,16 @@ fn fmt_value(v: f64) -> String {
 
 /// Render the whole registry (counters, gauges, histograms), the span
 /// phase table, and the run-info gauge as one exposition document.
+///
+/// Distinct internal names can sanitize to the same Prometheus family
+/// (`a.b` and `a-b` both become `rckt_a_b`, and counter `x` collides
+/// with gauge `x_total`); only the first family under a name is emitted
+/// (registries iterate sorted, so the winner is deterministic) and the
+/// rest are skipped rather than producing an invalid document with a
+/// duplicated `# TYPE` line.
 pub fn render() -> String {
     let mut out = String::new();
+    let mut seen: std::collections::BTreeSet<String> = std::collections::BTreeSet::new();
 
     let labels = run_labels();
     if !labels.is_empty() {
@@ -124,14 +134,23 @@ pub fn render() -> String {
     let snap = metrics_snapshot();
     for (name, v) in &snap.counters {
         let n = format!("{}_total", metric_name(name));
+        if !seen.insert(n.clone()) {
+            continue;
+        }
         let _ = writeln!(out, "# TYPE {n} counter\n{n} {v}");
     }
     for (name, v) in &snap.gauges {
         let n = metric_name(name);
+        if !seen.insert(n.clone()) {
+            continue;
+        }
         let _ = writeln!(out, "# TYPE {n} gauge\n{n} {}", fmt_value(*v));
     }
     for h in &snap.histograms {
         let n = metric_name(&h.name);
+        if !seen.insert(n.clone()) {
+            continue;
+        }
         let _ = writeln!(out, "# TYPE {n} histogram");
         let mut cum = 0u64;
         for &(bound, count) in &h.buckets {
@@ -205,6 +224,69 @@ mod tests {
         assert!(text.contains("kernel=\"blocked\""));
         assert!(text.contains("quoted=\"a\\\"b\""));
         assert!(text.contains("rckt_run_info{"));
+    }
+
+    #[test]
+    fn render_escapes_label_values_in_run_info_and_phases() {
+        let _g = crate::testutil::global_lock();
+        reset_run_labels();
+        set_run_label("esc_quote", "say \"hi\"");
+        set_run_label("esc_slash", "C:\\temp");
+        set_run_label("esc_newline", "line1\nline2");
+        let text = render();
+        assert!(text.contains("esc_quote=\"say \\\"hi\\\"\""), "{text}");
+        assert!(text.contains("esc_slash=\"C:\\\\temp\""), "{text}");
+        assert!(text.contains("esc_newline=\"line1\\nline2\""), "{text}");
+        // No raw newline may survive inside a label value: every line of
+        // the document must be a comment, a sample, or blank.
+        for line in text.lines() {
+            assert!(
+                line.is_empty() || line.starts_with('#') || line.contains(' '),
+                "broken exposition line: {line:?}"
+            );
+        }
+        reset_run_labels();
+    }
+
+    #[test]
+    fn colliding_sanitized_gauge_names_emit_one_family() {
+        let _g = crate::testutil::global_lock();
+        // Distinct internal names, same sanitized family.
+        gauge("test.collide-g").set(1.0);
+        gauge("test.collide.g").set(2.0);
+        let text = render();
+        let type_lines = text
+            .lines()
+            .filter(|l| *l == "# TYPE rckt_test_collide_g gauge")
+            .count();
+        assert_eq!(type_lines, 1, "one TYPE line per family: {text}");
+        let samples = text
+            .lines()
+            .filter(|l| l.starts_with("rckt_test_collide_g "))
+            .count();
+        assert_eq!(samples, 1, "one sample per family: {text}");
+        // Registries iterate sorted ('-' < '.'), so the winner is stable.
+        assert!(text.contains("rckt_test_collide_g 1"), "{text}");
+    }
+
+    #[test]
+    fn counter_total_suffix_collision_with_gauge_is_deduped() {
+        let _g = crate::testutil::global_lock();
+        // The counter family gets a `_total` suffix that lands exactly on
+        // this gauge's sanitized name.
+        counter("test.collide2.x").add(3);
+        gauge("test.collide2.x_total").set(9.0);
+        let text = render();
+        let family = "rckt_test_collide2_x_total";
+        let samples = text
+            .lines()
+            .filter(|l| l.starts_with(&format!("{family} ")))
+            .count();
+        assert_eq!(samples, 1, "{text}");
+        // Counters render first, so the counter value wins.
+        assert!(text.contains(&format!("# TYPE {family} counter")), "{text}");
+        assert!(text.contains(&format!("{family} 3")), "{text}");
+        assert!(!text.contains(&format!("# TYPE {family} gauge")), "{text}");
     }
 
     #[test]

@@ -86,6 +86,30 @@ pub struct ExplainResponse {
     pub explanations: Vec<ExplainResponseItem>,
 }
 
+/// One labeled outcome: the ground truth for an earlier served
+/// prediction has arrived (the student answered).
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct FeedbackEvent {
+    #[serde(default)]
+    pub student: u32,
+    /// The score the model served for this interaction, echoed back.
+    pub score: f64,
+    /// Whether the student actually answered correctly.
+    pub correct: bool,
+}
+
+/// `POST /feedback` body — feeds the rolling AUC/ECE quality monitors.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct FeedbackBody {
+    pub events: Vec<FeedbackEvent>,
+}
+
+/// `POST /feedback` response.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct FeedbackResponse {
+    pub accepted: usize,
+}
+
 /// Why a request was not answered with a 200.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum ApiError {

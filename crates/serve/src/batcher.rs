@@ -35,6 +35,9 @@ pub struct Engine {
     /// FNV-1a hash of the model file, part of every cache key so a
     /// process serving a different model never reads stale entries.
     pub model_hash: u64,
+    /// Streaming model-quality monitor + optional replayable quality
+    /// log; fed by the HTTP handlers, scraped via `/metrics`.
+    pub quality: crate::quality::Quality,
 }
 
 impl std::fmt::Debug for Engine {
@@ -73,6 +76,25 @@ pub fn cache_key(model_hash: u64, req: &JobRequest) -> String {
     }
 }
 
+/// How one job spent its time inside the batcher, returned with every
+/// reply so the HTTP layer can attach a queue/batch/infer breakdown to
+/// response headers and the access log.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct JobTiming {
+    /// Seconds spent queued before the wave picked the job up.
+    pub queue_secs: f64,
+    /// Seconds of the fused model call that answered the job; 0 for
+    /// cache hits and expired deadlines.
+    pub infer_secs: f64,
+    /// Number of jobs in the wave that answered this one.
+    pub batch_size: usize,
+    /// Whether the session cache answered without touching the model.
+    pub cache_hit: bool,
+}
+
+/// A reply to one job: body position, outcome, timing breakdown.
+pub type JobReply = (usize, Result<Outcome, ApiError>, JobTiming);
+
 pub struct Job {
     pub key: String,
     pub req: JobRequest,
@@ -83,7 +105,7 @@ pub struct Job {
     /// Past this instant a still-queued job is answered with
     /// [`ApiError::DeadlineExceeded`] instead of being computed.
     pub deadline: Option<Instant>,
-    pub reply: mpsc::Sender<(usize, Result<Outcome, ApiError>)>,
+    pub reply: mpsc::Sender<JobReply>,
 }
 
 struct Shared {
@@ -213,19 +235,34 @@ fn take_wave(q: &mut VecDeque<Job>, max_batch: usize) -> Vec<Job> {
 
 /// Answer one wave: expire deadlines, serve cache hits, fuse the distinct
 /// misses into one model call, fill the cache, and reply to every job.
+/// Every reply carries its [`JobTiming`]; the wave itself records a
+/// `serve/wave` span so per-request trace events can be attributed to
+/// the wave that computed them.
 pub(crate) fn process_wave(engine: &Engine, jobs: Vec<Job>) {
+    let _wave = rckt_obs::span("serve/wave");
     let now = Instant::now();
+    let wave_size = jobs.len();
     let queue_seconds = histogram("serve.queue.seconds");
     counter("serve.batches").incr();
     histogram_with("serve.batch.size", &[1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0])
         .observe(jobs.len() as f64);
+
+    let timing_for = |job: &Job, infer_secs: f64, cache_hit: bool| JobTiming {
+        queue_secs: now.duration_since(job.enqueued).as_secs_f64(),
+        infer_secs,
+        batch_size: wave_size,
+        cache_hit,
+    };
 
     let mut live: Vec<Job> = Vec::with_capacity(jobs.len());
     for job in jobs {
         queue_seconds.observe(now.duration_since(job.enqueued).as_secs_f64());
         if job.deadline.is_some_and(|d| now > d) {
             counter("serve.requests.deadline").incr();
-            let _ = job.reply.send((job.index, Err(ApiError::DeadlineExceeded)));
+            let t = timing_for(&job, 0.0, false);
+            let _ = job
+                .reply
+                .send((job.index, Err(ApiError::DeadlineExceeded), t));
         } else {
             live.push(job);
         }
@@ -238,7 +275,8 @@ pub(crate) fn process_wave(engine: &Engine, jobs: Vec<Job>) {
     for job in live {
         if let Some(out) = engine.cache.get(&job.key) {
             counter("serve.cache.hits").incr();
-            let _ = job.reply.send((job.index, Ok(out)));
+            let t = timing_for(&job, 0.0, true);
+            let _ = job.reply.send((job.index, Ok(out), t));
         } else {
             counter("serve.cache.misses").incr();
             if !misses.contains_key(&job.key) {
@@ -269,39 +307,48 @@ pub(crate) fn process_wave(engine: &Engine, jobs: Vec<Job>) {
         }
     }
 
-    let mut reply_all = |key: &str, result: Result<Outcome, ApiError>| {
+    let mut reply_all = |key: &str, result: Result<Outcome, ApiError>, infer_secs: f64| {
         if let Ok(out) = &result {
             engine.cache.put(key.to_string(), out.clone());
         }
         for job in misses.remove(key).unwrap_or_default() {
-            let _ = job.reply.send((job.index, result.clone()));
+            let t = timing_for(&job, infer_secs, false);
+            let _ = job.reply.send((job.index, result.clone(), t));
         }
     };
 
     if !predict_reqs.is_empty() {
-        match api::predict_batch(&engine.model, &engine.qm, &predict_reqs, engine.window) {
+        let infer_start = Instant::now();
+        let result = api::predict_batch(&engine.model, &engine.qm, &predict_reqs, engine.window);
+        let infer_secs = infer_start.elapsed().as_secs_f64();
+        histogram("serve.infer.seconds").observe(infer_secs);
+        match result {
             Ok(resp) => {
                 for (key, item) in predict_keys.iter().zip(resp.predictions) {
-                    reply_all(key, Ok(Outcome::Predict(item)));
+                    reply_all(key, Ok(Outcome::Predict(item)), infer_secs);
                 }
             }
             Err(e) => {
                 for key in &predict_keys {
-                    reply_all(key, Err(e.clone()));
+                    reply_all(key, Err(e.clone()), infer_secs);
                 }
             }
         }
     }
     if !explain_reqs.is_empty() {
-        match api::explain_batch(&engine.model, &engine.qm, &explain_reqs, engine.window) {
+        let infer_start = Instant::now();
+        let result = api::explain_batch(&engine.model, &engine.qm, &explain_reqs, engine.window);
+        let infer_secs = infer_start.elapsed().as_secs_f64();
+        histogram("serve.infer.seconds").observe(infer_secs);
+        match result {
             Ok(resp) => {
                 for (key, item) in explain_keys.iter().zip(resp.explanations) {
-                    reply_all(key, Ok(Outcome::Explain(item)));
+                    reply_all(key, Ok(Outcome::Explain(item)), infer_secs);
                 }
             }
             Err(e) => {
                 for key in &explain_keys {
-                    reply_all(key, Err(e.clone()));
+                    reply_all(key, Err(e.clone()), infer_secs);
                 }
             }
         }
@@ -333,6 +380,7 @@ mod tests {
             window: 16,
             cache: SessionCache::new(64),
             model_hash: 0xfeed,
+            quality: crate::quality::Quality::new(None, None).unwrap(),
         })
     }
 
@@ -358,7 +406,7 @@ mod tests {
         req: JobRequest,
         index: usize,
         deadline: Option<Instant>,
-    ) -> (Job, mpsc::Receiver<(usize, Result<Outcome, ApiError>)>) {
+    ) -> (Job, mpsc::Receiver<JobReply>) {
         let (tx, rx) = mpsc::channel();
         let j = Job {
             key: cache_key(eng.model_hash, &req),
@@ -377,10 +425,16 @@ mod tests {
         let past = Instant::now() - Duration::from_millis(50);
         let (j, rx) = job(&eng, JobRequest::Predict(predict_req(0, 3)), 7, Some(past));
         process_wave(&eng, vec![j]);
-        let (idx, result) = rx.recv().unwrap();
+        let (idx, result, timing) = rx.recv().unwrap();
         assert_eq!(idx, 7);
         assert_eq!(result.unwrap_err(), ApiError::DeadlineExceeded);
         assert!(eng.cache.is_empty(), "expired job must not touch the model");
+        assert!(
+            timing.queue_secs >= 0.0,
+            "queue time is measured: {timing:?}"
+        );
+        assert_eq!(timing.infer_secs, 0.0, "no compute happened: {timing:?}");
+        assert!(!timing.cache_hit);
     }
 
     #[test]
@@ -397,8 +451,11 @@ mod tests {
         }
         process_wave(&eng, jobs);
         for (i, rx) in rxs.iter().enumerate() {
-            let (idx, result) = rx.recv().unwrap();
+            let (idx, result, timing) = rx.recv().unwrap();
             assert_eq!(idx, i);
+            assert_eq!(timing.batch_size, 2, "both jobs share one wave");
+            assert!(timing.infer_secs > 0.0, "computed jobs carry infer time");
+            assert!(!timing.cache_hit);
             match result.unwrap() {
                 Outcome::Predict(p) => {
                     assert_eq!(p.score.to_bits(), oracle.predictions[i].score.to_bits())
@@ -424,10 +481,14 @@ mod tests {
             _ => panic!("predict outcomes expected"),
         }
         assert_eq!(eng.cache.len(), 1);
-        // A later wave with the same request is a pure cache hit.
+        // A later wave with the same request is a pure cache hit, and
+        // the reply's timing says so.
         let (j3, rx3) = job(&eng, JobRequest::Predict(r), 0, None);
         process_wave(&eng, vec![j3]);
-        assert!(rx3.recv().unwrap().1.is_ok());
+        let (_, result, timing) = rx3.recv().unwrap();
+        assert!(result.is_ok());
+        assert!(timing.cache_hit, "repeat request must be a cache hit");
+        assert_eq!(timing.infer_secs, 0.0);
         let (hits, _) = eng.cache.stats();
         assert!(hits >= 1, "repeat request must hit the session cache");
     }
@@ -496,7 +557,7 @@ mod tests {
         }
         let mut scores = vec![None; reqs.len()];
         for _ in 0..reqs.len() {
-            let (idx, result) = rx.recv_timeout(Duration::from_secs(30)).unwrap();
+            let (idx, result, _) = rx.recv_timeout(Duration::from_secs(30)).unwrap();
             match result.unwrap() {
                 Outcome::Predict(p) => scores[idx] = Some(p.score),
                 Outcome::Explain(_) => panic!("predict outcome expected"),

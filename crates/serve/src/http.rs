@@ -12,12 +12,26 @@ const MAX_HEADER_BYTES: usize = 16 * 1024;
 /// Cap on request bodies; micro-batch bodies are small JSON documents.
 const MAX_BODY_BYTES: usize = 4 * 1024 * 1024;
 
-/// One parsed request: method, path (query string stripped), raw body.
+/// One parsed request: method, path (query string stripped), headers
+/// (names lowercased), raw body.
 #[derive(Debug)]
 pub struct Request {
     pub method: String,
     pub path: String,
+    pub headers: Vec<(String, String)>,
     pub body: Vec<u8>,
+}
+
+impl Request {
+    /// First value of a header, looked up case-insensitively (names are
+    /// stored lowercased at parse time).
+    pub fn header(&self, name: &str) -> Option<&str> {
+        let name = name.to_ascii_lowercase();
+        self.headers
+            .iter()
+            .find(|(k, _)| *k == name)
+            .map(|(_, v)| v.as_str())
+    }
 }
 
 /// Errors surfaced to the client as a 400 before any routing happens.
@@ -74,14 +88,17 @@ pub fn read_request(stream: &mut TcpStream) -> Result<Request, ReadError> {
         .to_string();
 
     let mut content_length = 0usize;
+    let mut headers = Vec::new();
     for line in lines {
         if let Some((name, value)) = line.split_once(':') {
-            if name.trim().eq_ignore_ascii_case("content-length") {
+            let name = name.trim().to_ascii_lowercase();
+            let value = value.trim().to_string();
+            if name == "content-length" {
                 content_length = value
-                    .trim()
                     .parse()
                     .map_err(|_| ReadError::Malformed("bad Content-Length"))?;
             }
+            headers.push((name, value));
         }
     }
     if content_length > MAX_BODY_BYTES {
@@ -97,7 +114,12 @@ pub fn read_request(stream: &mut TcpStream) -> Result<Request, ReadError> {
         }
     }
     body.truncate(content_length);
-    Ok(Request { method, path, body })
+    Ok(Request {
+        method,
+        path,
+        headers,
+        body,
+    })
 }
 
 fn find_header_end(buf: &[u8]) -> Option<usize> {
@@ -160,6 +182,18 @@ mod tests {
         assert_eq!(req.method, "POST");
         assert_eq!(req.path, "/predict");
         assert_eq!(req.body, b"hello world");
+        assert_eq!(req.header("Host"), Some("l"));
+        assert_eq!(req.header("content-length"), Some("11"));
+        assert_eq!(req.header("x-request-id"), None);
+    }
+
+    #[test]
+    fn header_lookup_is_case_insensitive_and_trimmed() {
+        let req =
+            roundtrip(b"POST /p HTTP/1.1\r\nX-Request-Id:  abc-123 \r\nContent-Length: 0\r\n\r\n")
+                .unwrap();
+        assert_eq!(req.header("X-REQUEST-ID"), Some("abc-123"));
+        assert_eq!(req.header("x-request-id"), Some("abc-123"));
     }
 
     #[test]

@@ -16,7 +16,19 @@
 //!   `POST /shutdown` drains gracefully;
 //! * **observability** — request/queue latency histograms, queue-depth
 //!   and cache hit-rate gauges, and per-endpoint counters land in the
-//!   `rckt-obs` registry and are scrapable at `GET /metrics`.
+//!   `rckt-obs` registry and are scrapable at `GET /metrics`;
+//! * **model-quality monitoring** ([`quality`]) — every served score,
+//!   `/feedback` label, and `/explain` record feeds streaming
+//!   rolling-AUC/ECE, score-quantile, PSI-drift, and influence-health
+//!   monitors exported as `rckt_quality_*` gauges, with an optional
+//!   replayable quality log (`rckt monitor --replay`);
+//! * **request-scoped tracing** — every response carries an
+//!   `X-Request-Id` (client-supplied ids are honored after validation,
+//!   including on 400/503/504 errors), a `Server-Timing`
+//!   queue/infer breakdown, and an `X-Batch-Size` header; a structured
+//!   `serve.access` event logs each request and per-request spans land
+//!   in the Chrome-trace export next to the batcher's `serve/wave`
+//!   spans.
 //!
 //! The offline entry points ([`api::predict_batch`],
 //! [`api::explain_batch`]) are the same code the worker runs, so
@@ -27,19 +39,22 @@ pub mod api;
 pub mod batcher;
 pub mod cache;
 pub mod http;
+pub mod quality;
 
 pub use api::{
-    ApiError, ExplainBody, ExplainRequest, ExplainResponse, ExplainResponseItem, HistoryItem,
-    PredictBody, PredictRequest, PredictResponse, PredictResponseItem, DEFAULT_SERVE_WINDOW,
+    ApiError, ExplainBody, ExplainRequest, ExplainResponse, ExplainResponseItem, FeedbackBody,
+    FeedbackEvent, FeedbackResponse, HistoryItem, PredictBody, PredictRequest, PredictResponse,
+    PredictResponseItem, DEFAULT_SERVE_WINDOW,
 };
-pub use batcher::{cache_key, Batcher, Engine, Job, JobRequest};
+pub use batcher::{cache_key, Batcher, Engine, Job, JobReply, JobRequest, JobTiming};
 pub use cache::{Outcome, SessionCache};
+pub use quality::{influence_event, Quality};
 
 use rckt::{Rckt, SavedModel};
-use rckt_obs::{counter, histogram};
+use rckt_obs::{counter, event, histogram, Level, QualityEvent, Value};
 use std::io::Write as _;
 use std::net::{TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{mpsc, Arc};
 use std::time::{Duration, Instant};
 
@@ -60,6 +75,9 @@ pub struct ServeConfig {
     /// Default per-request deadline in ms (0 = none); bodies can
     /// override via `deadline_ms`.
     pub deadline_ms: u64,
+    /// Path of the replayable quality log (`--quality-log`); `None`
+    /// disables logging (the in-memory monitors still run).
+    pub quality_log: Option<String>,
 }
 
 impl Default for ServeConfig {
@@ -71,6 +89,7 @@ impl Default for ServeConfig {
             window: DEFAULT_SERVE_WINDOW,
             cache_capacity: 4096,
             deadline_ms: 0,
+            quality_log: None,
         }
     }
 }
@@ -107,12 +126,18 @@ impl Engine {
             ));
         }
         let model = Rckt::from_saved(&saved).map_err(|e| e.to_string())?;
+        let quality = Quality::new(
+            saved.score_reference.as_ref().map(|r| r.counts.as_slice()),
+            cfg.quality_log.as_deref(),
+        )
+        .map_err(|e| format!("cannot open quality log: {e}"))?;
         Ok(Engine {
             model,
             qm,
             window: cfg.window,
             cache: SessionCache::new(cfg.cache_capacity),
             model_hash: fnv1a(json.as_bytes()),
+            quality,
         })
     }
 
@@ -224,19 +249,142 @@ pub fn start(engine: Arc<Engine>, cfg: &ServeConfig) -> std::io::Result<ServeSer
 const JSON: &str = "application/json";
 const RETRY: &[(&str, &str)] = &[("Retry-After", "1")];
 
-fn respond_api_error(stream: &mut TcpStream, e: &ApiError) {
+/// Monotone counter behind generated request ids.
+static REQUEST_COUNTER: AtomicU64 = AtomicU64::new(0);
+
+/// A client-supplied `X-Request-Id` is honored only if it is 1–64
+/// characters of `[A-Za-z0-9._-]`; anything else (empty, over-long,
+/// control characters, header-injection attempts) gets a generated id
+/// instead.
+fn valid_request_id(s: &str) -> bool {
+    (1..=64).contains(&s.len())
+        && s.bytes()
+            .all(|b| b.is_ascii_alphanumeric() || b == b'-' || b == b'_' || b == b'.')
+}
+
+/// The request id for one connection: the validated client id, or a
+/// generated `req-<pid>-<n>` unique within the process.
+fn request_id(client: Option<&str>) -> String {
+    match client {
+        Some(id) if valid_request_id(id) => id.to_string(),
+        _ => {
+            let n = REQUEST_COUNTER.fetch_add(1, Ordering::Relaxed);
+            format!("req-{:x}-{n:x}", std::process::id())
+        }
+    }
+}
+
+/// Aggregated batcher timing for one HTTP body: worst queue/infer time
+/// across its jobs, the largest wave that answered any of them, and how
+/// many were cache hits.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct BatchTiming {
+    pub queue_secs: f64,
+    pub infer_secs: f64,
+    pub batch_max: usize,
+    pub cache_hits: usize,
+    pub jobs: usize,
+}
+
+impl BatchTiming {
+    fn absorb(&mut self, t: &JobTiming) {
+        self.queue_secs = self.queue_secs.max(t.queue_secs);
+        self.infer_secs = self.infer_secs.max(t.infer_secs);
+        self.batch_max = self.batch_max.max(t.batch_size);
+        self.cache_hits += usize::from(t.cache_hit);
+        self.jobs += 1;
+    }
+}
+
+/// Per-connection request scope: the request id plus enough context to
+/// stamp every response (success or error) with `X-Request-Id` and
+/// timing headers, emit the `serve.access` log event, and record the
+/// request's span in the Chrome trace.
+struct ReqScope<'a> {
+    id: String,
+    started: Instant,
+    method: &'a str,
+    path: &'a str,
+}
+
+impl ReqScope<'_> {
+    fn respond(
+        &self,
+        stream: &mut TcpStream,
+        status: &str,
+        content_type: &str,
+        extra: &[(&str, &str)],
+        body: &str,
+        timing: Option<&BatchTiming>,
+    ) {
+        let mut headers: Vec<(String, String)> =
+            vec![("X-Request-Id".to_string(), self.id.clone())];
+        if let Some(t) = timing {
+            headers.push((
+                "Server-Timing".to_string(),
+                format!(
+                    "queue;dur={:.3}, infer;dur={:.3}",
+                    t.queue_secs * 1e3,
+                    t.infer_secs * 1e3
+                ),
+            ));
+            headers.push(("X-Batch-Size".to_string(), t.batch_max.to_string()));
+        }
+        for (k, v) in extra {
+            headers.push((k.to_string(), v.to_string()));
+        }
+        let refs: Vec<(&str, &str)> = headers
+            .iter()
+            .map(|(k, v)| (k.as_str(), v.as_str()))
+            .collect();
+        http::respond(stream, status, content_type, &refs, body);
+
+        let status_code: u64 = status
+            .split(' ')
+            .next()
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(0);
+        let total_secs = self.started.elapsed().as_secs_f64();
+        let mut fields: Vec<(&str, Value)> = vec![
+            ("request_id", self.id.as_str().into()),
+            ("method", self.method.into()),
+            ("path", self.path.into()),
+            ("status", status_code.into()),
+            ("total_ms", (total_secs * 1e3).into()),
+        ];
+        if let Some(t) = timing {
+            fields.push(("queue_ms", (t.queue_secs * 1e3).into()));
+            fields.push(("infer_ms", (t.infer_secs * 1e3).into()));
+            fields.push(("batch", (t.batch_max as u64).into()));
+            fields.push(("cache_hits", (t.cache_hits as u64).into()));
+            fields.push(("jobs", (t.jobs as u64).into()));
+        }
+        event(Level::Info, "serve.access", &fields);
+        if rckt_obs::trace_enabled() {
+            rckt_obs::record_event(
+                &format!("{} {} [{}]", self.method, self.path, self.id),
+                "serve.request",
+                self.started,
+                total_secs,
+            );
+        }
+    }
+}
+
+fn respond_api_error(stream: &mut TcpStream, scope: &ReqScope<'_>, e: &ApiError) {
     let (status, extra): (&str, &[(&str, &str)]) = match e {
         ApiError::BadRequest(_) => ("400 Bad Request", &[]),
         ApiError::Overloaded | ApiError::Draining => ("503 Service Unavailable", RETRY),
         ApiError::DeadlineExceeded => ("504 Gateway Timeout", &[]),
         ApiError::Internal(_) => ("500 Internal Server Error", &[]),
     };
-    http::respond(
+    scope.respond(
         stream,
         status,
         JSON,
         extra,
         &http::error_body(&e.to_string()),
+        None,
     );
 }
 
@@ -247,12 +395,13 @@ fn deadline_from(body_ms: Option<u64>, default_ms: u64) -> Option<Instant> {
     }
 }
 
-/// Enqueue one validated request set and collect outcomes in body order.
+/// Enqueue one validated request set and collect outcomes in body order,
+/// along with the aggregated timing breakdown across the body's jobs.
 fn run_jobs(
     ctx: &Ctx,
     reqs: Vec<JobRequest>,
     deadline: Option<Instant>,
-) -> Result<Vec<Outcome>, ApiError> {
+) -> Result<(Vec<Outcome>, BatchTiming), ApiError> {
     let (tx, rx) = mpsc::channel();
     let n = reqs.len();
     for (index, req) in reqs.into_iter().enumerate() {
@@ -267,27 +416,29 @@ fn run_jobs(
     }
     drop(tx);
     let mut out: Vec<Option<Outcome>> = vec![None; n];
+    let mut timing = BatchTiming::default();
     for _ in 0..n {
-        let (index, result) = rx
+        let (index, result, t) = rx
             .recv()
             .map_err(|_| ApiError::Internal("batch worker exited".to_string()))?;
+        timing.absorb(&t);
         out[index] = Some(result?);
     }
-    Ok(out.into_iter().map(Option::unwrap).collect())
+    Ok((out.into_iter().map(Option::unwrap).collect(), timing))
 }
 
-fn handle_predict(ctx: &Ctx, body: &[u8], stream: &mut TcpStream) {
-    let started = Instant::now();
+fn handle_predict(ctx: &Ctx, scope: &ReqScope<'_>, body: &[u8], stream: &mut TcpStream) {
     counter("serve.predict.requests").incr();
     let parsed: PredictBody = match serde_json::from_slice(body) {
         Ok(b) => b,
         Err(e) => {
-            http::respond(
+            scope.respond(
                 stream,
                 "400 Bad Request",
                 JSON,
                 &[],
                 &http::error_body(&format!("invalid /predict body: {e}")),
+                None,
             );
             return;
         }
@@ -297,12 +448,13 @@ fn handle_predict(ctx: &Ctx, body: &[u8], stream: &mut TcpStream) {
     for (i, r) in parsed.requests.iter().enumerate() {
         if let Err(e) = api::predict_window(r, &ctx.engine.model, &ctx.engine.qm, ctx.engine.window)
         {
-            http::respond(
+            scope.respond(
                 stream,
                 "400 Bad Request",
                 JSON,
                 &[],
                 &http::error_body(&format!("request {i}: {e}")),
+                None,
             );
             return;
         }
@@ -314,7 +466,16 @@ fn handle_predict(ctx: &Ctx, body: &[u8], stream: &mut TcpStream) {
         .map(JobRequest::Predict)
         .collect();
     match run_jobs(ctx, jobs, deadline) {
-        Ok(outcomes) => {
+        Ok((outcomes, timing)) => {
+            // Feed the quality monitors before answering so a /metrics
+            // scrape issued after this response already sees the score.
+            for o in &outcomes {
+                if let Outcome::Predict(p) = o {
+                    ctx.engine
+                        .quality
+                        .observe(QualityEvent::Score(f64::from(p.score)));
+                }
+            }
             let resp = PredictResponse {
                 predictions: outcomes
                     .into_iter()
@@ -324,31 +485,32 @@ fn handle_predict(ctx: &Ctx, body: &[u8], stream: &mut TcpStream) {
                     })
                     .collect(),
             };
-            histogram("serve.request.seconds").observe(started.elapsed().as_secs_f64());
-            http::respond(
+            histogram("serve.request.seconds").observe(scope.started.elapsed().as_secs_f64());
+            scope.respond(
                 stream,
                 "200 OK",
                 JSON,
                 &[],
                 &serde_json::to_string(&resp).unwrap(),
+                Some(&timing),
             );
         }
-        Err(e) => respond_api_error(stream, &e),
+        Err(e) => respond_api_error(stream, scope, &e),
     }
 }
 
-fn handle_explain(ctx: &Ctx, body: &[u8], stream: &mut TcpStream) {
-    let started = Instant::now();
+fn handle_explain(ctx: &Ctx, scope: &ReqScope<'_>, body: &[u8], stream: &mut TcpStream) {
     counter("serve.explain.requests").incr();
     let parsed: ExplainBody = match serde_json::from_slice(body) {
         Ok(b) => b,
         Err(e) => {
-            http::respond(
+            scope.respond(
                 stream,
                 "400 Bad Request",
                 JSON,
                 &[],
                 &http::error_body(&format!("invalid /explain body: {e}")),
+                None,
             );
             return;
         }
@@ -356,12 +518,13 @@ fn handle_explain(ctx: &Ctx, body: &[u8], stream: &mut TcpStream) {
     for (i, r) in parsed.requests.iter().enumerate() {
         if let Err(e) = api::explain_window(r, &ctx.engine.model, &ctx.engine.qm, ctx.engine.window)
         {
-            http::respond(
+            scope.respond(
                 stream,
                 "400 Bad Request",
                 JSON,
                 &[],
                 &http::error_body(&format!("request {i}: {e}")),
+                None,
             );
             return;
         }
@@ -373,7 +536,12 @@ fn handle_explain(ctx: &Ctx, body: &[u8], stream: &mut TcpStream) {
         .map(JobRequest::Explain)
         .collect();
     match run_jobs(ctx, jobs, deadline) {
-        Ok(outcomes) => {
+        Ok((outcomes, timing)) => {
+            for o in &outcomes {
+                if let Outcome::Explain(e) = o {
+                    ctx.engine.quality.observe(influence_event(&e.record));
+                }
+            }
             let resp = ExplainResponse {
                 explanations: outcomes
                     .into_iter()
@@ -383,36 +551,107 @@ fn handle_explain(ctx: &Ctx, body: &[u8], stream: &mut TcpStream) {
                     })
                     .collect(),
             };
-            histogram("serve.request.seconds").observe(started.elapsed().as_secs_f64());
-            http::respond(
+            histogram("serve.request.seconds").observe(scope.started.elapsed().as_secs_f64());
+            scope.respond(
                 stream,
                 "200 OK",
                 JSON,
                 &[],
                 &serde_json::to_string(&resp).unwrap(),
+                Some(&timing),
             );
         }
-        Err(e) => respond_api_error(stream, &e),
+        Err(e) => respond_api_error(stream, scope, &e),
     }
 }
 
+/// `POST /feedback` — ground truth arrived for earlier predictions; each
+/// event feeds the rolling AUC/ECE monitors (and the quality log).
+fn handle_feedback(ctx: &Ctx, scope: &ReqScope<'_>, body: &[u8], stream: &mut TcpStream) {
+    counter("serve.feedback.requests").incr();
+    let parsed: FeedbackBody = match serde_json::from_slice(body) {
+        Ok(b) => b,
+        Err(e) => {
+            scope.respond(
+                stream,
+                "400 Bad Request",
+                JSON,
+                &[],
+                &http::error_body(&format!("invalid /feedback body: {e}")),
+                None,
+            );
+            return;
+        }
+    };
+    for (i, ev) in parsed.events.iter().enumerate() {
+        if !ev.score.is_finite() || !(0.0..=1.0).contains(&ev.score) {
+            scope.respond(
+                stream,
+                "400 Bad Request",
+                JSON,
+                &[],
+                &http::error_body(&format!(
+                    "event {i}: score {} is not a probability in [0, 1]",
+                    ev.score
+                )),
+                None,
+            );
+            return;
+        }
+    }
+    for ev in &parsed.events {
+        ctx.engine.quality.observe(QualityEvent::Feedback {
+            score: ev.score,
+            label: ev.correct,
+        });
+    }
+    let resp = FeedbackResponse {
+        accepted: parsed.events.len(),
+    };
+    scope.respond(
+        stream,
+        "200 OK",
+        JSON,
+        &[],
+        &serde_json::to_string(&resp).unwrap(),
+        None,
+    );
+}
+
 fn handle_connection(ctx: &Ctx, mut stream: TcpStream) {
+    let started = Instant::now();
     let req = match http::read_request(&mut stream) {
         Ok(r) => r,
         Err(e) => {
-            http::respond(
+            // No parseable request — still mint an id so the error is
+            // findable in the access log.
+            let scope = ReqScope {
+                id: request_id(None),
+                started,
+                method: "-",
+                path: "-",
+            };
+            scope.respond(
                 &mut stream,
                 "400 Bad Request",
                 JSON,
                 &[],
                 &http::error_body(&e.to_string()),
+                None,
             );
             return;
         }
     };
+    let scope = ReqScope {
+        id: request_id(req.header("x-request-id")),
+        started,
+        method: &req.method,
+        path: &req.path,
+    };
     match (req.method.as_str(), req.path.as_str()) {
-        ("POST", "/predict") => handle_predict(ctx, &req.body, &mut stream),
-        ("POST", "/explain") => handle_explain(ctx, &req.body, &mut stream),
+        ("POST", "/predict") => handle_predict(ctx, &scope, &req.body, &mut stream),
+        ("POST", "/explain") => handle_explain(ctx, &scope, &req.body, &mut stream),
+        ("POST", "/feedback") => handle_feedback(ctx, &scope, &req.body, &mut stream),
         ("GET", "/healthz") => {
             let body = format!(
                 "{{\"status\":\"ok\",\"model_hash\":\"{:016x}\",\"draining\":{},\"window\":{},\"uptime_secs\":{:.3}}}",
@@ -421,15 +660,16 @@ fn handle_connection(ctx: &Ctx, mut stream: TcpStream) {
                 ctx.engine.window,
                 ctx.started_at.elapsed().as_secs_f64(),
             );
-            http::respond(&mut stream, "200 OK", JSON, &[], &body);
+            scope.respond(&mut stream, "200 OK", JSON, &[], &body, None);
         }
         ("GET", "/metrics") => {
-            http::respond(
+            scope.respond(
                 &mut stream,
                 "200 OK",
                 "text/plain; version=0.0.4; charset=utf-8",
                 &[],
                 &rckt_obs::prometheus::render(),
+                None,
             );
         }
         ("POST", "/shutdown") => {
@@ -437,32 +677,37 @@ fn handle_connection(ctx: &Ctx, mut stream: TcpStream) {
             // answered (the accept loop exits, then wait()/stop() drains).
             ctx.batcher.begin_drain();
             ctx.stop.store(true, Ordering::SeqCst);
-            http::respond(
+            scope.respond(
                 &mut stream,
                 "200 OK",
                 JSON,
                 &[],
                 "{\"status\":\"draining\"}",
+                None,
             );
             // Unblock accept() so the loop observes the stop flag.
             let _ = TcpStream::connect(("127.0.0.1", ctx.port));
         }
         ("GET" | "POST", _) => {
-            http::respond(
+            scope.respond(
                 &mut stream,
                 "404 Not Found",
                 JSON,
                 &[],
-                &http::error_body("not found; try /predict /explain /healthz /metrics /shutdown"),
+                &http::error_body(
+                    "not found; try /predict /explain /feedback /healthz /metrics /shutdown",
+                ),
+                None,
             );
         }
         _ => {
-            http::respond(
+            scope.respond(
                 &mut stream,
                 "405 Method Not Allowed",
                 JSON,
                 &[],
                 &http::error_body("method not allowed"),
+                None,
             );
         }
     }
@@ -676,8 +921,176 @@ mod tests {
         let _ = s.read_to_string(&mut raw);
         assert!(raw.contains("503 Service Unavailable"), "{raw}");
         assert!(raw.contains("Retry-After: 1"), "{raw}");
+        // Error responses carry a request id too.
+        assert!(raw.contains("X-Request-Id: "), "{raw}");
 
         server.stop();
+    }
+
+    /// Send a raw request string and return the full raw response
+    /// (status line + headers + body) so headers can be asserted on.
+    fn raw_request(port: u16, raw: &str) -> String {
+        let mut s = TcpStream::connect(("127.0.0.1", port)).unwrap();
+        s.write_all(raw.as_bytes()).unwrap();
+        let mut out = String::new();
+        let _ = s.read_to_string(&mut out);
+        out
+    }
+
+    fn header_value<'a>(raw: &'a str, name: &str) -> Option<&'a str> {
+        raw.lines()
+            .find_map(|l| l.strip_prefix(&format!("{name}: ")))
+            .map(str::trim)
+    }
+
+    #[test]
+    fn request_ids_are_echoed_validated_and_always_present() {
+        let json = model_json();
+        let cfg = serve_cfg();
+        let engine = Arc::new(Engine::from_json(&json, &cfg).unwrap());
+        let server = start(engine, &cfg).unwrap();
+        let port = server.port();
+        let body = predict_body();
+
+        // A well-formed client id is echoed verbatim, and batched
+        // responses carry the timing breakdown headers.
+        let raw = raw_request(
+            port,
+            &format!(
+                "POST /predict HTTP/1.1\r\nHost: l\r\nX-Request-Id: trace.abc-123\r\nContent-Length: {}\r\n\r\n{body}",
+                body.len()
+            ),
+        );
+        assert!(raw.contains("200 OK"), "{raw}");
+        assert_eq!(header_value(&raw, "X-Request-Id"), Some("trace.abc-123"));
+        assert!(
+            header_value(&raw, "Server-Timing")
+                .is_some_and(|v| v.contains("queue;dur=") && v.contains("infer;dur=")),
+            "{raw}"
+        );
+        assert!(header_value(&raw, "X-Batch-Size").is_some(), "{raw}");
+
+        // An invalid id (spaces → header-injection risk) is replaced by a
+        // generated one rather than echoed.
+        let raw = raw_request(
+            port,
+            &format!(
+                "POST /predict HTTP/1.1\r\nHost: l\r\nX-Request-Id: evil id\r\nContent-Length: {}\r\n\r\n{body}",
+                body.len()
+            ),
+        );
+        let id = header_value(&raw, "X-Request-Id").unwrap();
+        assert!(
+            id.starts_with("req-"),
+            "invalid client id must be replaced: {id}"
+        );
+
+        // Over-long ids are replaced too.
+        let long = "a".repeat(65);
+        let raw = raw_request(
+            port,
+            &format!(
+                "POST /predict HTTP/1.1\r\nHost: l\r\nX-Request-Id: {long}\r\nContent-Length: {}\r\n\r\n{body}",
+                body.len()
+            ),
+        );
+        assert!(header_value(&raw, "X-Request-Id")
+            .unwrap()
+            .starts_with("req-"));
+
+        // 400s echo the client id as well.
+        let raw = raw_request(
+            port,
+            "POST /predict HTTP/1.1\r\nHost: l\r\nX-Request-Id: err-1\r\nContent-Length: 4\r\n\r\n{bad",
+        );
+        assert!(raw.contains("400 Bad Request"), "{raw}");
+        assert_eq!(header_value(&raw, "X-Request-Id"), Some("err-1"));
+
+        server.stop();
+    }
+
+    #[test]
+    fn feedback_feeds_quality_monitors_and_log_replays_byte_identically() {
+        let dir = std::env::temp_dir().join(format!("rckt-serve-quality-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let log_path = dir.join("quality.csv");
+        let json = model_json();
+        let cfg = ServeConfig {
+            quality_log: Some(log_path.to_str().unwrap().to_string()),
+            ..serve_cfg()
+        };
+        let engine = Arc::new(Engine::from_json(&json, &cfg).unwrap());
+        let server = start(Arc::clone(&engine), &cfg).unwrap();
+        let port = server.port();
+
+        // Serve predictions, then feed their scores back with labels so
+        // the rolling AUC/ECE windows fill past min_samples.
+        let (status, resp) = http_request(port, "POST", "/predict", &predict_body()).unwrap();
+        assert!(status.contains("200"), "{status}");
+        let got: PredictResponse = serde_json::from_str(&resp).unwrap();
+        let mut events = Vec::new();
+        for round in 0..12u32 {
+            for (i, p) in got.predictions.iter().enumerate() {
+                events.push(serde_json::json!({
+                    "student": i as u32,
+                    "score": p.score,
+                    "correct": (round + i as u32) % 2 == 0,
+                }));
+            }
+        }
+        let fb = serde_json::json!({ "events": events }).to_string();
+        let (status, body) = http_request(port, "POST", "/feedback", &fb).unwrap();
+        assert!(status.contains("200"), "{status} {body}");
+        let accepted: FeedbackResponse = serde_json::from_str(&body).unwrap();
+        assert_eq!(accepted.accepted, 24);
+
+        // Out-of-range scores are rejected wholesale with a 400.
+        let bad = "{\"events\":[{\"score\":1.5,\"correct\":true}]}";
+        let (status, body) = http_request(port, "POST", "/feedback", bad).unwrap();
+        assert!(status.contains("400"), "{status}");
+        assert!(body.contains("probability"), "{body}");
+
+        // /explain contributes influence-health stats.
+        let ebody = "{\"requests\":[{\"student\":7,\"history\":[{\"question\":1,\"correct\":true},\
+                     {\"question\":2,\"correct\":false}],\"target\":null}]}";
+        let (status, _) = http_request(port, "POST", "/explain", ebody).unwrap();
+        assert!(status.contains("200"), "{status}");
+
+        // The quality gauge families are exported on /metrics. (Values are
+        // not asserted here: the registry is process-global and other
+        // tests run in parallel; CI's single-server step diffs values.)
+        let (_, metrics) = http_request(port, "GET", "/metrics", "").unwrap();
+        for name in [
+            "rckt_quality_auc",
+            "rckt_quality_ece",
+            "rckt_quality_score_p50",
+            "rckt_quality_influence_entropy",
+        ] {
+            assert!(metrics.contains(name), "missing {name} in /metrics");
+        }
+
+        // Replaying the quality log through a fresh monitor reproduces the
+        // live report byte-for-byte — the `rckt monitor --replay` contract.
+        let live = engine.quality.report();
+        assert!(live.contains("rckt_quality_auc "), "{live}");
+        let mut replay = rckt_obs::QualityMonitor::new(rckt_obs::MonitorConfig::default());
+        for line in std::fs::read_to_string(&log_path).unwrap().lines() {
+            if let Some(counts) = rckt_obs::monitor::decode_reference(line) {
+                replay.set_reference(&counts);
+            } else if let Some(ev) = QualityEvent::decode(line) {
+                replay.ingest(&ev);
+            } else {
+                panic!("unparseable quality log line: {line}");
+            }
+        }
+        assert_eq!(
+            replay.render_report(),
+            live,
+            "replayed quality log must reproduce the live report byte-for-byte"
+        );
+
+        server.stop();
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]
