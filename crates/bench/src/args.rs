@@ -84,6 +84,7 @@ impl ExpArgs {
         rckt_obs::set_run_label("seed", out.seed);
         rckt_obs::set_run_label("threads", out.threads_in_use());
         rckt_obs::set_run_label("kernel", rckt_tensor::kernels::kernel_variant_name());
+        rckt_obs::set_run_label("cpu", rckt_tensor::kernels::cpu_features());
         out
     }
 

@@ -1,5 +1,5 @@
 //! Kernel scaling sweep: matmul throughput across thread counts × shapes ×
-//! kernel variants (naive reference vs blocked/parallel), appended to the
+//! kernel variants (naive reference vs blocked vs simd), appended to the
 //! perf-trajectory history like every other bench bin.
 //!
 //! ```text
@@ -7,10 +7,16 @@
 //! ```
 //!
 //! Shapes cover the sizes RCKT actually runs: `[B*T, d] × [d, d]` encoder
-//! projections (tall-skinny) and square attention-score products. The
-//! naive variant is always single-threaded (it is the bit-exact reference
-//! path); the blocked variant uses the pool, so the blocked rows show the
-//! thread scaling.
+//! projections (tall-skinny), the window-length GEMMs `predict_targets`
+//! issues per counterfactual fan-out, and square attention-score products.
+//! The naive variant is always single-threaded (it is the bit-exact
+//! reference path); the blocked and simd variants use the pool, so their
+//! rows show the thread scaling.
+//!
+//! Every manifest records the kernel variant *and* the detected CPU
+//! features (`config.cpu`), so the `regress` gate groups runs per
+//! (shape, kernel, threads, cpu) and never compares a naive run on one
+//! machine against a simd run on another.
 
 use rckt_bench::ExpArgs;
 use rckt_tensor::kernels::{self, KernelVariant};
@@ -21,10 +27,21 @@ use std::time::Instant;
 const HISTORY: &str = "results/BENCH_kernel_scaling.json";
 
 /// `(m, k, n)` shapes swept, roughly small → large.
-const SHAPES: [(usize, usize, usize); 4] = [
+///
+/// The RCKT-shaped entries mirror the GEMMs `predict_targets` actually
+/// issues: `200×32×32` is one max-length sequence against the default
+/// `dim = 32` projection, `800×32×32` a batch-of-16 window fan-out
+/// (16 × 50 rows), `800×128×128` the same at the paper's `d = 128`, and
+/// `200×128×200` the `Q·Kᵀ` attention-score product for a full-length
+/// sequence.
+const SHAPES: [(usize, usize, usize); 8] = [
     (64, 64, 64),
+    (200, 32, 32), // max_len rows × default dim projection
+    (800, 32, 32), // B=16 × T=50 fan-out rows, default dim
     (256, 128, 128),
-    (800, 64, 64), // B=16 × T=50 rows against a d=64 projection
+    (800, 64, 64),   // B=16 × T=50 rows against a d=64 projection
+    (800, 128, 128), // fan-out rows at the paper's d=128
+    (200, 128, 200), // attention scores Q·Kᵀ at max_len
     (384, 384, 384),
 ];
 
@@ -68,13 +85,17 @@ fn gflops(m: usize, k: usize, n: usize, variant: KernelVariant, threads: usize) 
 fn main() {
     let args = ExpArgs::parse();
     let hw = args.threads_in_use();
+    let cpu = kernels::cpu_features();
     let mut thread_counts = vec![1usize, 2, 4];
     if !thread_counts.contains(&hw) {
         thread_counts.push(hw);
     }
     thread_counts.sort_unstable();
 
-    println!("kernel scaling — matmul GFLOP/s (naive reference vs blocked), hw width {hw}\n");
+    println!(
+        "kernel scaling — matmul GFLOP/s (naive reference vs blocked vs simd), \
+         hw width {hw}, cpu {cpu}\n"
+    );
     println!(
         "{:<16}{:>10}{:>9}{:>12}{:>12}",
         "shape (m,k,n)", "variant", "threads", "GFLOP/s", "ms/call"
@@ -91,14 +112,20 @@ fn main() {
             naive_ms
         );
         record(&args, m, k, n, "naive", 1, naive_gf, naive_ms, 1.0);
-        for &t in &thread_counts {
-            let (gf, ms) = gflops(m, k, n, KernelVariant::Blocked, t);
-            let speedup = naive_ms / ms;
-            println!(
-                "{:<16}{:>10}{:>9}{:>12.2}{:>12.3}   ({speedup:.2}x vs naive)",
-                "", "blocked", t, gf, ms
-            );
-            record(&args, m, k, n, "blocked", t, gf, ms, speedup);
+        for variant in [KernelVariant::Blocked, KernelVariant::Simd] {
+            let name = match variant {
+                KernelVariant::Blocked => "blocked",
+                _ => "simd",
+            };
+            for &t in &thread_counts {
+                let (gf, ms) = gflops(m, k, n, variant, t);
+                let speedup = naive_ms / ms;
+                println!(
+                    "{:<16}{:>10}{:>9}{:>12.2}{:>12.3}   ({speedup:.2}x vs naive)",
+                    "", name, t, gf, ms
+                );
+                record(&args, m, k, n, name, t, gf, ms, speedup);
+            }
         }
     }
     // restore the CLI-requested width for anything running after us
@@ -124,6 +151,7 @@ fn record(
         .config("shape", format!("{m}x{k}x{n}"))
         .config("kernel", variant)
         .config("threads", threads)
+        .config("cpu", kernels::cpu_features())
         .result("gflops", gf)
         .result("ms_per_call", ms)
         .result("speedup_vs_naive", speedup_vs_naive);

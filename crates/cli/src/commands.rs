@@ -218,6 +218,7 @@ fn train(flags: &HashMap<String, String>) -> Result<(), CliError> {
     rckt_obs::set_run_label("seed", seed);
     rckt_obs::set_run_label("threads", rckt_tensor::pool::threads());
     rckt_obs::set_run_label("kernel", rckt_tensor::kernels::kernel_variant_name());
+    rckt_obs::set_run_label("cpu", rckt_tensor::kernels::cpu_features());
     rckt_obs::set_run_label("grad_shards", grad_shards);
     rckt_obs::event(
         rckt_obs::Level::Info,
@@ -244,6 +245,7 @@ fn train(flags: &HashMap<String, String>) -> Result<(), CliError> {
         .config("model", model.name())
         .config("threads", rckt_tensor::pool::threads())
         .config("kernel", rckt_tensor::kernels::kernel_variant_name())
+        .config("cpu", rckt_tensor::kernels::cpu_features())
         .config("grad_shards", grad_shards)
         .result("fit_secs", fit_t0.elapsed().as_secs_f64())
         .publish();

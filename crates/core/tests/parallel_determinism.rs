@@ -1,7 +1,8 @@
 //! End-to-end determinism contract of the parallel compute layer:
 //! training losses, updated weights, and counterfactual predictions must be
-//! bit-identical no matter how wide the `rckt_tensor` pool is, and the
-//! blocked kernels must track the naive reference through a whole model.
+//! bit-identical no matter how wide the `rckt_tensor` pool is (for every
+//! kernel variant), and the blocked and simd kernels must track the naive
+//! reference through a whole model.
 
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
@@ -117,9 +118,10 @@ fn blocked_and_naive_kernels_agree_through_model() {
         (losses, preds)
     };
 
+    let before = kernels::kernel_variant();
     let (naive_loss, naive_pred) = run(KernelVariant::Naive);
     let (blocked_loss, blocked_pred) = run(KernelVariant::Blocked);
-    kernels::set_kernel_variant(KernelVariant::Blocked);
+    kernels::set_kernel_variant(before);
     for (i, (a, b)) in naive_loss.iter().zip(&blocked_loss).enumerate() {
         assert!(
             (a - b).abs() < 1e-5,
@@ -131,6 +133,78 @@ fn blocked_and_naive_kernels_agree_through_model() {
         assert!(
             (a - b).abs() < 1e-5,
             "prediction {i} diverged: naive {a} vs blocked {b}"
+        );
+    }
+}
+
+/// Full training + counterfactual inference under `RCKT_KERNEL=simd` is
+/// bit-identical at every pool width — the determinism contract holds per
+/// variant, not just for the reference path.
+#[test]
+fn simd_kernel_inference_bit_identical_across_widths() {
+    let _g = GLOBAL.lock().unwrap();
+    let (ds, batches) = tiny();
+    let before = kernels::kernel_variant();
+    kernels::set_kernel_variant(KernelVariant::Simd);
+    pool::set_threads(1);
+    let reference = scenario(&ds, &batches, 2);
+    for width in [2, 4] {
+        pool::set_threads(width);
+        let run = scenario(&ds, &batches, 2);
+        assert_eq!(reference.0, run.0, "step-1 loss differs at width {width}");
+        assert_eq!(reference.1, run.1, "step-2 loss differs at width {width}");
+        assert_eq!(reference.2, run.2, "weights differ at width {width}");
+        assert_eq!(reference.3, run.3, "predictions differs at width {width}");
+    }
+    pool::set_threads(1);
+    kernels::set_kernel_variant(before);
+}
+
+/// Simd vs naive kernels through a whole trained model: the kernel-level
+/// contract is 1e-4 relative (FMA contraction), and two optimization steps
+/// compound it, so the through-model tolerance is 1e-3 on sigmoid outputs.
+#[test]
+fn simd_and_naive_kernels_agree_through_model() {
+    let _g = GLOBAL.lock().unwrap();
+    let (ds, batches) = tiny();
+    pool::set_threads(1);
+
+    let run = |variant: KernelVariant| -> (Vec<f32>, Vec<f32>) {
+        kernels::set_kernel_variant(variant);
+        let cfg = RcktConfig {
+            dim: 16,
+            lr: 3e-3,
+            dropout: 0.0,
+            ..Default::default()
+        };
+        let mut m = Rckt::new(Backbone::Dkt, ds.num_questions(), ds.num_concepts(), cfg);
+        let mut rng = SmallRng::seed_from_u64(5);
+        let losses: Vec<f32> = (0..2)
+            .map(|_| m.train_batch(&batches[0], 5.0, &mut rng))
+            .collect();
+        let preds = batches
+            .iter()
+            .flat_map(|b| m.predict_last(b))
+            .map(|p| p.prob)
+            .collect();
+        (losses, preds)
+    };
+
+    let before = kernels::kernel_variant();
+    let (naive_loss, naive_pred) = run(KernelVariant::Naive);
+    let (simd_loss, simd_pred) = run(KernelVariant::Simd);
+    kernels::set_kernel_variant(before);
+    for (i, (a, b)) in naive_loss.iter().zip(&simd_loss).enumerate() {
+        assert!(
+            (a - b).abs() < 1e-3,
+            "step-{i} loss diverged: naive {a} vs simd {b}"
+        );
+    }
+    assert_eq!(naive_pred.len(), simd_pred.len());
+    for (i, (a, b)) in naive_pred.iter().zip(&simd_pred).enumerate() {
+        assert!(
+            (a - b).abs() < 1e-3,
+            "prediction {i} diverged: naive {a} vs simd {b}"
         );
     }
 }

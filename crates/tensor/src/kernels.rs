@@ -1,26 +1,49 @@
 //! Dense f32 compute kernels shared by forward and backward passes.
 //!
-//! All kernels operate on row-major slices. Two matmul implementations are
-//! provided:
+//! All kernels operate on row-major slices. Three matmul implementations
+//! are provided, selectable at runtime (`RCKT_KERNEL=auto|naive|blocked|
+//! simd` or [`set_kernel_variant`]):
 //!
-//! * **naive** — the original triple loops, kept as an always-correct
-//!   reference path (`naive_matmul_acc` and friends), selectable at runtime
-//!   with `RCKT_KERNEL=naive` or [`set_kernel_variant`];
-//! * **blocked** (default) — a cache-blocked, register-tiled kernel: `B` is
-//!   packed into contiguous `NR`-wide column panels, `A` into `MR`-row
+//! * **naive** — the original triple loops, kept as an always-correct,
+//!   always-serial reference path (`naive_matmul_acc` and friends);
+//! * **blocked** — a cache-blocked, register-tiled kernel: `B` is packed
+//!   into contiguous `NR`-wide column panels ([`pack`]), `A` into `MR`-row
 //!   interleaved blocks of `KC` columns, and an `MR`×`NR` register
 //!   accumulator is driven by an unrolled inner loop the autovectorizer
 //!   turns into SIMD FMAs. Row panels of the output are split across the
-//!   [`crate::pool`] thread pool.
+//!   [`crate::pool`] thread pool;
+//! * **simd** (default via `auto`) — explicit `std::arch` microkernels
+//!   ([`simd`]): AVX2+FMA 6×16 on x86-64, NEON 8×8 on aarch64, a portable
+//!   4×16 scalar tile elsewhere, chosen by one-time runtime feature
+//!   detection. Work is split over *column panels* with the packed `A`
+//!   shared read-only across tasks.
+//!
+//! The dispatch ladder for `auto` (the default when `RCKT_KERNEL` is unset)
+//! resolves to `simd`, whose backend is the best the CPU supports; the
+//! decision is logged once as a `kernel.dispatch` event. Tiny products
+//! always take the naive loops — packing overhead dominates below
+//! [`TILED_MIN_WORK`].
 //!
 //! Determinism: for a fixed kernel variant every output element is computed
-//! by exactly one task with a fixed reduction order over `k` (`KC` blocks in
-//! order, sequential accumulation within a block), so results are
-//! bit-identical for any `RCKT_THREADS`. The blocked and naive variants
-//! reduce in different orders and agree only up to float rounding (~1e-6
-//! relative; tests enforce 1e-5).
+//! by exactly one task with a fixed reduction order over `k` (blocked: `KC`
+//! blocks in order, sequential accumulation within a block; simd: a single
+//! full-depth pass in `p`-ascending order), so results are bit-identical
+//! for any `RCKT_THREADS`. Different variants reduce in different orders —
+//! and the SIMD backends contract multiplies and adds into FMAs — so
+//! variants agree with each other only up to float rounding (~1e-6
+//! relative; tests enforce 1e-5 for blocked≡naive and 1e-4 for
+//! simd≡naive).
+
+pub mod pack;
+mod simd;
+
+pub use simd::{
+    cpu_features, simd_backend, simd_matmul_acc, simd_matmul_at_acc, simd_matmul_bt_acc,
+    SimdBackend,
+};
 
 use crate::pool;
+use pack::BSource;
 use std::sync::atomic::{AtomicU8, Ordering};
 use std::sync::OnceLock;
 
@@ -31,11 +54,14 @@ use std::sync::OnceLock;
 pub enum KernelVariant {
     /// Original reference loops, always serial.
     Naive,
-    /// Packed, register-tiled, pool-parallel kernel (default).
+    /// Packed, register-tiled, autovectorized, pool-parallel kernel.
     Blocked,
+    /// Explicit-SIMD microkernels with runtime feature detection
+    /// (default; see [`simd_backend`] for what this machine resolved to).
+    Simd,
 }
 
-/// 0 = unresolved, 1 = naive, 2 = blocked.
+/// 0 = unresolved, 1 = naive, 2 = blocked, 3 = simd.
 static VARIANT: AtomicU8 = AtomicU8::new(0);
 
 /// Select the matmul implementation programmatically; overrides the
@@ -44,32 +70,69 @@ pub fn set_kernel_variant(v: KernelVariant) {
     let code = match v {
         KernelVariant::Naive => 1,
         KernelVariant::Blocked => 2,
+        KernelVariant::Simd => 3,
     };
     VARIANT.store(code, Ordering::SeqCst);
 }
 
-/// The active variant: [`set_kernel_variant`] > `RCKT_KERNEL` env
-/// (`naive`/`blocked`) > blocked.
+/// The active variant, resolved in priority order: [`set_kernel_variant`],
+/// then the `RCKT_KERNEL` env var (`naive`/`blocked`/`simd`), then `auto`
+/// (also what `RCKT_KERNEL=auto` or an unrecognized value means). `auto`
+/// picks [`KernelVariant::Simd`] — its microkernel is feature-detected per
+/// machine and falls back to a portable tile when neither AVX2+FMA nor
+/// NEON is available.
+///
+/// The first resolution (and only the first — later [`set_kernel_variant`]
+/// calls are silent, they're test plumbing) emits a `kernel.dispatch`
+/// event recording what was requested, what ran, and the detected CPU
+/// features, so logs always pin down which kernel produced a run.
 pub fn kernel_variant() -> KernelVariant {
     let code = VARIANT.load(Ordering::Relaxed);
     if code == 0 {
-        let resolved = match std::env::var("RCKT_KERNEL").as_deref() {
-            Ok("naive") => 1,
-            _ => 2,
+        let (resolved, requested) = match std::env::var("RCKT_KERNEL").as_deref() {
+            Ok("naive") => (1, "naive"),
+            Ok("blocked") => (2, "blocked"),
+            Ok("simd") => (3, "simd"),
+            _ => (3, "auto"),
         };
-        let _ = VARIANT.compare_exchange(0, resolved, Ordering::SeqCst, Ordering::SeqCst);
+        if VARIANT
+            .compare_exchange(0, resolved, Ordering::SeqCst, Ordering::SeqCst)
+            .is_ok()
+        {
+            rckt_obs::event(
+                rckt_obs::Level::Info,
+                "kernel.dispatch",
+                &[
+                    ("requested", requested.into()),
+                    ("variant", variant_code_name(resolved).into()),
+                    ("cpu", simd::cpu_features().into()),
+                ],
+            );
+        }
     }
     match VARIANT.load(Ordering::Relaxed) {
         1 => KernelVariant::Naive,
-        _ => KernelVariant::Blocked,
+        2 => KernelVariant::Blocked,
+        _ => KernelVariant::Simd,
     }
 }
 
-/// `"naive"` or `"blocked"`, for run manifests and logs.
+fn variant_code_name(code: u8) -> &'static str {
+    match code {
+        1 => "naive",
+        2 => "blocked",
+        _ => "simd",
+    }
+}
+
+/// `"naive"`, `"blocked"`, or `"simd"`, for run manifests and logs. Pair
+/// with [`cpu_features`] to pin down which microkernel `"simd"` means on a
+/// given machine.
 pub fn kernel_variant_name() -> &'static str {
     match kernel_variant() {
         KernelVariant::Naive => "naive",
         KernelVariant::Blocked => "blocked",
+        KernelVariant::Simd => "simd",
     }
 }
 
@@ -98,13 +161,19 @@ fn record_matmul(m: usize, k: usize, n: usize) {
 
 // ------------------------------------------------------------ dispatchers
 
-/// Below this many `m·k·n` products the packing overhead of the blocked
-/// kernel outweighs its throughput and the naive loops win.
-const BLOCKED_MIN_WORK: usize = 16 * 1024;
+/// Below this many `m·k·n` products the packing overhead of the tiled
+/// kernels (blocked and simd) outweighs their throughput and the naive
+/// loops win.
+pub const TILED_MIN_WORK: usize = 16 * 1024;
 
+/// The variant a product of this shape actually runs: tiny or skinny
+/// outputs always take the naive loops regardless of the selected variant.
 #[inline]
-fn use_blocked(m: usize, k: usize, n: usize) -> bool {
-    m >= 8 && n >= 8 && m * k * n >= BLOCKED_MIN_WORK && kernel_variant() == KernelVariant::Blocked
+fn tiled_variant(m: usize, k: usize, n: usize) -> KernelVariant {
+    if m < 8 || n < 8 || m * k * n < TILED_MIN_WORK {
+        return KernelVariant::Naive;
+    }
+    kernel_variant()
 }
 
 /// `c += a (m×k) · b (k×n)`, accumulating into `c (m×n)`.
@@ -113,10 +182,10 @@ pub fn matmul_acc(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: us
     debug_assert_eq!(b.len(), k * n);
     debug_assert_eq!(c.len(), m * n);
     record_matmul(m, k, n);
-    if use_blocked(m, k, n) {
-        blocked_matmul_acc(a, b, c, m, k, n);
-    } else {
-        naive_matmul_acc(a, b, c, m, k, n);
+    match tiled_variant(m, k, n) {
+        KernelVariant::Naive => naive_matmul_acc(a, b, c, m, k, n),
+        KernelVariant::Blocked => blocked_matmul_acc(a, b, c, m, k, n),
+        KernelVariant::Simd => simd_matmul_acc(a, b, c, m, k, n),
     }
 }
 
@@ -126,10 +195,10 @@ pub fn matmul_bt_acc(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n:
     debug_assert_eq!(b.len(), n * k);
     debug_assert_eq!(c.len(), m * n);
     record_matmul(m, k, n);
-    if use_blocked(m, k, n) {
-        blocked_matmul_bt_acc(a, b, c, m, k, n);
-    } else {
-        naive_matmul_bt_acc(a, b, c, m, k, n);
+    match tiled_variant(m, k, n) {
+        KernelVariant::Naive => naive_matmul_bt_acc(a, b, c, m, k, n),
+        KernelVariant::Blocked => blocked_matmul_bt_acc(a, b, c, m, k, n),
+        KernelVariant::Simd => simd_matmul_bt_acc(a, b, c, m, k, n),
     }
 }
 
@@ -139,10 +208,10 @@ pub fn matmul_at_acc(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n:
     debug_assert_eq!(b.len(), m * n);
     debug_assert_eq!(c.len(), k * n);
     record_matmul(m, k, n);
-    if use_blocked(k, m, n) {
-        blocked_matmul_at_acc(a, b, c, m, k, n);
-    } else {
-        naive_matmul_at_acc(a, b, c, m, k, n);
+    match tiled_variant(k, m, n) {
+        KernelVariant::Naive => naive_matmul_at_acc(a, b, c, m, k, n),
+        KernelVariant::Blocked => blocked_matmul_at_acc(a, b, c, m, k, n),
+        KernelVariant::Simd => simd_matmul_at_acc(a, b, c, m, k, n),
     }
 }
 
@@ -214,14 +283,14 @@ const PAR_MIN_FLOPS: u64 = 1 << 20;
 /// Blocked variant of [`matmul_acc`]; callable directly (bypassing size
 /// dispatch) by tests and benches.
 pub fn blocked_matmul_acc(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
-    let packed = pack_b(b, k, n, BLayout::Rows);
+    let packed = pack::pack_b(&BSource::Rows(b), k, n, NR);
     gemm_blocked(&|i, p| a[i * k + p], &packed, c, m, k, n);
 }
 
 /// Blocked variant of [`matmul_bt_acc`] (`b` is `n×k`); the transposed `B`
 /// is absorbed into panel packing rather than materialized.
 pub fn blocked_matmul_bt_acc(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
-    let packed = pack_b(b, k, n, BLayout::Cols);
+    let packed = pack::pack_b(&BSource::Cols(b), k, n, NR);
     gemm_blocked(&|i, p| a[i * k + p], &packed, c, m, k, n);
 }
 
@@ -229,53 +298,8 @@ pub fn blocked_matmul_bt_acc(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: u
 /// GEMM with `M = k`, reduction depth `m`, reading `a` column-wise during
 /// `A`-block packing.
 pub fn blocked_matmul_at_acc(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
-    let packed = pack_b(b, m, n, BLayout::Rows);
+    let packed = pack::pack_b(&BSource::Rows(b), m, n, NR);
     gemm_blocked(&|i, p| a[p * k + i], &packed, c, k, m, n);
-}
-
-/// How [`pack_b`] reads its source.
-enum BLayout {
-    /// `b` is the `kk×n` right operand itself.
-    Rows,
-    /// `b` is `n×kk` and used transposed (`bᵀ`).
-    Cols,
-}
-
-/// Pack `B` into `⌈n/NR⌉` contiguous panels of `kk·NR` floats: panel `jp`
-/// holds columns `jp·NR..` with layout `panel[p·NR + jj] = B[p][jp·NR+jj]`,
-/// zero-padded past column `n` so the microkernel never branches on edges.
-fn pack_b(b: &[f32], kk: usize, n: usize, layout: BLayout) -> Vec<f32> {
-    let n_panels = n.div_ceil(NR);
-    let panel_len = kk * NR;
-    let mut packed = vec![0.0f32; n_panels * panel_len];
-    let fill = |jp: usize, dst: &mut [f32]| {
-        let j0 = jp * NR;
-        let jw = NR.min(n - j0);
-        match layout {
-            BLayout::Rows => {
-                for p in 0..kk {
-                    dst[p * NR..p * NR + jw].copy_from_slice(&b[p * n + j0..p * n + j0 + jw]);
-                }
-            }
-            BLayout::Cols => {
-                // Source rows are columns of bᵀ: stream each row once.
-                for jj in 0..jw {
-                    let col = &b[(j0 + jj) * kk..(j0 + jj + 1) * kk];
-                    for (p, &v) in col.iter().enumerate() {
-                        dst[p * NR + jj] = v;
-                    }
-                }
-            }
-        }
-    };
-    if packed.len() >= 4 * panel_len && (kk * n) as u64 * 16 >= PAR_MIN_FLOPS {
-        pool::parallel_chunks_mut(&mut packed, panel_len, &|jp, dst| fill(jp, dst));
-    } else {
-        for jp in 0..n_panels {
-            fill(jp, &mut packed[jp * panel_len..(jp + 1) * panel_len]);
-        }
-    }
-    packed
 }
 
 /// The register-tiled inner loop: `acc[r][jj] += apack[p][r] · bpanel[p][jj]`
@@ -341,9 +365,9 @@ fn gemm_blocked(
                     let bpanel = &packed_b[(jp * kk + p0) * NR..(jp * kk + p0 + pw) * NR];
                     let mut acc = [[0.0f32; NR]; MR];
                     microkernel(&apack[..pw * MR], bpanel, &mut acc);
-                    for r in 0..ih {
+                    for (r, acc_row) in acc.iter().enumerate().take(ih) {
                         let base = (ip + r) * n + j0;
-                        for (cv, &av) in c_chunk[base..base + jw].iter_mut().zip(&acc[r][..jw]) {
+                        for (cv, &av) in c_chunk[base..base + jw].iter_mut().zip(&acc_row[..jw]) {
                             *cv += av;
                         }
                     }
@@ -496,41 +520,27 @@ fn layer_norm_rows_serial(
 
 // -------------------------------------------------------------- transpose
 
-/// Tile edge for the blocked transpose: a 32×32 f32 tile is 4 KiB on each
-/// side, so both the read and write working sets stay in L1.
-const TRANSPOSE_TILE: usize = 32;
-
-/// Transpose `src (m×n)` into `dst (n×m)` with cache-blocked tiles; large
-/// matrices are split across the pool by output-row bands.
+/// Transpose `src (m×n)` into `dst (n×m)` with the cache-tiled strided
+/// transpose from [`pack`] (the same routine that backs `Bᵀ` panel
+/// packing, so remainder handling lives in one place); large matrices are
+/// split across the pool by output-row bands.
 pub fn transpose(src: &[f32], dst: &mut [f32], m: usize, n: usize) {
     debug_assert_eq!(src.len(), m * n);
     debug_assert_eq!(dst.len(), m * n);
     if m == 0 || n == 0 {
         return;
     }
-    if m * n < PAR_MIN_ELEMS || pool::threads() == 1 || n < 2 * TRANSPOSE_TILE {
-        transpose_band(src, dst, m, n, 0);
+    if m * n < PAR_MIN_ELEMS || pool::threads() == 1 || n < 2 * pack::TILE {
+        pack::transpose_into(src, dst, m, n, n, m);
         return;
     }
-    pool::parallel_chunks_mut(dst, TRANSPOSE_TILE * m, &|band, chunk| {
-        transpose_band(src, chunk, m, n, band * TRANSPOSE_TILE);
+    // Each band is `pack::TILE` source columns = that many contiguous
+    // output rows; the last band may be narrower.
+    pool::parallel_chunks_mut(dst, pack::TILE * m, &|band, chunk| {
+        let j0 = band * pack::TILE;
+        let jw = chunk.len() / m;
+        pack::transpose_into(&src[j0..], chunk, m, jw, n, m);
     });
-}
-
-/// Fill `dst_band` (rows `j0..j0+jw` of the transposed output, `jw` inferred
-/// from the band length) from `src`, tiling over `i` for locality.
-fn transpose_band(src: &[f32], dst_band: &mut [f32], m: usize, n: usize, j0: usize) {
-    let jw = dst_band.len() / m;
-    for i0 in (0..m).step_by(TRANSPOSE_TILE) {
-        let ih = TRANSPOSE_TILE.min(m - i0);
-        for jj in 0..jw {
-            let d_row = &mut dst_band[jj * m..jj * m + m];
-            let j = j0 + jj;
-            for i in i0..i0 + ih {
-                d_row[i] = src[i * n + j];
-            }
-        }
-    }
 }
 
 #[cfg(test)]
@@ -800,6 +810,107 @@ mod tests {
         assert_eq!(kernel_variant_name(), "naive");
         set_kernel_variant(KernelVariant::Blocked);
         assert_eq!(kernel_variant_name(), "blocked");
+        set_kernel_variant(KernelVariant::Simd);
+        assert_eq!(kernel_variant_name(), "simd");
         set_kernel_variant(before);
+    }
+
+    #[test]
+    fn simd_matches_naive_across_random_shapes() {
+        // The simd≡naive tolerance is 1e-4 relative (FMA contracts the
+        // multiply-add, and panel tiling reassociates the k-sum).
+        let mut rng = XorShift(0x243f6a8885a308d3);
+        for _ in 0..40 {
+            let m = rng.next_range(1, 70);
+            let k = rng.next_range(1, 70);
+            let n = rng.next_range(1, 70);
+            let a = rng.vec(m * k);
+            let b = rng.vec(k * n);
+            let mut c_naive = rng.vec(m * n);
+            let mut c_simd = c_naive.clone();
+            naive_matmul_acc(&a, &b, &mut c_naive, m, k, n);
+            simd_matmul_acc(&a, &b, &mut c_simd, m, k, n);
+            assert!(
+                max_rel_err(&c_naive, &c_simd) < 1e-4,
+                "acc mismatch at m={m} k={k} n={n}"
+            );
+
+            let bt = rng.vec(n * k);
+            let mut c1 = rng.vec(m * n);
+            let mut c2 = c1.clone();
+            naive_matmul_bt_acc(&a, &bt, &mut c1, m, k, n);
+            simd_matmul_bt_acc(&a, &bt, &mut c2, m, k, n);
+            assert!(
+                max_rel_err(&c1, &c2) < 1e-4,
+                "bt mismatch at m={m} k={k} n={n}"
+            );
+
+            let b2 = rng.vec(m * n);
+            let mut c3 = rng.vec(k * n);
+            let mut c4 = c3.clone();
+            naive_matmul_at_acc(&a, &b2, &mut c3, m, k, n);
+            simd_matmul_at_acc(&a, &b2, &mut c4, m, k, n);
+            assert!(
+                max_rel_err(&c3, &c4) < 1e-4,
+                "at mismatch at m={m} k={k} n={n}"
+            );
+        }
+    }
+
+    #[test]
+    fn simd_handles_tile_edges_exactly() {
+        // Integer-valued inputs: FMA and reassociation are exact, so the
+        // SIMD path must agree bit-for-bit with naive on every remainder
+        // combination of the microkernel tile — including degenerate
+        // 1×K×1 and window-length-sized dims.
+        let edges = [
+            (1usize, 37usize, 1usize), // 1×K×1
+            (1, 1, 1),
+            (6, 128, 16), // exactly one AVX2 tile
+            (7, 129, 17), // one past it in every dim
+            (5, 50, 15),  // under it in every dim
+            (8, 8, 8),    // exactly one NEON tile
+            (9, 9, 9),
+            (50, 200, 50), // window_len × max_len dims
+            (3, 1, 31),
+        ];
+        for &(m, k, n) in &edges {
+            let mut rng = XorShift((m * 1000 + k * 10 + n) as u64 | 1);
+            let a: Vec<f32> = (0..m * k)
+                .map(|_| rng.next_range(0, 7) as f32 - 3.0)
+                .collect();
+            let b: Vec<f32> = (0..k * n)
+                .map(|_| rng.next_range(0, 7) as f32 - 3.0)
+                .collect();
+            let mut c1 = vec![0.5f32; m * n];
+            let mut c2 = c1.clone();
+            naive_matmul_acc(&a, &b, &mut c1, m, k, n);
+            simd_matmul_acc(&a, &b, &mut c2, m, k, n);
+            assert_eq!(c1, c2, "edge case m={m} k={k} n={n}");
+        }
+    }
+
+    #[test]
+    fn simd_is_bit_identical_across_thread_counts() {
+        let mut rng = XorShift(23);
+        let (m, k, n) = (97, 130, 53);
+        let a = rng.vec(m * k);
+        let b = rng.vec(k * n);
+        let mut reference: Option<Vec<u32>> = None;
+        let _g = pool::TEST_WIDTH_LOCK
+            .lock()
+            .unwrap_or_else(|e| e.into_inner());
+        let before = pool::threads();
+        for w in [1, 2, 4] {
+            pool::set_threads(w);
+            let mut c = vec![0.0f32; m * n];
+            simd_matmul_acc(&a, &b, &mut c, m, k, n);
+            let bits: Vec<u32> = c.iter().map(|x| x.to_bits()).collect();
+            match &reference {
+                None => reference = Some(bits),
+                Some(r) => assert_eq!(r, &bits, "results differ at {w} threads"),
+            }
+        }
+        pool::set_threads(before);
     }
 }

@@ -1,0 +1,227 @@
+//! Panel packing shared by the blocked and SIMD matmul kernels and the
+//! blocked transpose.
+//!
+//! Every dense kernel in this crate that tiles its operands goes through
+//! the routines here, so remainder handling (dimensions that are not
+//! multiples of a register tile) is implemented — and tested — in exactly
+//! one place:
+//!
+//! * [`pack_b`] — the right-hand operand, packed into `⌈n/nr⌉` contiguous
+//!   `nr`-wide column panels of `kk·nr` floats, zero-padded past column
+//!   `n` so microkernels never branch on column edges;
+//! * [`pack_a`] — the left-hand operand, packed into `⌈m/mr⌉` contiguous
+//!   row panels of `kk·mr` floats with the `mr` rows interleaved
+//!   (`panel[p·mr + r] = A[i0 + r][p]`), zero-padded past row `m`;
+//! * [`transpose_into`] — the cache-tiled strided transpose that backs both
+//!   the [`BSource::Cols`] packing layout and [`super::transpose`].
+//!
+//! Packing is pure data movement: values are copied bit-for-bit, so none
+//! of these routines can affect numeric results — only memory layout. That
+//! is also why the large-input parallel paths below are trivially safe to
+//! take: a copy sharded across the pool produces the same bytes as a
+//! serial one.
+
+use crate::pool;
+
+/// How [`pack_b`] reads its source operand.
+pub enum BSource<'a> {
+    /// The `kk×n` right operand itself, row-major.
+    Rows(&'a [f32]),
+    /// An `n×kk` row-major matrix used transposed (`bᵀ`).
+    Cols(&'a [f32]),
+}
+
+/// Cache tile edge for [`transpose_into`]: a 32×32 f32 tile is 4 KiB per
+/// side, so the read and write working sets both stay in L1.
+pub const TILE: usize = 32;
+
+/// Source elements below which packing stays on the calling thread — the
+/// fork/join overhead beats the memory-bound win for small operands.
+const PAR_MIN_PACK: usize = 64 * 1024;
+
+/// Strided transpose: `dst[c·dst_stride + r] = src[r·src_stride + c]` for
+/// `r < rows`, `c < cols`, walked in [`TILE`]-square tiles so both sides
+/// stream through L1. Requires `src_stride ≥ cols` is *not* enforced —
+/// `src` only needs to cover index `(rows−1)·src_stride + cols − 1`, which
+/// lets callers pass an offset view of a wider matrix (a column band).
+pub fn transpose_into(
+    src: &[f32],
+    dst: &mut [f32],
+    rows: usize,
+    cols: usize,
+    src_stride: usize,
+    dst_stride: usize,
+) {
+    for r0 in (0..rows).step_by(TILE) {
+        let rh = TILE.min(rows - r0);
+        for c0 in (0..cols).step_by(TILE) {
+            let cw = TILE.min(cols - c0);
+            for c in c0..c0 + cw {
+                let d = &mut dst[c * dst_stride + r0..c * dst_stride + r0 + rh];
+                for (i, slot) in d.iter_mut().enumerate() {
+                    *slot = src[(r0 + i) * src_stride + c];
+                }
+            }
+        }
+    }
+}
+
+/// Pack `B` into `⌈n/nr⌉` contiguous `nr`-wide column panels of `kk·nr`
+/// floats: `panel_jp[p·nr + jj] = B[p][jp·nr + jj]` (or `bᵀ` for
+/// [`BSource::Cols`]), zero-padded past column `n`. Large packs are split
+/// panel-wise across the pool.
+pub fn pack_b(src: &BSource, kk: usize, n: usize, nr: usize) -> Vec<f32> {
+    let n_panels = n.div_ceil(nr);
+    let panel_len = kk * nr;
+    let mut packed = vec![0.0f32; n_panels * panel_len];
+    let fill = |jp: usize, dst: &mut [f32]| pack_b_panel(src, dst, kk, n, nr, jp);
+    if n_panels >= 4 && kk * n >= PAR_MIN_PACK && pool::threads() > 1 {
+        pool::parallel_chunks_mut(&mut packed, panel_len, &fill);
+    } else {
+        for (jp, dst) in packed.chunks_mut(panel_len).enumerate() {
+            fill(jp, dst);
+        }
+    }
+    packed
+}
+
+/// Fill column panel `jp` of a [`pack_b`] layout. `dst` is `kk·nr` long
+/// and must arrive zeroed (the pad columns are never written).
+pub fn pack_b_panel(src: &BSource, dst: &mut [f32], kk: usize, n: usize, nr: usize, jp: usize) {
+    let j0 = jp * nr;
+    let jw = nr.min(n - j0);
+    match src {
+        BSource::Rows(b) => {
+            for p in 0..kk {
+                dst[p * nr..p * nr + jw].copy_from_slice(&b[p * n + j0..p * n + j0 + jw]);
+            }
+        }
+        BSource::Cols(b) => {
+            // Source rows are columns of bᵀ: the panel is a strided
+            // transpose of the `jw×kk` strip starting at source row `j0`.
+            transpose_into(&b[j0 * kk..], dst, jw, kk, kk, nr);
+        }
+    }
+}
+
+/// Pack `A` into `⌈m/mr⌉` contiguous row panels of `kk·mr` floats with the
+/// `mr` rows interleaved: `panel_ip[p·mr + r] = af(ip·mr + r, p)`,
+/// zero-padded past row `m`. `af(i, p)` supplies element `(i, p)` so
+/// callers can absorb a transpose into the read (see
+/// [`super::simd_matmul_at_acc`]). Large packs are split panel-wise across
+/// the pool.
+pub fn pack_a(
+    af: &(dyn Fn(usize, usize) -> f32 + Sync),
+    m: usize,
+    kk: usize,
+    mr: usize,
+) -> Vec<f32> {
+    let m_panels = m.div_ceil(mr);
+    let panel_len = kk * mr;
+    let mut packed = vec![0.0f32; m_panels * panel_len];
+    let fill = |ip: usize, dst: &mut [f32]| {
+        let i0 = ip * mr;
+        let ih = mr.min(m - i0);
+        for p in 0..kk {
+            let col = &mut dst[p * mr..p * mr + ih];
+            for (r, slot) in col.iter_mut().enumerate() {
+                *slot = af(i0 + r, p);
+            }
+        }
+    };
+    if m_panels >= 4 && m * kk >= PAR_MIN_PACK && pool::threads() > 1 {
+        pool::parallel_chunks_mut(&mut packed, panel_len, &fill);
+    } else {
+        for (ip, dst) in packed.chunks_mut(panel_len).enumerate() {
+            fill(ip, dst);
+        }
+    }
+    packed
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seq(n: usize) -> Vec<f32> {
+        (0..n).map(|i| i as f32 + 0.25).collect()
+    }
+
+    #[test]
+    fn transpose_into_exact_on_remainder_shapes() {
+        // Shapes straddling the 32-tile boundary in both dimensions.
+        for &(rows, cols) in &[(1usize, 1usize), (3, 129), (33, 65), (32, 32), (31, 257)] {
+            let src = seq(rows * cols);
+            let mut dst = vec![0.0f32; rows * cols];
+            transpose_into(&src, &mut dst, rows, cols, cols, rows);
+            for r in 0..rows {
+                for c in 0..cols {
+                    assert_eq!(dst[c * rows + r].to_bits(), src[r * cols + c].to_bits());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn transpose_into_offset_band_of_wider_matrix() {
+        // Transpose columns 5..12 of a 9×20 matrix: src is an offset view
+        // with stride 20, dst a 7×9 block.
+        let (m, n, j0, jw) = (9usize, 20usize, 5usize, 7usize);
+        let src = seq(m * n);
+        let mut dst = vec![0.0f32; jw * m];
+        transpose_into(&src[j0..], &mut dst, m, jw, n, m);
+        for i in 0..m {
+            for j in 0..jw {
+                assert_eq!(dst[j * m + i], src[i * n + j0 + j]);
+            }
+        }
+    }
+
+    #[test]
+    fn pack_b_rows_pads_the_last_panel_with_zeros() {
+        let (kk, n, nr) = (5usize, 19usize, 8usize);
+        let b = seq(kk * n);
+        let packed = pack_b(&BSource::Rows(&b), kk, n, nr);
+        assert_eq!(packed.len(), n.div_ceil(nr) * kk * nr);
+        for jp in 0..n.div_ceil(nr) {
+            let panel = &packed[jp * kk * nr..(jp + 1) * kk * nr];
+            for p in 0..kk {
+                for jj in 0..nr {
+                    let j = jp * nr + jj;
+                    let want = if j < n { b[p * n + j] } else { 0.0 };
+                    assert_eq!(panel[p * nr + jj], want, "panel {jp} p={p} jj={jj}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn pack_b_cols_matches_rows_of_explicit_transpose() {
+        // Cols(b) with b n×kk must produce the same panels as Rows(bᵀ).
+        let (kk, n, nr) = (13usize, 21usize, 16usize);
+        let b = seq(n * kk); // n×kk, used transposed
+        let mut bt = vec![0.0f32; kk * n];
+        transpose_into(&b, &mut bt, n, kk, kk, n);
+        let via_cols = pack_b(&BSource::Cols(&b), kk, n, nr);
+        let via_rows = pack_b(&BSource::Rows(&bt), kk, n, nr);
+        assert_eq!(via_cols, via_rows);
+    }
+
+    #[test]
+    fn pack_a_interleaves_and_pads_rows() {
+        let (m, kk, mr) = (7usize, 4usize, 6usize);
+        let a = seq(m * kk);
+        let packed = pack_a(&|i, p| a[i * kk + p], m, kk, mr);
+        assert_eq!(packed.len(), m.div_ceil(mr) * kk * mr);
+        for ip in 0..m.div_ceil(mr) {
+            let panel = &packed[ip * kk * mr..(ip + 1) * kk * mr];
+            for p in 0..kk {
+                for r in 0..mr {
+                    let i = ip * mr + r;
+                    let want = if i < m { a[i * kk + p] } else { 0.0 };
+                    assert_eq!(panel[p * mr + r], want, "panel {ip} p={p} r={r}");
+                }
+            }
+        }
+    }
+}

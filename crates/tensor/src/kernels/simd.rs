@@ -1,0 +1,392 @@
+//! Runtime-dispatched explicit-SIMD matmul driver.
+//!
+//! Layering (BLIS-style, flattened to two levels because RCKT's reduction
+//! depths are small enough for a full-depth A panel to stay cache-resident):
+//! A is packed into `mr`-interleaved row panels and B into `nr`-wide column
+//! panels ([`super::pack`]), then every `mr×nr` output tile is produced by
+//! **one** microkernel invocation that keeps the whole accumulator in SIMD
+//! registers while streaming both panels linearly over the full reduction
+//! depth.
+//!
+//! Parallelism is over **column panels**: each pool task owns a contiguous
+//! group of `nr`-wide output column bands and walks every row panel within
+//! it, reusing the shared read-only packed A across row panels. Tasks write
+//! column-disjoint regions of `C` (via [`pool::SharedMut`] — the bands are
+//! not contiguous in a row-major output), each element is produced by
+//! exactly one microkernel call with `p` ascending, so results are
+//! bit-identical at any pool width.
+//!
+//! Three microkernels, chosen once per process by runtime CPU feature
+//! detection ([`simd_backend`]):
+//!
+//! * **AVX2+FMA 6×16** (x86-64) — 12 `ymm` accumulators + 2 B vectors +
+//!   1 broadcast = 15 of 16 registers, packed FMAs;
+//! * **NEON 8×8** (aarch64) — 16 `v`-register accumulators out of 32;
+//! * **portable 4×16** — scalar loops shaped for the autovectorizer, used
+//!   when neither feature set is present.
+//!
+//! The backends reduce in the same `p`-ascending order but differ from the
+//! naive reference by FMA contraction and tile-local summation, so they
+//! agree with naive only to ~1e-6 relative (tests enforce 1e-4).
+
+use super::pack::{self, BSource};
+use crate::pool;
+use std::sync::OnceLock;
+
+/// Microkernel family resolved at runtime from CPU features.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum SimdBackend {
+    /// x86-64 with AVX2 and FMA: 6×16 register tile.
+    Avx2Fma,
+    /// aarch64 NEON: 8×8 register tile.
+    Neon,
+    /// Everything else: scalar 4×16 tile the autovectorizer can widen.
+    Portable,
+}
+
+/// The backend the `simd` kernel variant dispatches to on this machine.
+/// Detected once per process and cached.
+pub fn simd_backend() -> SimdBackend {
+    static BACKEND: OnceLock<SimdBackend> = OnceLock::new();
+    *BACKEND.get_or_init(detect)
+}
+
+fn detect() -> SimdBackend {
+    #[cfg(target_arch = "x86_64")]
+    {
+        if std::arch::is_x86_feature_detected!("avx2") && std::arch::is_x86_feature_detected!("fma")
+        {
+            return SimdBackend::Avx2Fma;
+        }
+    }
+    #[cfg(target_arch = "aarch64")]
+    {
+        if std::arch::is_aarch64_feature_detected!("neon") {
+            return SimdBackend::Neon;
+        }
+    }
+    SimdBackend::Portable
+}
+
+/// Short CPU-feature string (`"avx2+fma"`, `"neon"`, `"portable"`) for
+/// bench manifests, `rckt_run_info`, and the dispatch log line.
+pub fn cpu_features() -> &'static str {
+    match simd_backend() {
+        SimdBackend::Avx2Fma => "avx2+fma",
+        SimdBackend::Neon => "neon",
+        SimdBackend::Portable => "portable",
+    }
+}
+
+/// Upper bounds over every backend's tile, sizing the writeback scratch.
+const MAX_MR: usize = 8;
+const MAX_NR: usize = 16;
+
+/// One resolved microkernel: tile shape plus the accumulate entry point.
+///
+/// `run(apanel, bpanel, kk, acc)` computes `acc[r·nr + jj] =
+/// Σ_p apanel[p·mr + r] · bpanel[p·nr + jj]` (overwrite, not accumulate).
+///
+/// Safety contract for `run`: `apanel` holds `kk·mr` floats, `bpanel`
+/// `kk·nr`, `acc` at least `mr·nr`.
+struct Micro {
+    mr: usize,
+    nr: usize,
+    run: unsafe fn(*const f32, *const f32, usize, *mut f32),
+}
+
+fn micro() -> Micro {
+    match simd_backend() {
+        #[cfg(target_arch = "x86_64")]
+        SimdBackend::Avx2Fma => Micro {
+            mr: 6,
+            nr: 16,
+            run: run_avx2,
+        },
+        #[cfg(target_arch = "aarch64")]
+        SimdBackend::Neon => Micro {
+            mr: 8,
+            nr: 8,
+            run: run_neon,
+        },
+        _ => Micro {
+            mr: 4,
+            nr: 16,
+            run: run_portable,
+        },
+    }
+}
+
+// ---------------------------------------------------------------- drivers
+
+/// SIMD variant of [`super::matmul_acc`]; callable directly (bypassing
+/// size/variant dispatch) by tests and benches.
+pub fn simd_matmul_acc(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
+    gemm_simd(&|i, p| a[i * k + p], &BSource::Rows(b), c, m, k, n);
+}
+
+/// SIMD variant of [`super::matmul_bt_acc`] (`b` is `n×k`); the transposed
+/// `B` is absorbed into panel packing rather than materialized.
+pub fn simd_matmul_bt_acc(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
+    gemm_simd(&|i, p| a[i * k + p], &BSource::Cols(b), c, m, k, n);
+}
+
+/// SIMD variant of [`super::matmul_at_acc`] (`a` is `m×k`, output `k×n`):
+/// a GEMM with `M = k` and reduction depth `m`, reading `a` column-wise
+/// during A-panel packing.
+pub fn simd_matmul_at_acc(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
+    gemm_simd(&|i, p| a[p * k + i], &BSource::Rows(b), c, k, m, n);
+}
+
+/// Shared SIMD-GEMM driver: `c (m×n) += A (m×kk) · B`, with `A` elements
+/// supplied by `af(i, p)` and `B` read per `b_src`'s layout.
+fn gemm_simd(
+    af: &(dyn Fn(usize, usize) -> f32 + Sync),
+    b_src: &BSource,
+    c: &mut [f32],
+    m: usize,
+    kk: usize,
+    n: usize,
+) {
+    if m == 0 || n == 0 || kk == 0 {
+        return;
+    }
+    let mk = micro();
+    let packed_b = pack::pack_b(b_src, kk, n, mk.nr);
+    let packed_a = pack::pack_a(af, m, kk, mk.mr);
+    let col_panels = n.div_ceil(mk.nr);
+    let flops = 2 * (m as u64) * (kk as u64) * (n as u64);
+    if flops < super::PAR_MIN_FLOPS || pool::threads() == 1 || col_panels == 1 {
+        compute_panels(&mk, &packed_a, &packed_b, c, m, kk, n, 0, col_panels);
+        return;
+    }
+    // Column-panel parallelism: task `t` owns panels `[t·per, (t+1)·per)`,
+    // i.e. a disjoint set of output *columns* across all rows. Packed A is
+    // shared read-only; the panel→task mapping depends only on the problem
+    // size, so accumulation order is width-independent.
+    let per_task = pool::chunk_len_for(col_panels, 1);
+    let n_tasks = col_panels.div_ceil(per_task);
+    let out = pool::SharedMut::new(c);
+    pool::parallel_for(n_tasks, &|t| {
+        // SAFETY: task `t` writes only columns of its own panel range —
+        // ranges are disjoint across tasks and nothing reads them until
+        // the region completes.
+        let c = unsafe { out.as_mut_slice() };
+        let jp0 = t * per_task;
+        let jp1 = col_panels.min(jp0 + per_task);
+        compute_panels(&mk, &packed_a, &packed_b, c, m, kk, n, jp0, jp1);
+    });
+}
+
+/// Compute column panels `jp0..jp1`: every row panel against each B panel,
+/// one microkernel call per output tile over the full depth `kk`.
+#[allow(clippy::too_many_arguments)]
+fn compute_panels(
+    mk: &Micro,
+    packed_a: &[f32],
+    packed_b: &[f32],
+    c: &mut [f32],
+    m: usize,
+    kk: usize,
+    n: usize,
+    jp0: usize,
+    jp1: usize,
+) {
+    let (mr, nr) = (mk.mr, mk.nr);
+    let row_panels = m.div_ceil(mr);
+    let mut acc = [0.0f32; MAX_MR * MAX_NR];
+    for jp in jp0..jp1 {
+        let j0 = jp * nr;
+        let jw = nr.min(n - j0);
+        let bpanel = &packed_b[jp * kk * nr..(jp + 1) * kk * nr];
+        for ip in 0..row_panels {
+            let i0 = ip * mr;
+            let ih = mr.min(m - i0);
+            let apanel = &packed_a[ip * kk * mr..(ip + 1) * kk * mr];
+            // SAFETY: panel slices hold exactly kk·mr / kk·nr floats and
+            // `acc` holds MAX_MR·MAX_NR ≥ mr·nr (see `Micro`'s contract).
+            unsafe { (mk.run)(apanel.as_ptr(), bpanel.as_ptr(), kk, acc.as_mut_ptr()) };
+            for r in 0..ih {
+                let base = (i0 + r) * n + j0;
+                for (cv, &av) in c[base..base + jw].iter_mut().zip(&acc[r * nr..r * nr + jw]) {
+                    *cv += av;
+                }
+            }
+        }
+    }
+}
+
+// ----------------------------------------------------------- microkernels
+
+/// Thin non-feature wrapper so the AVX2 kernel fits the plain-`fn` slot in
+/// [`Micro`] (a `#[target_feature]` fn cannot coerce to a fn pointer).
+#[cfg(target_arch = "x86_64")]
+unsafe fn run_avx2(ap: *const f32, bp: *const f32, kk: usize, acc: *mut f32) {
+    // SAFETY: only installed in `Micro` after `is_x86_feature_detected!`
+    // confirmed avx2+fma; pointer contracts forwarded unchanged.
+    unsafe { kernel_6x16_avx2(ap, bp, kk, acc) }
+}
+
+/// 6×16 AVX2+FMA microkernel: 12 `ymm` accumulators held in registers for
+/// the whole depth, A broadcast one element at a time, B streamed as two
+/// 8-lane vectors per step.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2", enable = "fma")]
+unsafe fn kernel_6x16_avx2(mut ap: *const f32, mut bp: *const f32, kk: usize, acc: *mut f32) {
+    use std::arch::x86_64::*;
+    let mut c00 = _mm256_setzero_ps();
+    let mut c01 = _mm256_setzero_ps();
+    let mut c10 = _mm256_setzero_ps();
+    let mut c11 = _mm256_setzero_ps();
+    let mut c20 = _mm256_setzero_ps();
+    let mut c21 = _mm256_setzero_ps();
+    let mut c30 = _mm256_setzero_ps();
+    let mut c31 = _mm256_setzero_ps();
+    let mut c40 = _mm256_setzero_ps();
+    let mut c41 = _mm256_setzero_ps();
+    let mut c50 = _mm256_setzero_ps();
+    let mut c51 = _mm256_setzero_ps();
+    for _ in 0..kk {
+        let b0 = _mm256_loadu_ps(bp);
+        let b1 = _mm256_loadu_ps(bp.add(8));
+        let a = _mm256_broadcast_ss(&*ap);
+        c00 = _mm256_fmadd_ps(a, b0, c00);
+        c01 = _mm256_fmadd_ps(a, b1, c01);
+        let a = _mm256_broadcast_ss(&*ap.add(1));
+        c10 = _mm256_fmadd_ps(a, b0, c10);
+        c11 = _mm256_fmadd_ps(a, b1, c11);
+        let a = _mm256_broadcast_ss(&*ap.add(2));
+        c20 = _mm256_fmadd_ps(a, b0, c20);
+        c21 = _mm256_fmadd_ps(a, b1, c21);
+        let a = _mm256_broadcast_ss(&*ap.add(3));
+        c30 = _mm256_fmadd_ps(a, b0, c30);
+        c31 = _mm256_fmadd_ps(a, b1, c31);
+        let a = _mm256_broadcast_ss(&*ap.add(4));
+        c40 = _mm256_fmadd_ps(a, b0, c40);
+        c41 = _mm256_fmadd_ps(a, b1, c41);
+        let a = _mm256_broadcast_ss(&*ap.add(5));
+        c50 = _mm256_fmadd_ps(a, b0, c50);
+        c51 = _mm256_fmadd_ps(a, b1, c51);
+        ap = ap.add(6);
+        bp = bp.add(16);
+    }
+    _mm256_storeu_ps(acc, c00);
+    _mm256_storeu_ps(acc.add(8), c01);
+    _mm256_storeu_ps(acc.add(16), c10);
+    _mm256_storeu_ps(acc.add(24), c11);
+    _mm256_storeu_ps(acc.add(32), c20);
+    _mm256_storeu_ps(acc.add(40), c21);
+    _mm256_storeu_ps(acc.add(48), c30);
+    _mm256_storeu_ps(acc.add(56), c31);
+    _mm256_storeu_ps(acc.add(64), c40);
+    _mm256_storeu_ps(acc.add(72), c41);
+    _mm256_storeu_ps(acc.add(80), c50);
+    _mm256_storeu_ps(acc.add(88), c51);
+}
+
+/// Thin non-feature wrapper (see [`run_avx2`]).
+#[cfg(target_arch = "aarch64")]
+unsafe fn run_neon(ap: *const f32, bp: *const f32, kk: usize, acc: *mut f32) {
+    // SAFETY: NEON is mandatory on aarch64 (and re-checked in `detect`);
+    // pointer contracts forwarded unchanged.
+    unsafe { kernel_8x8_neon(ap, bp, kk, acc) }
+}
+
+/// 8×8 NEON microkernel: 16 `v`-register accumulators (two 4-lane vectors
+/// per row) out of the 32 available.
+#[cfg(target_arch = "aarch64")]
+#[target_feature(enable = "neon")]
+unsafe fn kernel_8x8_neon(mut ap: *const f32, mut bp: *const f32, kk: usize, acc: *mut f32) {
+    use std::arch::aarch64::*;
+    let mut lo = [vdupq_n_f32(0.0); 8];
+    let mut hi = [vdupq_n_f32(0.0); 8];
+    for _ in 0..kk {
+        let b0 = vld1q_f32(bp);
+        let b1 = vld1q_f32(bp.add(4));
+        for r in 0..8 {
+            let a = vdupq_n_f32(*ap.add(r));
+            lo[r] = vfmaq_f32(lo[r], a, b0);
+            hi[r] = vfmaq_f32(hi[r], a, b1);
+        }
+        ap = ap.add(8);
+        bp = bp.add(8);
+    }
+    for r in 0..8 {
+        vst1q_f32(acc.add(r * 8), lo[r]);
+        vst1q_f32(acc.add(r * 8 + 4), hi[r]);
+    }
+}
+
+/// Portable fallback entry point: slices rebuilt from the raw contract,
+/// then the same autovectorizer-shaped loops as the blocked microkernel.
+unsafe fn run_portable(ap: *const f32, bp: *const f32, kk: usize, acc: *mut f32) {
+    // SAFETY: `Micro`'s contract guarantees these lengths.
+    let apanel = unsafe { std::slice::from_raw_parts(ap, kk * 4) };
+    let bpanel = unsafe { std::slice::from_raw_parts(bp, kk * 16) };
+    let mut tile = [[0.0f32; 16]; 4];
+    kernel_4x16_portable(apanel, bpanel, &mut tile);
+    for (r, row) in tile.iter().enumerate() {
+        for (j, &v) in row.iter().enumerate() {
+            // SAFETY: acc holds at least 4·16 floats per the contract.
+            unsafe { *acc.add(r * 16 + j) = v };
+        }
+    }
+}
+
+/// `inline(never)` for the same register-allocation reason as the blocked
+/// microkernel (see [`super`] module docs): compiled standalone, LLVM keeps
+/// the tile in SIMD registers; inlined, it spills.
+#[inline(never)]
+fn kernel_4x16_portable(apanel: &[f32], bpanel: &[f32], tile: &mut [[f32; 16]; 4]) {
+    for (a_col, b_row) in apanel.chunks_exact(4).zip(bpanel.chunks_exact(16)) {
+        for r in 0..4 {
+            let av = a_col[r];
+            for (x, &bv) in tile[r].iter_mut().zip(b_row) {
+                *x += av * bv;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backend_and_features_are_consistent() {
+        let b = simd_backend();
+        let f = cpu_features();
+        match b {
+            SimdBackend::Avx2Fma => assert_eq!(f, "avx2+fma"),
+            SimdBackend::Neon => assert_eq!(f, "neon"),
+            SimdBackend::Portable => assert_eq!(f, "portable"),
+        }
+        // Detection is cached: a second call returns the same answer.
+        assert_eq!(b, simd_backend());
+    }
+
+    #[test]
+    fn micro_tile_fits_the_scratch_bounds() {
+        let mk = micro();
+        assert!(mk.mr <= MAX_MR && mk.nr <= MAX_NR);
+    }
+
+    #[test]
+    fn simd_matches_reference_on_tiny_exact_inputs() {
+        // Integer-valued inputs: FMA cannot round, results must be exact.
+        let (m, k, n) = (3usize, 5usize, 7usize);
+        let a: Vec<f32> = (0..m * k).map(|i| (i % 5) as f32 - 2.0).collect();
+        let b: Vec<f32> = (0..k * n).map(|i| (i % 7) as f32 - 3.0).collect();
+        let mut want = vec![0.0f32; m * n];
+        for i in 0..m {
+            for p in 0..k {
+                for j in 0..n {
+                    want[i * n + j] += a[i * k + p] * b[p * n + j];
+                }
+            }
+        }
+        let mut got = vec![0.0f32; m * n];
+        simd_matmul_acc(&a, &b, &mut got, m, k, n);
+        assert_eq!(want, got);
+    }
+}

@@ -5,9 +5,11 @@
 //! changing a single bit of any result**. The contract:
 //!
 //! * **Disjoint writes.** Every task writes to its own output region
-//!   ([`parallel_chunks_mut`] hands out non-overlapping sub-slices), so the
-//!   value of each output element is computed by exactly one task with a
-//!   fixed internal operation order — which thread runs the task is
+//!   ([`parallel_chunks_mut`] hands out non-overlapping sub-slices;
+//!   [`SharedMut`] extends the same rule to disjoint-but-interleaved index
+//!   sets such as the column panels the SIMD matmul partitions over), so
+//!   the value of each output element is computed by exactly one task with
+//!   a fixed internal operation order — which thread runs the task is
 //!   irrelevant.
 //! * **Fixed-order reduction.** When results must be combined (gradient
 //!   shards, influence aggregation), callers collect per-task results with
@@ -350,6 +352,57 @@ pub fn chunk_len_for(total: usize, min_len: usize) -> usize {
     (total.div_ceil(target_chunks)).max(min_len).max(1)
 }
 
+/// A mutable slice shared across a parallel region whose tasks write
+/// **disjoint but non-contiguous** index sets — the case
+/// [`parallel_chunks_mut`] cannot express. The matmul kernels use this to
+/// partition output by column panel: each task owns a band of columns,
+/// which in a row-major matrix is a strided, interleaved set of elements.
+///
+/// Safety contract (the same disjoint-write rule as the module docs, but
+/// enforced by the caller instead of by construction): every element must
+/// be written by at most one task for the lifetime of the region. The
+/// caller keeps the unique borrow alive for `'a`, so no other access can
+/// exist outside the region.
+pub struct SharedMut<'a, T> {
+    ptr: *mut T,
+    len: usize,
+    _marker: std::marker::PhantomData<&'a mut [T]>,
+}
+
+unsafe impl<T: Send> Send for SharedMut<'_, T> {}
+unsafe impl<T: Send> Sync for SharedMut<'_, T> {}
+
+impl<'a, T> SharedMut<'a, T> {
+    /// Wrap a uniquely borrowed slice for disjoint-write sharing.
+    pub fn new(data: &'a mut [T]) -> Self {
+        Self {
+            ptr: data.as_mut_ptr(),
+            len: data.len(),
+            _marker: std::marker::PhantomData,
+        }
+    }
+
+    /// Reconstruct the full slice inside a task.
+    ///
+    /// # Safety
+    /// Tasks holding overlapping views must write disjoint element sets;
+    /// no element may be read by one task while another writes it.
+    #[allow(clippy::mut_from_ref)]
+    pub unsafe fn as_mut_slice(&self) -> &mut [T] {
+        std::slice::from_raw_parts_mut(self.ptr, self.len)
+    }
+
+    /// Length of the wrapped slice.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the wrapped slice is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+}
+
 /// Serializes tests (across this crate's test modules) that mutate the
 /// global pool width, so width-sensitive assertions don't race.
 #[cfg(test)]
@@ -509,6 +562,54 @@ mod tests {
                 .map(|&(_, v)| v)
                 .sum();
             assert!(busy > 0.0, "some participant recorded busy time");
+        });
+    }
+
+    #[test]
+    fn matmul_sized_tasks_reach_distinct_threads() {
+        // Regression test for the flat 1/2/4-thread kernel_scaling curve:
+        // with enough tasks of non-trivial duration, workers (not just the
+        // caller) must actually claim work. Tasks sleep rather than spin so
+        // the assertion holds even on a single-core host, where spinning
+        // tasks could all drain on the caller before a worker wakes.
+        use std::collections::HashSet;
+        use std::thread::ThreadId;
+        with_threads(4, || {
+            let seen: Mutex<HashSet<ThreadId>> = Mutex::new(HashSet::new());
+            parallel_for(32, &|_| {
+                std::thread::sleep(std::time::Duration::from_millis(2));
+                seen.lock().unwrap().insert(std::thread::current().id());
+            });
+            let n = seen.lock().unwrap().len();
+            assert!(n >= 2, "expected ≥2 distinct threads, saw {n}");
+        });
+    }
+
+    #[test]
+    fn shared_mut_disjoint_column_bands() {
+        // Each task owns a band of columns of a row-major 16×24 matrix —
+        // disjoint but interleaved writes that parallel_chunks_mut cannot
+        // express. Every element must be written exactly once.
+        with_threads(4, || {
+            let (m, n, band) = (16usize, 24usize, 5usize);
+            let mut c = vec![0u32; m * n];
+            let out = SharedMut::new(&mut c);
+            assert_eq!(out.len(), m * n);
+            assert!(!out.is_empty());
+            let n_bands = n.div_ceil(band);
+            parallel_for(n_bands, &|t| {
+                let c = unsafe { out.as_mut_slice() };
+                let j0 = t * band;
+                let jw = band.min(n - j0);
+                for i in 0..m {
+                    for j in j0..j0 + jw {
+                        c[i * n + j] += (i * n + j) as u32 + 1;
+                    }
+                }
+            });
+            for (ix, &v) in c.iter().enumerate() {
+                assert_eq!(v, ix as u32 + 1, "element {ix} written exactly once");
+            }
         });
     }
 

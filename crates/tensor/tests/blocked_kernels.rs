@@ -1,7 +1,8 @@
-//! Public-API property tests for the blocked/parallel kernel layer: the
-//! blocked matmul family must track the naive reference within 1e-5 over
-//! random shapes, be bit-identical for any pool width, and the blocked
-//! transpose must be exact.
+//! Public-API property tests for the tiled kernel layer: the blocked
+//! matmul family must track the naive reference within 1e-5 and the simd
+//! family within 1e-4 (FMA contraction + panel reassociation) over random
+//! and remainder shapes, both must be bit-identical for any pool width,
+//! and the blocked transpose must be exact.
 
 use rckt_tensor::kernels;
 use rckt_tensor::pool;
@@ -96,6 +97,94 @@ fn blocked_matmul_bit_identical_across_widths() {
         pool::set_threads(width);
         let mut c = vec![0.0f32; m * n];
         kernels::blocked_matmul_acc(&a, &b, &mut c, m, k, n);
+        let bits: Vec<u32> = c.iter().map(|x| x.to_bits()).collect();
+        assert_eq!(reference, bits, "width {width} changed the result");
+    }
+    pool::set_threads(1);
+}
+
+#[test]
+fn simd_family_matches_naive_over_random_shapes() {
+    let mut rng = Lcg(0xbeef);
+    for round in 0..25 {
+        let (m, k, n) = (rng.dim(1, 80), rng.dim(1, 80), rng.dim(1, 80));
+        let a = rng.vec(m * k);
+        let b = rng.vec(k * n);
+        let c0 = rng.vec(m * n); // accumulate semantics: start non-zero
+
+        // plain: a [m,k] × b [k,n]
+        let mut naive = c0.clone();
+        kernels::naive_matmul_acc(&a, &b, &mut naive, m, k, n);
+        let mut simd = c0.clone();
+        kernels::simd_matmul_acc(&a, &b, &mut simd, m, k, n);
+        let e = max_rel_err(&naive, &simd);
+        assert!(e < 1e-4, "round {round} {m}x{k}x{n}: rel err {e}");
+
+        // bt: a [m,k] × bᵀ where b is [n,k]
+        let bt = rng.vec(n * k);
+        let mut naive = c0.clone();
+        kernels::naive_matmul_bt_acc(&a, &bt, &mut naive, m, k, n);
+        let mut simd = c0.clone();
+        kernels::simd_matmul_bt_acc(&a, &bt, &mut simd, m, k, n);
+        let e = max_rel_err(&naive, &simd);
+        assert!(e < 1e-4, "round {round} bt {m}x{k}x{n}: rel err {e}");
+
+        // at: aᵀ × b where a is [k,m] (depth k rows)
+        let at = rng.vec(k * m);
+        let mut naive = c0.clone();
+        kernels::naive_matmul_at_acc(&at, &b, &mut naive, k, m, n);
+        let mut simd = c0.clone();
+        kernels::simd_matmul_at_acc(&at, &b, &mut simd, k, m, n);
+        let e = max_rel_err(&naive, &simd);
+        assert!(e < 1e-4, "round {round} at {k}x{m}x{n}: rel err {e}");
+    }
+}
+
+#[test]
+fn simd_matches_naive_on_remainder_shapes() {
+    // M, N, K deliberately not multiples of any microkernel tile
+    // (MR ∈ {4,6,8}, NR ∈ {8,16}, KC = 128), plus degenerate 1×K×1 and the
+    // window/sequence-length dims RCKT actually runs (window 50, max 200).
+    let shapes = [
+        (1usize, 37usize, 1usize),
+        (1, 1, 1),
+        (5, 127, 15),
+        (7, 129, 17),
+        (13, 131, 23),
+        (50, 32, 50),   // window-length rows, default dim
+        (200, 128, 50), // max-length rows, paper dim
+        (3, 200, 31),
+    ];
+    let mut rng = Lcg(0x5eed);
+    for &(m, k, n) in &shapes {
+        let a = rng.vec(m * k);
+        let b = rng.vec(k * n);
+        let mut naive = vec![0.0f32; m * n];
+        kernels::naive_matmul_acc(&a, &b, &mut naive, m, k, n);
+        let mut simd = vec![0.0f32; m * n];
+        kernels::simd_matmul_acc(&a, &b, &mut simd, m, k, n);
+        let e = max_rel_err(&naive, &simd);
+        assert!(e < 1e-4, "{m}x{k}x{n}: rel err {e}");
+    }
+}
+
+#[test]
+fn simd_matmul_bit_identical_across_widths() {
+    let _g = GLOBAL.lock().unwrap();
+    let mut rng = Lcg(19);
+    let (m, k, n) = (61, 47, 53);
+    let a = rng.vec(m * k);
+    let b = rng.vec(k * n);
+    let reference: Vec<u32> = {
+        pool::set_threads(1);
+        let mut c = vec![0.0f32; m * n];
+        kernels::simd_matmul_acc(&a, &b, &mut c, m, k, n);
+        c.iter().map(|x| x.to_bits()).collect()
+    };
+    for width in [2, 4] {
+        pool::set_threads(width);
+        let mut c = vec![0.0f32; m * n];
+        kernels::simd_matmul_acc(&a, &b, &mut c, m, k, n);
         let bits: Vec<u32> = c.iter().map(|x| x.to_bits()).collect();
         assert_eq!(reference, bits, "width {width} changed the result");
     }
