@@ -86,6 +86,14 @@ fn main() {
     let args = ExpArgs::parse();
     let hw = args.threads_in_use();
     let cpu = kernels::cpu_features();
+    // Cores the OS actually exposes to this process. When a container
+    // pins us to one core, multi-thread rows measure scheduler contention
+    // rather than scaling — those rows are tagged `scaling=unmeasurable`
+    // (a distinct regress group) so they never gate, while single-thread
+    // rows keep their historical group keys.
+    let cores = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1);
     let mut thread_counts = vec![1usize, 2, 4];
     if !thread_counts.contains(&hw) {
         thread_counts.push(hw);
@@ -94,7 +102,7 @@ fn main() {
 
     println!(
         "kernel scaling — matmul GFLOP/s (naive reference vs blocked vs simd), \
-         hw width {hw}, cpu {cpu}\n"
+         hw width {hw}, {cores} core(s) exposed, cpu {cpu}\n"
     );
     println!(
         "{:<16}{:>10}{:>9}{:>12}{:>12}",
@@ -111,7 +119,7 @@ fn main() {
             naive_gf,
             naive_ms
         );
-        record(&args, m, k, n, "naive", 1, naive_gf, naive_ms, 1.0);
+        record(&args, cores, m, k, n, "naive", 1, naive_gf, naive_ms, 1.0);
         for variant in [KernelVariant::Blocked, KernelVariant::Simd] {
             let name = match variant {
                 KernelVariant::Blocked => "blocked",
@@ -124,7 +132,7 @@ fn main() {
                     "{:<16}{:>10}{:>9}{:>12.2}{:>12.3}   ({speedup:.2}x vs naive)",
                     "", name, t, gf, ms
                 );
-                record(&args, m, k, n, name, t, gf, ms, speedup);
+                record(&args, cores, m, k, n, name, t, gf, ms, speedup);
             }
         }
     }
@@ -138,6 +146,7 @@ fn main() {
 #[allow(clippy::too_many_arguments)]
 fn record(
     args: &ExpArgs,
+    cores: usize,
     m: usize,
     k: usize,
     n: usize,
@@ -147,14 +156,25 @@ fn record(
     ms: f64,
     speedup_vs_naive: f64,
 ) {
-    let manifest = rckt_obs::RunManifest::capture("kernel_scaling", args.seed, None)
+    let mut manifest = rckt_obs::RunManifest::capture("kernel_scaling", args.seed, None)
         .config("shape", format!("{m}x{k}x{n}"))
         .config("kernel", variant)
         .config("threads", threads)
         .config("cpu", kernels::cpu_features())
+        // Directionless result (no gate), so the exposed core count is
+        // visible in every history row without changing group keys.
+        .result("cores_detected", cores as f64)
         .result("gflops", gf)
         .result("ms_per_call", ms)
         .result("speedup_vs_naive", speedup_vs_naive);
+    if threads > cores {
+        // More worker threads than cores: the row is noise, not scaling.
+        // The extra config fields give it its own regress group, keeping
+        // measurable rows' group keys (and histories) untouched.
+        manifest = manifest
+            .config("scaling", "unmeasurable")
+            .config("cores", cores);
+    }
     if let Err(e) = manifest.append_jsonl(HISTORY) {
         eprintln!("warning: cannot append {HISTORY}: {e}");
     }

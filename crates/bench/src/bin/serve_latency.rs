@@ -12,7 +12,7 @@
 //! cargo run --release -p rckt-bench --bin serve_latency [--scale f] [--dim n]
 //! ```
 
-use rckt::{Backbone, Rckt, RcktConfig};
+use rckt::{Backbone, IncrementalState, Rckt, RcktConfig};
 use rckt_bench::ExpArgs;
 use rckt_data::preprocess::windows;
 use rckt_data::SyntheticSpec;
@@ -208,6 +208,111 @@ fn main() {
         hit_rate > 0.0,
         "the warm pass repeats every body — cache hits must be nonzero"
     );
+
+    // Warm-session series: incremental append-one inference vs the cold
+    // full counterfactual fan-out, engine-level (no HTTP) so the numbers
+    // isolate the model work the warm path saves. Uses a forward-only
+    // encoder — the configuration that qualifies for the warm path — at
+    // the window lengths live sessions actually reach.
+    let uni = Rckt::new(
+        Backbone::Dkt,
+        ds.num_questions(),
+        ds.num_concepts(),
+        RcktConfig {
+            dim: args.dim,
+            seed: args.seed,
+            unidirectional: true,
+            ..Default::default()
+        },
+    );
+    let kernel = rckt_tensor::kernels::kernel_variant_name();
+    println!("\nwarm-session series (kernel {kernel}, dim {})", args.dim);
+    println!(
+        "{:<8}{:>12}{:>14}{:>14}{:>16}",
+        "window", "series", "p50 ms", "p99 ms", "speedup vs cold"
+    );
+    for &window_len in &[50usize, 100, 200] {
+        let nq = ds.num_questions();
+        let hist: Vec<(u32, bool)> = (0..window_len - 1)
+            .map(|i| ((1 + (i * 5 + 2) % (nq - 1)) as u32, i % 4 != 1))
+            .collect();
+        let req = PredictRequest {
+            student: 0,
+            history: hist
+                .iter()
+                .map(|&(question, correct)| HistoryItem { question, correct })
+                .collect(),
+            target_question: 1,
+        };
+
+        // Cold: the exact path recomputes the full fan-out per request.
+        let mut cold_ms = Vec::new();
+        for _ in 0..10 {
+            let r0 = Instant::now();
+            let resp = rckt_serve::api::predict_batch(
+                &uni,
+                &ds.q_matrix,
+                std::slice::from_ref(&req),
+                window_len,
+            )
+            .expect("cold predict");
+            assert!(resp.predictions[0].score.is_finite());
+            cold_ms.push(r0.elapsed().as_secs_f64() * 1000.0);
+        }
+        cold_ms.sort_by(|a, b| a.partial_cmp(b).unwrap());
+
+        // Warm: a resident state already holds all but the last response;
+        // each timed iteration appends one response and reads the score
+        // (the clone that restores the pre-append state is untimed).
+        let mut base = IncrementalState::new(&uni, window_len).expect("forward-only model");
+        let (&last, prefix) = hist.split_last().unwrap();
+        base.append_responses(&uni, &ds.q_matrix, prefix)
+            .expect("prefix install");
+        let mut warm_ms = Vec::new();
+        for _ in 0..50 {
+            let mut s = base.clone();
+            let r0 = Instant::now();
+            s.append_response(&uni, &ds.q_matrix, last.0, last.1)
+                .expect("append");
+            assert!(s.score().is_finite());
+            warm_ms.push(r0.elapsed().as_secs_f64() * 1000.0);
+        }
+        warm_ms.sort_by(|a, b| a.partial_cmp(b).unwrap());
+
+        let cold_p50 = quantile(&cold_ms, 0.50);
+        let warm_p50 = quantile(&warm_ms, 0.50);
+        let speedup = cold_p50 / warm_p50.max(f64::MIN_POSITIVE);
+        for (series, lat, speedup_col) in [
+            ("cold_full", &cold_ms, None),
+            ("warm_append", &warm_ms, Some(speedup)),
+        ] {
+            let p50 = quantile(lat, 0.50);
+            let p99 = quantile(lat, 0.99);
+            println!(
+                "{window_len:<8}{series:>12}{p50:>14.4}{p99:>14.4}{:>16}",
+                speedup_col.map_or_else(|| "-".to_string(), |s| format!("{s:.1}x"))
+            );
+            let mut manifest = rckt_obs::RunManifest::capture("serve_latency", args.seed, None)
+                .config("series", series)
+                .config("window", window_len)
+                .config("kernel", kernel)
+                .result("p50_ms", p50)
+                .result("p99_ms", p99);
+            if let Some(s) = speedup_col {
+                manifest = manifest.result("speedup_vs_cold", s);
+            }
+            if let Err(e) = manifest.append_jsonl(HISTORY) {
+                eprintln!("warning: cannot append {HISTORY}: {e}");
+            }
+        }
+        if window_len == 200 {
+            assert!(
+                speedup >= 5.0,
+                "acceptance: warm append-one at window 200 must be ≥5× faster \
+                 (p50) than the cold fan-out, got {speedup:.1}x"
+            );
+        }
+    }
 
     println!("\nresults appended to {HISTORY}");
     args.finish();

@@ -18,14 +18,23 @@ commands:
   generate  --preset <assist09|assist12|slepemapy|eedi> [--scale f] --out <csv>
   stats     --data <csv>
   train     --data <csv> [--backbone dkt|sakt|akt] [--epochs n] [--dim n]
-            [--lr f] [--lambda f] [--seed n] [--grad-shards n] --out <model.json>
+            [--lr f] [--lambda f] [--seed n] [--grad-shards n]
+            [--unidirectional true] --out <model.json>
   evaluate  --data <csv> --model <model.json> [--stride n]
   explain   --data <csv> --model <model.json> [--window n]
   audit     --data <csv> --model <model.json> [--groups n]
   serve     --model <model.json> [--port p] [--max-batch n] [--max-queue n]
-            [--window n] [--cache n] [--deadline-ms n] [--quality-log <csv>]
+            [--window n] [--cache n] [--sessions n] [--deadline-ms n]
+            [--quality-log <csv>]
   predict   --model <model.json> --requests <json> [--mode predict|explain]
-            [--window n]
+            [--window n] [--solo true]  (--solo scores each request in its
+            own model call — required when byte-comparing mixed-length
+            request files against per-request served responses)
+  replay-session --model <model.json> --requests <json> [--window n]
+            (offline twin of the serve warm path: replays the requests in
+            order through the same incremental session state the server
+            keeps, printing one response body per line, byte-identical to
+            the served responses for the same step sequence)
   monitor   --replay <quality.csv>   (re-derive the rckt_quality_* report
             from a serve --quality-log file; byte-identical to the live
             gauges at the moment the log was written)
@@ -92,6 +101,15 @@ fn get_num<T: std::str::FromStr>(
     }
 }
 
+fn get_bool(flags: &HashMap<String, String>, name: &str, default: bool) -> Result<bool, CliError> {
+    match flags.get(name).map(|s| s.as_str()) {
+        None => Ok(default),
+        Some("true") => Ok(true),
+        Some("false") => Ok(false),
+        Some(v) => Err(err(format!("--{name}: bad value {v:?} (true|false)"))),
+    }
+}
+
 pub fn dispatch(args: &[String]) -> Result<(), CliError> {
     let Some((cmd, rest)) = args.split_first() else {
         return Err(err("no command"));
@@ -111,6 +129,7 @@ pub fn dispatch(args: &[String]) -> Result<(), CliError> {
         "audit" => audit(&flags),
         "serve" => serve(&flags),
         "predict" => predict(&flags),
+        "replay-session" => replay_session(&flags),
         "monitor" => monitor(&flags),
         other => Err(err(format!("unknown command {other:?}"))),
     }
@@ -197,6 +216,9 @@ fn train(flags: &HashMap<String, String>) -> Result<(), CliError> {
         lambda: get_num(flags, "lambda", 0.1)?,
         seed: get_num(flags, "seed", 0u64)?,
         grad_shards: get_num(flags, "grad-shards", 1usize)?.max(1),
+        // Forward-only encoder: slightly weaker context, but served
+        // sessions qualify for the incremental warm path.
+        unidirectional: get_bool(flags, "unidirectional", false)?,
         ..Default::default()
     };
     let epochs: usize = get_num(flags, "epochs", 15)?;
@@ -293,6 +315,7 @@ fn serve_config(flags: &HashMap<String, String>) -> Result<rckt_serve::ServeConf
         max_queue: get_num(flags, "max-queue", defaults.max_queue)?,
         window: get_num(flags, "window", defaults.window)?,
         cache_capacity: get_num(flags, "cache", defaults.cache_capacity)?,
+        session_capacity: get_num(flags, "sessions", defaults.session_capacity)?,
         deadline_ms: get_num(flags, "deadline-ms", defaults.deadline_ms)?,
         quality_log: flags.get("quality-log").cloned(),
     })
@@ -340,13 +363,35 @@ fn predict(flags: &HashMap<String, String>) -> Result<(), CliError> {
         "predict" => {
             let body: rckt_serve::PredictBody =
                 serde_json::from_str(&text).map_err(|e| err(format!("parsing {req_path}: {e}")))?;
-            let resp = rckt_serve::api::predict_batch(
-                &engine.model,
-                &engine.qm,
-                &body.requests,
-                cfg.window,
-            )
-            .map_err(|e| err(e.to_string()))?;
+            // --solo scores each request in its own model call. Fused
+            // batches of *mixed* history lengths are not guaranteed
+            // bit-identical to solo runs (the encoder's validity-gate
+            // arithmetic differs when a batch mixes lengths), so solo
+            // evaluation is the right oracle when byte-comparing against
+            // per-request served responses — e.g. a replayed live session
+            // of growing histories.
+            let resp = if get_bool(flags, "solo", false)? {
+                let mut predictions = Vec::with_capacity(body.requests.len());
+                for r in &body.requests {
+                    let one = rckt_serve::api::predict_batch(
+                        &engine.model,
+                        &engine.qm,
+                        std::slice::from_ref(r),
+                        cfg.window,
+                    )
+                    .map_err(|e| err(e.to_string()))?;
+                    predictions.extend(one.predictions);
+                }
+                rckt_serve::PredictResponse { predictions }
+            } else {
+                rckt_serve::api::predict_batch(
+                    &engine.model,
+                    &engine.qm,
+                    &body.requests,
+                    cfg.window,
+                )
+                .map_err(|e| err(e.to_string()))?
+            };
             println!(
                 "{}",
                 serde_json::to_string(&resp).expect("response serialization")
@@ -368,6 +413,55 @@ fn predict(flags: &HashMap<String, String>) -> Result<(), CliError> {
             );
         }
         other => return Err(err(format!("unknown --mode {other:?} (predict|explain)"))),
+    }
+    Ok(())
+}
+
+/// Offline twin of the serve warm path: replay a request file in order
+/// through the same [`rckt_serve::warm::predict_one`] the batcher calls,
+/// against a local session store, printing one `PredictResponse` body per
+/// request line. For an append-one step sequence this reproduces the
+/// served warm-path bytes by construction (same function, same state
+/// evolution); for models without a forward-only encoder it falls back to
+/// the exact solo path — which is what the server does too.
+fn replay_session(flags: &HashMap<String, String>) -> Result<(), CliError> {
+    let model_path = get(flags, "model")?;
+    let cfg = rckt_serve::ServeConfig {
+        window: get_num(flags, "window", rckt_serve::DEFAULT_SERVE_WINDOW)?,
+        cache_capacity: 0,
+        ..Default::default()
+    };
+    let engine = rckt_serve::Engine::from_file(model_path, &cfg).map_err(err)?;
+    let req_path = get(flags, "requests")?;
+    let text =
+        std::fs::read_to_string(req_path).map_err(|e| err(format!("reading {req_path}: {e}")))?;
+    let body: rckt_serve::PredictBody =
+        serde_json::from_str(&text).map_err(|e| err(format!("parsing {req_path}: {e}")))?;
+    let sessions = rckt_serve::SessionStore::new(get_num(flags, "sessions", 1024usize)?);
+    let warm = engine.model.supports_incremental() && sessions.capacity() > 0;
+    for (i, r) in body.requests.iter().enumerate() {
+        let item = if warm {
+            rckt_serve::warm::predict_one(&engine, &sessions, r)
+                .map_err(|e| err(format!("request {i}: {e}")))?
+                .0
+        } else {
+            rckt_serve::api::predict_batch(
+                &engine.model,
+                &engine.qm,
+                std::slice::from_ref(r),
+                cfg.window,
+            )
+            .map_err(|e| err(format!("request {i}: {e}")))?
+            .predictions
+            .remove(0)
+        };
+        let resp = rckt_serve::PredictResponse {
+            predictions: vec![item],
+        };
+        println!(
+            "{}",
+            serde_json::to_string(&resp).expect("response serialization")
+        );
     }
     Ok(())
 }
@@ -524,6 +618,72 @@ mod tests {
         assert_eq!(f["b"], "two");
         assert!(parse_flags(&args("--a")).is_err());
         assert!(parse_flags(&args("nope 1")).is_err());
+    }
+
+    #[test]
+    fn bool_flags_require_true_or_false() {
+        let f = parse_flags(&args("--solo true --unidirectional false")).unwrap();
+        assert!(get_bool(&f, "solo", false).unwrap());
+        assert!(!get_bool(&f, "unidirectional", true).unwrap());
+        assert!(get_bool(&f, "absent", true).unwrap());
+        let f = parse_flags(&args("--solo yes")).unwrap();
+        assert!(get_bool(&f, "solo", false).is_err());
+    }
+
+    #[test]
+    fn replay_session_and_solo_predict_run_on_a_forward_only_model() {
+        let dir = std::env::temp_dir().join("rckt_cli_replay");
+        std::fs::create_dir_all(&dir).unwrap();
+        let ds = SyntheticSpec::assist09().scaled(0.05).generate();
+        let model = Rckt::new(
+            Backbone::Dkt,
+            ds.num_questions(),
+            ds.num_concepts(),
+            RcktConfig {
+                dim: 8,
+                unidirectional: true,
+                ..Default::default()
+            },
+        );
+        let model_path = dir.join("uni_model.json");
+        std::fs::write(&model_path, model.export_with_qmatrix(&ds.q_matrix)).unwrap();
+        // An append-one session: each request's history is the previous
+        // one plus the answer to its target.
+        let mut requests = Vec::new();
+        let hist: Vec<(u32, bool)> = (0..6).map(|i| ((i as u32 % 5) + 1, i % 3 != 0)).collect();
+        for n in 0..hist.len() {
+            let history: Vec<serde_json::Value> = hist[..n]
+                .iter()
+                .map(|&(q, c)| serde_json::json!({"question": q, "correct": c}))
+                .collect();
+            requests.push(serde_json::json!({
+                "student": 7, "history": history, "target_question": hist[n].0,
+            }));
+        }
+        let req_path = dir.join("session.json");
+        std::fs::write(
+            &req_path,
+            serde_json::json!({ "requests": requests }).to_string(),
+        )
+        .unwrap();
+        dispatch(&args(&format!(
+            "replay-session --model {} --requests {} --window 16",
+            model_path.display(),
+            req_path.display()
+        )))
+        .unwrap();
+        dispatch(&args(&format!(
+            "predict --model {} --requests {} --window 16 --solo true",
+            model_path.display(),
+            req_path.display()
+        )))
+        .unwrap();
+        let e = dispatch(&args(&format!(
+            "replay-session --model {} --requests /nonexistent/r.json",
+            model_path.display()
+        )))
+        .unwrap_err();
+        assert!(e.0.contains("reading"), "{e}");
     }
 
     #[test]

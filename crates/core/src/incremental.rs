@@ -1,0 +1,653 @@
+//! Incremental (append-one-response) inference for forward-only encoders.
+//!
+//! The serving hot path is a live tutoring session whose history grows by
+//! exactly one response per request; re-running the full counterfactual
+//! fan-out (four generator passes over the whole window, each with two
+//! LSTM sweeps) on every `/predict` is pure waste. This module caches the
+//! per-session encoder state and influence contributions so an append
+//! recomputes **only the appended positions**.
+//!
+//! # Why three streams suffice
+//!
+//! The backward approximation scores a target from four generator passes
+//! (`F⁺`, `CF⁻`, `F⁻`, `CF⁺`). The influence masks zero out the target
+//! position and everything after it, so the score only reads context
+//! probabilities at positions `i < target` — and for a *forward-only*
+//! encoder, `p[i]` depends solely on the context categories at positions
+//! `< i` plus the question at `i`. Those context categories are
+//! target-independent:
+//!
+//! * `F⁺` and `F⁻` differ only at the target ⇒ their contexts are both the
+//!   **factual** stream `F`.
+//! * `CF⁻` under monotonic retention keeps incorrect responses and masks
+//!   correct ones ⇒ the **retain-incorrect** stream `RI`.
+//! * `CF⁺` symmetrically ⇒ the **retain-correct** stream `RC`.
+//! * Under the `-mono` ablation (`Retention::FlipOnly`) all contexts stay
+//!   factual and every per-position delta is exactly zero.
+//!
+//! So a session needs three cached LSTM states, one per stream, and each
+//! append advances them one step and evaluates the prediction head at the
+//! new position only.
+//!
+//! # Accuracy contract (see `docs/performance.md`)
+//!
+//! Incremental scores are **byte-identical** to the exact single-sequence
+//! path ([`Rckt::predict_targets`] over a `[1, window]` batch) under every
+//! `RCKT_KERNEL` variant and `RCKT_THREADS` width:
+//!
+//! * The per-step LSTM math replays [`LstmCell::step`] on the same `[1, d]`
+//!   shapes the exact path uses (its per-timestep GEMMs are `[1, d]`
+//!   regardless of window length), and a solo batch's validity gate is a
+//!   bitwise no-op at valid steps.
+//! * The prediction head runs over a full `[window, 2d]` matrix that is
+//!   zero except at the appended rows — the *same kernel geometry* as the
+//!   exact pass, and GEMM output rows depend only on their own input row,
+//!   so the appended rows carry identical bits under any kernel variant.
+//! * Per-position deltas replay the exact combine scalar-for-scalar
+//!   (`sub → mask multiply → relu`), and the running sums accumulate in
+//!   position order, matching `sum_last`'s left-to-right fold (trailing
+//!   masked positions contribute signed zeros, which never change the
+//!   final bits).
+//!
+//! Bidirectional encoders re-mix every earlier hidden state on append, so
+//! they are not eligible: [`IncrementalState::new`] returns `None` and
+//! callers fall back to the exact path.
+//!
+//! [`LstmCell::step`]: rckt_tensor::layers::LstmCell::step
+
+use crate::counterfactual::Retention;
+use crate::model::{Encoder, QueryError, Rckt};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use rckt_data::{Batch, QMatrix};
+use rckt_models::ResponseCat;
+use rckt_tensor::{Graph, Shape};
+
+/// Cached LSTM carries for one generator-context stream.
+#[derive(Clone)]
+struct StreamState {
+    /// Per-layer `(h, c)`, each `[d]`.
+    layers: Vec<(Vec<f32>, Vec<f32>)>,
+    /// Top-layer output after the last appended response — the encoder
+    /// state `h_i` the *next* position's head input sees (zeros before the
+    /// first append, matching the encoder's zero-state gather at `t = 0`).
+    last_out: Vec<f32>,
+}
+
+impl StreamState {
+    fn zeros(layers: usize, d: usize) -> Self {
+        StreamState {
+            layers: vec![(vec![0.0; d], vec![0.0; d]); layers],
+            last_out: vec![0.0; d],
+        }
+    }
+
+    fn bytes(&self) -> usize {
+        let vecs = self
+            .layers
+            .iter()
+            .map(|(h, c)| h.capacity() + c.capacity())
+            .sum::<usize>()
+            + self.last_out.capacity();
+        vecs * std::mem::size_of::<f32>()
+    }
+}
+
+/// Per-session incremental inference state: the response history, three
+/// cached encoder streams, and the per-position influence contributions
+/// accumulated so far. Appending a response recomputes only the appended
+/// position; scoring is O(1).
+#[derive(Clone)]
+pub struct IncrementalState {
+    window: usize,
+    dim: usize,
+    clamp: bool,
+    retention: Retention,
+    questions: Vec<u32>,
+    correct: Vec<bool>,
+    /// Per-position Δ⁺ contribution (zero at incorrect positions).
+    d_pos: Vec<f32>,
+    /// Per-position Δ⁻ contribution (zero at correct positions).
+    d_neg: Vec<f32>,
+    /// Running Σ Δ⁺ / Σ Δ⁻ in position order (bitwise equal to the exact
+    /// path's `sum_last` fold).
+    dp: f32,
+    dn: f32,
+    /// `[F, RI, RC]` context streams.
+    streams: [StreamState; 3],
+}
+
+impl IncrementalState {
+    /// Fresh (empty-history) state for `model`, or `None` when the model's
+    /// encoder is not forward-only (bidirectional state cannot be advanced
+    /// incrementally) or the window is degenerate.
+    pub fn new(model: &Rckt, window: usize) -> Option<Self> {
+        if window == 0 {
+            return None;
+        }
+        let lstm = match &model.encoder {
+            Encoder::Lstm(enc) if enc.is_forward_only() => enc.forward_lstm(),
+            _ => return None,
+        };
+        let d = model.cfg.dim;
+        let s = StreamState::zeros(lstm.cells.len(), d);
+        Some(IncrementalState {
+            window,
+            dim: d,
+            clamp: model.cfg.clamp_inference,
+            retention: model.cfg.retention,
+            questions: Vec::new(),
+            correct: Vec::new(),
+            d_pos: Vec::new(),
+            d_neg: Vec::new(),
+            dp: 0.0,
+            dn: 0.0,
+            streams: [s.clone(), s.clone(), s],
+        })
+    }
+
+    /// Number of responses appended so far.
+    pub fn len(&self) -> usize {
+        self.questions.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.questions.is_empty()
+    }
+
+    /// The padded window length this state was built for.
+    pub fn window(&self) -> usize {
+        self.window
+    }
+
+    /// Question ids of the appended history, in order.
+    pub fn questions(&self) -> &[u32] {
+        &self.questions
+    }
+
+    /// Correctness flags of the appended history, in order.
+    pub fn correct_flags(&self) -> &[bool] {
+        &self.correct
+    }
+
+    /// Per-position `(Δ⁺, Δ⁻)` contributions accumulated so far — the same
+    /// values the exact path's influence maps carry at these positions.
+    pub fn contributions(&self) -> (&[f32], &[f32]) {
+        (&self.d_pos, &self.d_neg)
+    }
+
+    /// Approximate resident size of this state in bytes (reported by the
+    /// serve-side state-bytes gauge).
+    pub fn state_bytes(&self) -> usize {
+        std::mem::size_of::<Self>()
+            + self.questions.capacity() * std::mem::size_of::<u32>()
+            + self.correct.capacity()
+            + (self.d_pos.capacity() + self.d_neg.capacity()) * std::mem::size_of::<f32>()
+            + self.streams.iter().map(StreamState::bytes).sum::<usize>()
+    }
+
+    /// Normalized-margin score for a prediction at target position
+    /// `len()` — identical arithmetic to [`Rckt::predict_targets`]
+    /// (`(Δ⁺ − Δ⁻)/(2t) + ½`, clamped). With no history the score is ½.
+    ///
+    /// The target *question* never enters: the influence masks zero the
+    /// target position, so (like the exact path on a forward-only encoder)
+    /// the score depends on the history alone.
+    pub fn score(&self) -> f32 {
+        let t = self.len().max(1) as f32;
+        ((self.dp - self.dn) / (2.0 * t) + 0.5).clamp(0.0, 1.0)
+    }
+
+    /// Score for a *historical* prefix of this session: what [`Self::score`]
+    /// returned when only the first `n` responses had been appended.
+    /// Re-folds the cached per-position contributions in position order —
+    /// the same left-to-right fold — so the bits match the live score at
+    /// that point. `None` when `n` exceeds the appended history.
+    ///
+    /// This lets a server answer a replayed old request without rebuilding
+    /// (or worse, discarding) the session state.
+    pub fn score_at(&self, n: usize) -> Option<f32> {
+        if n > self.len() {
+            return None;
+        }
+        let dp: f32 = self.d_pos[..n].iter().sum();
+        let dn: f32 = self.d_neg[..n].iter().sum();
+        let t = n.max(1) as f32;
+        Some(((dp - dn) / (2.0 * t) + 0.5).clamp(0.0, 1.0))
+    }
+
+    /// Context categories a factual response contributes to each stream.
+    fn stream_cats(&self, correct: bool) -> [ResponseCat; 3] {
+        let f = ResponseCat::from_correct(correct);
+        match self.retention {
+            // FlipOnly keeps counterfactual contexts factual (only the
+            // target flips), so all three streams see the factual category.
+            Retention::FlipOnly => [f, f, f],
+            Retention::Monotonic => {
+                let ri = if correct { ResponseCat::Masked } else { f };
+                let rc = if correct { f } else { ResponseCat::Masked };
+                [f, ri, rc]
+            }
+        }
+    }
+
+    /// Append one response. Recomputes exactly one position.
+    pub fn append_response(
+        &mut self,
+        model: &Rckt,
+        qm: &QMatrix,
+        question: u32,
+        correct: bool,
+    ) -> Result<usize, QueryError> {
+        self.append_responses(model, qm, &[(question, correct)])
+    }
+
+    /// Append a run of responses (the cold-install path), recomputing only
+    /// the appended positions. Returns how many positions were recomputed
+    /// (`items.len()`). Appending one at a time yields bit-identical state.
+    ///
+    /// The state is untouched if any item fails validation.
+    pub fn append_responses(
+        &mut self,
+        model: &Rckt,
+        qm: &QMatrix,
+        items: &[(u32, bool)],
+    ) -> Result<usize, QueryError> {
+        if items.is_empty() {
+            return Ok(0);
+        }
+        // Every response must leave room in the window for a target slot.
+        if self.len() + items.len() + 1 > self.window {
+            return Err(QueryError::TargetOutOfRange {
+                seq: 0,
+                target: self.len() + items.len(),
+                t_len: self.window,
+            });
+        }
+        let minis: Vec<Batch> = items
+            .iter()
+            .enumerate()
+            .map(|(off, &(q, _))| {
+                if (q as usize) >= qm.num_questions() {
+                    return Err(QueryError::QuestionOutOfRange {
+                        position: self.len() + off,
+                        id: q as usize,
+                        num_questions: qm.num_questions(),
+                    });
+                }
+                let mini = mini_batch(q, qm);
+                model.validate_query(&mini, &[0])?;
+                Ok(mini)
+            })
+            .collect::<Result<_, QueryError>>()?;
+
+        let lstm = match &model.encoder {
+            Encoder::Lstm(enc) if enc.is_forward_only() => enc.forward_lstm(),
+            _ => unreachable!("IncrementalState::new gates on a forward-only encoder"),
+        };
+        if rckt_obs::profiling() {
+            rckt_obs::counter("core.infer.incremental_positions").add(items.len() as u64);
+        }
+        let d = self.dim;
+        let start = self.len();
+        let mut g = Graph::new();
+        // Eval passes never consume randomness (dropout is a no-op); the
+        // seed matches the exact path's fan-out workers for clarity.
+        let mut rng = SmallRng::seed_from_u64(0);
+        // Head-input rows (h_i ⊕ e_i) for the appended positions, per stream.
+        let mut xrows: [Vec<Vec<f32>>; 3] = Default::default();
+        for (mini, &(q, correct)) in minis.iter().zip(items) {
+            // e_i exactly as the batch pass computes it: question gather +
+            // segment-mean concept gather (Eq. 23), one row here.
+            let e = model.emb.questions(&mut g, &model.store, mini);
+            let e_row = g.data(e).to_vec();
+            let cats = self.stream_cats(correct);
+            for (s, stream) in self.streams.iter_mut().enumerate() {
+                // The head input at this position reads the encoder state
+                // *before* the response is consumed (the encode gather
+                // shifts outputs by one step).
+                let mut row = stream.last_out.clone();
+                row.extend_from_slice(&e_row);
+                xrows[s].push(row);
+                // Advance: a_i = e_i + r(cat), one LstmCell::step per layer
+                // on the same [1, d] shapes the exact path steps through.
+                let a = model.emb.interactions(&mut g, &model.store, e, &[cats[s]]);
+                let mut layer_in = a;
+                for (li, cell) in lstm.cells.iter().enumerate() {
+                    let h = g.input(stream.layers[li].0.clone(), Shape::matrix(1, d));
+                    let c = g.input(stream.layers[li].1.clone(), Shape::matrix(1, d));
+                    let (h2, c2) = cell.step(&mut g, &model.store, layer_in, h, c);
+                    stream.layers[li] = (g.data(h2).to_vec(), g.data(c2).to_vec());
+                    layer_in = h2;
+                }
+                stream.last_out = stream.layers[lstm.cells.len() - 1].0.clone();
+            }
+            self.questions.push(q);
+            self.correct.push(correct);
+        }
+
+        // One head pass per stream over a [window, 2d] matrix that is zero
+        // except at the appended rows. This is the same kernel geometry as
+        // the exact pass — GEMM rows are independent, so the appended rows
+        // carry the exact pass's bits under any kernel variant.
+        let mut probs: [Vec<f32>; 3] = Default::default();
+        for (s, rows) in xrows.iter().enumerate() {
+            let mut buf = vec![0.0f32; self.window * 2 * d];
+            for (off, row) in rows.iter().enumerate() {
+                let pos = start + off;
+                buf[pos * 2 * d..(pos + 1) * 2 * d].copy_from_slice(row);
+            }
+            let x = g.input(buf, Shape::matrix(self.window, 2 * d));
+            let logits = model.head.forward(&mut g, &model.store, x, false, &mut rng);
+            let p = g.sigmoid(logits);
+            let pd = g.data(p);
+            probs[s] = (0..items.len()).map(|off| pd[start + off]).collect();
+        }
+
+        // Per-position deltas, scalar-for-scalar the exact combine:
+        // sub → mask multiply → relu (Eq. 19/20 with clamped inference).
+        for (off, &(_, correct)) in items.iter().enumerate() {
+            let (pf, pri, prc) = (probs[0][off], probs[1][off], probs[2][off]);
+            let (mc, mi) = if correct {
+                (1.0f32, 0.0f32)
+            } else {
+                (0.0, 1.0)
+            };
+            let mut dpos = (pf - pri) * mc;
+            let mut dneg = (prc - pf) * mi;
+            if self.clamp {
+                dpos = dpos.max(0.0);
+                dneg = dneg.max(0.0);
+            }
+            self.d_pos.push(dpos);
+            self.d_neg.push(dneg);
+            self.dp += dpos;
+            self.dn += dneg;
+        }
+        Ok(items.len())
+    }
+}
+
+/// A `[1, 1]` batch holding one response's question, built exactly like
+/// [`Batch::from_windows`] builds a valid position.
+fn mini_batch(q: u32, qm: &QMatrix) -> Batch {
+    let ks = qm.concepts_of(q);
+    Batch {
+        batch: 1,
+        t_len: 1,
+        students: vec![0],
+        questions: vec![q as usize],
+        concept_flat: ks.iter().map(|&k| k as usize).collect(),
+        concept_lens: vec![ks.len()],
+        correct: vec![0.0],
+        valid: vec![true],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{Backbone, RcktConfig};
+    use rckt_data::{SyntheticSpec, Window};
+
+    fn setup(cfg: RcktConfig) -> (Rckt, rckt_data::Dataset) {
+        let ds = SyntheticSpec::assist09().scaled(0.03).generate();
+        let m = Rckt::new(Backbone::Dkt, ds.num_questions(), ds.num_concepts(), cfg);
+        (m, ds)
+    }
+
+    fn uni_cfg() -> RcktConfig {
+        RcktConfig {
+            dim: 8,
+            unidirectional: true,
+            ..Default::default()
+        }
+    }
+
+    /// History of `n` responses with deterministic question/correct churn.
+    fn history(n: usize, num_questions: usize) -> Vec<(u32, bool)> {
+        (0..n)
+            .map(|i| ((1 + (i * 7 + 3) % (num_questions - 1)) as u32, i % 3 != 0))
+            .collect()
+    }
+
+    /// Exact-path score over a padded `[1, window]` batch, mirroring the
+    /// serve layer's window construction.
+    fn exact_score(
+        m: &Rckt,
+        qm: &QMatrix,
+        hist: &[(u32, bool)],
+        target_q: u32,
+        window: usize,
+    ) -> f32 {
+        let target = hist.len();
+        assert!(target + 1 <= window);
+        let mut questions = vec![0u32; window];
+        let mut correct = vec![0u8; window];
+        for (i, &(q, c)) in hist.iter().enumerate() {
+            questions[i] = q;
+            correct[i] = c as u8;
+        }
+        questions[target] = target_q;
+        let w = Window {
+            student: 0,
+            questions,
+            correct,
+            len: target + 1,
+        };
+        let b = Batch::from_windows(&[&w], qm);
+        m.predict_targets(&b, &[target])[0].prob
+    }
+
+    #[test]
+    fn append_one_matches_exact_path_bitwise_at_every_prefix() {
+        let (m, ds) = setup(uni_cfg());
+        let window = 16;
+        let hist = history(window - 1, ds.num_questions());
+        let mut state = IncrementalState::new(&m, window).expect("forward-only DKT");
+        for n in 0..hist.len() {
+            let warm = state.score();
+            let exact = exact_score(&m, &ds.q_matrix, &hist[..n], hist[n].0, window);
+            assert_eq!(
+                warm.to_bits(),
+                exact.to_bits(),
+                "prefix {n}: warm {warm} vs exact {exact}"
+            );
+            let recomputed = state
+                .append_response(&m, &ds.q_matrix, hist[n].0, hist[n].1)
+                .unwrap();
+            assert_eq!(recomputed, 1);
+        }
+        let warm = state.score();
+        let exact = exact_score(&m, &ds.q_matrix, &hist, 1, window);
+        assert_eq!(warm.to_bits(), exact.to_bits(), "full-history score");
+    }
+
+    #[test]
+    fn empty_history_scores_half() {
+        let (m, ds) = setup(uni_cfg());
+        let state = IncrementalState::new(&m, 16).unwrap();
+        assert_eq!(state.score(), 0.5);
+        assert_eq!(
+            state.score().to_bits(),
+            exact_score(&m, &ds.q_matrix, &[], 1, 16).to_bits()
+        );
+    }
+
+    #[test]
+    fn batch_install_equals_one_at_a_time() {
+        let (m, ds) = setup(uni_cfg());
+        let hist = history(10, ds.num_questions());
+        let mut one = IncrementalState::new(&m, 16).unwrap();
+        for &(q, c) in &hist {
+            one.append_response(&m, &ds.q_matrix, q, c).unwrap();
+        }
+        let mut all = IncrementalState::new(&m, 16).unwrap();
+        let recomputed = all.append_responses(&m, &ds.q_matrix, &hist).unwrap();
+        assert_eq!(recomputed, hist.len());
+        assert_eq!(one.score().to_bits(), all.score().to_bits());
+        let (p1, n1) = one.contributions();
+        let (p2, n2) = all.contributions();
+        let bits = |xs: &[f32]| xs.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+        assert_eq!(bits(p1), bits(p2));
+        assert_eq!(bits(n1), bits(n2));
+    }
+
+    #[test]
+    fn contributions_match_exact_influence_maps() {
+        let (m, ds) = setup(uni_cfg());
+        let window = 16;
+        let hist = history(9, ds.num_questions());
+        let mut state = IncrementalState::new(&m, window).unwrap();
+        state.append_responses(&m, &ds.q_matrix, &hist).unwrap();
+
+        let target = hist.len();
+        let mut questions = vec![0u32; window];
+        let mut correct = vec![0u8; window];
+        for (i, &(q, c)) in hist.iter().enumerate() {
+            questions[i] = q;
+            correct[i] = c as u8;
+        }
+        questions[target] = hist[0].0;
+        let w = Window {
+            student: 0,
+            questions,
+            correct,
+            len: target + 1,
+        };
+        let b = Batch::from_windows(&[&w], &ds.q_matrix);
+        let rec = &m.influences(&b, &[target])[0];
+        let (dp, dn) = state.contributions();
+        for &(t, was_correct, delta) in &rec.influences {
+            let mine = if was_correct { dp[t] } else { dn[t] };
+            assert_eq!(mine.to_bits(), delta.to_bits(), "position {t}");
+        }
+        assert_eq!(state.score().to_bits(), rec.score.to_bits());
+    }
+
+    #[test]
+    fn flip_only_retention_matches_exact() {
+        let cfg = RcktConfig {
+            retention: Retention::FlipOnly,
+            ..uni_cfg()
+        };
+        let (m, ds) = setup(cfg);
+        let hist = history(6, ds.num_questions());
+        let mut state = IncrementalState::new(&m, 16).unwrap();
+        state.append_responses(&m, &ds.q_matrix, &hist).unwrap();
+        let exact = exact_score(&m, &ds.q_matrix, &hist, 1, 16);
+        assert_eq!(state.score().to_bits(), exact.to_bits());
+        // FlipOnly contexts are factual, so every context delta is zero and
+        // the score collapses to ½ on a forward-only encoder.
+        assert_eq!(state.score(), 0.5);
+    }
+
+    #[test]
+    fn unclamped_inference_matches_exact() {
+        let cfg = RcktConfig {
+            clamp_inference: false,
+            ..uni_cfg()
+        };
+        let (m, ds) = setup(cfg);
+        let hist = history(8, ds.num_questions());
+        let mut state = IncrementalState::new(&m, 16).unwrap();
+        for (n, &(q, c)) in hist.iter().enumerate() {
+            let exact = exact_score(&m, &ds.q_matrix, &hist[..n], q, 16);
+            assert_eq!(state.score().to_bits(), exact.to_bits(), "prefix {n}");
+            state.append_response(&m, &ds.q_matrix, q, c).unwrap();
+        }
+    }
+
+    #[test]
+    fn bidirectional_models_are_not_incremental() {
+        let (m, _) = setup(RcktConfig {
+            dim: 8,
+            ..Default::default()
+        });
+        assert!(!m.supports_incremental());
+        assert!(IncrementalState::new(&m, 16).is_none());
+    }
+
+    #[test]
+    fn multi_layer_encoder_matches_exact() {
+        let cfg = RcktConfig {
+            layers: 2,
+            ..uni_cfg()
+        };
+        let (m, ds) = setup(cfg);
+        let hist = history(7, ds.num_questions());
+        let mut state = IncrementalState::new(&m, 16).unwrap();
+        for (n, &(q, c)) in hist.iter().enumerate() {
+            let exact = exact_score(&m, &ds.q_matrix, &hist[..n], q, 16);
+            assert_eq!(state.score().to_bits(), exact.to_bits(), "prefix {n}");
+            state.append_response(&m, &ds.q_matrix, q, c).unwrap();
+        }
+    }
+
+    #[test]
+    fn window_capacity_is_enforced() {
+        let (m, ds) = setup(uni_cfg());
+        let mut state = IncrementalState::new(&m, 4).unwrap();
+        // Window 4 leaves room for 3 responses + 1 target slot.
+        let hist = history(3, ds.num_questions());
+        state.append_responses(&m, &ds.q_matrix, &hist).unwrap();
+        let err = state
+            .append_response(&m, &ds.q_matrix, 1, true)
+            .unwrap_err();
+        assert!(matches!(err, QueryError::TargetOutOfRange { .. }));
+        assert_eq!(state.len(), 3, "failed append must not mutate");
+    }
+
+    #[test]
+    fn out_of_range_question_is_rejected_without_mutation() {
+        let (m, ds) = setup(uni_cfg());
+        let mut state = IncrementalState::new(&m, 16).unwrap();
+        state.append_response(&m, &ds.q_matrix, 1, true).unwrap();
+        let bad = ds.num_questions() as u32 + 10;
+        let err = state
+            .append_responses(&m, &ds.q_matrix, &[(2, true), (bad, false)])
+            .unwrap_err();
+        assert!(matches!(err, QueryError::QuestionOutOfRange { .. }));
+        assert_eq!(state.len(), 1, "failed batch append must not mutate");
+    }
+
+    #[test]
+    fn score_at_replays_the_live_score_of_every_prefix() {
+        let (m, ds) = setup(uni_cfg());
+        let hist = history(12, ds.num_questions());
+        let mut state = IncrementalState::new(&m, 16).unwrap();
+        // Record what score() actually returned at each prefix length.
+        let mut live = vec![state.score()];
+        for &(q, c) in &hist {
+            state.append_response(&m, &ds.q_matrix, q, c).unwrap();
+            live.push(state.score());
+        }
+        for (n, &expected) in live.iter().enumerate() {
+            let replayed = state.score_at(n).unwrap();
+            assert_eq!(
+                replayed.to_bits(),
+                expected.to_bits(),
+                "replay of prefix {n}"
+            );
+        }
+        assert_eq!(
+            state.score_at(state.len()).unwrap().to_bits(),
+            state.score().to_bits()
+        );
+        assert_eq!(state.score_at(state.len() + 1), None);
+    }
+
+    #[test]
+    fn state_bytes_is_plausible_and_grows_with_history() {
+        let (m, ds) = setup(uni_cfg());
+        let mut state = IncrementalState::new(&m, 64).unwrap();
+        let empty = state.state_bytes();
+        assert!(empty > 0);
+        state
+            .append_responses(&m, &ds.q_matrix, &history(30, ds.num_questions()))
+            .unwrap();
+        assert!(state.state_bytes() > empty);
+        // The whole point: state is O(layers·d + len), not O(window·d).
+        assert!(state.state_bytes() < 64 * 1024);
+    }
+}

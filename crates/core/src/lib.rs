@@ -19,6 +19,10 @@
 //! * [`proficiency`] — concept-proficiency tracing (Eq. 30) for the Fig. 5
 //!   style dashboards.
 //! * [`explain`] — influence reports rendered for humans (Table I style).
+//! * [`incremental`] — per-session append-one inference for forward-only
+//!   encoders: cached stream states make a live session's next prediction
+//!   O(1) encoder steps instead of a full counterfactual fan-out, with
+//!   scores byte-identical to the exact path.
 //!
 //! ```no_run
 //! use rckt::{Backbone, Rckt, RcktConfig};
@@ -42,10 +46,12 @@ pub mod audit;
 pub mod config;
 pub mod counterfactual;
 pub mod explain;
+pub mod incremental;
 pub mod model;
 pub mod persist;
 pub mod proficiency;
 
 pub use config::{Backbone, RcktConfig, Retention};
+pub use incremental::IncrementalState;
 pub use model::{InfluenceRecord, QueryError, Rckt};
 pub use persist::{PersistError, SavedModel, ScoreReference};

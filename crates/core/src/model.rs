@@ -20,7 +20,7 @@ use rckt_tensor::layers::PredictionMlp;
 use rckt_tensor::pool;
 use rckt_tensor::{Adam, Graph, ParamStore, Shape, Tx};
 
-enum Encoder {
+pub(crate) enum Encoder {
     Lstm(BiLstmEncoder),
     Attn(BiAttnEncoder),
 }
@@ -137,10 +137,10 @@ impl std::error::Error for QueryError {}
 pub struct Rckt {
     pub cfg: RcktConfig,
     pub backbone: Backbone,
-    emb: KtEmbedding,
-    encoder: Encoder,
-    head: PredictionMlp,
-    store: ParamStore,
+    pub(crate) emb: KtEmbedding,
+    pub(crate) encoder: Encoder,
+    pub(crate) head: PredictionMlp,
+    pub(crate) store: ParamStore,
     adam: Adam,
     /// Question-vocabulary size the embeddings were built for; queries are
     /// validated against it by [`Rckt::validate_query`].
@@ -219,6 +219,15 @@ impl Rckt {
     /// Concept-vocabulary size this model was constructed for.
     pub fn num_concepts(&self) -> usize {
         self.num_concepts
+    }
+
+    /// Whether this model can serve incremental (append-one) inference via
+    /// [`crate::incremental::IncrementalState`]: only forward-only LSTM
+    /// encoders qualify, because appending a response leaves every earlier
+    /// hidden state untouched. Bidirectional and attention backbones re-mix
+    /// the whole window on append and must take the exact path.
+    pub fn supports_incremental(&self) -> bool {
+        matches!(&self.encoder, Encoder::Lstm(enc) if enc.is_forward_only())
     }
 
     /// Validate a query against the model's stored vocabulary sizes and the

@@ -97,6 +97,19 @@ impl BiLstmEncoder {
         self.forward_only = true;
         self
     }
+
+    /// Whether the backward half is disabled. Forward-only encoders are
+    /// the ones eligible for incremental (append-one) inference: `h_i`
+    /// depends only on `a_1..a_{i-1}`, so appending a response leaves
+    /// every earlier state untouched.
+    pub fn is_forward_only(&self) -> bool {
+        self.forward_only
+    }
+
+    /// The forward-direction LSTM (for incremental state advance).
+    pub fn forward_lstm(&self) -> &Lstm {
+        &self.fwd
+    }
 }
 
 impl BiEncoder for BiLstmEncoder {

@@ -12,7 +12,8 @@
 //! already accepted.
 
 use crate::api::{self, ApiError, ExplainRequest, PredictRequest};
-use crate::cache::{Outcome, SessionCache};
+use crate::cache::{Outcome, SessionCache, SessionKey, SessionStore};
+use crate::warm;
 use rckt::Rckt;
 use rckt_data::QMatrix;
 use rckt_obs::{counter, gauge, histogram, histogram_with};
@@ -32,12 +33,26 @@ pub struct Engine {
     /// history length. Shared with the offline CLI for bit-identity.
     pub window: usize,
     pub cache: SessionCache,
+    /// Warm-path store: per-student incremental encoder state, so an
+    /// append-one request recomputes one position instead of the full
+    /// counterfactual fan-out. Only consulted when the loaded model
+    /// supports incremental inference (see [`Engine::warm_capable`]).
+    pub sessions: SessionStore,
     /// FNV-1a hash of the model file, part of every cache key so a
     /// process serving a different model never reads stale entries.
     pub model_hash: u64,
     /// Streaming model-quality monitor + optional replayable quality
     /// log; fed by the HTTP handlers, scraped via `/metrics`.
     pub quality: crate::quality::Quality,
+}
+
+impl Engine {
+    /// Whether predict misses can take the warm append-one path: the
+    /// encoder must be forward-only (bidirectional context invalidates
+    /// every cached position on append) and the session store enabled.
+    pub fn warm_capable(&self) -> bool {
+        self.model.supports_incremental() && self.sessions.capacity() > 0
+    }
 }
 
 impl std::fmt::Debug for Engine {
@@ -62,18 +77,11 @@ impl JobRequest {
     }
 }
 
-/// Cache key: model hash + kind tag + the canonical request JSON. The
-/// student id is a request field, so keys are per-student by
-/// construction.
-pub fn cache_key(model_hash: u64, req: &JobRequest) -> String {
-    match req {
-        JobRequest::Predict(r) => {
-            format!("{model_hash:016x}|p|{}", serde_json::to_string(r).unwrap())
-        }
-        JobRequest::Explain(r) => {
-            format!("{model_hash:016x}|e|{}", serde_json::to_string(r).unwrap())
-        }
-    }
+/// Cache key for a request against the loaded model — see
+/// [`SessionKey::for_request`] for the structured layout that lets the
+/// cache invalidate a student's stale shorter-history entries.
+pub fn cache_key(model_hash: u64, req: &JobRequest) -> SessionKey {
+    SessionKey::for_request(model_hash, req)
 }
 
 /// How one job spent its time inside the batcher, returned with every
@@ -96,7 +104,7 @@ pub struct JobTiming {
 pub type JobReply = (usize, Result<Outcome, ApiError>, JobTiming);
 
 pub struct Job {
-    pub key: String,
+    pub key: SessionKey,
     pub req: JobRequest,
     /// The request's position in its HTTP body, echoed back so the
     /// handler can reassemble responses in order.
@@ -269,9 +277,11 @@ pub(crate) fn process_wave(engine: &Engine, jobs: Vec<Job>) {
     }
 
     // Cache pass: hits reply immediately; misses are grouped by key so a
-    // wave of identical requests costs one model slot.
-    let mut miss_order: Vec<String> = Vec::new();
-    let mut misses: HashMap<String, Vec<Job>> = HashMap::new();
+    // wave of identical requests costs one model slot. `miss_order`
+    // preserves arrival order — on the warm path that is what keeps one
+    // student's multi-step appends applying to the session state in order.
+    let mut miss_order: Vec<SessionKey> = Vec::new();
+    let mut misses: HashMap<SessionKey, Vec<Job>> = HashMap::new();
     for job in live {
         if let Some(out) = engine.cache.get(&job.key) {
             counter("serve.cache.hits").incr();
@@ -307,9 +317,9 @@ pub(crate) fn process_wave(engine: &Engine, jobs: Vec<Job>) {
         }
     }
 
-    let mut reply_all = |key: &str, result: Result<Outcome, ApiError>, infer_secs: f64| {
+    let mut reply_all = |key: &SessionKey, result: Result<Outcome, ApiError>, infer_secs: f64| {
         if let Ok(out) = &result {
-            engine.cache.put(key.to_string(), out.clone());
+            engine.cache.put(key.clone(), out.clone());
         }
         for job in misses.remove(key).unwrap_or_default() {
             let t = timing_for(&job, infer_secs, false);
@@ -318,19 +328,54 @@ pub(crate) fn process_wave(engine: &Engine, jobs: Vec<Job>) {
     };
 
     if !predict_reqs.is_empty() {
-        let infer_start = Instant::now();
-        let result = api::predict_batch(&engine.model, &engine.qm, &predict_reqs, engine.window);
-        let infer_secs = infer_start.elapsed().as_secs_f64();
-        histogram("serve.infer.seconds").observe(infer_secs);
-        match result {
-            Ok(resp) => {
-                for (key, item) in predict_keys.iter().zip(resp.predictions) {
-                    reply_all(key, Ok(Outcome::Predict(item)), infer_secs);
+        if engine.warm_capable() {
+            // Warm path: answer each distinct miss through the session
+            // store, in arrival order. Solo evaluation here is free —
+            // the incremental path recomputes only appended positions —
+            // and keeps one student's consecutive steps appending to the
+            // same state instead of fusing into one stale batch.
+            for (key, req) in predict_keys.iter().zip(&predict_reqs) {
+                let infer_start = Instant::now();
+                let result = warm::predict_one(engine, &engine.sessions, req);
+                let infer_secs = infer_start.elapsed().as_secs_f64();
+                histogram("serve.infer.seconds").observe(infer_secs);
+                match result {
+                    Ok((item, stats)) => {
+                        if stats.is_warm() {
+                            counter("serve.predict.warm").incr();
+                        } else {
+                            counter("serve.predict.cold").incr();
+                        }
+                        if stats.kind == warm::WarmKind::DivergedRebuild {
+                            counter("serve.session.fallbacks").incr();
+                        }
+                        histogram_with(
+                            "serve.session.positions_recomputed",
+                            &[1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0],
+                        )
+                        .observe(stats.positions_recomputed as f64);
+                        reply_all(key, Ok(Outcome::Predict(item)), infer_secs);
+                    }
+                    Err(e) => reply_all(key, Err(e), infer_secs),
                 }
             }
-            Err(e) => {
-                for key in &predict_keys {
-                    reply_all(key, Err(e.clone()), infer_secs);
+        } else {
+            let infer_start = Instant::now();
+            let result =
+                api::predict_batch(&engine.model, &engine.qm, &predict_reqs, engine.window);
+            let infer_secs = infer_start.elapsed().as_secs_f64();
+            histogram("serve.infer.seconds").observe(infer_secs);
+            counter("serve.predict.cold").add(predict_keys.len() as u64);
+            match result {
+                Ok(resp) => {
+                    for (key, item) in predict_keys.iter().zip(resp.predictions) {
+                        reply_all(key, Ok(Outcome::Predict(item)), infer_secs);
+                    }
+                }
+                Err(e) => {
+                    for key in &predict_keys {
+                        reply_all(key, Err(e.clone()), infer_secs);
+                    }
                 }
             }
         }
@@ -363,7 +408,7 @@ mod tests {
     use rckt_data::SyntheticSpec;
     use std::time::Duration;
 
-    fn engine() -> Arc<Engine> {
+    fn engine_with(unidirectional: bool) -> Arc<Engine> {
         let ds = SyntheticSpec::assist09().scaled(0.05).generate();
         let model = Rckt::new(
             Backbone::Dkt,
@@ -371,6 +416,7 @@ mod tests {
             ds.num_concepts(),
             RcktConfig {
                 dim: 8,
+                unidirectional,
                 ..Default::default()
             },
         );
@@ -379,9 +425,16 @@ mod tests {
             qm: ds.q_matrix,
             window: 16,
             cache: SessionCache::new(64),
+            sessions: SessionStore::new(64),
             model_hash: 0xfeed,
             quality: crate::quality::Quality::new(None, None).unwrap(),
         })
+    }
+
+    /// Bidirectional engine: the default serve configuration before this
+    /// change, exercising the fused exact path.
+    fn engine() -> Arc<Engine> {
+        engine_with(false)
     }
 
     fn predict_req(student: u32, target_question: u32) -> PredictRequest {
@@ -571,5 +624,79 @@ mod tests {
             );
         }
         b.drain_and_stop();
+    }
+
+    fn history_req(student: u32, hist: &[(u32, bool)], target_question: u32) -> PredictRequest {
+        PredictRequest {
+            student,
+            history: hist
+                .iter()
+                .map(|&(question, correct)| HistoryItem { question, correct })
+                .collect(),
+            target_question,
+        }
+    }
+
+    #[test]
+    fn warm_capability_follows_encoder_direction() {
+        assert!(!engine().warm_capable(), "bidirectional encoder stays cold");
+        assert!(engine_with(true).warm_capable());
+    }
+
+    #[test]
+    fn warm_wave_appends_in_arrival_order_and_matches_exact_solo() {
+        let eng = engine_with(true);
+        // One student's live session: steps 0..6 of a growing history, all
+        // landing in a single wave. Arrival order is what makes each step
+        // an append onto the previous one.
+        let hist: Vec<(u32, bool)> = (0..6).map(|i| ((i as u32 % 5) + 1, i % 3 != 0)).collect();
+        let mut jobs = Vec::new();
+        let mut rxs = Vec::new();
+        let mut reqs = Vec::new();
+        for n in 0..hist.len() {
+            let r = history_req(9, &hist[..n], hist[n].0);
+            let (j, rx) = job(&eng, JobRequest::Predict(r.clone()), n, None);
+            reqs.push(r);
+            jobs.push(j);
+            rxs.push(rx);
+        }
+        process_wave(&eng, jobs);
+        for (n, rx) in rxs.iter().enumerate() {
+            let solo =
+                api::predict_batch(&eng.model, &eng.qm, &reqs[n..n + 1], eng.window).unwrap();
+            match rx.recv().unwrap().1.unwrap() {
+                Outcome::Predict(p) => assert_eq!(
+                    p.score.to_bits(),
+                    solo.predictions[0].score.to_bits(),
+                    "warm step {n} must match the exact solo path"
+                ),
+                Outcome::Explain(_) => panic!("predict outcome expected"),
+            }
+        }
+        assert_eq!(eng.sessions.len(), 1, "one resident session state");
+        // The memo cache holds only the newest step per student: appending
+        // invalidated the five stale prefix entries.
+        assert_eq!(eng.cache.len(), 1);
+    }
+
+    #[test]
+    fn warm_wave_isolates_per_request_errors() {
+        let eng = engine_with(true);
+        let good = history_req(1, &[(1, true)], 2);
+        let bad = history_req(2, &[(999_999, true)], 2);
+        let (jg, rxg) = job(&eng, JobRequest::Predict(good.clone()), 0, None);
+        let (jb, rxb) = job(&eng, JobRequest::Predict(bad), 1, None);
+        process_wave(&eng, vec![jg, jb]);
+        let solo = api::predict_batch(&eng.model, &eng.qm, &[good], eng.window).unwrap();
+        match rxg.recv().unwrap().1.unwrap() {
+            Outcome::Predict(p) => {
+                assert_eq!(p.score.to_bits(), solo.predictions[0].score.to_bits())
+            }
+            Outcome::Explain(_) => panic!("predict outcome expected"),
+        }
+        assert!(matches!(
+            rxb.recv().unwrap().1.unwrap_err(),
+            ApiError::BadRequest(m) if m.contains("999999")
+        ));
     }
 }

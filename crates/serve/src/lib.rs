@@ -8,9 +8,16 @@
 //!   `predict_targets` / `influences_exact` calls by a worker thread
 //!   ([`batcher`]); fixed-length window padding plus row-independent eval
 //!   kernels make the fused results bit-identical to solo runs;
-//! * **per-student session caching** — an LRU memo keyed on
-//!   (model hash, request) answers repeated history prefixes without
-//!   touching the model ([`cache`]);
+//! * **per-student session caching** — an LRU memo keyed on a structured
+//!   (model hash, kind, student, history) key answers repeated requests
+//!   without touching the model, and appended histories invalidate the
+//!   student's stale shorter-prefix entries ([`cache`]);
+//! * **incremental warm path** ([`warm`]) — for forward-only encoders a
+//!   per-student [`rckt::IncrementalState`] is kept resident in a
+//!   [`cache::SessionStore`], so a live session's append-one `/predict`
+//!   recomputes one position instead of the full counterfactual fan-out,
+//!   with scores byte-identical to the exact path (`rckt replay-session`
+//!   reproduces served bytes offline);
 //! * **load-shedding** — a bounded queue answers 503 + `Retry-After`
 //!   when full, per-request deadlines answer 504 when exceeded, and
 //!   `POST /shutdown` drains gracefully;
@@ -40,6 +47,7 @@ pub mod batcher;
 pub mod cache;
 pub mod http;
 pub mod quality;
+pub mod warm;
 
 pub use api::{
     ApiError, ExplainBody, ExplainRequest, ExplainResponse, ExplainResponseItem, FeedbackBody,
@@ -47,8 +55,9 @@ pub use api::{
     PredictResponseItem, DEFAULT_SERVE_WINDOW,
 };
 pub use batcher::{cache_key, Batcher, Engine, Job, JobReply, JobRequest, JobTiming};
-pub use cache::{Outcome, SessionCache};
+pub use cache::{KeyKind, Outcome, SessionCache, SessionKey, SessionStore};
 pub use quality::{influence_event, Quality};
+pub use warm::{WarmKind, WarmStats};
 
 use rckt::{Rckt, SavedModel};
 use rckt_obs::{counter, event, histogram, Level, QualityEvent, Value};
@@ -72,6 +81,10 @@ pub struct ServeConfig {
     pub window: usize,
     /// Session-cache entries (0 disables caching).
     pub cache_capacity: usize,
+    /// Resident warm-path session states (0 disables the incremental
+    /// warm path; has no effect on bidirectional models, which never
+    /// take it).
+    pub session_capacity: usize,
     /// Default per-request deadline in ms (0 = none); bodies can
     /// override via `deadline_ms`.
     pub deadline_ms: u64,
@@ -88,6 +101,7 @@ impl Default for ServeConfig {
             max_queue: 64,
             window: DEFAULT_SERVE_WINDOW,
             cache_capacity: 4096,
+            session_capacity: 1024,
             deadline_ms: 0,
             quality_log: None,
         }
@@ -136,6 +150,7 @@ impl Engine {
             qm,
             window: cfg.window,
             cache: SessionCache::new(cfg.cache_capacity),
+            sessions: SessionStore::new(cfg.session_capacity),
             model_hash: fnv1a(json.as_bytes()),
             quality,
         })

@@ -1,0 +1,294 @@
+//! Warm-path prediction: answer an append-one `/predict` from a cached
+//! [`IncrementalState`] instead of a full counterfactual fan-out.
+//!
+//! Classification of an incoming request against the student's resident
+//! state:
+//!
+//! * **Append** — the request history extends the state's history: append
+//!   only the new suffix (usually one response) and read the running
+//!   score. This is the hot path live sessions hit on every step.
+//! * **Replay** — the request history is a strict prefix of the state's
+//!   history (a retried or re-ordered earlier step): re-fold the cached
+//!   per-position contributions with [`IncrementalState::score_at`]
+//!   without touching the live state, so a replay never destroys warm
+//!   progress.
+//! * **Rebuild** — no resident state (cold), or the history was edited
+//!   mid-stream (non-append mutation): fall back to building the state
+//!   from scratch. Still incremental machinery, but O(history) work.
+//!
+//! Accuracy contract (see `docs/performance.md`): for forward-only
+//! encoders every classification returns scores **byte-identical** to the
+//! exact solo path (`api::predict_batch` with one request) under the same
+//! process-wide kernel variant. The influence score folds only context
+//! probabilities at positions *before* the target, so the target question
+//! participates in validation but not in the arithmetic — which is what
+//! makes the cached contributions reusable across targets.
+
+use crate::api::{self, ApiError, HistoryItem, PredictRequest, PredictResponseItem};
+use crate::batcher::Engine;
+use crate::cache::SessionStore;
+use rckt::IncrementalState;
+
+/// How the warm path answered one request.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum WarmKind {
+    /// Resident state extended by the request's new suffix.
+    Append,
+    /// Earlier step re-asked; answered from cached contributions.
+    Replay,
+    /// No resident state for this student — built from scratch.
+    ColdBuild,
+    /// Resident state contradicted the request history (edited
+    /// mid-stream) — discarded and rebuilt.
+    DivergedRebuild,
+}
+
+/// Per-request warm-path accounting, surfaced as serve metrics.
+#[derive(Clone, Copy, Debug)]
+pub struct WarmStats {
+    pub kind: WarmKind,
+    /// History positions the encoder actually advanced through (0 for a
+    /// replay, 1 for a steady-state append, `history.len()` for a
+    /// rebuild).
+    pub positions_recomputed: usize,
+}
+
+impl WarmStats {
+    /// True when the request was answered without a full-history rebuild.
+    pub fn is_warm(&self) -> bool {
+        matches!(self.kind, WarmKind::Append | WarmKind::Replay)
+    }
+}
+
+fn matches_prefix(state: &IncrementalState, history: &[HistoryItem], n: usize) -> bool {
+    state.questions()[..n]
+        .iter()
+        .zip(&state.correct_flags()[..n])
+        .zip(&history[..n])
+        .all(|((&q, &c), h)| q == h.question && c == h.correct)
+}
+
+/// Answer one predict request through the session-state store.
+///
+/// `sessions` is passed explicitly (rather than always reading
+/// `engine.sessions`) so the offline replay twin (`rckt replay-session`)
+/// can run the *same function* against a local store and reproduce served
+/// bytes by construction.
+pub fn predict_one(
+    engine: &Engine,
+    sessions: &SessionStore,
+    req: &PredictRequest,
+) -> Result<(PredictResponseItem, WarmStats), ApiError> {
+    // Same validation (and therefore same error bytes) as the exact path.
+    api::predict_window(req, &engine.model, &engine.qm, engine.window)?;
+
+    let hist = &req.history;
+    let (resident, kind) = match sessions.take(req.student) {
+        Some(st) if st.len() <= hist.len() && matches_prefix(&st, hist, st.len()) => {
+            (Some(st), WarmKind::Append)
+        }
+        Some(st) if hist.len() < st.len() && matches_prefix(&st, hist, hist.len()) => {
+            let score = st
+                .score_at(hist.len())
+                .expect("prefix length is within the resident state");
+            sessions.put(req.student, st);
+            return Ok((
+                PredictResponseItem {
+                    student: req.student,
+                    score,
+                },
+                WarmStats {
+                    kind: WarmKind::Replay,
+                    positions_recomputed: 0,
+                },
+            ));
+        }
+        Some(_) => (None, WarmKind::DivergedRebuild),
+        None => (None, WarmKind::ColdBuild),
+    };
+
+    let mut st = match resident {
+        Some(st) => st,
+        None => IncrementalState::new(&engine.model, engine.window).ok_or_else(|| {
+            ApiError::Internal("model does not support incremental inference".to_string())
+        })?,
+    };
+    let start = st.len();
+    let suffix: Vec<(u32, bool)> = hist[start..]
+        .iter()
+        .map(|h| (h.question, h.correct))
+        .collect();
+    if let Err(e) = st.append_responses(&engine.model, &engine.qm, &suffix) {
+        // `append_responses` validates before mutating, so the state is
+        // still the pre-request one — keep it resident.
+        sessions.put(req.student, st);
+        return Err(ApiError::BadRequest(e.to_string()));
+    }
+    let score = st.score();
+    sessions.put(req.student, st);
+    Ok((
+        PredictResponseItem {
+            student: req.student,
+            score,
+        },
+        WarmStats {
+            kind,
+            positions_recomputed: suffix.len(),
+        },
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cache::SessionCache;
+    use rckt::{Backbone, Rckt, RcktConfig};
+    use rckt_data::SyntheticSpec;
+
+    fn engine(window: usize, store_capacity: usize) -> Engine {
+        let ds = SyntheticSpec::assist09().scaled(0.05).generate();
+        let model = Rckt::new(
+            Backbone::Dkt,
+            ds.num_questions(),
+            ds.num_concepts(),
+            RcktConfig {
+                dim: 8,
+                unidirectional: true,
+                ..Default::default()
+            },
+        );
+        Engine {
+            model,
+            qm: ds.q_matrix,
+            window,
+            cache: SessionCache::new(64),
+            sessions: SessionStore::new(store_capacity),
+            model_hash: 0xfeed,
+            quality: crate::quality::Quality::new(None, None).unwrap(),
+        }
+    }
+
+    fn req(student: u32, hist: &[(u32, bool)], target_question: u32) -> PredictRequest {
+        PredictRequest {
+            student,
+            history: hist
+                .iter()
+                .map(|&(question, correct)| HistoryItem { question, correct })
+                .collect(),
+            target_question,
+        }
+    }
+
+    fn session(n: usize) -> Vec<(u32, bool)> {
+        (0..n).map(|i| ((i as u32 % 5) + 1, i % 3 != 0)).collect()
+    }
+
+    fn exact_solo(eng: &Engine, r: &PredictRequest) -> f32 {
+        api::predict_batch(&eng.model, &eng.qm, std::slice::from_ref(r), eng.window)
+            .unwrap()
+            .predictions[0]
+            .score
+    }
+
+    #[test]
+    fn warm_session_matches_exact_solo_bitwise_at_every_step() {
+        let eng = engine(16, 8);
+        let hist = session(12);
+        for n in 0..hist.len() {
+            let r = req(3, &hist[..n], hist[n].0);
+            let (item, stats) = predict_one(&eng, &eng.sessions, &r).unwrap();
+            assert_eq!(
+                item.score.to_bits(),
+                exact_solo(&eng, &r).to_bits(),
+                "step {n} diverged from the exact path"
+            );
+            if n == 0 {
+                assert_eq!(stats.kind, WarmKind::ColdBuild);
+            } else {
+                assert_eq!(stats.kind, WarmKind::Append, "step {n}");
+                assert_eq!(stats.positions_recomputed, 1, "step {n}");
+            }
+        }
+    }
+
+    #[test]
+    fn replay_of_earlier_step_is_bitwise_stable_and_preserves_state() {
+        let eng = engine(16, 8);
+        let hist = session(9);
+        let mut served = Vec::new();
+        for n in 0..hist.len() {
+            let r = req(1, &hist[..n], hist[n].0);
+            served.push(predict_one(&eng, &eng.sessions, &r).unwrap().0.score);
+        }
+        // Re-ask step 3 (its history is a strict prefix of the resident
+        // state): same bytes, no state mutation.
+        let r3 = req(1, &hist[..3], hist[3].0);
+        let (item, stats) = predict_one(&eng, &eng.sessions, &r3).unwrap();
+        assert_eq!(stats.kind, WarmKind::Replay);
+        assert_eq!(item.score.to_bits(), served[3].to_bits());
+        // The live session continues warm from where it left off.
+        let next = req(1, &hist, 2);
+        let (item, stats) = predict_one(&eng, &eng.sessions, &next).unwrap();
+        assert_eq!(stats.kind, WarmKind::Append);
+        assert_eq!(item.score.to_bits(), exact_solo(&eng, &next).to_bits());
+    }
+
+    #[test]
+    fn edited_history_falls_back_to_rebuild_then_rewarms() {
+        let eng = engine(16, 8);
+        let hist = session(8);
+        for n in 0..hist.len() {
+            let r = req(2, &hist[..n], hist[n].0);
+            predict_one(&eng, &eng.sessions, &r).unwrap();
+        }
+        // Non-append mutation: flip one past answer. The resident state
+        // contradicts the request and must be discarded, not trusted.
+        let mut edited = hist.clone();
+        edited[2].1 = !edited[2].1;
+        let r = req(2, &edited[..6], edited[6].0);
+        let (item, stats) = predict_one(&eng, &eng.sessions, &r).unwrap();
+        assert_eq!(stats.kind, WarmKind::DivergedRebuild);
+        assert_eq!(stats.positions_recomputed, 6);
+        assert_eq!(item.score.to_bits(), exact_solo(&eng, &r).to_bits());
+        // And the rebuilt state serves the edited stream warm again.
+        let r = req(2, &edited[..7], edited[7].0);
+        let (item, stats) = predict_one(&eng, &eng.sessions, &r).unwrap();
+        assert_eq!(stats.kind, WarmKind::Append);
+        assert_eq!(item.score.to_bits(), exact_solo(&eng, &r).to_bits());
+    }
+
+    #[test]
+    fn session_store_evicts_lru_under_append_traffic() {
+        let eng = engine(16, 2);
+        let hist = session(4);
+        for student in [10u32, 11, 12] {
+            for n in 0..3 {
+                let r = req(student, &hist[..n], hist[n].0);
+                predict_one(&eng, &eng.sessions, &r).unwrap();
+            }
+        }
+        assert_eq!(eng.sessions.len(), 2, "store capacity is enforced");
+        let resident = eng.sessions.resident_students();
+        assert!(
+            !resident.contains(&10),
+            "oldest session evicted: {resident:?}"
+        );
+        // The evicted student comes back cold but still bit-exact.
+        let r = req(10, &hist[..3], hist[3].0);
+        let (item, stats) = predict_one(&eng, &eng.sessions, &r).unwrap();
+        assert_eq!(stats.kind, WarmKind::ColdBuild);
+        assert_eq!(item.score.to_bits(), exact_solo(&eng, &r).to_bits());
+    }
+
+    #[test]
+    fn validation_errors_match_the_exact_path() {
+        let eng = engine(16, 8);
+        let bad = req(0, &[(999_999, true)], 1);
+        let warm_err = predict_one(&eng, &eng.sessions, &bad).unwrap_err();
+        let exact_err =
+            api::predict_batch(&eng.model, &eng.qm, std::slice::from_ref(&bad), eng.window)
+                .unwrap_err();
+        assert_eq!(warm_err, exact_err, "error bytes must match the exact path");
+        assert!(eng.sessions.is_empty(), "rejected request leaves no state");
+    }
+}
