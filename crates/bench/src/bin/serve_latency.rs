@@ -209,6 +209,53 @@ fn main() {
         "the warm pass repeats every body — cache hits must be nonzero"
     );
 
+    // Flight-recorder overhead: the cost every served request pays to be
+    // remembered by the postmortem ring. Measured as the per-call p50 of
+    // `record_request` against a default-budget recorder under steady
+    // eviction (the ring fills after the first few hundred records, so
+    // the loop exercises encode + evict + push, the steady-state path).
+    const RECORD_CALLS: usize = 10_000;
+    let flight = rckt_obs::FlightRecorder::new(rckt_obs::FlightConfig::default());
+    let mut rec_ns = Vec::with_capacity(RECORD_CALLS);
+    for i in 0..RECORD_CALLS {
+        let rec = rckt_obs::flight::RequestRecord {
+            ts: 1_700_000_000.0 + i as f64,
+            request_id: format!("bench-{i:06}"),
+            method: "POST".to_string(),
+            path: "/predict".to_string(),
+            students: (i as u32 % 97).to_string(),
+            queue_micros: 12,
+            infer_micros: 340,
+            total_micros: 360,
+            batch_size: 1,
+            status: 200,
+            warm: "append".to_string(),
+        };
+        let r0 = Instant::now();
+        flight.record_request(&rec);
+        rec_ns.push(r0.elapsed().as_secs_f64() * 1e9);
+    }
+    rec_ns.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let recorder_ns_per_request_p50 = quantile(&rec_ns, 0.50);
+    println!(
+        "flight recorder: {recorder_ns_per_request_p50:.0} ns/record_request p50 \
+         ({RECORD_CALLS} calls, default ring budgets)"
+    );
+    // Acceptance: remembering a request must stay cheap next to serving
+    // it — ≤2 µs p50 keeps the recorder invisible in request latency.
+    assert!(
+        recorder_ns_per_request_p50 <= 2_000.0,
+        "flight recorder overhead p50 {recorder_ns_per_request_p50:.0} ns exceeds 2 µs budget"
+    );
+    let flight_manifest = rckt_obs::RunManifest::capture("serve_latency", args.seed, None)
+        .config("pass", "flight")
+        .config("calls", RECORD_CALLS)
+        .result("recorder_ns_per_request_p50", recorder_ns_per_request_p50)
+        .result("recorder_ns_per_request_p99", quantile(&rec_ns, 0.99));
+    if let Err(e) = flight_manifest.append_jsonl(HISTORY) {
+        eprintln!("warning: cannot append {HISTORY}: {e}");
+    }
+
     // Warm-session series: incremental append-one inference vs the cold
     // full counterfactual fan-out, engine-level (no HTTP) so the numbers
     // isolate the model work the warm path saves. Uses a forward-only

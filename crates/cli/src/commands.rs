@@ -25,7 +25,11 @@ commands:
   audit     --data <csv> --model <model.json> [--groups n]
   serve     --model <model.json> [--port p] [--max-batch n] [--max-queue n]
             [--window n] [--cache n] [--sessions n] [--deadline-ms n]
-            [--quality-log <csv>]
+            [--quality-log <csv>] [--postmortem-dir <dir>] [--slo <spec>]
+            [--flight-bytes n]
+            (--slo: comma-separated objectives over the flight-recorded
+            endpoints, e.g. \"/predict:avail:99.9,/predict:lat250ms:99,
+            min=10\"; default covers /predict and /explain)
   predict   --model <model.json> --requests <json> [--mode predict|explain]
             [--window n] [--solo true]  (--solo scores each request in its
             own model call — required when byte-comparing mixed-length
@@ -38,6 +42,10 @@ commands:
   monitor   --replay <quality.csv>   (re-derive the rckt_quality_* report
             from a serve --quality-log file; byte-identical to the live
             gauges at the moment the log was written)
+  postmortem <bundle.json>  (render a postmortem bundle — written by
+            serve --postmortem-dir on panic, SLO alert, or POST
+            /debug/snapshot — as a human incident report: SLO burn rates,
+            error clusters, slowest requests, event timeline)
 
 global flags (any command):
   --threads <n>                      rckt-tensor pool width (default: the
@@ -114,6 +122,11 @@ pub fn dispatch(args: &[String]) -> Result<(), CliError> {
     let Some((cmd, rest)) = args.split_first() else {
         return Err(err("no command"));
     };
+    // `postmortem` takes its bundle path positionally (like a pager), so
+    // it parses its own arguments.
+    if cmd == "postmortem" {
+        return postmortem(rest);
+    }
     let flags = parse_flags(rest)?;
     // global: pool width (0 = leave the RCKT_THREADS env / hardware default)
     let threads: usize = get_num(&flags, "threads", 0)?;
@@ -309,6 +322,11 @@ fn validation_scores(
 
 fn serve_config(flags: &HashMap<String, String>) -> Result<rckt_serve::ServeConfig, CliError> {
     let defaults = rckt_serve::ServeConfig::default();
+    // Validate the SLO grammar at the CLI door (start() re-parses, but a
+    // typo should fail before the model file is loaded).
+    if let Some(spec) = flags.get("slo") {
+        rckt_obs::SloSpec::parse(spec).map_err(|e| err(format!("--slo: {e}")))?;
+    }
     Ok(rckt_serve::ServeConfig {
         port: get_num(flags, "port", defaults.port)?,
         max_batch: get_num(flags, "max-batch", defaults.max_batch)?,
@@ -318,7 +336,30 @@ fn serve_config(flags: &HashMap<String, String>) -> Result<rckt_serve::ServeConf
         session_capacity: get_num(flags, "sessions", defaults.session_capacity)?,
         deadline_ms: get_num(flags, "deadline-ms", defaults.deadline_ms)?,
         quality_log: flags.get("quality-log").cloned(),
+        postmortem_dir: flags.get("postmortem-dir").cloned(),
+        slo: flags.get("slo").cloned(),
+        flight_bytes: get_num(flags, "flight-bytes", defaults.flight_bytes)?,
+        // Hidden test hook: never a flag, only the env var, so it cannot
+        // be reached from a normal command line.
+        test_panic: std::env::var("RCKT_SERVE_TEST_PANIC").is_ok_and(|v| v == "1"),
     })
+}
+
+/// Offline twin of a live incident view: render a postmortem bundle as a
+/// human report via [`rckt_serve::render_report`] — the same function the
+/// serve crate's tests round-trip live bundles through.
+fn postmortem(args: &[String]) -> Result<(), CliError> {
+    let path = match args.first() {
+        Some(p) if !p.starts_with("--") && args.len() == 1 => p.clone(),
+        _ => {
+            let flags = parse_flags(args)?;
+            get(&flags, "bundle")?.to_string()
+        }
+    };
+    let text = std::fs::read_to_string(&path).map_err(|e| err(format!("reading {path}: {e}")))?;
+    let report = rckt_serve::render_report(&text).map_err(|e| err(format!("{path}: {e}")))?;
+    print!("{report}");
+    Ok(())
 }
 
 fn serve(flags: &HashMap<String, String>) -> Result<(), CliError> {
@@ -337,7 +378,8 @@ fn serve(flags: &HashMap<String, String>) -> Result<(), CliError> {
         &[("port", u64::from(server.port()).into())],
     );
     println!(
-        "serving on 127.0.0.1:{} — POST /predict /explain /feedback /shutdown, GET /healthz /metrics",
+        "serving on 127.0.0.1:{} — POST /predict /explain /feedback /debug/snapshot /shutdown, \
+         GET /healthz /metrics /debug/flight /debug/slo",
         server.port()
     );
     server.wait();
@@ -690,6 +732,33 @@ mod tests {
     fn unknown_command_is_error() {
         assert!(dispatch(&args("frobnicate --x 1")).is_err());
         assert!(dispatch(&[]).is_err());
+    }
+
+    #[test]
+    fn postmortem_renders_bundles_and_rejects_non_bundles() {
+        let dir = std::env::temp_dir().join("rckt_cli_postmortem");
+        std::fs::create_dir_all(&dir).unwrap();
+        // A minimal but structurally complete bundle: the renderer must
+        // cope with empty rings and no objectives.
+        let bundle = dir.join("bundle.json");
+        std::fs::write(
+            &bundle,
+            "{\"bundle\":\"rckt-postmortem/v1\",\"reason\":\"snapshot\",\"ts\":12.5,\
+             \"flight\":{\"events\":[],\"requests\":[]},\"slo\":{\"objectives\":[]}}",
+        )
+        .unwrap();
+        // Positional and --bundle spellings both work.
+        dispatch(&args(&format!("postmortem {}", bundle.display()))).unwrap();
+        dispatch(&args(&format!("postmortem --bundle {}", bundle.display()))).unwrap();
+
+        let e = dispatch(&args("postmortem /nonexistent/bundle.json")).unwrap_err();
+        assert!(e.0.contains("reading"), "{e}");
+        let not_bundle = dir.join("other.json");
+        std::fs::write(&not_bundle, "{\"hello\":1}").unwrap();
+        let e = dispatch(&args(&format!("postmortem {}", not_bundle.display()))).unwrap_err();
+        assert!(e.0.contains("not a postmortem bundle"), "{e}");
+        let e = dispatch(&args("postmortem")).unwrap_err();
+        assert!(e.0.contains("bundle"), "{e}");
     }
 
     #[test]

@@ -74,7 +74,7 @@ impl From<bool> for Value {
 }
 
 impl Value {
-    fn to_json(&self) -> String {
+    pub(crate) fn to_json(&self) -> String {
         match self {
             Value::I64(v) => v.to_string(),
             Value::U64(v) => v.to_string(),
@@ -152,6 +152,9 @@ pub fn event(level: Level, name: &str, fields: &[(&str, Value)]) {
     if !enabled(level) {
         return;
     }
+    // The flight ring taps admitted events before the sinks so a broken
+    // sink cannot hide them from a postmortem. Its own lock, not SINKS.
+    crate::flight::tap_event(level, name, fields);
     let mut s = sinks();
     if s.stderr {
         let mut line = format!("[{}] {}", level.as_str(), name);

@@ -10,6 +10,13 @@ use std::fmt::Write as _;
 /// Escape a string for inclusion in a JSON document (adds no quotes).
 pub fn escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
+    escape_into(&mut out, s);
+    out
+}
+
+/// [`escape`], appended to an existing buffer — the allocation-free form
+/// the hot encoders (flight ring, event sink) use.
+pub fn escape_into(out: &mut String, s: &str) {
     for c in s.chars() {
         match c {
             '"' => out.push_str("\\\""),
@@ -23,7 +30,6 @@ pub fn escape(s: &str) -> String {
             c => out.push(c),
         }
     }
-    out
 }
 
 /// A quoted, escaped JSON string.
@@ -64,38 +70,65 @@ impl Obj {
         Obj::default()
     }
 
-    /// Add a field whose value is already valid JSON.
-    pub fn raw(&mut self, key: &str, value: &str) -> &mut Self {
+    /// An empty builder whose buffer can hold `bytes` of body without
+    /// reallocating — for fixed-shape records on hot paths.
+    pub fn with_capacity(bytes: usize) -> Self {
+        Obj {
+            body: String::with_capacity(bytes),
+        }
+    }
+
+    /// Append `,"key":` (escaping the key) directly into the body.
+    fn key(&mut self, key: &str) {
         if !self.body.is_empty() {
             self.body.push(',');
         }
-        let _ = write!(self.body, "{}:{}", string(key), value);
+        self.body.push('"');
+        escape_into(&mut self.body, key);
+        self.body.push_str("\":");
+    }
+
+    /// Add a field whose value is already valid JSON.
+    pub fn raw(&mut self, key: &str, value: &str) -> &mut Self {
+        self.key(key);
+        self.body.push_str(value);
         self
     }
 
     pub fn str(&mut self, key: &str, value: &str) -> &mut Self {
-        let v = string(value);
-        self.raw(key, &v)
+        self.key(key);
+        self.body.push('"');
+        escape_into(&mut self.body, value);
+        self.body.push('"');
+        self
     }
 
     pub fn u64(&mut self, key: &str, value: u64) -> &mut Self {
-        let v = value.to_string();
-        self.raw(key, &v)
+        self.key(key);
+        let _ = write!(self.body, "{value}");
+        self
     }
 
     pub fn i64(&mut self, key: &str, value: i64) -> &mut Self {
-        let v = value.to_string();
-        self.raw(key, &v)
+        self.key(key);
+        let _ = write!(self.body, "{value}");
+        self
     }
 
     pub fn f64(&mut self, key: &str, value: f64) -> &mut Self {
-        let v = number(value);
-        self.raw(key, &v)
+        self.key(key);
+        if value.is_finite() {
+            let _ = write!(self.body, "{value}");
+        } else {
+            self.body.push_str("null");
+        }
+        self
     }
 
     pub fn bool(&mut self, key: &str, value: bool) -> &mut Self {
-        let v = if value { "true" } else { "false" };
-        self.raw(key, v)
+        self.key(key);
+        self.body.push_str(if value { "true" } else { "false" });
+        self
     }
 
     pub fn finish(&self) -> String {

@@ -24,6 +24,12 @@
 //!   score quantiles, PSI drift vs a training reference, influence
 //!   health) with threshold-crossing alerts, exported as
 //!   `rckt_quality_*` gauges.
+//! * **Flight recorder** ([`FlightRecorder`]) — fixed-byte-budget
+//!   in-memory rings of the most recent events and served requests,
+//!   serialized into postmortem bundles when something breaks.
+//! * **SLO engine** ([`SloEngine`]) — declarative availability/latency
+//!   objectives evaluated with multi-window multi-burn-rate alerting,
+//!   exported as `rckt_slo_*` gauges.
 //!
 //! [`RunManifest`] stamps experiment results with the git commit, seed,
 //! configuration, and per-phase timings; [`profile_report`] renders
@@ -43,6 +49,7 @@
 //! ```
 
 pub mod event;
+pub mod flight;
 pub mod json;
 pub mod level;
 pub mod manifest;
@@ -51,11 +58,13 @@ pub mod monitor;
 pub mod prometheus;
 pub mod report;
 pub mod serve;
+pub mod slo;
 pub mod span;
 pub mod trace;
 pub mod train;
 
 pub use event::{close_json, event, log_to_json, set_stderr_sink, Value};
+pub use flight::{FlightConfig, FlightRecorder, RequestRecord};
 pub use level::{enabled, level, profiling, set_level, set_profiling, Level};
 pub use manifest::{bin_name, git_commit, PhaseTiming, RunManifest};
 pub use metrics::{
@@ -63,9 +72,10 @@ pub use metrics::{
     Histogram, HistogramSummary, MetricsSnapshot,
 };
 pub use monitor::{Alert, MonitorConfig, P2Quantile, QualityEvent, QualityMonitor, SCORE_BINS};
-pub use prometheus::{run_labels, set_run_label};
+pub use prometheus::{build_info, run_labels, set_build_info, set_run_label};
 pub use report::profile_report;
 pub use serve::TelemetryServer;
+pub use slo::{SloAlert, SloEngine, SloObjective, SloSpec};
 pub use span::{
     phase_timings, phases_snapshot, reset_phases, span, PhaseStat, PhasesSnapshot, SpanGuard,
 };

@@ -278,6 +278,44 @@ pub struct MetricsSnapshot {
     pub histograms: Vec<HistogramSummary>,
 }
 
+impl MetricsSnapshot {
+    /// The snapshot as one JSON object — the `metrics` section of a
+    /// postmortem bundle. Counters and gauges become name→value maps;
+    /// histograms keep their quantile summary and raw bucket counts.
+    pub fn to_json(&self) -> String {
+        let mut counters = crate::json::Obj::new();
+        for (name, v) in &self.counters {
+            counters.u64(name, *v);
+        }
+        let mut gauges = crate::json::Obj::new();
+        for (name, v) in &self.gauges {
+            gauges.f64(name, *v);
+        }
+        let histograms = crate::json::array(self.histograms.iter().map(|h| {
+            let buckets = crate::json::array(
+                h.buckets
+                    .iter()
+                    .map(|(bound, count)| format!("[{},{}]", crate::json::number(*bound), count)),
+            );
+            let mut o = crate::json::Obj::new();
+            o.str("name", &h.name)
+                .u64("count", h.count)
+                .f64("sum", h.sum)
+                .f64("mean", h.mean)
+                .f64("p50", h.p50)
+                .f64("p90", h.p90)
+                .f64("p99", h.p99)
+                .raw("buckets", &buckets);
+            o.finish()
+        }));
+        let mut out = crate::json::Obj::new();
+        out.raw("counters", &counters.finish())
+            .raw("gauges", &gauges.finish())
+            .raw("histograms", &histograms);
+        out.finish()
+    }
+}
+
 pub fn metrics_snapshot() -> MetricsSnapshot {
     let counters = lock(&COUNTERS)
         .iter()

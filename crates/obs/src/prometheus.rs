@@ -17,6 +17,22 @@ use crate::span::phase_timings;
 
 static RUN_LABELS: Mutex<BTreeMap<String, String>> = Mutex::new(BTreeMap::new());
 
+static BUILD_INFO: Mutex<Option<(String, String)>> = Mutex::new(None);
+
+/// Install the `rckt_build_info{version,commit} 1` info-gauge, so
+/// dashboards can correlate a regression with the deploy that shipped
+/// it. Serving binaries call this once at startup with their
+/// `CARGO_PKG_VERSION` and [`crate::manifest::git_commit`].
+pub fn set_build_info(version: &str, commit: &str) {
+    *BUILD_INFO.lock().unwrap_or_else(|e| e.into_inner()) =
+        Some((version.to_string(), commit.to_string()));
+}
+
+/// The installed `(version, commit)` pair, if any.
+pub fn build_info() -> Option<(String, String)> {
+    BUILD_INFO.lock().unwrap_or_else(|e| e.into_inner()).clone()
+}
+
 /// Set (or overwrite) one key of the process-wide run-info label set,
 /// exported as `rckt_run_info{key="value",...} 1`.
 pub fn set_run_label(key: &str, value: impl ToString) {
@@ -103,6 +119,16 @@ pub(crate) fn fmt_value(v: f64) -> String {
 pub fn render() -> String {
     let mut out = String::new();
     let mut seen: std::collections::BTreeSet<String> = std::collections::BTreeSet::new();
+
+    if let Some((version, commit)) = build_info() {
+        out.push_str("# TYPE rckt_build_info gauge\n");
+        let _ = writeln!(
+            out,
+            "rckt_build_info{{version=\"{}\",commit=\"{}\"}} 1",
+            escape_label_value(&version),
+            escape_label_value(&commit)
+        );
+    }
 
     let labels = run_labels();
     if !labels.is_empty() {
@@ -287,6 +313,18 @@ mod tests {
         assert!(text.contains(&format!("# TYPE {family} counter")), "{text}");
         assert!(text.contains(&format!("{family} 3")), "{text}");
         assert!(!text.contains(&format!("# TYPE {family} gauge")), "{text}");
+    }
+
+    #[test]
+    fn build_info_gauge_carries_version_and_commit() {
+        let _g = crate::testutil::global_lock();
+        set_build_info("9.9.9-test", "abc123");
+        let text = render();
+        assert!(
+            text.contains("rckt_build_info{version=\"9.9.9-test\",commit=\"abc123\"} 1"),
+            "{text}"
+        );
+        assert!(text.contains("# TYPE rckt_build_info gauge"), "{text}");
     }
 
     #[test]

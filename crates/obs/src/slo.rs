@@ -1,0 +1,657 @@
+//! SLO error budgets and multi-window multi-burn-rate alerting for the
+//! serving layer, after the Google SRE workbook's recipe: an objective
+//! ("99.9% of `/predict` requests succeed", "99% answer within 250 ms")
+//! defines an error-budget rate, and the *burn rate* is how many times
+//! faster than that rate the budget is currently being spent. Alerts
+//! fire on a burn rate sustained across two windows at once:
+//!
+//! * **fast**: burn ≥ 14.4 over both the last 5 minutes and the last
+//!   hour — a severe, ongoing incident (a 99.9% budget gone in ~2 days);
+//! * **slow**: burn ≥ 6 over the last 6 hours — a persistent leak that
+//!   will exhaust the budget within the error-budget period.
+//!
+//! Counts are kept in 10-second buckets covering the 6-hour horizon, so
+//! window sums are exact to bucket granularity and memory is bounded
+//! (≤ 2160 buckets per objective). The clock is injectable: tests drive
+//! a simulated clock through hours of traffic in microseconds, and the
+//! offline postmortem twin re-renders burn rates from the serialized
+//! bucket series without ever consulting the real time.
+//!
+//! Gauges are published under `slo.<objective>.*`, which the Prometheus
+//! layer exposes as `rckt_slo_*`. Alerts latch: one [`SloAlert`] per
+//! breach, re-armed only after the condition clears.
+
+use std::collections::VecDeque;
+use std::sync::Arc;
+use std::time::{SystemTime, UNIX_EPOCH};
+
+use crate::json::{self, Obj};
+
+/// Fast-pair short window (seconds).
+pub const FAST_SHORT_SECS: u64 = 5 * 60;
+/// Fast-pair long window (seconds).
+pub const FAST_LONG_SECS: u64 = 60 * 60;
+/// Slow window (seconds) — also the retention horizon.
+pub const SLOW_SECS: u64 = 6 * 60 * 60;
+/// Burn-rate threshold for the fast pair.
+pub const FAST_BURN: f64 = 14.4;
+/// Burn-rate threshold for the slow window.
+pub const SLOW_BURN: f64 = 6.0;
+
+const BUCKET_SECS: u64 = 10;
+
+/// One declarative objective over an endpoint.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SloObjective {
+    /// Gauge-friendly name, e.g. `predict_availability`.
+    pub name: String,
+    /// Endpoint path the objective covers (`/predict`).
+    pub endpoint: String,
+    /// Target fraction of good requests, e.g. 0.999.
+    pub target: f64,
+    /// `Some(ms)` makes this a latency objective: a 2xx answered slower
+    /// than `ms` is bad, and 5xx responses are left to the availability
+    /// objective. `None` makes it an availability objective: 5xx is bad,
+    /// 4xx is the client's fault and counts as good.
+    pub latency_ms: Option<f64>,
+}
+
+/// A parsed `--slo` specification: objectives plus the minimum number
+/// of in-window requests before any alert may fire (tiny samples at
+/// startup would otherwise page on the first stray error).
+#[derive(Clone, Debug, PartialEq)]
+pub struct SloSpec {
+    pub objectives: Vec<SloObjective>,
+    pub min_events: u64,
+}
+
+impl SloSpec {
+    /// The serving defaults: 99.9% availability and 99% ≤ 250 ms on
+    /// `/predict`; 99.9% availability and 99% ≤ 1000 ms on `/explain`
+    /// (the counterfactual fan-out is an order of magnitude heavier).
+    pub fn default_serving() -> SloSpec {
+        SloSpec {
+            objectives: vec![
+                objective("/predict", 0.999, None),
+                objective("/predict", 0.99, Some(250.0)),
+                objective("/explain", 0.999, None),
+                objective("/explain", 0.99, Some(1000.0)),
+            ],
+            min_events: 10,
+        }
+    }
+
+    /// Parse a `--slo` flag value: comma-separated objectives, each
+    /// `<path>:avail:<pct>` or `<path>:lat<ms>ms:<pct>`, e.g.
+    /// `/predict:avail:99.9,/predict:lat250ms:99`. An optional leading
+    /// `min=<n>` entry overrides the alert floor.
+    pub fn parse(text: &str) -> Result<SloSpec, String> {
+        let mut spec = SloSpec {
+            objectives: Vec::new(),
+            min_events: 10,
+        };
+        for part in text.split(',') {
+            let part = part.trim();
+            if part.is_empty() {
+                continue;
+            }
+            if let Some(n) = part.strip_prefix("min=") {
+                spec.min_events = n
+                    .parse()
+                    .map_err(|_| format!("--slo: invalid min entry {part:?}"))?;
+                continue;
+            }
+            let fields: Vec<&str> = part.split(':').collect();
+            if fields.len() != 3 || !fields[0].starts_with('/') {
+                return Err(format!(
+                    "--slo: objective {part:?} is not <path>:avail:<pct> or <path>:lat<ms>ms:<pct>"
+                ));
+            }
+            let pct: f64 = fields[2]
+                .parse()
+                .map_err(|_| format!("--slo: invalid percentage in {part:?}"))?;
+            if !(0.0..100.0).contains(&pct) {
+                return Err(format!(
+                    "--slo: target {pct} must be in [0, 100) ({part:?})"
+                ));
+            }
+            let target = pct / 100.0;
+            let latency_ms = if fields[1] == "avail" {
+                None
+            } else if let Some(ms) = fields[1]
+                .strip_prefix("lat")
+                .and_then(|s| s.strip_suffix("ms"))
+            {
+                let ms: f64 = ms
+                    .parse()
+                    .map_err(|_| format!("--slo: invalid latency in {part:?}"))?;
+                if !(ms > 0.0) {
+                    return Err(format!("--slo: latency must be positive ({part:?})"));
+                }
+                Some(ms)
+            } else {
+                return Err(format!(
+                    "--slo: kind {:?} is not `avail` or `lat<ms>ms` ({part:?})",
+                    fields[1]
+                ));
+            };
+            spec.objectives
+                .push(objective(fields[0], target, latency_ms));
+        }
+        if spec.objectives.is_empty() {
+            return Err("--slo: no objectives given".to_string());
+        }
+        Ok(spec)
+    }
+}
+
+fn objective(endpoint: &str, target: f64, latency_ms: Option<f64>) -> SloObjective {
+    let base = endpoint.trim_matches('/').replace('/', "_");
+    let kind = if latency_ms.is_some() {
+        "latency"
+    } else {
+        "availability"
+    };
+    SloObjective {
+        name: format!("{base}_{kind}"),
+        endpoint: endpoint.to_string(),
+        target,
+        latency_ms,
+    }
+}
+
+#[derive(Clone, Copy, Debug)]
+struct Bucket {
+    /// Bucket index: unix seconds / `BUCKET_SECS`.
+    idx: u64,
+    good: u64,
+    bad: u64,
+}
+
+/// Bucketed good/bad counts over the retention horizon.
+#[derive(Clone, Debug, Default)]
+struct Series {
+    buckets: VecDeque<Bucket>,
+}
+
+impl Series {
+    fn record(&mut self, now_secs: u64, good: bool) {
+        let idx = now_secs / BUCKET_SECS;
+        match self.buckets.back_mut() {
+            Some(b) if b.idx == idx => {
+                if good {
+                    b.good += 1;
+                } else {
+                    b.bad += 1;
+                }
+            }
+            _ => self.buckets.push_back(Bucket {
+                idx,
+                good: u64::from(good),
+                bad: u64::from(!good),
+            }),
+        }
+        let horizon = idx.saturating_sub(SLOW_SECS / BUCKET_SECS);
+        while self.buckets.front().is_some_and(|b| b.idx < horizon) {
+            self.buckets.pop_front();
+        }
+    }
+
+    /// `(good, bad)` inside the trailing `window_secs` ending at `now`.
+    fn sums(&self, now_secs: u64, window_secs: u64) -> (u64, u64) {
+        let from = (now_secs / BUCKET_SECS).saturating_sub(window_secs / BUCKET_SECS);
+        let mut good = 0;
+        let mut bad = 0;
+        for b in self.buckets.iter().rev() {
+            if b.idx <= from {
+                break;
+            }
+            good += b.good;
+            bad += b.bad;
+        }
+        (good, bad)
+    }
+}
+
+/// One latched burn-rate breach, fired exactly once per transition into
+/// the bad region.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SloAlert {
+    pub objective: String,
+    /// `fast` (5m/1h pair) or `slow` (6h).
+    pub window: &'static str,
+    /// The burn rate that tripped the alert (the smaller of the pair for
+    /// fast alerts — both windows exceeded the threshold).
+    pub burn_rate: f64,
+    pub threshold: f64,
+}
+
+struct ObjState {
+    spec: SloObjective,
+    series: Series,
+    good_total: u64,
+    bad_total: u64,
+    burn_fast_short: f64,
+    burn_fast_long: f64,
+    burn_slow: f64,
+    fast_active: bool,
+    slow_active: bool,
+}
+
+/// Clock injected into the engine: unix seconds.
+pub type SloClock = Arc<dyn Fn() -> u64 + Send + Sync>;
+
+fn system_clock() -> u64 {
+    SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0)
+}
+
+/// The evaluation engine: feed it one `(path, status, latency)` per
+/// served request, collect latched [`SloAlert`]s, publish gauges, and
+/// serialize the whole state into a postmortem bundle.
+pub struct SloEngine {
+    objectives: Vec<ObjState>,
+    min_events: u64,
+    clock: SloClock,
+    last_eval_idx: u64,
+}
+
+impl SloEngine {
+    pub fn new(spec: SloSpec) -> SloEngine {
+        SloEngine::with_clock(spec, Arc::new(system_clock))
+    }
+
+    pub fn with_clock(spec: SloSpec, clock: SloClock) -> SloEngine {
+        let min_events = spec.min_events;
+        SloEngine {
+            objectives: spec
+                .objectives
+                .into_iter()
+                .map(|spec| ObjState {
+                    spec,
+                    series: Series::default(),
+                    good_total: 0,
+                    bad_total: 0,
+                    burn_fast_short: 0.0,
+                    burn_fast_long: 0.0,
+                    burn_slow: 0.0,
+                    fast_active: false,
+                    slow_active: false,
+                })
+                .collect(),
+            min_events,
+            clock,
+            last_eval_idx: u64::MAX,
+        }
+    }
+
+    /// Account one request against every objective covering its path.
+    /// The caller filters out self-scraping paths (`/debug/*`,
+    /// `/healthz`, `/metrics`) before calling.
+    pub fn record(&mut self, path: &str, status: u64, latency_secs: f64) {
+        let now = (self.clock)();
+        for o in self
+            .objectives
+            .iter_mut()
+            .filter(|o| o.spec.endpoint == path)
+        {
+            let good = match o.spec.latency_ms {
+                // Availability: 5xx burns budget, 4xx is the client's.
+                None => status < 500,
+                // Latency: only successful answers are measured.
+                Some(ms) => {
+                    if !(200..300).contains(&status) {
+                        continue;
+                    }
+                    latency_secs * 1e3 <= ms
+                }
+            };
+            o.series.record(now, good);
+            if good {
+                o.good_total += 1;
+            } else {
+                o.bad_total += 1;
+            }
+        }
+    }
+
+    /// Recompute burn rates and return alerts for fresh breaches. Cheap
+    /// to call per request: sums are recomputed at most once per clock
+    /// second (window edges cannot move faster than the clock).
+    pub fn evaluate(&mut self) -> Vec<SloAlert> {
+        let now = (self.clock)();
+        if self.last_eval_idx == now {
+            return Vec::new();
+        }
+        self.last_eval_idx = now;
+        let min_events = self.min_events;
+        let mut fired = Vec::new();
+        for o in &mut self.objectives {
+            let budget = 1.0 - o.spec.target;
+            let burn = |series: &Series, window: u64| -> (f64, u64) {
+                let (good, bad) = series.sums(now, window);
+                let total = good + bad;
+                if total == 0 || budget <= 0.0 {
+                    return (0.0, total);
+                }
+                ((bad as f64 / total as f64) / budget, total)
+            };
+            let (b_short, n_short) = burn(&o.series, FAST_SHORT_SECS);
+            let (b_long, n_long) = burn(&o.series, FAST_LONG_SECS);
+            let (b_slow, n_slow) = burn(&o.series, SLOW_SECS);
+            o.burn_fast_short = b_short;
+            o.burn_fast_long = b_long;
+            o.burn_slow = b_slow;
+
+            let fast_now =
+                b_short >= FAST_BURN && b_long >= FAST_BURN && n_short.min(n_long) >= min_events;
+            if fast_now && !o.fast_active {
+                fired.push(SloAlert {
+                    objective: o.spec.name.clone(),
+                    window: "fast",
+                    burn_rate: b_short.min(b_long),
+                    threshold: FAST_BURN,
+                });
+            }
+            o.fast_active = fast_now;
+
+            let slow_now = b_slow >= SLOW_BURN && n_slow >= min_events;
+            if slow_now && !o.slow_active {
+                fired.push(SloAlert {
+                    objective: o.spec.name.clone(),
+                    window: "slow",
+                    burn_rate: b_slow,
+                    threshold: SLOW_BURN,
+                });
+            }
+            o.slow_active = slow_now;
+        }
+        fired
+    }
+
+    /// Every gauge the engine exports, as `(dotted name, value)` — the
+    /// Prometheus layer renders them as `rckt_slo_*`.
+    pub fn gauges(&self) -> Vec<(String, f64)> {
+        let mut g = Vec::with_capacity(self.objectives.len() * 7);
+        for o in &self.objectives {
+            let n = &o.spec.name;
+            g.push((format!("slo.{n}.target"), o.spec.target));
+            g.push((format!("slo.{n}.burn_rate_5m"), o.burn_fast_short));
+            g.push((format!("slo.{n}.burn_rate_1h"), o.burn_fast_long));
+            g.push((format!("slo.{n}.burn_rate_6h"), o.burn_slow));
+            g.push((format!("slo.{n}.good"), o.good_total as f64));
+            g.push((format!("slo.{n}.bad"), o.bad_total as f64));
+            let breached = f64::from(u8::from(o.fast_active || o.slow_active));
+            g.push((format!("slo.{n}.breached"), breached));
+        }
+        g
+    }
+
+    /// Publish [`SloEngine::gauges`] into the global metrics registry.
+    pub fn publish_gauges(&self) {
+        for (name, v) in self.gauges() {
+            crate::metrics::gauge(&name).set(v);
+        }
+    }
+
+    /// The whole engine as one JSON object — the `slo` section of a
+    /// postmortem bundle and the body of `GET /debug/slo`. Bucket series
+    /// are included so the offline twin can re-render burn-rate history.
+    pub fn snapshot_json(&self) -> String {
+        let now = (self.clock)();
+        let objs = self.objectives.iter().map(|o| {
+            let buckets = o
+                .series
+                .buckets
+                .iter()
+                .map(|b| format!("[{},{},{}]", b.idx * BUCKET_SECS, b.good, b.bad));
+            let mut j = Obj::new();
+            j.str("name", &o.spec.name)
+                .str("endpoint", &o.spec.endpoint)
+                .f64("target", o.spec.target);
+            match o.spec.latency_ms {
+                Some(ms) => j.f64("latency_ms", ms),
+                None => j.raw("latency_ms", "null"),
+            };
+            j.f64("burn_rate_5m", o.burn_fast_short)
+                .f64("burn_rate_1h", o.burn_fast_long)
+                .f64("burn_rate_6h", o.burn_slow)
+                .bool("fast_active", o.fast_active)
+                .bool("slow_active", o.slow_active)
+                .u64("good_total", o.good_total)
+                .u64("bad_total", o.bad_total)
+                .raw("buckets", &json::array(buckets));
+            j.finish()
+        });
+        let mut out = Obj::new();
+        out.u64("now", now)
+            .u64("min_events", self.min_events)
+            .u64("bucket_secs", BUCKET_SECS)
+            .f64("fast_burn_threshold", FAST_BURN)
+            .f64("slow_burn_threshold", SLOW_BURN)
+            .raw("objectives", &json::array(objs));
+        out.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    fn sim_engine(spec: SloSpec) -> (SloEngine, Arc<AtomicU64>) {
+        let t = Arc::new(AtomicU64::new(1_000_000));
+        let tc = Arc::clone(&t);
+        let engine = SloEngine::with_clock(spec, Arc::new(move || tc.load(Ordering::SeqCst)));
+        (engine, t)
+    }
+
+    fn avail_spec() -> SloSpec {
+        SloSpec {
+            objectives: vec![objective("/predict", 0.999, None)],
+            min_events: 10,
+        }
+    }
+
+    #[test]
+    fn parse_accepts_the_documented_grammar() {
+        let s = SloSpec::parse("/predict:avail:99.9,/predict:lat250ms:99,min=5").unwrap();
+        assert_eq!(s.min_events, 5);
+        assert_eq!(s.objectives.len(), 2);
+        assert_eq!(s.objectives[0].name, "predict_availability");
+        assert!((s.objectives[0].target - 0.999).abs() < 1e-12);
+        assert_eq!(s.objectives[1].name, "predict_latency");
+        assert_eq!(s.objectives[1].latency_ms, Some(250.0));
+
+        for bad in [
+            "",
+            "predict:avail:99.9",
+            "/predict:avail:150",
+            "/predict:lat:99",
+            "/predict:latms:99",
+            "/predict:lat-5ms:99",
+            "/predict:avail:99.9:extra",
+            "min=abc",
+        ] {
+            assert!(SloSpec::parse(bad).is_err(), "should reject {bad:?}");
+        }
+    }
+
+    #[test]
+    fn burst_of_errors_fires_fast_alert_once_and_rearms() {
+        let (mut e, t) = sim_engine(avail_spec());
+        // Healthy traffic for 10 minutes.
+        for s in 0..600 {
+            t.store(1_000_000 + s, Ordering::SeqCst);
+            e.record("/predict", 200, 0.01);
+            assert!(e.evaluate().is_empty(), "healthy traffic must not alert");
+        }
+        // A shed burst: 30 consecutive 503s. Error ratio in the 5m
+        // window ≈ 30/330 ≈ 9% → burn ≈ 91 ≫ 14.4; the 1h window is
+        // diluted but still over.
+        let mut alerts = Vec::new();
+        for s in 600..630 {
+            t.store(1_000_000 + s, Ordering::SeqCst);
+            e.record("/predict", 503, 0.0);
+            alerts.extend(e.evaluate());
+        }
+        let fast: Vec<_> = alerts.iter().filter(|a| a.window == "fast").collect();
+        assert_eq!(fast.len(), 1, "one latched fast alert: {alerts:?}");
+        assert_eq!(fast[0].objective, "predict_availability");
+        assert!(fast[0].burn_rate >= FAST_BURN);
+
+        // Recovery: the 5m window drains below threshold → latch re-arms,
+        // then a second burst fires a second alert.
+        for s in 630..1300 {
+            t.store(1_000_000 + s, Ordering::SeqCst);
+            e.record("/predict", 200, 0.01);
+            let a = e.evaluate();
+            assert!(a.iter().all(|a| a.window != "fast"), "{a:?}");
+        }
+        let mut second = Vec::new();
+        for s in 1300..1400 {
+            t.store(1_000_000 + s, Ordering::SeqCst);
+            e.record("/predict", 503, 0.0);
+            second.extend(e.evaluate());
+        }
+        assert_eq!(
+            second.iter().filter(|a| a.window == "fast").count(),
+            1,
+            "re-armed latch fires exactly once more: {second:?}"
+        );
+    }
+
+    #[test]
+    fn slow_leak_fires_slow_window_only() {
+        let (mut e, t) = sim_engine(avail_spec());
+        // Healthy warmup, then a persistent 1% error leak: burn 10 in
+        // the 5m window but only ~10 in the diluted 1h window too —
+        // both below the fast threshold of 14.4 once the warmup has
+        // filled the long window — while the 6h window climbs past 6.
+        let mut alerts = Vec::new();
+        for s in 0..1_000u64 {
+            t.store(1_000_000 + s, Ordering::SeqCst);
+            e.record("/predict", 200, 0.01);
+            alerts.extend(e.evaluate());
+        }
+        for s in 1_000..18_000u64 {
+            t.store(1_000_000 + s, Ordering::SeqCst);
+            let status = if s % 100 == 0 { 503 } else { 200 };
+            e.record("/predict", status, 0.01);
+            alerts.extend(e.evaluate());
+        }
+        assert!(
+            alerts.iter().any(|a| a.window == "slow"),
+            "1% sustained errors at 0.1% budget must trip the slow window: {alerts:?}"
+        );
+        assert!(
+            alerts.iter().all(|a| a.window != "fast"),
+            "burn 10 is below the fast threshold: {alerts:?}"
+        );
+    }
+
+    #[test]
+    fn min_events_suppresses_cold_start_pages() {
+        let (mut e, t) = sim_engine(avail_spec());
+        // The very first request is a 503 — 100% error ratio, but only
+        // one sample; must stay quiet below min_events.
+        for s in 0..5 {
+            t.store(1_000_000 + s, Ordering::SeqCst);
+            e.record("/predict", 503, 0.0);
+            assert!(e.evaluate().is_empty(), "below min_events");
+        }
+        for s in 5..15 {
+            t.store(1_000_000 + s, Ordering::SeqCst);
+            e.record("/predict", 503, 0.0);
+        }
+        assert!(!e.evaluate().is_empty(), "past min_events the page fires");
+    }
+
+    #[test]
+    fn latency_objective_counts_slow_successes_only() {
+        let spec = SloSpec {
+            objectives: vec![objective("/predict", 0.99, Some(100.0))],
+            min_events: 1,
+        };
+        let (mut e, t) = sim_engine(spec);
+        t.store(1_000_000, Ordering::SeqCst);
+        e.record("/predict", 200, 0.050); // good
+        e.record("/predict", 200, 0.500); // bad: over 100ms
+        e.record("/predict", 503, 9.0); // ignored: availability's problem
+        e.record("/explain", 200, 9.0); // ignored: other endpoint
+        let g = e.gauges();
+        let get = |k: &str| {
+            g.iter()
+                .find(|(n, _)| n == &format!("slo.predict_latency.{k}"))
+                .map(|(_, v)| *v)
+                .unwrap()
+        };
+        assert_eq!(get("good"), 1.0);
+        assert_eq!(get("bad"), 1.0);
+    }
+
+    #[test]
+    fn windows_forget_old_traffic() {
+        let (mut e, t) = sim_engine(avail_spec());
+        for s in 0..100 {
+            t.store(1_000_000 + s, Ordering::SeqCst);
+            e.record("/predict", 503, 0.0);
+        }
+        // 7 hours later everything has aged out of even the slow window.
+        t.store(1_000_000 + 7 * 3600, Ordering::SeqCst);
+        e.record("/predict", 200, 0.01);
+        e.evaluate();
+        let g = e.gauges();
+        for k in ["burn_rate_5m", "burn_rate_1h", "burn_rate_6h"] {
+            let v = g
+                .iter()
+                .find(|(n, _)| n == &format!("slo.predict_availability.{k}"))
+                .map(|(_, v)| *v)
+                .unwrap();
+            assert_eq!(v, 0.0, "{k} must have forgotten the old burst");
+        }
+    }
+
+    #[test]
+    fn snapshot_round_trips_and_carries_bucket_series() {
+        let (mut e, t) = sim_engine(avail_spec());
+        t.store(1_000_000, Ordering::SeqCst);
+        for _ in 0..20 {
+            e.record("/predict", 200, 0.01);
+        }
+        e.record("/predict", 503, 0.0);
+        e.evaluate();
+        let snap = crate::json::parse(&e.snapshot_json()).unwrap();
+        let objs = snap.get("objectives").unwrap().as_array().unwrap();
+        assert_eq!(objs.len(), 1);
+        let o = &objs[0];
+        assert_eq!(
+            o.get("name").unwrap().as_str(),
+            Some("predict_availability")
+        );
+        assert_eq!(o.get("good_total").unwrap().as_f64(), Some(20.0));
+        assert_eq!(o.get("bad_total").unwrap().as_f64(), Some(1.0));
+        let buckets = o.get("buckets").unwrap().as_array().unwrap();
+        assert_eq!(buckets.len(), 1, "one 10s bucket for one instant");
+        let row = buckets[0].as_array().unwrap();
+        assert_eq!(row[1].as_f64(), Some(20.0));
+        assert_eq!(row[2].as_f64(), Some(1.0));
+    }
+
+    #[test]
+    fn default_spec_covers_predict_and_explain() {
+        let s = SloSpec::default_serving();
+        let names: Vec<&str> = s.objectives.iter().map(|o| o.name.as_str()).collect();
+        assert_eq!(
+            names,
+            vec![
+                "predict_availability",
+                "predict_latency",
+                "explain_availability",
+                "explain_latency"
+            ]
+        );
+    }
+}

@@ -98,6 +98,9 @@ pub struct JobTiming {
     pub batch_size: usize,
     /// Whether the session cache answered without touching the model.
     pub cache_hit: bool,
+    /// Warm-path classification when the job went through the session
+    /// store; `None` for cache hits, fused cold batches, and explains.
+    pub warm: Option<crate::warm::WarmKind>,
 }
 
 /// A reply to one job: body position, outcome, timing breakdown.
@@ -260,6 +263,7 @@ pub(crate) fn process_wave(engine: &Engine, jobs: Vec<Job>) {
         infer_secs,
         batch_size: wave_size,
         cache_hit,
+        warm: None,
     };
 
     let mut live: Vec<Job> = Vec::with_capacity(jobs.len());
@@ -317,12 +321,16 @@ pub(crate) fn process_wave(engine: &Engine, jobs: Vec<Job>) {
         }
     }
 
-    let mut reply_all = |key: &SessionKey, result: Result<Outcome, ApiError>, infer_secs: f64| {
+    let mut reply_all = |key: &SessionKey,
+                         result: Result<Outcome, ApiError>,
+                         infer_secs: f64,
+                         warm_kind: Option<warm::WarmKind>| {
         if let Ok(out) = &result {
             engine.cache.put(key.clone(), out.clone());
         }
         for job in misses.remove(key).unwrap_or_default() {
-            let t = timing_for(&job, infer_secs, false);
+            let mut t = timing_for(&job, infer_secs, false);
+            t.warm = warm_kind;
             let _ = job.reply.send((job.index, result.clone(), t));
         }
     };
@@ -354,9 +362,14 @@ pub(crate) fn process_wave(engine: &Engine, jobs: Vec<Job>) {
                             &[1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0],
                         )
                         .observe(stats.positions_recomputed as f64);
-                        reply_all(key, Ok(Outcome::Predict(item)), infer_secs);
+                        reply_all(
+                            key,
+                            Ok(Outcome::Predict(item)),
+                            infer_secs,
+                            Some(stats.kind),
+                        );
                     }
-                    Err(e) => reply_all(key, Err(e), infer_secs),
+                    Err(e) => reply_all(key, Err(e), infer_secs, None),
                 }
             }
         } else {
@@ -369,12 +382,17 @@ pub(crate) fn process_wave(engine: &Engine, jobs: Vec<Job>) {
             match result {
                 Ok(resp) => {
                     for (key, item) in predict_keys.iter().zip(resp.predictions) {
-                        reply_all(key, Ok(Outcome::Predict(item)), infer_secs);
+                        reply_all(
+                            key,
+                            Ok(Outcome::Predict(item)),
+                            infer_secs,
+                            Some(warm::WarmKind::ColdBuild),
+                        );
                     }
                 }
                 Err(e) => {
                     for key in &predict_keys {
-                        reply_all(key, Err(e.clone()), infer_secs);
+                        reply_all(key, Err(e.clone()), infer_secs, None);
                     }
                 }
             }
@@ -388,12 +406,12 @@ pub(crate) fn process_wave(engine: &Engine, jobs: Vec<Job>) {
         match result {
             Ok(resp) => {
                 for (key, item) in explain_keys.iter().zip(resp.explanations) {
-                    reply_all(key, Ok(Outcome::Explain(item)), infer_secs);
+                    reply_all(key, Ok(Outcome::Explain(item)), infer_secs, None);
                 }
             }
             Err(e) => {
                 for key in &explain_keys {
-                    reply_all(key, Err(e.clone()), infer_secs);
+                    reply_all(key, Err(e.clone()), infer_secs, None);
                 }
             }
         }

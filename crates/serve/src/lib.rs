@@ -46,6 +46,7 @@ pub mod api;
 pub mod batcher;
 pub mod cache;
 pub mod http;
+pub mod postmortem;
 pub mod quality;
 pub mod warm;
 
@@ -56,16 +57,21 @@ pub use api::{
 };
 pub use batcher::{cache_key, Batcher, Engine, Job, JobReply, JobRequest, JobTiming};
 pub use cache::{KeyKind, Outcome, SessionCache, SessionKey, SessionStore};
+pub use postmortem::{render_report, PostmortemCtx};
 pub use quality::{influence_event, Quality};
 pub use warm::{WarmKind, WarmStats};
 
 use rckt::{Rckt, SavedModel};
-use rckt_obs::{counter, event, histogram, Level, QualityEvent, Value};
+use rckt_obs::{
+    counter, event, gauge, histogram, FlightConfig, FlightRecorder, Level, QualityEvent,
+    RunManifest, SloEngine, SloSpec, Value,
+};
+use std::cell::RefCell;
 use std::io::Write as _;
 use std::net::{TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{mpsc, Arc};
-use std::time::{Duration, Instant};
+use std::sync::{mpsc, Arc, Mutex};
+use std::time::{Duration, Instant, SystemTime, UNIX_EPOCH};
 
 /// Serving knobs; every field has a CLI flag (`rckt serve --help`).
 #[derive(Clone, Debug)]
@@ -91,6 +97,21 @@ pub struct ServeConfig {
     /// Path of the replayable quality log (`--quality-log`); `None`
     /// disables logging (the in-memory monitors still run).
     pub quality_log: Option<String>,
+    /// Directory for postmortem bundles (`--postmortem-dir`); `None`
+    /// disables writing them (a `POST /debug/snapshot` still returns the
+    /// bundle in the response body).
+    pub postmortem_dir: Option<String>,
+    /// SLO spec string (`--slo`, see [`SloSpec::parse`]); `None` uses
+    /// [`SloSpec::default_serving`].
+    pub slo: Option<String>,
+    /// Byte budget for each flight-recorder ring (`--flight-bytes`);
+    /// 0 uses the [`FlightConfig`] defaults.
+    pub flight_bytes: usize,
+    /// Test-only: when set, a request carrying an `x-rckt-test-panic`
+    /// header panics the connection thread, exercising the panic-hook
+    /// bundle path. Enabled via `RCKT_SERVE_TEST_PANIC=1`; never set in
+    /// production.
+    pub test_panic: bool,
 }
 
 impl Default for ServeConfig {
@@ -104,6 +125,10 @@ impl Default for ServeConfig {
             session_capacity: 1024,
             deadline_ms: 0,
             quality_log: None,
+            postmortem_dir: None,
+            slo: None,
+            flight_bytes: 0,
+            test_panic: false,
         }
     }
 }
@@ -171,6 +196,34 @@ struct Ctx {
     started_at: Instant,
     default_deadline_ms: u64,
     port: u16,
+    flight: Arc<FlightRecorder>,
+    slo: Arc<Mutex<SloEngine>>,
+    postmortem: Arc<PostmortemCtx>,
+    test_panic: bool,
+}
+
+/// Paths whose outcomes count toward SLO good/bad accounting and the
+/// `serve.request.seconds` histogram. Introspection traffic (`/debug/*`,
+/// `/healthz`, `/metrics`) is excluded: a dashboard polling a degraded
+/// server must not dilute — or inflate — the error budget of the
+/// endpoints users actually depend on.
+fn slo_eligible(path: &str) -> bool {
+    !(path.starts_with("/debug") || path == "/healthz" || path == "/metrics")
+}
+
+thread_local! {
+    /// The request id being served by this connection thread, so deep
+    /// layers (quality alerts) can tag events with the triggering
+    /// request without threading the id through every call.
+    static CURRENT_REQUEST_ID: RefCell<Option<String>> = const { RefCell::new(None) };
+}
+
+pub(crate) fn current_request_id() -> Option<String> {
+    CURRENT_REQUEST_ID.with(|c| c.borrow().clone())
+}
+
+fn set_current_request_id(id: Option<String>) {
+    CURRENT_REQUEST_ID.with(|c| *c.borrow_mut() = id);
 }
 
 /// A running inference server; [`ServeServer::wait`] blocks until
@@ -180,6 +233,8 @@ pub struct ServeServer {
     stop: Arc<AtomicBool>,
     batcher: Arc<Batcher>,
     handle: Option<std::thread::JoinHandle<()>>,
+    flight: Arc<FlightRecorder>,
+    postmortem: Arc<PostmortemCtx>,
 }
 
 impl ServeServer {
@@ -208,6 +263,10 @@ impl ServeServer {
             let _ = h.join();
         }
         self.batcher.drain_and_stop();
+        // Detach this server's recorder and panic context (last server
+        // wins while running; a stopped server must not outlive either).
+        rckt_obs::flight::uninstall(&self.flight);
+        postmortem::disarm_panic_hook(&self.postmortem);
     }
 }
 
@@ -221,6 +280,11 @@ impl Drop for ServeServer {
 
 /// Bind `127.0.0.1:<cfg.port>` and serve until stopped.
 pub fn start(engine: Arc<Engine>, cfg: &ServeConfig) -> std::io::Result<ServeServer> {
+    let slo_spec = match &cfg.slo {
+        Some(s) => SloSpec::parse(s)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidInput, e))?,
+        None => SloSpec::default_serving(),
+    };
     let listener = TcpListener::bind(("127.0.0.1", cfg.port))?;
     let port = listener.local_addr()?.port();
     let stop = Arc::new(AtomicBool::new(false));
@@ -229,6 +293,34 @@ pub fn start(engine: Arc<Engine>, cfg: &ServeConfig) -> std::io::Result<ServeSer
         cfg.max_batch,
         cfg.max_queue,
     ));
+    rckt_obs::set_build_info(
+        option_env!("CARGO_PKG_VERSION").unwrap_or("dev"),
+        &rckt_obs::git_commit(),
+    );
+    let flight_cfg = if cfg.flight_bytes > 0 {
+        FlightConfig {
+            event_bytes: cfg.flight_bytes,
+            request_bytes: cfg.flight_bytes,
+        }
+    } else {
+        FlightConfig::default()
+    };
+    let flight = Arc::new(FlightRecorder::new(flight_cfg));
+    rckt_obs::flight::install(Arc::clone(&flight));
+    let slo = Arc::new(Mutex::new(SloEngine::new(slo_spec)));
+    let manifest = RunManifest::capture("rckt-serve", 0, None)
+        .config("port", &port.to_string())
+        .config("window", &cfg.window.to_string())
+        .config("max_batch", &cfg.max_batch.to_string())
+        .config("max_queue", &cfg.max_queue.to_string());
+    let postmortem_ctx = Arc::new(PostmortemCtx::new(
+        Arc::clone(&flight),
+        Arc::clone(&slo),
+        Arc::clone(&engine),
+        manifest.to_json(),
+        cfg.postmortem_dir.clone(),
+    ));
+    postmortem::arm_panic_hook(Arc::clone(&postmortem_ctx));
     let ctx = Arc::new(Ctx {
         engine,
         batcher: Arc::clone(&batcher),
@@ -236,6 +328,10 @@ pub fn start(engine: Arc<Engine>, cfg: &ServeConfig) -> std::io::Result<ServeSer
         started_at: Instant::now(),
         default_deadline_ms: cfg.deadline_ms,
         port,
+        flight: Arc::clone(&flight),
+        slo,
+        postmortem: Arc::clone(&postmortem_ctx),
+        test_panic: cfg.test_panic,
     });
     let accept_stop = Arc::clone(&stop);
     let handle = std::thread::Builder::new()
@@ -258,6 +354,8 @@ pub fn start(engine: Arc<Engine>, cfg: &ServeConfig) -> std::io::Result<ServeSer
         stop,
         batcher,
         handle: Some(handle),
+        flight,
+        postmortem: postmortem_ctx,
     })
 }
 
@@ -299,6 +397,9 @@ pub struct BatchTiming {
     pub batch_max: usize,
     pub cache_hits: usize,
     pub jobs: usize,
+    /// Warm-path classification of the body's jobs (first classified job
+    /// wins; a single-request body — the warm path's shape — has one).
+    pub warm: Option<WarmKind>,
 }
 
 impl BatchTiming {
@@ -308,6 +409,18 @@ impl BatchTiming {
         self.batch_max = self.batch_max.max(t.batch_size);
         self.cache_hits += usize::from(t.cache_hit);
         self.jobs += 1;
+        self.warm = self.warm.or(t.warm);
+    }
+
+    /// Label for the flight ring's `warm` column: `cache` when every job
+    /// was a session-cache hit, else the warm-path classification, else
+    /// `-` (exact path, errors, non-predict endpoints).
+    fn warm_label(&self) -> &'static str {
+        if self.jobs > 0 && self.cache_hits == self.jobs {
+            "cache"
+        } else {
+            self.warm.map_or("-", WarmKind::as_str)
+        }
     }
 }
 
@@ -316,10 +429,14 @@ impl BatchTiming {
 /// timing headers, emit the `serve.access` log event, and record the
 /// request's span in the Chrome trace.
 struct ReqScope<'a> {
+    ctx: &'a Ctx,
     id: String,
     started: Instant,
     method: &'a str,
     path: &'a str,
+    /// Students named in the body (comma-joined), set by the handler
+    /// once it has parsed one; lands in the flight ring's request record.
+    students: RefCell<String>,
 }
 
 impl ReqScope<'_> {
@@ -383,6 +500,58 @@ impl ReqScope<'_> {
                 total_secs,
             );
         }
+
+        // Flight ring: every request (including errors) leaves a
+        // structured record for postmortem bundles.
+        self.ctx.flight.record_request(&rckt_obs::RequestRecord {
+            ts: SystemTime::now()
+                .duration_since(UNIX_EPOCH)
+                .map(|d| d.as_secs_f64())
+                .unwrap_or(0.0),
+            request_id: self.id.clone(),
+            method: self.method.to_string(),
+            path: self.path.to_string(),
+            students: self.students.borrow().clone(),
+            queue_micros: timing.map_or(0, |t| (t.queue_secs * 1e6) as u64),
+            infer_micros: timing.map_or(0, |t| (t.infer_secs * 1e6) as u64),
+            total_micros: (total_secs * 1e6) as u64,
+            batch_size: timing.map_or(0, |t| t.batch_max as u64),
+            status: status_code,
+            warm: timing.map_or("-", BatchTiming::warm_label).to_string(),
+        });
+
+        // SLO accounting (introspection endpoints excluded — see
+        // `slo_eligible`). The engine lock is released before any bundle
+        // is written: assembling a bundle re-reads the SLO state.
+        if slo_eligible(self.path) {
+            let alerts = {
+                let mut slo = self.ctx.slo.lock().unwrap_or_else(|e| e.into_inner());
+                slo.record(self.path, status_code, total_secs);
+                let alerts = slo.evaluate();
+                slo.publish_gauges();
+                alerts
+            };
+            for a in &alerts {
+                counter("serve.slo.alerts").incr();
+                event(
+                    Level::Info,
+                    "slo.alert",
+                    &[
+                        ("objective", a.objective.as_str().into()),
+                        ("window", a.window.into()),
+                        ("burn_rate", a.burn_rate.into()),
+                        ("threshold", a.threshold.into()),
+                        ("request_id", self.id.as_str().into()),
+                    ],
+                );
+                // An alert is exactly the moment the evidence is still in
+                // the ring — capture it before it scrolls away.
+                let _ = postmortem::write_bundle(
+                    &self.ctx.postmortem,
+                    &format!("slo-alert:{}:{}", a.objective, a.window),
+                );
+            }
+        }
     }
 }
 
@@ -401,6 +570,23 @@ fn respond_api_error(stream: &mut TcpStream, scope: &ReqScope<'_>, e: &ApiError)
         &http::error_body(&e.to_string()),
         None,
     );
+}
+
+/// Comma-join the first few student ids of a body for the flight ring
+/// (capped so one huge batch cannot dominate the request ring's bytes).
+fn join_students(ids: impl Iterator<Item = u32>) -> String {
+    const CAP: usize = 16;
+    let ids: Vec<u32> = ids.collect();
+    let mut s = ids
+        .iter()
+        .take(CAP)
+        .map(|i| i.to_string())
+        .collect::<Vec<_>>()
+        .join(",");
+    if ids.len() > CAP {
+        s.push_str(&format!(",+{}", ids.len() - CAP));
+    }
+    s
 }
 
 fn deadline_from(body_ms: Option<u64>, default_ms: u64) -> Option<Instant> {
@@ -458,6 +644,7 @@ fn handle_predict(ctx: &Ctx, scope: &ReqScope<'_>, body: &[u8], stream: &mut Tcp
             return;
         }
     };
+    *scope.students.borrow_mut() = join_students(parsed.requests.iter().map(|r| r.student));
     // Validate the whole body at the door: one bad element fails the
     // request with a 400 before anything is queued.
     for (i, r) in parsed.requests.iter().enumerate() {
@@ -530,6 +717,7 @@ fn handle_explain(ctx: &Ctx, scope: &ReqScope<'_>, body: &[u8], stream: &mut Tcp
             return;
         }
     };
+    *scope.students.borrow_mut() = join_students(parsed.requests.iter().map(|r| r.student));
     for (i, r) in parsed.requests.iter().enumerate() {
         if let Err(e) = api::explain_window(r, &ctx.engine.model, &ctx.engine.qm, ctx.engine.window)
         {
@@ -598,6 +786,7 @@ fn handle_feedback(ctx: &Ctx, scope: &ReqScope<'_>, body: &[u8], stream: &mut Tc
             return;
         }
     };
+    *scope.students.borrow_mut() = join_students(parsed.events.iter().map(|e| e.student));
     for (i, ev) in parsed.events.iter().enumerate() {
         if !ev.score.is_finite() || !(0.0..=1.0).contains(&ev.score) {
             scope.respond(
@@ -641,10 +830,12 @@ fn handle_connection(ctx: &Ctx, mut stream: TcpStream) {
             // No parseable request — still mint an id so the error is
             // findable in the access log.
             let scope = ReqScope {
+                ctx,
                 id: request_id(None),
                 started,
                 method: "-",
                 path: "-",
+                students: RefCell::new(String::new()),
             };
             scope.respond(
                 &mut stream,
@@ -658,11 +849,19 @@ fn handle_connection(ctx: &Ctx, mut stream: TcpStream) {
         }
     };
     let scope = ReqScope {
+        ctx,
         id: request_id(req.header("x-request-id")),
         started,
         method: &req.method,
         path: &req.path,
+        students: RefCell::new(String::new()),
     };
+    set_current_request_id(Some(scope.id.clone()));
+    if ctx.test_panic && req.header("x-rckt-test-panic").is_some() {
+        // Test-only (`RCKT_SERVE_TEST_PANIC=1`): die mid-request so the
+        // panic hook's bundle path is exercised end-to-end.
+        panic!("test panic requested by {}", scope.id);
+    }
     match (req.method.as_str(), req.path.as_str()) {
         ("POST", "/predict") => handle_predict(ctx, &scope, &req.body, &mut stream),
         ("POST", "/explain") => handle_explain(ctx, &scope, &req.body, &mut stream),
@@ -678,6 +877,13 @@ fn handle_connection(ctx: &Ctx, mut stream: TcpStream) {
             scope.respond(&mut stream, "200 OK", JSON, &[], &body, None);
         }
         ("GET", "/metrics") => {
+            gauge("uptime.seconds").set(ctx.started_at.elapsed().as_secs_f64());
+            // Publish SLO gauges even before any eligible traffic, so a
+            // scrape always sees the full rckt_slo_* family.
+            ctx.slo
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .publish_gauges();
             scope.respond(
                 &mut stream,
                 "200 OK",
@@ -686,6 +892,25 @@ fn handle_connection(ctx: &Ctx, mut stream: TcpStream) {
                 &rckt_obs::prometheus::render(),
                 None,
             );
+        }
+        ("GET", "/debug/flight") => {
+            let body = ctx.flight.snapshot_json();
+            scope.respond(&mut stream, "200 OK", JSON, &[], &body, None);
+        }
+        ("GET", "/debug/slo") => {
+            let body = ctx
+                .slo
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .snapshot_json();
+            scope.respond(&mut stream, "200 OK", JSON, &[], &body, None);
+        }
+        ("POST", "/debug/snapshot") => {
+            // Returns the bundle itself so it can be piped straight into
+            // `rckt postmortem`; a configured --postmortem-dir also gets
+            // a file (its path is in the `postmortem.written` event).
+            let (bundle, _path) = postmortem::write_bundle(&ctx.postmortem, "snapshot");
+            scope.respond(&mut stream, "200 OK", JSON, &[], &bundle, None);
         }
         ("POST", "/shutdown") => {
             // Reject new work immediately; already-queued jobs are still
@@ -710,7 +935,8 @@ fn handle_connection(ctx: &Ctx, mut stream: TcpStream) {
                 JSON,
                 &[],
                 &http::error_body(
-                    "not found; try /predict /explain /feedback /healthz /metrics /shutdown",
+                    "not found; try /predict /explain /feedback /healthz /metrics \
+                     /debug/flight /debug/slo /debug/snapshot /shutdown",
                 ),
                 None,
             );
@@ -726,6 +952,7 @@ fn handle_connection(ctx: &Ctx, mut stream: TcpStream) {
             );
         }
     }
+    set_current_request_id(None);
 }
 
 /// Send one request to a running server and return `(status_line, body)`.
@@ -781,6 +1008,30 @@ mod tests {
             window: 16,
             ..Default::default()
         }
+    }
+
+    /// An engine built without the JSON export/import round-trip, for
+    /// tests that only exercise the HTTP/observability layer.
+    fn direct_engine(cfg: &ServeConfig) -> Arc<Engine> {
+        let ds = SyntheticSpec::assist09().scaled(0.05).generate();
+        let model = Rckt::new(
+            Backbone::Dkt,
+            ds.num_questions(),
+            ds.num_concepts(),
+            RcktConfig {
+                dim: 8,
+                ..Default::default()
+            },
+        );
+        Arc::new(Engine {
+            model,
+            qm: ds.q_matrix,
+            window: cfg.window,
+            cache: SessionCache::new(cfg.cache_capacity),
+            sessions: SessionStore::new(cfg.session_capacity),
+            model_hash: 0xbeef,
+            quality: Quality::new(None, None).unwrap(),
+        })
     }
 
     fn predict_body() -> String {
@@ -1103,6 +1354,182 @@ mod tests {
             live,
             "replayed quality log must reproduce the live report byte-for-byte"
         );
+
+        server.stop();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn debug_endpoints_expose_flight_ring_and_slo_state() {
+        let cfg = serve_cfg();
+        let server = start(direct_engine(&cfg), &cfg).unwrap();
+        let port = server.port();
+
+        // Give the ring some traffic with a known request id.
+        let raw = raw_request(
+            port,
+            "GET /healthz HTTP/1.1\r\nHost: l\r\nX-Request-Id: flight-probe-1\r\n\r\n",
+        );
+        assert!(raw.contains("200 OK"), "{raw}");
+
+        let (status, flight) = http_request(port, "GET", "/debug/flight", "").unwrap();
+        assert!(status.contains("200"), "{status}");
+        let snap = rckt_obs::json::parse(&flight).unwrap();
+        let requests = snap.get("requests").and_then(|r| r.as_array()).unwrap();
+        assert!(
+            requests.iter().any(|r| {
+                r.get("request_id").and_then(|v| v.as_str()) == Some("flight-probe-1")
+                    && r.get("path").and_then(|v| v.as_str()) == Some("/healthz")
+                    && r.get("status").and_then(|v| v.as_f64()) == Some(200.0)
+            }),
+            "healthz record missing from the ring: {flight}"
+        );
+
+        // Introspection traffic (/healthz, /metrics, /debug/*) must not
+        // count toward any SLO objective's good/bad totals.
+        let (_, _) = http_request(port, "GET", "/metrics", "").unwrap();
+        let (status, slo) = http_request(port, "GET", "/debug/slo", "").unwrap();
+        assert!(status.contains("200"), "{status}");
+        let snap = rckt_obs::json::parse(&slo).unwrap();
+        let objectives = snap.get("objectives").and_then(|o| o.as_array()).unwrap();
+        assert!(!objectives.is_empty(), "{slo}");
+        for o in objectives {
+            assert_eq!(
+                o.get("good_total").and_then(|v| v.as_f64()),
+                Some(0.0),
+                "introspection traffic leaked into SLO accounting: {slo}"
+            );
+            assert_eq!(
+                o.get("bad_total").and_then(|v| v.as_f64()),
+                Some(0.0),
+                "{slo}"
+            );
+        }
+
+        // Satellite gauges are on /metrics.
+        let (_, metrics) = http_request(port, "GET", "/metrics", "").unwrap();
+        assert!(metrics.contains("rckt_build_info{"), "{metrics}");
+        assert!(metrics.contains("rckt_uptime_seconds"), "{metrics}");
+        assert!(metrics.contains("rckt_slo_"), "{metrics}");
+
+        server.stop();
+    }
+
+    #[test]
+    fn snapshot_bundle_round_trips_through_the_postmortem_renderer() {
+        let dir = std::env::temp_dir().join(format!("rckt-serve-pm-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let cfg = ServeConfig {
+            postmortem_dir: Some(dir.to_str().unwrap().to_string()),
+            ..serve_cfg()
+        };
+        let server = start(direct_engine(&cfg), &cfg).unwrap();
+        let port = server.port();
+
+        let raw = raw_request(
+            port,
+            "GET /healthz HTTP/1.1\r\nHost: l\r\nX-Request-Id: bundle-probe\r\n\r\n",
+        );
+        assert!(raw.contains("200 OK"), "{raw}");
+
+        // The snapshot response body IS the bundle; the offline renderer
+        // (the `rckt postmortem` twin) accepts it directly.
+        let (status, bundle) = http_request(port, "POST", "/debug/snapshot", "").unwrap();
+        assert!(status.contains("200"), "{status}");
+        let report = postmortem::render_report(&bundle).unwrap();
+        assert!(report.contains("== rckt postmortem =="), "{report}");
+        assert!(report.contains("reason:   snapshot"), "{report}");
+        assert!(report.contains("bundle-probe"), "{report}");
+
+        // The strict parser round-trips it and the sections are present.
+        let parsed = rckt_obs::json::parse(&bundle).unwrap();
+        assert_eq!(
+            parsed.get("bundle").and_then(|v| v.as_str()),
+            Some("rckt-postmortem/v1")
+        );
+        for section in ["manifest", "flight", "metrics", "quality", "slo"] {
+            assert!(parsed.get(section).is_some(), "missing {section}: {bundle}");
+        }
+
+        // And a file landed in --postmortem-dir.
+        let files: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .flatten()
+            .filter(|e| e.file_name().to_string_lossy().starts_with("postmortem-"))
+            .collect();
+        assert!(!files.is_empty(), "no bundle file in --postmortem-dir");
+
+        server.stop();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn panic_produces_a_bundle_holding_the_final_requests() {
+        let dir = std::env::temp_dir().join(format!("rckt-serve-panic-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let cfg = ServeConfig {
+            postmortem_dir: Some(dir.to_str().unwrap().to_string()),
+            test_panic: true,
+            ..serve_cfg()
+        };
+        let server = start(direct_engine(&cfg), &cfg).unwrap();
+        let port = server.port();
+
+        for i in 0..3 {
+            let raw = raw_request(
+                port,
+                &format!("GET /healthz HTTP/1.1\r\nHost: l\r\nX-Request-Id: final-req-{i}\r\n\r\n"),
+            );
+            assert!(raw.contains("200 OK"), "{raw}");
+        }
+
+        // The poisoned request panics its connection thread; the hook
+        // writes the bundle before the thread dies. Parallel tests'
+        // servers may steal the process-global panic context between
+        // attempts, so re-arm and retry until our bundle appears.
+        let mut bundle = None;
+        for _ in 0..50 {
+            postmortem::arm_panic_hook(Arc::clone(&server.postmortem));
+            let _ = raw_request(
+                port,
+                "GET /healthz HTTP/1.1\r\nHost: l\r\nx-rckt-test-panic: 1\r\n\r\n",
+            );
+            let deadline = Instant::now() + Duration::from_millis(500);
+            while bundle.is_none() && Instant::now() < deadline {
+                bundle = std::fs::read_dir(&dir)
+                    .unwrap()
+                    .flatten()
+                    .find(|e| e.file_name().to_string_lossy().starts_with("postmortem-"))
+                    .and_then(|f| std::fs::read_to_string(f.path()).ok());
+                if bundle.is_none() {
+                    std::thread::sleep(Duration::from_millis(20));
+                }
+            }
+            if bundle.is_some() {
+                break;
+            }
+        }
+        let bundle = bundle.expect("panic hook never wrote a bundle");
+
+        let parsed = rckt_obs::json::parse(&bundle).unwrap();
+        assert_eq!(parsed.get("reason").and_then(|v| v.as_str()), Some("panic"));
+        let reqs = parsed
+            .get("flight")
+            .and_then(|f| f.get("requests"))
+            .and_then(|r| r.as_array())
+            .unwrap();
+        for i in 0..3 {
+            let id = format!("final-req-{i}");
+            assert!(
+                reqs.iter()
+                    .any(|r| r.get("request_id").and_then(|v| v.as_str()) == Some(id.as_str())),
+                "final request {id} missing from the panic bundle"
+            );
+        }
+        let report = postmortem::render_report(&bundle).unwrap();
+        assert!(report.contains("reason:   panic"), "{report}");
 
         server.stop();
         let _ = std::fs::remove_dir_all(&dir);

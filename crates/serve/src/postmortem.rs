@@ -1,0 +1,424 @@
+//! Postmortem bundles: one self-contained JSON artifact holding
+//! everything needed to reconstruct an incident after the process is
+//! gone — the run manifest, the flight-recorder rings, a metrics
+//! snapshot, the quality-monitor state, and the SLO engine state.
+//!
+//! Bundles are written by three triggers sharing one code path:
+//! a panic (via the installed hook), `POST /debug/snapshot`, and
+//! automatically when an SLO burn-rate alert fires. The offline twin
+//! `rckt postmortem <bundle.json>` renders [`render_report`] from the
+//! same bytes — the replay-twin discipline `rckt monitor --replay`
+//! established for quality logs.
+
+use rckt_obs::json::{self, JsonValue, Obj};
+use rckt_obs::{metrics_snapshot, FlightRecorder, SloEngine};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, Once};
+use std::time::{SystemTime, UNIX_EPOCH};
+
+/// Everything the bundle writer needs, shared with the panic hook.
+pub struct PostmortemCtx {
+    pub flight: Arc<FlightRecorder>,
+    pub slo: Arc<Mutex<SloEngine>>,
+    pub engine: Arc<crate::Engine>,
+    /// The server's run manifest, captured once at startup.
+    pub manifest_json: String,
+    /// Bundle output directory (`--postmortem-dir`); `None` disables
+    /// writing (snapshots are still served over HTTP).
+    pub dir: Option<String>,
+    /// Bundles written so far, for unique file names.
+    written: AtomicU64,
+}
+
+impl PostmortemCtx {
+    pub fn new(
+        flight: Arc<FlightRecorder>,
+        slo: Arc<Mutex<SloEngine>>,
+        engine: Arc<crate::Engine>,
+        manifest_json: String,
+        dir: Option<String>,
+    ) -> PostmortemCtx {
+        PostmortemCtx {
+            flight,
+            slo,
+            engine,
+            manifest_json,
+            dir,
+            written: AtomicU64::new(0),
+        }
+    }
+
+    pub fn bundles_written(&self) -> u64 {
+        self.written.load(Ordering::Relaxed)
+    }
+}
+
+fn unix_ts() -> f64 {
+    SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|d| d.as_secs_f64())
+        .unwrap_or(0.0)
+}
+
+/// Assemble the full bundle as one JSON object.
+pub fn assemble_bundle(ctx: &PostmortemCtx, reason: &str) -> String {
+    let (q_events, q_alerts) = ctx.engine.quality.totals();
+    let mut quality = Obj::new();
+    quality
+        .str("report", &ctx.engine.quality.report())
+        .u64("events", q_events)
+        .u64("alerts", q_alerts);
+    let slo_json = ctx
+        .slo
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .snapshot_json();
+    let mut o = Obj::new();
+    o.str("bundle", "rckt-postmortem/v1")
+        .str("reason", reason)
+        .f64("ts", unix_ts())
+        .raw("manifest", &ctx.manifest_json)
+        .raw("flight", &ctx.flight.snapshot_json())
+        .raw("metrics", &metrics_snapshot().to_json())
+        .raw("quality", &quality.finish())
+        .raw("slo", &slo_json);
+    o.finish()
+}
+
+/// Assemble and, when a directory is configured, write the bundle to
+/// `<dir>/postmortem-<pid>-<n>.json`. Returns `(bundle, written_path)`.
+pub fn write_bundle(ctx: &PostmortemCtx, reason: &str) -> (String, Option<String>) {
+    let bundle = assemble_bundle(ctx, reason);
+    let path = ctx.dir.as_ref().and_then(|dir| {
+        let n = ctx.written.fetch_add(1, Ordering::Relaxed);
+        let path = format!("{dir}/postmortem-{}-{n}.json", std::process::id());
+        match std::fs::create_dir_all(dir).and_then(|()| std::fs::write(&path, &bundle)) {
+            Ok(()) => Some(path),
+            Err(e) => {
+                eprintln!("rckt-serve: cannot write postmortem bundle to {path}: {e}");
+                None
+            }
+        }
+    });
+    if let Some(p) = &path {
+        rckt_obs::event(
+            rckt_obs::Level::Info,
+            "postmortem.written",
+            &[("reason", reason.into()), ("path", p.as_str().into())],
+        );
+    }
+    (bundle, path)
+}
+
+/// The context the panic hook reads — last started server wins, and a
+/// stopping server clears its own entry so it never outlives the engine
+/// it points at.
+static PANIC_CTX: Mutex<Option<Arc<PostmortemCtx>>> = Mutex::new(None);
+static HOOK: Once = Once::new();
+
+fn panic_slot() -> std::sync::MutexGuard<'static, Option<Arc<PostmortemCtx>>> {
+    PANIC_CTX.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Arm the panic hook for `ctx`. The hook itself is installed once per
+/// process (chained in front of the previous hook) and reads whatever
+/// context is current when a panic happens, so a crashed worker thread
+/// leaves a bundle with the flight ring's final requests in it.
+pub fn arm_panic_hook(ctx: Arc<PostmortemCtx>) {
+    *panic_slot() = Some(ctx);
+    HOOK.call_once(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            let ctx = panic_slot().clone();
+            if let Some(ctx) = ctx {
+                let _ = write_bundle(&ctx, "panic");
+            }
+            prev(info);
+        }));
+    });
+}
+
+/// Disarm the hook if it is currently pointing at `ctx`.
+pub fn disarm_panic_hook(ctx: &Arc<PostmortemCtx>) {
+    let mut g = panic_slot();
+    if g.as_ref().is_some_and(|cur| Arc::ptr_eq(cur, ctx)) {
+        *g = None;
+    }
+}
+
+fn fmt_micros(us: f64) -> String {
+    if us >= 1e6 {
+        format!("{:.2}s", us / 1e6)
+    } else if us >= 1e3 {
+        format!("{:.1}ms", us / 1e3)
+    } else {
+        format!("{us:.0}µs")
+    }
+}
+
+fn num(v: Option<&JsonValue>) -> f64 {
+    v.and_then(|v| v.as_f64()).unwrap_or(0.0)
+}
+
+fn text<'a>(v: Option<&'a JsonValue>) -> &'a str {
+    v.and_then(|v| v.as_str()).unwrap_or("-")
+}
+
+const SPARK: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+
+/// Render a bad-ratio-over-time sparkline from one objective's bucket
+/// series (`[[start_secs, good, bad], …]`), rebinned to at most `width`
+/// columns. The scale is burn rate relative to the fast threshold: a
+/// full block is burn ≥ 14.4.
+fn sparkline(buckets: &[JsonValue], budget: f64, width: usize) -> String {
+    if buckets.is_empty() || budget <= 0.0 {
+        return String::new();
+    }
+    let per = buckets.len().div_ceil(width).max(1);
+    let mut out = String::new();
+    for chunk in buckets.chunks(per) {
+        let (mut good, mut bad) = (0.0, 0.0);
+        for b in chunk {
+            if let Some(row) = b.as_array() {
+                good += num(row.get(1));
+                bad += num(row.get(2));
+            }
+        }
+        let total = good + bad;
+        let burn = if total > 0.0 {
+            (bad / total) / budget
+        } else {
+            0.0
+        };
+        let level = ((burn / rckt_obs::slo::FAST_BURN) * 7.0).min(7.0) as usize;
+        out.push(SPARK[level]);
+    }
+    out
+}
+
+/// The offline twin of a live incident view: render a parsed bundle as
+/// a human report — SLO breaches (naming the breached windows), a
+/// burn-rate sparkline, error clusters, the slowest requests, and the
+/// event timeline.
+pub fn render_report(bundle_text: &str) -> Result<String, String> {
+    let bundle = json::parse(bundle_text).map_err(|e| format!("not a postmortem bundle: {e}"))?;
+    if bundle.get("bundle").and_then(|v| v.as_str()) != Some("rckt-postmortem/v1") {
+        return Err("not a postmortem bundle: missing \"bundle\":\"rckt-postmortem/v1\"".into());
+    }
+    let mut out = String::new();
+    let push = |out: &mut String, line: &str| {
+        out.push_str(line);
+        out.push('\n');
+    };
+
+    push(&mut out, "== rckt postmortem ==");
+    push(
+        &mut out,
+        &format!("reason:   {}", text(bundle.get("reason"))),
+    );
+    push(
+        &mut out,
+        &format!("captured: unix {:.3}", num(bundle.get("ts"))),
+    );
+    if let Some(m) = bundle.get("manifest") {
+        push(
+            &mut out,
+            &format!(
+                "build:    {} commit {}",
+                text(m.get("bin")),
+                text(m.get("git_commit"))
+            ),
+        );
+    }
+
+    push(&mut out, "");
+    push(&mut out, "== SLO burn rates ==");
+    let empty: Vec<JsonValue> = Vec::new();
+    let objectives = bundle
+        .get("slo")
+        .and_then(|s| s.get("objectives"))
+        .and_then(|o| o.as_array())
+        .unwrap_or(&empty);
+    let mut alerts = 0usize;
+    for o in objectives {
+        let name = text(o.get("name"));
+        let target = num(o.get("target"));
+        let budget = 1.0 - target;
+        push(
+            &mut out,
+            &format!(
+                "{name}: target {:.3}% | burn 5m {:.1} | 1h {:.1} | 6h {:.1}",
+                target * 100.0,
+                num(o.get("burn_rate_5m")),
+                num(o.get("burn_rate_1h")),
+                num(o.get("burn_rate_6h")),
+            ),
+        );
+        if let Some(buckets) = o.get("buckets").and_then(|b| b.as_array()) {
+            let line = sparkline(buckets, budget, 60);
+            if !line.is_empty() {
+                push(&mut out, &format!("  burn {line}"));
+            }
+        }
+        if o.get("fast_active") == Some(&JsonValue::Bool(true)) {
+            alerts += 1;
+            push(
+                &mut out,
+                &format!(
+                    "  ALERT {name}: fast window (5m/1h) burn >= {}",
+                    rckt_obs::slo::FAST_BURN
+                ),
+            );
+        }
+        if o.get("slow_active") == Some(&JsonValue::Bool(true)) {
+            alerts += 1;
+            push(
+                &mut out,
+                &format!(
+                    "  ALERT {name}: slow window (6h) burn >= {}",
+                    rckt_obs::slo::SLOW_BURN
+                ),
+            );
+        }
+    }
+    if objectives.is_empty() {
+        push(&mut out, "(no objectives in bundle)");
+    } else if alerts == 0 {
+        push(&mut out, "no active breaches");
+    }
+
+    let requests = bundle
+        .get("flight")
+        .and_then(|f| f.get("requests"))
+        .and_then(|r| r.as_array())
+        .unwrap_or(&empty);
+    push(&mut out, "");
+    push(
+        &mut out,
+        &format!("== requests ({} in ring) ==", requests.len()),
+    );
+
+    // Error clusters: non-2xx grouped by (status, path), with the time
+    // window the cluster spans — a shed burst shows up as one line.
+    let mut clusters: Vec<(u64, String, u64, f64, f64, String)> = Vec::new();
+    for r in requests {
+        let status = num(r.get("status")) as u64;
+        if (200..300).contains(&status) {
+            continue;
+        }
+        let path = text(r.get("path")).to_string();
+        let ts = num(r.get("ts"));
+        let id = text(r.get("request_id")).to_string();
+        match clusters
+            .iter_mut()
+            .find(|(s, p, ..)| *s == status && *p == path)
+        {
+            Some((_, _, count, first, last, _)) => {
+                *count += 1;
+                *first = first.min(ts);
+                *last = last.max(ts);
+            }
+            None => clusters.push((status, path, 1, ts, ts, id)),
+        }
+    }
+    clusters.sort_by(|a, b| b.2.cmp(&a.2));
+    if clusters.is_empty() {
+        push(&mut out, "no errors in ring");
+    } else {
+        push(&mut out, "error clusters:");
+        for (status, path, count, first, last, sample) in &clusters {
+            push(
+                &mut out,
+                &format!(
+                    "  {status} {path} × {count} over {:.1}s (first {first:.3}, last {last:.3}, e.g. {sample})",
+                    last - first
+                ),
+            );
+        }
+    }
+
+    let mut slowest: Vec<&JsonValue> = requests.iter().collect();
+    slowest.sort_by(|a, b| {
+        num(b.get("total_micros"))
+            .partial_cmp(&num(a.get("total_micros")))
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+    if !slowest.is_empty() {
+        push(&mut out, "slowest requests:");
+        for r in slowest.iter().take(5) {
+            push(
+                &mut out,
+                &format!(
+                    "  {} {} {} {} (queue {}, infer {}, batch {}, warm {}, status {})",
+                    fmt_micros(num(r.get("total_micros"))),
+                    text(r.get("method")),
+                    text(r.get("path")),
+                    text(r.get("request_id")),
+                    fmt_micros(num(r.get("queue_micros"))),
+                    fmt_micros(num(r.get("infer_micros"))),
+                    num(r.get("batch")) as u64,
+                    text(r.get("warm")),
+                    num(r.get("status")) as u64,
+                ),
+            );
+        }
+    }
+
+    let events = bundle
+        .get("flight")
+        .and_then(|f| f.get("events"))
+        .and_then(|e| e.as_array())
+        .unwrap_or(&empty);
+    push(&mut out, "");
+    push(
+        &mut out,
+        &format!(
+            "== timeline ({} events in ring, newest last) ==",
+            events.len()
+        ),
+    );
+    for ev in events.iter().rev().take(20).rev() {
+        let mut line = format!(
+            "  {:.3} [{}] {}",
+            num(ev.get("ts")),
+            text(ev.get("level")),
+            text(ev.get("event"))
+        );
+        if let Some(JsonValue::Object(fields)) = ev.get("fields") {
+            for (k, v) in fields {
+                let rendered = match v {
+                    JsonValue::Str(s) => s.clone(),
+                    JsonValue::Num(n) => json::number(*n),
+                    JsonValue::Bool(b) => b.to_string(),
+                    JsonValue::Null => "null".to_string(),
+                    other => format!("{other:?}"),
+                };
+                line.push_str(&format!(" {k}={rendered}"));
+            }
+        }
+        push(&mut out, &line);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_rejects_non_bundles() {
+        assert!(render_report("{not json").is_err());
+        assert!(render_report("{\"bundle\":\"something-else\"}").is_err());
+        assert!(render_report("{}").is_err());
+    }
+
+    #[test]
+    fn sparkline_scales_against_the_fast_threshold() {
+        let buckets = json::parse("[[0,100,0],[10,100,0],[20,50,50],[30,0,100]]").unwrap();
+        let line = sparkline(buckets.as_array().unwrap(), 0.001, 60);
+        assert_eq!(line.chars().count(), 4);
+        let chars: Vec<char> = line.chars().collect();
+        assert_eq!(chars[0], '▁', "healthy bucket at the floor");
+        assert_eq!(chars[3], '█', "all-bad bucket saturates");
+    }
+}

@@ -30,6 +30,8 @@ use std::sync::Mutex;
 struct Inner {
     monitor: QualityMonitor,
     log: Option<File>,
+    events: u64,
+    alerts: u64,
 }
 
 /// The server's quality monitor + optional quality log. One per
@@ -63,7 +65,12 @@ impl Quality {
             None => None,
         };
         Ok(Quality {
-            inner: Mutex::new(Inner { monitor, log }),
+            inner: Mutex::new(Inner {
+                monitor,
+                log,
+                events: 0,
+                alerts: 0,
+            }),
         })
     }
 
@@ -75,21 +82,36 @@ impl Quality {
             let _ = writeln!(f, "{}", ev.encode());
         }
         let alerts = g.monitor.ingest(&ev);
+        g.events += 1;
+        g.alerts += alerts.len() as u64;
         for (name, v) in g.monitor.gauges() {
             gauge(name).set(v);
         }
         drop(g);
-        for a in alerts {
-            event(
-                Level::Info,
-                "quality.alert",
-                &[
-                    ("alert", a.name.into()),
-                    ("value", a.value.into()),
-                    ("threshold", a.threshold.into()),
-                ],
-            );
+        if alerts.is_empty() {
+            return;
         }
+        // Tag alerts with the request that tripped them when one is in
+        // scope (observe runs on the connection-handler thread).
+        let rid = crate::current_request_id();
+        for a in alerts {
+            let mut fields: Vec<(&str, rckt_obs::Value)> = vec![
+                ("alert", a.name.into()),
+                ("value", a.value.into()),
+                ("threshold", a.threshold.into()),
+            ];
+            if let Some(id) = &rid {
+                fields.push(("request_id", id.as_str().into()));
+            }
+            event(Level::Info, "quality.alert", &fields);
+        }
+    }
+
+    /// Lifetime ingestion totals `(events, alerts)` for postmortem
+    /// bundles.
+    pub fn totals(&self) -> (u64, u64) {
+        let g = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        (g.events, g.alerts)
     }
 
     /// The monitor's current quality report — the same lines a replay of

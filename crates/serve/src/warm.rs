@@ -43,6 +43,19 @@ pub enum WarmKind {
     DivergedRebuild,
 }
 
+impl WarmKind {
+    /// Stable lowercase label used in flight-ring request records and
+    /// the postmortem report.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            WarmKind::Append => "append",
+            WarmKind::Replay => "replay",
+            WarmKind::ColdBuild => "cold_build",
+            WarmKind::DivergedRebuild => "diverged_rebuild",
+        }
+    }
+}
+
 /// Per-request warm-path accounting, surfaced as serve metrics.
 #[derive(Clone, Copy, Debug)]
 pub struct WarmStats {
