@@ -230,6 +230,7 @@ fn main() {
             batch_size: 1,
             status: 200,
             warm: "append".to_string(),
+            shard: (i % 4).to_string(),
         };
         let r0 = Instant::now();
         flight.record_request(&rec);

@@ -24,12 +24,24 @@ commands:
   explain   --data <csv> --model <model.json> [--window n]
   audit     --data <csv> --model <model.json> [--groups n]
   serve     --model <model.json> [--port p] [--max-batch n] [--max-queue n]
-            [--window n] [--cache n] [--sessions n] [--deadline-ms n]
-            [--quality-log <csv>] [--postmortem-dir <dir>] [--slo <spec>]
-            [--flight-bytes n]
-            (--slo: comma-separated objectives over the flight-recorded
+            [--workers n] [--conn-threads n] [--window n] [--cache n]
+            [--sessions n] [--deadline-ms n] [--quality-log <csv>]
+            [--postmortem-dir <dir>] [--slo <spec>] [--flight-bytes n]
+            (--workers: batcher shards, students routed by FNV of their
+            id; --conn-threads: fixed connection-handler pool, floods
+            beyond its bounded accept queue are shed with a 503;
+            --slo: comma-separated objectives over the flight-recorded
             endpoints, e.g. \"/predict:avail:99.9,/predict:lat250ms:99,
             min=10\"; default covers /predict and /explain)
+  loadtest  [--model <model.json>] [--preset <name>] [--students n]
+            [--rate req_per_s] [--duration secs] [--clients n]
+            [--workers n] [--conn-threads n] [--max-batch n]
+            [--max-queue n] [--window n] [--sample-out <json>]
+            [--out <jsonl>]  (open-loop load generator: boots an
+            in-process server and replays preset session scripts as
+            append-one /predict steps from thousands of synthetic
+            students; appends p50/p99, throughput, shed rate, and peak
+            per-shard queue depth to results/BENCH_serve.json)
   predict   --model <model.json> --requests <json> [--mode predict|explain]
             [--window n] [--solo true]  (--solo scores each request in its
             own model call — required when byte-comparing mixed-length
@@ -69,7 +81,7 @@ impl fmt::Display for CliError {
 
 impl std::error::Error for CliError {}
 
-fn err(msg: impl Into<String>) -> CliError {
+pub(crate) fn err(msg: impl Into<String>) -> CliError {
     CliError(msg.into())
 }
 
@@ -96,7 +108,7 @@ fn get<'a>(flags: &'a HashMap<String, String>, name: &str) -> Result<&'a str, Cl
         .ok_or_else(|| err(format!("missing --{name}")))
 }
 
-fn get_num<T: std::str::FromStr>(
+pub(crate) fn get_num<T: std::str::FromStr>(
     flags: &HashMap<String, String>,
     name: &str,
     default: T,
@@ -141,6 +153,7 @@ pub fn dispatch(args: &[String]) -> Result<(), CliError> {
         "explain" => explain(&flags),
         "audit" => audit(&flags),
         "serve" => serve(&flags),
+        "loadtest" => crate::loadtest::run(&flags),
         "predict" => predict(&flags),
         "replay-session" => replay_session(&flags),
         "monitor" => monitor(&flags),
@@ -331,6 +344,8 @@ fn serve_config(flags: &HashMap<String, String>) -> Result<rckt_serve::ServeConf
         port: get_num(flags, "port", defaults.port)?,
         max_batch: get_num(flags, "max-batch", defaults.max_batch)?,
         max_queue: get_num(flags, "max-queue", defaults.max_queue)?,
+        workers: get_num(flags, "workers", defaults.workers)?,
+        conn_threads: get_num(flags, "conn-threads", defaults.conn_threads)?,
         window: get_num(flags, "window", defaults.window)?,
         cache_capacity: get_num(flags, "cache", defaults.cache_capacity)?,
         session_capacity: get_num(flags, "sessions", defaults.session_capacity)?,
@@ -726,6 +741,49 @@ mod tests {
         )))
         .unwrap_err();
         assert!(e.0.contains("reading"), "{e}");
+    }
+
+    #[test]
+    fn loadtest_smoke_appends_results_and_samples_a_session() {
+        let dir = std::env::temp_dir().join("rckt_cli_loadtest");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let out = dir.join("bench.jsonl");
+        let sample = dir.join("sample.json");
+        dispatch(&args(&format!(
+            "loadtest --students 12 --scale 0.05 --rate 300 --duration 0.3 \
+             --clients 4 --workers 2 --window 16 --out {} --sample-out {}",
+            out.display(),
+            sample.display()
+        )))
+        .unwrap();
+        // A result row landed with the loadtest metric set.
+        let row = std::fs::read_to_string(&out).unwrap();
+        for key in [
+            "\"p99_ms\"",
+            "\"throughput_rps\"",
+            "\"shed_rate\"",
+            "\"hung\"",
+            "\"max_shard_depth\"",
+        ] {
+            assert!(row.contains(key), "missing {key} in {row}");
+        }
+        // The sampled session is a predict-compatible request file with
+        // one served response body per scheduled step.
+        let body: rckt_serve::PredictBody =
+            serde_json::from_str(&std::fs::read_to_string(&sample).unwrap()).unwrap();
+        assert!(!body.requests.is_empty());
+        let responses = std::fs::read_to_string(format!("{}.responses", sample.display())).unwrap();
+        assert_eq!(responses.trim().lines().count(), body.requests.len());
+        for line in responses.trim().lines() {
+            let r: rckt_serve::PredictResponse = serde_json::from_str(line).unwrap();
+            assert_eq!(r.predictions.len(), 1);
+        }
+
+        let e = dispatch(&args("loadtest --rate 0")).unwrap_err();
+        assert!(e.0.contains("positive"), "{e}");
+        let e = dispatch(&args("loadtest --preset mars")).unwrap_err();
+        assert!(e.0.contains("unknown preset"), "{e}");
     }
 
     #[test]

@@ -2,3 +2,4 @@
 //! parsing and plumbing are unit-testable).
 
 pub mod commands;
+pub mod loadtest;

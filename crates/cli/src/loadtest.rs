@@ -1,0 +1,370 @@
+//! `rckt loadtest` — open-loop load generator for `rckt-serve`.
+//!
+//! Boots an in-process server over the given model (or an untrained one
+//! built from a [`SyntheticSpec`] preset when `--model` is omitted) and
+//! drives it with thousands of concurrent synthetic students. Each
+//! student replays a session script drawn from the preset's generator —
+//! so session lengths and correctness follow the preset's distribution —
+//! as append-one `/predict` steps, preserving per-student request order.
+//!
+//! The generator is **open-loop**: every request has a scheduled fire
+//! time (`k / rate` seconds into the run) that does not move when the
+//! server slows down. A lane that falls behind schedule fires
+//! immediately, so an overloaded server sees the backlog it would see in
+//! production instead of the implicit back-off a closed-loop client
+//! applies. Results — p50/p99 latency, throughput, shed rate, hung
+//! connections, and the peak per-shard queue depth sampled while the run
+//! was live — are appended to `results/BENCH_serve.json`.
+//!
+//! `--sample-out` additionally records one student's full session: the
+//! request file is `rckt predict`-compatible and the served response
+//! bodies land next to it (one per line), so CI can byte-compare the
+//! sampled session against `rckt predict --solo true` at any worker
+//! count.
+
+use crate::commands::{err, get_num, CliError};
+use rckt::{Backbone, Rckt, RcktConfig};
+use rckt_data::SyntheticSpec;
+use rckt_serve::{Engine, HistoryItem, PredictBody, PredictRequest, ServeConfig};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// One scheduled request: fire time offset, owning student, prebuilt
+/// body, and its position within the student's session (for sampling).
+struct Shot {
+    fire_at: Duration,
+    student: u32,
+    step: usize,
+    body: Arc<String>,
+}
+
+/// Per-lane tally, merged after the lanes join.
+#[derive(Default)]
+struct Tally {
+    latencies_ms: Vec<f64>,
+    completed: usize,
+    shed: usize,
+    hung: usize,
+    errors: usize,
+    /// `(step, response body)` for the sampled student's requests.
+    sample: Vec<(usize, String)>,
+}
+
+fn quantile(sorted_ms: &[f64], q: f64) -> f64 {
+    if sorted_ms.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted_ms.len() as f64 - 1.0) * q).round() as usize;
+    sorted_ms[idx.min(sorted_ms.len() - 1)]
+}
+
+fn preset_spec(name: &str) -> Result<SyntheticSpec, CliError> {
+    match name {
+        "assist09" => Ok(SyntheticSpec::assist09()),
+        "assist12" => Ok(SyntheticSpec::assist12()),
+        "slepemapy" => Ok(SyntheticSpec::slepemapy()),
+        "eedi" => Ok(SyntheticSpec::eedi()),
+        other => Err(err(format!("unknown preset {other:?}"))),
+    }
+}
+
+pub fn run(flags: &HashMap<String, String>) -> Result<(), CliError> {
+    let preset = flags
+        .get("preset")
+        .map(|s| s.as_str())
+        .unwrap_or("assist09");
+    let spec = preset_spec(preset)?;
+    let scale: f64 = get_num(flags, "scale", 0.2)?;
+    let students: usize = get_num(flags, "students", 1000)?;
+    let rate: f64 = get_num(flags, "rate", 500.0)?;
+    let duration: f64 = get_num(flags, "duration", 5.0)?;
+    let clients: usize = get_num(flags, "clients", 16usize)?.max(1);
+    let seed: u64 = get_num(flags, "seed", 0)?;
+    let out = flags
+        .get("out")
+        .map(|s| s.as_str())
+        .unwrap_or("results/BENCH_serve.json");
+    if students == 0 || rate <= 0.0 || duration <= 0.0 {
+        return Err(err("--students, --rate, and --duration must be positive"));
+    }
+
+    let defaults = ServeConfig::default();
+    let cfg = ServeConfig {
+        max_batch: get_num(flags, "max-batch", 16usize)?,
+        max_queue: get_num(flags, "max-queue", 256usize)?,
+        workers: get_num(flags, "workers", 2usize)?,
+        conn_threads: get_num(flags, "conn-threads", defaults.conn_threads)?,
+        window: get_num(flags, "window", defaults.window)?,
+        ..ServeConfig::default()
+    };
+
+    // The serving engine: a trained model file, or an untrained model
+    // over the preset's own question/concept space (latency and queueing
+    // behavior don't depend on the weights being fit).
+    let script_ds = spec.scaled(scale).generate();
+    let engine = match flags.get("model") {
+        Some(path) => Engine::from_file(path, &cfg).map_err(err)?,
+        None => {
+            let model = Rckt::new(
+                Backbone::Dkt,
+                script_ds.num_questions(),
+                script_ds.num_concepts(),
+                RcktConfig {
+                    dim: get_num(flags, "dim", 16)?,
+                    seed,
+                    ..Default::default()
+                },
+            );
+            Engine::from_json(&model.export_with_qmatrix(&script_ds.q_matrix), &cfg).map_err(err)?
+        }
+    };
+    let known = engine.model.num_questions().min(engine.qm.num_questions()) as u32;
+    if known < 2 {
+        return Err(err("model knows fewer than 2 questions"));
+    }
+    // Preset question ids are folded into the model's id space so a
+    // loadtest script always validates against whatever model is loaded.
+    let remap = |q: u32| -> u32 { 1 + (q.saturating_sub(1) % (known - 1)) };
+
+    // Session scripts: synthetic student `i` replays preset sequence
+    // `i % len` under its own id, so any `--students` count gets the
+    // preset's session-length distribution.
+    let seqs = &script_ds.sequences;
+    if seqs.is_empty() {
+        return Err(err("preset generated no sequences; raise --scale"));
+    }
+    let hist_cap = cfg.window.saturating_sub(1).max(1);
+    let mut scripts: Vec<Vec<(Arc<String>, PredictRequest)>> = Vec::with_capacity(students);
+    for i in 0..students {
+        let seq = &seqs[i % seqs.len()];
+        let mut steps = Vec::with_capacity(seq.interactions.len());
+        for (t, it) in seq.interactions.iter().enumerate() {
+            let history: Vec<HistoryItem> = seq.interactions[t.saturating_sub(hist_cap)..t]
+                .iter()
+                .map(|h| HistoryItem {
+                    question: remap(h.question),
+                    correct: h.correct,
+                })
+                .collect();
+            let req = PredictRequest {
+                student: i as u32,
+                history,
+                target_question: remap(it.question),
+            };
+            let body = serde_json::to_string(&PredictBody {
+                requests: vec![req.clone()],
+                deadline_ms: None,
+            })
+            .expect("body serialization");
+            steps.push((Arc::new(body), req));
+        }
+        scripts.push(steps);
+    }
+
+    // Open-loop schedule: interleave students step by step (every active
+    // session advances once per round) and pin shot `k` to `k / rate`.
+    let total = ((rate * duration) as usize).max(1);
+    let mut shots: Vec<Shot> = Vec::with_capacity(total);
+    let mut cursors = vec![0usize; students];
+    let mut exhausted = 0usize;
+    while shots.len() < total && exhausted < students {
+        exhausted = 0;
+        for (s, script) in scripts.iter().enumerate() {
+            if shots.len() >= total {
+                break;
+            }
+            let t = cursors[s];
+            if t >= script.len() {
+                exhausted += 1;
+                continue;
+            }
+            cursors[s] = t + 1;
+            shots.push(Shot {
+                fire_at: Duration::from_secs_f64(shots.len() as f64 / rate),
+                student: s as u32,
+                step: t,
+                body: Arc::clone(&script[t].0),
+            });
+        }
+    }
+    let total = shots.len();
+
+    // The sampled student: the longest session actually scheduled, so
+    // the byte-compare covers a real multi-step warm-path session.
+    let sample_student = (0..students)
+        .max_by_key(|&s| cursors[s])
+        .map(|s| s as u32)
+        .unwrap_or(0);
+
+    let server = rckt_serve::start(Arc::new(engine), &cfg)
+        .map_err(|e| err(format!("cannot bind loadtest server: {e}")))?;
+    let port = server.port();
+    println!(
+        "loadtest — {total} requests over {students} students ({preset} sessions), \
+         {rate:.0} req/s open-loop for {duration:.1}s, {clients} client lanes, \
+         {} shards × queue {} on 127.0.0.1:{port}",
+        cfg.workers.max(1),
+        cfg.max_queue
+    );
+
+    // Partition shots across lanes by student so per-student order is
+    // preserved no matter how far any lane falls behind.
+    let mut lanes: Vec<Vec<Shot>> = (0..clients).map(|_| Vec::new()).collect();
+    for shot in shots {
+        lanes[shot.student as usize % clients].push(shot);
+    }
+
+    let running = AtomicBool::new(true);
+    let max_depths: Mutex<Vec<usize>> = Mutex::new(vec![0; cfg.workers.max(1)]);
+    let start_at = Instant::now() + Duration::from_millis(50);
+    let mut tallies: Vec<Tally> = Vec::new();
+    std::thread::scope(|scope| {
+        // Depth sampler: peak per-shard queue depth while lanes fire.
+        let sampler = scope.spawn(|| {
+            while running.load(Ordering::Relaxed) {
+                let depths = server.shard_queue_depths();
+                let mut max = max_depths.lock().unwrap_or_else(|e| e.into_inner());
+                for (m, d) in max.iter_mut().zip(&depths) {
+                    *m = (*m).max(*d);
+                }
+                drop(max);
+                std::thread::sleep(Duration::from_millis(10));
+            }
+        });
+        let handles: Vec<_> = lanes
+            .into_iter()
+            .map(|lane| {
+                scope.spawn(move || {
+                    let mut tally = Tally::default();
+                    for shot in &lane {
+                        let due = start_at + shot.fire_at;
+                        let now = Instant::now();
+                        if due > now {
+                            std::thread::sleep(due - now);
+                        }
+                        let t0 = Instant::now();
+                        match rckt_serve::http_request(port, "POST", "/predict", &shot.body) {
+                            Ok((status, body)) if status.contains("200") => {
+                                tally.completed += 1;
+                                tally.latencies_ms.push(t0.elapsed().as_secs_f64() * 1e3);
+                                if shot.student == sample_student {
+                                    tally.sample.push((shot.step, body));
+                                }
+                            }
+                            Ok((status, _)) if status.contains("503") => tally.shed += 1,
+                            Ok((status, _)) if status.is_empty() => tally.hung += 1,
+                            Ok(_) => tally.errors += 1,
+                            Err(_) => tally.hung += 1,
+                        }
+                    }
+                    tally
+                })
+            })
+            .collect();
+        for h in handles {
+            tallies.push(h.join().expect("client lane"));
+        }
+        running.store(false, Ordering::Relaxed);
+        let _ = sampler.join();
+    });
+    let wall = Instant::now()
+        .saturating_duration_since(start_at)
+        .as_secs_f64()
+        .max(1e-9);
+    server.stop();
+
+    let mut merged = Tally::default();
+    for mut t in tallies {
+        merged.latencies_ms.append(&mut t.latencies_ms);
+        merged.completed += t.completed;
+        merged.shed += t.shed;
+        merged.hung += t.hung;
+        merged.errors += t.errors;
+        merged.sample.append(&mut t.sample);
+    }
+    merged
+        .latencies_ms
+        .sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let p50 = quantile(&merged.latencies_ms, 0.50);
+    let p99 = quantile(&merged.latencies_ms, 0.99);
+    let throughput = merged.completed as f64 / wall;
+    let shed_rate = merged.shed as f64 / total.max(1) as f64;
+    let depths = max_depths.into_inner().unwrap_or_else(|e| e.into_inner());
+    let max_depth = depths.iter().copied().max().unwrap_or(0);
+
+    println!(
+        "done in {wall:.2}s — {} ok, {} shed ({:.1}%), {} hung, {} errors",
+        merged.completed,
+        merged.shed,
+        shed_rate * 100.0,
+        merged.hung,
+        merged.errors,
+    );
+    println!("latency p50 {p50:.3} ms  p99 {p99:.3} ms  throughput {throughput:.1} req/s");
+    println!(
+        "peak shard queue depths: [{}]",
+        depths
+            .iter()
+            .map(|d| d.to_string())
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
+
+    // The sampled session, written in `rckt predict` shape for the CI
+    // byte-compare (responses land next to it, one body per line). Only
+    // steps that actually completed are written, so the request file and
+    // the response file stay aligned 1:1 even if some steps were shed —
+    // each request is independently solo-scorable, so dropping a shed
+    // step never changes another step's oracle score.
+    if let Some(path) = flags.get("sample-out") {
+        merged.sample.sort_by_key(|(step, _)| *step);
+        let script = &scripts[sample_student as usize];
+        let scheduled = cursors[sample_student as usize];
+        let reqs: Vec<PredictRequest> = merged
+            .sample
+            .iter()
+            .map(|(step, _)| script[*step].1.clone())
+            .collect();
+        let body = serde_json::to_string(&PredictBody {
+            requests: reqs,
+            deadline_ms: None,
+        })
+        .expect("sample serialization");
+        std::fs::write(path, body).map_err(|e| err(format!("writing {path}: {e}")))?;
+        let responses: Vec<String> = merged.sample.into_iter().map(|(_, b)| b).collect();
+        let resp_path = format!("{path}.responses");
+        std::fs::write(&resp_path, responses.join("\n") + "\n")
+            .map_err(|e| err(format!("writing {resp_path}: {e}")))?;
+        println!(
+            "sampled student {sample_student}: {} / {scheduled} completed steps → {path}(.responses)",
+            responses.len()
+        );
+    }
+
+    let manifest = rckt_obs::RunManifest::capture("loadtest", seed, None)
+        .config("preset", preset)
+        .config("students", students)
+        .config("rate", rate)
+        .config("duration", duration)
+        .config("clients", clients)
+        .config("workers", cfg.workers.max(1))
+        .config("conn_threads", cfg.conn_threads.max(1))
+        .config("max_batch", cfg.max_batch)
+        .config("max_queue", cfg.max_queue)
+        .result("p50_ms", p50)
+        .result("p99_ms", p99)
+        .result("throughput_rps", throughput)
+        .result("shed_rate", shed_rate)
+        .result("completed", merged.completed as f64)
+        .result("shed", merged.shed as f64)
+        .result("hung", merged.hung as f64)
+        .result("errors", merged.errors as f64)
+        .result("max_shard_depth", max_depth as f64);
+    manifest
+        .append_jsonl(out)
+        .map_err(|e| err(format!("cannot append {out}: {e}")))?;
+    println!("appended loadtest row to {out}");
+    Ok(())
+}

@@ -71,11 +71,14 @@ pub struct RequestRecord {
     /// `diverged_rebuild`, `cache` (session-cache hit), or `-` when the
     /// request never reached the model (errors, non-inference paths).
     pub warm: String,
+    /// Batcher shard that answered the request (`"0"`, `"1"`, …), or `-`
+    /// when it never reached a shard (errors, non-inference paths).
+    pub shard: String,
 }
 
 impl RequestRecord {
     fn encode(&self) -> String {
-        // Fixed shape: 11 keys + scalar values fit comfortably in 256
+        // Fixed shape: 12 keys + scalar values fit comfortably in 256
         // bytes, so the hot path is one allocation.
         let mut o = Obj::with_capacity(256);
         o.f64("ts", self.ts)
@@ -88,7 +91,8 @@ impl RequestRecord {
             .u64("total_micros", self.total_micros)
             .u64("batch", self.batch_size)
             .u64("status", self.status)
-            .str("warm", &self.warm);
+            .str("warm", &self.warm)
+            .str("shard", &self.shard);
         o.finish()
     }
 }
@@ -289,6 +293,7 @@ mod tests {
             batch_size: 1,
             status: 200,
             warm: "append".to_string(),
+            shard: "0".to_string(),
         }
     }
 
@@ -408,6 +413,7 @@ mod tests {
         assert_eq!(req.get("request_id").unwrap().as_str(), Some("req-7"));
         assert_eq!(req.get("status").unwrap().as_f64(), Some(200.0));
         assert_eq!(req.get("warm").unwrap().as_str(), Some("append"));
+        assert_eq!(req.get("shard").unwrap().as_str(), Some("0"));
         let ev = &snap.get("events").unwrap().as_array().unwrap()[0];
         assert_eq!(ev.get("event").unwrap().as_str(), Some("unit.snap"));
         match ev.get("fields").unwrap().get("s") {

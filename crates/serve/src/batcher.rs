@@ -1,24 +1,37 @@
-//! Micro-batching core: a bounded request queue drained by one worker
-//! thread that fuses same-kind jobs into a single `predict_targets` /
-//! `influences_exact` call. Because every eval op computes batch rows
-//! independently (and windows are padded to one fixed length), fusing is
-//! invisible in the output bits — a request answered in a wave of 8 is
-//! byte-identical to the same request answered alone.
+//! Micro-batching core: a fleet of bounded request queues, each drained
+//! by its own worker thread that fuses same-kind jobs into a single
+//! `predict_targets` / `influences_exact` call. Because every eval op
+//! computes batch rows independently (and windows are padded to one fixed
+//! length), fusing is invisible in the output bits — a request answered
+//! in a wave of 8 is byte-identical to the same request answered alone,
+//! at any shard count.
 //!
-//! The queue is bounded: a full queue sheds load with
+//! Sharding ([`Fleet`]) routes each job by FNV-1a of its student id, so
+//! one student's consecutive append-one requests always land on the same
+//! shard in arrival order — the warm path's session state never sees
+//! interleaved writers.
+//!
+//! Each queue is bounded: a full queue sheds load with
 //! [`ApiError::Overloaded`] (the HTTP layer turns that into a 503 +
 //! `Retry-After`) instead of letting latency grow without bound, and a
-//! draining server rejects new work while the worker finishes what was
+//! draining server rejects new work while the workers finish what was
 //! already accepted.
+//!
+//! A panicking wave does not wedge its shard: the worker catches the
+//! unwind, answers everything still queued with a 500 (the in-flight
+//! wave's reply channels die with the unwind, which the HTTP layer also
+//! turns into 500s), and keeps serving the next wave. No client ever
+//! hangs until its socket timeout waiting on a dead worker.
 
 use crate::api::{self, ApiError, ExplainRequest, PredictRequest};
 use crate::cache::{Outcome, SessionCache, SessionKey, SessionStore};
-use crate::warm;
+use crate::{lock_recover, warm};
 use rckt::Rckt;
 use rckt_data::QMatrix;
 use rckt_obs::{counter, gauge, histogram, histogram_with};
 use std::collections::{HashMap, VecDeque};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::panic::AssertUnwindSafe;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::Instant;
@@ -101,6 +114,8 @@ pub struct JobTiming {
     /// Warm-path classification when the job went through the session
     /// store; `None` for cache hits, fused cold batches, and explains.
     pub warm: Option<crate::warm::WarmKind>,
+    /// Which shard's worker answered the job.
+    pub shard: usize,
 }
 
 /// A reply to one job: body position, outcome, timing breakdown.
@@ -117,6 +132,11 @@ pub struct Job {
     /// [`ApiError::DeadlineExceeded`] instead of being computed.
     pub deadline: Option<Instant>,
     pub reply: mpsc::Sender<JobReply>,
+    /// Test-only panic injection (`RCKT_SERVE_TEST_PANIC=1` plus an
+    /// `x-rckt-test-panic: wave` header): the wave that picks this job up
+    /// panics mid-flight, exercising the shard-restart path end to end.
+    /// Never set in production.
+    pub poison: bool,
 }
 
 struct Shared {
@@ -127,16 +147,66 @@ struct Shared {
     draining: AtomicBool,
     max_queue: usize,
     max_batch: usize,
+    /// This shard's index within its [`Fleet`] (0 for a standalone
+    /// batcher), baked into thread names and the per-shard metric names.
+    shard: usize,
+    /// Pre-rendered per-shard metric names (`serve.shard.<i>.depth`,
+    /// `serve.shard.<i>.restarts`) so the hot paths don't format strings.
+    depth_gauge: String,
+    restart_counter: String,
+    /// Jobs queued across the whole fleet, kept in lockstep with the
+    /// per-shard queues so the aggregate `serve.queue.depth` gauge stays
+    /// consistent without locking every shard.
+    fleet_depth: Arc<AtomicUsize>,
 }
 
-/// The bounded queue plus its single worker thread.
+impl Shared {
+    /// Publish queue-depth gauges from a depth observed *under* the queue
+    /// lock and a signed fleet-wide delta — never from a re-lock that
+    /// could race with concurrent pushes.
+    fn publish_depth(&self, shard_depth: usize, fleet_delta: isize) {
+        gauge(&self.depth_gauge).set(shard_depth as f64);
+        let total = if fleet_delta >= 0 {
+            self.fleet_depth
+                .fetch_add(fleet_delta as usize, Ordering::AcqRel)
+                + fleet_delta as usize
+        } else {
+            self.fleet_depth
+                .fetch_sub((-fleet_delta) as usize, Ordering::AcqRel)
+                .saturating_sub((-fleet_delta) as usize)
+        };
+        gauge("serve.queue.depth").set(total as f64);
+    }
+}
+
+/// One bounded queue plus its worker thread — a single shard. Use
+/// [`Fleet`] for the student-keyed multi-shard front end.
 pub struct Batcher {
     shared: Arc<Shared>,
     worker: Mutex<Option<JoinHandle<()>>>,
 }
 
 impl Batcher {
+    /// A standalone single-shard batcher (shard id 0, its own depth
+    /// accounting). Equivalent to `Fleet::start(.., 1, ..)` minus the
+    /// routing layer; kept for tests and embedding.
     pub fn start(engine: Arc<Engine>, max_batch: usize, max_queue: usize) -> Batcher {
+        Batcher::start_shard(
+            engine,
+            0,
+            max_batch,
+            max_queue,
+            Arc::new(AtomicUsize::new(0)),
+        )
+    }
+
+    fn start_shard(
+        engine: Arc<Engine>,
+        shard: usize,
+        max_batch: usize,
+        max_queue: usize,
+        fleet_depth: Arc<AtomicUsize>,
+    ) -> Batcher {
         let shared = Arc::new(Shared {
             engine,
             queue: Mutex::new(VecDeque::new()),
@@ -145,10 +215,14 @@ impl Batcher {
             draining: AtomicBool::new(false),
             max_queue,
             max_batch: max_batch.max(1),
+            shard,
+            depth_gauge: format!("serve.shard.{shard}.depth"),
+            restart_counter: format!("serve.shard.{shard}.restarts"),
+            fleet_depth,
         });
         let worker_shared = Arc::clone(&shared);
         let worker = std::thread::Builder::new()
-            .name("rckt-serve-batcher".to_string())
+            .name(format!("rckt-serve-batcher-{shard}"))
             .spawn(move || worker_loop(&worker_shared))
             .expect("spawn batcher worker");
         Batcher {
@@ -165,14 +239,15 @@ impl Batcher {
         if self.shared.draining.load(Ordering::Acquire) {
             return Err(ApiError::Draining);
         }
-        let mut q = self.shared.queue.lock().unwrap();
+        let mut q = lock_recover(&self.shared.queue);
         if q.len() >= self.shared.max_queue {
             counter("serve.requests.shed").incr();
             return Err(ApiError::Overloaded);
         }
         q.push_back(job);
-        gauge("serve.queue.depth").set(q.len() as f64);
+        let depth = q.len();
         drop(q);
+        self.shared.publish_depth(depth, 1);
         self.shared.cv.notify_one();
         Ok(())
     }
@@ -188,7 +263,7 @@ impl Batcher {
     }
 
     pub fn queue_depth(&self) -> usize {
-        self.shared.queue.lock().unwrap().len()
+        lock_recover(&self.shared.queue).len()
     }
 
     /// Graceful shutdown: reject new work, let the worker finish every
@@ -197,7 +272,7 @@ impl Batcher {
         self.shared.draining.store(true, Ordering::Release);
         self.shared.stop.store(true, Ordering::Release);
         self.shared.cv.notify_all();
-        if let Some(handle) = self.worker.lock().unwrap().take() {
+        if let Some(handle) = lock_recover(&self.worker).take() {
             let _ = handle.join();
         }
     }
@@ -209,22 +284,137 @@ impl Drop for Batcher {
     }
 }
 
+/// N batcher shards fronted by a student-keyed router. The shard for a
+/// student is `fnv1a(student_le_bytes) % workers`, so one student's
+/// requests — and therefore their warm-path session state and memo
+/// entries — always live on exactly one shard, preserving append-one
+/// ordering per student at any worker count. Each shard owns a
+/// `max_queue`-deep queue (capacity scales with workers).
+pub struct Fleet {
+    shards: Vec<Batcher>,
+}
+
+impl Fleet {
+    pub fn start(engine: Arc<Engine>, workers: usize, max_batch: usize, max_queue: usize) -> Fleet {
+        let workers = workers.max(1);
+        let fleet_depth = Arc::new(AtomicUsize::new(0));
+        let shards: Vec<Batcher> = (0..workers)
+            .map(|i| {
+                Batcher::start_shard(
+                    Arc::clone(&engine),
+                    i,
+                    max_batch,
+                    max_queue,
+                    Arc::clone(&fleet_depth),
+                )
+            })
+            .collect();
+        // Publish the per-shard families at zero so a scrape taken before
+        // any traffic still shows every shard.
+        for s in &shards {
+            gauge(&s.shared.depth_gauge).set(0.0);
+        }
+        gauge("serve.workers").set(workers as f64);
+        Fleet { shards }
+    }
+
+    pub fn workers(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The shard that owns a student's requests.
+    pub fn shard_of(&self, student: u32) -> usize {
+        (crate::fnv1a(&student.to_le_bytes()) % self.shards.len() as u64) as usize
+    }
+
+    /// Route a job to its student's shard.
+    pub fn submit(&self, job: Job) -> Result<(), ApiError> {
+        self.shards[self.shard_of(job.key.student)].submit(job)
+    }
+
+    pub fn begin_drain(&self) {
+        for s in &self.shards {
+            s.begin_drain();
+        }
+    }
+
+    pub fn is_draining(&self) -> bool {
+        self.shards.iter().any(Batcher::is_draining)
+    }
+
+    /// Per-shard queue depths, indexed by shard id.
+    pub fn queue_depths(&self) -> Vec<usize> {
+        self.shards.iter().map(Batcher::queue_depth).collect()
+    }
+
+    pub fn queue_depth(&self) -> usize {
+        self.queue_depths().iter().sum()
+    }
+
+    pub fn drain_and_stop(&self) {
+        for s in &self.shards {
+            s.drain_and_stop();
+        }
+    }
+}
+
 fn worker_loop(shared: &Shared) {
     loop {
-        let wave = {
-            let mut q = shared.queue.lock().unwrap();
+        let (wave, depth) = {
+            let mut q = lock_recover(&shared.queue);
             loop {
                 if !q.is_empty() {
-                    break take_wave(&mut q, shared.max_batch);
+                    let wave = take_wave(&mut q, shared.max_batch);
+                    // Depth observed under the same lock that popped the
+                    // wave; re-locking after the pop would race with
+                    // concurrent pushes and publish a stale value.
+                    break (wave, q.len());
                 }
                 if shared.stop.load(Ordering::Acquire) {
                     return;
                 }
-                q = shared.cv.wait(q).unwrap();
+                q = shared.cv.wait(q).unwrap_or_else(|e| e.into_inner());
             }
         };
-        gauge("serve.queue.depth").set(shared.queue.lock().unwrap().len() as f64);
-        process_wave(&shared.engine, wave);
+        let taken = wave.len();
+        shared.publish_depth(depth, -(taken as isize));
+        run_wave_guarded(shared, wave);
+    }
+}
+
+/// Run one wave, surviving a panic inside it. On an unwind the wave's
+/// jobs die with it — their reply senders drop, which the HTTP layer
+/// answers as 500s — and everything still queued behind the wave is
+/// answered with an explicit 500 so no client waits on work this worker
+/// will never do. The loop then continues: the shard has restarted and
+/// the next wave is served normally.
+fn run_wave_guarded(shared: &Shared, wave: Vec<Job>) {
+    let caught = std::panic::catch_unwind(AssertUnwindSafe(|| {
+        process_wave(&shared.engine, shared.shard, wave);
+    }));
+    if caught.is_err() {
+        counter("serve.worker.panics").incr();
+        counter(&shared.restart_counter).incr();
+        let queued: Vec<Job> = {
+            let mut q = lock_recover(&shared.queue);
+            q.drain(..).collect()
+        };
+        let failed = queued.len();
+        for job in queued {
+            let t = JobTiming {
+                queue_secs: job.enqueued.elapsed().as_secs_f64(),
+                shard: shared.shard,
+                ..JobTiming::default()
+            };
+            let _ = job.reply.send((
+                job.index,
+                Err(ApiError::Internal(
+                    "batch worker panicked; request failed during shard restart".to_string(),
+                )),
+                t,
+            ));
+        }
+        shared.publish_depth(0, -(failed as isize));
     }
 }
 
@@ -249,8 +439,14 @@ fn take_wave(q: &mut VecDeque<Job>, max_batch: usize) -> Vec<Job> {
 /// Every reply carries its [`JobTiming`]; the wave itself records a
 /// `serve/wave` span so per-request trace events can be attributed to
 /// the wave that computed them.
-pub(crate) fn process_wave(engine: &Engine, jobs: Vec<Job>) {
+pub(crate) fn process_wave(engine: &Engine, shard: usize, jobs: Vec<Job>) {
     let _wave = rckt_obs::span("serve/wave");
+    if jobs.iter().any(|j| j.poison) {
+        // Test-only injection (see `Job::poison`): die exactly where a
+        // real model-call panic would, with the rest of the wave in
+        // flight and jobs still queued behind it.
+        panic!("test wave panic requested on shard {shard}");
+    }
     let now = Instant::now();
     let wave_size = jobs.len();
     let queue_seconds = histogram("serve.queue.seconds");
@@ -264,6 +460,7 @@ pub(crate) fn process_wave(engine: &Engine, jobs: Vec<Job>) {
         batch_size: wave_size,
         cache_hit,
         warm: None,
+        shard,
     };
 
     let mut live: Vec<Job> = Vec::with_capacity(jobs.len());
@@ -486,6 +683,7 @@ mod tests {
             enqueued: Instant::now(),
             deadline,
             reply: tx,
+            poison: false,
         };
         (j, rx)
     }
@@ -495,7 +693,7 @@ mod tests {
         let eng = engine();
         let past = Instant::now() - Duration::from_millis(50);
         let (j, rx) = job(&eng, JobRequest::Predict(predict_req(0, 3)), 7, Some(past));
-        process_wave(&eng, vec![j]);
+        process_wave(&eng, 0, vec![j]);
         let (idx, result, timing) = rx.recv().unwrap();
         assert_eq!(idx, 7);
         assert_eq!(result.unwrap_err(), ApiError::DeadlineExceeded);
@@ -520,7 +718,7 @@ mod tests {
             jobs.push(j);
             rxs.push(rx);
         }
-        process_wave(&eng, jobs);
+        process_wave(&eng, 0, jobs);
         for (i, rx) in rxs.iter().enumerate() {
             let (idx, result, timing) = rx.recv().unwrap();
             assert_eq!(idx, i);
@@ -542,7 +740,7 @@ mod tests {
         let r = predict_req(5, 3);
         let (j1, rx1) = job(&eng, JobRequest::Predict(r.clone()), 0, None);
         let (j2, rx2) = job(&eng, JobRequest::Predict(r.clone()), 1, None);
-        process_wave(&eng, vec![j1, j2]);
+        process_wave(&eng, 0, vec![j1, j2]);
         let a = rx1.recv().unwrap().1.unwrap();
         let b = rx2.recv().unwrap().1.unwrap();
         match (&a, &b) {
@@ -555,7 +753,7 @@ mod tests {
         // A later wave with the same request is a pure cache hit, and
         // the reply's timing says so.
         let (j3, rx3) = job(&eng, JobRequest::Predict(r), 0, None);
-        process_wave(&eng, vec![j3]);
+        process_wave(&eng, 0, vec![j3]);
         let (_, result, timing) = rx3.recv().unwrap();
         assert!(result.is_ok());
         assert!(timing.cache_hit, "repeat request must be a cache hit");
@@ -583,7 +781,7 @@ mod tests {
             target: None,
         };
         let (je, rxe) = job(&eng, JobRequest::Explain(er), 0, None);
-        process_wave(&eng, vec![jp, je]);
+        process_wave(&eng, 0, vec![jp, je]);
         assert!(matches!(
             rxp.recv().unwrap().1.unwrap(),
             Outcome::Predict(_)
@@ -623,6 +821,7 @@ mod tests {
                 enqueued: Instant::now(),
                 deadline: None,
                 reply: tx.clone(),
+                poison: false,
             })
             .unwrap();
         }
@@ -678,7 +877,7 @@ mod tests {
             jobs.push(j);
             rxs.push(rx);
         }
-        process_wave(&eng, jobs);
+        process_wave(&eng, 0, jobs);
         for (n, rx) in rxs.iter().enumerate() {
             let solo =
                 api::predict_batch(&eng.model, &eng.qm, &reqs[n..n + 1], eng.window).unwrap();
@@ -704,7 +903,7 @@ mod tests {
         let bad = history_req(2, &[(999_999, true)], 2);
         let (jg, rxg) = job(&eng, JobRequest::Predict(good.clone()), 0, None);
         let (jb, rxb) = job(&eng, JobRequest::Predict(bad), 1, None);
-        process_wave(&eng, vec![jg, jb]);
+        process_wave(&eng, 0, vec![jg, jb]);
         let solo = api::predict_batch(&eng.model, &eng.qm, &[good], eng.window).unwrap();
         match rxg.recv().unwrap().1.unwrap() {
             Outcome::Predict(p) => {
@@ -716,5 +915,176 @@ mod tests {
             rxb.recv().unwrap().1.unwrap_err(),
             ApiError::BadRequest(m) if m.contains("999999")
         ));
+    }
+
+    /// A `Shared` with no worker thread attached, so tests can stage the
+    /// queue and drive `run_wave_guarded` deterministically.
+    fn bare_shared(eng: &Arc<Engine>, max_batch: usize) -> Shared {
+        Shared {
+            engine: Arc::clone(eng),
+            queue: Mutex::new(VecDeque::new()),
+            cv: Condvar::new(),
+            stop: AtomicBool::new(false),
+            draining: AtomicBool::new(false),
+            max_queue: 64,
+            max_batch,
+            shard: 0,
+            depth_gauge: "serve.shard.0.depth".to_string(),
+            restart_counter: "serve.shard.0.restarts".to_string(),
+            fleet_depth: Arc::new(AtomicUsize::new(0)),
+        }
+    }
+
+    #[test]
+    fn panicking_wave_fails_queued_jobs_with_500_and_keeps_serving() {
+        let eng = engine();
+        let shared = bare_shared(&eng, 1);
+
+        // Stage: three jobs queued behind the wave that will panic.
+        let mut queued_rxs = Vec::new();
+        for i in 0..3 {
+            let (j, rx) = job(
+                &eng,
+                JobRequest::Predict(predict_req(i, 3)),
+                i as usize,
+                None,
+            );
+            lock_recover(&shared.queue).push_back(j);
+            queued_rxs.push(rx);
+        }
+        shared.fleet_depth.store(4, Ordering::SeqCst);
+        let (mut poison, poison_rx) = job(&eng, JobRequest::Predict(predict_req(9, 3)), 0, None);
+        poison.poison = true;
+
+        run_wave_guarded(&shared, vec![poison]);
+
+        // The in-flight job's reply sender died with the unwind: the HTTP
+        // layer maps that recv error to a 500.
+        assert!(
+            poison_rx.recv().is_err(),
+            "in-flight job's channel must be dropped by the unwind"
+        );
+        // Every queued job is answered with an explicit 500 — not left to
+        // hang until a socket timeout.
+        for rx in &queued_rxs {
+            let (_, result, t) = rx.recv().unwrap();
+            assert!(
+                matches!(result.unwrap_err(), ApiError::Internal(m) if m.contains("panicked")),
+                "queued job must fail with a worker-panic 500"
+            );
+            assert_eq!(t.shard, 0);
+        }
+        assert!(lock_recover(&shared.queue).is_empty());
+        assert_eq!(shared.fleet_depth.load(Ordering::SeqCst), 1);
+
+        // Restart semantics: the same shard serves the next wave normally.
+        let (j, rx) = job(&eng, JobRequest::Predict(predict_req(1, 4)), 0, None);
+        run_wave_guarded(&shared, vec![j]);
+        let (_, result, _) = rx.recv().unwrap();
+        assert!(
+            matches!(result.unwrap(), Outcome::Predict(_)),
+            "wave after a panic must be served by the restarted worker"
+        );
+    }
+
+    #[test]
+    fn live_batcher_survives_a_poison_wave() {
+        let eng = engine();
+        let b = Batcher::start(Arc::clone(&eng), 1, 64);
+        let req = JobRequest::Predict(predict_req(3, 4));
+        let (tx, rx) = mpsc::channel();
+        b.submit(Job {
+            key: cache_key(eng.model_hash, &req),
+            req,
+            index: 0,
+            enqueued: Instant::now(),
+            deadline: None,
+            reply: tx,
+            poison: true,
+        })
+        .unwrap();
+        assert!(
+            rx.recv_timeout(Duration::from_secs(30)).is_err(),
+            "poisoned job's reply channel dies with the unwind"
+        );
+        // The worker thread caught the unwind and keeps draining: a fresh
+        // job on the same shard succeeds.
+        let (j, rx) = job(&eng, JobRequest::Predict(predict_req(4, 5)), 0, None);
+        b.submit(j).unwrap();
+        let (_, result, _) = rx.recv_timeout(Duration::from_secs(30)).unwrap();
+        assert!(result.is_ok(), "shard must serve requests after a panic");
+        b.drain_and_stop();
+    }
+
+    #[test]
+    fn fleet_routes_by_student_and_matches_offline_bitwise() {
+        let eng = engine();
+        let fleet = Fleet::start(Arc::clone(&eng), 4, 8, 64);
+        assert_eq!(fleet.workers(), 4);
+        let reqs: Vec<PredictRequest> = (0..12).map(|s| predict_req(s, 3)).collect();
+        let oracle = api::predict_batch(&eng.model, &eng.qm, &reqs, eng.window).unwrap();
+        let (tx, rx) = mpsc::channel();
+        for (i, r) in reqs.iter().enumerate() {
+            let req = JobRequest::Predict(r.clone());
+            fleet
+                .submit(Job {
+                    key: cache_key(eng.model_hash, &req),
+                    req,
+                    index: i,
+                    enqueued: Instant::now(),
+                    deadline: None,
+                    reply: tx.clone(),
+                    poison: false,
+                })
+                .unwrap();
+        }
+        let mut scores = vec![None; reqs.len()];
+        for _ in 0..reqs.len() {
+            let (idx, result, t) = rx.recv_timeout(Duration::from_secs(30)).unwrap();
+            // The routing contract: the shard that answered is the
+            // student's FNV shard.
+            assert_eq!(t.shard, fleet.shard_of(reqs[idx].student));
+            match result.unwrap() {
+                Outcome::Predict(p) => scores[idx] = Some(p.score),
+                Outcome::Explain(_) => panic!("predict outcome expected"),
+            }
+        }
+        for (i, s) in scores.iter().enumerate() {
+            assert_eq!(
+                s.unwrap().to_bits(),
+                oracle.predictions[i].score.to_bits(),
+                "sharded path must be bit-identical to the offline batch"
+            );
+        }
+        assert_eq!(fleet.queue_depths().len(), 4);
+        fleet.drain_and_stop();
+        assert!(fleet.is_draining());
+    }
+
+    #[test]
+    fn shard_of_is_stable_and_consistent_across_fleet_sizes() {
+        let eng = engine();
+        let f2 = Fleet::start(Arc::clone(&eng), 2, 4, 16);
+        let f4 = Fleet::start(Arc::clone(&eng), 4, 4, 16);
+        for s in 0..256u32 {
+            // Deterministic: same student always maps to the same shard.
+            assert_eq!(f2.shard_of(s), f2.shard_of(s));
+            assert_eq!(
+                f2.shard_of(s),
+                (crate::fnv1a(&s.to_le_bytes()) % 2) as usize
+            );
+            assert_eq!(
+                f4.shard_of(s),
+                (crate::fnv1a(&s.to_le_bytes()) % 4) as usize
+            );
+        }
+        // FNV spreads students across shards rather than hotspotting one.
+        let mut seen = [false; 4];
+        for s in 0..256u32 {
+            seen[f4.shard_of(s)] = true;
+        }
+        assert!(seen.iter().all(|&b| b), "all four shards receive students");
+        f2.drain_and_stop();
+        f4.drain_and_stop();
     }
 }

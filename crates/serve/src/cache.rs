@@ -22,6 +22,7 @@
 
 use crate::api::{ExplainResponseItem, PredictResponseItem};
 use crate::batcher::JobRequest;
+use crate::lock_recover;
 use rckt::IncrementalState;
 use rckt_obs::{counter, gauge};
 use std::collections::HashMap;
@@ -130,7 +131,7 @@ impl SessionCache {
 
     /// Look up a key, refreshing its recency on a hit.
     pub fn get(&self, key: &SessionKey) -> Option<Outcome> {
-        let mut g = self.inner.lock().unwrap();
+        let mut g = lock_recover(&self.inner);
         let tick = {
             g.tick += 1;
             g.tick
@@ -160,7 +161,7 @@ impl SessionCache {
         if self.capacity == 0 {
             return;
         }
-        let mut g = self.inner.lock().unwrap();
+        let mut g = lock_recover(&self.inner);
         g.tick += 1;
         let tick = g.tick;
         let stale: Vec<SessionKey> = g
@@ -196,7 +197,7 @@ impl SessionCache {
     }
 
     pub fn len(&self) -> usize {
-        self.inner.lock().unwrap().map.len()
+        lock_recover(&self.inner).map.len()
     }
 
     pub fn is_empty(&self) -> bool {
@@ -205,7 +206,7 @@ impl SessionCache {
 
     /// `(hits, misses)` since construction.
     pub fn stats(&self) -> (u64, u64) {
-        let g = self.inner.lock().unwrap();
+        let g = lock_recover(&self.inner);
         (g.hits, g.misses)
     }
 
@@ -256,7 +257,7 @@ impl SessionStore {
     /// Remove and return a student's state (the caller owns it until the
     /// next [`SessionStore::put`]).
     pub fn take(&self, student: u32) -> Option<IncrementalState> {
-        let mut g = self.inner.lock().unwrap();
+        let mut g = lock_recover(&self.inner);
         let state = g.map.remove(&student).map(|(_, s)| s);
         if let Some(s) = &state {
             g.bytes = g.bytes.saturating_sub(s.state_bytes());
@@ -271,7 +272,7 @@ impl SessionStore {
         if self.capacity == 0 {
             return;
         }
-        let mut g = self.inner.lock().unwrap();
+        let mut g = lock_recover(&self.inner);
         g.tick += 1;
         let tick = g.tick;
         if g.map.len() >= self.capacity && !g.map.contains_key(&student) {
@@ -290,7 +291,7 @@ impl SessionStore {
 
     /// Number of resident session states.
     pub fn len(&self) -> usize {
-        self.inner.lock().unwrap().map.len()
+        lock_recover(&self.inner).map.len()
     }
 
     pub fn is_empty(&self) -> bool {
@@ -299,12 +300,12 @@ impl SessionStore {
 
     /// Total resident state size in bytes (the state-bytes gauge's value).
     pub fn state_bytes(&self) -> usize {
-        self.inner.lock().unwrap().bytes
+        lock_recover(&self.inner).bytes
     }
 
     /// Students with a resident state, in no particular order (test aid).
     pub fn resident_students(&self) -> Vec<u32> {
-        self.inner.lock().unwrap().map.keys().copied().collect()
+        lock_recover(&self.inner).map.keys().copied().collect()
     }
 }
 

@@ -58,10 +58,15 @@ pub fn read_request(stream: &mut TcpStream) -> Result<Request, ReadError> {
     let _ = stream.set_write_timeout(Some(Duration::from_secs(10)));
     let mut buf = Vec::with_capacity(1024);
     let mut chunk = [0u8; 1024];
+    // Bytes already scanned for the header terminator. Rewound by 3 on
+    // every new chunk in case `\r\n\r\n` straddles the chunk boundary, so
+    // a slow client trickling bytes costs O(n) total, not O(n²).
+    let mut scanned = 0usize;
     let header_end = loop {
-        if let Some(pos) = find_header_end(&buf) {
+        if let Some(pos) = find_header_end(&buf, scanned) {
             break pos;
         }
+        scanned = buf.len().saturating_sub(3);
         if buf.len() > MAX_HEADER_BYTES {
             return Err(ReadError::TooLarge);
         }
@@ -87,20 +92,31 @@ pub fn read_request(stream: &mut TcpStream) -> Result<Request, ReadError> {
         .unwrap_or("")
         .to_string();
 
-    let mut content_length = 0usize;
+    let mut content_length: Option<usize> = None;
     let mut headers = Vec::new();
     for line in lines {
         if let Some((name, value)) = line.split_once(':') {
             let name = name.trim().to_ascii_lowercase();
             let value = value.trim().to_string();
             if name == "content-length" {
-                content_length = value
-                    .parse()
-                    .map_err(|_| ReadError::Malformed("bad Content-Length"))?;
+                // A repeated Content-Length — even one agreeing with the
+                // first — is rejected outright: it is the header a
+                // request-smuggling attack equivocates on, and honoring
+                // "last one wins" silently would let two parsers read two
+                // different bodies from the same bytes.
+                if content_length.is_some() {
+                    return Err(ReadError::Malformed("duplicate Content-Length"));
+                }
+                content_length = Some(
+                    value
+                        .parse()
+                        .map_err(|_| ReadError::Malformed("bad Content-Length"))?,
+                );
             }
             headers.push((name, value));
         }
     }
+    let content_length = content_length.unwrap_or(0);
     if content_length > MAX_BODY_BYTES {
         return Err(ReadError::TooLarge);
     }
@@ -122,8 +138,13 @@ pub fn read_request(stream: &mut TcpStream) -> Result<Request, ReadError> {
     })
 }
 
-fn find_header_end(buf: &[u8]) -> Option<usize> {
-    buf.windows(4).position(|w| w == b"\r\n\r\n")
+/// Find `\r\n\r\n` at or after `from`, returning its offset in `buf`.
+fn find_header_end(buf: &[u8], from: usize) -> Option<usize> {
+    let from = from.min(buf.len());
+    buf[from..]
+        .windows(4)
+        .position(|w| w == b"\r\n\r\n")
+        .map(|p| p + from)
 }
 
 /// Write a complete response and close the connection. `extra_headers`
@@ -218,6 +239,67 @@ mod tests {
             roundtrip(b"POST /p HTTP/1.1\r\nContent-Length: nope\r\n\r\n"),
             Err(ReadError::Malformed(_))
         ));
+    }
+
+    #[test]
+    fn rejects_duplicate_and_conflicting_content_length() {
+        // Conflicting values: two parsers could disagree on where the
+        // body ends (request smuggling); must be a parse error, not
+        // last-one-wins.
+        assert!(matches!(
+            roundtrip(b"POST /p HTTP/1.1\r\nContent-Length: 4\r\nContent-Length: 11\r\n\r\nabcd"),
+            Err(ReadError::Malformed("duplicate Content-Length"))
+        ));
+        // Even agreeing duplicates are rejected.
+        assert!(matches!(
+            roundtrip(b"POST /p HTTP/1.1\r\nContent-Length: 4\r\nContent-Length: 4\r\n\r\nabcd"),
+            Err(ReadError::Malformed("duplicate Content-Length"))
+        ));
+        // Case variants are the same header.
+        assert!(matches!(
+            roundtrip(b"POST /p HTTP/1.1\r\ncontent-length: 4\r\nCONTENT-LENGTH: 4\r\n\r\nabcd"),
+            Err(ReadError::Malformed("duplicate Content-Length"))
+        ));
+    }
+
+    #[test]
+    fn slow_client_trickling_header_bytes_parses() {
+        // One byte per write, with the terminator split across writes:
+        // exercises the incremental `find_header_end` resume-from-len-3
+        // path rather than the single-packet fast path.
+        let listener = TcpListener::bind(("127.0.0.1", 0)).unwrap();
+        let port = listener.local_addr().unwrap().port();
+        let raw: &[u8] = b"POST /slow HTTP/1.1\r\nContent-Length: 5\r\nX-Drip: 1\r\n\r\nhello";
+        let client = std::thread::spawn(move || {
+            let mut s = TcpStream::connect(("127.0.0.1", port)).unwrap();
+            for b in raw {
+                s.write_all(std::slice::from_ref(b)).unwrap();
+                s.flush().unwrap();
+                std::thread::sleep(std::time::Duration::from_micros(200));
+            }
+            let _ = s.shutdown(Shutdown::Write);
+            s
+        });
+        let (mut server_side, _) = listener.accept().unwrap();
+        let req = read_request(&mut server_side).unwrap();
+        let _ = client.join();
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.path, "/slow");
+        assert_eq!(req.header("x-drip"), Some("1"));
+        assert_eq!(req.body, b"hello");
+    }
+
+    #[test]
+    fn find_header_end_resumes_mid_terminator() {
+        let buf = b"abc\r\n\r\nrest";
+        // Scanning from any offset at or before the terminator finds it.
+        for from in 0..=3 {
+            assert_eq!(find_header_end(buf, from), Some(3), "from={from}");
+        }
+        // Scanning from past it does not.
+        assert_eq!(find_header_end(buf, 4), None);
+        // `from` beyond the buffer is clamped, not a panic.
+        assert_eq!(find_header_end(b"ab", 10), None);
     }
 
     #[test]

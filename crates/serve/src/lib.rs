@@ -55,7 +55,7 @@ pub use api::{
     FeedbackEvent, FeedbackResponse, HistoryItem, PredictBody, PredictRequest, PredictResponse,
     PredictResponseItem, DEFAULT_SERVE_WINDOW,
 };
-pub use batcher::{cache_key, Batcher, Engine, Job, JobReply, JobRequest, JobTiming};
+pub use batcher::{cache_key, Batcher, Engine, Fleet, Job, JobReply, JobRequest, JobTiming};
 pub use cache::{KeyKind, Outcome, SessionCache, SessionKey, SessionStore};
 pub use postmortem::{render_report, PostmortemCtx};
 pub use quality::{influence_event, Quality};
@@ -80,8 +80,19 @@ pub struct ServeConfig {
     pub port: u16,
     /// Largest number of requests fused into one model call.
     pub max_batch: usize,
-    /// Queue capacity; submissions beyond it are shed with a 503.
+    /// Queue capacity *per batcher shard*; submissions beyond it are
+    /// shed with a 503.
     pub max_queue: usize,
+    /// Batcher shards (`--workers`): independent worker threads, each
+    /// owning a bounded queue. Students are routed to shards by FNV-1a of
+    /// their id, so per-student ordering (and the warm path's session
+    /// state) is preserved at any worker count. 0 is treated as 1.
+    pub workers: usize,
+    /// Fixed number of connection-handler threads (`--conn-threads`).
+    /// Accepted connections queue in a bounded channel (4× this value);
+    /// beyond that the accept thread sheds them with an immediate 503 —
+    /// the server never spawns a thread per connection.
+    pub conn_threads: usize,
     /// Fixed pad length for served windows (bounds history length).
     /// Must match the offline run being compared against.
     pub window: usize,
@@ -120,6 +131,8 @@ impl Default for ServeConfig {
             port: 0,
             max_batch: 8,
             max_queue: 64,
+            workers: 1,
+            conn_threads: 8,
             window: DEFAULT_SERVE_WINDOW,
             cache_capacity: 4096,
             session_capacity: 1024,
@@ -131,6 +144,15 @@ impl Default for ServeConfig {
             test_panic: false,
         }
     }
+}
+
+/// Lock a mutex, recovering the guard if a previous holder panicked.
+/// Every shared structure here (queues, caches, SLO state) is left in a
+/// consistent state between statements, so a poisoned lock carries no
+/// torn invariant — and one panicking wave must not cascade into
+/// poisoned-mutex unwraps on every later request.
+pub(crate) fn lock_recover<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
 }
 
 /// FNV-1a 64-bit — hashes the model file so cache keys from a previous
@@ -191,7 +213,7 @@ impl Engine {
 
 struct Ctx {
     engine: Arc<Engine>,
-    batcher: Arc<Batcher>,
+    batcher: Arc<Fleet>,
     stop: Arc<AtomicBool>,
     started_at: Instant,
     default_deadline_ms: u64,
@@ -231,8 +253,12 @@ fn set_current_request_id(id: Option<String>) {
 pub struct ServeServer {
     port: u16,
     stop: Arc<AtomicBool>,
-    batcher: Arc<Batcher>,
+    batcher: Arc<Fleet>,
     handle: Option<std::thread::JoinHandle<()>>,
+    /// The fixed connection-handler pool; joined on shutdown after the
+    /// accept loop exits (dropping the channel sender lets them drain
+    /// what was already accepted, then exit).
+    conn_handles: Vec<std::thread::JoinHandle<()>>,
     flight: Arc<FlightRecorder>,
     postmortem: Arc<PostmortemCtx>,
 }
@@ -242,10 +268,19 @@ impl ServeServer {
         self.port
     }
 
-    /// Block until the accept loop exits, then drain the batcher so every
-    /// accepted request is answered before returning.
+    /// Per-shard batcher queue depths, indexed by shard id (the loadtest
+    /// harness samples these while driving load).
+    pub fn shard_queue_depths(&self) -> Vec<usize> {
+        self.batcher.queue_depths()
+    }
+
+    /// Block until the accept loop exits, then drain the handler pool and
+    /// the batcher so every accepted request is answered before returning.
     pub fn wait(mut self) {
         if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+        for h in self.conn_handles.drain(..) {
             let _ = h.join();
         }
         self.batcher.drain_and_stop();
@@ -260,6 +295,9 @@ impl ServeServer {
         self.stop.store(true, Ordering::SeqCst);
         let _ = TcpStream::connect(("127.0.0.1", self.port));
         if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+        for h in self.conn_handles.drain(..) {
             let _ = h.join();
         }
         self.batcher.drain_and_stop();
@@ -288,8 +326,9 @@ pub fn start(engine: Arc<Engine>, cfg: &ServeConfig) -> std::io::Result<ServeSer
     let listener = TcpListener::bind(("127.0.0.1", cfg.port))?;
     let port = listener.local_addr()?.port();
     let stop = Arc::new(AtomicBool::new(false));
-    let batcher = Arc::new(Batcher::start(
+    let batcher = Arc::new(Fleet::start(
         Arc::clone(&engine),
+        cfg.workers,
         cfg.max_batch,
         cfg.max_queue,
     ));
@@ -312,7 +351,9 @@ pub fn start(engine: Arc<Engine>, cfg: &ServeConfig) -> std::io::Result<ServeSer
         .config("port", &port.to_string())
         .config("window", &cfg.window.to_string())
         .config("max_batch", &cfg.max_batch.to_string())
-        .config("max_queue", &cfg.max_queue.to_string());
+        .config("max_queue", &cfg.max_queue.to_string())
+        .config("workers", &batcher.workers().to_string())
+        .config("conn_threads", &cfg.conn_threads.max(1).to_string());
     let postmortem_ctx = Arc::new(PostmortemCtx::new(
         Arc::clone(&flight),
         Arc::clone(&slo),
@@ -333,6 +374,25 @@ pub fn start(engine: Arc<Engine>, cfg: &ServeConfig) -> std::io::Result<ServeSer
         postmortem: Arc::clone(&postmortem_ctx),
         test_panic: cfg.test_panic,
     });
+    // Bounded accept path: a fixed pool of `conn_threads` handler threads
+    // pulls accepted sockets from a bounded channel. The accept loop never
+    // spawns a thread — a connect flood fills the channel and is then shed
+    // with an immediate 503 instead of growing the thread count without
+    // bound.
+    let conn_threads = cfg.conn_threads.max(1);
+    let (conn_tx, conn_rx) = mpsc::sync_channel::<TcpStream>(conn_threads * 4);
+    let conn_rx = Arc::new(Mutex::new(conn_rx));
+    gauge("serve.conn.threads").set(conn_threads as f64);
+    let mut conn_handles = Vec::with_capacity(conn_threads);
+    for i in 0..conn_threads {
+        let rx = Arc::clone(&conn_rx);
+        let ctx = Arc::clone(&ctx);
+        conn_handles.push(
+            std::thread::Builder::new()
+                .name(format!("rckt-serve-conn-{i}"))
+                .spawn(move || conn_worker(&ctx, &rx))?,
+        );
+    }
     let accept_stop = Arc::clone(&stop);
     let handle = std::thread::Builder::new()
         .name("rckt-serve-accept".to_string())
@@ -342,21 +402,68 @@ pub fn start(engine: Arc<Engine>, cfg: &ServeConfig) -> std::io::Result<ServeSer
                     break;
                 }
                 if let Ok(stream) = conn {
-                    let ctx = Arc::clone(&ctx);
-                    let _ = std::thread::Builder::new()
-                        .name("rckt-serve-conn".to_string())
-                        .spawn(move || handle_connection(&ctx, stream));
+                    match conn_tx.try_send(stream) {
+                        Ok(()) => {}
+                        Err(mpsc::TrySendError::Full(stream)) => shed_connection(stream),
+                        Err(mpsc::TrySendError::Disconnected(_)) => break,
+                    }
                 }
             }
+            // `conn_tx` drops here: handlers drain what was accepted,
+            // then exit on the channel disconnect.
         })?;
     Ok(ServeServer {
         port,
         stop,
         batcher,
         handle: Some(handle),
+        conn_handles,
         flight,
         postmortem: postmortem_ctx,
     })
+}
+
+/// One connection-handler thread: pull sockets off the bounded accept
+/// channel until the accept loop drops the sender. A panic inside a
+/// handler (including the test-injected one) is caught so the pool never
+/// shrinks — the panic hook has already written its postmortem bundle by
+/// the time the unwind reaches here.
+fn conn_worker(ctx: &Ctx, rx: &Mutex<mpsc::Receiver<TcpStream>>) {
+    loop {
+        let stream = {
+            let guard = lock_recover(rx);
+            guard.recv()
+        };
+        match stream {
+            Ok(s) => {
+                if std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    handle_connection(ctx, s)
+                }))
+                .is_err()
+                {
+                    counter("serve.conn.panics").incr();
+                    set_current_request_id(None);
+                }
+            }
+            Err(_) => return,
+        }
+    }
+}
+
+/// Answer a connection the bounded accept channel has no room for: an
+/// immediate 503 written from the accept thread with a short timeout, so
+/// a flood degrades into fast sheds instead of unbounded threads or
+/// silently dropped sockets.
+fn shed_connection(mut stream: TcpStream) {
+    counter("serve.conn.shed").incr();
+    let _ = stream.set_write_timeout(Some(Duration::from_millis(250)));
+    let body = "{\"error\":\"connection queue full\"}";
+    let _ = write!(
+        stream,
+        "HTTP/1.1 503 Service Unavailable\r\nContent-Type: application/json\r\nContent-Length: {}\r\nRetry-After: 1\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    );
+    let _ = stream.shutdown(std::net::Shutdown::Both);
 }
 
 const JSON: &str = "application/json";
@@ -400,6 +507,9 @@ pub struct BatchTiming {
     /// Warm-path classification of the body's jobs (first classified job
     /// wins; a single-request body — the warm path's shape — has one).
     pub warm: Option<WarmKind>,
+    /// Shard that answered the body's first job (a single-student body —
+    /// the dominant shape — has exactly one shard).
+    pub shard: usize,
 }
 
 impl BatchTiming {
@@ -408,6 +518,9 @@ impl BatchTiming {
         self.infer_secs = self.infer_secs.max(t.infer_secs);
         self.batch_max = self.batch_max.max(t.batch_size);
         self.cache_hits += usize::from(t.cache_hit);
+        if self.jobs == 0 {
+            self.shard = t.shard;
+        }
         self.jobs += 1;
         self.warm = self.warm.or(t.warm);
     }
@@ -437,6 +550,10 @@ struct ReqScope<'a> {
     /// Students named in the body (comma-joined), set by the handler
     /// once it has parsed one; lands in the flight ring's request record.
     students: RefCell<String>,
+    /// Test-only (`x-rckt-test-panic: wave` with `RCKT_SERVE_TEST_PANIC=1`):
+    /// poison this request's jobs so the batcher wave that picks them up
+    /// panics, exercising shard restart instead of the conn-thread panic.
+    poison_wave: bool,
 }
 
 impl ReqScope<'_> {
@@ -518,6 +635,7 @@ impl ReqScope<'_> {
             batch_size: timing.map_or(0, |t| t.batch_max as u64),
             status: status_code,
             warm: timing.map_or("-", BatchTiming::warm_label).to_string(),
+            shard: timing.map_or_else(|| "-".to_string(), |t| t.shard.to_string()),
         });
 
         // SLO accounting (introspection endpoints excluded — see
@@ -602,6 +720,7 @@ fn run_jobs(
     ctx: &Ctx,
     reqs: Vec<JobRequest>,
     deadline: Option<Instant>,
+    poison: bool,
 ) -> Result<(Vec<Outcome>, BatchTiming), ApiError> {
     let (tx, rx) = mpsc::channel();
     let n = reqs.len();
@@ -613,6 +732,7 @@ fn run_jobs(
             enqueued: Instant::now(),
             deadline,
             reply: tx.clone(),
+            poison,
         })?;
     }
     drop(tx);
@@ -667,7 +787,7 @@ fn handle_predict(ctx: &Ctx, scope: &ReqScope<'_>, body: &[u8], stream: &mut Tcp
         .into_iter()
         .map(JobRequest::Predict)
         .collect();
-    match run_jobs(ctx, jobs, deadline) {
+    match run_jobs(ctx, jobs, deadline, scope.poison_wave) {
         Ok((outcomes, timing)) => {
             // Feed the quality monitors before answering so a /metrics
             // scrape issued after this response already sees the score.
@@ -738,7 +858,7 @@ fn handle_explain(ctx: &Ctx, scope: &ReqScope<'_>, body: &[u8], stream: &mut Tcp
         .into_iter()
         .map(JobRequest::Explain)
         .collect();
-    match run_jobs(ctx, jobs, deadline) {
+    match run_jobs(ctx, jobs, deadline, scope.poison_wave) {
         Ok((outcomes, timing)) => {
             for o in &outcomes {
                 if let Outcome::Explain(e) = o {
@@ -836,6 +956,7 @@ fn handle_connection(ctx: &Ctx, mut stream: TcpStream) {
                 method: "-",
                 path: "-",
                 students: RefCell::new(String::new()),
+                poison_wave: false,
             };
             scope.respond(
                 &mut stream,
@@ -848,6 +969,13 @@ fn handle_connection(ctx: &Ctx, mut stream: TcpStream) {
             return;
         }
     };
+    // Test-only (`RCKT_SERVE_TEST_PANIC=1`): `x-rckt-test-panic: wave`
+    // poisons the request's batcher wave (shard-restart path); any other
+    // value panics this connection handler (panic-hook bundle path).
+    let test_panic = ctx
+        .test_panic
+        .then(|| req.header("x-rckt-test-panic"))
+        .flatten();
     let scope = ReqScope {
         ctx,
         id: request_id(req.header("x-request-id")),
@@ -855,11 +983,10 @@ fn handle_connection(ctx: &Ctx, mut stream: TcpStream) {
         method: &req.method,
         path: &req.path,
         students: RefCell::new(String::new()),
+        poison_wave: test_panic == Some("wave"),
     };
     set_current_request_id(Some(scope.id.clone()));
-    if ctx.test_panic && req.header("x-rckt-test-panic").is_some() {
-        // Test-only (`RCKT_SERVE_TEST_PANIC=1`): die mid-request so the
-        // panic hook's bundle path is exercised end-to-end.
+    if test_panic.is_some() && !scope.poison_wave {
         panic!("test panic requested by {}", scope.id);
     }
     match (req.method.as_str(), req.path.as_str()) {
@@ -868,10 +995,11 @@ fn handle_connection(ctx: &Ctx, mut stream: TcpStream) {
         ("POST", "/feedback") => handle_feedback(ctx, &scope, &req.body, &mut stream),
         ("GET", "/healthz") => {
             let body = format!(
-                "{{\"status\":\"ok\",\"model_hash\":\"{:016x}\",\"draining\":{},\"window\":{},\"uptime_secs\":{:.3}}}",
+                "{{\"status\":\"ok\",\"model_hash\":\"{:016x}\",\"draining\":{},\"window\":{},\"workers\":{},\"uptime_secs\":{:.3}}}",
                 ctx.engine.model_hash,
                 ctx.batcher.is_draining(),
                 ctx.engine.window,
+                ctx.batcher.workers(),
                 ctx.started_at.elapsed().as_secs_f64(),
             );
             scope.respond(&mut stream, "200 OK", JSON, &[], &body, None);
@@ -1590,5 +1718,186 @@ mod tests {
     fn fnv1a_is_stable() {
         assert_eq!(fnv1a(b""), 0xcbf2_9ce4_8422_2325);
         assert_ne!(fnv1a(b"model-a"), fnv1a(b"model-b"));
+    }
+
+    #[test]
+    fn served_bytes_are_identical_at_every_worker_count() {
+        // The sharding contract: routing students across 1, 2, or 4
+        // batcher shards must not change a single served byte. Eight
+        // students guarantee every shard of a 4-worker fleet sees
+        // traffic mixed into waves differently than the 1-worker run.
+        let json = model_json();
+        let body = serde_json::to_string(&PredictBody {
+            requests: (0..8u32)
+                .map(|s| PredictRequest {
+                    student: s,
+                    history: vec![
+                        HistoryItem {
+                            question: s % 5 + 1,
+                            correct: s % 2 == 0,
+                        },
+                        HistoryItem {
+                            question: s % 7 + 1,
+                            correct: s % 3 == 0,
+                        },
+                    ],
+                    target_question: s % 4 + 1,
+                })
+                .collect(),
+            deadline_ms: None,
+        })
+        .unwrap();
+
+        let mut responses = Vec::new();
+        for workers in [1usize, 2, 4] {
+            let cfg = ServeConfig {
+                workers,
+                ..serve_cfg()
+            };
+            let engine = Arc::new(Engine::from_json(&json, &cfg).unwrap());
+            let server = start(engine, &cfg).unwrap();
+            let (status, resp) = http_request(server.port(), "POST", "/predict", &body).unwrap();
+            assert!(status.contains("200"), "workers={workers}: {status} {resp}");
+            responses.push((workers, resp));
+            server.stop();
+        }
+        let (_, baseline) = &responses[0];
+        for (workers, resp) in &responses[1..] {
+            assert_eq!(
+                resp, baseline,
+                "served bytes changed between --workers 1 and --workers {workers}"
+            );
+        }
+
+        // And the 1-worker baseline matches the offline oracle bitwise.
+        let cfg = serve_cfg();
+        let oracle_engine = Engine::from_json(&json, &cfg).unwrap();
+        let parsed: PredictBody = serde_json::from_str(&body).unwrap();
+        let oracle = api::predict_batch(
+            &oracle_engine.model,
+            &oracle_engine.qm,
+            &parsed.requests,
+            cfg.window,
+        )
+        .unwrap();
+        let got: PredictResponse = serde_json::from_str(baseline).unwrap();
+        for (g, o) in got.predictions.iter().zip(&oracle.predictions) {
+            assert_eq!(g.score.to_bits(), o.score.to_bits());
+        }
+    }
+
+    #[test]
+    fn connect_flood_is_shed_by_the_bounded_accept_path() {
+        let cfg = ServeConfig {
+            conn_threads: 2,
+            ..serve_cfg()
+        };
+        let server = start(direct_engine(&cfg), &cfg).unwrap();
+        let port = server.port();
+
+        // Saturate the fixed pool (2 handlers) and the bounded accept
+        // channel (2 × 4 = 8 slots) with idle connections that send no
+        // bytes: handlers block in read, the channel fills behind them.
+        let mut idle = Vec::new();
+        for _ in 0..10 {
+            let s = TcpStream::connect(("127.0.0.1", port)).unwrap();
+            idle.push(s);
+            // Let the accept thread queue it before the next connect so
+            // the channel is deterministically full afterwards.
+            std::thread::sleep(Duration::from_millis(20));
+        }
+
+        // Connections beyond pool + channel are shed by the accept thread
+        // itself with an immediate 503 — not a hang, not a new thread.
+        let mut shed_seen = 0;
+        for _ in 0..3 {
+            let mut s = TcpStream::connect(("127.0.0.1", port)).unwrap();
+            s.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+            let mut raw = String::new();
+            let _ = s.read_to_string(&mut raw);
+            if raw.contains("503") && raw.contains("connection queue full") {
+                shed_seen += 1;
+            }
+        }
+        assert!(
+            shed_seen > 0,
+            "no connection was shed with a 503 while pool and channel were saturated"
+        );
+
+        // Release the flood: handlers fail the idle sockets with a 400
+        // (connection closed mid-headers) and drain the channel, after
+        // which a real request is served normally.
+        drop(idle);
+        let (status, resp) = http_request(port, "POST", "/predict", &predict_body()).unwrap();
+        assert!(
+            status.contains("200"),
+            "post-flood request: {status} {resp}"
+        );
+
+        let (_, metrics) = http_request(port, "GET", "/metrics", "").unwrap();
+        assert!(metrics.contains("rckt_serve_conn_shed_total"), "{metrics}");
+        assert!(metrics.contains("rckt_serve_conn_threads"), "{metrics}");
+
+        server.stop();
+    }
+
+    #[test]
+    fn wave_panic_answers_500_and_the_shard_keeps_serving() {
+        let json = model_json();
+        let cfg = ServeConfig {
+            test_panic: true,
+            ..serve_cfg()
+        };
+        let engine = Arc::new(Engine::from_json(&json, &cfg).unwrap());
+        let server = start(engine, &cfg).unwrap();
+        let port = server.port();
+        let body = predict_body();
+
+        // `x-rckt-test-panic: wave` poisons this request's batcher jobs:
+        // the wave that picks them up panics inside the shard worker. The
+        // client must get a 500 — not hang until its socket timeout.
+        let raw = raw_request(
+            port,
+            &format!(
+                "POST /predict HTTP/1.1\r\nHost: l\r\nx-rckt-test-panic: wave\r\nContent-Length: {}\r\n\r\n{body}",
+                body.len()
+            ),
+        );
+        assert!(raw.contains("500 Internal Server Error"), "{raw}");
+        assert!(raw.contains("batch worker"), "{raw}");
+
+        // The shard restarted: the very next plain request is served, and
+        // its bytes still match a fresh engine's offline answer.
+        let (status, resp) = http_request(port, "POST", "/predict", &body).unwrap();
+        assert!(
+            status.contains("200"),
+            "post-panic request: {status} {resp}"
+        );
+        let got: PredictResponse = serde_json::from_str(&resp).unwrap();
+        let oracle_engine = Engine::from_json(&json, &serve_cfg()).unwrap();
+        let parsed: PredictBody = serde_json::from_str(&body).unwrap();
+        let oracle = api::predict_batch(
+            &oracle_engine.model,
+            &oracle_engine.qm,
+            &parsed.requests,
+            serve_cfg().window,
+        )
+        .unwrap();
+        for (g, o) in got.predictions.iter().zip(&oracle.predictions) {
+            assert_eq!(g.score.to_bits(), o.score.to_bits());
+        }
+
+        // The restart left its mark on /metrics.
+        let (_, metrics) = http_request(port, "GET", "/metrics", "").unwrap();
+        assert!(
+            metrics.contains("rckt_serve_shard_0_restarts_total"),
+            "{metrics}"
+        );
+        assert!(
+            metrics.contains("rckt_serve_worker_panics_total"),
+            "{metrics}"
+        );
+
+        server.stop();
     }
 }
